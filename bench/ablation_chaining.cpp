@@ -1,0 +1,66 @@
+// Ablation: the two collision-resolution strategies of Section 4.1 —
+// chaining (Figure 7, FOL1 label rounds + linked nodes) vs open addressing
+// (Figure 8, overwrite-and-check with the keys as labels) — on identical
+// key sets.
+//
+// The paper benchmarks only the open-addressing variant (Figures 9/10) and
+// describes the chaining flow qualitatively; this bench fills in the
+// comparison. Expected mechanics: chaining pays a separate label pass
+// (scatter+gather+compare per round) and node-pool traffic but its round
+// count is the max bucket multiplicity, while open addressing fuses the
+// label pass into the store yet re-probes until every key finds an empty
+// slot — so open addressing wins at low load and degrades steeply as the
+// table fills, where chaining's round count stays flat.
+#include <iostream>
+
+#include "hashing/chain_table.h"
+#include "hashing/open_table.h"
+#include "support/prng.h"
+#include "support/require.h"
+#include "support/table_printer.h"
+#include "vm/machine.h"
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+  const vm::CostParams params = vm::CostParams::s810_like();
+  constexpr std::size_t kTableSize = 4099;
+
+  TablePrinter table({"load", "open_us", "chain_us", "open/chain"});
+  double low_load_ratio = 0;
+  double high_load_ratio = 0;
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9, 0.98}) {
+    const auto n_keys = static_cast<std::size_t>(
+        load * static_cast<double>(kTableSize));
+    const auto keys = random_unique_keys(n_keys, 1 << 30, 31);
+
+    vm::VectorMachine m_open;
+    std::vector<Word> open_table(kTableSize, hashing::kUnentered);
+    hashing::multi_hash_open_insert(m_open, open_table, keys,
+                                    hashing::ProbeVariant::kKeyDependent);
+    const double open_us = m_open.cost().microseconds(params);
+
+    vm::VectorMachine m_chain;
+    hashing::ChainTable chain(kTableSize, n_keys + 1);
+    hashing::multi_hash_chain_insert(m_chain, chain, keys);
+    const double chain_us = m_chain.cost().microseconds(params);
+    for (Word k : keys) {
+      FOLVEC_CHECK(chain.count(k) == 1, "chaining lost a key");
+    }
+
+    const double ratio = open_us / chain_us;
+    if (load == 0.1) low_load_ratio = ratio;
+    if (load == 0.98) high_load_ratio = ratio;
+    table.add_row({Cell(load, 2), Cell(open_us, 1), Cell(chain_us, 1),
+                   Cell(ratio, 2)});
+  }
+  table.print(std::cout,
+              "Ablation: open addressing (Fig 8) vs chaining (Fig 7), "
+              "table N=4099, modeled S-810");
+  std::cout << "\nopen addressing re-probes into a filling table; chaining's "
+               "FOL rounds track only bucket multiplicity, so the ratio "
+               "moves against open addressing as the load rises\n";
+  FOLVEC_CHECK(high_load_ratio > low_load_ratio,
+               "open addressing must degrade faster with load");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: FOL1 cost versus duplicate multiplicity (Theorems 4 and 6).
+//
+// With N lanes spread over D distinct storage areas, the maximum
+// multiplicity is ceil(N/D) and FOL1 needs exactly that many rounds
+// (Lemma 3 / Theorem 5). Theorem 4 says the run time is O(N) while sharing
+// is rare; Theorem 6 says it degrades to O(N^2) when every lane hits one
+// area. This bench sweeps D from N down to 1 and reports modeled time and
+// rounds, demonstrating the transition, plus the N-scaling at fixed
+// duplication to exhibit O(N) behaviour.
+#include <iostream>
+
+#include "bench_harness/experiments.h"
+#include "support/require.h"
+#include "support/table_printer.h"
+
+int main() {
+  using namespace folvec;
+  const vm::CostParams params = vm::CostParams::s810_like();
+
+  {
+    const std::size_t n = 4096;
+    TablePrinter table(
+        {"distinct", "max_mult", "rounds", "vector_us", "scalar_us"});
+    double time_unique = 0;
+    double time_all_same = 0;
+    for (std::size_t d : {n, n / 2, n / 8, n / 64, n / 512, std::size_t{2},
+                          std::size_t{1}}) {
+      const bench::RunResult r = bench::run_fol1_decompose(n, d, 42, params);
+      const std::size_t max_mult = (n + d - 1) / d;
+      FOLVEC_CHECK(r.iterations == max_mult,
+                   "rounds must equal the maximum multiplicity (Theorem 5)");
+      table.add_row({Cell(static_cast<long long>(d)),
+                     Cell(static_cast<long long>(max_mult)),
+                     Cell(r.iterations), Cell(r.vector_us, 1),
+                     Cell(r.scalar_us, 1)});
+      if (d == n) time_unique = r.vector_us;
+      if (d == 1) time_all_same = r.vector_us;
+    }
+    table.print(std::cout,
+                "Ablation: FOL1 rounds and cost vs duplication (N=4096)");
+    std::cout << "\nworst/best time ratio: " << time_all_same / time_unique
+              << "x (Theorem 6: all-duplicates costs O(N^2))\n\n";
+    FOLVEC_CHECK(time_all_same > 50.0 * time_unique,
+                 "all-duplicate input must be drastically slower");
+  }
+
+  {
+    TablePrinter table({"N", "vector_us", "us_per_lane"});
+    double prev_per_lane = 0;
+    bool first = true;
+    for (std::size_t n : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+      // Fixed 1% duplication: the Theorem 4 regime.
+      const bench::RunResult r =
+          bench::run_fol1_decompose(n, n - n / 100, 7, params);
+      const double per_lane = r.vector_us / static_cast<double>(n);
+      table.add_row({Cell(static_cast<long long>(n)), Cell(r.vector_us, 1),
+                     Cell(per_lane, 4)});
+      if (!first) {
+        FOLVEC_CHECK(per_lane < prev_per_lane * 1.25,
+                     "per-lane cost must stay ~flat with rare sharing "
+                     "(Theorem 4: O(N))");
+      }
+      prev_per_lane = per_lane;
+      first = false;
+    }
+    table.print(std::cout,
+                "Ablation: FOL1 scaling with 1% duplication (Theorem 4)");
+    std::cout << "\nper-lane cost is flat: FOL1 is O(N) when sharing is "
+                 "rare\n";
+  }
+  return 0;
+}

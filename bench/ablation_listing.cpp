@@ -1,0 +1,90 @@
+// Ablation: the paper's Figure 8 listing, interpreted, vs the native
+// implementation of the same algorithm.
+//
+// Both run on identical machines and produce identical tables; the listing
+// issues extra vector loads/stores because the pseudo-language's slice
+// renames (`key[1:nrest] := key[1:n] where ...`) materialize through
+// memory, where the native code keeps packed vectors in registers. The gap
+// is therefore a measure of what the paper's *vectorizing compiler* was
+// worth beyond the algorithm itself.
+#include <algorithm>
+#include <iostream>
+
+#include "hashing/open_table.h"
+#include "lang/interp.h"
+#include "support/prng.h"
+#include "support/require.h"
+#include "support/table_printer.h"
+#include "vm/machine.h"
+
+namespace {
+
+constexpr const char* kFigure8 = R"(
+hashedValue[1 : n] := key[1 : n] mod size(table);
+where table[hashedValue[1 : n]] = unentered do
+  table[hashedValue[1 : n]] := key[1 : n];
+end where;
+for it in 1 .. size(table) loop
+  entered[1 : n] := key[1 : n] = table[hashedValue[1 : n]];
+  nrest := countTrue(not entered[1 : n]);
+  hashedValue[1 : nrest] := hashedValue[1 : n] where not entered[1 : n];
+  key[1 : nrest] := key[1 : n] where not entered[1 : n];
+  if nrest = 0 then exit loop; end if;
+  n := nrest;
+  hashedValue[1 : n] :=
+      (hashedValue[1 : n] + (key[1 : n] & 31) + 1) mod size(table);
+  where table[hashedValue[1 : n]] = unentered do
+    table[hashedValue[1 : n]] := key[1 : n];
+  end where;
+end loop;
+)";
+
+}  // namespace
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+  using vm::WordVec;
+  const vm::CostParams params = vm::CostParams::s810_like();
+  constexpr std::size_t kTableSize = 4099;
+
+  TablePrinter table({"load", "native_us", "listing_us", "overhead"});
+  for (double load : {0.1, 0.5, 0.9}) {
+    const auto n_keys = static_cast<std::size_t>(
+        load * static_cast<double>(kTableSize));
+    const WordVec keys = random_unique_keys(n_keys, 1 << 30, 3);
+
+    vm::VectorMachine m_native;
+    std::vector<Word> native_table(kTableSize, hashing::kUnentered);
+    hashing::multi_hash_open_insert(m_native, native_table, keys,
+                                    hashing::ProbeVariant::kKeyDependent);
+
+    vm::VectorMachine m_listing;
+    lang::Interpreter interp(m_listing);
+    interp.set_scalar("unentered", hashing::kUnentered);
+    interp.set_scalar("n", static_cast<Word>(n_keys));
+    interp.set_array("table", WordVec(kTableSize, hashing::kUnentered), 0);
+    interp.set_array("key", keys);
+    interp.set_array("hashedValue", WordVec(n_keys, 0));
+    interp.set_array("entered", WordVec(n_keys, 0));
+    interp.run(kFigure8);
+
+    FOLVEC_CHECK(interp.array("table").data ==
+                     WordVec(native_table.begin(), native_table.end()),
+                 "listing and native implementation diverged");
+
+    const double native_us = m_native.cost().microseconds(params);
+    const double listing_us = m_listing.cost().microseconds(params);
+    table.add_row({Cell(load, 1), Cell(native_us, 1), Cell(listing_us, 1),
+                   Cell(listing_us / native_us, 2)});
+    FOLVEC_CHECK(listing_us < native_us * 3.0,
+                 "interpretation overhead blew past 3x");
+  }
+  table.print(std::cout,
+              "Ablation: Figure 8 as an interpreted listing vs the native "
+              "implementation (N=4099)");
+  std::cout << "\nboth produce bit-identical tables; the gap is the cost of "
+               "materializing slice renames through memory instead of "
+               "registers\n";
+  return 0;
+}

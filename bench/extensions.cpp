@@ -1,0 +1,123 @@
+// Benchmarks for the extension features beyond the paper's evaluation:
+//   * N-queens (Kanada's earlier SIVP showcase, reference [7]) — pure
+//     index-vector breadth-first search, no FOL needed;
+//   * the O(n) sort family shootout — address calculation vs distribution
+//     counting vs the new stable LSD radix sort (ordered-FOL counting
+//     passes), showing where each algorithm's fixed costs pay off;
+//   * VectorHashMap batch upserts (the adoptable facade, with growth).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_harness/experiments.h"
+#include "hashing/hash_map.h"
+#include "queens/queens.h"
+#include "sorting/address_calc.h"
+#include "sorting/dist_count.h"
+#include "sorting/radix.h"
+#include "support/prng.h"
+#include "support/require.h"
+#include "support/table_printer.h"
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+  using vm::WordVec;
+  const vm::CostParams params = vm::CostParams::s810_like();
+
+  {
+    TablePrinter table({"N", "solutions", "scalar_us", "vector_us", "accel",
+                        "max_frontier"});
+    double best = 0;
+    for (std::size_t n = 6; n <= 11; ++n) {
+      vm::CostAccumulator scalar_acc;
+      const queens::QueensStats s = queens::count_scalar(n, &scalar_acc);
+      vm::VectorMachine m;
+      const queens::QueensStats v = queens::count_vector(m, n);
+      FOLVEC_CHECK(s.solutions == v.solutions, "queens counts disagree");
+      const double scalar_us = scalar_acc.microseconds(params);
+      const double vector_us = m.cost().microseconds(params);
+      best = std::max(best, scalar_us / vector_us);
+      table.add_row({Cell(static_cast<long long>(n)), Cell(v.solutions),
+                     Cell(scalar_us, 1), Cell(vector_us, 1),
+                     Cell(scalar_us / vector_us, 2), Cell(v.max_frontier)});
+    }
+    table.print(std::cout,
+                "Extension: N-queens, scalar backtracking vs SIVP "
+                "breadth-first (modeled S-810)");
+    FOLVEC_CHECK(best > 1.0, "SIVP queens must beat scalar at larger N");
+    std::cout << '\n';
+  }
+
+  {
+    TablePrinter table({"n", "addr-calc_us", "dist-count_us", "radix8_us",
+                        "winner"});
+    for (std::size_t n : {256u, 4096u, 65536u}) {
+      const Word bound = 1 << 16;
+      const auto data = random_keys(n, bound, n);
+      auto expected = data;
+      std::sort(expected.begin(), expected.end());
+
+      auto d1 = data;
+      vm::VectorMachine m1;
+      sorting::address_calc_sort_vector(m1, d1, bound);
+      auto d2 = data;
+      vm::VectorMachine m2;
+      sorting::dist_count_sort_vector(m2, d2, bound);
+      auto d3 = data;
+      vm::VectorMachine m3;
+      sorting::radix_sort_vector(m3, d3, 8);
+      FOLVEC_CHECK(d1 == expected && d2 == expected && d3 == expected,
+                   "a vectorized sort produced a wrong order");
+      const double t1 = m1.cost().microseconds(params);
+      const double t2 = m2.cost().microseconds(params);
+      const double t3 = m3.cost().microseconds(params);
+      const char* winner = t1 <= t2 && t1 <= t3   ? "addr-calc"
+                           : t2 <= t1 && t2 <= t3 ? "dist-count"
+                                                  : "radix";
+      table.add_row({Cell(static_cast<long long>(n)), Cell(t1, 1),
+                     Cell(t2, 1), Cell(t3, 1), winner});
+    }
+    table.print(std::cout,
+                "Extension: vectorized O(n) sort family, 16-bit keys "
+                "(modeled S-810)");
+    std::cout << "\nnote the radix blow-up at large n: a digit's expected "
+                 "multiplicity is n/256, and the ordered-FOL counting pass "
+                 "pays one round per duplicate (Theorem 6's regime) — "
+                 "per-duplicate serialization is the wrong tool once "
+                 "multiplicities are large, exactly as the paper's O(N^2) "
+                 "bound warns\n\n";
+  }
+
+  {
+    TablePrinter table(
+        {"batches", "batch_size", "final_size", "rehashes", "vector_us",
+         "us_per_op"});
+    for (std::size_t batch : {100u, 1000u, 10000u}) {
+      vm::VectorMachine m;
+      hashing::VectorHashMap map;
+      Xoshiro256 rng(batch);
+      const std::size_t n_batches = 8;
+      for (std::size_t b = 0; b < n_batches; ++b) {
+        WordVec keys(batch);
+        WordVec values(batch);
+        for (std::size_t i = 0; i < batch; ++i) {
+          keys[i] = rng.in_range(0, 1 << 24);
+          values[i] = static_cast<Word>(i);
+        }
+        map.upsert_batch(m, keys, values);
+      }
+      const double us = m.cost().microseconds(params);
+      const double ops = static_cast<double>(n_batches * batch);
+      table.add_row({Cell(static_cast<long long>(n_batches)),
+                     Cell(static_cast<long long>(batch)), Cell(map.size()),
+                     Cell(map.rehash_count()), Cell(us, 1),
+                     Cell(us / ops, 3)});
+    }
+    table.print(std::cout,
+                "Extension: VectorHashMap batch upserts with vectorized "
+                "growth (modeled S-810)");
+    std::cout << "\nper-op cost falls as batches grow: vector startup "
+                 "amortizes across the batch\n";
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Host wall-clock micro-benchmarks (google-benchmark) of the machine
+// primitives and the end-to-end kernels.
+//
+// These measure the *simulator's* throughput on the host, not the modeled
+// S-810 times the figure/table benches report — useful for keeping the
+// substrate itself fast and for spotting accidental complexity regressions
+// (e.g. the O(N^2) all-duplicates FOL1 case shows up directly here too).
+#include <benchmark/benchmark.h>
+
+#include "fol/fol1.h"
+#include "hashing/open_table.h"
+#include "sorting/address_calc.h"
+#include "sorting/dist_count.h"
+#include "support/prng.h"
+#include "tree/bst.h"
+#include "vm/machine.h"
+
+namespace {
+
+using folvec::random_keys;
+using folvec::random_unique_keys;
+using folvec::vm::VectorMachine;
+using folvec::vm::Word;
+using folvec::vm::WordVec;
+
+void BM_MachineGather(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m;
+  const WordVec table = m.iota(n);
+  const WordVec idx = random_keys(n, static_cast<Word>(n), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.gather(table, idx));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MachineGather)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_MachineScatter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m;
+  WordVec table(n, 0);
+  const WordVec idx = random_keys(n, static_cast<Word>(n), 2);
+  const WordVec vals = m.iota(n);
+  for (auto _ : state) {
+    m.scatter(table, idx, vals);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MachineScatter)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_MachineCompress(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m;
+  const WordVec v = m.iota(n);
+  const auto mask_words = random_keys(n, 2, 3);
+  folvec::vm::Mask mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = static_cast<std::uint8_t>(mask_words[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.compress(v, mask));
+  }
+}
+BENCHMARK(BM_MachineCompress)->Arg(1 << 14);
+
+void BM_Fol1UniqueLanes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WordVec targets(n);
+  for (std::size_t i = 0; i < n; ++i) targets[i] = static_cast<Word>(i);
+  WordVec work(n, 0);
+  for (auto _ : state) {
+    VectorMachine m;
+    benchmark::DoNotOptimize(folvec::fol::fol1_decompose(m, targets, work));
+  }
+}
+BENCHMARK(BM_Fol1UniqueLanes)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Fol1AllDuplicates(benchmark::State& state) {
+  // The Theorem 6 worst case: quadratic in the lane count.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const WordVec targets(n, 0);
+  WordVec work(1, 0);
+  for (auto _ : state) {
+    VectorMachine m;
+    benchmark::DoNotOptimize(folvec::fol::fol1_decompose(m, targets, work));
+  }
+}
+BENCHMARK(BM_Fol1AllDuplicates)->Arg(1 << 8)->Arg(1 << 10);
+
+void BM_MultiHashOpen(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto keys = random_unique_keys(size / 2, 1 << 30, 4);
+  for (auto _ : state) {
+    VectorMachine m;
+    std::vector<Word> table(size, folvec::hashing::kUnentered);
+    folvec::hashing::multi_hash_open_insert(
+        m, table, keys, folvec::hashing::ProbeVariant::kKeyDependent);
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_MultiHashOpen)->Arg(521)->Arg(4099);
+
+void BM_AddressCalcSortVector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_keys(n, 1 << 20, 5);
+  for (auto _ : state) {
+    VectorMachine m;
+    auto copy = data;
+    folvec::sorting::address_calc_sort_vector(m, copy, 1 << 20);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_AddressCalcSortVector)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DistCountSortVector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_keys(n, 1 << 16, 6);
+  for (auto _ : state) {
+    VectorMachine m;
+    auto copy = data;
+    folvec::sorting::dist_count_sort_vector(m, copy, 1 << 16);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_DistCountSortVector)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BstBulkInsert(benchmark::State& state) {
+  const auto ni = static_cast<std::size_t>(state.range(0));
+  const auto initial = random_keys(ni, 1 << 30, 7);
+  const auto batch = random_keys(512, 1 << 30, 8);
+  for (auto _ : state) {
+    VectorMachine m;
+    folvec::tree::Bst t(ni + 513);
+    for (Word k : initial) t.insert_scalar(k);
+    t.insert_bulk(m, batch);
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_BstBulkInsert)->Arg(128)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Example: canonicalizing expression trees with parallel rewriting (FOL*).
+//
+// A symbolic-algebra or compiler pass often normalizes associative
+// operators to a canonical (left-deep) shape before common-subexpression
+// elimination. This example builds expression trees, rewrites them to
+// left-deep form with the FOL*-based vector rewriter, and shows the two
+// regimes: independent redexes vectorize, chained redexes serialize (the
+// paper's Figure 5 conflict, and its Section 3.3 caveat).
+#include <iostream>
+
+#include "rewrite/assoc_rewrite.h"
+#include "rewrite/term.h"
+#include "support/prng.h"
+#include "vm/machine.h"
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+
+  // Small demo: the paper's own tree a*(b*(c*d)) (Figure 5).
+  {
+    rewrite::TermArena arena;
+    const Word root = rewrite::build_right_comb(arena, 4);
+    std::cout << "input:      " << arena.to_string(root) << "\n";
+    vm::VectorMachine m;
+    const rewrite::RewriteStats stats =
+        rewrite::assoc_rewrite_vector(m, arena, root);
+    std::cout << "normalized: " << arena.to_string(root) << "  ("
+              << stats.rewrites << " rewrites in " << stats.sweeps
+              << " sweeps)\n\n";
+  }
+
+  // Larger trees: count how much parallelism each shape exposes.
+  for (const bool chained : {false, true}) {
+    rewrite::TermArena arena;
+    Xoshiro256 rng(7);
+    const std::size_t leaves = 256;
+    const Word root = chained
+                          ? rewrite::build_right_comb(arena, leaves)
+                          : rewrite::build_random_tree(arena, leaves, rng);
+    const std::size_t depth_before = arena.depth(root);
+
+    vm::VectorMachine m;
+    const rewrite::RewriteStats stats =
+        rewrite::assoc_rewrite_vector(m, arena, root);
+
+    if (!arena.is_left_deep(root)) {
+      std::cout << "normalization FAILED\n";
+      return 1;
+    }
+    const double rewrites_per_sweep =
+        static_cast<double>(stats.rewrites) /
+        static_cast<double>(stats.sweeps == 0 ? 1 : stats.sweeps);
+    std::cout << (chained ? "chained (right comb)" : "random shape    ")
+              << ": depth " << depth_before << " -> " << arena.depth(root)
+              << ", " << stats.rewrites << " rewrites, " << stats.sweeps
+              << " sweeps, " << rewrites_per_sweep
+              << " parallel rewrites/sweep\n";
+  }
+  std::cout << "\nchained redexes overlap pairwise (Figure 5's shared n3), "
+               "so each sweep can fire only one of them -- the Section 3.3 "
+               "caveat in action; random shapes expose real parallelism.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: the shared-data hazard and the FOL cure, in 80 lines.
+//
+// Scenario (paper Figure 4): eight updates arrive for five storage cells;
+// some cells are hit several times. A data-parallel machine that simply
+// scatters all eight updates loses the colliding ones. FOL1 splits the
+// update lanes into conflict-free generations that can each run as one
+// vector operation — and the number of generations is provably minimal.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <iostream>
+
+#include "fol/fol1.h"
+#include "fol/invariants.h"
+#include "vm/machine.h"
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+  using vm::WordVec;
+
+  // Eight updates; lanes 0/2/5 hit cell 1, lanes 3/4 hit cell 4.
+  const WordVec target_cell{1, 0, 1, 4, 4, 1, 2, 3};
+  const WordVec update_value{10, 11, 12, 13, 14, 15, 16, 17};
+  std::vector<Word> cells(5, 0);
+
+  vm::VectorMachine m;
+
+  // --- The hazard: forced vectorization drops colliding updates. --------
+  // Suppose each update must *accumulate* (cell += value). A single
+  // gather-add-scatter loses work: the three lanes aimed at cell 1 all read
+  // the same old value, and only one of their writes survives.
+  {
+    std::vector<Word> broken = cells;
+    const WordVec old_vals = m.gather(broken, target_cell);
+    const WordVec new_vals = m.add(old_vals, update_value);
+    m.scatter(broken, target_cell, new_vals);
+    Word total = 0;
+    for (Word c : broken) total += c;
+    std::cout << "forced vectorization: cells sum to " << total
+              << " (should be 108) -- two colliding updates were lost\n";
+  }
+
+  // --- The cure: FOL1 splits the lanes into conflict-free sets. ----------
+  std::vector<Word> work(cells.size(), 0);
+  const fol::Decomposition dec = fol::fol1_decompose(m, target_cell, work);
+
+  std::cout << "\nFOL1 produced " << dec.rounds()
+            << " parallel-processable sets:\n";
+  for (std::size_t j = 0; j < dec.rounds(); ++j) {
+    std::cout << "  S" << j + 1 << " = lanes {";
+    for (std::size_t i = 0; i < dec.sets[j].size(); ++i) {
+      std::cout << (i ? ", " : " ") << dec.sets[j][i];
+    }
+    std::cout << " }\n";
+  }
+
+  // Each set is duplicate-free, so gather-add-scatter is now safe; the sets
+  // run one after another, exactly as the paper prescribes.
+  for (const auto& set : dec.sets) {
+    WordVec idx(set.size());
+    WordVec val(set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      idx[i] = target_cell[set[i]];
+      val[i] = update_value[set[i]];
+    }
+    const WordVec old_vals = m.gather(cells, idx);
+    m.scatter(cells, idx, m.add(old_vals, val));
+  }
+  Word total = 0;
+  for (Word c : cells) total += c;
+  std::cout << "\nwith FOL1: cells sum to " << total << " (correct)\n";
+
+  // The guarantees of Section 3.2, checked at runtime:
+  std::cout << "theorems hold: "
+            << (fol::satisfies_all_theorems(dec, target_cell) ? "yes" : "NO")
+            << " (disjoint cover, conflict-free sets, minimal set count, "
+               "non-increasing sizes)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Example: an O(n) sorting pipeline for database keys.
+//
+// The paper positions address-calculation sorting and distribution counting
+// sort as database primitives (the IDP lineage). This example sorts a batch
+// of synthetic record keys with both vectorized sorts, verifies them
+// against std::sort, and prints the modeled S-810 cost of each stage —
+// showing where each algorithm's sweet spot lies (distribution counting
+// amortizes a large fixed histogram; address calculation scales with n
+// only).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "sorting/address_calc.h"
+#include "sorting/dist_count.h"
+#include "support/prng.h"
+#include "support/table_printer.h"
+#include "vm/machine.h"
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+
+  const vm::CostParams params = vm::CostParams::s810_like();
+  constexpr Word kKeyRange = 1 << 16;  // 16-bit record keys
+
+  TablePrinter report({"n", "addr-calc_us", "dist-count_us", "better"});
+  for (std::size_t n : {100u, 1000u, 10000u, 60000u}) {
+    std::vector<Word> keys = random_keys(n, kKeyRange, n);
+    const std::vector<Word> original = keys;
+    std::vector<Word> expected = keys;
+    std::sort(expected.begin(), expected.end());
+
+    // Stage 1: address-calculation (linear probing) sort.
+    vm::VectorMachine m_acs;
+    sorting::address_calc_sort_vector(m_acs, keys, kKeyRange);
+    if (keys != expected) {
+      std::cout << "address-calc sort FAILED\n";
+      return 1;
+    }
+    const double acs_us = m_acs.cost().microseconds(params);
+
+    // Stage 2: distribution counting sort on a fresh copy.
+    std::vector<Word> keys2 = original;
+    vm::VectorMachine m_dcs;
+    sorting::dist_count_sort_vector(m_dcs, keys2, kKeyRange);
+    if (keys2 != expected) {
+      std::cout << "distribution counting sort FAILED\n";
+      return 1;
+    }
+    const double dcs_us = m_dcs.cost().microseconds(params);
+
+    report.add_row({Cell(static_cast<long long>(n)), Cell(acs_us, 1),
+                    Cell(dcs_us, 1),
+                    acs_us < dcs_us ? "addr-calc" : "dist-count"});
+  }
+  report.print(std::cout,
+               "modeled cost of the two vectorized O(n) sorts "
+               "(key range 2^16)");
+  std::cout
+      << "\ncrossover logic: distribution counting pays a fixed 2^16-slot\n"
+         "histogram init+scan regardless of n, so address calculation wins\n"
+         "small batches and distribution counting wins once n approaches\n"
+         "the key range.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Example: bulk-loading a compiler symbol table / word-count index.
+//
+// The paper's motivating domain is symbolic processing — Lisp/Prolog
+// runtimes, databases, compilers — where hash tables are built from streams
+// of *duplicated* symbols. This example interns a token stream into the
+// FOL1-based chaining hash table (Figure 7) in one vectorized batch, then
+// answers frequency queries, and cross-checks against sequential inserts.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hashing/chain_table.h"
+#include "vm/machine.h"
+
+namespace {
+
+// A toy tokenizer: symbols are words; the "symbol id" is a stable integer
+// assigned on first sight (what a real compiler's interner produces before
+// the hash step).
+std::vector<std::string> tokenize(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  std::string word;
+  while (in >> word) {
+    std::erase_if(word, [](char c) { return c == ',' || c == '.'; });
+    if (!word.empty()) tokens.push_back(word);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+int main() {
+  using namespace folvec;
+  using vm::Word;
+
+  const std::string source =
+      "the quick brown fox jumps over the lazy dog . "
+      "the dog barks , the fox runs , the compiler parses the source . "
+      "vector processing of shared symbolic data needs the "
+      "filtering overwritten label method , the paper says . "
+      "the the the convoy of duplicate symbols stresses the hash table .";
+
+  const std::vector<std::string> tokens = tokenize(source);
+
+  // Map words to dense symbol ids (order of first appearance).
+  std::map<std::string, Word> symbol_ids;
+  std::vector<std::string> id_to_word;
+  std::vector<Word> stream;
+  stream.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    auto [it, inserted] =
+        symbol_ids.try_emplace(t, static_cast<Word>(id_to_word.size()));
+    if (inserted) id_to_word.push_back(t);
+    stream.push_back(it->second);
+  }
+  std::cout << tokens.size() << " tokens, " << id_to_word.size()
+            << " distinct symbols\n\n";
+
+  // Bulk-load the chaining table: one vectorized batch, duplicates and all.
+  // (The repeated "the" lanes all hash to one chain entry — the exact
+  // shared-element hazard FOL1 untangles.)
+  vm::VectorMachine m;
+  hashing::ChainTable table(31, stream.size());
+  hashing::multi_hash_chain_insert(m, table, stream);
+
+  // Sequential reference.
+  hashing::ChainTable reference(31, stream.size());
+  for (Word s : stream) reference.insert_scalar(s);
+
+  std::cout << "word frequencies (vectorized bulk load == sequential?):\n";
+  std::vector<std::pair<std::string, std::size_t>> freq;
+  for (const auto& [word, id] : symbol_ids) {
+    const std::size_t n = table.count(id);
+    if (n != reference.count(id)) {
+      std::cout << "MISMATCH for '" << word << "'\n";
+      return 1;
+    }
+    freq.emplace_back(word, n);
+  }
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  for (std::size_t i = 0; i < freq.size() && i < 8; ++i) {
+    std::cout << "  " << freq[i].first << ": " << freq[i].second << "\n";
+  }
+
+  std::cout << "\nvector-unit work for the bulk load:\n"
+            << m.cost().breakdown(vm::CostParams::s810_like());
+  return 0;
+}

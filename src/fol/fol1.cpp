@@ -1,0 +1,82 @@
+#include "fol/fol1.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace folvec::fol {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+Decomposition fol1_decompose(VectorMachine& m,
+                             std::span<const Word> index_vector,
+                             std::span<Word> work) {
+  Decomposition out;
+  if (index_vector.empty()) return out;
+
+  // Step 0 (preprocessing): labels are the lane positions, the "most easily
+  // computable" unique labels per the paper's footnote 6. Positions stay
+  // attached to their lanes across rounds so the final sets report original
+  // lane numbers.
+  WordVec remaining_idx = m.copy(index_vector);
+  WordVec remaining_pos = m.iota(index_vector.size());
+
+  const std::size_t max_rounds = index_vector.size();
+  while (!remaining_idx.empty()) {
+    FOLVEC_CHECK(out.sets.size() < max_rounds,
+                 "FOL1 failed to terminate within N rounds; the scatter "
+                 "substrate violates the ELS condition");
+
+    // Step 1 (writing labels): one list-vector store. The lane positions are
+    // globally unique, so they double as this round's labels.
+    m.scatter(work, remaining_idx, remaining_pos);
+
+    // Step 2 (detection of overwriting): read back through the same indices
+    // and keep the lanes whose label survived.
+    const WordVec readback = m.gather(work, remaining_idx);
+    const Mask survived = m.eq(readback, remaining_pos);
+    const std::size_t n_survived = m.count_true(survived);
+    FOLVEC_CHECK(n_survived > 0,
+                 "FOL1 round produced an empty set: a contested work word "
+                 "holds none of the written labels (ELS violation)");
+
+    const WordVec winners = m.compress(remaining_pos, survived);
+    std::vector<std::size_t> set;
+    set.reserve(winners.size());
+    for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    out.sets.push_back(std::move(set));
+
+    // Step 3 (updating control variables): drop the assigned lanes.
+    const Mask contested = m.mask_not(survived);
+    remaining_idx = m.compress(remaining_idx, contested);
+    remaining_pos = m.compress(remaining_pos, contested);
+  }
+  return out;
+}
+
+Decomposition fol1_decompose_plain(std::span<const Word> index_vector) {
+  Word max_index = -1;
+  for (Word v : index_vector) {
+    FOLVEC_REQUIRE(v >= 0, "index vector elements must be non-negative");
+    max_index = std::max(max_index, v);
+  }
+  WordVec work(static_cast<std::size_t>(max_index + 1), 0);
+  VectorMachine m;
+  return fol1_decompose(m, index_vector, work);
+}
+
+std::vector<std::size_t> fol1_round_of_lane(VectorMachine& m,
+                                            std::span<const Word> index_vector,
+                                            std::span<Word> work) {
+  const Decomposition dec = fol1_decompose(m, index_vector, work);
+  std::vector<std::size_t> round(index_vector.size(), 0);
+  for (std::size_t j = 0; j < dec.sets.size(); ++j) {
+    for (std::size_t lane : dec.sets[j]) round[lane] = j;
+  }
+  return round;
+}
+
+}  // namespace folvec::fol

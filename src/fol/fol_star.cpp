@@ -1,0 +1,95 @@
+#include "fol/fol_star.h"
+
+#include "support/require.h"
+
+namespace folvec::fol {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+StarDecomposition fol_star_decompose(VectorMachine& m,
+                                     std::span<const WordVec> index_vectors,
+                                     std::span<Word> work,
+                                     std::size_t max_rounds) {
+  StarDecomposition out;
+  const std::size_t num_lanes = index_vectors.size();
+  FOLVEC_REQUIRE(num_lanes > 0, "FOL* needs at least one index vector");
+  const std::size_t n0 = index_vectors[0].size();
+  for (const auto& v : index_vectors) {
+    FOLVEC_REQUIRE(v.size() == n0, "all index vectors must have equal length");
+  }
+  if (n0 == 0) return out;
+
+  // Step 0: globally-unique labels. Tuple position p, lane k gets label
+  // k*n0 + p; positions are carried through the rounds unchanged so labels
+  // stay unique and sets report original tuple numbers.
+  std::vector<WordVec> remaining(num_lanes);
+  for (std::size_t k = 0; k < num_lanes; ++k) {
+    remaining[k] = m.copy(index_vectors[k]);
+  }
+  WordVec positions = m.iota(n0);
+
+  const auto lane_label = [n0](std::size_t k, Word pos) {
+    return static_cast<Word>(k) * static_cast<Word>(n0) + pos;
+  };
+
+  while (!positions.empty()) {
+    if (max_rounds != 0 && out.sets.size() == max_rounds) {
+      out.unassigned = positions.size();
+      break;
+    }
+    const std::size_t n = positions.size();
+
+    // Step 1: scatter each lane's labels (vector), then re-write the last
+    // tuple's labels with scalar stores, in lane order, so the last tuple
+    // survives any cross-tuple conflict.
+    std::vector<WordVec> labels(num_lanes);
+    for (std::size_t k = 0; k < num_lanes; ++k) {
+      labels[k] =
+          m.add_scalar(positions, static_cast<Word>(k) * static_cast<Word>(n0));
+      m.scatter(work, remaining[k], labels[k]);
+    }
+    for (std::size_t k = 0; k < num_lanes; ++k) {
+      const auto target = static_cast<std::size_t>(remaining[k][n - 1]);
+      work[target] = lane_label(k, positions[n - 1]);
+      m.scalar_mem();
+    }
+
+    // Step 2: a tuple survives only if every lane's label survived.
+    Mask tuple_ok;
+    for (std::size_t k = 0; k < num_lanes; ++k) {
+      const WordVec readback = m.gather(work, remaining[k]);
+      const Mask lane_ok = m.eq(readback, labels[k]);
+      tuple_ok = (k == 0) ? lane_ok : m.mask_and(tuple_ok, lane_ok);
+    }
+
+    std::size_t n_ok = m.count_true(tuple_ok);
+    const bool rescued_by_scalar = tuple_ok[n - 1] != 0;
+    if (n_ok == 0) {
+      // The last tuple self-conflicts; force it out as a singleton.
+      tuple_ok[n - 1] = 1;
+      n_ok = 1;
+      ++out.forced_singletons;
+    } else if (rescued_by_scalar && n_ok == 1) {
+      ++out.scalar_rescues;
+    }
+
+    const WordVec winners = m.compress(positions, tuple_ok);
+    std::vector<std::size_t> set;
+    set.reserve(winners.size());
+    for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    out.sets.push_back(std::move(set));
+
+    // Step 3: drop the assigned tuples from every lane.
+    const Mask contested = m.mask_not(tuple_ok);
+    for (std::size_t k = 0; k < num_lanes; ++k) {
+      remaining[k] = m.compress(remaining[k], contested);
+    }
+    positions = m.compress(positions, contested);
+  }
+  return out;
+}
+
+}  // namespace folvec::fol

@@ -1,0 +1,64 @@
+#include "fol/invariants.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace folvec::fol {
+
+bool is_disjoint_cover(const Decomposition& d, std::size_t n) {
+  std::vector<char> seen(n, 0);
+  std::size_t total = 0;
+  for (const auto& set : d.sets) {
+    for (std::size_t lane : set) {
+      if (lane >= n || seen[lane]) return false;
+      seen[lane] = 1;
+      ++total;
+    }
+  }
+  return total == n;
+}
+
+bool sets_are_conflict_free(const Decomposition& d,
+                            std::span<const vm::Word> index_vector) {
+  for (const auto& set : d.sets) {
+    std::unordered_set<vm::Word> targets;
+    targets.reserve(set.size());
+    for (std::size_t lane : set) {
+      if (lane >= index_vector.size()) return false;
+      if (!targets.insert(index_vector[lane]).second) return false;
+    }
+  }
+  return true;
+}
+
+bool sizes_non_increasing(const Decomposition& d) {
+  for (std::size_t j = 1; j < d.sets.size(); ++j) {
+    if (d.sets[j].size() > d.sets[j - 1].size()) return false;
+  }
+  return true;
+}
+
+std::size_t max_multiplicity(std::span<const vm::Word> index_vector) {
+  std::unordered_map<vm::Word, std::size_t> counts;
+  counts.reserve(index_vector.size());
+  std::size_t max_count = 0;
+  for (vm::Word v : index_vector) {
+    max_count = std::max(max_count, ++counts[v]);
+  }
+  return max_count;
+}
+
+bool is_minimal(const Decomposition& d,
+                std::span<const vm::Word> index_vector) {
+  return d.rounds() == max_multiplicity(index_vector);
+}
+
+bool satisfies_all_theorems(const Decomposition& d,
+                            std::span<const vm::Word> index_vector) {
+  return is_disjoint_cover(d, index_vector.size()) &&
+         sets_are_conflict_free(d, index_vector) && sizes_non_increasing(d) &&
+         is_minimal(d, index_vector);
+}
+
+}  // namespace folvec::fol

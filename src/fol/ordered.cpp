@@ -1,0 +1,72 @@
+#include "fol/ordered.h"
+
+#include "support/require.h"
+
+namespace folvec::fol {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+Decomposition fol1_decompose_ordered(VectorMachine& m,
+                                     std::span<const Word> index_vector,
+                                     std::span<Word> work) {
+  Decomposition out;
+  if (index_vector.empty()) return out;
+
+  WordVec remaining_idx = m.copy(index_vector);
+  WordVec remaining_pos = m.iota(index_vector.size());
+
+  const std::size_t max_rounds = index_vector.size();
+  while (!remaining_idx.empty()) {
+    FOLVEC_CHECK(out.sets.size() < max_rounds,
+                 "ordered FOL1 failed to terminate within N rounds");
+
+    // Ordered (VSTX) scatter of the labels in reverse lane order: the last
+    // store wins deterministically, so each contested work word ends up
+    // holding its earliest remaining occurrence's label.
+    const WordVec rev_idx = m.reverse(remaining_idx);
+    const WordVec rev_labels = m.reverse(remaining_pos);
+    m.scatter_ordered(work, rev_idx, rev_labels);
+
+    const WordVec readback = m.gather(work, remaining_idx);
+    const Mask survived = m.eq(readback, remaining_pos);
+    const std::size_t n_survived = m.count_true(survived);
+    FOLVEC_CHECK(n_survived > 0,
+                 "ordered FOL1 round produced an empty set");
+
+    const WordVec winners = m.compress(remaining_pos, survived);
+    std::vector<std::size_t> set;
+    set.reserve(winners.size());
+    for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    out.sets.push_back(std::move(set));
+
+    const Mask contested = m.mask_not(survived);
+    remaining_idx = m.compress(remaining_idx, contested);
+    remaining_pos = m.compress(remaining_pos, contested);
+  }
+  return out;
+}
+
+std::size_t replay_journal(VectorMachine& m, std::span<const Word> targets,
+                           std::span<const Word> values,
+                           std::span<Word> work, std::span<Word> table) {
+  FOLVEC_REQUIRE(targets.size() == values.size(),
+                 "journal targets/values must have equal length");
+  const Decomposition dec = fol1_decompose_ordered(m, targets, work);
+  for (const auto& set : dec.sets) {
+    WordVec idx(set.size());
+    WordVec val(set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      idx[i] = targets[set[i]];
+      val[i] = values[set[i]];
+    }
+    // Conflict-free within the set (Lemma 2), so the plain ELS scatter is
+    // safe here; ordering across sets is what preserves replay order.
+    m.scatter(table, idx, val);
+  }
+  return dec.rounds();
+}
+
+}  // namespace folvec::fol

@@ -1,0 +1,44 @@
+// The overwrite-and-check primitive: the simplified FOL of paper
+// Section 3.2's closing remark.
+//
+// When the values the main processing wants to write are themselves unique,
+// they can serve directly as FOL labels, fusing the label-write with the
+// main processing: scatter the values, gather them back, and the lanes whose
+// value survived have *completed* their store — no separate label pass. The
+// open-addressing multiple-hash (Figure 8) and the address-calculation sort
+// (Figure 12) are both built on this primitive.
+#pragma once
+
+#include <span>
+
+#include "vm/machine.h"
+
+namespace folvec::fol {
+
+/// Scatters `vals` through `idx` into `table`, gathers back, and returns the
+/// mask of lanes whose value survived. Lanes with duplicate values are the
+/// caller's responsibility: two lanes writing the *same* value to the same
+/// address both appear to survive (which is harmless exactly when values are
+/// unique per address, the documented precondition of this simplification).
+inline vm::Mask overwrite_and_check(vm::VectorMachine& m,
+                                    std::span<vm::Word> table,
+                                    std::span<const vm::Word> idx,
+                                    std::span<const vm::Word> vals) {
+  m.scatter(table, idx, vals);
+  const vm::WordVec readback = m.gather(table, idx);
+  return m.eq(readback, vals);
+}
+
+/// Masked variant: lanes with `active[i]` false neither store nor check
+/// (their result mask entry is false).
+inline vm::Mask overwrite_and_check_masked(vm::VectorMachine& m,
+                                           std::span<vm::Word> table,
+                                           std::span<const vm::Word> idx,
+                                           std::span<const vm::Word> vals,
+                                           const vm::Mask& active) {
+  m.scatter_masked(table, idx, vals, active);
+  const vm::WordVec readback = m.gather(table, idx);
+  return m.mask_and(m.eq(readback, vals), active);
+}
+
+}  // namespace folvec::fol

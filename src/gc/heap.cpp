@@ -1,0 +1,191 @@
+#include "gc/heap.h"
+
+#include <set>
+#include <utility>
+
+#include "support/require.h"
+
+namespace folvec::gc {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+/// Forwarding word value meaning "not yet evacuated".
+constexpr Word kUnforwarded = -1;
+
+}  // namespace
+
+ConsHeap::ConsHeap(std::size_t semispace_cells)
+    : semispace_(semispace_cells),
+      car_(semispace_cells, kNilValue),
+      cdr_(semispace_cells, kNilValue),
+      to_car_(semispace_cells, kNilValue),
+      to_cdr_(semispace_cells, kNilValue),
+      forward_(semispace_cells, kUnforwarded) {
+  FOLVEC_REQUIRE(semispace_cells > 0, "heap capacity must be positive");
+}
+
+std::size_t ConsHeap::check(Word cell) const {
+  FOLVEC_REQUIRE(cell >= 0 && static_cast<std::size_t>(cell) < alloc_,
+                 "cell index out of range");
+  return static_cast<std::size_t>(cell);
+}
+
+Word ConsHeap::alloc(Word car, Word cdr) {
+  FOLVEC_REQUIRE(alloc_ < semispace_, "semispace full: collect first");
+  car_[alloc_] = car;
+  cdr_[alloc_] = cdr;
+  return static_cast<Word>(alloc_++);
+}
+
+void ConsHeap::flip() {
+  car_.swap(to_car_);
+  cdr_.swap(to_cdr_);
+  std::fill(forward_.begin(), forward_.end(), kUnforwarded);
+}
+
+GcStats ConsHeap::collect_scalar(std::span<Word> roots,
+                                 vm::CostAccumulator* cost) {
+  GcStats stats;
+  vm::ScalarCost sc(cost);
+  std::size_t to_alloc = 0;
+  std::size_t scan = 0;
+
+  // Evacuate one tagged value: returns the updated value.
+  auto forward_value = [&](Word v) -> Word {
+    sc.alu(2);
+    sc.branch(2);
+    if (!is_pointer(v)) return v;
+    const auto cell = static_cast<std::size_t>(pointer_cell(v));
+    sc.mem(1);
+    if (forward_[cell] == kUnforwarded) {
+      to_car_[to_alloc] = car_[cell];
+      to_cdr_[to_alloc] = cdr_[cell];
+      forward_[cell] = static_cast<Word>(to_alloc);
+      ++to_alloc;
+      sc.mem(5);
+      sc.alu(1);
+    }
+    sc.mem(1);
+    return make_pointer(forward_[cell]);
+  };
+
+  for (auto& r : roots) r = forward_value(r);
+  while (scan < to_alloc) {
+    to_car_[scan] = forward_value(to_car_[scan]);
+    to_cdr_[scan] = forward_value(to_cdr_[scan]);
+    ++scan;
+    sc.mem(4);
+    sc.branch(1);
+    sc.alu(1);
+  }
+
+  stats.live_cells = to_alloc;
+  alloc_ = to_alloc;
+  flip();
+  return stats;
+}
+
+GcStats ConsHeap::collect_vector(VectorMachine& m, std::span<Word> roots) {
+  GcStats stats;
+  std::size_t to_alloc = 0;
+
+  // Forwards one batch of tagged slot values; returns the rewritten batch.
+  // Duplicate claims on one from-space cell are resolved with a single
+  // overwrite-and-check round (the "very specialized FOL" of Section 5):
+  // losers simply follow the winner's forwarding pointer.
+  auto forward_batch = [&](const WordVec& vals) -> WordVec {
+    if (vals.empty()) return vals;
+    const Mask not_nil = m.ne_scalar(vals, kNilValue);
+    const Mask even = m.eq_scalar(m.and_scalar(vals, 1), 0);
+    const Mask is_ptr = m.mask_and(not_nil, even);
+    if (m.count_true(is_ptr) == 0) return vals;
+    const WordVec cells = m.div_scalar(vals, 2);
+
+    const WordVec fwd0 = m.gather_masked(forward_, cells, is_ptr, 0);
+    const Mask unforwarded =
+        m.mask_and(is_ptr, m.eq_scalar(fwd0, kUnforwarded));
+    const std::size_t n_unforwarded = m.count_true(unforwarded);
+    if (n_unforwarded > 0) {
+      // Claim labels are negative and distinct from kUnforwarded, so they
+      // can never be mistaken for a real to-space index.
+      const WordVec labels = m.negate(m.add_scalar(m.iota(vals.size()), 2));
+      m.scatter_masked(forward_, cells, labels, unforwarded);
+      const WordVec readback = m.gather_masked(forward_, cells, unforwarded,
+                                               0);
+      const Mask winner = m.mask_and(m.eq(readback, labels), unforwarded);
+      const std::size_t n_win = m.count_true(winner);
+      FOLVEC_CHECK(n_win > 0, "evacuation claim produced no winner");
+      stats.claim_conflicts += n_unforwarded - n_win;
+
+      const WordVec win_cells = m.compress(cells, winner);
+      const WordVec new_cells =
+          m.iota(n_win, static_cast<Word>(to_alloc));
+      m.scatter(forward_, win_cells, new_cells);
+      m.store(to_car_, to_alloc, m.gather(car_, win_cells));
+      m.store(to_cdr_, to_alloc, m.gather(cdr_, win_cells));
+      to_alloc += n_win;
+    }
+
+    // Everyone re-reads the (now complete) forwarding pointers.
+    const WordVec fwd = m.gather_masked(forward_, cells, is_ptr, 0);
+    return m.select(is_ptr, m.mul_scalar(fwd, 2), vals);
+  };
+
+  // Roots first.
+  {
+    const WordVec rewritten = forward_batch(m.copy(roots));
+    if (!rewritten.empty()) {
+      m.store(roots, 0, rewritten);
+    }
+  }
+
+  // Cheney scan: each pass rewrites the car and cdr slots of every cell
+  // copied but not yet scanned (a contiguous to-space region).
+  std::size_t scan = 0;
+  while (scan < to_alloc) {
+    ++stats.scan_passes;
+    const std::size_t batch = to_alloc - scan;
+    m.store(to_car_, scan, forward_batch(m.load(to_car_, scan, batch)));
+    m.store(to_cdr_, scan, forward_batch(m.load(to_cdr_, scan, batch)));
+    scan += batch;
+  }
+
+  stats.live_cells = to_alloc;
+  alloc_ = to_alloc;
+  flip();
+  return stats;
+}
+
+bool ConsHeap::deep_equal(const ConsHeap& a, Word va, const ConsHeap& b,
+                          Word vb) {
+  std::set<std::pair<Word, Word>> visited;
+  std::vector<std::pair<Word, Word>> stack{{va, vb}};
+  while (!stack.empty()) {
+    const auto [x, y] = stack.back();
+    stack.pop_back();
+    if (is_nil(x) || is_nil(y)) {
+      if (x != y) return false;
+      continue;
+    }
+    if (is_immediate(x) || is_immediate(y)) {
+      if (x != y) return false;
+      continue;
+    }
+    // Both pointers.
+    if (!visited.insert({x, y}).second) continue;
+    const Word ca = a.car(pointer_cell(x));
+    const Word cb = b.car(pointer_cell(y));
+    const Word da = a.cdr(pointer_cell(x));
+    const Word db = b.cdr(pointer_cell(y));
+    stack.emplace_back(ca, cb);
+    stack.emplace_back(da, db);
+  }
+  return true;
+}
+
+}  // namespace folvec::gc

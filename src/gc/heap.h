@@ -1,0 +1,97 @@
+// Cons-cell heap with scalar and vectorized semispace (copying) garbage
+// collection.
+//
+// Appel & Bendiksen's vectorized garbage collector (J. Supercomputing,
+// 1989) is cited by the paper (Section 5) as implicitly containing "a very
+// specialized version of FOL": during the Cheney scan, several live slots
+// can point at the *same* from-space cell, and all of them race to claim
+// its to-space copy. The resolution is exactly one overwrite-and-check
+// round — scatter claim labels into the forwarding words, read back, let
+// the winners evacuate, and let the losers re-read the winner's forwarding
+// pointer. Only the first parallel-processable set S1 is ever needed,
+// because losers don't retry the *claim*; they just follow the forwarding
+// pointer, which is why the paper calls it a specialization.
+//
+// Word tagging: a heap value is either an immediate (odd: 2x+1, holding
+// integer x) or a pointer (even: 2i, referring to cell i), with kNilValue
+// representing the empty list. This keeps car/cdr in plain Word arrays so
+// the vector collector can gather/scatter them directly.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::gc {
+
+/// Dedicated nil encoding (an immediate the tagging scheme cannot produce).
+inline constexpr vm::Word kNilValue = std::numeric_limits<vm::Word>::min();
+
+constexpr vm::Word make_immediate(vm::Word x) { return 2 * x + 1; }
+constexpr vm::Word make_pointer(vm::Word cell) { return 2 * cell; }
+constexpr bool is_nil(vm::Word v) { return v == kNilValue; }
+constexpr bool is_immediate(vm::Word v) { return !is_nil(v) && (v & 1) != 0; }
+constexpr bool is_pointer(vm::Word v) { return !is_nil(v) && (v & 1) == 0; }
+constexpr vm::Word immediate_value(vm::Word v) { return (v - 1) / 2; }
+constexpr vm::Word pointer_cell(vm::Word v) { return v / 2; }
+
+struct GcStats {
+  std::size_t live_cells = 0;   ///< cells evacuated
+  std::size_t scan_passes = 0;  ///< Cheney scan steps (vector collector)
+  std::size_t claim_conflicts = 0;  ///< lanes that lost an evacuation claim
+};
+
+/// A semispace cons heap. Allocation bump-pointers through the active
+/// space; collect() evacuates the cells reachable from the root set.
+class ConsHeap {
+ public:
+  /// `semispace_cells` is the capacity of EACH semispace.
+  explicit ConsHeap(std::size_t semispace_cells);
+
+  /// Allocates a cons cell; car/cdr are tagged values. Throws when the
+  /// active semispace is full (callers collect and retry).
+  vm::Word alloc(vm::Word car, vm::Word cdr);
+
+  vm::Word car(vm::Word cell) const { return car_[check(cell)]; }
+  vm::Word cdr(vm::Word cell) const { return cdr_[check(cell)]; }
+  void set_car(vm::Word cell, vm::Word v) { car_[check(cell)] = v; }
+  void set_cdr(vm::Word cell, vm::Word v) { cdr_[check(cell)] = v; }
+
+  std::size_t allocated() const { return alloc_; }
+  std::size_t capacity() const { return semispace_; }
+
+  /// Sequential Cheney collection. Roots are tagged values and are updated
+  /// in place to point into the new space.
+  GcStats collect_scalar(std::span<vm::Word> roots,
+                         vm::CostAccumulator* cost = nullptr);
+
+  /// Vectorized Cheney collection: breadth-first scan where each pass
+  /// evacuates all pending pointers with gathers/scatters, resolving
+  /// duplicate claims with one overwrite-and-check round.
+  GcStats collect_vector(vm::VectorMachine& m, std::span<vm::Word> roots);
+
+  /// Deep structural equality of two tagged values (possibly across two
+  /// heaps); shared subtrees are compared structurally. For tests.
+  static bool deep_equal(const ConsHeap& a, vm::Word va, const ConsHeap& b,
+                         vm::Word vb);
+
+ private:
+  std::size_t check(vm::Word cell) const;
+  void flip();
+
+  std::size_t semispace_;
+  std::size_t alloc_ = 0;  ///< bump pointer within the active space
+  std::vector<vm::Word> car_;
+  std::vector<vm::Word> cdr_;
+  // The inactive space, used as the target during collection.
+  std::vector<vm::Word> to_car_;
+  std::vector<vm::Word> to_cdr_;
+  // Forwarding words, one per from-space cell (kUnforwarded when unclaimed).
+  std::vector<vm::Word> forward_;
+};
+
+}  // namespace folvec::gc

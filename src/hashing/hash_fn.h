@@ -1,0 +1,35 @@
+// Hash functions used by the multiple-hashing algorithms.
+//
+// The paper uses plain division hashing, `hash(x) = x mod size(table)`
+// (Figure 8's comment), with prime table sizes (521, 4099). We keep exactly
+// that for the reproduction benches and additionally provide a Fibonacci
+// multiplicative hash for library users with adversarial key sets.
+#pragma once
+
+#include "support/require.h"
+#include "vm/machine.h"
+
+namespace folvec::hashing {
+
+/// Division hashing: key mod table_size, Euclidean (result in [0, size)).
+inline vm::Word mod_hash(vm::Word key, vm::Word table_size) {
+  vm::Word r = key % table_size;
+  if (r < 0) r += table_size;
+  return r;
+}
+
+/// Fibonacci multiplicative hashing into [0, table_size).
+inline vm::Word fib_hash(vm::Word key, vm::Word table_size) {
+  const auto x = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<vm::Word>(x % static_cast<std::uint64_t>(table_size));
+}
+
+/// Vectorized division hashing on the machine (one mod-by-scalar op).
+inline vm::WordVec mod_hash_vec(vm::VectorMachine& m,
+                                std::span<const vm::Word> keys,
+                                vm::Word table_size) {
+  FOLVEC_REQUIRE(table_size > 0, "table size must be positive");
+  return m.mod_scalar(keys, table_size);
+}
+
+}  // namespace folvec::hashing

@@ -1,0 +1,213 @@
+#include "hashing/hash_map.h"
+
+#include <unordered_set>
+
+#include "support/require.h"
+
+namespace folvec::hashing {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+std::size_t round_capacity(std::size_t want) {
+  std::size_t cap = 67;
+  while (cap < want) cap = cap * 2 + 1;
+  return cap;
+}
+
+}  // namespace
+
+VectorHashMap::VectorHashMap(std::size_t initial_capacity)
+    : slots_(round_capacity(initial_capacity), kUnentered),
+      values_(slots_.size(), 0) {}
+
+WordVec VectorHashMap::find_slots(VectorMachine& m,
+                                  std::span<const Word> keys) const {
+  WordVec result(keys.size(), -1);
+  if (keys.empty()) return result;
+  const auto size = static_cast<Word>(slots_.size());
+  WordVec key_vec = m.copy(keys);
+  WordVec lane = m.iota(keys.size());
+  WordVec hashed = m.mod_scalar(key_vec, size);
+  const std::size_t max_iterations = slots_.size() * 33;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const WordVec probed = m.gather(slots_, hashed);
+    const Mask hit = m.eq(probed, key_vec);
+    const Mask miss = m.eq_scalar(probed, kUnentered);
+    const WordVec hit_lanes = m.compress(lane, hit);
+    const WordVec hit_slots = m.compress(hashed, hit);
+    for (std::size_t i = 0; i < hit_lanes.size(); ++i) {
+      result[static_cast<std::size_t>(hit_lanes[i])] = hit_slots[i];
+    }
+    const Mask active = m.mask_not(m.mask_or(hit, miss));
+    if (m.count_true(active) == 0) return result;
+    key_vec = m.compress(key_vec, active);
+    lane = m.compress(lane, active);
+    hashed = m.compress(hashed, active);
+    hashed = m.mod_scalar(
+        m.add(hashed, m.add_scalar(m.and_scalar(key_vec, 31), 1)), size);
+  }
+  return result;
+}
+
+WordVec VectorHashMap::insert_tracking_slots(VectorMachine& m,
+                                             const WordVec& keys) {
+  WordVec result(keys.size(), -1);
+  if (keys.empty()) return result;
+  const auto size = static_cast<Word>(slots_.size());
+  WordVec key_vec = m.copy(keys);
+  WordVec lane = m.iota(keys.size());
+  WordVec hashed = m.mod_scalar(key_vec, size);
+  // Figure 8 with lane bookkeeping: store into empty slots, keep the lanes
+  // whose key survived the overwrite-and-check, re-probe the rest.
+  {
+    const Mask empty = m.eq_scalar(m.gather(slots_, hashed), kUnentered);
+    m.scatter_masked(slots_, hashed, key_vec, empty);
+  }
+  const std::size_t max_iterations = slots_.size() * 33;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const Mask entered = m.eq(m.gather(slots_, hashed), key_vec);
+    const WordVec done_lanes = m.compress(lane, entered);
+    const WordVec done_slots = m.compress(hashed, entered);
+    for (std::size_t i = 0; i < done_lanes.size(); ++i) {
+      result[static_cast<std::size_t>(done_lanes[i])] = done_slots[i];
+    }
+    const Mask rest = m.mask_not(entered);
+    if (m.count_true(rest) == 0) {
+      entered_ += keys.size();
+      return result;
+    }
+    key_vec = m.compress(key_vec, rest);
+    lane = m.compress(lane, rest);
+    hashed = m.compress(hashed, rest);
+    hashed = m.mod_scalar(
+        m.add(hashed, m.add_scalar(m.and_scalar(key_vec, 31), 1)), size);
+    const Mask empty = m.eq_scalar(m.gather(slots_, hashed), kUnentered);
+    m.scatter_masked(slots_, hashed, key_vec, empty);
+  }
+  FOLVEC_CHECK(false, "hash map insert failed to converge");
+  return result;
+}
+
+void VectorHashMap::rehash(VectorMachine& m, std::size_t min_capacity) {
+  ++rehashes_;
+  // Compress the live keys and values out of the old arrays with vector
+  // operations, then re-enter them into the fresh table (tombstones drop
+  // out with the compress: live slots hold non-negative keys).
+  const WordVec old_keys = m.load(slots_, 0, slots_.size());
+  const Mask live = m.ge_scalar(old_keys, 0);
+  const WordVec keys = m.compress(old_keys, live);
+  const WordVec vals = m.compress(m.load(values_, 0, values_.size()), live);
+
+  slots_.assign(round_capacity(min_capacity), kUnentered);
+  values_.assign(slots_.size(), 0);
+  entered_ = 0;
+  tombstones_ = 0;
+  const WordVec new_slots = insert_tracking_slots(m, keys);
+  m.scatter(values_, new_slots, vals);
+}
+
+void VectorHashMap::grow(VectorMachine& m, std::size_t need) {
+  while (static_cast<double>(entered_ + tombstones_ + need) >
+         0.7 * static_cast<double>(slots_.size())) {
+    rehash(m, slots_.size() * 2);
+  }
+}
+
+std::size_t VectorHashMap::erase_batch(VectorMachine& m,
+                                       std::span<const Word> keys) {
+  if (keys.empty()) return 0;
+  const WordVec slot_vec = find_slots(m, keys);
+  const Mask present = m.ne_scalar(slot_vec, -1);
+  const WordVec hit_slots = m.compress(slot_vec, present);
+  if (hit_slots.empty()) return 0;
+
+  // Duplicate keys in the batch resolve to the same slot; count distinct
+  // slots on the scalar unit while the vector unit does the stores.
+  std::unordered_set<Word> distinct;
+  for (const Word s : hit_slots) {
+    m.scalar_mem(2);
+    m.scalar_branch(1);
+    distinct.insert(s);
+  }
+  m.scatter(slots_, hit_slots, m.splat(hit_slots.size(), kTombstone));
+  const std::size_t removed = distinct.size();
+  entered_ -= removed;
+  tombstones_ += removed;
+
+  // Clean up once tombstones clutter a quarter of the table.
+  if (4 * tombstones_ > slots_.size()) {
+    rehash(m, std::max<std::size_t>(64, 3 * entered_));
+  }
+  return removed;
+}
+
+void VectorHashMap::upsert_batch(VectorMachine& m,
+                                 std::span<const Word> keys,
+                                 std::span<const Word> values) {
+  FOLVEC_REQUIRE(keys.size() == values.size(),
+                 "keys/values must have equal length");
+  if (keys.empty()) return;
+  for (Word k : keys) {
+    FOLVEC_REQUIRE(k >= 0, "keys must be non-negative");
+  }
+  grow(m, keys.size());
+
+  // Split the batch into existing keys (value overwrite) and new keys
+  // (Figure 8 insert). Duplicates *within* the batch need care: only the
+  // first occurrence of a new key performs the insert; the rest become
+  // value overwrites of that freshly created slot. One overwrite-and-check
+  // round on a per-key claim table makes the split.
+  const WordVec existing_slots = find_slots(m, keys);
+  WordVec key_vec = m.copy(keys);
+  WordVec val_vec = m.copy(values);
+
+  // Lanes whose key is already in the map: slot known.
+  WordVec slot_vec = existing_slots;  // -1 where absent
+
+  const Mask absent = m.eq_scalar(slot_vec, -1);
+  if (m.count_true(absent) > 0) {
+    const WordVec absent_keys = m.compress(key_vec, absent);
+    const WordVec absent_lanes = m.compress(m.iota(keys.size()), absent);
+    // The Figure 8 inserter requires distinct keys, so only the first
+    // occurrence of each absent key inserts (scalar-unit bookkeeping, one
+    // pass); the duplicates then resolve their slot by lookup like any
+    // other lane.
+    std::unordered_set<Word> seen;
+    WordVec first_keys;
+    for (const Word k : absent_keys) {
+      m.scalar_mem(2);
+      m.scalar_branch(1);
+      if (seen.insert(k).second) first_keys.push_back(k);
+    }
+    insert_tracking_slots(m, first_keys);
+    const WordVec resolved = find_slots(m, absent_keys);
+    for (std::size_t i = 0; i < absent_lanes.size(); ++i) {
+      slot_vec[static_cast<std::size_t>(absent_lanes[i])] = resolved[i];
+    }
+  }
+
+  // Value write: the order-preserving scatter makes "last lane wins" hold
+  // for duplicate keys within the batch, matching sequential upserts.
+  m.scatter_ordered(values_, slot_vec, val_vec);
+}
+
+WordVec VectorHashMap::lookup_batch(VectorMachine& m,
+                                    std::span<const Word> keys,
+                                    Word missing) const {
+  const WordVec slots = find_slots(m, keys);
+  const Mask present = m.ne_scalar(slots, -1);
+  const WordVec fetched = m.gather_masked(values_, slots, present, missing);
+  return fetched;
+}
+
+bool VectorHashMap::contains(VectorMachine& m, Word key) const {
+  const WordVec slots = find_slots(m, WordVec{key});
+  return slots[0] != -1;
+}
+
+}  // namespace folvec::hashing

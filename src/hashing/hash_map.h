@@ -1,0 +1,93 @@
+// VectorHashMap: an adoptable key-value container over the Figure 8
+// machinery — batch upserts, batch lookups, and vectorized growth.
+//
+// The open-addressing primitives in open_table.h mirror the paper's
+// listings exactly (keys only, fixed table, caller-managed storage); this
+// facade wraps them into what a downstream user actually wants:
+//   * upsert semantics — a batch may mix new and existing keys; existing
+//     keys get their value overwritten (within a batch, the LAST lane of a
+//     duplicated key wins, matching sequential semantics; this uses the
+//     order-guaranteeing VSTX scatter for the value write);
+//   * a parallel value array addressed by the key's slot;
+//   * automatic rehash at 70% load, itself vectorized: the survivor keys
+//     and values are compressed out and re-entered into the bigger table.
+//
+// Insertion tracks each key's final slot, which the listing-faithful
+// multi_hash_open_insert does not expose; the probe loop is therefore
+// restated here with slot tracking (same structure, same FOL
+// overwrite-and-check core).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hashing/open_table.h"
+#include "vm/machine.h"
+
+namespace folvec::hashing {
+
+class VectorHashMap {
+ public:
+  /// `initial_capacity` is rounded up to a size > 32 (Figure 8's
+  /// requirement for the key-dependent probe step).
+  explicit VectorHashMap(std::size_t initial_capacity = 64);
+
+  /// Batch upsert. Keys must be non-negative; duplicates within the batch
+  /// resolve to the last lane's value. Grows (rehashes) as needed to keep
+  /// the load factor at or below 0.7.
+  void upsert_batch(vm::VectorMachine& m, std::span<const vm::Word> keys,
+                    std::span<const vm::Word> values);
+
+  /// Batch lookup: returns one value lane per query key, `missing` for
+  /// absent keys. Read-only; duplicate queries are fine.
+  vm::WordVec lookup_batch(vm::VectorMachine& m,
+                           std::span<const vm::Word> keys,
+                           vm::Word missing) const;
+
+  /// Batch erase: removes the given keys (absent keys are ignored;
+  /// duplicates in the batch are fine). Returns the number of keys
+  /// actually removed. Erased slots become tombstones — probe chains walk
+  /// through them, fresh inserts do not reuse them (reuse would break the
+  /// no-empty-slot-before-a-key invariant that makes upserts safe) — and
+  /// the table rehashes itself once tombstones pass a quarter of the
+  /// capacity.
+  std::size_t erase_batch(vm::VectorMachine& m,
+                          std::span<const vm::Word> keys);
+
+  bool contains(vm::VectorMachine& m, vm::Word key) const;
+
+  std::size_t size() const { return entered_; }
+  std::size_t capacity() const { return slots_.size(); }
+  double load_factor() const {
+    return static_cast<double>(entered_) / static_cast<double>(slots_.size());
+  }
+  std::size_t rehash_count() const { return rehashes_; }
+
+ private:
+  /// Enters keys (all distinct, none present) and returns their slots.
+  vm::WordVec insert_tracking_slots(vm::VectorMachine& m,
+                                    const vm::WordVec& keys);
+
+  /// Finds the slot of each key, -1 when absent (lockstep probe).
+  vm::WordVec find_slots(vm::VectorMachine& m,
+                         std::span<const vm::Word> keys) const;
+
+  void grow(vm::VectorMachine& m, std::size_t need);
+
+  /// Rebuilds into a fresh table of at least `min_capacity`, dropping
+  /// tombstones (vectorized compress + re-insert).
+  void rehash(vm::VectorMachine& m, std::size_t min_capacity);
+
+  std::vector<vm::Word> slots_;   ///< keys, kUnentered / kTombstone when free
+  std::vector<vm::Word> values_;  ///< value of the key in the same slot
+  std::size_t entered_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t rehashes_ = 0;
+};
+
+/// Slot marker for erased entries (distinct from kUnentered: probe chains
+/// must keep walking through it).
+inline constexpr vm::Word kTombstone = -2;
+
+}  // namespace folvec::hashing

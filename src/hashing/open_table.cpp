@@ -1,0 +1,174 @@
+#include "hashing/open_table.h"
+
+#include <unordered_set>
+
+#include "hashing/hash_fn.h"
+#include "support/require.h"
+
+namespace folvec::hashing {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+ScalarOpenTable::ScalarOpenTable(std::size_t table_size, ProbeVariant variant,
+                                 vm::CostAccumulator* cost)
+    : slots_(table_size, kUnentered), variant_(variant), cost_(cost) {
+  FOLVEC_REQUIRE(table_size > 32,
+                 "the key-dependent probe step requires size(table) > 32");
+}
+
+Word ScalarOpenTable::probe_step(Word key) const {
+  switch (variant_) {
+    case ProbeVariant::kLinear:
+      return 1;
+    case ProbeVariant::kKeyDependent:
+      return (key & 31) + 1;
+  }
+  return 1;
+}
+
+std::size_t ScalarOpenTable::insert(Word key) {
+  FOLVEC_REQUIRE(key >= 0, "keys must be non-negative");
+  FOLVEC_REQUIRE(entered_ < slots_.size(), "table is full");
+  const auto size = static_cast<Word>(slots_.size());
+  // hash: one (slow) integer division plus bookkeeping on the scalar unit.
+  cost_.div(1);
+  cost_.alu(1);
+  Word h = mod_hash(key, size);
+  std::size_t probes = 1;
+  // Probe until an empty slot; each probe is a load + compare-and-branch,
+  // and a re-probe adds the step arithmetic and another modulus.
+  cost_.mem(1);
+  cost_.branch(1);
+  while (slots_[static_cast<std::size_t>(h)] != kUnentered) {
+    FOLVEC_REQUIRE(slots_[static_cast<std::size_t>(h)] != key,
+                   "duplicate key inserted into an open-addressing table");
+    h = mod_hash(h + probe_step(key), size);
+    ++probes;
+    cost_.div(1);
+    cost_.alu(2);
+    cost_.mem(1);
+    cost_.branch(1);
+    FOLVEC_CHECK(probes <= slots_.size() * 33,
+                 "open-addressing probe sequence failed to find a free slot");
+  }
+  slots_[static_cast<std::size_t>(h)] = key;
+  cost_.mem(1);
+  ++entered_;
+  return probes;
+}
+
+bool ScalarOpenTable::contains(Word key) const {
+  const auto size = static_cast<Word>(slots_.size());
+  Word h = mod_hash(key, size);
+  for (std::size_t probes = 0; probes <= slots_.size() * 33; ++probes) {
+    const Word v = slots_[static_cast<std::size_t>(h)];
+    if (v == key) return true;
+    if (v == kUnentered) return false;
+    h = mod_hash(h + probe_step(key), size);
+  }
+  return false;
+}
+
+MultiHashStats multi_hash_open_insert(VectorMachine& m,
+                                      std::span<Word> table,
+                                      std::span<const Word> keys,
+                                      ProbeVariant variant) {
+  MultiHashStats stats;
+  if (keys.empty()) return stats;
+  const auto size = static_cast<Word>(table.size());
+  FOLVEC_REQUIRE(size > 32,
+                 "the key-dependent probe step requires size(table) > 32");
+  std::size_t free_slots = 0;
+  for (Word v : table) free_slots += (v == kUnentered) ? 1u : 0u;
+  FOLVEC_REQUIRE(keys.size() <= free_slots,
+                 "more keys than free slots in the table");
+
+  // Figure 8, first entry attempt: hash, then store keys into empty slots.
+  // More than one key may be written to one entry — the ELS scatter keeps
+  // exactly one intact, and the check below detects the losers.
+  WordVec key_vec = m.copy(keys);
+  WordVec hashed = m.mod_scalar(key_vec, size);
+  {
+    const Mask empty = m.eq_scalar(m.gather(table, hashed), kUnentered);
+    m.scatter_masked(table, hashed, key_vec, empty);
+  }
+  stats.max_vector_len = key_vec.size();
+
+  // Outer loop: detect which keys made it, pack the rest, re-probe.
+  const std::size_t max_iterations = table.size() * 33;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++stats.iterations;
+    const Mask entered = m.eq(m.gather(table, hashed), key_vec);
+    const Mask rest = m.mask_not(entered);
+    const std::size_t nrest = m.count_true(rest);
+    if (nrest == 0) return stats;
+
+    hashed = m.compress(hashed, rest);
+    key_vec = m.compress(key_vec, rest);
+
+    // Subscript recalculation. The optimized variant separates keys that
+    // collided at the same slot by giving each its own stride.
+    WordVec step;
+    switch (variant) {
+      case ProbeVariant::kLinear:
+        hashed = m.mod_scalar(m.add_scalar(hashed, 1), size);
+        break;
+      case ProbeVariant::kKeyDependent:
+        step = m.add_scalar(m.and_scalar(key_vec, 31), 1);
+        hashed = m.mod_scalar(m.add(hashed, step), size);
+        break;
+    }
+
+    const Mask empty = m.eq_scalar(m.gather(table, hashed), kUnentered);
+    m.scatter_masked(table, hashed, key_vec, empty);
+  }
+  FOLVEC_CHECK(false, "multiple hashing failed to converge");
+}
+
+vm::Mask multi_hash_open_contains(VectorMachine& m,
+                                  std::span<const Word> table,
+                                  std::span<const Word> keys,
+                                  ProbeVariant variant) {
+  const auto size = static_cast<Word>(table.size());
+  FOLVEC_REQUIRE(size > 32,
+                 "the key-dependent probe step requires size(table) > 32");
+  Mask found(keys.size(), 0);
+  if (keys.empty()) return found;
+
+  // Lockstep probing: lanes retire when they hit their key (found) or an
+  // empty slot (absent); the rest advance along their probe sequence.
+  WordVec key_vec = m.copy(keys);
+  WordVec lane = m.iota(keys.size());
+  WordVec hashed = m.mod_scalar(key_vec, size);
+  const std::size_t max_iterations = table.size() * 33;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const WordVec probed = m.gather(table, hashed);
+    const Mask hit = m.eq(probed, key_vec);
+    const Mask miss = m.eq_scalar(probed, kUnentered);
+    // Record hits through the lane index vector.
+    const WordVec hit_lanes = m.compress(lane, hit);
+    for (Word l : hit_lanes) found[static_cast<std::size_t>(l)] = 1;
+    const Mask active = m.mask_not(m.mask_or(hit, miss));
+    if (m.count_true(active) == 0) return found;
+    key_vec = m.compress(key_vec, active);
+    lane = m.compress(lane, active);
+    hashed = m.compress(hashed, active);
+    switch (variant) {
+      case ProbeVariant::kLinear:
+        hashed = m.mod_scalar(m.add_scalar(hashed, 1), size);
+        break;
+      case ProbeVariant::kKeyDependent:
+        hashed = m.mod_scalar(
+            m.add(hashed, m.add_scalar(m.and_scalar(key_vec, 31), 1)), size);
+        break;
+    }
+  }
+  // Lanes still probing after a full sweep of the table are absent (this
+  // only happens when the table is completely full).
+  return found;
+}
+
+}  // namespace folvec::hashing

@@ -1,0 +1,89 @@
+// Open-addressing hash tables: the scalar baseline and the vectorized
+// multiple-hash of paper Figure 8.
+//
+// Only keys are stored (as in the paper); an unused slot holds kUnentered.
+// Two probe-sequence variants are provided:
+//   * kLinear       — advance by +1 on collision; this is the original
+//                     "overwrite-and-check" probing of Kanada's PARBASE-90
+//                     paper, kept for the ablation bench;
+//   * kKeyDependent — advance by (key & 31) + 1; the optimization this
+//                     paper introduces so that colliding keys separate
+//                     instead of re-colliding forever.
+// The paper asserts size(table) > 32 for the key-dependent variant; the
+// reproduction uses the paper's prime sizes 521 and 4099.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::hashing {
+
+enum class ProbeVariant : std::uint8_t {
+  kLinear,        ///< +1 (original PARBASE-90 probing)
+  kKeyDependent,  ///< +(key & 31) + 1 (this paper's optimization)
+};
+
+/// Sentinel marking an unused slot. Keys must be non-negative.
+inline constexpr vm::Word kUnentered = -1;
+
+/// Scalar open-addressing table, the sequential baseline of Figures 9/10.
+class ScalarOpenTable {
+ public:
+  /// `cost`, when non-null, receives scalar-unit cost ticks so the chime
+  /// model can price the baseline.
+  ScalarOpenTable(std::size_t table_size, ProbeVariant variant,
+                  vm::CostAccumulator* cost = nullptr);
+
+  /// Inserts a key (non-negative, not already present — the Figure 8
+  /// algorithm requires distinct keys). Returns the probe count used.
+  /// Throws PreconditionError if the table is full.
+  std::size_t insert(vm::Word key);
+
+  /// True if `key` is in the table (follows the same probe sequence).
+  bool contains(vm::Word key) const;
+
+  std::size_t entered() const { return entered_; }
+  std::size_t table_size() const { return slots_.size(); }
+  double load_factor() const {
+    return static_cast<double>(entered_) / static_cast<double>(slots_.size());
+  }
+  std::span<const vm::Word> slots() const { return slots_; }
+
+ private:
+  vm::Word probe_step(vm::Word key) const;
+
+  std::vector<vm::Word> slots_;
+  ProbeVariant variant_;
+  mutable vm::ScalarCost cost_;
+  std::size_t entered_ = 0;
+};
+
+/// Statistics returned by the vectorized multiple hash.
+struct MultiHashStats {
+  std::size_t iterations = 0;      ///< passes of the Figure 8 outer loop
+  std::size_t max_vector_len = 0;  ///< length of the first (longest) pass
+};
+
+/// Figure 8: enters `keys` (distinct, non-negative) into the open-addressing
+/// table `table` (every slot kUnentered or a previously entered key) using
+/// the overwrite-and-check specialization of FOL — the keys themselves act
+/// as labels. Entirely vector operations on `m`.
+MultiHashStats multi_hash_open_insert(vm::VectorMachine& m,
+                                      std::span<vm::Word> table,
+                                      std::span<const vm::Word> keys,
+                                      ProbeVariant variant);
+
+/// Vectorized membership query: probes all keys in lockstep and returns one
+/// mask lane per key. Read-only, so index-vector duplicates are harmless
+/// (the paper's Figure 2b case) — no FOL pass is needed, and duplicate
+/// query keys are allowed.
+vm::Mask multi_hash_open_contains(vm::VectorMachine& m,
+                                  std::span<const vm::Word> table,
+                                  std::span<const vm::Word> keys,
+                                  ProbeVariant variant);
+
+}  // namespace folvec::hashing

@@ -1,0 +1,69 @@
+// Abstract syntax for the paper's array pseudo-language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/machine.h"
+
+namespace folvec::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kNumber,  ///< integer literal                      (number)
+    kVar,     ///< identifier                           (name)
+    kIndex,   ///< name [ e ]                           (name, args[0])
+    kSlice,   ///< name [ lo : hi ]                     (name, args[0..1])
+    kBinary,  ///< e op e                               (op, args[0..1])
+    kUnary,   ///< -e / not e                           (op, args[0])
+    kCall,    ///< name ( e, ... )                      (name, args)
+    kWhere,   ///< e where e  (pack-under-mask)         (args[0..1])
+  };
+
+  Kind kind;
+  vm::Word number = 0;
+  std::string name;
+  std::string op;
+  std::vector<ExprPtr> args;
+  std::size_t line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kAssign,  ///< lhs := rhs ;
+    kWhere,   ///< where cond do body end where ;
+    kFor,     ///< for v in a .. b loop body end loop ;
+    kRepeat,  ///< repeat body until cond ;
+    kWhile,   ///< while cond do body end while ;
+    kIf,      ///< if cond then body [else else_body] end if ;  (one-armed
+              ///< short form "if cond then stmt" also accepted)
+    kExit,    ///< exit loop ;
+    kLocal,   ///< local name [ lo : hi ] ;   (array declaration, zeroed)
+  };
+
+  Kind kind;
+  ExprPtr lhs;   // kAssign target (kVar/kIndex/kSlice)
+  ExprPtr rhs;   // kAssign value
+  ExprPtr cond;  // kWhere/kRepeat/kWhile/kIf
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  std::string var;       // kFor loop variable / kLocal array name
+  ExprPtr from;          // kFor lower bound / kLocal lower bound
+  ExprPtr to;            // kFor upper bound / kLocal upper bound
+  std::size_t line = 0;
+};
+
+using Program = std::vector<StmtPtr>;
+
+/// Parses a program (sequence of statements). Throws PreconditionError
+/// with a line number on syntax errors.
+Program parse_program(const std::string& source);
+
+}  // namespace folvec::lang

@@ -1,0 +1,510 @@
+#include "lang/interp.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace folvec::lang {
+
+using vm::Mask;
+using vm::Word;
+using vm::WordVec;
+
+Interpreter::Interpreter(vm::VectorMachine& m) : m_(m) {}
+
+void Interpreter::fail(std::size_t line, const std::string& msg) {
+  throw PreconditionError("lang: line " + std::to_string(line) + ": " + msg);
+}
+
+void Interpreter::set_scalar(const std::string& name, Word v) {
+  env_[name] = v;
+}
+
+void Interpreter::set_array(const std::string& name, ArrayValue v) {
+  env_[name] = std::move(v);
+}
+
+void Interpreter::set_array(const std::string& name, WordVec data, Word lo) {
+  env_[name] = ArrayValue{lo, std::move(data)};
+}
+
+Word Interpreter::scalar(const std::string& name) const {
+  const auto it = env_.find(name);
+  FOLVEC_REQUIRE(it != env_.end(), "unknown variable: " + name);
+  const Word* w = std::get_if<Word>(&it->second);
+  FOLVEC_REQUIRE(w != nullptr, name + " is not a scalar");
+  return *w;
+}
+
+const ArrayValue& Interpreter::array(const std::string& name) const {
+  const auto it = env_.find(name);
+  FOLVEC_REQUIRE(it != env_.end(), "unknown variable: " + name);
+  const ArrayValue* a = std::get_if<ArrayValue>(&it->second);
+  FOLVEC_REQUIRE(a != nullptr, name + " is not an array");
+  return *a;
+}
+
+bool Interpreter::has(const std::string& name) const {
+  return env_.count(name) > 0;
+}
+
+void Interpreter::register_builtin(const std::string& name, Builtin fn) {
+  builtins_[name] = std::move(fn);
+}
+
+void Interpreter::run(const Program& program) {
+  const Flow flow = exec_block(program);
+  FOLVEC_REQUIRE(flow == Flow::kNormal, "exit loop outside any loop");
+}
+
+void Interpreter::run(const std::string& source) {
+  run(parse_program(source));
+}
+
+// ---- helpers -----------------------------------------------------------------
+
+Mask Interpreter::to_mask(const ArrayValue& v, std::size_t line) {
+  Mask mask(v.data.size());
+  for (std::size_t i = 0; i < v.data.size(); ++i) {
+    if (v.data[i] != 0 && v.data[i] != 1) {
+      fail(line, "mask array must hold only 0/1 values");
+    }
+    mask[i] = static_cast<std::uint8_t>(v.data[i]);
+  }
+  return mask;
+}
+
+ArrayValue Interpreter::from_mask(const Mask& mask) {
+  ArrayValue out;
+  out.lo = 1;
+  out.data.assign(mask.begin(), mask.end());
+  return out;
+}
+
+ArrayValue& Interpreter::lookup_array(const std::string& name,
+                                      std::size_t line) {
+  const auto it = env_.find(name);
+  if (it == env_.end()) fail(line, "unknown array: " + name);
+  ArrayValue* a = std::get_if<ArrayValue>(&it->second);
+  if (a == nullptr) fail(line, name + " is not an array");
+  return *a;
+}
+
+Word Interpreter::eval_scalar(const Expr& expr) {
+  const Value v = eval(expr);
+  const Word* w = std::get_if<Word>(&v);
+  if (w == nullptr) fail(expr.line, "expected a scalar value here");
+  return *w;
+}
+
+// ---- statements -----------------------------------------------------------------
+
+Interpreter::Flow Interpreter::exec_block(const std::vector<StmtPtr>& body) {
+  for (const auto& stmt : body) {
+    const Flow flow = exec(*stmt);
+    if (flow != Flow::kNormal) return flow;
+  }
+  return Flow::kNormal;
+}
+
+Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign:
+      exec_assign(stmt);
+      return Flow::kNormal;
+
+    case Stmt::Kind::kLocal: {
+      const Word lo = eval_scalar(*stmt.from);
+      const Word hi = eval_scalar(*stmt.to);
+      if (hi < lo - 1) fail(stmt.line, "array upper bound below lower");
+      env_[stmt.var] =
+          ArrayValue{lo, WordVec(static_cast<std::size_t>(hi - lo + 1), 0)};
+      return Flow::kNormal;
+    }
+
+    case Stmt::Kind::kWhere: {
+      const Value cond = eval(*stmt.cond);
+      const ArrayValue* arr = std::get_if<ArrayValue>(&cond);
+      if (arr == nullptr) fail(stmt.line, "where-condition must be a mask");
+      Mask mask = to_mask(*arr, stmt.line);
+      const Mask saved = where_mask_;
+      if (!saved.empty()) {
+        if (saved.size() != mask.size()) {
+          fail(stmt.line, "nested where-masks have different lengths");
+        }
+        mask = m_.mask_and(saved, mask);
+      }
+      where_mask_ = std::move(mask);
+      const Flow flow = exec_block(stmt.body);
+      where_mask_ = saved;
+      return flow;
+    }
+
+    case Stmt::Kind::kFor: {
+      const Word from = eval_scalar(*stmt.from);
+      const Word to = eval_scalar(*stmt.to);
+      for (Word i = from; i <= to; ++i) {
+        env_[stmt.var] = i;
+        m_.scalar_branch(1);
+        m_.scalar_alu(1);
+        const Flow flow = exec_block(stmt.body);
+        if (flow == Flow::kExitLoop) break;
+      }
+      return Flow::kNormal;
+    }
+
+    case Stmt::Kind::kRepeat: {
+      for (;;) {
+        const Flow flow = exec_block(stmt.body);
+        if (flow == Flow::kExitLoop) break;
+        m_.scalar_branch(1);
+        if (eval_scalar(*stmt.cond) != 0) break;
+      }
+      return Flow::kNormal;
+    }
+
+    case Stmt::Kind::kWhile: {
+      for (;;) {
+        m_.scalar_branch(1);
+        if (eval_scalar(*stmt.cond) == 0) break;
+        const Flow flow = exec_block(stmt.body);
+        if (flow == Flow::kExitLoop) break;
+      }
+      return Flow::kNormal;
+    }
+
+    case Stmt::Kind::kIf: {
+      m_.scalar_branch(1);
+      return eval_scalar(*stmt.cond) != 0 ? exec_block(stmt.body)
+                                          : exec_block(stmt.else_body);
+    }
+
+    case Stmt::Kind::kExit:
+      return Flow::kExitLoop;
+  }
+  return Flow::kNormal;
+}
+
+void Interpreter::exec_assign(const Stmt& stmt) {
+  const Expr& lhs = *stmt.lhs;
+  Value rhs = eval(*stmt.rhs);
+
+  switch (lhs.kind) {
+    case Expr::Kind::kVar: {
+      if (!where_mask_.empty()) {
+        fail(stmt.line, "whole-variable assignment inside where-block");
+      }
+      env_[lhs.name] = std::move(rhs);
+      return;
+    }
+
+    case Expr::Kind::kIndex: {
+      ArrayValue& target = lookup_array(lhs.name, lhs.line);
+      const Value idx = eval(*lhs.args[0]);
+      if (const Word* scalar_idx = std::get_if<Word>(&idx)) {
+        if (!where_mask_.empty()) {
+          fail(stmt.line, "scalar element store inside where-block");
+        }
+        const Word* value = std::get_if<Word>(&rhs);
+        if (value == nullptr) fail(stmt.line, "element store needs a scalar");
+        const Word pos = *scalar_idx - target.lo;
+        if (pos < 0 || static_cast<std::size_t>(pos) >= target.data.size()) {
+          fail(stmt.line, "subscript out of range");
+        }
+        target.data[static_cast<std::size_t>(pos)] = *value;
+        m_.scalar_mem(1);
+        return;
+      }
+      // List-vector store (scatter), masked under a where-block.
+      const ArrayValue& indices = std::get<ArrayValue>(idx);
+      WordVec adjusted = indices.data;
+      if (target.lo != 0) {
+        adjusted = m_.add_scalar(adjusted, -target.lo);
+      }
+      WordVec values;
+      if (const Word* scalar_value = std::get_if<Word>(&rhs)) {
+        values = m_.splat(adjusted.size(), *scalar_value);
+      } else {
+        values = std::get<ArrayValue>(rhs).data;
+      }
+      if (values.size() != adjusted.size()) {
+        fail(stmt.line, "scatter value/index length mismatch");
+      }
+      if (where_mask_.empty()) {
+        m_.scatter(target.data, adjusted, values);
+      } else {
+        if (where_mask_.size() != adjusted.size()) {
+          fail(stmt.line, "where-mask length mismatch");
+        }
+        m_.scatter_masked(target.data, adjusted, values, where_mask_);
+      }
+      return;
+    }
+
+    case Expr::Kind::kSlice: {
+      ArrayValue& target = lookup_array(lhs.name, lhs.line);
+      const Word a = eval_scalar(*lhs.args[0]);
+      const Word b = eval_scalar(*lhs.args[1]);
+      if (b < a) return;  // empty slice: no-op
+      const Word pos = a - target.lo;
+      const auto len = static_cast<std::size_t>(b - a + 1);
+      if (pos < 0 ||
+          static_cast<std::size_t>(pos) + len > target.data.size()) {
+        fail(stmt.line, "slice out of range");
+      }
+      WordVec values;
+      if (const Word* scalar_value = std::get_if<Word>(&rhs)) {
+        values = m_.splat(len, *scalar_value);
+      } else {
+        values = std::get<ArrayValue>(rhs).data;
+      }
+      if (values.size() != len) {
+        fail(stmt.line, "slice assignment length mismatch");
+      }
+      const auto offset = static_cast<std::size_t>(pos);
+      if (where_mask_.empty()) {
+        m_.store(target.data, offset, values);
+      } else {
+        if (where_mask_.size() != len) {
+          fail(stmt.line, "where-mask length mismatch");
+        }
+        const WordVec old = m_.load(target.data, offset, len);
+        m_.store(target.data, offset, m_.select(where_mask_, values, old));
+      }
+      return;
+    }
+
+    default:
+      fail(stmt.line, "invalid assignment target");
+  }
+}
+
+// ---- expressions -----------------------------------------------------------------
+
+Value Interpreter::eval(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return expr.number;
+
+    case Expr::Kind::kVar: {
+      const auto it = env_.find(expr.name);
+      if (it == env_.end()) fail(expr.line, "unknown variable: " + expr.name);
+      return it->second;
+    }
+
+    case Expr::Kind::kIndex: {
+      const ArrayValue& base = lookup_array(expr.name, expr.line);
+      const Value idx = eval(*expr.args[0]);
+      if (const Word* scalar_idx = std::get_if<Word>(&idx)) {
+        const Word pos = *scalar_idx - base.lo;
+        if (pos < 0 || static_cast<std::size_t>(pos) >= base.data.size()) {
+          fail(expr.line, "subscript out of range");
+        }
+        m_.scalar_mem(1);
+        return base.data[static_cast<std::size_t>(pos)];
+      }
+      // List-vector load (gather).
+      const ArrayValue& indices = std::get<ArrayValue>(idx);
+      WordVec adjusted = indices.data;
+      if (base.lo != 0) adjusted = m_.add_scalar(adjusted, -base.lo);
+      return ArrayValue{1, m_.gather(base.data, adjusted)};
+    }
+
+    case Expr::Kind::kSlice: {
+      const ArrayValue& base = lookup_array(expr.name, expr.line);
+      const Word a = eval_scalar(*expr.args[0]);
+      const Word b = eval_scalar(*expr.args[1]);
+      if (b < a) return ArrayValue{1, {}};
+      const Word pos = a - base.lo;
+      const auto len = static_cast<std::size_t>(b - a + 1);
+      if (pos < 0 ||
+          static_cast<std::size_t>(pos) + len > base.data.size()) {
+        fail(expr.line, "slice out of range");
+      }
+      return ArrayValue{
+          1, m_.load(base.data, static_cast<std::size_t>(pos), len)};
+    }
+
+    case Expr::Kind::kUnary: {
+      Value v = eval(*expr.args[0]);
+      if (expr.op == "-") {
+        if (const Word* w = std::get_if<Word>(&v)) {
+          m_.scalar_alu(1);
+          return -*w;
+        }
+        return ArrayValue{1, m_.negate(std::get<ArrayValue>(v).data)};
+      }
+      // not
+      if (const Word* w = std::get_if<Word>(&v)) {
+        m_.scalar_alu(1);
+        return static_cast<Word>(*w == 0 ? 1 : 0);
+      }
+      const Mask mask = to_mask(std::get<ArrayValue>(v), expr.line);
+      return from_mask(m_.mask_not(mask));
+    }
+
+    case Expr::Kind::kBinary:
+      return eval_binary(expr);
+
+    case Expr::Kind::kCall:
+      return eval_call(expr);
+
+    case Expr::Kind::kWhere: {
+      const Value v = eval(*expr.args[0]);
+      const Value mv = eval(*expr.args[1]);
+      const ArrayValue* arr = std::get_if<ArrayValue>(&v);
+      const ArrayValue* mask_arr = std::get_if<ArrayValue>(&mv);
+      if (arr == nullptr || mask_arr == nullptr) {
+        fail(expr.line, "'where' operator needs array operands");
+      }
+      const Mask mask = to_mask(*mask_arr, expr.line);
+      if (mask.size() != arr->data.size()) {
+        fail(expr.line, "'where' operand lengths differ");
+      }
+      return ArrayValue{1, m_.compress(arr->data, mask)};
+    }
+  }
+  fail(expr.line, "unreachable expression kind");
+}
+
+Value Interpreter::eval_binary(const Expr& expr) {
+  const std::string& op = expr.op;
+  Value lv = eval(*expr.args[0]);
+  Value rv = eval(*expr.args[1]);
+  const Word* ls = std::get_if<Word>(&lv);
+  const Word* rs = std::get_if<Word>(&rv);
+
+  // scalar op scalar ----------------------------------------------------
+  if (ls != nullptr && rs != nullptr) {
+    const Word a = *ls;
+    const Word b = *rs;
+    if (op == "/" || op == "mod") {
+      if (b <= 0) fail(expr.line, "division by non-positive scalar");
+      m_.scalar_div(1);
+      if (op == "/") return a / b;
+      Word r = a % b;
+      if (r < 0) r += b;
+      return r;
+    }
+    m_.scalar_alu(1);
+    if (op == "+") return a + b;
+    if (op == "-") return a - b;
+    if (op == "*") return a * b;
+    if (op == "&") return a & b;
+    if (op == "=") return static_cast<Word>(a == b);
+    if (op == "/=") return static_cast<Word>(a != b);
+    if (op == "<") return static_cast<Word>(a < b);
+    if (op == "<=") return static_cast<Word>(a <= b);
+    if (op == ">") return static_cast<Word>(a > b);
+    if (op == ">=") return static_cast<Word>(a >= b);
+    if (op == "and") return static_cast<Word>(a != 0 && b != 0);
+    if (op == "or") return static_cast<Word>(a != 0 || b != 0);
+    fail(expr.line, "unknown scalar operator " + op);
+  }
+
+  // array op array -------------------------------------------------------
+  if (ls == nullptr && rs == nullptr) {
+    const WordVec& a = std::get<ArrayValue>(lv).data;
+    const WordVec& b = std::get<ArrayValue>(rv).data;
+    if (a.size() != b.size()) {
+      fail(expr.line, "array operand lengths differ");
+    }
+    if (op == "+") return ArrayValue{1, m_.add(a, b)};
+    if (op == "-") return ArrayValue{1, m_.sub(a, b)};
+    if (op == "*") return ArrayValue{1, m_.mul(a, b)};
+    if (op == "=") return from_mask(m_.eq(a, b));
+    if (op == "/=") return from_mask(m_.ne(a, b));
+    if (op == "<=") return from_mask(m_.le(a, b));
+    if (op == "<") return from_mask(m_.lt(a, b));
+    if (op == ">=") return from_mask(m_.le(b, a));
+    if (op == ">") return from_mask(m_.lt(b, a));
+    if (op == "and") {
+      return from_mask(m_.mask_and(to_mask(std::get<ArrayValue>(lv),
+                                           expr.line),
+                                   to_mask(std::get<ArrayValue>(rv),
+                                           expr.line)));
+    }
+    if (op == "or") {
+      return from_mask(m_.mask_or(to_mask(std::get<ArrayValue>(lv),
+                                          expr.line),
+                                  to_mask(std::get<ArrayValue>(rv),
+                                          expr.line)));
+    }
+    fail(expr.line, "operator " + op + " not supported on two arrays");
+  }
+
+  // mixed: normalize to array op scalar, flipping where needed -----------
+  const bool scalar_on_left = (ls != nullptr);
+  const WordVec& a = std::get<ArrayValue>(scalar_on_left ? rv : lv).data;
+  const Word s = scalar_on_left ? *ls : *rs;
+  if (op == "+") return ArrayValue{1, m_.add_scalar(a, s)};
+  if (op == "*") return ArrayValue{1, m_.mul_scalar(a, s)};
+  if (op == "&") return ArrayValue{1, m_.and_scalar(a, s)};
+  if (op == "-") {
+    if (scalar_on_left) {  // s - A
+      return ArrayValue{1, m_.add_scalar(m_.negate(a), s)};
+    }
+    return ArrayValue{1, m_.add_scalar(a, -s)};
+  }
+  if (op == "/" || op == "mod") {
+    if (scalar_on_left) fail(expr.line, "scalar / array is not supported");
+    if (s <= 0) fail(expr.line, "division by non-positive scalar");
+    return ArrayValue{1, op == "/" ? m_.div_scalar(a, s)
+                                   : m_.mod_scalar(a, s)};
+  }
+  // Comparisons: A op s directly, s op A via the flipped operator.
+  const auto cmp = [&](const std::string& o) -> Mask {
+    if (o == "=") return m_.eq_scalar(a, s);
+    if (o == "/=") return m_.ne_scalar(a, s);
+    if (o == "<") return m_.lt_scalar(a, s);
+    if (o == "<=") return m_.le_scalar(a, s);
+    if (o == ">=") return m_.ge_scalar(a, s);
+    if (o == ">") return m_.mask_not(m_.le_scalar(a, s));
+    fail(expr.line, "operator " + op + " not supported on array/scalar");
+  };
+  static const std::unordered_map<std::string, std::string> kFlip{
+      {"=", "="},   {"/=", "/="}, {"<", ">"},
+      {"<=", ">="}, {">", "<"},   {">=", "<="}};
+  const auto flip = kFlip.find(op);
+  if (flip == kFlip.end()) {
+    fail(expr.line, "operator " + op + " not supported on array/scalar");
+  }
+  return from_mask(cmp(scalar_on_left ? flip->second : op));
+}
+
+Value Interpreter::eval_call(const Expr& expr) {
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (const auto& a : expr.args) args.push_back(eval(*a));
+
+  if (expr.name == "countTrue") {
+    if (args.size() != 1 || !std::holds_alternative<ArrayValue>(args[0])) {
+      fail(expr.line, "countTrue needs one mask argument");
+    }
+    return static_cast<Word>(
+        m_.count_true(to_mask(std::get<ArrayValue>(args[0]), expr.line)));
+  }
+  if (expr.name == "size") {
+    if (args.size() != 1 || !std::holds_alternative<ArrayValue>(args[0])) {
+      fail(expr.line, "size needs one array argument");
+    }
+    return static_cast<Word>(std::get<ArrayValue>(args[0]).data.size());
+  }
+  if (expr.name == "iota") {
+    if (args.empty() || args.size() > 2 ||
+        !std::holds_alternative<Word>(args[0])) {
+      fail(expr.line, "iota needs (count [, start]) scalars");
+    }
+    const Word count = std::get<Word>(args[0]);
+    const Word start = args.size() == 2 ? std::get<Word>(args[1]) : 1;
+    if (count < 0) fail(expr.line, "iota count must be non-negative");
+    return ArrayValue{1, m_.iota(static_cast<std::size_t>(count), start)};
+  }
+  const auto it = builtins_.find(expr.name);
+  if (it == builtins_.end()) {
+    fail(expr.line, "unknown function: " + expr.name);
+  }
+  return it->second(args);
+}
+
+}  // namespace folvec::lang

@@ -1,0 +1,344 @@
+#include <memory>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+#include "support/require.h"
+
+namespace folvec::lang {
+
+namespace {
+
+/// Recursive-descent parser. Grammar (statements):
+///   stmt      := local | where | for | repeat | while | if | exit | assign
+///   local     := 'local' ID '[' expr ':' expr ']' ';'
+///   where     := 'where' expr 'do' stmts 'end' 'where' ';'
+///   for       := 'for' ID 'in' expr '..' expr 'loop' stmts 'end' 'loop' ';'
+///   repeat    := 'repeat' stmts 'until' expr ';'
+///   while     := 'while' expr 'do' stmts 'end' 'while' ';'
+///   if        := 'if' expr 'then' stmts ['else' stmts] 'end' 'if' ';'
+///   exit      := 'exit' 'loop' ';'
+///   assign    := lvalue ':=' expr ';'
+/// Expressions, by precedence (loosest first):
+///   expr      := or_e ['where' or_e]          -- pack under mask
+///   or_e      := and_e ('or' and_e)*
+///   and_e     := not_e ('and' not_e)*
+///   not_e     := 'not' not_e | cmp
+///   cmp       := add (('='|'/='|'<'|'<='|'>'|'>=') add)?
+///   add       := mul (('+'|'-') mul)*
+///   mul       := unary (('*'|'/'|'mod'|'&') unary)*
+///   unary     := '-' unary | postfix
+///   postfix   := NUMBER | '(' expr ')'
+///              | ID ['(' args ')' | '[' expr [':' expr] ']']
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse() {
+    Program prog = parse_statements();
+    expect_end();
+    return prog;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& msg) const {
+    throw PreconditionError("lang: line " + std::to_string(peek().line) +
+                            ": " + msg);
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool at_keyword(const std::string& kw) const {
+    return peek().is(TokenKind::kKeyword, kw);
+  }
+
+  bool at_symbol(const std::string& sym) const {
+    return peek().is(TokenKind::kSymbol, sym);
+  }
+
+  bool eat_keyword(const std::string& kw) {
+    if (!at_keyword(kw)) return false;
+    advance();
+    return true;
+  }
+
+  bool eat_symbol(const std::string& sym) {
+    if (!at_symbol(sym)) return false;
+    advance();
+    return true;
+  }
+
+  void expect_keyword(const std::string& kw) {
+    if (!eat_keyword(kw)) error("expected '" + kw + "'");
+  }
+
+  void expect_symbol(const std::string& sym) {
+    if (!eat_symbol(sym)) error("expected '" + sym + "'");
+  }
+
+  std::string expect_identifier() {
+    if (peek().kind != TokenKind::kIdentifier) error("expected identifier");
+    return advance().text;
+  }
+
+  void expect_end() {
+    if (peek().kind != TokenKind::kEndOfInput) {
+      error("unexpected trailing input");
+    }
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  bool at_statement_list_end() const {
+    return peek().kind == TokenKind::kEndOfInput || at_keyword("end") ||
+           at_keyword("until") || at_keyword("else");
+  }
+
+  std::vector<StmtPtr> parse_statements() {
+    std::vector<StmtPtr> out;
+    while (!at_statement_list_end()) out.push_back(parse_statement());
+    return out;
+  }
+
+  StmtPtr parse_statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+    if (eat_keyword("local")) {
+      stmt->kind = Stmt::Kind::kLocal;
+      stmt->var = expect_identifier();
+      expect_symbol("[");
+      stmt->from = parse_expr();
+      expect_symbol(":");
+      stmt->to = parse_expr();
+      expect_symbol("]");
+      expect_symbol(";");
+      return stmt;
+    }
+    if (eat_keyword("where")) {
+      stmt->kind = Stmt::Kind::kWhere;
+      stmt->cond = parse_expr();
+      expect_keyword("do");
+      stmt->body = parse_statements();
+      expect_keyword("end");
+      expect_keyword("where");
+      expect_symbol(";");
+      return stmt;
+    }
+    if (eat_keyword("for")) {
+      stmt->kind = Stmt::Kind::kFor;
+      stmt->var = expect_identifier();
+      expect_keyword("in");
+      stmt->from = parse_expr();
+      expect_symbol("..");
+      stmt->to = parse_expr();
+      expect_keyword("loop");
+      stmt->body = parse_statements();
+      expect_keyword("end");
+      expect_keyword("loop");
+      expect_symbol(";");
+      return stmt;
+    }
+    if (eat_keyword("repeat")) {
+      stmt->kind = Stmt::Kind::kRepeat;
+      stmt->body = parse_statements();
+      expect_keyword("until");
+      stmt->cond = parse_expr();
+      expect_symbol(";");
+      return stmt;
+    }
+    if (eat_keyword("while")) {
+      stmt->kind = Stmt::Kind::kWhile;
+      stmt->cond = parse_expr();
+      expect_keyword("do");
+      stmt->body = parse_statements();
+      expect_keyword("end");
+      expect_keyword("while");
+      expect_symbol(";");
+      return stmt;
+    }
+    if (eat_keyword("if")) {
+      stmt->kind = Stmt::Kind::kIf;
+      stmt->cond = parse_expr();
+      expect_keyword("then");
+      stmt->body = parse_statements();
+      if (eat_keyword("else")) stmt->else_body = parse_statements();
+      expect_keyword("end");
+      expect_keyword("if");
+      expect_symbol(";");
+      return stmt;
+    }
+    if (eat_keyword("exit")) {
+      stmt->kind = Stmt::Kind::kExit;
+      expect_keyword("loop");
+      expect_symbol(";");
+      return stmt;
+    }
+    // Assignment.
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->lhs = parse_postfix();
+    if (stmt->lhs->kind != Expr::Kind::kVar &&
+        stmt->lhs->kind != Expr::Kind::kIndex &&
+        stmt->lhs->kind != Expr::Kind::kSlice) {
+      error("assignment target must be a variable, element or slice");
+    }
+    expect_symbol(":=");
+    stmt->rhs = parse_expr();
+    expect_symbol(";");
+    return stmt;
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  ExprPtr make_binary(std::string op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = std::move(op);
+    e->line = l->line;
+    e->args.push_back(std::move(l));
+    e->args.push_back(std::move(r));
+    return e;
+  }
+
+  ExprPtr parse_expr() {
+    ExprPtr e = parse_or();
+    if (eat_keyword("where")) {
+      auto w = std::make_unique<Expr>();
+      w->kind = Expr::Kind::kWhere;
+      w->line = e->line;
+      w->args.push_back(std::move(e));
+      w->args.push_back(parse_or());
+      return w;
+    }
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (at_keyword("or")) {
+      advance();
+      e = make_binary("or", std::move(e), parse_and());
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_not();
+    while (at_keyword("and")) {
+      advance();
+      e = make_binary("and", std::move(e), parse_not());
+    }
+    return e;
+  }
+
+  ExprPtr parse_not() {
+    if (eat_keyword("not")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "not";
+      e->line = peek().line;
+      e->args.push_back(parse_not());
+      return e;
+    }
+    return parse_cmp();
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr e = parse_add();
+    for (const char* op : {"=", "/=", "<=", ">=", "<", ">"}) {
+      if (at_symbol(op)) {
+        advance();
+        return make_binary(op, std::move(e), parse_add());
+      }
+    }
+    return e;
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr e = parse_mul();
+    while (at_symbol("+") || at_symbol("-")) {
+      const std::string op = advance().text;
+      e = make_binary(op, std::move(e), parse_mul());
+    }
+    return e;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr e = parse_unary();
+    while (at_symbol("*") || at_symbol("/") || at_symbol("&") ||
+           at_keyword("mod")) {
+      const std::string op = advance().text;
+      e = make_binary(op, std::move(e), parse_unary());
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at_symbol("-")) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "-";
+      e->line = peek().line;
+      e->args.push_back(parse_unary());
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    auto e = std::make_unique<Expr>();
+    e->line = peek().line;
+    if (peek().kind == TokenKind::kNumber) {
+      e->kind = Expr::Kind::kNumber;
+      e->number = advance().number;
+      return e;
+    }
+    if (eat_symbol("(")) {
+      ExprPtr inner = parse_expr();
+      expect_symbol(")");
+      return inner;
+    }
+    if (peek().kind != TokenKind::kIdentifier) error("expected expression");
+    const std::string name = advance().text;
+    if (eat_symbol("(")) {
+      e->kind = Expr::Kind::kCall;
+      e->name = name;
+      if (!at_symbol(")")) {
+        e->args.push_back(parse_expr());
+        while (eat_symbol(",")) e->args.push_back(parse_expr());
+      }
+      expect_symbol(")");
+      return e;
+    }
+    if (eat_symbol("[")) {
+      e->name = name;
+      e->args.push_back(parse_expr());
+      if (eat_symbol(":")) {
+        e->kind = Expr::Kind::kSlice;
+        e->args.push_back(parse_expr());
+      } else {
+        e->kind = Expr::Kind::kIndex;
+      }
+      expect_symbol("]");
+      return e;
+    }
+    e->kind = Expr::Kind::kVar;
+    e->name = name;
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(tokenize(source)).parse();
+}
+
+}  // namespace folvec::lang

@@ -1,0 +1,102 @@
+#include "lang/token.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "support/require.h"
+
+namespace folvec::lang {
+
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw{
+      "where", "do", "end",  "for",  "in",   "loop", "repeat", "until",
+      "while", "if", "then", "else", "exit", "local", "not",   "and",
+      "or",    "mod"};
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = source.size();
+
+  auto error = [&](const std::string& msg) {
+    throw PreconditionError("lang: line " + std::to_string(line) + ": " +
+                            msg);
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: /* ... */ and -- to end of line.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) error("unterminated comment");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      vm::Word value = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        value = value * 10 + (source[i] - '0');
+        ++i;
+      }
+      out.push_back({TokenKind::kNumber, "", value, line});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        word.push_back(source[i]);
+        ++i;
+      }
+      const bool kw = keywords().count(word) > 0;
+      out.push_back(
+          {kw ? TokenKind::kKeyword : TokenKind::kIdentifier, word, 0, line});
+      continue;
+    }
+    // Multi-character symbols first.
+    auto two = [&](const char* s) {
+      return i + 1 < n && source[i] == s[0] && source[i + 1] == s[1];
+    };
+    if (two(":=") || two("..") || two("/=") || two("<=") || two(">=")) {
+      out.push_back(
+          {TokenKind::kSymbol, source.substr(i, 2), 0, line});
+      i += 2;
+      continue;
+    }
+    const std::string singles = ";,()[]:+-*/&=<>";
+    if (singles.find(c) != std::string::npos) {
+      out.push_back({TokenKind::kSymbol, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    error(std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({TokenKind::kEndOfInput, "", 0, line});
+  return out;
+}
+
+}  // namespace folvec::lang

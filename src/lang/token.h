@@ -1,0 +1,37 @@
+// Lexer for the paper's array pseudo-language (see lang/interp.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/machine.h"
+
+namespace folvec::lang {
+
+enum class TokenKind : std::uint8_t {
+  kNumber,
+  kIdentifier,
+  kKeyword,   // where do end for in loop repeat until while if then else
+              // exit local not and or mod
+  kSymbol,    // := ; , ( ) [ ] : .. + - * / & = /= < <= > >=
+  kEndOfInput,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier/keyword/symbol spelling
+  vm::Word number;    // kNumber payload
+  std::size_t line;   // 1-based, for error messages
+
+  bool is(TokenKind k, const std::string& t) const {
+    return kind == k && text == t;
+  }
+};
+
+/// Tokenizes `source`. Comments are /* ... */ (as in the paper's listings)
+/// and -- to end of line. Throws PreconditionError with a line number on
+/// unknown characters.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace folvec::lang

@@ -1,0 +1,145 @@
+#include "list/list.h"
+
+#include "fol/fol1.h"
+#include "support/require.h"
+
+namespace folvec::list {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+std::size_t ListArena::check(Word cell) const {
+  FOLVEC_REQUIRE(cell >= 0 && static_cast<std::size_t>(cell) < car_.size(),
+                 "cell index out of range");
+  return static_cast<std::size_t>(cell);
+}
+
+Word ListArena::cons(Word car, Word cdr) {
+  FOLVEC_REQUIRE(cdr == kNil || (cdr >= 0 && static_cast<std::size_t>(cdr) <
+                                                 car_.size()),
+                 "cdr must be kNil or an existing cell");
+  car_.push_back(car);
+  cdr_.push_back(cdr);
+  return static_cast<Word>(car_.size() - 1);
+}
+
+Word ListArena::build(std::span<const Word> values) {
+  Word head = kNil;
+  for (std::size_t i = values.size(); i-- > 0;) {
+    head = cons(values[i], head);
+  }
+  return head;
+}
+
+std::vector<Word> ListArena::to_vector(Word head) const {
+  std::vector<Word> out;
+  for (Word cell = head; cell != kNil; cell = cdr(cell)) {
+    out.push_back(car(cell));
+    FOLVEC_CHECK(out.size() <= car_.size(), "list contains a cycle");
+  }
+  return out;
+}
+
+Word ListArena::build_with_shared_tail(std::span<const Word> prefix,
+                                       Word tail_head) {
+  Word head = tail_head;
+  for (std::size_t i = prefix.size(); i-- > 0;) {
+    head = cons(prefix[i], head);
+  }
+  return head;
+}
+
+namespace {
+
+/// Packs away the lanes whose list has ended.
+WordVec drop_finished(VectorMachine& m, const WordVec& cur) {
+  return m.compress(cur, m.ne_scalar(cur, kNil));
+}
+
+}  // namespace
+
+WordVec multi_length(VectorMachine& m, const ListArena& arena,
+                     std::span<const Word> heads) {
+  // Lengths need per-lane results, so lanes are not packed away; instead a
+  // live mask shrinks as lists end. One gather per level (SIVP).
+  WordVec cur = m.copy(heads);
+  WordVec len = m.splat(heads.size(), 0);
+  Mask live = m.ne_scalar(cur, kNil);
+  while (m.count_true(live) > 0) {
+    len = m.add(len, m.from_mask(live));
+    cur = m.select(live, m.gather_masked(arena.cdrs(), cur, live, kNil), cur);
+    live = m.mask_and(live, m.ne_scalar(cur, kNil));
+  }
+  return len;
+}
+
+WordVec multi_sum(VectorMachine& m, const ListArena& arena,
+                  std::span<const Word> heads) {
+  WordVec cur = m.copy(heads);
+  WordVec sum = m.splat(heads.size(), 0);
+  Mask live = m.ne_scalar(cur, kNil);
+  while (m.count_true(live) > 0) {
+    const WordVec vals = m.gather_masked(arena.cars(), cur, live, 0);
+    sum = m.add(sum, vals);
+    cur = m.select(live, m.gather_masked(arena.cdrs(), cur, live, kNil), cur);
+    live = m.mask_and(live, m.ne_scalar(cur, kNil));
+  }
+  return sum;
+}
+
+std::size_t multi_increment(VectorMachine& m, ListArena& arena,
+                            std::span<const Word> heads, Word delta) {
+  std::size_t updates = 0;
+  std::vector<Word> work(arena.size(), 0);
+  WordVec cur = m.compress(m.copy(heads), m.ne_scalar(heads, kNil));
+  while (!cur.empty()) {
+    // The level's index vector may address one cell from several lanes
+    // (shared tails); FOL1 splits it so each set's gather-add-scatter is a
+    // faithful read-modify-write per lane.
+    const fol::Decomposition dec = fol::fol1_decompose(m, cur, work);
+    for (const auto& set : dec.sets) {
+      WordVec cells(set.size());
+      for (std::size_t i = 0; i < set.size(); ++i) cells[i] = cur[set[i]];
+      const WordVec old_vals = m.gather(arena.cars(), cells);
+      m.scatter(arena.cars(), cells, m.add_scalar(old_vals, delta));
+      updates += set.size();
+    }
+    cur = drop_finished(m, m.gather(arena.cdrs(), cur));
+  }
+  return updates;
+}
+
+std::size_t multi_increment_unsafe(VectorMachine& m, ListArena& arena,
+                                   std::span<const Word> heads, Word delta) {
+  std::size_t updates = 0;
+  WordVec cur = m.compress(m.copy(heads), m.ne_scalar(heads, kNil));
+  while (!cur.empty()) {
+    const WordVec old_vals = m.gather(arena.cars(), cur);
+    m.scatter(arena.cars(), cur, m.add_scalar(old_vals, delta));
+    updates += cur.size();
+    cur = drop_finished(m, m.gather(arena.cdrs(), cur));
+  }
+  return updates;
+}
+
+std::size_t multi_increment_scalar(ListArena& arena,
+                                   std::span<const Word> heads, Word delta,
+                                   vm::CostAccumulator* cost) {
+  vm::ScalarCost sc(cost);
+  std::size_t updates = 0;
+  for (Word head : heads) {
+    for (Word cell = head; cell != kNil; cell = arena.cdr(cell)) {
+      arena.cars()[static_cast<std::size_t>(cell)] += delta;
+      ++updates;
+      sc.alu(1);
+      sc.mem(3);
+      sc.branch(1);
+    }
+    sc.branch(1);
+  }
+  return updates;
+}
+
+}  // namespace folvec::list

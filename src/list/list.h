@@ -1,0 +1,90 @@
+// SIVP: simple index-vector-based list processing (paper Sections 1-2).
+//
+// Before FOL, Kanada's earlier work vectorized *independent* linked-list
+// traversals: hold one pointer per list in an index vector, and advance all
+// of them with one list-vector gather per step ("pointer jumping" in
+// lockstep). This module provides that substrate — a cons-cell arena plus
+// the classic SIVP operations — and the FOL-fixed destructive update that
+// the earlier methods could not do safely on lists with shared tails
+// (Figure 3a):
+//
+//   * read-only traversals (multi_length, multi_sum) are safe even with
+//     sharing — the Figure 2b case;
+//   * destructive updates (multi_increment) on shared tails lose updates
+//     under forced vectorization, and are repaired with FOL1 per step.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::list {
+
+inline constexpr vm::Word kNil = -1;
+
+/// Cons-cell arena in structure-of-arrays layout: car holds the payload,
+/// cdr the next-cell index (kNil terminates).
+class ListArena {
+ public:
+  /// Appends a fresh cell; returns its index.
+  vm::Word cons(vm::Word car, vm::Word cdr);
+
+  /// Builds a list from front to back; returns the head (kNil if empty).
+  vm::Word build(std::span<const vm::Word> values);
+
+  /// Reads a list back out (for tests and examples).
+  std::vector<vm::Word> to_vector(vm::Word head) const;
+
+  /// Builds a list of `prefix` fresh cells that then continues into the
+  /// existing list `tail_head` — the Figure 3a "two lists with shared
+  /// elements" shape.
+  vm::Word build_with_shared_tail(std::span<const vm::Word> prefix,
+                                  vm::Word tail_head);
+
+  std::size_t size() const { return car_.size(); }
+  vm::Word car(vm::Word cell) const { return car_[check(cell)]; }
+  vm::Word cdr(vm::Word cell) const { return cdr_[check(cell)]; }
+
+  std::vector<vm::Word>& cars() { return car_; }
+  const std::vector<vm::Word>& cars() const { return car_; }
+  const std::vector<vm::Word>& cdrs() const { return cdr_; }
+
+ private:
+  std::size_t check(vm::Word cell) const;
+
+  std::vector<vm::Word> car_;
+  std::vector<vm::Word> cdr_;
+};
+
+/// Lengths of many lists at once, one gather per lockstep level (SIVP).
+vm::WordVec multi_length(vm::VectorMachine& m, const ListArena& arena,
+                         std::span<const vm::Word> heads);
+
+/// Sum of each list's cars, read-only and therefore sharing-safe.
+vm::WordVec multi_sum(vm::VectorMachine& m, const ListArena& arena,
+                      std::span<const vm::Word> heads);
+
+/// Destructively adds `delta` to every car of every list, sequential
+/// semantics: a cell shared by k lists is incremented k times. The
+/// per-level index vectors may contain duplicates (shared tails), so each
+/// level runs through a FOL1 decomposition before the gather-add-scatter.
+/// Returns the total number of cell updates applied.
+std::size_t multi_increment(vm::VectorMachine& m, ListArena& arena,
+                            std::span<const vm::Word> heads, vm::Word delta);
+
+/// The same update with *forced* vectorization (no FOL filter) — provided
+/// for tests and the quickstart demo: on shared tails it loses updates.
+std::size_t multi_increment_unsafe(vm::VectorMachine& m, ListArena& arena,
+                                   std::span<const vm::Word> heads,
+                                   vm::Word delta);
+
+/// Scalar baseline with the same sequential semantics.
+std::size_t multi_increment_scalar(ListArena& arena,
+                                   std::span<const vm::Word> heads,
+                                   vm::Word delta,
+                                   vm::CostAccumulator* cost = nullptr);
+
+}  // namespace folvec::list

@@ -1,0 +1,164 @@
+#include "queens/queens.h"
+
+#include "support/require.h"
+
+namespace folvec::queens {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+constexpr std::size_t kMaxN = 16;  // frontier width stays laptop-friendly
+
+void check_n(std::size_t n) {
+  FOLVEC_REQUIRE(n >= 1 && n <= kMaxN, "n must be in [1, 16]");
+}
+
+}  // namespace
+
+QueensStats count_scalar(std::size_t n, vm::CostAccumulator* cost) {
+  check_n(n);
+  QueensStats stats;
+  vm::ScalarCost sc(cost);
+  // Bitmask backtracking: free = ~(cols | d1 | d2) restricted to n bits.
+  const Word full = (Word{1} << n) - 1;
+  // Explicit stack of (cols, d1, d2) keeps the cost model honest about the
+  // per-node work.
+  struct Frame {
+    Word cols, d1, d2;
+  };
+  std::vector<Frame> stack{{0, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    ++stats.nodes;
+    sc.mem(3);
+    sc.branch(1);
+    if (f.cols == full) {
+      ++stats.solutions;
+      sc.alu(1);
+      continue;
+    }
+    Word free = full & ~(f.cols | f.d1 | f.d2);
+    sc.alu(4);
+    while (free != 0) {
+      const Word bit = free & -free;
+      free ^= bit;
+      stack.push_back({f.cols | bit, (f.d1 | bit) << 1 & full,
+                       (f.d2 | bit) >> 1});
+      sc.alu(8);
+      sc.mem(3);
+      sc.branch(1);
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Shared frontier-expansion loop. When `keep_links` is set, per-row parent
+/// and column vectors are appended to `links` for solution reconstruction.
+struct RowLinks {
+  WordVec parent;
+  WordVec col;
+};
+
+QueensStats search(VectorMachine& m, std::size_t n, bool keep_links,
+                   std::vector<RowLinks>* links) {
+  check_n(n);
+  QueensStats stats;
+  const Word full = (Word{1} << n) - 1;
+
+  // Frontier state, one lane per live partial solution.
+  WordVec cols = m.splat(1, 0);
+  WordVec d1 = m.splat(1, 0);
+  WordVec d2 = m.splat(1, 0);
+  WordVec id = m.iota(1);  // lane index within the previous row
+
+  for (std::size_t row = 0; row < n && !cols.empty(); ++row) {
+    stats.max_frontier = std::max(stats.max_frontier, cols.size());
+    stats.nodes += cols.size();
+    WordVec next_cols;
+    WordVec next_d1;
+    WordVec next_d2;
+    WordVec next_parent;
+    WordVec next_col;
+    // One candidate column per pass; each pass is pure vector work over the
+    // whole frontier.
+    for (Word c = 0; c < static_cast<Word>(n); ++c) {
+      const Word bit = Word{1} << c;
+      // A lane may place at column c iff the bit is clear in all three
+      // attack masks.
+      const Mask c_free = m.eq_scalar(m.and_scalar(cols, bit), 0);
+      const Mask d1_free = m.eq_scalar(m.and_scalar(d1, bit), 0);
+      const Mask d2_free = m.eq_scalar(m.and_scalar(d2, bit), 0);
+      const Mask free = m.mask_and(c_free, m.mask_and(d1_free, d2_free));
+      if (m.count_true(free) == 0) continue;
+
+      const WordVec pc = m.compress(cols, free);
+      const WordVec pd1 = m.compress(d1, free);
+      const WordVec pd2 = m.compress(d2, free);
+      const WordVec nc = m.or_scalar(pc, bit);
+      const WordVec nd1 =
+          m.and_scalar(m.shl_scalar(m.or_scalar(pd1, bit), 1), full);
+      const WordVec nd2 = m.shr_scalar(m.or_scalar(pd2, bit), 1);
+      next_cols.insert(next_cols.end(), nc.begin(), nc.end());
+      next_d1.insert(next_d1.end(), nd1.begin(), nd1.end());
+      next_d2.insert(next_d2.end(), nd2.begin(), nd2.end());
+      if (keep_links) {
+        const WordVec pid = m.compress(id, free);
+        next_parent.insert(next_parent.end(), pid.begin(), pid.end());
+        const WordVec cv = m.splat(pid.size(), c);
+        next_col.insert(next_col.end(), cv.begin(), cv.end());
+      }
+    }
+    cols = std::move(next_cols);
+    d1 = std::move(next_d1);
+    d2 = std::move(next_d2);
+    if (keep_links) {
+      links->push_back({next_parent, next_col});
+      id = m.iota(cols.size());
+    }
+  }
+  stats.solutions = cols.size();
+  return stats;
+}
+
+}  // namespace
+
+QueensStats count_vector(VectorMachine& m, std::size_t n) {
+  return search(m, n, false, nullptr);
+}
+
+std::vector<std::vector<Word>> solve_vector(VectorMachine& m, std::size_t n) {
+  std::vector<RowLinks> links;
+  const QueensStats stats = search(m, n, true, &links);
+  std::vector<std::vector<Word>> solutions(stats.solutions,
+                                           std::vector<Word>(n));
+  for (std::size_t s = 0; s < stats.solutions; ++s) {
+    std::size_t lane = s;
+    for (std::size_t row = n; row-- > 0;) {
+      solutions[s][row] = links[row].col[lane];
+      lane = static_cast<std::size_t>(links[row].parent[lane]);
+    }
+  }
+  return solutions;
+}
+
+bool is_valid_solution(const std::vector<Word>& cols) {
+  const auto n = cols.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cols[i] < 0 || cols[i] >= static_cast<Word>(n)) return false;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (cols[i] == cols[j]) return false;
+      const Word dr = static_cast<Word>(j - i);
+      if (cols[j] - cols[i] == dr || cols[i] - cols[j] == dr) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace folvec::queens

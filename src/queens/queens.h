@@ -1,0 +1,45 @@
+// The N-queens problem, scalar backtracking vs SIVP breadth-first search.
+//
+// Kanada's earlier SIVP work (reference [7] of the paper) used the
+// eight-queens problem as the showcase for index-vector-based list
+// processing: instead of backtracking one partial solution at a time, the
+// vectorized search keeps *all* partial solutions of the current row in
+// vectors and extends every one of them with data-parallel operations. The
+// lanes are independent (no partial solution shares storage with another),
+// so this is pure SIVP — the Figure 2a regime that needs no FOL — and it
+// rounds out the repo's coverage of the paper's Section 1 lineage.
+//
+// Attack sets are kept as bitmasks (columns, the two diagonal directions),
+// so one candidate column is tested for the whole frontier with two vector
+// ops. Solutions can be reconstructed through per-row parent links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::queens {
+
+struct QueensStats {
+  std::size_t solutions = 0;
+  std::size_t max_frontier = 0;  ///< widest per-row vector (vector search)
+  std::size_t nodes = 0;         ///< partial solutions examined
+};
+
+/// Sequential backtracking count (the baseline).
+QueensStats count_scalar(std::size_t n, vm::CostAccumulator* cost = nullptr);
+
+/// SIVP breadth-first count on the vector machine.
+QueensStats count_vector(vm::VectorMachine& m, std::size_t n);
+
+/// Full enumeration (vector search with parent-link reconstruction):
+/// returns every solution as a vector of column positions per row.
+std::vector<std::vector<vm::Word>> solve_vector(vm::VectorMachine& m,
+                                                std::size_t n);
+
+/// True iff `cols` is a valid placement (one queen per row, no attacks).
+bool is_valid_solution(const std::vector<vm::Word>& cols);
+
+}  // namespace folvec::queens

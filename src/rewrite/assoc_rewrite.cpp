@@ -1,0 +1,156 @@
+#include "rewrite/assoc_rewrite.h"
+
+#include <vector>
+
+#include "fol/fol_star.h"
+#include "support/require.h"
+
+namespace folvec::rewrite {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+
+/// One in-place rule application: r = X*(Y*Z) with s = right(r) becomes
+/// r = s*Z with s = X*Y.
+void apply_scalar(TermArena& arena, Word r, Word s, vm::ScalarCost& sc) {
+  auto& lefts = arena.lefts();
+  auto& rights = arena.rights();
+  const auto ri = static_cast<std::size_t>(r);
+  const auto si = static_cast<std::size_t>(s);
+  const Word x = lefts[ri];
+  const Word y = lefts[si];
+  const Word z = rights[si];
+  lefts[si] = x;
+  rights[si] = y;
+  lefts[ri] = s;
+  rights[ri] = z;
+  sc.mem(7);
+  sc.alu(2);
+}
+
+}  // namespace
+
+RewriteStats assoc_rewrite_scalar(TermArena& arena, Word root,
+                                  vm::CostAccumulator* cost) {
+  RewriteStats stats;
+  vm::ScalarCost sc(cost);
+  // Depth-first worklist; at each operator node, rotate until the right
+  // child is not an operator, then recurse into both children.
+  std::vector<Word> stack{root};
+  while (!stack.empty()) {
+    const Word n = stack.back();
+    stack.pop_back();
+    sc.mem(1);
+    sc.branch(1);
+    if (arena.kind(n) == NodeKind::kLeaf) continue;
+    // Associativity applies per operator kind: rotate while the right
+    // child carries the same operator as n.
+    while (arena.kind(arena.right(n)) == arena.kind(n)) {
+      apply_scalar(arena, n, arena.right(n), sc);
+      ++stats.rewrites;
+      sc.mem(2);
+      sc.branch(1);
+    }
+    sc.mem(2);
+    sc.branch(1);
+    stack.push_back(arena.left(n));
+    stack.push_back(arena.right(n));
+  }
+  return stats;
+}
+
+RewriteStats assoc_rewrite_vector(VectorMachine& m, TermArena& arena,
+                                  Word root, RewriteMode mode) {
+  RewriteStats stats;
+  auto& kinds = arena.kinds();
+  auto& lefts = arena.lefts();
+  auto& rights = arena.rights();
+  const std::size_t n_nodes = arena.size();
+  if (n_nodes == 0) return stats;
+  std::vector<Word> work(n_nodes, 0);
+
+  // Every sweep fires at least one rewrite, and the total number of
+  // rewrites to normal form is bounded by the right-spine potential, which
+  // is at most the node count squared over two; with at least one rewrite
+  // per sweep that bounds the sweep count.
+  const std::size_t max_sweeps = n_nodes * n_nodes / 2 + 64;
+  for (;;) {
+    FOLVEC_CHECK(stats.sweeps <= max_sweeps, "rewrite failed to converge");
+    ++stats.sweeps;
+
+    // Redex scan over the whole arena: operator nodes whose right child
+    // carries the same operator. (Unreachable pool nodes cannot become
+    // redexes of the live tree; rewriting them too would be harmless, but
+    // this arena only contains the live tree.)
+    const WordVec node_ids = m.iota(n_nodes);
+    const WordVec kv = m.load(kinds, 0, n_nodes);
+    const WordVec rv = m.load(rights, 0, n_nodes);
+    const Mask is_op = m.ne_scalar(kv, static_cast<Word>(NodeKind::kLeaf));
+    const WordVec right_kind = m.gather_masked(kinds, rv, is_op, kNone);
+    const Mask redex = m.mask_and(is_op, m.eq(right_kind, kv));
+    if (m.count_true(redex) == 0) break;
+
+    std::vector<WordVec> tuple_lanes(2);
+    tuple_lanes[0] = m.compress(node_ids, redex);  // V1: redex roots r
+    tuple_lanes[1] = m.compress(rv, redex);        // V2: right children s
+
+    const std::size_t max_rounds =
+        mode == RewriteMode::kFirstSetPerSweep ? 1 : 0;
+    const fol::StarDecomposition dec =
+        fol::fol_star_decompose(m, tuple_lanes, work, max_rounds);
+    stats.fol_rounds += dec.rounds();
+
+    bool first_set = true;
+    for (const auto& set : dec.sets) {
+      // Pack the set's tuples.
+      WordVec rs(set.size());
+      WordVec ss(set.size());
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        rs[i] = tuple_lanes[0][set[i]];
+        ss[i] = tuple_lanes[1][set[i]];
+      }
+      WordVec lr;
+      WordVec ls;
+      if (first_set) {
+        // The first set's tuples were live at scan time and are mutually
+        // disjoint, so they are all still live now.
+        lr = std::move(rs);
+        ls = std::move(ss);
+      } else {
+        // Re-validate against the current tree: an earlier set may have
+        // consumed a tuple (right(r) moved or its operator kind changed).
+        const Mask still_linked = m.eq(m.gather(rights, rs), ss);
+        const Mask still_same_kind =
+            m.eq(m.gather_masked(kinds, ss, still_linked, kNone),
+                 m.gather(kinds, rs));
+        const Mask live = m.mask_and(still_linked, still_same_kind);
+        const std::size_t n_live = m.count_true(live);
+        stats.stale_dropped += set.size() - n_live;
+        if (n_live == 0) continue;
+        lr = m.compress(rs, live);
+        ls = m.compress(ss, live);
+      }
+      first_set = false;
+
+      // Parallel rule application; conflict-freedom within the set makes
+      // the four scatters race-free.
+      const WordVec x = m.gather(lefts, lr);
+      const WordVec y = m.gather(lefts, ls);
+      const WordVec z = m.gather(rights, ls);
+      m.scatter(lefts, ls, x);
+      m.scatter(rights, ls, y);
+      m.scatter(lefts, lr, ls);
+      m.scatter(rights, lr, z);
+      stats.rewrites += lr.size();
+    }
+  }
+  FOLVEC_CHECK(arena.is_left_deep(root), "normal form not reached");
+  return stats;
+}
+
+}  // namespace folvec::rewrite

@@ -1,0 +1,68 @@
+// Parallel rewriting of operation trees by the associative law,
+// X*(Y*Z) -> (X*Y)*Z, to left-deep normal form (paper Sections 2 and 3.3).
+//
+// A redex is an operator node r whose right child s is also an operator;
+// one rewrite touches exactly two nodes (r and s are both relinked in
+// place), so vectorizing a batch of rewrites is the paper's FOL* case with
+// L = 2: V1 holds the redex roots, V2 their right children, and a tuple may
+// run in a parallel set only if neither of its nodes appears anywhere else
+// in the set (Figure 5's n3 is shared between two overlapping redexes).
+//
+// One subtlety the paper leaves implicit: FOL*'s processing condition
+// ("execution order must not affect the correctness") holds between
+// *disjoint* redexes — they commute — but a redex that conflicts with an
+// earlier set may be *consumed* by it: after (n1,n2) fires, the stale tuple
+// (n2,n3) is no longer a redex (the live one is (n1,n3)). The vectorized
+// rewriter therefore re-validates every set against the current tree with
+// two gathers before applying it, and drops consumed tuples; they are
+// rediscovered, in their new shape, by the next sweep's redex scan.
+#pragma once
+
+#include <cstddef>
+
+#include "rewrite/term.h"
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::rewrite {
+
+struct RewriteStats {
+  std::size_t rewrites = 0;    ///< rule applications
+  std::size_t sweeps = 0;      ///< redex-scan passes (vector version)
+  std::size_t fol_rounds = 0;  ///< total FOL* sets across sweeps
+  std::size_t stale_dropped = 0;  ///< tuples consumed by an earlier set
+};
+
+/// How the vector rewriter consumes the FOL* decomposition per sweep.
+enum class RewriteMode : std::uint8_t {
+  /// Compute only the first parallel-processable set per sweep, apply it,
+  /// and rescan — the pattern of the iterative vectorized algorithms the
+  /// paper cites (Appel/Bendiksen's GC, Suzuki's maze router). Avoids
+  /// FOL*'s O(N)-round worst case on chained redexes. The default.
+  kFirstSetPerSweep,
+  /// Full FOL* decomposition per sweep; later sets are re-validated and
+  /// stale tuples dropped. Kept for the ablation bench: on chained redexes
+  /// this pays FOL*'s quadratic decomposition cost for sets that mostly
+  /// turn out stale.
+  kFullDecomposition,
+};
+
+/// Sequential rewriting to left-deep normal form (the baseline).
+///
+/// Trees only: the in-place two-node rule changes the rewritten right
+/// child's value (from Y*Z to X*Y), which is sound only while that node
+/// has a single parent. For DAGs (e.g. distributivity output), unshare the
+/// term first (TermArena::unshare). The same applies to the vector
+/// version.
+RewriteStats assoc_rewrite_scalar(TermArena& arena, vm::Word root,
+                                  vm::CostAccumulator* cost = nullptr);
+
+/// Vectorized rewriting: scan all nodes for redexes, FOL*-decompose the
+/// (root, right-child) tuple vectors, apply parallel-processable sets with
+/// gathers/scatters, and sweep until no redex remains. The tree root node
+/// index is unchanged (rewriting is in place).
+RewriteStats assoc_rewrite_vector(
+    vm::VectorMachine& m, TermArena& arena, vm::Word root,
+    RewriteMode mode = RewriteMode::kFirstSetPerSweep);
+
+}  // namespace folvec::rewrite

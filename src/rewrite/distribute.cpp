@@ -1,0 +1,165 @@
+#include "rewrite/distribute.h"
+
+#include <vector>
+
+#include "support/require.h"
+
+namespace folvec::rewrite {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+constexpr Word kMul = static_cast<Word>(NodeKind::kOp);
+constexpr Word kAddK = static_cast<Word>(NodeKind::kAdd);
+constexpr Word kLeafK = static_cast<Word>(NodeKind::kLeaf);
+
+}  // namespace
+
+bool is_sum_of_products(const TermArena& arena, Word root) {
+  // DFS with an "inside a product" flag; DAG nodes may be reached through
+  // several paths, so visited states (node, flag) bound the work.
+  std::vector<std::pair<Word, bool>> stack{{root, false}};
+  std::vector<std::uint8_t> seen(arena.size() * 2, 0);
+  while (!stack.empty()) {
+    const auto [n, in_mul] = stack.back();
+    stack.pop_back();
+    const auto state = 2 * static_cast<std::size_t>(n) + (in_mul ? 1u : 0u);
+    if (seen[state]) continue;
+    seen[state] = 1;
+    switch (arena.kind(n)) {
+      case NodeKind::kLeaf:
+        break;
+      case NodeKind::kAdd:
+        if (in_mul) return false;
+        stack.emplace_back(arena.left(n), false);
+        stack.emplace_back(arena.right(n), false);
+        break;
+      case NodeKind::kOp:
+        stack.emplace_back(arena.left(n), true);
+        stack.emplace_back(arena.right(n), true);
+        break;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Post-order normalization: children are expanded before the node itself
+/// is examined (a child rewritten into a sum re-exposes its parent as a
+/// redex), and the fresh products are normalized recursively. Only the
+/// redex root is written; the add child stays intact because it may be
+/// shared (see header).
+void normalize_scalar(TermArena& arena, Word n, DistributeStats& stats,
+                      vm::ScalarCost& sc) {
+  sc.mem(1);
+  sc.branch(1);
+  if (arena.kind(n) == NodeKind::kLeaf) return;
+  normalize_scalar(arena, arena.left(n), stats, sc);
+  normalize_scalar(arena, arena.right(n), stats, sc);
+  if (arena.kind(n) != NodeKind::kOp) return;
+  const Word l = arena.left(n);
+  const Word r = arena.right(n);
+  const bool right_add = arena.kind(r) == NodeKind::kAdd;
+  const bool left_add = arena.kind(l) == NodeKind::kAdd;
+  sc.mem(4);
+  sc.branch(2);
+  if (!right_add && !left_add) return;
+  const Word s = right_add ? r : l;  // the add (read-only)
+  const Word x = right_add ? l : r;  // the distributed factor
+  const Word y = arena.left(s);
+  const Word z = arena.right(s);
+  const Word t1 = right_add ? arena.make_op(x, y) : arena.make_op(y, x);
+  const Word t2 = right_add ? arena.make_op(x, z) : arena.make_op(z, x);
+  arena.kinds()[static_cast<std::size_t>(n)] = kAddK;
+  arena.lefts()[static_cast<std::size_t>(n)] = t1;
+  arena.rights()[static_cast<std::size_t>(n)] = t2;
+  ++stats.rewrites;
+  stats.allocated += 2;
+  sc.mem(9);
+  sc.alu(4);
+  normalize_scalar(arena, t1, stats, sc);
+  normalize_scalar(arena, t2, stats, sc);
+}
+
+}  // namespace
+
+DistributeStats distribute_scalar(TermArena& arena, Word root,
+                                  vm::CostAccumulator* cost) {
+  DistributeStats stats;
+  vm::ScalarCost sc(cost);
+  normalize_scalar(arena, root, stats, sc);
+  FOLVEC_CHECK(is_sum_of_products(arena, root), "expansion incomplete");
+  return stats;
+}
+
+DistributeStats distribute_vector(VectorMachine& m, TermArena& arena,
+                                  Word root) {
+  DistributeStats stats;
+  for (;;) {
+    ++stats.sweeps;
+    const std::size_t n_nodes = arena.size();
+    auto& kinds = arena.kinds();
+    auto& lefts = arena.lefts();
+    auto& rights = arena.rights();
+
+    // Redex scan: mul nodes with an add child; prefer the right-add rule
+    // when both children are adds (the left add is inside X and is picked
+    // up once the fresh products are scanned next sweep).
+    const WordVec node_ids = m.iota(n_nodes);
+    const WordVec kv = m.load(kinds, 0, n_nodes);
+    const WordVec lv = m.load(lefts, 0, n_nodes);
+    const WordVec rv = m.load(rights, 0, n_nodes);
+    const Mask is_mul = m.eq_scalar(kv, kMul);
+    const Mask right_add = m.mask_and(
+        is_mul,
+        m.eq_scalar(m.gather_masked(kinds, rv, is_mul, kLeafK), kAddK));
+    const Mask left_add = m.mask_and(
+        m.mask_and(is_mul, m.mask_not(right_add)),
+        m.eq_scalar(m.gather_masked(kinds, lv, is_mul, kLeafK), kAddK));
+    const Mask redex = m.mask_or(right_add, left_add);
+    const std::size_t k = m.count_true(redex);
+    if (k == 0) break;
+
+    // Every redex writes only its own root, so the whole sweep is one
+    // parallel-processable set by construction.
+    const WordVec rs = m.compress(node_ids, redex);
+    const Mask r1_full = right_add;  // side flag, packed below
+    const WordVec side = m.compress(m.from_mask(r1_full), redex);
+    const Mask r1 = m.ge_scalar(side, 1);
+    const WordVec ss = m.compress(m.select(r1_full, rv, lv), redex);
+    const WordVec x = m.compress(m.select(r1_full, lv, rv), redex);
+    const WordVec y = m.gather(lefts, ss);
+    const WordVec z = m.gather(rights, ss);
+
+    // Allocate 2k fresh products contiguously: t1 block then t2 block.
+    const Word base = static_cast<Word>(arena.size());
+    for (std::size_t i = 0; i < 2 * k; ++i) arena.make_op(0, 0);
+    auto& kinds2 = arena.kinds();
+    auto& lefts2 = arena.lefts();
+    auto& rights2 = arena.rights();
+    const auto t1_off = static_cast<std::size_t>(base);
+    const auto t2_off = t1_off + k;
+    m.store(kinds2, t1_off, m.splat(2 * k, kMul));
+    m.store(lefts2, t1_off, m.select(r1, x, y));
+    m.store(rights2, t1_off, m.select(r1, y, x));
+    m.store(lefts2, t2_off, m.select(r1, x, z));
+    m.store(rights2, t2_off, m.select(r1, z, x));
+
+    // r := t1 + t2.
+    m.scatter(kinds2, rs, m.splat(k, kAddK));
+    m.scatter(lefts2, rs, m.iota(k, base));
+    m.scatter(rights2, rs, m.iota(k, base + static_cast<Word>(k)));
+
+    stats.rewrites += k;
+    stats.allocated += 2 * k;
+  }
+  FOLVEC_CHECK(is_sum_of_products(arena, root), "expansion incomplete");
+  return stats;
+}
+
+}  // namespace folvec::rewrite

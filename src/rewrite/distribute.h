@@ -1,0 +1,57 @@
+// Distributivity rewriting to sum-of-products form — the "graph rewriting"
+// direction named as future work in the paper's conclusion.
+//
+// Rules (both orientations):
+//   R1:  X * (Y + Z)  ->  (X * Y) + (X * Z)
+//   R2:  (Y + Z) * X  ->  (Y * X) + (Z * X)
+//
+// The distributed factor X is NOT copied: both fresh products reference the
+// same X subtree, so expansion turns the tree into a DAG with genuinely
+// shared subterms — the paper's Figure 3b situation. That sharing dictates
+// the shape of the rule itself: an *in-place* version (reusing the add node
+// as one of the products, like the associativity rewriter does) would be
+// unsound here, because a shared add rewritten in place changes its value
+// for every OTHER parent. The rule therefore allocates both products and
+// rewrites only the redex root r, leaving the add node intact (it becomes
+// garbage once unreferenced — reclaimable by exactly the kind of vectorized
+// collector in src/gc).
+//
+// Writing only r makes the redexes of one sweep conflict-free by
+// construction — no FOL pass needed, an instructive contrast with the
+// associativity rewriter where in-place two-node rewrites force FOL* (the
+// price of allocation-free rules). Shared adds are read concurrently by
+// many lanes, which is the safe Figure 2b regime.
+//
+// Verification is semantic: a term denotes a multiset of monomials
+// (polynomial.h), and expansion must preserve it exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "rewrite/term.h"
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::rewrite {
+
+struct DistributeStats {
+  std::size_t rewrites = 0;
+  std::size_t sweeps = 0;
+  std::size_t allocated = 0;  ///< fresh product nodes created
+};
+
+/// True iff no multiplication node has an addition anywhere beneath it
+/// (sum-of-products reached). Safe on DAGs.
+bool is_sum_of_products(const TermArena& arena, vm::Word root);
+
+/// Sequential expansion to sum-of-products (the baseline).
+DistributeStats distribute_scalar(TermArena& arena, vm::Word root,
+                                  vm::CostAccumulator* cost = nullptr);
+
+/// Vectorized expansion: per sweep, scan for distributivity redexes and
+/// apply all of them at once — two contiguous allocations plus scatters
+/// into the (mutually distinct) redex roots.
+DistributeStats distribute_vector(vm::VectorMachine& m, TermArena& arena,
+                                  vm::Word root);
+
+}  // namespace folvec::rewrite

@@ -1,0 +1,53 @@
+// Polynomial semantics of operation terms, used to verify the
+// distributivity rewriter: a term over leaf symbols denotes a multiset of
+// monomials, where a monomial is the sorted multiset of leaf symbols
+// multiplied together. Distribution must preserve this denotation exactly.
+//
+// Evaluation is structural and DAG-safe (shared subterms are evaluated per
+// reference, which is the intended copy semantics); term sizes in tests are
+// kept small because expansion is exponential by nature.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "rewrite/term.h"
+
+namespace folvec::rewrite {
+
+/// A monomial: sorted leaf-symbol multiset. A polynomial: monomial -> count.
+using Monomial = std::vector<vm::Word>;
+using Polynomial = std::map<Monomial, std::size_t>;
+
+inline Polynomial eval_polynomial(const TermArena& arena, vm::Word root) {
+  switch (arena.kind(root)) {
+    case NodeKind::kLeaf:
+      return {{Monomial{arena.symbol(root)}, 1}};
+    case NodeKind::kAdd: {
+      Polynomial p = eval_polynomial(arena, arena.left(root));
+      for (const auto& [mono, count] :
+           eval_polynomial(arena, arena.right(root))) {
+        p[mono] += count;
+      }
+      return p;
+    }
+    case NodeKind::kOp: {
+      const Polynomial a = eval_polynomial(arena, arena.left(root));
+      const Polynomial b = eval_polynomial(arena, arena.right(root));
+      Polynomial p;
+      for (const auto& [ma, ca] : a) {
+        for (const auto& [mb, cb] : b) {
+          Monomial m = ma;
+          m.insert(m.end(), mb.begin(), mb.end());
+          std::sort(m.begin(), m.end());
+          p[m] += ca * cb;
+        }
+      }
+      return p;
+    }
+  }
+  return {};
+}
+
+}  // namespace folvec::rewrite

@@ -1,0 +1,142 @@
+#include "rewrite/term.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace folvec::rewrite {
+
+using vm::Word;
+
+std::size_t TermArena::check(Word n) const {
+  FOLVEC_REQUIRE(n >= 0 && static_cast<std::size_t>(n) < kind_.size(),
+                 "node index out of range");
+  return static_cast<std::size_t>(n);
+}
+
+Word TermArena::make_leaf(Word sym) {
+  kind_.push_back(static_cast<Word>(NodeKind::kLeaf));
+  left_.push_back(kNone);
+  right_.push_back(kNone);
+  sym_.push_back(sym);
+  return static_cast<Word>(kind_.size() - 1);
+}
+
+Word TermArena::make_op(Word left, Word right) {
+  check(left);
+  check(right);
+  kind_.push_back(static_cast<Word>(NodeKind::kOp));
+  left_.push_back(left);
+  right_.push_back(right);
+  sym_.push_back(kNone);
+  return static_cast<Word>(kind_.size() - 1);
+}
+
+Word TermArena::make_add(Word left, Word right) {
+  check(left);
+  check(right);
+  kind_.push_back(static_cast<Word>(NodeKind::kAdd));
+  left_.push_back(left);
+  right_.push_back(right);
+  sym_.push_back(kNone);
+  return static_cast<Word>(kind_.size() - 1);
+}
+
+std::vector<Word> TermArena::leaf_sequence(Word root) const {
+  std::vector<Word> out;
+  std::vector<Word> stack{root};
+  while (!stack.empty()) {
+    const Word n = stack.back();
+    stack.pop_back();
+    FOLVEC_CHECK(out.size() + stack.size() <= 2 * kind_.size(),
+                 "term graph contains a cycle");
+    if (kind(n) == NodeKind::kLeaf) {
+      out.push_back(symbol(n));
+    } else {
+      // Right pushed first so the left subtree is emitted first.
+      stack.push_back(right(n));
+      stack.push_back(left(n));
+    }
+  }
+  return out;
+}
+
+std::size_t TermArena::depth(Word root) const {
+  std::size_t best = 0;
+  std::vector<std::pair<Word, std::size_t>> stack{{root, 1}};
+  while (!stack.empty()) {
+    const auto [n, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    FOLVEC_CHECK(d <= kind_.size() + 1, "term graph contains a cycle");
+    if (kind(n) != NodeKind::kLeaf) {
+      stack.emplace_back(left(n), d + 1);
+      stack.emplace_back(right(n), d + 1);
+    }
+  }
+  return best;
+}
+
+bool TermArena::is_left_deep(Word root) const {
+  std::vector<Word> stack{root};
+  while (!stack.empty()) {
+    const Word n = stack.back();
+    stack.pop_back();
+    if (kind(n) == NodeKind::kLeaf) continue;
+    if (kind(right(n)) == kind(n)) return false;
+    stack.push_back(left(n));
+    stack.push_back(right(n));
+  }
+  return true;
+}
+
+std::string TermArena::to_string(Word root) const {
+  if (kind(root) == NodeKind::kLeaf) {
+    return "s" + std::to_string(symbol(root));
+  }
+  const char op = kind(root) == NodeKind::kAdd ? '+' : '*';
+  return "(" + to_string(left(root)) + op + to_string(right(root)) + ")";
+}
+
+Word TermArena::unshare(Word root) {
+  if (kind(root) == NodeKind::kLeaf) {
+    return make_leaf(symbol(root));
+  }
+  const NodeKind k = kind(root);
+  const Word l = unshare(left(root));
+  const Word r = unshare(right(root));
+  return k == NodeKind::kAdd ? make_add(l, r) : make_op(l, r);
+}
+
+Word build_right_comb(TermArena& arena, std::size_t leaves) {
+  FOLVEC_REQUIRE(leaves >= 1, "a term needs at least one leaf");
+  Word node = arena.make_leaf(static_cast<Word>(leaves - 1));
+  for (std::size_t i = leaves - 1; i-- > 0;) {
+    node = arena.make_op(arena.make_leaf(static_cast<Word>(i)), node);
+  }
+  return node;
+}
+
+namespace {
+
+Word build_random(TermArena& arena, Word first_sym, std::size_t leaves,
+                  Xoshiro256& rng) {
+  if (leaves == 1) return arena.make_leaf(first_sym);
+  // Uniform split keeps expected depth O(sqrt(n))-ish — bushy enough to
+  // exercise both redex chains and isolated redexes.
+  const auto left_leaves =
+      static_cast<std::size_t>(rng.in_range(1, static_cast<Word>(leaves - 1)));
+  const Word l = build_random(arena, first_sym, left_leaves, rng);
+  const Word r = build_random(arena, first_sym + static_cast<Word>(left_leaves),
+                              leaves - left_leaves, rng);
+  return arena.make_op(l, r);
+}
+
+}  // namespace
+
+Word build_random_tree(TermArena& arena, std::size_t leaves, Xoshiro256& rng) {
+  FOLVEC_REQUIRE(leaves >= 1, "a term needs at least one leaf");
+  return build_random(arena, 0, leaves, rng);
+}
+
+}  // namespace folvec::rewrite

@@ -1,0 +1,95 @@
+// Operation-term arena for the tree-rewriting application (paper Figure 5).
+//
+// Terms are binary operation trees over leaf symbols, e.g. a*(b*(c*d)).
+// Nodes live in a structure-of-arrays arena (kind / left / right / symbol)
+// so the vectorized rewriter can scan for redexes and relink nodes with
+// list-vector operations. Rewriting is in place: the associative-law rule
+// X*(Y*Z) -> (X*Y)*Z rewrites exactly two nodes per unit process — the
+// redex root and its right child — which is the paper's motivating example
+// for FOL* with L = 2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/prng.h"
+#include "vm/machine.h"
+
+namespace folvec::rewrite {
+
+inline constexpr vm::Word kNone = -1;
+
+enum class NodeKind : vm::Word {
+  kLeaf = 0,
+  kOp = 1,   ///< multiplication (the paper's "*")
+  kAdd = 2,  ///< addition, used by the distributivity extension
+};
+
+/// SoA term arena. Node 0..size()-1; fields are exposed as Word vectors so
+/// the machine can gather/scatter them directly.
+class TermArena {
+ public:
+  /// Adds a leaf with symbol id `sym`; returns its node index.
+  vm::Word make_leaf(vm::Word sym);
+
+  /// Adds a multiplication node over (left, right); returns its index.
+  vm::Word make_op(vm::Word left, vm::Word right);
+
+  /// Adds an addition node over (left, right); returns its index.
+  vm::Word make_add(vm::Word left, vm::Word right);
+
+  std::size_t size() const { return kind_.size(); }
+
+  NodeKind kind(vm::Word n) const {
+    return static_cast<NodeKind>(kind_[check(n)]);
+  }
+  vm::Word left(vm::Word n) const { return left_[check(n)]; }
+  vm::Word right(vm::Word n) const { return right_[check(n)]; }
+  vm::Word symbol(vm::Word n) const { return sym_[check(n)]; }
+
+  // Mutable SoA views for the rewriters.
+  std::vector<vm::Word>& kinds() { return kind_; }
+  std::vector<vm::Word>& lefts() { return left_; }
+  std::vector<vm::Word>& rights() { return right_; }
+
+  /// In-order leaf symbol sequence of the tree rooted at `root`.
+  std::vector<vm::Word> leaf_sequence(vm::Word root) const;
+
+  /// Depth of the tree rooted at `root` (1 for a single leaf).
+  std::size_t depth(vm::Word root) const;
+
+  /// True iff the tree rooted at `root` contains no associativity redex,
+  /// i.e. no operator node whose right child is the SAME operator (fully
+  /// left-deep per operator kind).
+  bool is_left_deep(vm::Word root) const;
+
+  /// Infix rendering for diagnostics, e.g. "((a*b)*c)".
+  std::string to_string(vm::Word root) const;
+
+  /// Deep-copies the term into fresh nodes, duplicating shared subterms —
+  /// turns a DAG (e.g. the output of the distributivity rewriter) back
+  /// into a tree. Needed before in-place rewriters like assoc_rewrite_*,
+  /// whose two-node rule changes a rewritten node's value and is therefore
+  /// only sound when every node has a single parent. Exponential in the
+  /// worst case, like any unsharing.
+  vm::Word unshare(vm::Word root);
+
+ private:
+  std::size_t check(vm::Word n) const;
+
+  std::vector<vm::Word> kind_;
+  std::vector<vm::Word> left_;
+  std::vector<vm::Word> right_;
+  std::vector<vm::Word> sym_;
+};
+
+/// Builds a fully right-leaning product a0*(a1*(...*ak)) — the worst case
+/// for sequential rewriting and the best for the vector rewriter.
+vm::Word build_right_comb(TermArena& arena, std::size_t leaves);
+
+/// Builds a uniformly random binary tree shape over `leaves` symbols.
+vm::Word build_random_tree(TermArena& arena, std::size_t leaves,
+                           Xoshiro256& rng);
+
+}  // namespace folvec::rewrite

@@ -1,0 +1,209 @@
+#include "routing/maze.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace folvec::routing {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+Grid::Grid(std::size_t width, std::size_t height)
+    : width_(width), height_(height), obstacle_(width * height, 0) {
+  FOLVEC_REQUIRE(width > 0 && height > 0, "grid must be non-degenerate");
+}
+
+void Grid::set_obstacle(std::size_t x, std::size_t y) {
+  obstacle_[static_cast<std::size_t>(index(x, y))] = 1;
+}
+
+bool Grid::is_obstacle(std::size_t x, std::size_t y) const {
+  return obstacle_[static_cast<std::size_t>(index(x, y))] != 0;
+}
+
+Word Grid::index(std::size_t x, std::size_t y) const {
+  FOLVEC_REQUIRE(x < width_ && y < height_, "grid coordinate out of range");
+  return static_cast<Word>(y * width_ + x);
+}
+
+std::vector<Word> Grid::blank_distance_field() const {
+  std::vector<Word> dist(cells(), kUnreached);
+  for (std::size_t i = 0; i < cells(); ++i) {
+    if (obstacle_[i]) dist[i] = kObstacle;
+  }
+  return dist;
+}
+
+std::vector<Word> Grid::route_scalar(Word source, vm::CostAccumulator* cost,
+                                     RouteStats* stats) const {
+  return route_scalar_multi(std::span<const Word>(&source, 1), cost, stats);
+}
+
+std::vector<Word> Grid::route_scalar_multi(std::span<const Word> sources,
+                                           vm::CostAccumulator* cost,
+                                           RouteStats* stats) const {
+  vm::ScalarCost sc(cost);
+  std::vector<Word> dist = blank_distance_field();
+  sc.mem(cells());
+  std::vector<Word> queue;
+  for (const Word source : sources) {
+    FOLVEC_REQUIRE(dist[static_cast<std::size_t>(source)] != kObstacle,
+                   "source must not be an obstacle");
+    if (dist[static_cast<std::size_t>(source)] != 0) {
+      dist[static_cast<std::size_t>(source)] = 0;
+      queue.push_back(source);
+    }
+    sc.mem(2);
+    sc.branch(1);
+  }
+  std::size_t head = 0;
+  const auto w = static_cast<Word>(width_);
+  Word current_level = 0;
+  while (head < queue.size()) {
+    const Word cell = queue[head++];
+    const Word d = dist[static_cast<std::size_t>(cell)];
+    if (stats != nullptr && d == current_level) {
+      ++stats->wavefronts;
+      ++current_level;
+    }
+    const Word x = cell % w;
+    sc.div(1);
+    sc.mem(2);
+    sc.branch(1);
+    const Word neighbours[4] = {
+        x + 1 < w ? cell + 1 : Word{-1},
+        x > 0 ? cell - 1 : Word{-1},
+        cell + w < static_cast<Word>(cells()) ? cell + w : Word{-1},
+        cell - w >= 0 ? cell - w : Word{-1},
+    };
+    for (const Word n : neighbours) {
+      sc.alu(2);
+      sc.branch(2);
+      if (n < 0) continue;
+      sc.mem(1);
+      if (dist[static_cast<std::size_t>(n)] != kUnreached) continue;
+      dist[static_cast<std::size_t>(n)] = d + 1;
+      queue.push_back(n);
+      sc.mem(2);
+    }
+  }
+  return dist;
+}
+
+std::vector<Word> Grid::route_vector(VectorMachine& m, Word source,
+                                     RouteStats* stats) const {
+  return route_vector_multi(m, std::span<const Word>(&source, 1), stats);
+}
+
+std::vector<Word> Grid::route_vector_multi(VectorMachine& m,
+                                           std::span<const Word> sources,
+                                           RouteStats* stats) const {
+  // Initialize the field with vector operations: one fill plus a scatter
+  // of the (precomputed) obstacle index vector.
+  std::vector<Word> dist(cells());
+  m.fill(dist, kUnreached);
+  WordVec obstacle_idx;
+  for (std::size_t i = 0; i < cells(); ++i) {
+    if (obstacle_[i]) obstacle_idx.push_back(static_cast<Word>(i));
+  }
+  if (!obstacle_idx.empty()) {
+    m.scatter(dist, obstacle_idx,
+              m.splat(obstacle_idx.size(), kObstacle));
+  }
+  WordVec frontier;
+  for (const Word source : sources) {
+    FOLVEC_REQUIRE(dist[static_cast<std::size_t>(source)] != kObstacle,
+                   "source must not be an obstacle");
+    if (dist[static_cast<std::size_t>(source)] != 0) {
+      dist[static_cast<std::size_t>(source)] = 0;
+      frontier.push_back(source);
+    }
+    m.scalar_mem(2);
+    m.scalar_branch(1);
+  }
+
+  const auto w = static_cast<Word>(width_);
+  const auto total = static_cast<Word>(cells());
+  std::vector<Word> claim(cells(), 0);
+
+  Word d = 0;
+  while (!frontier.empty()) {
+    if (stats != nullptr) ++stats->wavefronts;
+
+    // Candidate neighbours in the four directions, with border masks
+    // derived from one vector division per wavefront.
+    const WordVec xs = m.mod_scalar(frontier, w);
+    WordVec cand;
+    auto push_direction = [&](const WordVec& neighbour, const Mask& valid) {
+      const WordVec packed = m.compress(neighbour, valid);
+      cand.insert(cand.end(), packed.begin(), packed.end());
+    };
+    push_direction(m.add_scalar(frontier, 1), m.lt_scalar(xs, w - 1));
+    push_direction(m.add_scalar(frontier, -1), m.ge_scalar(xs, 1));
+    push_direction(m.add_scalar(frontier, w),
+                   m.lt_scalar(m.add_scalar(frontier, w), total));
+    push_direction(m.add_scalar(frontier, -w),
+                   m.ge_scalar(m.add_scalar(frontier, -w), 0));
+
+    if (cand.empty()) break;
+
+    // Open cells only (not obstacles, not already numbered).
+    const Mask open = m.eq_scalar(m.gather(dist, cand), kUnreached);
+    const WordVec open_cells = m.compress(cand, open);
+    if (open_cells.empty()) break;
+
+    // Number them. Several lanes may hit one cell; they all write the same
+    // d+1, so the ELS condition alone guarantees the right value lands.
+    m.scatter(dist, open_cells, m.splat(open_cells.size(), d + 1));
+
+    // Dedupe the next frontier with one overwrite-and-check round: lane
+    // labels race into the claim word, the surviving lane carries the cell
+    // forward (the "implicit S1" of the related-work algorithms).
+    const WordVec labels = m.iota(open_cells.size());
+    m.scatter(claim, open_cells, labels);
+    const Mask winner = m.eq(m.gather(claim, open_cells), labels);
+    const std::size_t n_win = m.count_true(winner);
+    if (stats != nullptr) {
+      stats->dedup_dropped += open_cells.size() - n_win;
+    }
+    frontier = m.compress(open_cells, winner);
+    ++d;
+  }
+  return dist;
+}
+
+std::vector<Word> Grid::backtrace(std::span<const Word> dist, Word source,
+                                  Word target) const {
+  FOLVEC_REQUIRE(dist.size() == cells(), "distance field size mismatch");
+  if (dist[static_cast<std::size_t>(target)] < 0) return {};
+  const auto w = static_cast<Word>(width_);
+  std::vector<Word> path{target};
+  Word cell = target;
+  while (cell != source) {
+    const Word d = dist[static_cast<std::size_t>(cell)];
+    const Word x = cell % w;
+    const Word neighbours[4] = {
+        x + 1 < w ? cell + 1 : Word{-1},
+        x > 0 ? cell - 1 : Word{-1},
+        cell + w < static_cast<Word>(cells()) ? cell + w : Word{-1},
+        cell - w >= 0 ? cell - w : Word{-1},
+    };
+    Word next = -1;
+    for (const Word n : neighbours) {
+      if (n >= 0 && dist[static_cast<std::size_t>(n)] == d - 1) {
+        next = n;
+        break;
+      }
+    }
+    FOLVEC_CHECK(next >= 0, "distance field is not a valid BFS labelling");
+    path.push_back(next);
+    cell = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace folvec::routing

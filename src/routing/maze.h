@@ -1,0 +1,84 @@
+// Lee-algorithm maze routing on a grid, scalar and vectorized.
+//
+// Suzuki, Miki & Takamine's vectorized maze router (IEICE CAS 91-17,
+// cited in the paper's Section 5) expands the breadth-first wavefront with
+// vector operations. Two shared-data hazards appear, both resolved the FOL
+// way:
+//   * several frontier cells write the same distance to a common neighbour
+//     — harmless under ELS, since all colliding writes carry the same
+//     value (a degenerate overwrite-and-check where every lane "wins");
+//   * the next frontier must not contain one cell twice, or the wavefront
+//     would grow combinatorially — one overwrite-and-check round dedupes
+//     it (the implicit first-set-only FOL the paper points out).
+//
+// The router reproduces exact BFS distances, so the scalar and vector
+// versions are cross-checked cell for cell.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::routing {
+
+/// Distance value for unreached cells.
+inline constexpr vm::Word kUnreached = -1;
+/// Grid cell blocked by an obstacle.
+inline constexpr vm::Word kObstacle = -2;
+
+struct RouteStats {
+  std::size_t wavefronts = 0;     ///< BFS levels expanded
+  std::size_t dedup_dropped = 0;  ///< duplicate frontier lanes filtered
+};
+
+/// A rectangular routing grid. Cells are indexed row-major: cell = y*w + x.
+class Grid {
+ public:
+  Grid(std::size_t width, std::size_t height);
+
+  void set_obstacle(std::size_t x, std::size_t y);
+  bool is_obstacle(std::size_t x, std::size_t y) const;
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t cells() const { return width_ * height_; }
+  vm::Word index(std::size_t x, std::size_t y) const;
+
+  /// Scalar BFS from `source`: returns the distance field (kUnreached /
+  /// kObstacle markers preserved).
+  std::vector<vm::Word> route_scalar(vm::Word source,
+                                     vm::CostAccumulator* cost = nullptr,
+                                     RouteStats* stats = nullptr) const;
+
+  /// Vectorized wavefront BFS; identical distance field to route_scalar.
+  std::vector<vm::Word> route_vector(vm::VectorMachine& m, vm::Word source,
+                                     RouteStats* stats = nullptr) const;
+
+  /// Multi-terminal variants (a net with several pins, the standard LSI
+  /// routing workload): dist[c] = distance to the NEAREST source.
+  /// Duplicate sources are permitted.
+  std::vector<vm::Word> route_scalar_multi(
+      std::span<const vm::Word> sources, vm::CostAccumulator* cost = nullptr,
+      RouteStats* stats = nullptr) const;
+  std::vector<vm::Word> route_vector_multi(vm::VectorMachine& m,
+                                           std::span<const vm::Word> sources,
+                                           RouteStats* stats = nullptr) const;
+
+  /// Shortest path from source to target, walked backwards over a distance
+  /// field returned by either router; empty when unreachable.
+  std::vector<vm::Word> backtrace(std::span<const vm::Word> dist,
+                                  vm::Word source, vm::Word target) const;
+
+ private:
+  std::vector<vm::Word> blank_distance_field() const;
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> obstacle_;
+};
+
+}  // namespace folvec::routing

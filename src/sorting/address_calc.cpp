@@ -1,0 +1,155 @@
+#include "sorting/address_calc.h"
+
+#include <limits>
+
+#include "support/require.h"
+
+namespace folvec::sorting {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+/// Order-preserving spreading function: floor(2n * x / vmax), mapping
+/// [0, vmax) onto [0, 2n) (the first two thirds of the 3n-slot work array).
+Word spread(Word x, Word n, Word vmax) {
+  return 2 * n * x / vmax;
+}
+
+void check_input(std::span<const Word> data, Word vmax) {
+  FOLVEC_REQUIRE(vmax > 0, "vmax must be positive");
+  const auto n = static_cast<Word>(data.size());
+  FOLVEC_REQUIRE(n == 0 || vmax <= std::numeric_limits<Word>::max() / (2 * n),
+                 "2n * vmax must not overflow the machine word");
+  for (Word x : data) {
+    FOLVEC_REQUIRE(x >= 0 && x < vmax, "data values must lie in [0, vmax)");
+  }
+}
+
+}  // namespace
+
+void address_calc_sort_scalar(std::span<Word> data, Word vmax,
+                              vm::CostAccumulator* cost) {
+  check_input(data, vmax);
+  const auto n = static_cast<Word>(data.size());
+  if (n == 0) return;
+  vm::ScalarCost sc(cost);
+  const Word unentered = vmax;  // greater than any datum
+  std::vector<Word> c(static_cast<std::size_t>(3 * n), unentered);
+  sc.mem(c.size());
+  sc.branch(c.size());
+
+  for (Word x : data) {
+    // A: spreading-function "hash" — one multiply and one (slow) divide.
+    auto hv = static_cast<std::size_t>(spread(x, n, vmax));
+    sc.div(1);
+    sc.alu(2);
+    // B: advance while the slot holds a value not greater than x, keeping
+    // equal values stable and the occupied run sorted.
+    sc.mem(1);
+    sc.branch(1);
+    while (c[hv] <= x) {
+      ++hv;
+      sc.alu(1);
+      sc.mem(1);
+      sc.branch(1);
+    }
+    // C & D: insert and ripple the displaced suffix one slot rightward.
+    Word w = c[hv];
+    c[hv] = x;
+    sc.mem(2);
+    while (w != unentered) {
+      ++hv;
+      const Word next = c[hv];
+      c[hv] = w;
+      w = next;
+      sc.alu(1);
+      sc.mem(2);
+      sc.branch(1);
+    }
+    sc.branch(1);
+  }
+
+  // F: pack the occupied slots back into `data`.
+  std::size_t count = 0;
+  for (Word v : c) {
+    sc.mem(1);
+    sc.branch(1);
+    if (v != unentered) {
+      data[count++] = v;
+      sc.mem(1);
+    }
+  }
+  FOLVEC_CHECK(count == data.size(), "pack phase lost elements");
+}
+
+AddressCalcStats address_calc_sort_vector(VectorMachine& m,
+                                          std::span<Word> data, Word vmax) {
+  AddressCalcStats stats;
+  check_input(data, vmax);
+  const auto n = static_cast<Word>(data.size());
+  if (n == 0) return stats;
+  const Word unentered = vmax;
+
+  std::vector<Word> c(static_cast<std::size_t>(3 * n));
+  m.fill(c, unentered);
+
+  WordVec a = m.copy(data);
+  // A: spreading-function "hash" of every datum at once.
+  WordVec hv = m.div_scalar(m.mul_scalar(a, 2 * n), vmax);
+
+  while (!a.empty()) {
+    ++stats.outer_passes;
+
+    // B: advance lanes whose slot holds a value <= their datum. The loop is
+    // all-vector; each pass moves only the still-colliding lanes.
+    for (;;) {
+      const Mask uninsertable = m.le(m.gather(c, hv), a);
+      if (m.count_true(uninsertable) == 0) break;
+      ++stats.probe_steps;
+      hv = m.select(uninsertable, m.add_scalar(hv, 1), hv);
+    }
+
+    // C: overwrite-and-check with negated lane identifiers (-1..-nrest,
+    // disjoint from the non-negative data), then store data where the
+    // identifier survived.
+    const WordVec work = m.gather(c, hv);  // save displaced originals
+    const WordVec ids = m.negate(m.iota(a.size(), 1));
+    m.scatter(c, hv, ids);
+    const Mask entered = m.eq(m.gather(c, hv), ids);
+    m.scatter_masked(c, hv, a, entered);
+
+    // D: ripple displaced values rightward, all chains in lock step. Chains
+    // start at distinct slots (winners are unique per slot) and advance by
+    // one slot per step, so they never collide; a chain that runs into
+    // another winner's fresh value simply carries it along.
+    Mask to_shift = m.mask_and(entered, m.ne_scalar(work, unentered));
+    WordVec shift_vals = m.compress(work, to_shift);
+    WordVec shift_idx = m.add_scalar(m.compress(hv, to_shift), 1);
+    while (!shift_vals.empty()) {
+      ++stats.shift_steps;
+      const WordVec next = m.gather(c, shift_idx);
+      m.scatter(c, shift_idx, shift_vals);
+      const Mask nonempty = m.ne_scalar(next, unentered);
+      shift_vals = m.compress(next, nonempty);
+      shift_idx = m.add_scalar(m.compress(shift_idx, nonempty), 1);
+    }
+
+    // E: pack the lanes that lost the identifier check for the next pass.
+    const Mask rest = m.mask_not(entered);
+    hv = m.compress(hv, rest);
+    a = m.compress(a, rest);
+  }
+
+  // F: pack the occupied slots of C back into `data`.
+  const WordVec cv = m.load(c, 0, c.size());
+  const WordVec sorted = m.compress(cv, m.ne_scalar(cv, unentered));
+  FOLVEC_CHECK(sorted.size() == data.size(), "pack phase lost elements");
+  m.store(data, 0, sorted);
+  return stats;
+}
+
+}  // namespace folvec::sorting

@@ -1,0 +1,51 @@
+// Address-calculation sorting (linear probing sort), paper Section 4.2.
+//
+// Data are "hashed" with an order-preserving spreading function into a work
+// array C of 3n slots, displacing larger values rightward on collision
+// (insertion-sort style), then packed back out — an O(n) expected-time sort.
+// The spreading function is not a real hash: data[i] <= data[j] implies
+// hash(data[i]) <= hash(data[j]), so the occupied slots of C are always in
+// sorted order and the final pack yields the sorted array.
+//
+// The scalar version is the paper's Figure 11; the vectorized version is
+// Figure 12, which resolves insertion collisions with the FOL
+// overwrite-and-check: lanes scatter *negated lane identifiers* into their
+// target slots, read them back, and only the surviving lane stores its
+// datum; displaced values are shifted rightward by lock-step vector
+// operations (part D), and losing lanes retry in the next outer pass.
+//
+// Note on the spreading function: Figure 11's listing reads
+// `int(2 * size(C) * A[i] / Vmax)` with size(C) = 3n, but the worked example
+// (Figure 13) uses factor 2n/Vmax — the listing's factor would index past
+// the end of C. We follow the worked example: hash(x) = floor(2n*x / Vmax).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::sorting {
+
+/// Run statistics for the vectorized sort (reported by the benches).
+struct AddressCalcStats {
+  std::size_t outer_passes = 0;  ///< Figure 12 repeat-until-empty passes
+  std::size_t probe_steps = 0;   ///< part-B collision-advance vector steps
+  std::size_t shift_steps = 0;   ///< part-D lock-step shift iterations
+};
+
+/// Figure 11: sequential linear-probing sort. `data` values must lie in
+/// [0, vmax). Sorts in place. `cost` (optional) receives scalar-unit ticks.
+void address_calc_sort_scalar(std::span<vm::Word> data, vm::Word vmax,
+                              vm::CostAccumulator* cost = nullptr);
+
+/// Figure 12: vectorized linear-probing sort on the machine. `data` values
+/// must be non-negative (lane identifiers are stored negated to be
+/// distinguishable) and less than `vmax`.
+AddressCalcStats address_calc_sort_vector(vm::VectorMachine& m,
+                                          std::span<vm::Word> data,
+                                          vm::Word vmax);
+
+}  // namespace folvec::sorting

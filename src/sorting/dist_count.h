@@ -1,0 +1,39 @@
+// Distribution counting sort (Knuth, TAOCP vol. 3, 5.2), paper Section 4.2.
+//
+// Keys are small integers in [0, range); the sort histograms them, prefix-
+// sums the histogram, and places each key at its group's next free slot.
+// Both the histogram increment and the placement hit the classic shared-
+// update hazard — equal keys update the same counter / adjacent output
+// slots — which the paper vectorizes with the overwrite-and-check
+// technique. (The paper omits its listing; this implementation decomposes
+// the key vector once with FOL1 — the key values themselves are the
+// addressed "storage areas" — and reuses the conflict-free sets for both
+// the increments and the placements.)
+//
+// The paper's Table 1 uses range = 2^16, which makes the histogram
+// initialization and prefix sum dominate at small n: exactly the regime
+// where the vector unit's advantage is largest.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::sorting {
+
+struct DistCountStats {
+  std::size_t fol_rounds = 0;  ///< parallel-processable sets (max multiplicity)
+};
+
+/// Sequential distribution counting sort of `data` (values in [0, range)).
+void dist_count_sort_scalar(std::span<vm::Word> data, vm::Word range,
+                            vm::CostAccumulator* cost = nullptr);
+
+/// Vectorized distribution counting sort on the machine.
+DistCountStats dist_count_sort_vector(vm::VectorMachine& m,
+                                      std::span<vm::Word> data,
+                                      vm::Word range);
+
+}  // namespace folvec::sorting

@@ -1,0 +1,37 @@
+// LSD radix sort built from stable vectorized counting passes.
+//
+// An extension beyond the paper's Table 1 family: the distribution counting
+// sort generalizes to arbitrary key widths by sorting digit-by-digit — but
+// only if every counting pass is *stable*, and plain FOL1 is deliberately
+// order-agnostic (any occurrence of a duplicate digit may win any round).
+// The order-preserving FOL variant of footnote 7 supplies exactly the
+// missing guarantee: fol1_decompose_ordered assigns the j-th occurrence of
+// every digit to set j, so the j-th set's lanes take base[digit] + j as
+// their output slot — stable placement with one gather + one add + one
+// scatter per set and no counter decrements at all.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::sorting {
+
+struct RadixStats {
+  std::size_t digit_passes = 0;  ///< counting passes executed
+  std::size_t fol_rounds = 0;    ///< total ordered-FOL sets across passes
+};
+
+/// Sequential LSD radix sort (stable counting per digit), the baseline.
+/// `bits_per_digit` in [1, 16]; data must be non-negative.
+void radix_sort_scalar(std::span<vm::Word> data, int bits_per_digit,
+                       vm::CostAccumulator* cost = nullptr);
+
+/// Vectorized LSD radix sort on the machine; bit-identical result to the
+/// scalar version (both are plain ascending sorts of non-negative words).
+RadixStats radix_sort_vector(vm::VectorMachine& m, std::span<vm::Word> data,
+                             int bits_per_digit);
+
+}  // namespace folvec::sorting

@@ -1,0 +1,73 @@
+#include "sorting/scan.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace folvec::sorting {
+
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+void inclusive_scan_scalar(std::span<Word> buf, vm::CostAccumulator* cost) {
+  vm::ScalarCost sc(cost);
+  Word carry = 0;
+  for (auto& v : buf) {
+    carry += v;
+    v = carry;
+    sc.alu(1);
+    sc.mem(2);
+    sc.branch(1);
+  }
+}
+
+void inclusive_scan_vector(VectorMachine& m, std::span<Word> buf) {
+  const std::size_t r = buf.size();
+  constexpr std::size_t kBlocks = 512;
+  if (r < 2 * kBlocks) {
+    // Too small to amortize the strided sweeps; the scalar unit wins.
+    inclusive_scan_scalar(buf, &m.cost());
+    return;
+  }
+  const std::size_t block_len = r / kBlocks;  // main region: kBlocks * block_len
+  const std::size_t main_len = kBlocks * block_len;
+
+  // Pass 1: simultaneous block-local inclusive scans. Row `row` of every
+  // block is one strided vector of kBlocks elements.
+  WordVec carry = m.splat(kBlocks, 0);
+  for (std::size_t row = 0; row < block_len; ++row) {
+    const WordVec v = m.load_strided(buf, row, block_len, kBlocks);
+    carry = m.add(carry, v);
+    m.store_strided(buf, row, block_len, carry);
+  }
+
+  // Scalar exclusive scan of the block totals (`carry` holds them).
+  WordVec offsets(kBlocks);
+  Word acc = 0;
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    offsets[b] = acc;
+    acc += carry[b];
+    m.scalar_alu(1);
+    m.scalar_mem(2);
+    m.scalar_branch(1);
+  }
+
+  // Pass 2: add each block's offset to all of its rows.
+  for (std::size_t row = 0; row < block_len; ++row) {
+    const WordVec v = m.load_strided(buf, row, block_len, kBlocks);
+    m.store_strided(buf, row, block_len, m.add(v, offsets));
+  }
+
+  // Scalar tail for the remainder beyond the blocked region.
+  Word tail_carry = main_len > 0 ? buf[main_len - 1] : 0;
+  for (std::size_t i = main_len; i < r; ++i) {
+    tail_carry += buf[i];
+    buf[i] = tail_carry;
+    m.scalar_alu(1);
+    m.scalar_mem(2);
+    m.scalar_branch(1);
+  }
+}
+
+}  // namespace folvec::sorting

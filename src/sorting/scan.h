@@ -1,0 +1,25 @@
+// Vectorized inclusive prefix sum, used by the distribution counting sort.
+//
+// Pipelined vector machines have no scan instruction, so the classic
+// two-level blocking scheme is used: view the buffer as B contiguous blocks
+// of length L, run all B block-local scans simultaneously with B-wide
+// strided vector operations (one row of every block per step), scan the B
+// block totals on the scalar unit, then add each block's offset back with
+// another sweep of B-wide vector adds. Total vector work is ~6R elements
+// and 3L+O(1) instruction startups; the scalar residue is O(B + R mod B).
+#pragma once
+
+#include <span>
+
+#include "vm/machine.h"
+
+namespace folvec::sorting {
+
+/// In-place inclusive prefix sum of `buf` on the machine.
+void inclusive_scan_vector(vm::VectorMachine& m, std::span<vm::Word> buf);
+
+/// In-place inclusive prefix sum on the scalar unit (baseline).
+void inclusive_scan_scalar(std::span<vm::Word> buf,
+                           vm::CostAccumulator* cost = nullptr);
+
+}  // namespace folvec::sorting

@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All workload generators in folvec take explicit seeds so every experiment
+// is reproducible bit-for-bit. SplitMix64 seeds Xoshiro256**, the main
+// engine; both are tiny, fast, and well characterised.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "support/require.h"
+
+namespace folvec {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the library's workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) with Lemire-style rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    FOLVEC_REQUIRE(bound > 0, "below() needs a positive bound");
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t in_range(std::int64_t lo, std::int64_t hi) {
+    FOLVEC_REQUIRE(lo <= hi, "in_range() needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Generates `n` uniform keys in [0, bound). Duplicates possible.
+inline std::vector<std::int64_t> random_keys(std::size_t n, std::int64_t bound,
+                                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int64_t> keys(n);
+  for (auto& k : keys) k = rng.in_range(0, bound - 1);
+  return keys;
+}
+
+/// Generates `n` *distinct* uniform keys in [0, bound).
+inline std::vector<std::int64_t> random_unique_keys(std::size_t n,
+                                                    std::int64_t bound,
+                                                    std::uint64_t seed) {
+  FOLVEC_REQUIRE(static_cast<std::uint64_t>(bound) >= n,
+                 "cannot draw n distinct keys from a smaller range");
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::int64_t> seen;
+  std::vector<std::int64_t> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    const std::int64_t k = rng.in_range(0, bound - 1);
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Fisher-Yates shuffle with the library engine.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace folvec

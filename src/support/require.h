@@ -1,0 +1,71 @@
+// Runtime checking utilities shared across the folvec library.
+//
+// The library validates its preconditions with FOLVEC_REQUIRE, which throws
+// folvec::PreconditionError (so tests can assert on misuse), and internal
+// invariants with FOLVEC_CHECK, which throws folvec::InternalError. Both are
+// always on: the algorithms in this library are memory-bound, and the checks
+// sit outside inner vector loops, so the cost is negligible.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace folvec {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails; indicates a bug in folvec itself
+/// or a substrate that violates a hardware contract (e.g. the ELS condition).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed: " + msg);
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": invariant `" + expr + "` failed: " + msg);
+}
+
+}  // namespace detail
+
+#define FOLVEC_REQUIRE(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::folvec::detail::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                           (msg));                        \
+    }                                                                     \
+  } while (false)
+
+#define FOLVEC_CHECK(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::folvec::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+/// Narrowing cast that checks the value survives the round trip.
+template <typename To, typename From>
+To checked_narrow(From value) {
+  const To narrowed = static_cast<To>(value);
+  if (static_cast<From>(narrowed) != value ||
+      ((narrowed < To{}) != (value < From{}))) {
+    throw PreconditionError("checked_narrow: value does not fit target type");
+  }
+  return narrowed;
+}
+
+}  // namespace folvec

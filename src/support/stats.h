@@ -1,0 +1,50 @@
+// Small descriptive-statistics helpers for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/require.h"
+
+namespace folvec {
+
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+};
+
+/// Computes min/max/mean/median/population-stddev of `xs` (must be nonempty).
+inline Summary summarize(std::vector<double> xs) {
+  FOLVEC_REQUIRE(!xs.empty(), "summarize() needs at least one sample");
+  Summary s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  const std::size_t n = xs.size();
+  s.median = (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(n));
+  return s;
+}
+
+/// Geometric mean of strictly positive samples.
+inline double geomean(const std::vector<double>& xs) {
+  FOLVEC_REQUIRE(!xs.empty(), "geomean() needs at least one sample");
+  double logsum = 0;
+  for (double x : xs) {
+    FOLVEC_REQUIRE(x > 0, "geomean() needs positive samples");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+}  // namespace folvec

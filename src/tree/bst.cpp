@@ -1,0 +1,202 @@
+#include "tree/bst.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace folvec::tree {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+Bst::Bst(std::size_t capacity, vm::CostAccumulator* cost)
+    : key_(capacity, 0), child_(2 * capacity + 1, kNull), cost_(cost) {
+  FOLVEC_REQUIRE(capacity > 0, "tree capacity must be positive");
+}
+
+void Bst::insert_scalar(Word key) {
+  FOLVEC_REQUIRE(alloc_ < key_.size(), "tree pool exhausted");
+  // Descend to the null child slot this key belongs in, then fill it.
+  std::size_t slot = root_slot();
+  cost_.mem(1);
+  cost_.branch(1);
+  while (child_[slot] != kNull) {
+    const auto node = static_cast<std::size_t>(child_[slot]);
+    const bool go_right = key >= key_[node];  // duplicates descend right
+    slot = 2 * node + (go_right ? 1 : 0);
+    cost_.alu(2);
+    cost_.mem(2);
+    cost_.branch(2);
+  }
+  const auto node = static_cast<Word>(alloc_++);
+  key_[static_cast<std::size_t>(node)] = key;
+  child_[slot] = node;
+  cost_.mem(2);
+}
+
+BulkInsertStats Bst::insert_bulk(VectorMachine& m,
+                                 std::span<const Word> keys) {
+  BulkInsertStats stats;
+  if (keys.empty()) return stats;
+  FOLVEC_REQUIRE(alloc_ + keys.size() <= key_.size(), "tree pool exhausted");
+
+  WordVec pend_keys = m.copy(keys);
+  WordVec pend_slots = m.splat(keys.size(), static_cast<Word>(root_slot()));
+  // Per-slot label words for the overwrite-and-check filter.
+  std::vector<Word> work(child_.size(), 0);
+
+  // Each pass either descends a lane one level or resolves it; the pass
+  // count is bounded by the final height plus the worst conflict chain.
+  const std::size_t max_passes = 2 * (alloc_ + keys.size()) + 64;
+  std::size_t passes = 0;
+  while (!pend_keys.empty()) {
+    FOLVEC_CHECK(++passes <= max_passes, "bulk insert failed to converge");
+    ++stats.passes;
+    const std::size_t n = pend_keys.size();
+
+    const WordVec link = m.gather(child_, pend_slots);
+    const Mask is_null = m.eq_scalar(link, kNull);
+    const Mask descending = m.mask_not(is_null);
+
+    // Descending lanes: read the node key, pick a side, move to that slot.
+    const WordVec node_keys =
+        m.gather_masked(key_, link, descending, 0);
+    const Mask go_right_cmp = m.le(node_keys, pend_keys);  // key >= node key
+    const Mask go_right = m.mask_and(go_right_cmp, descending);
+    const WordVec next_slots =
+        m.add(m.mul_scalar(link, 2), m.from_mask(go_right));
+    pend_slots = m.select(descending, next_slots, pend_slots);
+
+    // Candidate lanes: filter one winner per contested slot, then link the
+    // winners' freshly allocated nodes in a single scatter.
+    const std::size_t n_cand = m.count_true(is_null);
+    if (n_cand == 0) continue;
+    const WordVec lane_ids = m.iota(n);
+    m.scatter_masked(work, pend_slots, lane_ids, is_null);
+    const WordVec readback = m.gather_masked(work, pend_slots, is_null, -1);
+    const Mask winner = m.mask_and(m.eq(readback, lane_ids), is_null);
+    const std::size_t n_win = m.count_true(winner);
+    FOLVEC_CHECK(n_win > 0, "conflict filter produced no winner");
+    stats.conflict_lanes += n_cand - n_win;
+
+    const WordVec win_keys = m.compress(pend_keys, winner);
+    const WordVec win_slots = m.compress(pend_slots, winner);
+    const WordVec new_nodes = m.iota(n_win, static_cast<Word>(alloc_));
+    m.store(key_, alloc_, win_keys);
+    m.scatter(child_, win_slots, new_nodes);
+    alloc_ += n_win;
+
+    // Losers keep their slot; next pass they descend through the new node.
+    const Mask keep = m.mask_not(winner);
+    pend_keys = m.compress(pend_keys, keep);
+    pend_slots = m.compress(pend_slots, keep);
+  }
+  return stats;
+}
+
+bool Bst::contains(Word key) const {
+  Word node = root();
+  while (node != kNull) {
+    const auto i = static_cast<std::size_t>(node);
+    if (key_[i] == key) return true;
+    node = child_[2 * i + (key >= key_[i] ? 1 : 0)];
+  }
+  return false;
+}
+
+std::vector<Word> Bst::inorder() const {
+  std::vector<Word> out;
+  out.reserve(alloc_);
+  std::vector<Word> stack;
+  Word node = root();
+  while (node != kNull || !stack.empty()) {
+    while (node != kNull) {
+      stack.push_back(node);
+      node = child_[2 * static_cast<std::size_t>(node)];
+    }
+    node = stack.back();
+    stack.pop_back();
+    out.push_back(key_[static_cast<std::size_t>(node)]);
+    FOLVEC_CHECK(out.size() <= alloc_, "link structure contains a cycle");
+    node = child_[2 * static_cast<std::size_t>(node) + 1];
+  }
+  return out;
+}
+
+bool Bst::check_invariant() const {
+  // In-order traversal must be non-decreasing and visit each node once.
+  const std::vector<Word> seq = inorder();
+  if (seq.size() != alloc_) return false;
+  return std::is_sorted(seq.begin(), seq.end());
+}
+
+void Bst::rebalance(VectorMachine& m) {
+  if (alloc_ == 0) return;
+  // Sorted keys via in-order traversal (scalar unit: one pointer-chasing
+  // visit per node).
+  const std::vector<Word> sorted = inorder();
+  cost_.mem(2 * alloc_);
+  cost_.branch(2 * alloc_);
+
+  std::vector<Word> new_key(key_.size(), 0);
+  std::vector<Word> new_child(child_.size(), kNull);
+  std::size_t alloc = 0;
+
+  // Level-synchronous midpoint construction over [lo, hi] ranges; each
+  // lane's node is written into the parent child slot it was given.
+  WordVec lo{0};
+  WordVec hi{static_cast<Word>(alloc_ - 1)};
+  WordVec slot{static_cast<Word>(root_slot())};
+  while (!lo.empty()) {
+    const std::size_t k = lo.size();
+    const WordVec mid = m.div_scalar(m.add(lo, hi), 2);
+    const WordVec nodes = m.iota(k, static_cast<Word>(alloc));
+    m.store(new_key, alloc, m.gather(sorted, mid));
+    m.scatter(new_child, slot, nodes);
+    alloc += k;
+
+    // Left sub-ranges [lo, mid-1] into slots 2*node, right sub-ranges
+    // [mid+1, hi] into slots 2*node+1.
+    const Mask has_left = m.lt(lo, mid);
+    const Mask has_right = m.lt(mid, hi);
+    const WordVec left_slots = m.compress(m.mul_scalar(nodes, 2), has_left);
+    const WordVec right_slots =
+        m.compress(m.add_scalar(m.mul_scalar(nodes, 2), 1), has_right);
+    WordVec next_lo = m.compress(lo, has_left);
+    WordVec next_hi = m.compress(m.add_scalar(mid, -1), has_left);
+    WordVec next_slot = left_slots;
+    const WordVec right_lo = m.compress(m.add_scalar(mid, 1), has_right);
+    const WordVec right_hi = m.compress(hi, has_right);
+    next_lo.insert(next_lo.end(), right_lo.begin(), right_lo.end());
+    next_hi.insert(next_hi.end(), right_hi.begin(), right_hi.end());
+    next_slot.insert(next_slot.end(), right_slots.begin(), right_slots.end());
+    lo = std::move(next_lo);
+    hi = std::move(next_hi);
+    slot = std::move(next_slot);
+  }
+  FOLVEC_CHECK(alloc == alloc_, "rebalance lost nodes");
+  key_ = std::move(new_key);
+  child_ = std::move(new_child);
+}
+
+std::size_t Bst::height() const {
+  // Iterative depth computation over an explicit (node, depth) stack.
+  std::size_t best = 0;
+  std::vector<std::pair<Word, std::size_t>> stack;
+  if (root() != kNull) stack.emplace_back(root(), 1);
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    best = std::max(best, depth);
+    const auto i = static_cast<std::size_t>(node);
+    if (child_[2 * i] != kNull) stack.emplace_back(child_[2 * i], depth + 1);
+    if (child_[2 * i + 1] != kNull) {
+      stack.emplace_back(child_[2 * i + 1], depth + 1);
+    }
+  }
+  return best;
+}
+
+}  // namespace folvec::tree

@@ -1,0 +1,84 @@
+// Unbalanced binary search tree with pooled, structure-of-arrays storage,
+// and the FOL1-based bulk insertion of paper Section 4.3.
+//
+// Layout: node fields live in parallel arrays (`key`, plus a unified child
+// array where child[2*node] is the left link and child[2*node + 1] the
+// right link) so the vectorized inserter can traverse and relink with
+// list-vector gathers and scatters. The tree root is child slot
+// 2*capacity, making "empty tree" just another null child slot and letting
+// the bulk inserter treat root creation like any other link write.
+//
+// Bulk insertion descends all pending keys one level per pass. Keys whose
+// next child link is null become *candidates*: they want to allocate a node
+// and write its index into that link slot. Several candidates can target
+// the same slot — the shared-data hazard of Figure 4 — so one
+// overwrite-and-check round (lane labels scattered into a per-slot work
+// array) filters the winners; losers resume their descent *through the
+// winner's freshly created node* on the next pass, exactly as sequential
+// insertion would have collided with it.
+//
+// Duplicate keys descend right, matching the scalar baseline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vm/cost_model.h"
+#include "vm/machine.h"
+
+namespace folvec::tree {
+
+inline constexpr vm::Word kNull = -1;
+
+struct BulkInsertStats {
+  std::size_t passes = 0;          ///< level-descent vector passes
+  std::size_t conflict_lanes = 0;  ///< candidate lanes that lost a round
+};
+
+class Bst {
+ public:
+  /// `capacity` bounds the total number of nodes ever inserted.
+  explicit Bst(std::size_t capacity, vm::CostAccumulator* cost = nullptr);
+
+  /// Sequential insertion (the Figure 14 baseline).
+  void insert_scalar(vm::Word key);
+
+  /// Vectorized bulk insertion of `keys` (duplicates allowed).
+  BulkInsertStats insert_bulk(vm::VectorMachine& m,
+                              std::span<const vm::Word> keys);
+
+  bool contains(vm::Word key) const;
+  std::size_t size() const { return alloc_; }
+
+  /// In-order key sequence (ascending when the BST invariant holds).
+  std::vector<vm::Word> inorder() const;
+
+  /// True iff every node's subtree satisfies the BST ordering invariant
+  /// (left < node, right >= node) and the link structure is a proper tree.
+  bool check_invariant() const;
+
+  /// Height of the tree (0 for empty).
+  std::size_t height() const;
+
+  /// Rebuilds the tree to minimum height with vector operations — the
+  /// "tree rebalancing" named as future work in the paper's conclusion.
+  /// The sorted key sequence is re-linked by level-synchronous midpoint
+  /// construction: every level's nodes are allocated with one contiguous
+  /// store and linked with one scatter (slots of distinct parents never
+  /// conflict, so no FOL pass is needed — a useful contrast with
+  /// insert_bulk). Contents and in-order sequence are unchanged.
+  void rebalance(vm::VectorMachine& m);
+
+ private:
+  vm::Word root() const { return child_[root_slot()]; }
+  std::size_t root_slot() const { return 2 * key_.size(); }
+
+  std::vector<vm::Word> key_;    ///< pool: node keys
+  std::vector<vm::Word> child_;  ///< pool: links; [2i]=left, [2i+1]=right,
+                                 ///< [2*capacity]=root
+  std::size_t alloc_ = 0;
+  mutable vm::ScalarCost cost_;
+};
+
+}  // namespace folvec::tree

@@ -1,0 +1,134 @@
+#include "vm/cost_model.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace folvec::vm {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kScalarAlu: return "s.alu";
+    case OpClass::kScalarMem: return "s.mem";
+    case OpClass::kScalarBranch: return "s.br";
+    case OpClass::kScalarDiv: return "s.div";
+    case OpClass::kVectorArith: return "v.arith";
+    case OpClass::kVectorCompare: return "v.cmp";
+    case OpClass::kVectorDiv: return "v.div";
+    case OpClass::kVectorMask: return "v.mask";
+    case OpClass::kVectorLoad: return "v.load";
+    case OpClass::kVectorStore: return "v.store";
+    case OpClass::kVectorGather: return "v.gather";
+    case OpClass::kVectorScatter: return "v.scatter";
+    case OpClass::kVectorScatterOrdered: return "v.scatter.ord";
+    case OpClass::kVectorCompress: return "v.compress";
+    case OpClass::kVectorReduce: return "v.reduce";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+void set(CostParams& p, OpClass c, double startup, double per_element) {
+  const auto i = static_cast<std::size_t>(c);
+  p.startup[i] = startup;
+  p.per_element[i] = per_element;
+}
+
+}  // namespace
+
+CostParams CostParams::s810_like() {
+  // Calibration rationale (shape targets from the paper, Section 4):
+  //  * the S-810 scalar unit was the slow side of the machine: simple ops a
+  //    few cycles, memory ~5 cycles, and integer divide (the MOD in every
+  //    hash) tens of cycles — scalar hashing is division-bound, which is
+  //    what lets the vectorized version win by an order of magnitude;
+  //  * vector startup of a few tens of cycles: enough that a ~260-element
+  //    working vector (table 521, load 0.5) only reaches an acceleration of
+  //    ~5 while ~2050 elements (table 4099) reaches ~10 (Figure 10);
+  //  * element throughput of several results/cycle for chained linear
+  //    arithmetic (multiple parallel pipes), ~1 element/cycle for
+  //    gather/scatter (bank conflicts), divide pipelined at ~1/cycle.
+  CostParams p;
+  set(p, OpClass::kScalarAlu, 0.0, 2.0);
+  set(p, OpClass::kScalarMem, 0.0, 5.0);
+  set(p, OpClass::kScalarBranch, 0.0, 5.0);
+  set(p, OpClass::kScalarDiv, 0.0, 60.0);
+  set(p, OpClass::kVectorArith, 35.0, 0.15);
+  set(p, OpClass::kVectorCompare, 35.0, 0.15);
+  set(p, OpClass::kVectorDiv, 60.0, 1.0);
+  set(p, OpClass::kVectorMask, 20.0, 0.05);
+  set(p, OpClass::kVectorLoad, 45.0, 0.25);
+  set(p, OpClass::kVectorStore, 45.0, 0.25);
+  set(p, OpClass::kVectorGather, 70.0, 1.0);
+  set(p, OpClass::kVectorScatter, 70.0, 1.0);
+  set(p, OpClass::kVectorScatterOrdered, 70.0, 2.0);
+  set(p, OpClass::kVectorCompress, 45.0, 0.25);
+  set(p, OpClass::kVectorReduce, 40.0, 0.15);
+  return p;
+}
+
+CostParams CostParams::zero_startup() {
+  CostParams p = s810_like();
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    if (is_vector_class(static_cast<OpClass>(i))) p.startup[i] = 0.0;
+  }
+  return p;
+}
+
+CostParams CostParams::cheap_gather() {
+  CostParams p = s810_like();
+  const double linear =
+      p.per_element[static_cast<std::size_t>(OpClass::kVectorLoad)];
+  p.per_element[static_cast<std::size_t>(OpClass::kVectorGather)] = linear;
+  p.per_element[static_cast<std::size_t>(OpClass::kVectorScatter)] = linear;
+  p.per_element[static_cast<std::size_t>(OpClass::kVectorScatterOrdered)] =
+      linear;
+  return p;
+}
+
+std::uint64_t CostAccumulator::total_instructions() const {
+  std::uint64_t t = 0;
+  for (auto v : instructions_) t += v;
+  return t;
+}
+
+std::uint64_t CostAccumulator::total_elements() const {
+  std::uint64_t t = 0;
+  for (auto v : elements_) t += v;
+  return t;
+}
+
+double CostAccumulator::cycles(const CostParams& p) const {
+  double total = 0;
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    total += p.startup[i] * static_cast<double>(instructions_[i]) +
+             p.per_element[i] * static_cast<double>(elements_[i]);
+  }
+  return total;
+}
+
+CostAccumulator& CostAccumulator::operator+=(const CostAccumulator& other) {
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    instructions_[i] += other.instructions_[i];
+    elements_[i] += other.elements_[i];
+  }
+  return *this;
+}
+
+std::string CostAccumulator::breakdown(const CostParams& p) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    if (instructions_[i] == 0) continue;
+    const auto c = static_cast<OpClass>(i);
+    const double cyc = p.startup[i] * static_cast<double>(instructions_[i]) +
+                       p.per_element[i] * static_cast<double>(elements_[i]);
+    os << std::setw(14) << op_class_name(c) << ": " << std::setw(10)
+       << instructions_[i] << " instr, " << std::setw(12) << elements_[i]
+       << " elems, " << std::setw(12) << cyc << " cycles\n";
+  }
+  return os.str();
+}
+
+}  // namespace folvec::vm

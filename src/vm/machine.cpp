@@ -1,0 +1,425 @@
+#include "vm/machine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace folvec::vm {
+
+VectorMachine::VectorMachine(const MachineConfig& config)
+    : config_(config), shuffle_rng_(config.shuffle_seed) {}
+
+// ---- vector generation -----------------------------------------------------
+
+WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
+  issue(OpClass::kVectorArith, n);
+  WordVec out(n);
+  Word v = start;
+  for (std::size_t i = 0; i < n; ++i, v += step) out[i] = v;
+  return out;
+}
+
+WordVec VectorMachine::splat(std::size_t n, Word value) {
+  issue(OpClass::kVectorArith, n);
+  return WordVec(n, value);
+}
+
+WordVec VectorMachine::copy(std::span<const Word> v) {
+  issue(OpClass::kVectorLoad, v.size());
+  return WordVec(v.begin(), v.end());
+}
+
+WordVec VectorMachine::reverse(std::span<const Word> v) {
+  issue(OpClass::kVectorLoad, v.size());
+  return WordVec(v.rbegin(), v.rend());
+}
+
+// ---- elementwise arithmetic -------------------------------------------------
+
+template <typename F>
+WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
+                           F f) {
+  FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
+  issue(OpClass::kVectorArith, a.size());
+  WordVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  return out;
+}
+
+template <typename F>
+WordVec VectorMachine::map(std::span<const Word> a, F f) {
+  issue(OpClass::kVectorArith, a.size());
+  WordVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  return out;
+}
+
+WordVec VectorMachine::add(std::span<const Word> a, std::span<const Word> b) {
+  return zip(a, b, [](Word x, Word y) { return x + y; });
+}
+
+WordVec VectorMachine::sub(std::span<const Word> a, std::span<const Word> b) {
+  return zip(a, b, [](Word x, Word y) { return x - y; });
+}
+
+WordVec VectorMachine::mul(std::span<const Word> a, std::span<const Word> b) {
+  return zip(a, b, [](Word x, Word y) { return x * y; });
+}
+
+WordVec VectorMachine::add_scalar(std::span<const Word> a, Word s) {
+  return map(a, [s](Word x) { return x + s; });
+}
+
+WordVec VectorMachine::mul_scalar(std::span<const Word> a, Word s) {
+  return map(a, [s](Word x) { return x * s; });
+}
+
+WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
+  FOLVEC_REQUIRE(s > 0, "div_scalar needs a positive divisor");
+  issue(OpClass::kVectorDiv, a.size());
+  WordVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Floor division (operands may be negative).
+    Word q = a[i] / s;
+    if ((a[i] % s) != 0 && (a[i] < 0)) --q;
+    out[i] = q;
+  }
+  return out;
+}
+
+WordVec VectorMachine::mod_scalar(std::span<const Word> a, Word s) {
+  FOLVEC_REQUIRE(s > 0, "mod_scalar needs a positive modulus");
+  issue(OpClass::kVectorDiv, a.size());
+  WordVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Word r = a[i] % s;
+    if (r < 0) r += s;
+    out[i] = r;
+  }
+  return out;
+}
+
+WordVec VectorMachine::and_scalar(std::span<const Word> a, Word s) {
+  return map(a, [s](Word x) { return x & s; });
+}
+
+WordVec VectorMachine::or_scalar(std::span<const Word> a, Word s) {
+  return map(a, [s](Word x) { return x | s; });
+}
+
+WordVec VectorMachine::shl_scalar(std::span<const Word> a, int k) {
+  FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
+  return map(a, [k](Word x) {
+    FOLVEC_REQUIRE(x >= 0, "shl_scalar needs non-negative elements");
+    return static_cast<Word>(static_cast<std::uint64_t>(x) << k);
+  });
+}
+
+WordVec VectorMachine::shr_scalar(std::span<const Word> a, int k) {
+  FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
+  return map(a, [k](Word x) { return x >> k; });
+}
+
+WordVec VectorMachine::negate(std::span<const Word> a) {
+  return map(a, [](Word x) { return -x; });
+}
+
+// ---- compares ---------------------------------------------------------------
+
+template <typename F>
+Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b,
+                        F f) {
+  FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
+  issue(OpClass::kVectorCompare, a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = f(a[i], b[i]) ? 1 : 0;
+  }
+  return out;
+}
+
+template <typename F>
+Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f) {
+  issue(OpClass::kVectorCompare, a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]) ? 1 : 0;
+  return out;
+}
+
+Mask VectorMachine::eq(std::span<const Word> a, std::span<const Word> b) {
+  return cmp(a, b, [](Word x, Word y) { return x == y; });
+}
+
+Mask VectorMachine::ne(std::span<const Word> a, std::span<const Word> b) {
+  return cmp(a, b, [](Word x, Word y) { return x != y; });
+}
+
+Mask VectorMachine::le(std::span<const Word> a, std::span<const Word> b) {
+  return cmp(a, b, [](Word x, Word y) { return x <= y; });
+}
+
+Mask VectorMachine::lt(std::span<const Word> a, std::span<const Word> b) {
+  return cmp(a, b, [](Word x, Word y) { return x < y; });
+}
+
+Mask VectorMachine::eq_scalar(std::span<const Word> a, Word s) {
+  return cmp_scalar(a, [s](Word x) { return x == s; });
+}
+
+Mask VectorMachine::ne_scalar(std::span<const Word> a, Word s) {
+  return cmp_scalar(a, [s](Word x) { return x != s; });
+}
+
+Mask VectorMachine::le_scalar(std::span<const Word> a, Word s) {
+  return cmp_scalar(a, [s](Word x) { return x <= s; });
+}
+
+Mask VectorMachine::lt_scalar(std::span<const Word> a, Word s) {
+  return cmp_scalar(a, [s](Word x) { return x < s; });
+}
+
+Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
+  return cmp_scalar(a, [s](Word x) { return x >= s; });
+}
+
+// ---- mask algebra -------------------------------------------------------------
+
+Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
+  FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
+  issue(OpClass::kVectorMask, a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  return out;
+}
+
+Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
+  FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
+  issue(OpClass::kVectorMask, a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] | b[i];
+  return out;
+}
+
+Mask VectorMachine::mask_not(const Mask& a) {
+  issue(OpClass::kVectorMask, a.size());
+  Mask out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ? 0 : 1;
+  return out;
+}
+
+std::size_t VectorMachine::count_true(const Mask& m) {
+  issue(OpClass::kVectorReduce, m.size());
+  std::size_t n = 0;
+  for (auto b : m) n += b;
+  return n;
+}
+
+// ---- reductions ---------------------------------------------------------------
+
+Word VectorMachine::reduce_sum(std::span<const Word> v) {
+  issue(OpClass::kVectorReduce, v.size());
+  Word total = 0;
+  for (Word x : v) total += x;
+  return total;
+}
+
+Word VectorMachine::reduce_min(std::span<const Word> v) {
+  FOLVEC_REQUIRE(!v.empty(), "reduce_min needs a nonempty vector");
+  issue(OpClass::kVectorReduce, v.size());
+  Word best = v[0];
+  for (Word x : v) best = std::min(best, x);
+  return best;
+}
+
+Word VectorMachine::reduce_max(std::span<const Word> v) {
+  FOLVEC_REQUIRE(!v.empty(), "reduce_max needs a nonempty vector");
+  issue(OpClass::kVectorReduce, v.size());
+  Word best = v[0];
+  for (Word x : v) best = std::max(best, x);
+  return best;
+}
+
+// ---- selection -----------------------------------------------------------------
+
+WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
+  FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
+  issue(OpClass::kVectorCompress, v.size());
+  WordVec out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (m[i]) out.push_back(v[i]);
+  }
+  return out;
+}
+
+WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
+                              std::span<const Word> b) {
+  FOLVEC_REQUIRE(a.size() == b.size() && a.size() == m.size(),
+                 "select operand lengths must match");
+  issue(OpClass::kVectorArith, a.size());
+  WordVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = m[i] ? a[i] : b[i];
+  return out;
+}
+
+WordVec VectorMachine::from_mask(const Mask& m) {
+  issue(OpClass::kVectorArith, m.size());
+  WordVec out(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) out[i] = m[i] ? 1 : 0;
+  return out;
+}
+
+// ---- memory: contiguous ----------------------------------------------------------
+
+void VectorMachine::store(std::span<Word> table, std::size_t offset,
+                          std::span<const Word> v) {
+  FOLVEC_REQUIRE(offset + v.size() <= table.size(),
+                 "contiguous store out of bounds");
+  issue(OpClass::kVectorStore, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) table[offset + i] = v[i];
+}
+
+void VectorMachine::fill(std::span<Word> table, Word value) {
+  issue(OpClass::kVectorStore, table.size());
+  for (auto& w : table) w = value;
+}
+
+WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
+                            std::size_t n) {
+  FOLVEC_REQUIRE(offset + n <= table.size(), "contiguous load out of bounds");
+  issue(OpClass::kVectorLoad, n);
+  return WordVec(table.begin() + static_cast<std::ptrdiff_t>(offset),
+                 table.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+WordVec VectorMachine::load_strided(std::span<const Word> table,
+                                    std::size_t offset, std::size_t stride,
+                                    std::size_t n) {
+  FOLVEC_REQUIRE(stride > 0, "stride must be positive");
+  FOLVEC_REQUIRE(n == 0 || offset + (n - 1) * stride < table.size(),
+                 "strided load out of bounds");
+  issue(OpClass::kVectorLoad, n);
+  WordVec out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = table[offset + i * stride];
+  return out;
+}
+
+void VectorMachine::store_strided(std::span<Word> table, std::size_t offset,
+                                  std::size_t stride,
+                                  std::span<const Word> v) {
+  FOLVEC_REQUIRE(stride > 0, "stride must be positive");
+  FOLVEC_REQUIRE(v.empty() || offset + (v.size() - 1) * stride < table.size(),
+                 "strided store out of bounds");
+  issue(OpClass::kVectorStore, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) table[offset + i * stride] = v[i];
+}
+
+// ---- memory: list vector -----------------------------------------------------------
+
+void VectorMachine::check_indices(std::span<const Word> idx,
+                                  std::size_t table_size) const {
+  for (Word i : idx) {
+    FOLVEC_REQUIRE(i >= 0 && static_cast<std::size_t>(i) < table_size,
+                   "list-vector index out of bounds");
+  }
+}
+
+WordVec VectorMachine::gather(std::span<const Word> table,
+                              std::span<const Word> idx) {
+  check_indices(idx, table.size());
+  issue(OpClass::kVectorGather, idx.size());
+  WordVec out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    out[i] = table[static_cast<std::size_t>(idx[i])];
+  }
+  return out;
+}
+
+WordVec VectorMachine::gather_masked(std::span<const Word> table,
+                                     std::span<const Word> idx, const Mask& m,
+                                     Word fill) {
+  FOLVEC_REQUIRE(idx.size() == m.size(), "index/mask lengths must match");
+  issue(OpClass::kVectorGather, idx.size());
+  WordVec out(idx.size(), fill);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (!m[i]) continue;
+    FOLVEC_REQUIRE(idx[i] >= 0 &&
+                       static_cast<std::size_t>(idx[i]) < table.size(),
+                   "list-vector index out of bounds");
+    out[i] = table[static_cast<std::size_t>(idx[i])];
+  }
+  return out;
+}
+
+std::vector<std::size_t> VectorMachine::scatter_lane_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (config_.scatter_order) {
+    case ScatterOrder::kForward:
+      break;
+    case ScatterOrder::kReverse:
+      std::reverse(order.begin(), order.end());
+      break;
+    case ScatterOrder::kShuffled:
+      shuffle(order, shuffle_rng_);
+      break;
+  }
+  return order;
+}
+
+void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
+                            std::span<const Word> vals) {
+  FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
+  check_indices(idx, table.size());
+  issue(OpClass::kVectorScatter, idx.size());
+  if (config_.inject_els_violation) {
+    // Failure injection: a contested address receives an "amalgam" — a mix
+    // of the colliding values that is (in general) equal to none of them,
+    // exactly what the ELS condition forbids. Singleton writes stay intact.
+    for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+      std::size_t collisions = 0;
+      Word amalgam = 0;
+      for (std::size_t other = 0; other < idx.size(); ++other) {
+        if (idx[other] == idx[lane]) {
+          ++collisions;
+          amalgam ^= vals[other] + 1;
+        }
+      }
+      table[static_cast<std::size_t>(idx[lane])] =
+          collisions > 1 ? amalgam : vals[lane];
+    }
+    return;
+  }
+  for (const auto lane : scatter_lane_order(idx.size())) {
+    table[static_cast<std::size_t>(idx[lane])] = vals[lane];
+  }
+}
+
+void VectorMachine::scatter_masked(std::span<Word> table,
+                                   std::span<const Word> idx,
+                                   std::span<const Word> vals, const Mask& m) {
+  FOLVEC_REQUIRE(idx.size() == vals.size() && idx.size() == m.size(),
+                 "index/value/mask lengths must match");
+  issue(OpClass::kVectorScatter, idx.size());
+  // Inactive lanes do not access memory, so (like gather_masked) their
+  // indices may be arbitrary and are not bounds-checked.
+  for (const auto lane : scatter_lane_order(idx.size())) {
+    if (!m[lane]) continue;
+    FOLVEC_REQUIRE(idx[lane] >= 0 &&
+                       static_cast<std::size_t>(idx[lane]) < table.size(),
+                   "list-vector index out of bounds");
+    table[static_cast<std::size_t>(idx[lane])] = vals[lane];
+  }
+}
+
+void VectorMachine::scatter_ordered(std::span<Word> table,
+                                    std::span<const Word> idx,
+                                    std::span<const Word> vals) {
+  FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
+  check_indices(idx, table.size());
+  issue(OpClass::kVectorScatterOrdered, idx.size());
+  for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+    table[static_cast<std::size_t>(idx[lane])] = vals[lane];
+  }
+}
+
+}  // namespace folvec::vm

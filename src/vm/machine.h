@@ -1,0 +1,231 @@
+// A software model of a register-based pipelined vector processor.
+//
+// VectorMachine is the substrate every vectorized algorithm in this repo is
+// written against. It provides the primitive set the paper's pseudo-code
+// assumes (Fortran-90-style array operations plus the "list vector"
+// gather/scatter of the Hitachi S-810/S-3800):
+//
+//   * elementwise arithmetic / compares producing masks,
+//   * masked stores (`where M do A := B`),
+//   * compress / pack-under-mask (`A where M`),
+//   * count_true,
+//   * gather (indexed load) and scatter (indexed store).
+//
+// The scatter models the **ELS condition** (exclusive label storing,
+// Section 3.2 of the paper): when several lanes write the same address, the
+// surviving value is exactly one of the written values — *which* one is
+// machine-dependent. The paper's correctness argument depends on FOL working
+// for any survivor, so the machine makes the survivor configurable
+// (ScatterOrder): forward (last lane wins, like an ordered VSTX), reverse
+// (first lane wins), or shuffled (a fresh deterministic pseudo-random
+// write order per scatter, modelling the undefined inter-pipe interleaving
+// of a parallel-pipe machine like the S-3800). Tests fuzz FOL under all
+// three. A failure-injection mode (`inject_els_violation`) deliberately
+// breaks the ELS guarantee by storing a bitwise amalgam of the colliding
+// values, which FOL must detect rather than silently mis-decompose.
+//
+// Every operation records itself in a CostAccumulator so benchmarks can
+// price the run under a chime model (see cost_model.h). Scalar baseline
+// algorithms tick the same accumulator through scalar_alu()/scalar_mem()/
+// scalar_branch(), so "acceleration ratio" always compares like with like.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/prng.h"
+#include "support/require.h"
+#include "vm/cost_model.h"
+#include "vm/trace.h"
+
+namespace folvec::vm {
+
+/// The machine word. Pointers, subscripts, labels, keys and data values are
+/// all Words, exactly as on the word-addressed vector machines of the era.
+using Word = std::int64_t;
+using WordVec = std::vector<Word>;
+
+/// Boolean mask vector (one byte per element, values 0/1).
+using Mask = std::vector<std::uint8_t>;
+
+/// Which colliding lane survives a scatter to a shared address.
+enum class ScatterOrder : std::uint8_t {
+  kForward,   ///< lanes written 0..n-1; highest colliding lane survives
+  kReverse,   ///< lanes written n-1..0; lowest colliding lane survives
+  kShuffled,  ///< fresh pseudo-random lane order per scatter instruction
+};
+
+struct MachineConfig {
+  ScatterOrder scatter_order = ScatterOrder::kForward;
+  /// Seed for the kShuffled write orders (each scatter derives a fresh
+  /// sub-seed, so repeated scatters see different orders deterministically).
+  std::uint64_t shuffle_seed = 0x51d5eedULL;
+  /// Failure injection: colliding scatter lanes store an amalgam (XOR) of
+  /// their values, violating the ELS condition. For tests only.
+  bool inject_els_violation = false;
+};
+
+class VectorMachine {
+ public:
+  VectorMachine() : VectorMachine(MachineConfig{}) {}
+  explicit VectorMachine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  CostAccumulator& cost() { return cost_; }
+  const CostAccumulator& cost() const { return cost_; }
+
+  /// Attaches (or detaches, with nullptr) an instruction trace sink. The
+  /// sink is borrowed, not owned, and must outlive its attachment.
+  void attach_trace(TraceSink* sink) { trace_ = sink; }
+
+  // ---- vector generation -------------------------------------------------
+
+  /// (start, start+step, start+2*step, ...), n elements.
+  WordVec iota(std::size_t n, Word start = 0, Word step = 1);
+
+  /// n copies of `value`.
+  WordVec splat(std::size_t n, Word value);
+
+  /// Vector register copy (load+store cost).
+  WordVec copy(std::span<const Word> v);
+
+  /// Element order reversal (a negative-stride vector load).
+  WordVec reverse(std::span<const Word> v);
+
+  // ---- elementwise arithmetic --------------------------------------------
+
+  WordVec add(std::span<const Word> a, std::span<const Word> b);
+  WordVec sub(std::span<const Word> a, std::span<const Word> b);
+  WordVec mul(std::span<const Word> a, std::span<const Word> b);
+  WordVec add_scalar(std::span<const Word> a, Word s);
+  WordVec mul_scalar(std::span<const Word> a, Word s);
+  /// Floor division by a positive scalar.
+  WordVec div_scalar(std::span<const Word> a, Word s);
+  /// Euclidean remainder by a positive scalar (result in [0, s)).
+  WordVec mod_scalar(std::span<const Word> a, Word s);
+  WordVec and_scalar(std::span<const Word> a, Word s);
+  WordVec or_scalar(std::span<const Word> a, Word s);
+  /// Logical left shift by k in [0, 63]; elements must be non-negative.
+  WordVec shl_scalar(std::span<const Word> a, int k);
+  /// Arithmetic right shift by k in [0, 63].
+  WordVec shr_scalar(std::span<const Word> a, int k);
+  WordVec negate(std::span<const Word> a);
+
+  // ---- compares producing masks ------------------------------------------
+
+  Mask eq(std::span<const Word> a, std::span<const Word> b);
+  Mask ne(std::span<const Word> a, std::span<const Word> b);
+  Mask le(std::span<const Word> a, std::span<const Word> b);
+  Mask lt(std::span<const Word> a, std::span<const Word> b);
+  Mask eq_scalar(std::span<const Word> a, Word s);
+  Mask ne_scalar(std::span<const Word> a, Word s);
+  Mask le_scalar(std::span<const Word> a, Word s);
+  Mask lt_scalar(std::span<const Word> a, Word s);
+  Mask ge_scalar(std::span<const Word> a, Word s);
+
+  // ---- mask algebra --------------------------------------------------------
+
+  Mask mask_and(const Mask& a, const Mask& b);
+  Mask mask_or(const Mask& a, const Mask& b);
+  Mask mask_not(const Mask& a);
+  std::size_t count_true(const Mask& m);
+
+  // ---- reductions ---------------------------------------------------------
+
+  Word reduce_sum(std::span<const Word> v);
+  /// Minimum of a nonempty vector.
+  Word reduce_min(std::span<const Word> v);
+  /// Maximum of a nonempty vector.
+  Word reduce_max(std::span<const Word> v);
+
+  // ---- selection ------------------------------------------------------------
+
+  /// `A where M`: packs elements of `v` whose mask is true.
+  WordVec compress(std::span<const Word> v, const Mask& m);
+
+  /// Elementwise select: out[i] = m[i] ? a[i] : b[i].
+  WordVec select(const Mask& m, std::span<const Word> a,
+                 std::span<const Word> b);
+
+  /// Mask to 0/1 words (mask-controlled vector of constants).
+  WordVec from_mask(const Mask& m);
+
+  // ---- memory: contiguous -----------------------------------------------
+
+  /// table[offset .. offset+v.size()) = v.
+  void store(std::span<Word> table, std::size_t offset,
+             std::span<const Word> v);
+
+  /// Fill table[0..n) with value (vector store).
+  void fill(std::span<Word> table, Word value);
+
+  /// Contiguous load of n words starting at offset.
+  WordVec load(std::span<const Word> table, std::size_t offset, std::size_t n);
+
+  /// Strided load: out[i] = table[offset + i*stride], n elements.
+  WordVec load_strided(std::span<const Word> table, std::size_t offset,
+                       std::size_t stride, std::size_t n);
+
+  /// Strided store: table[offset + i*stride] = v[i].
+  void store_strided(std::span<Word> table, std::size_t offset,
+                     std::size_t stride, std::span<const Word> v);
+
+  // ---- memory: list vector (indexed) --------------------------------------
+
+  /// out[i] = table[idx[i]]. Bounds-checked.
+  WordVec gather(std::span<const Word> table, std::span<const Word> idx);
+
+  /// Masked gather: out[i] = m[i] ? table[idx[i]] : fill. Inactive lanes do
+  /// not access memory, so their idx may be arbitrary (e.g. a null link).
+  WordVec gather_masked(std::span<const Word> table, std::span<const Word> idx,
+                        const Mask& m, Word fill);
+
+  /// table[idx[i]] = vals[i] under the configured ScatterOrder (models the
+  /// S-3800 VIST instruction: ELS condition only).
+  void scatter(std::span<Word> table, std::span<const Word> idx,
+               std::span<const Word> vals);
+
+  /// Masked scatter: lanes with m[i] false do not store.
+  void scatter_masked(std::span<Word> table, std::span<const Word> idx,
+                      std::span<const Word> vals, const Mask& m);
+
+  /// Order-preserving scatter (models VSTX): lane i's store completes before
+  /// lane i+1's, so the *last* colliding lane always survives. Slower class.
+  void scatter_ordered(std::span<Word> table, std::span<const Word> idx,
+                       std::span<const Word> vals);
+
+  // ---- scalar-unit cost ticks ---------------------------------------------
+
+  void scalar_alu(std::size_t n = 1) { issue(OpClass::kScalarAlu, n); }
+  void scalar_mem(std::size_t n = 1) { issue(OpClass::kScalarMem, n); }
+  void scalar_branch(std::size_t n = 1) { issue(OpClass::kScalarBranch, n); }
+  void scalar_div(std::size_t n = 1) { issue(OpClass::kScalarDiv, n); }
+
+ private:
+  void issue(OpClass c, std::size_t n) {
+    cost_.record(c, n);
+    if (trace_ != nullptr) trace_->record(c, n);
+  }
+
+  template <typename F>
+  WordVec zip(std::span<const Word> a, std::span<const Word> b, F f);
+  template <typename F>
+  WordVec map(std::span<const Word> a, F f);
+  template <typename F>
+  Mask cmp(std::span<const Word> a, std::span<const Word> b, F f);
+  template <typename F>
+  Mask cmp_scalar(std::span<const Word> a, F f);
+
+  /// The lane write order for one scatter instruction.
+  std::vector<std::size_t> scatter_lane_order(std::size_t n);
+
+  void check_indices(std::span<const Word> idx, std::size_t table_size) const;
+
+  MachineConfig config_;
+  CostAccumulator cost_;
+  Xoshiro256 shuffle_rng_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace folvec::vm

@@ -1,0 +1,36 @@
+#include "vm/trace.h"
+
+#include <sstream>
+
+namespace folvec::vm {
+
+std::size_t TraceSink::count(OpClass c) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) n += (e.op == c) ? 1u : 0u;
+  return n;
+}
+
+std::size_t TraceSink::max_length(OpClass c) const {
+  std::size_t best = 0;
+  for (const auto& e : entries_) {
+    if (e.op == c && e.elements > best) best = e.elements;
+  }
+  return best;
+}
+
+std::string TraceSink::to_string(std::size_t max_entries) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& e : entries_) {
+    if (shown == max_entries) {
+      os << "... (+" << entries_.size() - shown << " more)";
+      break;
+    }
+    if (shown != 0) os << ' ';
+    os << op_class_name(e.op) << '[' << e.elements << ']';
+    ++shown;
+  }
+  return os.str();
+}
+
+}  // namespace folvec::vm

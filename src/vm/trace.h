@@ -1,0 +1,57 @@
+// Instruction tracing for the vector machine.
+//
+// A TraceSink records every instruction the machine issues (class + vector
+// length), giving three capabilities the cost accumulator alone cannot:
+//   * debugging vectorized algorithms (see exactly which op sequence a
+//     sweep issued),
+//   * instruction-mix reports for the docs/benches (how gather-heavy is
+//     multiple hashing vs the BST inserter?),
+//   * regression pinning: tests can assert an algorithm issues the expected
+//     instruction sequence for a known input, catching accidental extra
+//     passes.
+//
+// Tracing is off unless a sink is attached, so the hot path costs one
+// pointer test per instruction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vm/cost_model.h"
+
+namespace folvec::vm {
+
+/// One issued instruction.
+struct TraceEntry {
+  OpClass op;
+  std::size_t elements;
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+class TraceSink {
+ public:
+  void record(OpClass op, std::size_t elements) {
+    entries_.push_back({op, elements});
+  }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Number of instructions of class `c` in the trace.
+  std::size_t count(OpClass c) const;
+
+  /// Longest vector length seen for class `c` (0 if none).
+  std::size_t max_length(OpClass c) const;
+
+  /// Compact rendering: "v.gather[128] v.cmp[128] ..." — useful in test
+  /// failure messages and documentation.
+  std::string to_string(std::size_t max_entries = 64) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace folvec::vm

@@ -1,0 +1,123 @@
+// Unit tests for the chime cost model: pricing arithmetic, parameter-set
+// variants, accumulator algebra and reporting.
+#include "vm/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace folvec::vm {
+namespace {
+
+TEST(CostParamsTest, CostIsStartupPlusPerElement) {
+  CostParams p = CostParams::s810_like();
+  const auto i = static_cast<std::size_t>(OpClass::kVectorArith);
+  const double expected = p.startup[i] + 100.0 * p.per_element[i];
+  EXPECT_DOUBLE_EQ(p.cost(OpClass::kVectorArith, 100), expected);
+}
+
+TEST(CostParamsTest, ScalarClassesHaveNoStartup) {
+  const CostParams p = CostParams::s810_like();
+  for (const auto c :
+       {OpClass::kScalarAlu, OpClass::kScalarMem, OpClass::kScalarBranch}) {
+    EXPECT_DOUBLE_EQ(p.startup[static_cast<std::size_t>(c)], 0.0);
+  }
+}
+
+TEST(CostParamsTest, GatherIsSlowerThanLinearLoad) {
+  const CostParams p = CostParams::s810_like();
+  EXPECT_GT(p.per_element[static_cast<std::size_t>(OpClass::kVectorGather)],
+            p.per_element[static_cast<std::size_t>(OpClass::kVectorLoad)]);
+}
+
+TEST(CostParamsTest, OrderedScatterIsSlowerThanElsScatter) {
+  const CostParams p = CostParams::s810_like();
+  EXPECT_GT(
+      p.per_element[static_cast<std::size_t>(OpClass::kVectorScatterOrdered)],
+      p.per_element[static_cast<std::size_t>(OpClass::kVectorScatter)]);
+}
+
+TEST(CostParamsTest, ZeroStartupZeroesOnlyVectorStartups) {
+  const CostParams p = CostParams::zero_startup();
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    if (is_vector_class(static_cast<OpClass>(i))) {
+      EXPECT_DOUBLE_EQ(p.startup[i], 0.0);
+    }
+  }
+  // Per-element throughput is untouched.
+  const CostParams base = CostParams::s810_like();
+  EXPECT_EQ(p.per_element, base.per_element);
+}
+
+TEST(CostParamsTest, CheapGatherMatchesLinearLoadThroughput) {
+  const CostParams p = CostParams::cheap_gather();
+  EXPECT_DOUBLE_EQ(
+      p.per_element[static_cast<std::size_t>(OpClass::kVectorGather)],
+      p.per_element[static_cast<std::size_t>(OpClass::kVectorLoad)]);
+}
+
+TEST(CostAccumulatorTest, CyclesSumAcrossClasses) {
+  CostParams p;
+  p.startup.fill(0.0);
+  p.per_element.fill(0.0);
+  p.startup[static_cast<std::size_t>(OpClass::kVectorArith)] = 10.0;
+  p.per_element[static_cast<std::size_t>(OpClass::kVectorArith)] = 2.0;
+  p.per_element[static_cast<std::size_t>(OpClass::kScalarAlu)] = 1.0;
+
+  CostAccumulator acc;
+  acc.record(OpClass::kVectorArith, 5);   // 10 + 5*2 = 20
+  acc.record(OpClass::kVectorArith, 10);  // 10 + 10*2 = 30
+  acc.record(OpClass::kScalarAlu, 7);     // 7
+  EXPECT_DOUBLE_EQ(acc.cycles(p), 57.0);
+}
+
+TEST(CostAccumulatorTest, MicrosecondsUseClock) {
+  CostParams p;
+  p.startup.fill(0.0);
+  p.per_element.fill(0.0);
+  p.per_element[static_cast<std::size_t>(OpClass::kScalarAlu)] = 1.0;
+  p.clock_hz = 1.0e6;  // 1 cycle == 1 microsecond
+  CostAccumulator acc;
+  acc.record(OpClass::kScalarAlu, 42);
+  EXPECT_DOUBLE_EQ(acc.microseconds(p), 42.0);
+}
+
+TEST(CostAccumulatorTest, PlusEqualsMergesCounts) {
+  CostAccumulator a;
+  CostAccumulator b;
+  a.record(OpClass::kVectorLoad, 10);
+  b.record(OpClass::kVectorLoad, 20);
+  b.record(OpClass::kScalarMem, 5);
+  a += b;
+  EXPECT_EQ(a.instructions(OpClass::kVectorLoad), 2u);
+  EXPECT_EQ(a.elements(OpClass::kVectorLoad), 30u);
+  EXPECT_EQ(a.elements(OpClass::kScalarMem), 5u);
+}
+
+TEST(CostAccumulatorTest, BreakdownMentionsOnlyUsedClasses) {
+  CostAccumulator acc;
+  acc.record(OpClass::kVectorGather, 100);
+  const std::string text = acc.breakdown(CostParams::s810_like());
+  EXPECT_NE(text.find("v.gather"), std::string::npos);
+  EXPECT_EQ(text.find("v.load"), std::string::npos);
+}
+
+TEST(OpClassTest, NamesAreDistinctAndVectorPredicateHolds) {
+  EXPECT_FALSE(is_vector_class(OpClass::kScalarAlu));
+  EXPECT_FALSE(is_vector_class(OpClass::kScalarBranch));
+  EXPECT_TRUE(is_vector_class(OpClass::kVectorArith));
+  EXPECT_TRUE(is_vector_class(OpClass::kVectorReduce));
+  EXPECT_STREQ(op_class_name(OpClass::kVectorScatterOrdered), "v.scatter.ord");
+}
+
+TEST(ScalarCostTest, NullAccumulatorIsSilentlyIgnored) {
+  ScalarCost sc;
+  sc.alu(10);  // must not crash
+  CostAccumulator acc;
+  ScalarCost sc2(&acc);
+  sc2.mem(4);
+  sc2.branch(2);
+  EXPECT_EQ(acc.elements(OpClass::kScalarMem), 4u);
+  EXPECT_EQ(acc.elements(OpClass::kScalarBranch), 2u);
+}
+
+}  // namespace
+}  // namespace folvec::vm

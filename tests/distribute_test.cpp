@@ -1,0 +1,202 @@
+// Tests for distributivity expansion: semantic preservation (polynomial
+// denotation), DAG sharing behaviour, scalar/vector agreement, and mixed
+// associativity + distributivity pipelines.
+#include "rewrite/distribute.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rewrite/assoc_rewrite.h"
+#include "rewrite/polynomial.h"
+#include "support/prng.h"
+
+namespace folvec::rewrite {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+
+/// Builds a random term mixing adds and muls over `leaves` symbols.
+Word build_mixed(TermArena& arena, std::size_t leaves, Xoshiro256& rng) {
+  if (leaves == 1) {
+    return arena.make_leaf(rng.in_range(0, 5));
+  }
+  const auto left_leaves =
+      static_cast<std::size_t>(rng.in_range(1, static_cast<Word>(leaves - 1)));
+  const Word l = build_mixed(arena, left_leaves, rng);
+  const Word r = build_mixed(arena, leaves - left_leaves, rng);
+  return rng.unit() < 0.5 ? arena.make_op(l, r) : arena.make_add(l, r);
+}
+
+TEST(SumOfProductsTest, Recognition) {
+  TermArena a;
+  const Word x = a.make_leaf(0);
+  const Word y = a.make_leaf(1);
+  const Word z = a.make_leaf(2);
+  EXPECT_TRUE(is_sum_of_products(a, x));
+  EXPECT_TRUE(is_sum_of_products(a, a.make_op(x, y)));
+  EXPECT_TRUE(is_sum_of_products(a, a.make_add(a.make_op(x, y), z)));
+  EXPECT_FALSE(is_sum_of_products(a, a.make_op(x, a.make_add(y, z))));
+  EXPECT_FALSE(is_sum_of_products(a, a.make_op(a.make_add(x, y), z)));
+  // An add nested deeper inside a product still disqualifies.
+  const Word deep = a.make_op(x, a.make_op(y, a.make_add(x, z)));
+  EXPECT_FALSE(is_sum_of_products(a, deep));
+}
+
+TEST(DistributeScalarTest, TextbookExample) {
+  // a*(b+c) -> a*b + a*c
+  TermArena a;
+  const Word root = a.make_op(a.make_leaf(0), a.make_add(a.make_leaf(1),
+                                                         a.make_leaf(2)));
+  const Polynomial before = eval_polynomial(a, root);
+  const DistributeStats stats = distribute_scalar(a, root);
+  EXPECT_EQ(stats.rewrites, 1u);
+  EXPECT_EQ(stats.allocated, 2u);
+  EXPECT_TRUE(is_sum_of_products(a, root));
+  EXPECT_EQ(eval_polynomial(a, root), before);
+  EXPECT_EQ(a.kind(root), NodeKind::kAdd);
+}
+
+TEST(DistributeScalarTest, LeftAddOrientation) {
+  // (a+b)*c -> a*c + b*c
+  TermArena a;
+  const Word root = a.make_op(a.make_add(a.make_leaf(0), a.make_leaf(1)),
+                              a.make_leaf(2));
+  const Polynomial before = eval_polynomial(a, root);
+  distribute_scalar(a, root);
+  EXPECT_EQ(eval_polynomial(a, root), before);
+  // Orientation preserved: monomials are {0,2} and {1,2}.
+  EXPECT_EQ(a.to_string(a.left(root)), "(s0*s2)");
+  EXPECT_EQ(a.to_string(a.right(root)), "(s1*s2)");
+}
+
+TEST(DistributeScalarTest, ProductOfSumsSharesFactors) {
+  // (a+b)*(c+d): the first rewrite shares the (a+b) subtree between the
+  // two fresh products — Figure 3b sharing, observable via node count.
+  TermArena a;
+  const Word ab = a.make_add(a.make_leaf(0), a.make_leaf(1));
+  const Word cd = a.make_add(a.make_leaf(2), a.make_leaf(3));
+  const Word root = a.make_op(ab, cd);
+  const Polynomial before = eval_polynomial(a, root);
+  distribute_scalar(a, root);
+  EXPECT_TRUE(is_sum_of_products(a, root));
+  EXPECT_EQ(eval_polynomial(a, root), before);
+  ASSERT_EQ(before.size(), 4u);  // ac + ad + bc + bd
+}
+
+TEST(DistributeScalarTest, AlreadyNormalIsNoop) {
+  TermArena a;
+  const Word root = a.make_add(a.make_op(a.make_leaf(0), a.make_leaf(1)),
+                               a.make_leaf(2));
+  const DistributeStats stats = distribute_scalar(a, root);
+  EXPECT_EQ(stats.rewrites, 0u);
+}
+
+TEST(DistributeVectorTest, TextbookExample) {
+  TermArena a;
+  const Word root = a.make_op(a.make_leaf(0), a.make_add(a.make_leaf(1),
+                                                         a.make_leaf(2)));
+  const Polynomial before = eval_polynomial(a, root);
+  VectorMachine m;
+  const DistributeStats stats = distribute_vector(m, a, root);
+  EXPECT_EQ(stats.rewrites, 1u);
+  EXPECT_TRUE(is_sum_of_products(a, root));
+  EXPECT_EQ(eval_polynomial(a, root), before);
+}
+
+TEST(DistributeVectorTest, LeafOnlyAndPureSumAreNoops) {
+  TermArena a;
+  const Word leaf = a.make_leaf(4);
+  VectorMachine m;
+  EXPECT_EQ(distribute_vector(m, a, leaf).rewrites, 0u);
+  const Word sum = a.make_add(a.make_leaf(0), a.make_add(a.make_leaf(1),
+                                                         a.make_leaf(2)));
+  EXPECT_EQ(distribute_vector(m, a, sum).rewrites, 0u);
+}
+
+TEST(DistributeVectorTest, MatchesScalarSemantics) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    TermArena original;
+    const Word root = build_mixed(original, 8, rng);
+    const Polynomial denotation = eval_polynomial(original, root);
+
+    TermArena scalar_arena = original;
+    distribute_scalar(scalar_arena, root);
+    TermArena vec_arena = original;
+    VectorMachine m;
+    distribute_vector(m, vec_arena, root);
+
+    EXPECT_EQ(eval_polynomial(scalar_arena, root), denotation)
+        << "trial " << trial;
+    EXPECT_EQ(eval_polynomial(vec_arena, root), denotation)
+        << "trial " << trial;
+  }
+}
+
+TEST(DistributePipelineTest, ExpandThenNormalizeAssociativity) {
+  // The classic compiler pipeline: distribute to sum-of-products, unshare
+  // the resulting DAG back into a tree, then left-normalize both operators
+  // with the (in-place, tree-only) associativity rewriter.
+  TermArena a;
+  Xoshiro256 rng(17);
+  const Word root = build_mixed(a, 10, rng);
+  const Polynomial denotation = eval_polynomial(a, root);
+  VectorMachine m;
+  distribute_vector(m, a, root);
+  const Word tree_root = a.unshare(root);
+  assoc_rewrite_vector(m, a, tree_root);
+  EXPECT_TRUE(is_sum_of_products(a, tree_root));
+  EXPECT_TRUE(a.is_left_deep(tree_root));
+  EXPECT_EQ(eval_polynomial(a, tree_root), denotation);
+}
+
+TEST(DistributePipelineTest, InPlaceAssocOnSharedDagWouldBeUnsound) {
+  // Control experiment documenting WHY unshare is required: running the
+  // in-place associativity rewriter directly on a DAG with shared
+  // subterms corrupts the denotation.
+  TermArena a;
+  Xoshiro256 rng(17);
+  const Word root = build_mixed(a, 10, rng);
+  const Polynomial denotation = eval_polynomial(a, root);
+  VectorMachine m;
+  distribute_vector(m, a, root);
+  ASSERT_EQ(eval_polynomial(a, root), denotation);
+  assoc_rewrite_vector(m, a, root);  // DAG: shared nodes rewritten in place
+  EXPECT_NE(eval_polynomial(a, root), denotation)
+      << "this seed is known to share subterms; if the rewrite preserved "
+         "the denotation the control experiment no longer demonstrates "
+         "anything";
+}
+
+// (leaves, scatter order, seed)
+using DistSweep = std::tuple<std::size_t, ScatterOrder, int>;
+
+class DistributePropertyTest : public ::testing::TestWithParam<DistSweep> {};
+
+TEST_P(DistributePropertyTest, DenotationPreserved) {
+  const auto [leaves, order, seed] = GetParam();
+  TermArena a;
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 1009 + leaves);
+  const Word root = build_mixed(a, leaves, rng);
+  const Polynomial denotation = eval_polynomial(a, root);
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  VectorMachine m(cfg);
+  distribute_vector(m, a, root);
+  EXPECT_TRUE(is_sum_of_products(a, root));
+  EXPECT_EQ(eval_polynomial(a, root), denotation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, DistributePropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 9, 12),
+                       ::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace folvec::rewrite

@@ -1,0 +1,100 @@
+// Integration tests: every experiment runner in the bench harness executes
+// end to end (including its internal scalar/vector cross-checks) and
+// produces cost-model results with the qualitative shape the paper reports.
+#include "bench_harness/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace folvec::bench {
+namespace {
+
+using hashing::ProbeVariant;
+using vm::CostParams;
+
+const CostParams kParams = CostParams::s810_like();
+
+TEST(ExperimentsTest, MultiHashRunsAndAccelerates) {
+  const RunResult r =
+      run_multi_hash(521, 0.5, ProbeVariant::kKeyDependent, 1, kParams);
+  EXPECT_GT(r.scalar_us, 0.0);
+  EXPECT_GT(r.vector_us, 0.0);
+  EXPECT_GT(r.acceleration(), 1.0)
+      << "vectorized multiple hashing should beat scalar at load 0.5";
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(ExperimentsTest, MultiHashLargerTableAcceleratesMore) {
+  // Figure 10's headline shape: N=4099 peaks higher than N=521.
+  const RunResult small =
+      run_multi_hash(521, 0.5, ProbeVariant::kKeyDependent, 2, kParams);
+  const RunResult large =
+      run_multi_hash(4099, 0.5, ProbeVariant::kKeyDependent, 2, kParams);
+  EXPECT_GT(large.acceleration(), small.acceleration());
+}
+
+TEST(ExperimentsTest, MultiHashZeroLoadIsDegenerate) {
+  const RunResult r =
+      run_multi_hash(521, 0.0, ProbeVariant::kKeyDependent, 3, kParams);
+  EXPECT_EQ(r.scalar_us, 0.0);
+  EXPECT_EQ(r.vector_us, 0.0);
+}
+
+TEST(ExperimentsTest, AddressCalcSortAcceleratesAndGrowsWithN) {
+  const RunResult small = run_address_calc_sort(1 << 6, 1 << 20, 4, kParams);
+  const RunResult large = run_address_calc_sort(1 << 10, 1 << 20, 4, kParams);
+  EXPECT_GT(small.scalar_us, 0.0);
+  EXPECT_GT(large.acceleration(), small.acceleration())
+      << "Table 1 shape: acceleration grows with N";
+}
+
+TEST(ExperimentsTest, DistCountSortAccelerates) {
+  const RunResult r = run_dist_count_sort(1 << 10, 1 << 16, 5, kParams);
+  EXPECT_GT(r.acceleration(), 1.0);
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(ExperimentsTest, BstInsertRunsAndIsCorrect) {
+  const RunResult r = run_bst_insert(512, 200, 6, kParams);
+  EXPECT_GT(r.scalar_us, 0.0);
+  EXPECT_GT(r.vector_us, 0.0);
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(ExperimentsTest, AssocRewriteRunsOnBothShapes) {
+  const RunResult comb = run_assoc_rewrite(64, true, 7, kParams);
+  const RunResult random_shape = run_assoc_rewrite(64, false, 7, kParams);
+  EXPECT_GT(comb.scalar_us, 0.0);
+  EXPECT_GT(random_shape.scalar_us, 0.0);
+}
+
+TEST(ExperimentsTest, Fol1DecomposeRunsAndReportsRounds) {
+  const RunResult unique = run_fol1_decompose(1000, 1000, 8, kParams);
+  EXPECT_EQ(unique.iterations, 1u);  // Theorem 3: no duplicates => M = 1
+  const RunResult dup = run_fol1_decompose(1000, 100, 8, kParams);
+  EXPECT_GE(dup.iterations, 10u);  // ceil(1000/100) duplicates per area
+}
+
+TEST(ExperimentsTest, GcRunsAndAcceleratesOnLargeHeaps) {
+  const RunResult r = run_gc(20000, 0.5, 11, kParams);
+  EXPECT_GT(r.acceleration(), 1.0);
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(ExperimentsTest, MazeRunsAndAcceleratesOnLargeGrids) {
+  const RunResult r = run_maze(96, 10, 12, kParams);
+  EXPECT_GT(r.acceleration(), 1.0);
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(ExperimentsTest, ZeroStartupParamsChangeThePicture) {
+  // Under zero vector startup the short-vector penalty vanishes, so small
+  // workloads accelerate at least as well as under the S-810 params.
+  const RunResult base =
+      run_multi_hash(521, 0.1, ProbeVariant::kKeyDependent, 9, kParams);
+  const RunResult nostartup = run_multi_hash(
+      521, 0.1, ProbeVariant::kKeyDependent, 9, CostParams::zero_startup());
+  EXPECT_GE(nostartup.acceleration(), base.acceleration());
+}
+
+}  // namespace
+}  // namespace folvec::bench

@@ -1,0 +1,196 @@
+// Tests for the cons heap and both garbage collectors: liveness precision,
+// sharing preservation (one copy per shared cell), cycle safety, root
+// rewriting, and scalar/vector equivalence sweeps.
+#include "gc/heap.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "support/prng.h"
+
+namespace folvec::gc {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+
+TEST(TaggingTest, RoundTrips) {
+  EXPECT_TRUE(is_immediate(make_immediate(5)));
+  EXPECT_TRUE(is_immediate(make_immediate(-3)));
+  EXPECT_EQ(immediate_value(make_immediate(-3)), -3);
+  EXPECT_TRUE(is_pointer(make_pointer(7)));
+  EXPECT_EQ(pointer_cell(make_pointer(7)), 7);
+  EXPECT_TRUE(is_nil(kNilValue));
+  EXPECT_FALSE(is_pointer(kNilValue));
+  EXPECT_FALSE(is_immediate(kNilValue));
+}
+
+TEST(ConsHeapTest, AllocAndAccess) {
+  ConsHeap h(8);
+  const Word c = h.alloc(make_immediate(1), kNilValue);
+  EXPECT_EQ(h.car(c), make_immediate(1));
+  EXPECT_EQ(h.cdr(c), kNilValue);
+  EXPECT_EQ(h.allocated(), 1u);
+  h.set_car(c, make_immediate(9));
+  EXPECT_EQ(h.car(c), make_immediate(9));
+}
+
+TEST(ConsHeapTest, ExhaustionThrows) {
+  ConsHeap h(1);
+  h.alloc(kNilValue, kNilValue);
+  EXPECT_THROW(h.alloc(kNilValue, kNilValue), PreconditionError);
+}
+
+namespace {
+
+/// Builds the list (v0 v1 ... vk) of immediates; returns the head pointer.
+Word build_list(ConsHeap& h, const std::vector<Word>& values) {
+  Word tail = kNilValue;
+  for (std::size_t i = values.size(); i-- > 0;) {
+    tail = make_pointer(h.alloc(make_immediate(values[i]), tail));
+  }
+  return tail;
+}
+
+std::vector<Word> read_list(const ConsHeap& h, Word head) {
+  std::vector<Word> out;
+  while (is_pointer(head)) {
+    out.push_back(immediate_value(h.car(pointer_cell(head))));
+    head = h.cdr(pointer_cell(head));
+  }
+  return out;
+}
+
+}  // namespace
+
+class CollectorTest : public ::testing::TestWithParam<bool> {
+ protected:
+  GcStats collect(ConsHeap& h, std::span<Word> roots) {
+    if (GetParam()) {
+      VectorMachine m;
+      return h.collect_vector(m, roots);
+    }
+    return h.collect_scalar(roots);
+  }
+};
+
+TEST_P(CollectorTest, KeepsLiveDropsDead) {
+  ConsHeap h(64);
+  std::vector<Word> roots{build_list(h, {1, 2, 3})};
+  build_list(h, {100, 101});  // garbage: never rooted
+  ASSERT_EQ(h.allocated(), 5u);
+
+  const GcStats stats = collect(h, roots);
+  EXPECT_EQ(stats.live_cells, 3u);
+  EXPECT_EQ(h.allocated(), 3u);
+  EXPECT_EQ(read_list(h, roots[0]), (std::vector<Word>{1, 2, 3}));
+}
+
+TEST_P(CollectorTest, SharedStructureCopiedOnce) {
+  ConsHeap h(64);
+  const Word shared = build_list(h, {7, 8});
+  // Two roots reach the same two cells through different prefixes.
+  std::vector<Word> roots{
+      make_pointer(h.alloc(make_immediate(1), shared)),
+      make_pointer(h.alloc(make_immediate(2), shared)),
+  };
+  ASSERT_EQ(h.allocated(), 4u);
+
+  const GcStats stats = collect(h, roots);
+  EXPECT_EQ(stats.live_cells, 4u);  // sharing preserved: 4 cells, not 6
+  EXPECT_EQ(read_list(h, roots[0]), (std::vector<Word>{1, 7, 8}));
+  EXPECT_EQ(read_list(h, roots[1]), (std::vector<Word>{2, 7, 8}));
+  // Physically shared after collection too.
+  EXPECT_EQ(h.cdr(pointer_cell(roots[0])), h.cdr(pointer_cell(roots[1])));
+}
+
+TEST_P(CollectorTest, CyclesSurvive) {
+  ConsHeap h(16);
+  const Word a = h.alloc(make_immediate(1), kNilValue);
+  const Word b = h.alloc(make_immediate(2), make_pointer(a));
+  h.set_cdr(a, make_pointer(b));  // a <-> b cycle
+  std::vector<Word> roots{make_pointer(a)};
+
+  const GcStats stats = collect(h, roots);
+  EXPECT_EQ(stats.live_cells, 2u);
+  const Word na = pointer_cell(roots[0]);
+  const Word nb = pointer_cell(h.cdr(na));
+  EXPECT_EQ(h.car(na), make_immediate(1));
+  EXPECT_EQ(h.car(nb), make_immediate(2));
+  EXPECT_EQ(h.cdr(nb), make_pointer(na));  // cycle closed
+}
+
+TEST_P(CollectorTest, NilAndImmediateRootsUntouched) {
+  ConsHeap h(8);
+  std::vector<Word> roots{kNilValue, make_immediate(42)};
+  const GcStats stats = collect(h, roots);
+  EXPECT_EQ(stats.live_cells, 0u);
+  EXPECT_EQ(roots[0], kNilValue);
+  EXPECT_EQ(roots[1], make_immediate(42));
+}
+
+TEST_P(CollectorTest, CollectionEnablesReuse) {
+  ConsHeap h(4);
+  std::vector<Word> roots{build_list(h, {1})};
+  build_list(h, {2, 3, 4});  // fills the rest with garbage
+  EXPECT_THROW(h.alloc(kNilValue, kNilValue), PreconditionError);
+  collect(h, roots);
+  // Three cells were reclaimed.
+  h.alloc(kNilValue, kNilValue);
+  h.alloc(kNilValue, kNilValue);
+  h.alloc(kNilValue, kNilValue);
+  EXPECT_THROW(h.alloc(kNilValue, kNilValue), PreconditionError);
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndVector, CollectorTest, ::testing::Bool());
+
+TEST(CollectorEquivalenceTest, RandomHeapsAgree) {
+  for (const auto order : {ScatterOrder::kForward, ScatterOrder::kReverse,
+                           ScatterOrder::kShuffled}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      // Build a random DAG-ish heap: each new cell points to earlier cells
+      // or immediates; root a random subset.
+      constexpr std::size_t kCells = 200;
+      ConsHeap scalar_heap(kCells * 2);
+      Xoshiro256 rng(seed * 97);
+      auto random_value = [&](Word upto) -> Word {
+        const double u = rng.unit();
+        if (u < 0.25 || upto == 0) return kNilValue;
+        if (u < 0.55) return make_immediate(rng.in_range(-50, 50));
+        return make_pointer(rng.in_range(0, upto - 1));
+      };
+      for (std::size_t i = 0; i < kCells; ++i) {
+        const auto upto = static_cast<Word>(i);
+        scalar_heap.alloc(random_value(upto), random_value(upto));
+      }
+      std::vector<Word> roots;
+      for (int r = 0; r < 12; ++r) {
+        roots.push_back(
+            make_pointer(rng.in_range(0, static_cast<Word>(kCells) - 1)));
+      }
+      ConsHeap vector_heap = scalar_heap;
+      std::vector<Word> scalar_roots = roots;
+      std::vector<Word> vector_roots = roots;
+
+      const GcStats s1 = scalar_heap.collect_scalar(scalar_roots);
+      MachineConfig cfg;
+      cfg.scatter_order = order;
+      VectorMachine m(cfg);
+      const GcStats s2 = vector_heap.collect_vector(m, vector_roots);
+
+      ASSERT_EQ(s1.live_cells, s2.live_cells) << "seed " << seed;
+      for (std::size_t r = 0; r < roots.size(); ++r) {
+        ASSERT_TRUE(ConsHeap::deep_equal(scalar_heap, scalar_roots[r],
+                                         vector_heap, vector_roots[r]))
+            << "seed " << seed << " root " << r;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace folvec::gc

@@ -1,0 +1,123 @@
+// Tests for the vectorized read paths: open-addressing lockstep membership
+// probes and chaining lockstep frequency counts — the paper's Figure 2b
+// case (read-only index vectors may share freely).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "hashing/chain_table.h"
+#include "hashing/open_table.h"
+#include "support/prng.h"
+
+namespace folvec::hashing {
+namespace {
+
+using vm::Mask;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+TEST(MultiHashOpenContainsTest, FindsPresentRejectsAbsent) {
+  VectorMachine m;
+  std::vector<Word> table(521, kUnentered);
+  const auto keys = random_unique_keys(200, 1 << 30, 5);
+  multi_hash_open_insert(m, table, keys, ProbeVariant::kKeyDependent);
+
+  WordVec queries(keys.begin(), keys.begin() + 50);
+  const WordVec absent = random_unique_keys(50, 1 << 20, 99);
+  for (Word a : absent) {
+    if (std::find(keys.begin(), keys.end(), a) == keys.end()) {
+      queries.push_back(a);
+    }
+  }
+  const Mask found =
+      multi_hash_open_contains(m, table, queries, ProbeVariant::kKeyDependent);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(found[i]) << "present key " << queries[i] << " not found";
+  }
+  for (std::size_t i = 50; i < queries.size(); ++i) {
+    EXPECT_FALSE(found[i]) << "absent key " << queries[i] << " found";
+  }
+}
+
+TEST(MultiHashOpenContainsTest, DuplicateQueriesAllowed) {
+  VectorMachine m;
+  std::vector<Word> table(67, kUnentered);
+  multi_hash_open_insert(m, table, WordVec{5, 72}, ProbeVariant::kLinear);
+  const Mask found = multi_hash_open_contains(
+      m, table, WordVec{5, 5, 72, 6}, ProbeVariant::kLinear);
+  EXPECT_EQ(found, (Mask{1, 1, 1, 0}));
+}
+
+TEST(MultiHashOpenContainsTest, FullTableAbsentKeyTerminates) {
+  VectorMachine m;
+  std::vector<Word> table(67, kUnentered);
+  const auto keys = random_unique_keys(67, 1 << 20, 7);
+  multi_hash_open_insert(m, table, keys, ProbeVariant::kKeyDependent);
+  Word absent = 1 << 21;
+  const Mask found = multi_hash_open_contains(
+      m, table, WordVec{absent}, ProbeVariant::kKeyDependent);
+  EXPECT_EQ(found[0], 0);
+}
+
+TEST(MultiHashOpenContainsTest, EmptyQueryVector) {
+  VectorMachine m;
+  std::vector<Word> table(67, kUnentered);
+  const Mask found = multi_hash_open_contains(m, table, WordVec{},
+                                              ProbeVariant::kKeyDependent);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(ChainMultiCountTest, MatchesScalarCounts) {
+  VectorMachine m;
+  ChainTable t(13, 256);
+  const auto keys = random_keys(200, 40, 11);
+  multi_hash_chain_insert(m, t, keys);
+
+  const WordVec queries = m.iota(40);
+  const WordVec counts = t.multi_count(m, queries);
+  for (Word q = 0; q < 40; ++q) {
+    EXPECT_EQ(static_cast<std::size_t>(counts[static_cast<std::size_t>(q)]),
+              t.count(q))
+        << "key " << q;
+  }
+}
+
+TEST(ChainMultiCountTest, EmptyTableAndEmptyQueries) {
+  VectorMachine m;
+  ChainTable t(7, 8);
+  EXPECT_TRUE(t.multi_count(m, WordVec{}).empty());
+  EXPECT_EQ(t.multi_count(m, WordVec{3, 4}), (WordVec{0, 0}));
+}
+
+// Property: contains-mask agrees with the scalar table for every key.
+class OpenContainsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(OpenContainsPropertyTest, AgreesWithScalarTable) {
+  const auto [size, load_pct] = GetParam();
+  const auto n = size * static_cast<std::size_t>(load_pct) / 100;
+  const auto keys = random_unique_keys(n, 1 << 30, size + n);
+  ScalarOpenTable scalar_table(size, ProbeVariant::kKeyDependent);
+  for (Word k : keys) scalar_table.insert(k);
+  VectorMachine m;
+  std::vector<Word> table(size, kUnentered);
+  multi_hash_open_insert(m, table, keys, ProbeVariant::kKeyDependent);
+
+  const auto queries = random_keys(300, 1 << 30, size * 31);
+  const Mask found = multi_hash_open_contains(m, table, queries,
+                                              ProbeVariant::kKeyDependent);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(found[i] != 0, scalar_table.contains(queries[i]))
+        << "query " << queries[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, OpenContainsPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(67, 521),
+                       ::testing::Values(10, 60, 95)));
+
+}  // namespace
+}  // namespace folvec::hashing

@@ -1,0 +1,208 @@
+// Tests for VectorHashMap: upsert/lookup semantics, within-batch duplicate
+// resolution, growth/rehashing, and a randomized differential test against
+// std::unordered_map.
+#include "hashing/hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_map>
+
+#include "support/prng.h"
+
+namespace folvec::hashing {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+TEST(VectorHashMapTest, InsertAndLookup) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{10, 20, 30}, WordVec{100, 200, 300});
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.lookup_batch(m, WordVec{20, 10, 99, 30}, -1),
+            (WordVec{200, 100, -1, 300}));
+  EXPECT_TRUE(map.contains(m, 10));
+  EXPECT_FALSE(map.contains(m, 11));
+}
+
+TEST(VectorHashMapTest, UpsertOverwritesExisting) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{5}, WordVec{50});
+  map.upsert_batch(m, WordVec{5, 6}, WordVec{55, 60});
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lookup_batch(m, WordVec{5, 6}, -1), (WordVec{55, 60}));
+}
+
+TEST(VectorHashMapTest, DuplicateKeysInBatchLastLaneWins) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{7, 8, 7, 7}, WordVec{1, 2, 3, 4});
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lookup_batch(m, WordVec{7, 8}, -1), (WordVec{4, 2}));
+}
+
+TEST(VectorHashMapTest, EmptyBatchIsNoop) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{}, WordVec{});
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.lookup_batch(m, WordVec{}, -1).empty());
+}
+
+TEST(VectorHashMapTest, MismatchedBatchThrows) {
+  VectorMachine m;
+  VectorHashMap map;
+  EXPECT_THROW(map.upsert_batch(m, WordVec{1}, WordVec{}),
+               PreconditionError);
+  EXPECT_THROW(map.upsert_batch(m, WordVec{-1}, WordVec{0}),
+               PreconditionError);
+}
+
+TEST(VectorHashMapTest, GrowthKeepsEverything) {
+  VectorMachine m;
+  VectorHashMap map(64);
+  const std::size_t initial_capacity = map.capacity();
+  const auto keys = random_unique_keys(500, 1 << 30, 3);
+  WordVec values(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    values[i] = static_cast<Word>(i);
+  }
+  // Insert in several batches to exercise repeated growth.
+  for (std::size_t off = 0; off < keys.size(); off += 100) {
+    map.upsert_batch(
+        m, std::span(keys).subspan(off, 100),
+        std::span<const Word>(values).subspan(off, 100));
+  }
+  EXPECT_GT(map.capacity(), initial_capacity);
+  EXPECT_GT(map.rehash_count(), 0u);
+  EXPECT_LE(map.load_factor(), 0.7);
+  const WordVec found = map.lookup_batch(m, keys, -1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(found[i], values[i]) << "key " << keys[i];
+  }
+}
+
+TEST(VectorHashMapEraseTest, EraseRemovesAndLookupMisses) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{1, 2, 3, 4}, WordVec{10, 20, 30, 40});
+  EXPECT_EQ(map.erase_batch(m, WordVec{2, 4, 99}), 2u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lookup_batch(m, WordVec{1, 2, 3, 4}, -1),
+            (WordVec{10, -1, 30, -1}));
+}
+
+TEST(VectorHashMapEraseTest, DuplicateEraseKeysCountOnce) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{7}, WordVec{70});
+  EXPECT_EQ(map.erase_batch(m, WordVec{7, 7, 7}), 1u);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(VectorHashMapEraseTest, ReinsertAfterEraseWorks) {
+  VectorMachine m;
+  VectorHashMap map;
+  map.upsert_batch(m, WordVec{5, 6}, WordVec{50, 60});
+  map.erase_batch(m, WordVec{5});
+  map.upsert_batch(m, WordVec{5}, WordVec{55});
+  EXPECT_EQ(map.lookup_batch(m, WordVec{5, 6}, -1), (WordVec{55, 60}));
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(VectorHashMapEraseTest, ProbeChainsSurviveTombstones) {
+  // Force a probe chain: keys congruent modulo the capacity collide; erase
+  // the first link and the second must stay reachable.
+  VectorMachine m;
+  VectorHashMap map(64);  // rounds to capacity 67
+  const Word cap = static_cast<Word>(map.capacity());
+  const WordVec chain{3, 3 + cap, 3 + 2 * cap};
+  map.upsert_batch(m, chain, WordVec{1, 2, 3});
+  map.erase_batch(m, WordVec{chain[0]});
+  EXPECT_EQ(map.lookup_batch(m, chain, -1), (WordVec{-1, 2, 3}));
+}
+
+TEST(VectorHashMapEraseTest, HeavyChurnTriggersTombstoneRehash) {
+  VectorMachine m;
+  VectorHashMap map;
+  Xoshiro256 rng(9);
+  std::unordered_map<Word, Word> reference;
+  for (int round = 0; round < 30; ++round) {
+    WordVec keys(40);
+    WordVec values(40);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = rng.in_range(0, 399);
+      values[i] = rng.in_range(0, 1000);
+      reference[keys[i]] = values[i];
+    }
+    map.upsert_batch(m, keys, values);
+    // Erase a random half of the known keys.
+    WordVec to_erase;
+    for (const auto& [k, v] : reference) {
+      if (rng.unit() < 0.5) to_erase.push_back(k);
+    }
+    map.erase_batch(m, to_erase);
+    for (Word k : to_erase) reference.erase(k);
+    ASSERT_EQ(map.size(), reference.size()) << "round " << round;
+  }
+  EXPECT_GT(map.rehash_count(), 0u);
+  // Final content check.
+  for (const auto& [k, v] : reference) {
+    ASSERT_EQ(map.lookup_batch(m, WordVec{k}, -1)[0], v);
+  }
+}
+
+// (batches, batch size, key range, scatter order)
+using MapSweep = std::tuple<std::size_t, std::size_t, Word, ScatterOrder>;
+
+class VectorHashMapPropertyTest : public ::testing::TestWithParam<MapSweep> {
+};
+
+TEST_P(VectorHashMapPropertyTest, MatchesUnorderedMap) {
+  const auto [batches, batch_size, range, order] = GetParam();
+  Xoshiro256 rng(batches * 31 + batch_size);
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  VectorMachine m(cfg);
+  VectorHashMap map;
+  std::unordered_map<Word, Word> reference;
+
+  for (std::size_t b = 0; b < batches; ++b) {
+    WordVec keys(batch_size);
+    WordVec values(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      keys[i] = rng.in_range(0, range - 1);
+      values[i] = rng.in_range(0, 1 << 20);
+      reference[keys[i]] = values[i];  // sequential upsert semantics
+    }
+    map.upsert_batch(m, keys, values);
+    ASSERT_EQ(map.size(), reference.size());
+
+    // Spot-check lookups: all reference keys plus some absent ones.
+    WordVec queries;
+    for (const auto& [k, v] : reference) queries.push_back(k);
+    queries.push_back(range + 5);
+    const WordVec found = map.lookup_batch(m, queries, -1);
+    for (std::size_t i = 0; i + 1 < queries.size(); ++i) {
+      ASSERT_EQ(found[i], reference.at(queries[i])) << "key " << queries[i];
+    }
+    ASSERT_EQ(found.back(), -1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSweep, VectorHashMapPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 5, 12),
+                       ::testing::Values<std::size_t>(1, 17, 120),
+                       ::testing::Values<Word>(10, 500, 1 << 28),
+                       ::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kShuffled)));
+
+}  // namespace
+}  // namespace folvec::hashing

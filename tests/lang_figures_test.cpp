@@ -1,0 +1,310 @@
+// Executable paper listings: the Figure 8 multiple-hashing program is fed
+// to the pseudo-language interpreter (near-verbatim) and cross-checked
+// against the native hand-written implementation — same results, same
+// machine, comparable instruction mix. A transcription of the Figure 7
+// chaining flow (the FOL1 label-write/read/compare round) is checked
+// against fol1_decompose as well.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fol/fol1.h"
+#include "hashing/open_table.h"
+#include "lang/interp.h"
+#include "support/prng.h"
+#include "vm/machine.h"
+
+namespace folvec::lang {
+namespace {
+
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+/// Figure 8 of the paper, transcribed. Differences from the printed
+/// listing, all syntactic: the one-line `if ... then exit loop;` gains an
+/// `end if;`, `hash(...)` is spelled out as `mod size(table)` (the
+/// listing's own comment defines it that way), and the loop variable of
+/// the outer for-loop is `it` (unused, exactly as in the listing).
+constexpr const char* kFigure8 = R"(
+/* Computing hashed values and entering data into the table */
+hashedValue[1 : n] := key[1 : n] mod size(table);
+where table[hashedValue[1 : n]] = unentered do
+  table[hashedValue[1 : n]] := key[1 : n];
+end where;
+
+for it in 1 .. size(table) loop
+  /* Checking unentered elements and collecting them */
+  entered[1 : n] := key[1 : n] = table[hashedValue[1 : n]];
+  nrest := countTrue(not entered[1 : n]);
+  hashedValue[1 : nrest] := hashedValue[1 : n] where not entered[1 : n];
+  key[1 : nrest] := key[1 : n] where not entered[1 : n];
+
+  /* Testing whether data entry is finished */
+  if nrest = 0 then exit loop; end if;
+  n := nrest;
+
+  /* Computing the subscripts for the next step and entering data */
+  hashedValue[1 : n] :=
+      (hashedValue[1 : n] + (key[1 : n] & 31) + 1) mod size(table);
+  where table[hashedValue[1 : n]] = unentered do
+    table[hashedValue[1 : n]] := key[1 : n];
+  end where;
+end loop;
+)";
+
+class Figure8Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Figure8Test, ListingMatchesNativeImplementation) {
+  const double load = GetParam();
+  const std::size_t table_size = 521;
+  const auto n_keys = static_cast<std::size_t>(load * table_size);
+  const WordVec keys = random_unique_keys(n_keys, 1 << 30, 77);
+
+  // Run the paper's listing in the interpreter.
+  VectorMachine m_listing;
+  Interpreter interp(m_listing);
+  interp.set_scalar("unentered", hashing::kUnentered);
+  interp.set_scalar("n", static_cast<Word>(n_keys));
+  interp.set_array("table", WordVec(table_size, hashing::kUnentered), 0);
+  interp.set_array("key", keys);
+  interp.set_array("hashedValue", WordVec(n_keys, 0));
+  interp.set_array("entered", WordVec(n_keys, 0));
+  interp.run(kFigure8);
+
+  // Run the native implementation on an identical machine.
+  VectorMachine m_native;
+  std::vector<Word> native_table(table_size, hashing::kUnentered);
+  hashing::multi_hash_open_insert(m_native, native_table, keys,
+                                  hashing::ProbeVariant::kKeyDependent);
+
+  // Same key multiset in the table...
+  WordVec listing_entries;
+  for (Word v : interp.array("table").data) {
+    if (v != hashing::kUnentered) listing_entries.push_back(v);
+  }
+  WordVec native_entries;
+  for (Word v : native_table) {
+    if (v != hashing::kUnentered) native_entries.push_back(v);
+  }
+  std::sort(listing_entries.begin(), listing_entries.end());
+  std::sort(native_entries.begin(), native_entries.end());
+  ASSERT_EQ(listing_entries, native_entries);
+  ASSERT_EQ(listing_entries.size(), n_keys);
+
+  // ... and identical slots: both follow the same probe sequences on the
+  // same deterministic machine.
+  EXPECT_EQ(interp.array("table").data,
+            WordVec(native_table.begin(), native_table.end()));
+
+  // The instruction mix must be in the same ballpark (the listing issues a
+  // few extra loads/packs because `n := nrest` renames via slices).
+  const double listing_cycles =
+      m_listing.cost().cycles(vm::CostParams::s810_like());
+  const double native_cycles =
+      m_native.cost().cycles(vm::CostParams::s810_like());
+  EXPECT_LT(listing_cycles, native_cycles * 3.0);
+  EXPECT_GT(listing_cycles, native_cycles * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Figure8Test,
+                         ::testing::Values(0.1, 0.5, 0.9));
+
+/// Figure 12 of the paper (vectorized address-calculation sorting),
+/// transcribed. Syntactic deviations only: the spreading function uses the
+/// worked example's factor 2n (the listing's 2*size(C) would index out of
+/// range — see EXPERIMENTS.md finding 1), `-ι` is written `0 - iota(...)`,
+/// and local arrays are declared up front.
+constexpr const char* kFigure12 = R"(
+local C[0 : 3*n - 1];
+local work[1 : n];
+local index[1 : n];
+local next[1 : n];
+n0 := n;
+
+C[0 : 3*n - 1] := unentered;   /* initialize C (unentered = Vmax) */
+
+/* A. Computing "hashed" values. */
+hashedValue[1 : n] := (2 * n * A[1 : n]) / Vmax;
+nrest := n;
+
+repeat
+  /* B. Finding table entries to insert data. */
+  repeat
+    uninsertable[1 : nrest] := C[hashedValue[1 : nrest]] <= A[1 : nrest];
+    Nuninsertable := countTrue(uninsertable[1 : nrest]);
+    where uninsertable[1 : nrest] do
+      hashedValue[1 : nrest] := hashedValue[1 : nrest] + 1;
+    end where;
+  until Nuninsertable = 0;
+
+  /* C. Inserting the data. */
+  work[1 : nrest] := C[hashedValue[1 : nrest]];
+  C[hashedValue[1 : nrest]] := 0 - iota(nrest);
+  entered[1 : nrest] := C[hashedValue[1 : nrest]] = 0 - iota(nrest);
+  where entered[1 : nrest] do
+    C[hashedValue[1 : nrest]] := A[1 : nrest];
+  end where;
+
+  /* D. Shifting the work array elements. */
+  toShift[1 : nrest] := entered[1 : nrest] and (work[1 : nrest] /= unentered);
+  NtoShift := countTrue(toShift[1 : nrest]);
+  work[1 : NtoShift] := work[1 : nrest] where toShift[1 : nrest];
+  index[1 : NtoShift] := (hashedValue[1 : nrest] + 1) where toShift[1 : nrest];
+  while NtoShift > 0 do
+    next[1 : NtoShift] := C[index[1 : NtoShift]];
+    C[index[1 : NtoShift]] := work[1 : NtoShift];
+    nonempty[1 : NtoShift] := next[1 : NtoShift] /= unentered;
+    cnt := countTrue(nonempty[1 : NtoShift]);
+    work[1 : cnt] := next[1 : NtoShift] where nonempty[1 : NtoShift];
+    index[1 : cnt] := (index[1 : NtoShift] + 1) where nonempty[1 : NtoShift];
+    NtoShift := cnt;
+  end while;
+
+  /* E. Collecting not yet inserted data for the next iteration. */
+  irest := countTrue(not entered[1 : nrest]);
+  hashedValue[1 : irest] := hashedValue[1 : nrest] where not entered[1 : nrest];
+  A[1 : irest] := A[1 : nrest] where not entered[1 : nrest];
+  nrest := irest;
+until nrest = 0;   /* until all the data are inserted */
+
+/* F. Packing the sorted data into A. */
+A[1 : n0] := C[0 : 3*n0 - 1] where C[0 : 3*n0 - 1] /= unentered;
+)";
+
+class Figure12Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Figure12Test, ListingSortsExactlyLikeStdSort) {
+  const std::size_t n = GetParam();
+  constexpr Word kVmax = 1 << 16;
+  const WordVec data = random_keys(n, kVmax, n * 13 + 5);
+  WordVec expected = data;
+  std::sort(expected.begin(), expected.end());
+
+  VectorMachine m;
+  Interpreter interp(m);
+  interp.set_scalar("n", static_cast<Word>(n));
+  interp.set_scalar("Vmax", kVmax);
+  interp.set_scalar("unentered", kVmax);
+  interp.set_array("A", data);
+  interp.set_array("hashedValue", WordVec(n, 0));
+  interp.set_array("uninsertable", WordVec(n, 0));
+  interp.set_array("entered", WordVec(n, 0));
+  interp.set_array("toShift", WordVec(n, 0));
+  interp.set_array("nonempty", WordVec(n, 0));
+  interp.run(kFigure12);
+
+  EXPECT_EQ(interp.array("A").data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Figure12Test,
+                         ::testing::Values(1, 2, 16, 100, 333));
+
+TEST(Figure13Test, WorkedExampleFromThePaper) {
+  // Figure 13: A = {38, 11, 42, 39}, keys in [0, 100), hash(x) = (8/100)x.
+  VectorMachine m;
+  Interpreter interp(m);
+  interp.set_scalar("n", 4);
+  interp.set_scalar("Vmax", 100);
+  interp.set_scalar("unentered", 100);
+  interp.set_array("A", WordVec{38, 11, 42, 39});
+  for (const char* name : {"hashedValue", "uninsertable", "entered",
+                           "toShift", "nonempty"}) {
+    interp.set_array(name, WordVec(4, 0));
+  }
+  interp.run(kFigure12);
+  EXPECT_EQ(interp.array("A").data, (WordVec{11, 38, 39, 42}));
+}
+
+/// Figure 11 (the *sequential* address-calculation sort): the language
+/// handles scalar control flow too, so the paper's baseline listing runs
+/// as well. Deviations: the spreading factor follows Figure 13 (see
+/// Figure 12's note) and the `while C[hv] <= A[i]` probe is spelled with
+/// the same inclusive semantics.
+constexpr const char* kFigure11 = R"(
+local C[0 : 3*n - 1];
+for i in 0 .. 3*n - 1 loop C[i] := unentered; end loop;
+
+/* Scatter the data into C: */
+for i in 1 .. n loop
+  /* A. Computing a "hashed" value of A[i]. */
+  hv := (2 * n * A[i]) / Vmax;
+
+  /* B. Finding the table entry to insert new data A[i]: */
+  while C[hv] <= A[i] do
+    hv := hv + 1;
+  end while;
+
+  /* C&D. Inserting new data and shifting the data in C: */
+  w := C[hv];
+  C[hv] := A[i];
+  while w /= unentered do
+    hv := hv + 1;
+    x := C[hv];
+    C[hv] := w;
+    w := x;
+  end while;
+end loop;
+
+/* F. Packing the sorted data into A. */
+count := 0;
+for i in 0 .. 3*n - 1 loop
+  if C[i] /= unentered then
+    count := count + 1;
+    A[count] := C[i];
+  end if;
+end loop;
+)";
+
+TEST(Figure11Test, SequentialListingSorts) {
+  constexpr Word kVmax = 1 << 10;
+  const WordVec data = random_keys(80, kVmax, 9);
+  WordVec expected = data;
+  std::sort(expected.begin(), expected.end());
+
+  VectorMachine m;
+  Interpreter interp(m);
+  interp.set_scalar("n", static_cast<Word>(data.size()));
+  interp.set_scalar("Vmax", kVmax);
+  interp.set_scalar("unentered", kVmax);
+  interp.set_array("A", data);
+  interp.run(kFigure11);
+  EXPECT_EQ(interp.array("A").data, expected);
+  // A scalar listing must issue (almost) no vector instructions — scalar
+  // element accesses only.
+  EXPECT_EQ(m.cost().instructions(vm::OpClass::kVectorGather), 0u);
+  EXPECT_GT(m.cost().elements(vm::OpClass::kScalarMem), 0u);
+}
+
+TEST(Figure7FlowTest, LabelRoundMatchesFol1FirstSet) {
+  // The FOL detection round of Figure 7, as a program: write labels
+  // (subscripts) through the hashed-value index vector, read them back,
+  // compare. The winners must be exactly FOL1's first set.
+  constexpr const char* kLabelRound = R"(
+    labels := iota(n, 0);
+    work[hv[1 : n]] := labels;
+    readback := work[hv[1 : n]];
+    ok := readback = labels;
+    winners := labels where ok;
+  )";
+  const WordVec hv{5, 3, 5, 0, 3, 5};
+
+  VectorMachine m;
+  Interpreter interp(m);
+  interp.set_scalar("n", static_cast<Word>(hv.size()));
+  interp.set_array("hv", hv);
+  interp.set_array("work", WordVec(8, 0), 0);
+  interp.run(kLabelRound);
+
+  VectorMachine m2;
+  WordVec work(8, 0);
+  const fol::Decomposition dec = fol::fol1_decompose(m2, hv, work);
+  WordVec expected;
+  for (std::size_t lane : dec.sets[0]) {
+    expected.push_back(static_cast<Word>(lane));
+  }
+  EXPECT_EQ(interp.array("winners").data, expected);
+}
+
+}  // namespace
+}  // namespace folvec::lang

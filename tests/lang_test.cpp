@@ -1,0 +1,230 @@
+// Tests for the array pseudo-language: lexer, parser, and interpreter
+// semantics (slices, gathers/scatters, where-blocks, pack, loops, builtins,
+// cost accounting).
+#include <gtest/gtest.h>
+
+#include "lang/ast.h"
+#include "lang/interp.h"
+#include "lang/token.h"
+#include "vm/machine.h"
+
+namespace folvec::lang {
+namespace {
+
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+// ---- lexer -------------------------------------------------------------------
+
+TEST(LexerTest, TokenKindsAndComments) {
+  const auto tokens = tokenize(
+      "x := 42; /* block\ncomment */ where -- line comment\nA[1 : n]");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::kIdentifier, "x"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::kSymbol, ":="));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[2].number, 42);
+  EXPECT_TRUE(tokens[4].is(TokenKind::kKeyword, "where"));
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEndOfInput);
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  const auto tokens = tokenize(":= .. /= <= >=");
+  EXPECT_TRUE(tokens[0].is(TokenKind::kSymbol, ":="));
+  EXPECT_TRUE(tokens[1].is(TokenKind::kSymbol, ".."));
+  EXPECT_TRUE(tokens[2].is(TokenKind::kSymbol, "/="));
+  EXPECT_TRUE(tokens[3].is(TokenKind::kSymbol, "<="));
+  EXPECT_TRUE(tokens[4].is(TokenKind::kSymbol, ">="));
+}
+
+TEST(LexerTest, ErrorsCarryLineNumbers) {
+  try {
+    tokenize("x := 1;\n y := @;");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, UnterminatedCommentRejected) {
+  EXPECT_THROW(tokenize("/* never closed"), PreconditionError);
+}
+
+// ---- parser ------------------------------------------------------------------
+
+TEST(ParserTest, StatementsParse) {
+  const Program p = parse_program(
+      "local C[0 : 3*n - 1];\n"
+      "x := 1;\n"
+      "where A[1:n] = 0 do A[1:n] := 1; end where;\n"
+      "for i in 1 .. 10 loop x := x + i; end loop;\n"
+      "repeat x := x - 1; until x = 0;\n"
+      "while x < 5 do x := x + 1; end while;\n"
+      "if x = 5 then x := 0; else x := 1; end if;\n");
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p[0]->kind, Stmt::Kind::kLocal);
+  EXPECT_EQ(p[1]->kind, Stmt::Kind::kAssign);
+  EXPECT_EQ(p[2]->kind, Stmt::Kind::kWhere);
+  EXPECT_EQ(p[3]->kind, Stmt::Kind::kFor);
+  EXPECT_EQ(p[4]->kind, Stmt::Kind::kRepeat);
+  EXPECT_EQ(p[5]->kind, Stmt::Kind::kWhile);
+  EXPECT_EQ(p[6]->kind, Stmt::Kind::kIf);
+}
+
+TEST(ParserTest, PrecedenceAndWhereOperator) {
+  const Program p = parse_program("y := a + b * c where m;");
+  ASSERT_EQ(p.size(), 1u);
+  // Top level must be the pack operator, its value operand the sum.
+  const Expr& rhs = *p[0]->rhs;
+  ASSERT_EQ(rhs.kind, Expr::Kind::kWhere);
+  EXPECT_EQ(rhs.args[0]->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(rhs.args[0]->op, "+");
+  EXPECT_EQ(rhs.args[0]->args[1]->op, "*");
+}
+
+TEST(ParserTest, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse_program("x := ;"), PreconditionError);
+  EXPECT_THROW(parse_program("where x do y := 1; end loop;"),
+               PreconditionError);
+  EXPECT_THROW(parse_program("x + 1 := 2;"), PreconditionError);
+  EXPECT_THROW(parse_program("x := 1"), PreconditionError);  // missing ;
+}
+
+// ---- interpreter -------------------------------------------------------------
+
+class InterpTest : public ::testing::Test {
+ protected:
+  VectorMachine m_;
+  Interpreter interp_{m_};
+};
+
+TEST_F(InterpTest, ScalarArithmeticAndVariables) {
+  interp_.run("x := 2 + 3 * 4; y := x mod 7; z := (x + 1) / 3;");
+  EXPECT_EQ(interp_.scalar("x"), 14);
+  EXPECT_EQ(interp_.scalar("y"), 0);
+  EXPECT_EQ(interp_.scalar("z"), 5);
+}
+
+TEST_F(InterpTest, SliceAssignmentAndRead) {
+  interp_.set_array("A", WordVec{10, 20, 30, 40});
+  interp_.run("A[2 : 3] := A[2 : 3] + 5; B := A[1 : 4];");
+  EXPECT_EQ(interp_.array("B").data, (WordVec{10, 25, 35, 40}));
+}
+
+TEST_F(InterpTest, LocalDeclarationAndFill) {
+  interp_.set_scalar("n", 4);
+  interp_.run("local C[0 : 3*n - 1]; C[0 : 3*n - 1] := 9;");
+  EXPECT_EQ(interp_.array("C").data, WordVec(12, 9));
+  EXPECT_EQ(interp_.array("C").lo, 0);
+}
+
+TEST_F(InterpTest, GatherAndScatterThroughIndexVectors) {
+  interp_.set_array("table", WordVec{100, 200, 300, 400}, 0);
+  interp_.set_array("idx", WordVec{3, 0, 3});
+  interp_.run("g := table[idx[1 : 3]]; table[idx[1 : 3]] := iota(3, 7);");
+  EXPECT_EQ(interp_.array("g").data, (WordVec{400, 100, 400}));
+  // Forward machine: the last colliding lane wins slot 3.
+  EXPECT_EQ(interp_.array("table").data[3], 9);
+  EXPECT_EQ(interp_.array("table").data[0], 8);
+}
+
+TEST_F(InterpTest, WhereBlockMasksVectorAssignments) {
+  interp_.set_array("A", WordVec{1, 2, 3, 4});
+  interp_.set_array("B", WordVec{10, 11, 12, 13});
+  // The paper's own example (Section 4.1): mask (T,F,T) semantics.
+  interp_.run(
+      "where A[1 : 4] > 2 do A[1 : 4] := B[1 : 4]; end where;");
+  EXPECT_EQ(interp_.array("A").data, (WordVec{1, 2, 12, 13}));
+}
+
+TEST_F(InterpTest, WhereOperatorPacks) {
+  interp_.set_array("A", WordVec{1, 2, 3});
+  interp_.run("P := A[1 : 3] where A[1 : 3] /= 2;");
+  EXPECT_EQ(interp_.array("P").data, (WordVec{1, 3}));
+}
+
+TEST_F(InterpTest, CountTrueAndSize) {
+  interp_.set_array("A", WordVec{5, 0, 5});
+  interp_.run("n := countTrue(A[1 : 3] = 5); s := size(A);");
+  EXPECT_EQ(interp_.scalar("n"), 2);
+  EXPECT_EQ(interp_.scalar("s"), 3);
+}
+
+TEST_F(InterpTest, LoopsAndExit) {
+  interp_.run(
+      "x := 0;\n"
+      "for i in 1 .. 100 loop\n"
+      "  x := x + i;\n"
+      "  if i = 4 then exit loop; end if;\n"
+      "end loop;");
+  EXPECT_EQ(interp_.scalar("x"), 10);
+}
+
+TEST_F(InterpTest, RepeatUntil) {
+  interp_.run("x := 0; repeat x := x + 3; until x >= 10;");
+  EXPECT_EQ(interp_.scalar("x"), 12);
+}
+
+TEST_F(InterpTest, HostBuiltins) {
+  interp_.register_builtin("double", [](std::span<const Value> args) {
+    return std::get<Word>(args[0]) * 2;
+  });
+  interp_.run("y := double(21);");
+  EXPECT_EQ(interp_.scalar("y"), 42);
+}
+
+TEST_F(InterpTest, RuntimeErrorsCarryLines) {
+  try {
+    interp_.run("x := 1;\ny := nosuch + 1;");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(InterpTest, OutOfRangeSubscriptRejected) {
+  interp_.set_array("A", WordVec{1, 2});
+  EXPECT_THROW(interp_.run("x := A[3];"), PreconditionError);
+  EXPECT_THROW(interp_.run("A[0] := 1;"), PreconditionError);  // 1-based
+}
+
+TEST_F(InterpTest, MixedScalarArrayOps) {
+  interp_.set_array("A", WordVec{10, 20, 30});
+  interp_.run(
+      "B := 100 - A[1 : 3];"
+      "C := A[1 : 3] mod 7;"
+      "M := 15 < A[1 : 3];"
+      "k := countTrue(M);");
+  EXPECT_EQ(interp_.array("B").data, (WordVec{90, 80, 70}));
+  EXPECT_EQ(interp_.array("C").data, (WordVec{3, 6, 2}));
+  EXPECT_EQ(interp_.scalar("k"), 2);
+}
+
+TEST_F(InterpTest, EmptySlicesAreNoops) {
+  interp_.set_array("A", WordVec{1, 2});
+  interp_.run("B := A[1 : 0]; A[2 : 1] := 9;");
+  EXPECT_TRUE(interp_.array("B").data.empty());
+  EXPECT_EQ(interp_.array("A").data, (WordVec{1, 2}));
+}
+
+TEST_F(InterpTest, CostsAreCharged) {
+  interp_.set_array("A", WordVec(100, 1));
+  interp_.run("B := A[1 : 100] + 1;");
+  EXPECT_GE(m_.cost().elements(vm::OpClass::kVectorArith), 100u);
+  EXPECT_GE(m_.cost().elements(vm::OpClass::kVectorLoad), 100u);
+}
+
+TEST_F(InterpTest, NestedWhereMasksIntersect) {
+  interp_.set_array("A", WordVec{1, 2, 3, 4});
+  interp_.run(
+      "where A[1 : 4] > 1 do\n"
+      "  where A[1 : 4] < 4 do\n"
+      "    A[1 : 4] := 0;\n"
+      "  end where;\n"
+      "end where;");
+  EXPECT_EQ(interp_.array("A").data, (WordVec{1, 0, 0, 4}));
+}
+
+}  // namespace
+}  // namespace folvec::lang

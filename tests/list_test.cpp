@@ -1,0 +1,168 @@
+// Tests for the SIVP list layer: arena mechanics, lockstep read-only
+// traversals (safe under sharing), and the FOL-repaired destructive update
+// on shared tails — including the demonstration that the unsafe version
+// really does lose updates (paper Figure 3a).
+#include "list/list.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/prng.h"
+
+namespace folvec::list {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+TEST(ListArenaTest, BuildAndReadBack) {
+  ListArena a;
+  const Word head = a.build(WordVec{1, 2, 3});
+  EXPECT_EQ(a.to_vector(head), (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.car(head), 1);
+}
+
+TEST(ListArenaTest, EmptyListIsNil) {
+  ListArena a;
+  EXPECT_EQ(a.build(WordVec{}), kNil);
+  EXPECT_TRUE(a.to_vector(kNil).empty());
+}
+
+TEST(ListArenaTest, ConsValidatesCdr) {
+  ListArena a;
+  EXPECT_THROW(a.cons(1, 5), PreconditionError);
+  const Word c = a.cons(1, kNil);
+  EXPECT_EQ(a.cdr(c), kNil);
+}
+
+TEST(ListArenaTest, SharedTailIsShared) {
+  ListArena a;
+  const Word tail = a.build(WordVec{10, 11});
+  const Word l1 = a.build_with_shared_tail(WordVec{1}, tail);
+  const Word l2 = a.build_with_shared_tail(WordVec{2}, tail);
+  EXPECT_EQ(a.to_vector(l1), (std::vector<Word>{1, 10, 11}));
+  EXPECT_EQ(a.to_vector(l2), (std::vector<Word>{2, 10, 11}));
+  // Physically shared: only 4 cells exist.
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(MultiLengthTest, MixedLengthsAndEmpty) {
+  ListArena a;
+  VectorMachine m;
+  const WordVec heads{a.build(WordVec{1, 2, 3}), kNil,
+                      a.build(WordVec{9}), a.build(WordVec{4, 5})};
+  EXPECT_EQ(multi_length(m, a, heads), (WordVec{3, 0, 1, 2}));
+}
+
+TEST(MultiSumTest, SumsEachListIndependently) {
+  ListArena a;
+  VectorMachine m;
+  const Word tail = a.build(WordVec{100});
+  const WordVec heads{a.build_with_shared_tail(WordVec{1, 2}, tail),
+                      a.build_with_shared_tail(WordVec{3}, tail), tail};
+  // Read-only sharing is safe: each lane sums its own view.
+  EXPECT_EQ(multi_sum(m, a, heads), (WordVec{103, 103, 100}));
+}
+
+TEST(MultiIncrementTest, IndependentListsMatchScalar) {
+  ListArena a;
+  const WordVec heads{a.build(WordVec{1, 2}), a.build(WordVec{10})};
+  ListArena b = a;
+
+  VectorMachine m;
+  const std::size_t vec_updates = multi_increment(m, a, heads, 5);
+  const std::size_t scalar_updates = multi_increment_scalar(b, heads, 5);
+  EXPECT_EQ(vec_updates, scalar_updates);
+  EXPECT_EQ(a.to_vector(heads[0]), b.to_vector(heads[0]));
+  EXPECT_EQ(a.to_vector(heads[1]), b.to_vector(heads[1]));
+}
+
+TEST(MultiIncrementTest, SharedTailGetsOneIncrementPerList) {
+  ListArena a;
+  const Word tail = a.build(WordVec{100, 200});
+  const WordVec heads{a.build_with_shared_tail(WordVec{1}, tail),
+                      a.build_with_shared_tail(WordVec{2}, tail),
+                      a.build_with_shared_tail(WordVec{3}, tail)};
+  VectorMachine m;
+  multi_increment(m, a, heads, 1);
+  // The shared cells were traversed by three lists: +3 each.
+  EXPECT_EQ(a.to_vector(heads[0]), (std::vector<Word>{2, 103, 203}));
+  EXPECT_EQ(a.to_vector(heads[1]), (std::vector<Word>{3, 103, 203}));
+}
+
+TEST(MultiIncrementTest, UnsafeVersionLosesUpdatesOnSharedTails) {
+  ListArena safe;
+  const Word tail_s = safe.build(WordVec{100});
+  const WordVec heads_s{safe.build_with_shared_tail(WordVec{1}, tail_s),
+                        safe.build_with_shared_tail(WordVec{2}, tail_s)};
+  ListArena unsafe = safe;
+
+  VectorMachine m;
+  multi_increment(m, safe, heads_s, 1);
+  multi_increment_unsafe(m, unsafe, heads_s, 1);
+
+  EXPECT_EQ(safe.car(tail_s), 102);    // both lists incremented it
+  EXPECT_EQ(unsafe.car(tail_s), 101);  // one update was lost (Figure 4)
+}
+
+TEST(MultiIncrementTest, EmptyHeadsAreFine) {
+  ListArena a;
+  VectorMachine m;
+  const WordVec heads{kNil, kNil};
+  EXPECT_EQ(multi_increment(m, a, heads, 3), 0u);
+}
+
+// (lists, max length, share tails?, scatter order)
+using ListSweep = std::tuple<std::size_t, std::size_t, bool, ScatterOrder>;
+
+class MultiIncrementPropertyTest : public ::testing::TestWithParam<ListSweep> {
+};
+
+TEST_P(MultiIncrementPropertyTest, MatchesScalarSemantics) {
+  const auto [n_lists, max_len, share, order] = GetParam();
+  Xoshiro256 rng(n_lists * 1000 + max_len);
+  ListArena a;
+  Word shared_tail = kNil;
+  if (share) {
+    shared_tail = a.build(WordVec{500, 501, 502});
+  }
+  WordVec heads;
+  for (std::size_t i = 0; i < n_lists; ++i) {
+    const auto len =
+        static_cast<std::size_t>(rng.in_range(0, static_cast<Word>(max_len)));
+    WordVec vals(len);
+    for (auto& v : vals) v = rng.in_range(0, 99);
+    if (share && rng.unit() < 0.5) {
+      heads.push_back(a.build_with_shared_tail(vals, shared_tail));
+    } else {
+      heads.push_back(a.build(vals));
+    }
+  }
+  ListArena b = a;
+
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  VectorMachine m(cfg);
+  const std::size_t vec_updates = multi_increment(m, a, heads, 7);
+  const std::size_t scalar_updates = multi_increment_scalar(b, heads, 7);
+  EXPECT_EQ(vec_updates, scalar_updates);
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    ASSERT_EQ(a.to_vector(heads[i]), b.to_vector(heads[i])) << "list " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, MultiIncrementPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 8, 40),
+                       ::testing::Values<std::size_t>(0, 3, 20),
+                       ::testing::Bool(),
+                       ::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kShuffled)));
+
+}  // namespace
+}  // namespace folvec::list

@@ -1,0 +1,91 @@
+// Tests for the N-queens module: known solution counts, scalar/vector
+// agreement, and validity of every enumerated placement.
+#include "queens/queens.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace folvec::queens {
+namespace {
+
+using vm::VectorMachine;
+using vm::Word;
+
+// OEIS A000170.
+constexpr std::size_t kKnownCounts[] = {0,  1,   0,   0,    2,    10,
+                                        4,  40,  92,  352,  724,  2680,
+                                        14200};
+
+TEST(QueensScalarTest, KnownCounts) {
+  for (std::size_t n = 1; n <= 10; ++n) {
+    EXPECT_EQ(count_scalar(n).solutions, kKnownCounts[n]) << "n=" << n;
+  }
+}
+
+TEST(QueensScalarTest, NodesAreCounted) {
+  const QueensStats s = count_scalar(6);
+  EXPECT_GT(s.nodes, s.solutions);
+}
+
+TEST(QueensScalarTest, RejectsOutOfRange) {
+  EXPECT_THROW(count_scalar(0), PreconditionError);
+  EXPECT_THROW(count_scalar(17), PreconditionError);
+}
+
+TEST(QueensVectorTest, KnownCounts) {
+  VectorMachine m;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    EXPECT_EQ(count_vector(m, n).solutions, kKnownCounts[n]) << "n=" << n;
+  }
+}
+
+TEST(QueensVectorTest, FrontierTracked) {
+  VectorMachine m;
+  const QueensStats s = count_vector(m, 8);
+  EXPECT_GT(s.max_frontier, 92u);  // frontier peaks above the solution count
+}
+
+TEST(QueensSolveTest, EightQueensEnumerationIsValidAndComplete) {
+  VectorMachine m;
+  const auto solutions = solve_vector(m, 8);
+  ASSERT_EQ(solutions.size(), 92u);
+  std::set<std::vector<Word>> unique(solutions.begin(), solutions.end());
+  EXPECT_EQ(unique.size(), 92u);  // all distinct
+  for (const auto& s : solutions) {
+    EXPECT_TRUE(is_valid_solution(s));
+  }
+}
+
+TEST(QueensSolveTest, SmallBoards) {
+  VectorMachine m;
+  EXPECT_EQ(solve_vector(m, 1), (std::vector<std::vector<Word>>{{0}}));
+  EXPECT_TRUE(solve_vector(m, 2).empty());
+  EXPECT_TRUE(solve_vector(m, 3).empty());
+  const auto four = solve_vector(m, 4);
+  ASSERT_EQ(four.size(), 2u);
+  for (const auto& s : four) EXPECT_TRUE(is_valid_solution(s));
+}
+
+TEST(ValidityCheckerTest, CatchesAttacks) {
+  EXPECT_TRUE(is_valid_solution({1, 3, 0, 2}));
+  EXPECT_FALSE(is_valid_solution({0, 0}));      // same column
+  EXPECT_FALSE(is_valid_solution({0, 1}));      // diagonal
+  EXPECT_FALSE(is_valid_solution({0, 5}));      // out of range
+  EXPECT_TRUE(is_valid_solution({0}));
+}
+
+class QueensAgreementTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QueensAgreementTest, ScalarAndVectorAgree) {
+  const std::size_t n = GetParam();
+  VectorMachine m;
+  EXPECT_EQ(count_scalar(n).solutions, count_vector(m, n).solutions);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoardSizes, QueensAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11));
+
+}  // namespace
+}  // namespace folvec::queens

@@ -1,0 +1,202 @@
+// Tests for the term arena and associative-law rewriting: the Figure 5
+// example, scalar/vector equivalence, stale-tuple handling, and sweeps over
+// tree shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rewrite/assoc_rewrite.h"
+#include "rewrite/term.h"
+#include "support/prng.h"
+
+namespace folvec::rewrite {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+
+TEST(TermArenaTest, LeafAndOpConstruction) {
+  TermArena a;
+  const Word x = a.make_leaf(10);
+  const Word y = a.make_leaf(20);
+  const Word p = a.make_op(x, y);
+  EXPECT_EQ(a.kind(x), NodeKind::kLeaf);
+  EXPECT_EQ(a.kind(p), NodeKind::kOp);
+  EXPECT_EQ(a.left(p), x);
+  EXPECT_EQ(a.right(p), y);
+  EXPECT_EQ(a.symbol(x), 10);
+  EXPECT_EQ(a.leaf_sequence(p), (std::vector<Word>{10, 20}));
+  EXPECT_EQ(a.depth(p), 2u);
+  EXPECT_TRUE(a.is_left_deep(p));
+  EXPECT_EQ(a.to_string(p), "(s10*s20)");
+}
+
+TEST(TermArenaTest, InvalidChildRejected) {
+  TermArena a;
+  EXPECT_THROW(a.make_op(0, 1), PreconditionError);
+}
+
+TEST(TermArenaTest, RightCombShape) {
+  TermArena a;
+  const Word root = build_right_comb(a, 4);  // a*(b*(c*d))
+  EXPECT_EQ(a.leaf_sequence(root), (std::vector<Word>{0, 1, 2, 3}));
+  EXPECT_EQ(a.depth(root), 4u);
+  EXPECT_FALSE(a.is_left_deep(root));
+  EXPECT_EQ(a.size(), 7u);
+}
+
+TEST(TermArenaTest, SingleLeafIsTrivialNormalForm) {
+  TermArena a;
+  const Word root = build_right_comb(a, 1);
+  EXPECT_TRUE(a.is_left_deep(root));
+  EXPECT_EQ(a.leaf_sequence(root), (std::vector<Word>{0}));
+}
+
+TEST(TermArenaTest, RandomTreePreservesLeafCountAndOrder) {
+  TermArena a;
+  Xoshiro256 rng(5);
+  const Word root = build_random_tree(a, 20, rng);
+  const auto leaves = a.leaf_sequence(root);
+  ASSERT_EQ(leaves.size(), 20u);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i], static_cast<Word>(i));
+  }
+}
+
+TEST(AssocRewriteScalarTest, PaperFigure5Example) {
+  // a*(b*(c*d)) must normalize to ((a*b)*c)*d with the leaf order intact.
+  TermArena a;
+  const Word root = build_right_comb(a, 4);
+  const RewriteStats stats = assoc_rewrite_scalar(a, root);
+  EXPECT_TRUE(a.is_left_deep(root));
+  EXPECT_EQ(a.leaf_sequence(root), (std::vector<Word>{0, 1, 2, 3}));
+  EXPECT_EQ(a.to_string(root), "(((s0*s1)*s2)*s3)");
+  // Each rotation at the spine pulls one operator leftward; a right comb of
+  // k leaves holds k-2 operators below the root, so k-2 = 2 rewrites.
+  EXPECT_EQ(stats.rewrites, 2u);
+}
+
+TEST(AssocRewriteScalarTest, AlreadyNormalIsNoop) {
+  TermArena a;
+  const Word l0 = a.make_leaf(0);
+  const Word l1 = a.make_leaf(1);
+  const Word l2 = a.make_leaf(2);
+  const Word root = a.make_op(a.make_op(l0, l1), l2);
+  const RewriteStats stats = assoc_rewrite_scalar(a, root);
+  EXPECT_EQ(stats.rewrites, 0u);
+  EXPECT_TRUE(a.is_left_deep(root));
+}
+
+TEST(AssocRewriteVectorTest, PaperFigure5Example) {
+  TermArena a;
+  const Word root = build_right_comb(a, 4);
+  VectorMachine m;
+  const RewriteStats stats = assoc_rewrite_vector(m, a, root);
+  EXPECT_TRUE(a.is_left_deep(root));
+  EXPECT_EQ(a.leaf_sequence(root), (std::vector<Word>{0, 1, 2, 3}));
+  EXPECT_EQ(stats.rewrites, 2u);
+  // The chain (n1,n3),(n3,n5) conflicts on n3, so at least one tuple is
+  // deferred (to a later set or sweep).
+  EXPECT_GE(stats.sweeps, 2u);
+}
+
+TEST(AssocRewriteVectorTest, StaleTuplesAreDroppedNotMisapplied) {
+  // A long right comb maximizes chained redexes: every adjacent pair of
+  // redexes conflicts, so later FOL* sets are full of tuples the first set
+  // consumed. In full-decomposition mode the rewriter must drop them (not
+  // misapply them) and still reach normal form.
+  TermArena a;
+  const Word root = build_right_comb(a, 16);
+  VectorMachine m;
+  const RewriteStats stats =
+      assoc_rewrite_vector(m, a, root, RewriteMode::kFullDecomposition);
+  EXPECT_TRUE(a.is_left_deep(root));
+  ASSERT_EQ(a.leaf_sequence(root).size(), 16u);
+  EXPECT_GT(stats.stale_dropped, 0u);
+}
+
+TEST(AssocRewriteVectorTest, FirstSetModeNeverSeesStaleTuples) {
+  TermArena a;
+  const Word root = build_right_comb(a, 16);
+  VectorMachine m;
+  const RewriteStats stats =
+      assoc_rewrite_vector(m, a, root, RewriteMode::kFirstSetPerSweep);
+  EXPECT_TRUE(a.is_left_deep(root));
+  EXPECT_EQ(stats.stale_dropped, 0u);
+}
+
+TEST(AssocRewriteVectorTest, ModesAgreeOnNormalForm) {
+  Xoshiro256 rng(23);
+  TermArena original;
+  const Word root = build_random_tree(original, 60, rng);
+  TermArena a1 = original;
+  TermArena a2 = original;
+  VectorMachine m1;
+  VectorMachine m2;
+  assoc_rewrite_vector(m1, a1, root, RewriteMode::kFirstSetPerSweep);
+  assoc_rewrite_vector(m2, a2, root, RewriteMode::kFullDecomposition);
+  EXPECT_EQ(a1.to_string(root), a2.to_string(root));
+}
+
+TEST(AssocRewriteVectorTest, LeafOnlyTermIsNoop) {
+  TermArena a;
+  const Word root = a.make_leaf(3);
+  VectorMachine m;
+  const RewriteStats stats = assoc_rewrite_vector(m, a, root);
+  EXPECT_EQ(stats.rewrites, 0u);
+  EXPECT_EQ(stats.sweeps, 1u);
+}
+
+TEST(AssocRewriteVectorTest, MatchesScalarNormalForm) {
+  Xoshiro256 rng(11);
+  TermArena original;
+  const Word root = build_random_tree(original, 40, rng);
+
+  TermArena scalar_arena = original;
+  assoc_rewrite_scalar(scalar_arena, root);
+
+  TermArena vec_arena = original;
+  VectorMachine m;
+  assoc_rewrite_vector(m, vec_arena, root);
+
+  // The normal form is unique (left-deep, leaf order preserved), so the
+  // rendered trees must match exactly.
+  EXPECT_EQ(vec_arena.to_string(root), scalar_arena.to_string(root));
+}
+
+// ---- property sweep -----------------------------------------------------------
+
+// (leaves, right-comb?, scatter order, seed)
+using RewriteSweep = std::tuple<std::size_t, bool, ScatterOrder, int>;
+
+class RewritePropertyTest : public ::testing::TestWithParam<RewriteSweep> {};
+
+TEST_P(RewritePropertyTest, NormalFormReachedLeafOrderPreserved) {
+  const auto [leaves, comb, order, seed] = GetParam();
+  TermArena a;
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 9973 + leaves);
+  const Word root =
+      comb ? build_right_comb(a, leaves) : build_random_tree(a, leaves, rng);
+  const auto expected = a.leaf_sequence(root);
+
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  VectorMachine m(cfg);
+  assoc_rewrite_vector(m, a, root);
+  EXPECT_TRUE(a.is_left_deep(root));
+  EXPECT_EQ(a.leaf_sequence(root), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, RewritePropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 17, 100),
+                       ::testing::Bool(),
+                       ::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kReverse,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace folvec::rewrite

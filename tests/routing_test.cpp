@@ -1,0 +1,192 @@
+// Tests for the maze router: BFS distance correctness, obstacle handling,
+// path reconstruction, and scalar/vector field equality on random mazes.
+#include "routing/maze.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/prng.h"
+
+namespace folvec::routing {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+TEST(GridTest, IndexingAndObstacles) {
+  Grid g(4, 3);
+  EXPECT_EQ(g.cells(), 12u);
+  EXPECT_EQ(g.index(3, 2), 11);
+  g.set_obstacle(1, 1);
+  EXPECT_TRUE(g.is_obstacle(1, 1));
+  EXPECT_FALSE(g.is_obstacle(0, 0));
+  EXPECT_THROW(g.index(4, 0), PreconditionError);
+}
+
+TEST(RouteScalarTest, OpenGridDistancesAreManhattan) {
+  Grid g(5, 5);
+  const auto dist = g.route_scalar(g.index(0, 0));
+  for (std::size_t y = 0; y < 5; ++y) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(g.index(x, y))],
+                static_cast<Word>(x + y));
+    }
+  }
+}
+
+TEST(RouteScalarTest, WallForcesDetour) {
+  // A vertical wall with one gap at the bottom.
+  Grid g(5, 3);
+  g.set_obstacle(2, 0);
+  g.set_obstacle(2, 1);
+  const auto dist = g.route_scalar(g.index(0, 0));
+  // Straight-line distance to (4,0) would be 4; the detour through (2,2)
+  // costs 8.
+  EXPECT_EQ(dist[static_cast<std::size_t>(g.index(4, 0))], 8);
+  EXPECT_EQ(dist[static_cast<std::size_t>(g.index(2, 0))], kObstacle);
+}
+
+TEST(RouteScalarTest, UnreachableCellsStayUnreached) {
+  Grid g(3, 3);
+  // Wall off the right column completely.
+  g.set_obstacle(1, 0);
+  g.set_obstacle(1, 1);
+  g.set_obstacle(1, 2);
+  const auto dist = g.route_scalar(g.index(0, 0));
+  EXPECT_EQ(dist[static_cast<std::size_t>(g.index(2, 1))], kUnreached);
+}
+
+TEST(RouteVectorTest, MatchesScalarOnKnownMaze) {
+  Grid g(8, 6);
+  g.set_obstacle(3, 0);
+  g.set_obstacle(3, 1);
+  g.set_obstacle(3, 2);
+  g.set_obstacle(3, 4);
+  g.set_obstacle(5, 5);
+  VectorMachine m;
+  RouteStats stats;
+  const auto vec = g.route_vector(m, g.index(0, 0), &stats);
+  const auto scalar = g.route_scalar(g.index(0, 0));
+  EXPECT_EQ(vec, scalar);
+  EXPECT_GT(stats.wavefronts, 0u);
+}
+
+TEST(RouteVectorTest, FrontierDedupActuallyFires) {
+  // On an open grid the wavefront reconverges constantly: without the
+  // overwrite-and-check dedup the frontier would blow up exponentially.
+  Grid g(16, 16);
+  VectorMachine m;
+  RouteStats stats;
+  g.route_vector(m, g.index(8, 8), &stats);
+  EXPECT_GT(stats.dedup_dropped, 0u);
+}
+
+TEST(RouteVectorTest, SourceIsObstacleRejected) {
+  Grid g(3, 3);
+  g.set_obstacle(1, 1);
+  VectorMachine m;
+  EXPECT_THROW(g.route_vector(m, g.index(1, 1)), PreconditionError);
+}
+
+TEST(BacktraceTest, PathIsShortestAndConnected) {
+  Grid g(6, 6);
+  g.set_obstacle(2, 1);
+  g.set_obstacle(2, 2);
+  g.set_obstacle(2, 3);
+  const Word source = g.index(0, 2);
+  const Word target = g.index(5, 2);
+  const auto dist = g.route_scalar(source);
+  const auto path = g.backtrace(dist, source, target);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), source);
+  EXPECT_EQ(path.back(), target);
+  EXPECT_EQ(static_cast<Word>(path.size() - 1),
+            dist[static_cast<std::size_t>(target)]);
+  // Consecutive path cells are grid neighbours.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Word diff = path[i] - path[i - 1];
+    EXPECT_TRUE(diff == 1 || diff == -1 || diff == 6 || diff == -6)
+        << "step " << i;
+  }
+}
+
+TEST(BacktraceTest, UnreachableTargetYieldsEmptyPath) {
+  Grid g(3, 3);
+  g.set_obstacle(1, 0);
+  g.set_obstacle(1, 1);
+  g.set_obstacle(1, 2);
+  const auto dist = g.route_scalar(g.index(0, 0));
+  EXPECT_TRUE(g.backtrace(dist, g.index(0, 0), g.index(2, 2)).empty());
+}
+
+TEST(MultiSourceTest, NearestSourceWins) {
+  Grid g(9, 1);
+  const WordVec sources{g.index(0, 0), g.index(8, 0)};
+  const auto dist = g.route_scalar_multi(sources);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[8], 0);
+  EXPECT_EQ(dist[4], 4);  // equidistant midpoint
+  EXPECT_EQ(dist[6], 2);  // nearer to the right source
+}
+
+TEST(MultiSourceTest, VectorMatchesScalarWithDuplicateSources) {
+  Grid g(12, 7);
+  g.set_obstacle(5, 3);
+  g.set_obstacle(5, 4);
+  const WordVec sources{g.index(0, 0), g.index(11, 6), g.index(0, 0)};
+  VectorMachine m;
+  RouteStats stats;
+  const auto vec = g.route_vector_multi(m, sources, &stats);
+  const auto scalar = g.route_scalar_multi(sources);
+  EXPECT_EQ(vec, scalar);
+  EXPECT_GT(stats.wavefronts, 0u);
+}
+
+TEST(MultiSourceTest, SingleSourceVariantUnchanged) {
+  Grid g(5, 5);
+  const WordVec one{g.index(2, 2)};
+  EXPECT_EQ(g.route_scalar_multi(one), g.route_scalar(g.index(2, 2)));
+}
+
+// (width, height, obstacle density %, scatter order, seed)
+using MazeSweep =
+    std::tuple<std::size_t, std::size_t, int, ScatterOrder, int>;
+
+class MazePropertyTest : public ::testing::TestWithParam<MazeSweep> {};
+
+TEST_P(MazePropertyTest, VectorFieldEqualsScalarField) {
+  const auto [w, h, density, order, seed] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 131 + w * 7 + h);
+  Grid g(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if ((x != 0 || y != 0) &&
+          rng.unit() < static_cast<double>(density) / 100.0) {
+        g.set_obstacle(x, y);
+      }
+    }
+  }
+  const Word source = g.index(0, 0);
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  VectorMachine m(cfg);
+  const auto vec = g.route_vector(m, source);
+  const auto scalar = g.route_scalar(source);
+  EXPECT_EQ(vec, scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMazes, MazePropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 7, 24),
+                       ::testing::Values<std::size_t>(1, 9, 24),
+                       ::testing::Values(0, 20, 45),
+                       ::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace folvec::routing

@@ -1,0 +1,162 @@
+// Cross-module stress test: one machine instance drives randomized mixed
+// workloads across the hash map, BST, sorts, lists and FOL, continuously
+// checked against host-side references. Exercises interactions a
+// single-module test cannot (shared machine state, accumulated cost,
+// adversarial scatter ordering across modules). Also smoke-includes the
+// umbrella header to guarantee it stays self-contained.
+#include "folvec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace folvec {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+class StressTest : public ::testing::TestWithParam<ScatterOrder> {};
+
+TEST_P(StressTest, MixedWorkloadAgainstReferences) {
+  MachineConfig cfg;
+  cfg.scatter_order = GetParam();
+  VectorMachine m(cfg);
+  Xoshiro256 rng(0xfeedULL);
+
+  hashing::VectorHashMap map;
+  std::unordered_map<Word, Word> map_ref;
+
+  constexpr std::size_t kBstCapacity = 8192;
+  tree::Bst bst(kBstCapacity);
+  std::vector<Word> bst_ref;
+
+  for (int round = 0; round < 40; ++round) {
+    const auto op = rng.below(5);
+    switch (op) {
+      case 0: {  // hash map upserts
+        const auto n = 1 + rng.below(80);
+        WordVec keys(n);
+        WordVec values(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          keys[i] = rng.in_range(0, 999);
+          values[i] = rng.in_range(0, 1 << 20);
+          map_ref[keys[i]] = values[i];
+        }
+        map.upsert_batch(m, keys, values);
+        ASSERT_EQ(map.size(), map_ref.size());
+        break;
+      }
+      case 1: {  // hash map erases + lookups
+        WordVec victims;
+        for (const auto& [k, v] : map_ref) {
+          if (rng.unit() < 0.3) victims.push_back(k);
+        }
+        map.erase_batch(m, victims);
+        for (Word k : victims) map_ref.erase(k);
+        WordVec queries;
+        for (int q = 0; q < 20; ++q) queries.push_back(rng.in_range(0, 999));
+        const WordVec got = map.lookup_batch(m, queries, -1);
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          const auto it = map_ref.find(queries[i]);
+          ASSERT_EQ(got[i], it == map_ref.end() ? -1 : it->second)
+              << "round " << round;
+        }
+        break;
+      }
+      case 2: {  // BST bulk insert
+        const auto n = 1 + rng.below(60);
+        if (bst_ref.size() + n > kBstCapacity) break;
+        WordVec keys(n);
+        for (auto& k : keys) k = rng.in_range(0, 1 << 16);
+        bst.insert_bulk(m, keys);
+        bst_ref.insert(bst_ref.end(), keys.begin(), keys.end());
+        ASSERT_TRUE(bst.check_invariant()) << "round " << round;
+        break;
+      }
+      case 3: {  // BST rebalance + full content check
+        bst.rebalance(m);
+        ASSERT_TRUE(bst.check_invariant());
+        auto expected = bst_ref;
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(bst.inorder(), expected) << "round " << round;
+        break;
+      }
+      case 4: {  // one of the vector sorts on fresh data
+        const auto n = 1 + rng.below(300);
+        auto data = random_keys(n, 1 << 16, rng.next());
+        auto expected = data;
+        std::sort(expected.begin(), expected.end());
+        switch (rng.below(3)) {
+          case 0:
+            sorting::address_calc_sort_vector(m, data, 1 << 16);
+            break;
+          case 1:
+            sorting::dist_count_sort_vector(m, data, 1 << 16);
+            break;
+          default:
+            sorting::radix_sort_vector(m, data, 8);
+            break;
+        }
+        ASSERT_EQ(data, expected) << "round " << round;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // The shared machine accumulated cost across every module.
+  EXPECT_GT(m.cost().total_instructions(), 0u);
+  EXPECT_GT(m.cost().cycles(vm::CostParams::s810_like()), 0.0);
+}
+
+TEST_P(StressTest, ListAndFolUnderChurn) {
+  MachineConfig cfg;
+  cfg.scatter_order = GetParam();
+  VectorMachine m(cfg);
+  Xoshiro256 rng(0xbeefULL);
+
+  list::ListArena arena;
+  const Word shared_tail = arena.build(WordVec{1000, 1001, 1002});
+  WordVec heads;
+  for (int i = 0; i < 30; ++i) {
+    WordVec prefix(rng.below(6));
+    for (auto& v : prefix) v = rng.in_range(0, 99);
+    heads.push_back(rng.unit() < 0.5
+                        ? arena.build_with_shared_tail(prefix, shared_tail)
+                        : arena.build(prefix));
+  }
+  list::ListArena ref = arena;
+
+  for (int round = 0; round < 10; ++round) {
+    const Word delta = rng.in_range(1, 9);
+    list::multi_increment(m, arena, heads, delta);
+    list::multi_increment_scalar(ref, heads, delta);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      ASSERT_EQ(arena.to_vector(heads[i]), ref.to_vector(heads[i]))
+          << "round " << round << " list " << i;
+    }
+    // Interleave a FOL decomposition over random targets and verify the
+    // theorems under this machine's scatter order.
+    WordVec targets(64);
+    for (auto& t : targets) t = rng.in_range(0, 15);
+    WordVec work(16, 0);
+    const fol::Decomposition d = fol::fol1_decompose(m, targets, work);
+    ASSERT_TRUE(fol::satisfies_all_theorems(d, targets));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, StressTest,
+                         ::testing::Values(ScatterOrder::kForward,
+                                           ScatterOrder::kReverse,
+                                           ScatterOrder::kShuffled));
+
+}  // namespace
+}  // namespace folvec

@@ -1,0 +1,167 @@
+// Tests for the support layer: PRNG determinism and distributions, table
+// rendering, summary statistics, and the checking utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/prng.h"
+#include "support/require.h"
+#include "support/stats.h"
+#include "support/table_printer.h"
+
+namespace folvec {
+namespace {
+
+TEST(RequireTest, RequireThrowsPrecondition) {
+  EXPECT_THROW(FOLVEC_REQUIRE(1 == 2, "impossible"), PreconditionError);
+  EXPECT_NO_THROW(FOLVEC_REQUIRE(true, "fine"));
+}
+
+TEST(RequireTest, CheckThrowsInternal) {
+  EXPECT_THROW(FOLVEC_CHECK(false, "bug"), InternalError);
+}
+
+TEST(RequireTest, MessagesCarryContext) {
+  try {
+    FOLVEC_REQUIRE(false, "the table is full");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the table is full"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckedNarrowTest, FitsAndRejects) {
+  EXPECT_EQ(checked_narrow<std::int32_t>(std::int64_t{42}), 42);
+  EXPECT_THROW(checked_narrow<std::int8_t>(std::int64_t{1000}),
+               PreconditionError);
+  EXPECT_THROW(checked_narrow<std::uint32_t>(std::int64_t{-1}),
+               PreconditionError);
+}
+
+TEST(PrngTest, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(PrngTest, BelowStaysBelow) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(PrngTest, InRangeIsInclusiveAndCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.in_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(PrngTest, UnitInHalfOpenInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(PrngTest, RandomKeysRespectBoundAndSeed) {
+  const auto a = random_keys(50, 100, 42);
+  const auto b = random_keys(50, 100, 42);
+  EXPECT_EQ(a, b);
+  for (auto k : a) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 100);
+  }
+}
+
+TEST(PrngTest, RandomUniqueKeysAreUnique) {
+  const auto keys = random_unique_keys(200, 256, 3);
+  std::set<std::int64_t> seen(keys.begin(), keys.end());
+  EXPECT_EQ(seen.size(), keys.size());
+  EXPECT_THROW(random_unique_keys(10, 5, 1), PreconditionError);
+}
+
+TEST(PrngTest, ShuffleIsAPermutation) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  Xoshiro256 rng(4);
+  shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndRendersTypes) {
+  TablePrinter t({"name", "count", "ratio"});
+  t.add_row({"alpha", 42, Cell(3.14159, 2)});
+  t.add_row({"b", 7, Cell(10.5, 1)});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("10.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({1, 2});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({1}), PreconditionError);
+}
+
+TEST(TablePrinterTest, PrintIncludesTitle) {
+  TablePrinter t({"x"});
+  t.add_row({5});
+  std::ostringstream os;
+  t.print(os, "My Table");
+  EXPECT_NE(os.str().find("My Table"), std::string::npos);
+}
+
+TEST(StatsTest, SummaryOnKnownData) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.1180, 1e-3);
+}
+
+TEST(StatsTest, SingleSample) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_THROW(summarize({}), PreconditionError);
+}
+
+TEST(StatsTest, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_THROW(geomean({1.0, -1.0}), PreconditionError);
+  EXPECT_THROW(geomean({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace folvec

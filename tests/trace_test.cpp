@@ -1,0 +1,76 @@
+// Tests for the instruction trace facility, including pinning the exact
+// instruction sequence FOL1 issues for a duplicate-free input — a
+// regression guard against accidental extra passes.
+#include "vm/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "fol/fol1.h"
+#include "vm/machine.h"
+
+namespace folvec::vm {
+namespace {
+
+TEST(TraceSinkTest, RecordsAndCounts) {
+  TraceSink t;
+  t.record(OpClass::kVectorGather, 100);
+  t.record(OpClass::kVectorGather, 50);
+  t.record(OpClass::kVectorArith, 10);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(OpClass::kVectorGather), 2u);
+  EXPECT_EQ(t.count(OpClass::kVectorStore), 0u);
+  EXPECT_EQ(t.max_length(OpClass::kVectorGather), 100u);
+  EXPECT_EQ(t.max_length(OpClass::kVectorStore), 0u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceSinkTest, ToStringRendersAndTruncates) {
+  TraceSink t;
+  for (int i = 0; i < 5; ++i) t.record(OpClass::kVectorArith, 8);
+  const std::string full = t.to_string();
+  EXPECT_NE(full.find("v.arith[8]"), std::string::npos);
+  const std::string cut = t.to_string(2);
+  EXPECT_NE(cut.find("(+3 more)"), std::string::npos);
+}
+
+TEST(MachineTraceTest, DetachedByDefault) {
+  VectorMachine m;
+  m.iota(4);  // must not crash without a sink
+}
+
+TEST(MachineTraceTest, AttachedSinkSeesEveryInstruction) {
+  VectorMachine m;
+  TraceSink t;
+  m.attach_trace(&t);
+  const WordVec a = m.iota(8);
+  const WordVec b = m.add_scalar(a, 1);
+  m.eq(a, b);
+  m.scalar_mem(2);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.entries()[0], (TraceEntry{OpClass::kVectorArith, 8}));
+  EXPECT_EQ(t.entries()[2], (TraceEntry{OpClass::kVectorCompare, 8}));
+  EXPECT_EQ(t.entries()[3], (TraceEntry{OpClass::kScalarMem, 2}));
+  m.attach_trace(nullptr);
+  m.iota(3);
+  EXPECT_EQ(t.size(), 4u);  // detached: no further entries
+}
+
+TEST(MachineTraceTest, Fol1DuplicateFreeInstructionMix) {
+  // A duplicate-free FOL1 run is one round: copy + iota + scatter + gather
+  // + compare + count + compress(winners) + not + 2 compress(rest).
+  VectorMachine m;
+  TraceSink t;
+  m.attach_trace(&t);
+  const WordVec v{3, 1, 4, 0, 2};
+  WordVec work(5, 0);
+  folvec::fol::fol1_decompose(m, v, work);
+  EXPECT_EQ(t.count(OpClass::kVectorScatter), 1u);
+  EXPECT_EQ(t.count(OpClass::kVectorGather), 1u);
+  EXPECT_EQ(t.count(OpClass::kVectorCompare), 1u);
+  EXPECT_EQ(t.count(OpClass::kVectorCompress), 3u);
+  EXPECT_EQ(t.max_length(OpClass::kVectorScatter), 5u);
+}
+
+}  // namespace
+}  // namespace folvec::vm

@@ -1,0 +1,102 @@
+// Tests for BST rebalancing (the paper's future-work item): minimum height,
+// unchanged contents, idempotence, and interplay with bulk insertion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/prng.h"
+#include "tree/bst.h"
+#include "vm/machine.h"
+
+namespace folvec::tree {
+namespace {
+
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+std::size_t min_height(std::size_t n) {
+  std::size_t h = 0;
+  while ((std::size_t{1} << h) - 1 < n) ++h;
+  return h;
+}
+
+TEST(RebalanceTest, ChainBecomesMinimumHeight) {
+  VectorMachine m;
+  Bst t(64);
+  for (Word k = 0; k < 31; ++k) t.insert_scalar(k);  // right chain, height 31
+  ASSERT_EQ(t.height(), 31u);
+  const auto before = t.inorder();
+  t.rebalance(m);
+  EXPECT_EQ(t.height(), 5u);  // 31 nodes fit a perfect tree of height 5
+  EXPECT_EQ(t.inorder(), before);
+  EXPECT_TRUE(t.check_invariant());
+}
+
+TEST(RebalanceTest, EmptyAndSingleton) {
+  VectorMachine m;
+  Bst empty(4);
+  empty.rebalance(m);
+  EXPECT_EQ(empty.height(), 0u);
+  Bst one(4);
+  one.insert_scalar(42);
+  one.rebalance(m);
+  EXPECT_EQ(one.height(), 1u);
+  EXPECT_TRUE(one.contains(42));
+}
+
+TEST(RebalanceTest, DuplicatesSurvive) {
+  VectorMachine m;
+  Bst t(16);
+  for (Word k : {Word{5}, Word{5}, Word{5}, Word{2}, Word{9}, Word{5}}) {
+    t.insert_scalar(k);
+  }
+  const auto before = t.inorder();
+  t.rebalance(m);
+  EXPECT_EQ(t.inorder(), before);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_TRUE(t.contains(9));
+  EXPECT_FALSE(t.contains(3));
+}
+
+TEST(RebalanceTest, Idempotent) {
+  VectorMachine m;
+  Bst t(128);
+  for (Word k : random_keys(100, 1 << 20, 3)) t.insert_scalar(k);
+  t.rebalance(m);
+  const std::size_t h1 = t.height();
+  const auto seq = t.inorder();
+  t.rebalance(m);
+  EXPECT_EQ(t.height(), h1);
+  EXPECT_EQ(t.inorder(), seq);
+}
+
+TEST(RebalanceTest, BulkInsertAfterRebalanceStillWorks) {
+  VectorMachine m;
+  Bst t(256);
+  for (Word k : random_keys(100, 1000, 5)) t.insert_scalar(k);
+  t.rebalance(m);
+  t.insert_bulk(m, random_keys(100, 1000, 6));
+  EXPECT_EQ(t.size(), 200u);
+  EXPECT_TRUE(t.check_invariant());
+}
+
+class RebalanceHeightTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RebalanceHeightTest, AlwaysReachesMinimumHeight) {
+  const std::size_t n = GetParam();
+  VectorMachine m;
+  Bst t(n + 1);
+  for (Word k : random_keys(n, 1 << 30, n)) t.insert_scalar(k);
+  t.rebalance(m);
+  EXPECT_EQ(t.height(), min_height(n));
+  EXPECT_TRUE(t.check_invariant());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RebalanceHeightTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 100, 1000, 1023,
+                                           1024));
+
+}  // namespace
+}  // namespace folvec::tree

@@ -1,0 +1,169 @@
+// Tests for the BST substrate: scalar insertion, the FOL-filtered bulk
+// inserter (Section 4.3), and equivalence sweeps between the two.
+#include "tree/bst.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/prng.h"
+
+namespace folvec::tree {
+namespace {
+
+using vm::MachineConfig;
+using vm::ScatterOrder;
+using vm::VectorMachine;
+using vm::Word;
+using vm::WordVec;
+
+TEST(BstScalarTest, InsertContainsInorder) {
+  Bst t(16);
+  for (Word k : {Word{5}, Word{2}, Word{8}, Word{1}, Word{9}}) {
+    t.insert_scalar(k);
+  }
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_FALSE(t.contains(7));
+  EXPECT_EQ(t.inorder(), (std::vector<Word>{1, 2, 5, 8, 9}));
+  EXPECT_TRUE(t.check_invariant());
+}
+
+TEST(BstScalarTest, DuplicatesDescendRight) {
+  Bst t(8);
+  t.insert_scalar(5);
+  t.insert_scalar(5);
+  t.insert_scalar(5);
+  EXPECT_EQ(t.inorder(), (std::vector<Word>{5, 5, 5}));
+  EXPECT_TRUE(t.check_invariant());
+  EXPECT_EQ(t.height(), 3u);  // right chain
+}
+
+TEST(BstScalarTest, HeightOfChainAndEmptiness) {
+  Bst t(8);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_TRUE(t.inorder().empty());
+  for (Word k = 0; k < 5; ++k) t.insert_scalar(k);
+  EXPECT_EQ(t.height(), 5u);  // ascending keys chain right
+}
+
+TEST(BstScalarTest, PoolExhaustionThrows) {
+  Bst t(2);
+  t.insert_scalar(1);
+  t.insert_scalar(2);
+  EXPECT_THROW(t.insert_scalar(3), PreconditionError);
+}
+
+TEST(BstBulkTest, IntoEmptyTree) {
+  // Every key contends for the root slot on pass one — the maximal-conflict
+  // case the paper deliberately avoids benchmarking but we must handle.
+  VectorMachine m;
+  Bst t(64);
+  const WordVec keys{5, 3, 9, 1, 4, 8, 11, 2};
+  const BulkInsertStats stats = t.insert_bulk(m, keys);
+  EXPECT_EQ(t.size(), keys.size());
+  auto expected = std::vector<Word>(keys.begin(), keys.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(t.inorder(), expected);
+  EXPECT_TRUE(t.check_invariant());
+  EXPECT_GT(stats.conflict_lanes, 0u);
+}
+
+TEST(BstBulkTest, MatchesScalarMultiset) {
+  const auto initial = random_keys(50, 1000, 1);
+  const auto batch = random_keys(40, 1000, 2);
+  Bst scalar_t(128);
+  for (Word k : initial) scalar_t.insert_scalar(k);
+  for (Word k : batch) scalar_t.insert_scalar(k);
+
+  VectorMachine m;
+  Bst vec_t(128);
+  for (Word k : initial) vec_t.insert_scalar(k);
+  vec_t.insert_bulk(m, batch);
+
+  EXPECT_EQ(vec_t.inorder(), scalar_t.inorder());
+  EXPECT_TRUE(vec_t.check_invariant());
+}
+
+TEST(BstBulkTest, DuplicateKeysInBatch) {
+  VectorMachine m;
+  Bst t(32);
+  const WordVec keys{7, 7, 7, 7, 3, 3};
+  t.insert_bulk(m, keys);
+  EXPECT_EQ(t.inorder(), (std::vector<Word>{3, 3, 7, 7, 7, 7}));
+  EXPECT_TRUE(t.check_invariant());
+}
+
+TEST(BstBulkTest, SingleKey) {
+  VectorMachine m;
+  Bst t(4);
+  const BulkInsertStats stats = t.insert_bulk(m, WordVec{42});
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.conflict_lanes, 0u);
+  EXPECT_TRUE(t.contains(42));
+}
+
+TEST(BstBulkTest, EmptyBatchIsNoop) {
+  VectorMachine m;
+  Bst t(4);
+  const BulkInsertStats stats = t.insert_bulk(m, WordVec{});
+  EXPECT_EQ(stats.passes, 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BstBulkTest, PoolExhaustionThrows) {
+  VectorMachine m;
+  Bst t(2);
+  EXPECT_THROW(t.insert_bulk(m, WordVec{1, 2, 3}), PreconditionError);
+}
+
+TEST(BstBulkTest, SequentialBatchesCompose) {
+  VectorMachine m;
+  Bst t(64);
+  t.insert_bulk(m, WordVec{10, 20, 30});
+  t.insert_bulk(m, WordVec{5, 15, 25, 35});
+  EXPECT_EQ(t.inorder(), (std::vector<Word>{5, 10, 15, 20, 25, 30, 35}));
+  EXPECT_TRUE(t.check_invariant());
+}
+
+// ---- property sweep ----------------------------------------------------------
+
+// (initial size, batch size, key range, scatter order)
+using BulkSweep = std::tuple<std::size_t, std::size_t, Word, ScatterOrder>;
+
+class BstBulkPropertyTest : public ::testing::TestWithParam<BulkSweep> {};
+
+TEST_P(BstBulkPropertyTest, BulkEqualsScalarMultisetAndInvariant) {
+  const auto [initial_n, batch_n, range, order] = GetParam();
+  const auto initial =
+      random_keys(initial_n, range, initial_n * 7 + batch_n);
+  const auto batch = random_keys(batch_n, range, batch_n * 13 + 1);
+
+  Bst scalar_t(initial_n + batch_n + 1);
+  for (Word k : initial) scalar_t.insert_scalar(k);
+  for (Word k : batch) scalar_t.insert_scalar(k);
+
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  VectorMachine m(cfg);
+  Bst vec_t(initial_n + batch_n + 1);
+  for (Word k : initial) vec_t.insert_scalar(k);
+  vec_t.insert_bulk(m, batch);
+
+  ASSERT_TRUE(vec_t.check_invariant());
+  EXPECT_EQ(vec_t.inorder(), scalar_t.inorder());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, BstBulkPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 8, 128),
+                       ::testing::Values<std::size_t>(1, 16, 200),
+                       ::testing::Values<Word>(4, 1000, 1 << 30),
+                       ::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kReverse,
+                                         ScatterOrder::kShuffled)));
+
+}  // namespace
+}  // namespace folvec::tree

@@ -1,0 +1,275 @@
+// Unit tests for the vector machine substrate: functional semantics of every
+// primitive, the three scatter-order modes, the ELS failure injection, and
+// bounds checking.
+#include "vm/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace folvec::vm {
+namespace {
+
+using ::testing::Test;
+
+class MachineTest : public Test {
+ protected:
+  VectorMachine m_;
+};
+
+TEST_F(MachineTest, IotaProducesArithmeticSequence) {
+  EXPECT_EQ(m_.iota(5), (WordVec{0, 1, 2, 3, 4}));
+  EXPECT_EQ(m_.iota(4, 10), (WordVec{10, 11, 12, 13}));
+  EXPECT_EQ(m_.iota(3, 1, -2), (WordVec{1, -1, -3}));
+  EXPECT_TRUE(m_.iota(0).empty());
+}
+
+TEST_F(MachineTest, SplatReplicates) {
+  EXPECT_EQ(m_.splat(3, 7), (WordVec{7, 7, 7}));
+}
+
+TEST_F(MachineTest, CopyIsIdentity) {
+  const WordVec v{3, 1, 4, 1, 5};
+  EXPECT_EQ(m_.copy(v), v);
+}
+
+TEST_F(MachineTest, ElementwiseArithmetic) {
+  const WordVec a{1, 2, 3};
+  const WordVec b{10, 20, 30};
+  EXPECT_EQ(m_.add(a, b), (WordVec{11, 22, 33}));
+  EXPECT_EQ(m_.sub(b, a), (WordVec{9, 18, 27}));
+  EXPECT_EQ(m_.add_scalar(a, 5), (WordVec{6, 7, 8}));
+  EXPECT_EQ(m_.mul_scalar(a, 3), (WordVec{3, 6, 9}));
+  EXPECT_EQ(m_.negate(a), (WordVec{-1, -2, -3}));
+  EXPECT_EQ(m_.and_scalar(WordVec{5, 6, 7}, 3), (WordVec{1, 2, 3}));
+}
+
+TEST_F(MachineTest, DivScalarIsFloorDivision) {
+  EXPECT_EQ(m_.div_scalar(WordVec{7, -7, 6, -6}, 3), (WordVec{2, -3, 2, -2}));
+}
+
+TEST_F(MachineTest, ModScalarIsEuclidean) {
+  EXPECT_EQ(m_.mod_scalar(WordVec{7, -7, 6, 0}, 3), (WordVec{1, 2, 0, 0}));
+}
+
+TEST_F(MachineTest, MismatchedLengthsThrow) {
+  EXPECT_THROW(m_.add(WordVec{1}, WordVec{1, 2}), PreconditionError);
+  EXPECT_THROW(m_.eq(WordVec{1}, WordVec{1, 2}), PreconditionError);
+}
+
+TEST_F(MachineTest, ComparesProduceMasks) {
+  const WordVec a{1, 5, 3};
+  const WordVec b{1, 2, 9};
+  EXPECT_EQ(m_.eq(a, b), (Mask{1, 0, 0}));
+  EXPECT_EQ(m_.ne(a, b), (Mask{0, 1, 1}));
+  EXPECT_EQ(m_.le(a, b), (Mask{1, 0, 1}));
+  EXPECT_EQ(m_.lt(a, b), (Mask{0, 0, 1}));
+  EXPECT_EQ(m_.eq_scalar(a, 5), (Mask{0, 1, 0}));
+  EXPECT_EQ(m_.ne_scalar(a, 5), (Mask{1, 0, 1}));
+  EXPECT_EQ(m_.le_scalar(a, 3), (Mask{1, 0, 1}));
+  EXPECT_EQ(m_.lt_scalar(a, 3), (Mask{1, 0, 0}));
+  EXPECT_EQ(m_.ge_scalar(a, 3), (Mask{0, 1, 1}));
+}
+
+TEST_F(MachineTest, MaskAlgebra) {
+  const Mask a{1, 1, 0, 0};
+  const Mask b{1, 0, 1, 0};
+  EXPECT_EQ(m_.mask_and(a, b), (Mask{1, 0, 0, 0}));
+  EXPECT_EQ(m_.mask_or(a, b), (Mask{1, 1, 1, 0}));
+  EXPECT_EQ(m_.mask_not(a), (Mask{0, 0, 1, 1}));
+  EXPECT_EQ(m_.count_true(a), 2u);
+  EXPECT_EQ(m_.count_true(Mask{}), 0u);
+}
+
+TEST_F(MachineTest, CompressPacksTrueLanes) {
+  EXPECT_EQ(m_.compress(WordVec{1, 2, 3}, Mask{1, 0, 1}), (WordVec{1, 3}));
+  EXPECT_TRUE(m_.compress(WordVec{1, 2}, Mask{0, 0}).empty());
+}
+
+TEST_F(MachineTest, SelectMergesByMask) {
+  EXPECT_EQ(m_.select(Mask{1, 0, 1}, WordVec{1, 2, 3}, WordVec{7, 8, 9}),
+            (WordVec{1, 8, 3}));
+}
+
+TEST_F(MachineTest, FromMaskYieldsZeroOne) {
+  EXPECT_EQ(m_.from_mask(Mask{1, 0, 1}), (WordVec{1, 0, 1}));
+}
+
+TEST_F(MachineTest, ContiguousLoadStoreFill) {
+  WordVec table(6, 0);
+  m_.store(table, 2, WordVec{7, 8});
+  EXPECT_EQ(table, (WordVec{0, 0, 7, 8, 0, 0}));
+  EXPECT_EQ(m_.load(table, 1, 3), (WordVec{0, 7, 8}));
+  m_.fill(table, 9);
+  EXPECT_EQ(table, WordVec(6, 9));
+  EXPECT_THROW(m_.store(table, 5, WordVec{1, 2}), PreconditionError);
+  EXPECT_THROW(m_.load(table, 5, 2), PreconditionError);
+}
+
+TEST_F(MachineTest, StridedLoadStore) {
+  WordVec table{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(m_.load_strided(table, 1, 3, 3), (WordVec{1, 4, 7}));
+  m_.store_strided(table, 0, 4, WordVec{100, 200});
+  EXPECT_EQ(table[0], 100);
+  EXPECT_EQ(table[4], 200);
+  EXPECT_THROW(m_.load_strided(table, 2, 3, 3), PreconditionError);
+}
+
+TEST_F(MachineTest, GatherReadsThroughIndices) {
+  const WordVec table{10, 20, 30, 40};
+  EXPECT_EQ(m_.gather(table, WordVec{3, 0, 3}), (WordVec{40, 10, 40}));
+  EXPECT_THROW(m_.gather(table, WordVec{4}), PreconditionError);
+  EXPECT_THROW(m_.gather(table, WordVec{-1}), PreconditionError);
+}
+
+TEST_F(MachineTest, GatherMaskedSkipsInactiveLanes) {
+  const WordVec table{10, 20};
+  // Inactive lanes may carry wild indices (e.g. null links).
+  EXPECT_EQ(m_.gather_masked(table, WordVec{-1, 1, 99}, Mask{0, 1, 0}, -7),
+            (WordVec{-7, 20, -7}));
+  EXPECT_THROW(m_.gather_masked(table, WordVec{9}, Mask{1}, 0),
+               PreconditionError);
+}
+
+TEST_F(MachineTest, ScatterWithoutDuplicatesIsOrderIndependent) {
+  for (const auto order : {ScatterOrder::kForward, ScatterOrder::kReverse,
+                           ScatterOrder::kShuffled}) {
+    MachineConfig cfg;
+    cfg.scatter_order = order;
+    VectorMachine m(cfg);
+    WordVec table(4, 0);
+    m.scatter(table, WordVec{2, 0, 3}, WordVec{7, 8, 9});
+    EXPECT_EQ(table, (WordVec{8, 0, 7, 9}));
+  }
+}
+
+TEST_F(MachineTest, ScatterDuplicateSurvivorDependsOnOrder) {
+  {
+    MachineConfig cfg;
+    cfg.scatter_order = ScatterOrder::kForward;
+    VectorMachine m(cfg);
+    WordVec table(1, 0);
+    m.scatter(table, WordVec{0, 0, 0}, WordVec{1, 2, 3});
+    EXPECT_EQ(table[0], 3);  // last lane wins
+  }
+  {
+    MachineConfig cfg;
+    cfg.scatter_order = ScatterOrder::kReverse;
+    VectorMachine m(cfg);
+    WordVec table(1, 0);
+    m.scatter(table, WordVec{0, 0, 0}, WordVec{1, 2, 3});
+    EXPECT_EQ(table[0], 1);  // first lane wins
+  }
+}
+
+TEST_F(MachineTest, ShuffledScatterSatisfiesEls) {
+  MachineConfig cfg;
+  cfg.scatter_order = ScatterOrder::kShuffled;
+  VectorMachine m(cfg);
+  // Whatever the interleaving, the survivor must be one of the written
+  // values (the ELS condition) — across many repetitions.
+  for (int rep = 0; rep < 100; ++rep) {
+    WordVec table(2, -1);
+    m.scatter(table, WordVec{0, 0, 1, 0}, WordVec{10, 20, 99, 30});
+    EXPECT_TRUE(table[0] == 10 || table[0] == 20 || table[0] == 30);
+    EXPECT_EQ(table[1], 99);  // singleton writes always land intact
+  }
+}
+
+TEST_F(MachineTest, ShuffledScatterEventuallyVariesSurvivor) {
+  MachineConfig cfg;
+  cfg.scatter_order = ScatterOrder::kShuffled;
+  VectorMachine m(cfg);
+  bool saw_different = false;
+  Word first = 0;
+  for (int rep = 0; rep < 64 && !saw_different; ++rep) {
+    WordVec table(1, -1);
+    m.scatter(table, WordVec{0, 0, 0, 0}, WordVec{1, 2, 3, 4});
+    if (rep == 0) {
+      first = table[0];
+    } else if (table[0] != first) {
+      saw_different = true;
+    }
+  }
+  EXPECT_TRUE(saw_different)
+      << "64 shuffled scatters never changed the duplicate survivor";
+}
+
+TEST_F(MachineTest, ElsViolationInjectionProducesAmalgam) {
+  MachineConfig cfg;
+  cfg.inject_els_violation = true;
+  VectorMachine m(cfg);
+  WordVec table(2, 0);
+  m.scatter(table, WordVec{0, 0, 1}, WordVec{5, 9, 42});
+  // Colliding lanes: an amalgam of both values that equals neither.
+  EXPECT_NE(table[0], 5);
+  EXPECT_NE(table[0], 9);
+  EXPECT_EQ(table[0], (5 + 1) ^ (9 + 1));
+  // Singleton lanes stay intact.
+  EXPECT_EQ(table[1], 42);
+}
+
+TEST_F(MachineTest, ScatterMaskedOnlyWritesActiveLanes) {
+  WordVec table(3, 0);
+  m_.scatter_masked(table, WordVec{0, 1, 2}, WordVec{7, 8, 9}, Mask{1, 0, 1});
+  EXPECT_EQ(table, (WordVec{7, 0, 9}));
+}
+
+TEST_F(MachineTest, ScatterOrderedLastLaneWinsEvenOnReverseMachine) {
+  MachineConfig cfg;
+  cfg.scatter_order = ScatterOrder::kReverse;
+  VectorMachine m(cfg);
+  WordVec table(1, 0);
+  m.scatter_ordered(table, WordVec{0, 0}, WordVec{1, 2});
+  EXPECT_EQ(table[0], 2);
+}
+
+TEST_F(MachineTest, BitwiseAndShiftOps) {
+  EXPECT_EQ(m_.or_scalar(WordVec{1, 4, 0}, 2), (WordVec{3, 6, 2}));
+  EXPECT_EQ(m_.shl_scalar(WordVec{1, 3}, 4), (WordVec{16, 48}));
+  EXPECT_EQ(m_.shr_scalar(WordVec{16, 48, -8}, 3), (WordVec{2, 6, -1}));
+  EXPECT_THROW(m_.shl_scalar(WordVec{-1}, 1), PreconditionError);
+  EXPECT_THROW(m_.shr_scalar(WordVec{1}, 64), PreconditionError);
+}
+
+TEST_F(MachineTest, ReverseFlipsElementOrder) {
+  EXPECT_EQ(m_.reverse(WordVec{1, 2, 3}), (WordVec{3, 2, 1}));
+  EXPECT_TRUE(m_.reverse(WordVec{}).empty());
+  EXPECT_EQ(m_.reverse(WordVec{7}), (WordVec{7}));
+}
+
+TEST_F(MachineTest, Reductions) {
+  const WordVec v{3, -1, 4, 1, 5};
+  EXPECT_EQ(m_.reduce_sum(v), 12);
+  EXPECT_EQ(m_.reduce_min(v), -1);
+  EXPECT_EQ(m_.reduce_max(v), 5);
+  EXPECT_EQ(m_.reduce_sum(WordVec{}), 0);
+  EXPECT_THROW(m_.reduce_min(WordVec{}), PreconditionError);
+  EXPECT_THROW(m_.reduce_max(WordVec{}), PreconditionError);
+}
+
+TEST_F(MachineTest, MaskedScatterSkipsBoundsCheckOnInactiveLanes) {
+  // Inactive lanes may carry wild indices, mirroring gather_masked.
+  WordVec table(2, 0);
+  m_.scatter_masked(table, WordVec{-5, 1, 99}, WordVec{7, 8, 9},
+                    Mask{0, 1, 0});
+  EXPECT_EQ(table, (WordVec{0, 8}));
+  EXPECT_THROW(
+      m_.scatter_masked(table, WordVec{99}, WordVec{1}, Mask{1}),
+      PreconditionError);
+}
+
+TEST_F(MachineTest, CostAccumulatorCountsInstructionsAndElements) {
+  VectorMachine m;
+  m.iota(10);
+  m.iota(20);
+  EXPECT_EQ(m.cost().instructions(OpClass::kVectorArith), 2u);
+  EXPECT_EQ(m.cost().elements(OpClass::kVectorArith), 30u);
+  m.scalar_mem(3);
+  EXPECT_EQ(m.cost().elements(OpClass::kScalarMem), 3u);
+  m.cost().reset();
+  EXPECT_EQ(m.cost().total_instructions(), 0u);
+}
+
+}  // namespace
+}  // namespace folvec::vm
