@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_duplicates.dir/ablation_duplicates.cpp.o"
+  "CMakeFiles/ablation_duplicates.dir/ablation_duplicates.cpp.o.d"
+  "ablation_duplicates"
+  "ablation_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

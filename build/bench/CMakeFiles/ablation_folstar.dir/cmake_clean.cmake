@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_folstar.dir/ablation_folstar.cpp.o"
+  "CMakeFiles/ablation_folstar.dir/ablation_folstar.cpp.o.d"
+  "ablation_folstar"
+  "ablation_folstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_folstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_listing.dir/ablation_listing.cpp.o"
+  "CMakeFiles/ablation_listing.dir/ablation_listing.cpp.o.d"
+  "ablation_listing"
+  "ablation_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe.dir/ablation_probe.cpp.o"
+  "CMakeFiles/ablation_probe.dir/ablation_probe.cpp.o.d"
+  "ablation_probe"
+  "ablation_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

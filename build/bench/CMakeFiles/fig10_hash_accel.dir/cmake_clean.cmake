@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hash_accel.dir/fig10_hash_accel.cpp.o"
+  "CMakeFiles/fig10_hash_accel.dir/fig10_hash_accel.cpp.o.d"
+  "fig10_hash_accel"
+  "fig10_hash_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hash_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bst_insert.dir/fig14_bst_insert.cpp.o"
+  "CMakeFiles/fig14_bst_insert.dir/fig14_bst_insert.cpp.o.d"
+  "fig14_bst_insert"
+  "fig14_bst_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bst_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_sorting.dir/tab01_sorting.cpp.o"
+  "CMakeFiles/tab01_sorting.dir/tab01_sorting.cpp.o.d"
+  "tab01_sorting"
+  "tab01_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bulk_index.dir/bulk_index.cpp.o"
+  "CMakeFiles/example_bulk_index.dir/bulk_index.cpp.o.d"
+  "bulk_index"
+  "bulk_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bulk_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_expr_simplify.dir/expr_simplify.cpp.o"
+  "CMakeFiles/example_expr_simplify.dir/expr_simplify.cpp.o.d"
+  "expr_simplify"
+  "expr_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_expr_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

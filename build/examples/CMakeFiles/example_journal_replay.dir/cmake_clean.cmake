@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_journal_replay.dir/journal_replay.cpp.o"
+  "CMakeFiles/example_journal_replay.dir/journal_replay.cpp.o.d"
+  "journal_replay"
+  "journal_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_journal_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

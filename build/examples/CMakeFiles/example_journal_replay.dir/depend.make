@@ -1,0 +1,2 @@
+# Empty dependencies file for example_journal_replay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_listing.dir/paper_listing.cpp.o"
+  "CMakeFiles/example_paper_listing.dir/paper_listing.cpp.o.d"
+  "paper_listing"
+  "paper_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fol/CMakeFiles/folvec_fol.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/folvec_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sorting/CMakeFiles/folvec_sorting.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/folvec_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/queens/CMakeFiles/folvec_queens.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/folvec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/folvec_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/folvec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/folvec_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

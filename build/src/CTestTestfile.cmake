@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("vm")
+subdirs("fol")
+subdirs("list")
+subdirs("gc")
+subdirs("routing")
+subdirs("queens")
+subdirs("lang")
+subdirs("hashing")
+subdirs("sorting")
+subdirs("tree")
+subdirs("rewrite")
+subdirs("bench_harness")

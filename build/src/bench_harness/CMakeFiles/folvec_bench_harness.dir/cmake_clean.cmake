@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_bench_harness.dir/experiments.cpp.o"
+  "CMakeFiles/folvec_bench_harness.dir/experiments.cpp.o.d"
+  "libfolvec_bench_harness.a"
+  "libfolvec_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fol/fol1.cpp" "src/fol/CMakeFiles/folvec_fol.dir/fol1.cpp.o" "gcc" "src/fol/CMakeFiles/folvec_fol.dir/fol1.cpp.o.d"
+  "/root/repo/src/fol/fol_star.cpp" "src/fol/CMakeFiles/folvec_fol.dir/fol_star.cpp.o" "gcc" "src/fol/CMakeFiles/folvec_fol.dir/fol_star.cpp.o.d"
+  "/root/repo/src/fol/invariants.cpp" "src/fol/CMakeFiles/folvec_fol.dir/invariants.cpp.o" "gcc" "src/fol/CMakeFiles/folvec_fol.dir/invariants.cpp.o.d"
+  "/root/repo/src/fol/ordered.cpp" "src/fol/CMakeFiles/folvec_fol.dir/ordered.cpp.o" "gcc" "src/fol/CMakeFiles/folvec_fol.dir/ordered.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/folvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/folvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_fol.dir/fol1.cpp.o"
+  "CMakeFiles/folvec_fol.dir/fol1.cpp.o.d"
+  "CMakeFiles/folvec_fol.dir/fol_star.cpp.o"
+  "CMakeFiles/folvec_fol.dir/fol_star.cpp.o.d"
+  "CMakeFiles/folvec_fol.dir/invariants.cpp.o"
+  "CMakeFiles/folvec_fol.dir/invariants.cpp.o.d"
+  "CMakeFiles/folvec_fol.dir/ordered.cpp.o"
+  "CMakeFiles/folvec_fol.dir/ordered.cpp.o.d"
+  "libfolvec_fol.a"
+  "libfolvec_fol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_fol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_gc.dir/heap.cpp.o"
+  "CMakeFiles/folvec_gc.dir/heap.cpp.o.d"
+  "libfolvec_gc.a"
+  "libfolvec_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_hashing.dir/chain_table.cpp.o"
+  "CMakeFiles/folvec_hashing.dir/chain_table.cpp.o.d"
+  "CMakeFiles/folvec_hashing.dir/hash_map.cpp.o"
+  "CMakeFiles/folvec_hashing.dir/hash_map.cpp.o.d"
+  "CMakeFiles/folvec_hashing.dir/open_table.cpp.o"
+  "CMakeFiles/folvec_hashing.dir/open_table.cpp.o.d"
+  "libfolvec_hashing.a"
+  "libfolvec_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_lang.dir/interp.cpp.o"
+  "CMakeFiles/folvec_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/folvec_lang.dir/parser.cpp.o"
+  "CMakeFiles/folvec_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/folvec_lang.dir/token.cpp.o"
+  "CMakeFiles/folvec_lang.dir/token.cpp.o.d"
+  "libfolvec_lang.a"
+  "libfolvec_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

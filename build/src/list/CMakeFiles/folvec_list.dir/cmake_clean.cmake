@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_list.dir/list.cpp.o"
+  "CMakeFiles/folvec_list.dir/list.cpp.o.d"
+  "libfolvec_list.a"
+  "libfolvec_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

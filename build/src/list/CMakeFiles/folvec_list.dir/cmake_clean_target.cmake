@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfolvec_list.a"
+)

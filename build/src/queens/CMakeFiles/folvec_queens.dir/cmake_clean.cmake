@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_queens.dir/queens.cpp.o"
+  "CMakeFiles/folvec_queens.dir/queens.cpp.o.d"
+  "libfolvec_queens.a"
+  "libfolvec_queens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_queens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for folvec_queens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/assoc_rewrite.cpp" "src/rewrite/CMakeFiles/folvec_rewrite.dir/assoc_rewrite.cpp.o" "gcc" "src/rewrite/CMakeFiles/folvec_rewrite.dir/assoc_rewrite.cpp.o.d"
+  "/root/repo/src/rewrite/distribute.cpp" "src/rewrite/CMakeFiles/folvec_rewrite.dir/distribute.cpp.o" "gcc" "src/rewrite/CMakeFiles/folvec_rewrite.dir/distribute.cpp.o.d"
+  "/root/repo/src/rewrite/term.cpp" "src/rewrite/CMakeFiles/folvec_rewrite.dir/term.cpp.o" "gcc" "src/rewrite/CMakeFiles/folvec_rewrite.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/folvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fol/CMakeFiles/folvec_fol.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/folvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

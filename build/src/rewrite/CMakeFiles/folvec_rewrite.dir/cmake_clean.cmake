@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_rewrite.dir/assoc_rewrite.cpp.o"
+  "CMakeFiles/folvec_rewrite.dir/assoc_rewrite.cpp.o.d"
+  "CMakeFiles/folvec_rewrite.dir/distribute.cpp.o"
+  "CMakeFiles/folvec_rewrite.dir/distribute.cpp.o.d"
+  "CMakeFiles/folvec_rewrite.dir/term.cpp.o"
+  "CMakeFiles/folvec_rewrite.dir/term.cpp.o.d"
+  "libfolvec_rewrite.a"
+  "libfolvec_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_routing.dir/maze.cpp.o"
+  "CMakeFiles/folvec_routing.dir/maze.cpp.o.d"
+  "libfolvec_routing.a"
+  "libfolvec_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sorting/address_calc.cpp" "src/sorting/CMakeFiles/folvec_sorting.dir/address_calc.cpp.o" "gcc" "src/sorting/CMakeFiles/folvec_sorting.dir/address_calc.cpp.o.d"
+  "/root/repo/src/sorting/dist_count.cpp" "src/sorting/CMakeFiles/folvec_sorting.dir/dist_count.cpp.o" "gcc" "src/sorting/CMakeFiles/folvec_sorting.dir/dist_count.cpp.o.d"
+  "/root/repo/src/sorting/radix.cpp" "src/sorting/CMakeFiles/folvec_sorting.dir/radix.cpp.o" "gcc" "src/sorting/CMakeFiles/folvec_sorting.dir/radix.cpp.o.d"
+  "/root/repo/src/sorting/scan.cpp" "src/sorting/CMakeFiles/folvec_sorting.dir/scan.cpp.o" "gcc" "src/sorting/CMakeFiles/folvec_sorting.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/folvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fol/CMakeFiles/folvec_fol.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/folvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_sorting.dir/address_calc.cpp.o"
+  "CMakeFiles/folvec_sorting.dir/address_calc.cpp.o.d"
+  "CMakeFiles/folvec_sorting.dir/dist_count.cpp.o"
+  "CMakeFiles/folvec_sorting.dir/dist_count.cpp.o.d"
+  "CMakeFiles/folvec_sorting.dir/radix.cpp.o"
+  "CMakeFiles/folvec_sorting.dir/radix.cpp.o.d"
+  "CMakeFiles/folvec_sorting.dir/scan.cpp.o"
+  "CMakeFiles/folvec_sorting.dir/scan.cpp.o.d"
+  "libfolvec_sorting.a"
+  "libfolvec_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_support.dir/table_printer.cpp.o"
+  "CMakeFiles/folvec_support.dir/table_printer.cpp.o.d"
+  "libfolvec_support.a"
+  "libfolvec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_tree.dir/bst.cpp.o"
+  "CMakeFiles/folvec_tree.dir/bst.cpp.o.d"
+  "libfolvec_tree.a"
+  "libfolvec_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

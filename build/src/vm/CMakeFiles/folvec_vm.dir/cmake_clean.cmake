@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folvec_vm.dir/cost_model.cpp.o"
+  "CMakeFiles/folvec_vm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/folvec_vm.dir/machine.cpp.o"
+  "CMakeFiles/folvec_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/folvec_vm.dir/trace.cpp.o"
+  "CMakeFiles/folvec_vm.dir/trace.cpp.o.d"
+  "libfolvec_vm.a"
+  "libfolvec_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folvec_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fol1_test.dir/fol1_test.cpp.o"
+  "CMakeFiles/fol1_test.dir/fol1_test.cpp.o.d"
+  "fol1_test"
+  "fol1_test.pdb"
+  "fol1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fol1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fol_star_test.dir/fol_star_test.cpp.o"
+  "CMakeFiles/fol_star_test.dir/fol_star_test.cpp.o.d"
+  "fol_star_test"
+  "fol_star_test.pdb"
+  "fol_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fol_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

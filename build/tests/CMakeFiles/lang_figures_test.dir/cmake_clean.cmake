@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_figures_test.dir/lang_figures_test.cpp.o"
+  "CMakeFiles/lang_figures_test.dir/lang_figures_test.cpp.o.d"
+  "lang_figures_test"
+  "lang_figures_test.pdb"
+  "lang_figures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/list_test.cpp" "tests/CMakeFiles/list_test.dir/list_test.cpp.o" "gcc" "tests/CMakeFiles/list_test.dir/list_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_harness/CMakeFiles/folvec_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/list/CMakeFiles/folvec_list.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/folvec_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/folvec_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/queens/CMakeFiles/folvec_queens.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/folvec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/folvec_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sorting/CMakeFiles/folvec_sorting.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/folvec_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/folvec_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/fol/CMakeFiles/folvec_fol.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/folvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/folvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_fol_test.dir/ordered_fol_test.cpp.o"
+  "CMakeFiles/ordered_fol_test.dir/ordered_fol_test.cpp.o.d"
+  "ordered_fol_test"
+  "ordered_fol_test.pdb"
+  "ordered_fol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_fol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

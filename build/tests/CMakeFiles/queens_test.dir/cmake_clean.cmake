@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queens_test.dir/queens_test.cpp.o"
+  "CMakeFiles/queens_test.dir/queens_test.cpp.o.d"
+  "queens_test"
+  "queens_test.pdb"
+  "queens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

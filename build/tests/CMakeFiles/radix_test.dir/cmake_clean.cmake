@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_test.dir/radix_test.cpp.o"
+  "CMakeFiles/radix_test.dir/radix_test.cpp.o.d"
+  "radix_test"
+  "radix_test.pdb"
+  "radix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_rebalance_test.dir/tree_rebalance_test.cpp.o"
+  "CMakeFiles/tree_rebalance_test.dir/tree_rebalance_test.cpp.o.d"
+  "tree_rebalance_test"
+  "tree_rebalance_test.pdb"
+  "tree_rebalance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_rebalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

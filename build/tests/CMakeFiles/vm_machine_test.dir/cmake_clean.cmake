@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_machine_test.dir/vm_machine_test.cpp.o"
+  "CMakeFiles/vm_machine_test.dir/vm_machine_test.cpp.o.d"
+  "vm_machine_test"
+  "vm_machine_test.pdb"
+  "vm_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/fol1_test[1]_include.cmake")
+include("/root/repo/build/tests/fol_star_test[1]_include.cmake")
+include("/root/repo/build/tests/hashing_test[1]_include.cmake")
+include("/root/repo/build/tests/sorting_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/list_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/ordered_fol_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_rebalance_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_lookup_test[1]_include.cmake")
+include("/root/repo/build/tests/queens_test[1]_include.cmake")
+include("/root/repo/build/tests/radix_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_map_test[1]_include.cmake")
+include("/root/repo/build/tests/distribute_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_figures_test[1]_include.cmake")
