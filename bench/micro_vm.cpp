@@ -13,6 +13,7 @@
 #include "sorting/dist_count.h"
 #include "support/prng.h"
 #include "tree/bst.h"
+#include "vm/checker.h"
 #include "vm/machine.h"
 
 namespace {
@@ -42,6 +43,11 @@ void BM_MachineScatter(benchmark::State& state) {
   WordVec table(n, 0);
   const WordVec idx = random_keys(n, static_cast<Word>(n), 2);
   const WordVec vals = m.iota(n);
+  // Random indices collide on purpose: this measures the raw primitive.
+  // The window sanctions the duplicates so the bench also runs (and shows
+  // the checker's overhead) under FOLVEC_AUDIT=1.
+  const folvec::vm::ConflictWindow window(
+      m, table, folvec::vm::WindowKind::kDataRace, "scatter microbench");
   for (auto _ : state) {
     m.scatter(table, idx, vals);
     benchmark::DoNotOptimize(table.data());

@@ -42,9 +42,13 @@ int main() {
   cfg.scatter_order = vm::ScatterOrder::kShuffled;
   vm::VectorMachine m(cfg);
 
-  // Naive batch replay: one scatter. Wrong whenever pages repeat.
+  // Naive batch replay: one scatter. Wrong whenever pages repeat — and
+  // flagged by ScatterCheck, so the demonstration opts out of the audit.
+  vm::MachineConfig naive_cfg = cfg;
+  naive_cfg.audit = false;
+  vm::VectorMachine naive_m(naive_cfg);
   std::vector<Word> naive(kPages, -1);
-  m.scatter(naive, pages, values);
+  naive_m.scatter(naive, pages, values);
   std::size_t naive_wrong = 0;
   for (std::size_t p = 0; p < kPages; ++p) {
     naive_wrong += (naive[p] != expected[p]) ? 1u : 0u;

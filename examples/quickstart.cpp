@@ -29,12 +29,17 @@ int main() {
   // --- The hazard: forced vectorization drops colliding updates. --------
   // Suppose each update must *accumulate* (cell += value). A single
   // gather-add-scatter loses work: the three lanes aimed at cell 1 all read
-  // the same old value, and only one of their writes survives.
+  // the same old value, and only one of their writes survives. The race is
+  // the point of this demo, so it runs on a machine with ScatterCheck off
+  // (under FOLVEC_AUDIT=1 the default machine would refuse the scatter).
   {
+    vm::MachineConfig unaudited;
+    unaudited.audit = false;
+    vm::VectorMachine demo(unaudited);
     std::vector<Word> broken = cells;
-    const WordVec old_vals = m.gather(broken, target_cell);
-    const WordVec new_vals = m.add(old_vals, update_value);
-    m.scatter(broken, target_cell, new_vals);
+    const WordVec old_vals = demo.gather(broken, target_cell);
+    const WordVec new_vals = demo.add(old_vals, update_value);
+    demo.scatter(broken, target_cell, new_vals);
     Word total = 0;
     for (Word c : broken) total += c;
     std::cout << "forced vectorization: cells sum to " << total

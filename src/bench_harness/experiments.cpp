@@ -214,6 +214,8 @@ RunResult run_fol1_decompose(std::size_t n, std::size_t distinct,
   result.iterations = dec.rounds();
   FOLVEC_CHECK(fol::satisfies_all_theorems(dec, targets),
                "FOL1 theorems violated");
+  FOLVEC_CHECK(m.hazards().empty(),
+               "FOL1 benchmark recorded ScatterCheck hazards");
   return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "fol/invariants.h"
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::fol {
 
@@ -16,6 +18,12 @@ Decomposition fol1_decompose(VectorMachine& m,
                              std::span<Word> work) {
   Decomposition out;
   if (index_vector.empty()) return out;
+
+  // The label rounds below deliberately scatter colliding labels; declare
+  // the sanctioned conflict window so ScatterCheck can verify the readbacks
+  // against the ELS contract instead of flagging the duplicates.
+  const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
+                                  "FOL1 label round");
 
   // Step 0 (preprocessing): labels are the lane positions, the "most easily
   // computable" unique labels per the paper's footnote 6. Positions stay
@@ -54,13 +62,22 @@ Decomposition fol1_decompose(VectorMachine& m,
     remaining_idx = m.compress(remaining_idx, contested);
     remaining_pos = m.compress(remaining_pos, contested);
   }
+  if (m.audit_enabled() && !satisfies_all_theorems(out, index_vector)) {
+    m.checker()->audit_theorem_violation(
+        "FOL1", "decomposition fails satisfies_all_theorems (Theorems 1-6)");
+  }
   return out;
 }
 
 Decomposition fol1_decompose_plain(std::span<const Word> index_vector) {
   Word max_index = -1;
   for (Word v : index_vector) {
-    FOLVEC_REQUIRE(v >= 0, "index vector elements must be non-negative");
+    // An InternalError, not a precondition: negative entries would otherwise
+    // silently size the work array from a negative maximum (UB-adjacent) —
+    // treat them as corrupt input caught by the library's own invariant.
+    FOLVEC_CHECK(v >= 0,
+                 "fol1_decompose_plain: index vector entries must be "
+                 "non-negative to size the work array");
     max_index = std::max(max_index, v);
   }
   WordVec work(static_cast<std::size_t>(max_index + 1), 0);

@@ -1,6 +1,7 @@
 #include "fol/fol_star.h"
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::fol {
 
@@ -21,6 +22,11 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     FOLVEC_REQUIRE(v.size() == n0, "all index vectors must have equal length");
   }
   if (n0 == 0) return out;
+
+  // The whole tuple-labelling loop is one sanctioned conflict window: every
+  // round deliberately scatters colliding labels into `work`.
+  const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
+                                  "FOL* label round");
 
   // Step 0: globally-unique labels. Tuple position p, lane k gets label
   // k*n0 + p; positions are carried through the rounds unchanged so labels
@@ -53,8 +59,7 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     }
     for (std::size_t k = 0; k < num_lanes; ++k) {
       const auto target = static_cast<std::size_t>(remaining[k][n - 1]);
-      work[target] = lane_label(k, positions[n - 1]);
-      m.scalar_mem();
+      m.scalar_store(work, target, lane_label(k, positions[n - 1]));
     }
 
     // Step 2: a tuple survives only if every lane's label survived.
@@ -80,6 +85,11 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     std::vector<std::size_t> set;
     set.reserve(winners.size());
     for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    if (m.audit_enabled() && set.size() > 1) {
+      // Forced singletons are trivially conflict-free; every multi-tuple set
+      // must be pairwise address-disjoint across all index vectors.
+      m.checker()->audit_tuple_set(set, index_vectors);
+    }
     out.sets.push_back(std::move(set));
 
     // Step 3: drop the assigned tuples from every lane.

@@ -1,6 +1,7 @@
 #include "fol/ordered.h"
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::fol {
 
@@ -14,6 +15,11 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
                                      std::span<Word> work) {
   Decomposition out;
   if (index_vector.empty()) return out;
+
+  // Ordered scatters define their survivor, but the labels left in `work`
+  // are still transient: the window marks them for use-after-round checks.
+  const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
+                                  "ordered FOL1 label round");
 
   WordVec remaining_idx = m.copy(index_vector);
   WordVec remaining_pos = m.iota(index_vector.size());

@@ -11,6 +11,7 @@
 
 #include <span>
 
+#include "vm/checker.h"
 #include "vm/machine.h"
 
 namespace folvec::fol {
@@ -24,6 +25,9 @@ inline vm::Mask overwrite_and_check(vm::VectorMachine& m,
                                     std::span<vm::Word> table,
                                     std::span<const vm::Word> idx,
                                     std::span<const vm::Word> vals) {
+  // A sanctioned race: the written values are real data, not labels.
+  const vm::ConflictWindow window(m, table, vm::WindowKind::kDataRace,
+                                  "overwrite-and-check");
   m.scatter(table, idx, vals);
   const vm::WordVec readback = m.gather(table, idx);
   return m.eq(readback, vals);
@@ -36,6 +40,8 @@ inline vm::Mask overwrite_and_check_masked(vm::VectorMachine& m,
                                            std::span<const vm::Word> idx,
                                            std::span<const vm::Word> vals,
                                            const vm::Mask& active) {
+  const vm::ConflictWindow window(m, table, vm::WindowKind::kDataRace,
+                                  "overwrite-and-check");
   m.scatter_masked(table, idx, vals, active);
   const vm::WordVec readback = m.gather(table, idx);
   return m.mask_and(m.eq(readback, vals), active);

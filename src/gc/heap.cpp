@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::gc {
 
@@ -114,9 +115,14 @@ GcStats ConsHeap::collect_vector(VectorMachine& m, std::span<Word> roots) {
       // Claim labels are negative and distinct from kUnforwarded, so they
       // can never be mistaken for a real to-space index.
       const WordVec labels = m.negate(m.add_scalar(m.iota(vals.size()), 2));
-      m.scatter_masked(forward_, cells, labels, unforwarded);
-      const WordVec readback = m.gather_masked(forward_, cells, unforwarded,
-                                               0);
+      WordVec readback;
+      {
+        const vm::ConflictWindow window(m, forward_,
+                                        vm::WindowKind::kLabelRound,
+                                        "evacuation claim");
+        m.scatter_masked(forward_, cells, labels, unforwarded);
+        readback = m.gather_masked(forward_, cells, unforwarded, 0);
+      }
       const Mask winner = m.mask_and(m.eq(readback, labels), unforwarded);
       const std::size_t n_win = m.count_true(winner);
       FOLVEC_CHECK(n_win > 0, "evacuation claim produced no winner");

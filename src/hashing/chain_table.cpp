@@ -115,6 +115,7 @@ void multi_hash_chain_insert(VectorMachine& m, ChainTable& t,
     m.scatter(t.head_, set_entries, nodes);
     t.alloc_ += k;
   }
+  m.retire_work(work);
 }
 
 }  // namespace folvec::hashing

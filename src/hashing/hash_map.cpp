@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::hashing {
 
@@ -59,6 +60,9 @@ WordVec VectorHashMap::insert_tracking_slots(VectorMachine& m,
   WordVec result(keys.size(), -1);
   if (keys.empty()) return result;
   const auto size = static_cast<Word>(slots_.size());
+  // Figure 8 races distinct keys for empty slots: a sanctioned data race.
+  const vm::ConflictWindow window(m, slots_, vm::WindowKind::kDataRace,
+                                  "hash map insert");
   WordVec key_vec = m.copy(keys);
   WordVec lane = m.iota(keys.size());
   WordVec hashed = m.mod_scalar(key_vec, size);

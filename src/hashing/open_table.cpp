@@ -4,6 +4,7 @@
 
 #include "hashing/hash_fn.h"
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::hashing {
 
@@ -88,7 +89,11 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
 
   // Figure 8, first entry attempt: hash, then store keys into empty slots.
   // More than one key may be written to one entry — the ELS scatter keeps
-  // exactly one intact, and the check below detects the losers.
+  // exactly one intact, and the check below detects the losers. The whole
+  // insert loop is the overwrite-and-check idiom, so the racing scatters
+  // are a sanctioned data-race window over the table.
+  const vm::ConflictWindow window(m, table, vm::WindowKind::kDataRace,
+                                  "multiple hashing insert");
   WordVec key_vec = m.copy(keys);
   WordVec hashed = m.mod_scalar(key_vec, size);
   {

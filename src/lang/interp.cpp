@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::lang {
 
@@ -230,6 +231,12 @@ void Interpreter::exec_assign(const Stmt& stmt) {
       if (values.size() != adjusted.size()) {
         fail(stmt.line, "scatter value/index length mismatch");
       }
+      // The language exposes raw VIST semantics (Figure 8/12 programs race
+      // distinct values for slots deliberately), so user scatters run inside
+      // a sanctioned data-race window.
+      const vm::ConflictWindow window(m_, target.data,
+                                      vm::WindowKind::kDataRace,
+                                      "language list-vector store");
       if (where_mask_.empty()) {
         m_.scatter(target.data, adjusted, values);
       } else {

@@ -108,6 +108,7 @@ std::size_t multi_increment(VectorMachine& m, ListArena& arena,
     }
     cur = drop_finished(m, m.gather(arena.cdrs(), cur));
   }
+  m.retire_work(work);
   return updates;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::routing {
 
@@ -163,8 +164,13 @@ std::vector<Word> Grid::route_vector_multi(VectorMachine& m,
     // labels race into the claim word, the surviving lane carries the cell
     // forward (the "implicit S1" of the related-work algorithms).
     const WordVec labels = m.iota(open_cells.size());
-    m.scatter(claim, open_cells, labels);
-    const Mask winner = m.eq(m.gather(claim, open_cells), labels);
+    Mask winner;
+    {
+      const vm::ConflictWindow window(m, claim, vm::WindowKind::kLabelRound,
+                                      "frontier dedup claim");
+      m.scatter(claim, open_cells, labels);
+      winner = m.eq(m.gather(claim, open_cells), labels);
+    }
     const std::size_t n_win = m.count_true(winner);
     if (stats != nullptr) {
       stats->dedup_dropped += open_cells.size() - n_win;
@@ -172,6 +178,7 @@ std::vector<Word> Grid::route_vector_multi(VectorMachine& m,
     frontier = m.compress(open_cells, winner);
     ++d;
   }
+  m.retire_work(claim);
   return dist;
 }
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::sorting {
 
@@ -115,11 +116,17 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
 
     // C: overwrite-and-check with negated lane identifiers (-1..-nrest,
     // disjoint from the non-negative data), then store data where the
-    // identifier survived.
+    // identifier survived. Every claimed slot gets exactly one winner, so
+    // the masked data scatter below overwrites every label the round left.
     const WordVec work = m.gather(c, hv);  // save displaced originals
     const WordVec ids = m.negate(m.iota(a.size(), 1));
-    m.scatter(c, hv, ids);
-    const Mask entered = m.eq(m.gather(c, hv), ids);
+    Mask entered;
+    {
+      const vm::ConflictWindow window(m, c, vm::WindowKind::kLabelRound,
+                                      "address-calc id claim");
+      m.scatter(c, hv, ids);
+      entered = m.eq(m.gather(c, hv), ids);
+    }
     m.scatter_masked(c, hv, a, entered);
 
     // D: ripple displaced values rightward, all chains in lock step. Chains

@@ -71,6 +71,7 @@ DistCountStats dist_count_sort_vector(VectorMachine& m, std::span<Word> data,
   std::vector<Word> work(static_cast<std::size_t>(range), 0);
   const WordVec keys = m.copy(data);
   const fol::Decomposition dec = fol::fol1_decompose(m, keys, work);
+  m.retire_work(work);
   stats.fol_rounds = dec.rounds();
 
   std::vector<WordVec> set_keys(dec.rounds());

@@ -123,6 +123,7 @@ RadixStats radix_sort_vector(VectorMachine& m, std::span<Word> data,
     }
     vals = m.load(out, 0, out.size());
   }
+  m.retire_work(work);
   m.store(data, 0, vals);
   return stats;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/require.h"
+#include "vm/checker.h"
 
 namespace folvec::tree {
 
@@ -44,8 +45,14 @@ BulkInsertStats Bst::insert_bulk(VectorMachine& m,
 
   WordVec pend_keys = m.copy(keys);
   WordVec pend_slots = m.splat(keys.size(), static_cast<Word>(root_slot()));
-  // Per-slot label words for the overwrite-and-check filter.
+  // Per-slot label words for the overwrite-and-check filter. Every pass's
+  // conflict filter deliberately scatters colliding lane ids into it, so the
+  // loop runs under one sanctioned label-round window; the array is retired
+  // below once the last pass's labels are dead.
   std::vector<Word> work(child_.size(), 0);
+  {
+  const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
+                                  "BST slot claim");
 
   // Each pass either descends a lane one level or resolves it; the pass
   // count is bounded by the final height plus the worst conflict chain.
@@ -93,6 +100,8 @@ BulkInsertStats Bst::insert_bulk(VectorMachine& m,
     pend_keys = m.compress(pend_keys, keep);
     pend_slots = m.compress(pend_slots, keep);
   }
+  }
+  m.retire_work(work);
   return stats;
 }
 

@@ -1,0 +1,379 @@
+#include "vm/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace folvec::vm {
+
+namespace {
+
+std::string join_lanes(const std::vector<std::size_t>& lanes) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (i != 0) os << ", ";
+    if (lanes[i] == kScalarLane) {
+      os << "scalar";
+    } else {
+      os << lanes[i];
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string join_values(const std::vector<Word>& vals) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << vals[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+// ---- window stack ----------------------------------------------------------
+
+void ScatterChecker::push_window(std::span<const Word> table, WindowKind kind,
+                                 const char* label) {
+  Window w;
+  w.begin = table.data();
+  w.end = table.data() + table.size();
+  w.kind = kind;
+  w.label = label;
+  windows_.push_back(std::move(w));
+}
+
+void ScatterChecker::pop_window() {
+  FOLVEC_CHECK(!windows_.empty(), "ConflictWindow stack underflow");
+  const Window& w = windows_.back();
+  if (w.kind == WindowKind::kLabelRound) {
+    // The labels written during the round are now stale garbage: reading
+    // them back outside a window is a hazard until they are overwritten or
+    // the work array is retired.
+    for (const auto& [addr, rec] : w.writes) clobbered_.insert(addr);
+  }
+  windows_.pop_back();
+}
+
+ScatterChecker::Window* ScatterChecker::covering_window(
+    std::span<const Word> table) {
+  const Word* b = table.data();
+  const Word* e = table.data() + table.size();
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    if (it->begin <= b && e <= it->end) return &*it;
+  }
+  return nullptr;
+}
+
+// ---- hazard plumbing -------------------------------------------------------
+
+void ScatterChecker::throw_audit(std::size_t first_new) const {
+  std::ostringstream os;
+  os << "ScatterCheck: ";
+  for (std::size_t i = first_new; i < report_.size(); ++i) {
+    if (i != first_new) os << "; ";
+    os << report_[i].to_string();
+  }
+  throw AuditError(os.str());
+}
+
+void ScatterChecker::precondition_hazard(Hazard h) {
+  const std::string what = h.to_string();
+  add(std::move(h));
+  throw PreconditionError("ScatterCheck: " + what);
+}
+
+// ---- shared operand checks -------------------------------------------------
+
+void ScatterChecker::check_lengths(OpClass op, std::size_t idx_n,
+                                   std::size_t vals_n, const Mask* mask) {
+  const std::size_t mask_n = mask != nullptr ? mask->size() : idx_n;
+  if (idx_n == vals_n && idx_n == mask_n) return;
+  Hazard h;
+  h.kind = HazardKind::kLengthMismatch;
+  h.op = op;
+  std::ostringstream os;
+  os << op_class_name(op) << ": operand lengths disagree (index " << idx_n;
+  if (vals_n != idx_n) os << ", values " << vals_n;
+  if (mask != nullptr) os << ", mask " << mask_n;
+  os << ')';
+  h.message = os.str();
+  precondition_hazard(std::move(h));
+}
+
+void ScatterChecker::check_bounds(OpClass op, std::span<const Word> idx,
+                                  std::size_t table_size, const Mask* mask) {
+  Hazard h;
+  for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+    if (mask != nullptr && (*mask)[lane] == 0) continue;
+    if (idx[lane] >= 0 && static_cast<std::size_t>(idx[lane]) <
+                              table_size) {
+      continue;
+    }
+    h.lanes.push_back(lane);
+    h.expected.push_back(idx[lane]);  // the offending addresses, per lane
+  }
+  if (h.lanes.empty()) return;
+  h.kind = HazardKind::kOutOfBounds;
+  h.op = op;
+  h.address = h.expected.front();
+  std::ostringstream os;
+  os << op_class_name(op) << ": lanes " << join_lanes(h.lanes)
+     << " address outside table[0.." << table_size << "): addresses "
+     << join_values(h.expected);
+  h.message = os.str();
+  precondition_hazard(std::move(h));
+}
+
+// ---- instruction hooks -----------------------------------------------------
+
+void ScatterChecker::on_gather(std::span<const Word> table,
+                               std::span<const Word> idx, const Mask* mask) {
+  ++instr_seq_;
+  check_lengths(OpClass::kVectorGather, idx.size(), idx.size(), mask);
+  check_bounds(OpClass::kVectorGather, idx, table.size(), mask);
+
+  const std::size_t first_new = report_.size();
+  Window* w = covering_window(table);
+  if (w != nullptr) {
+    // Readback inside a sanctioned round: memory must hold one of the values
+    // the latest writing instruction actually stored there. Anything else is
+    // the substrate violating the ELS condition.
+    std::unordered_set<const Word*> reported;
+    for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+      if (mask != nullptr && (*mask)[lane] == 0) continue;
+      const Word* addr = table.data() + static_cast<std::size_t>(idx[lane]);
+      const auto it = w->writes.find(addr);
+      if (it == w->writes.end()) continue;
+      if (!reported.insert(addr).second) continue;
+      const Word found = *addr;
+      const WriteRecord& rec = it->second;
+      const bool legal =
+          std::any_of(rec.writers.begin(), rec.writers.end(),
+                      [found](const auto& wr) { return wr.second == found; });
+      if (legal) continue;
+      Hazard h;
+      h.kind = HazardKind::kElsViolation;
+      h.op = OpClass::kVectorGather;
+      h.address = idx[lane];
+      for (const auto& [wl, wv] : rec.writers) {
+        h.lanes.push_back(wl);
+        h.expected.push_back(wv);
+      }
+      h.found = found;
+      h.context = w->label;
+      std::ostringstream os;
+      os << w->label << ": table[" << h.address << "] holds " << found
+         << ", but the colliding scatter lanes " << join_lanes(h.lanes)
+         << " wrote " << join_values(h.expected)
+         << " — the substrate amalgamated the ELS survivor";
+      h.message = os.str();
+      add(std::move(h));
+    }
+  } else if (!clobbered_.empty()) {
+    Hazard h;
+    for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+      if (mask != nullptr && (*mask)[lane] == 0) continue;
+      const Word* addr = table.data() + static_cast<std::size_t>(idx[lane]);
+      if (clobbered_.count(addr) == 0) continue;
+      h.lanes.push_back(lane);
+      h.expected.push_back(idx[lane]);
+      if (h.lanes.size() == 1) h.found = *addr;
+    }
+    if (!h.lanes.empty()) {
+      h.kind = HazardKind::kClobberedWorkRead;
+      h.op = OpClass::kVectorGather;
+      h.address = h.expected.front();
+      std::ostringstream os;
+      os << "lanes " << join_lanes(h.lanes) << " gather addresses "
+         << join_values(h.expected)
+         << " still holding stale labels from a closed label round "
+         << "(overwrite them or retire_work the array)";
+      h.message = os.str();
+      add(std::move(h));
+    }
+  }
+  if (report_.size() > first_new && throw_) throw_audit(first_new);
+}
+
+void ScatterChecker::on_scatter(std::span<const Word> table,
+                                std::span<const Word> idx,
+                                std::span<const Word> vals, const Mask* mask,
+                                bool ordered) {
+  ++instr_seq_;
+  const OpClass op =
+      ordered ? OpClass::kVectorScatterOrdered : OpClass::kVectorScatter;
+  check_lengths(op, idx.size(), vals.size(), mask);
+  check_bounds(op, idx, table.size(), mask);
+
+  // Group the active lanes by target address, preserving lane order.
+  struct Group {
+    std::vector<std::size_t> lanes;
+    bool differing = false;
+  };
+  std::unordered_map<Word, Group> groups;
+  for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+    if (mask != nullptr && (*mask)[lane] == 0) continue;
+    Group& g = groups[idx[lane]];
+    if (!g.lanes.empty() && vals[g.lanes.front()] != vals[lane]) {
+      g.differing = true;
+    }
+    g.lanes.push_back(lane);
+  }
+
+  const std::size_t first_new = report_.size();
+  Window* w = covering_window(table);
+  if (w != nullptr) {
+    for (const auto& [target, g] : groups) {
+      const Word* addr = table.data() + static_cast<std::size_t>(target);
+      WriteRecord& rec = w->writes[addr];
+      rec.instr = instr_seq_;
+      rec.writers.clear();
+      if (ordered) {
+        // Order-preserving scatter: the last colliding lane's value is the
+        // only legal survivor.
+        rec.writers.emplace_back(g.lanes.back(), vals[g.lanes.back()]);
+      } else {
+        for (std::size_t lane : g.lanes) {
+          rec.writers.emplace_back(lane, vals[lane]);
+        }
+      }
+      clobbered_.erase(addr);
+    }
+    return;
+  }
+
+  // Outside any window: duplicate addresses with differing values and no
+  // defined survivor are the vector-machine analogue of a data race.
+  for (const auto& [target, g] : groups) {
+    if (g.lanes.size() < 2 || !g.differing || ordered) continue;
+    Hazard h;
+    h.kind = HazardKind::kUnsanctionedDuplicate;
+    h.op = op;
+    h.address = target;
+    h.lanes = g.lanes;
+    for (std::size_t lane : g.lanes) h.expected.push_back(vals[lane]);
+    std::ostringstream os;
+    os << op_class_name(op) << ": lanes " << join_lanes(h.lanes)
+       << " scatter differing values " << join_values(h.expected)
+       << " to table[" << target
+       << "] outside any ConflictWindow — the survivor is undefined";
+    h.message = os.str();
+    add(std::move(h));
+  }
+  if (report_.size() > first_new && throw_) throw_audit(first_new);
+  for (const auto& [target, g] : groups) {
+    clobbered_.erase(table.data() + static_cast<std::size_t>(target));
+  }
+}
+
+void ScatterChecker::on_scalar_store(std::span<const Word> table,
+                                     std::size_t pos, Word value) {
+  ++instr_seq_;
+  const Word* addr = table.data() + pos;
+  Window* w = covering_window(table);
+  if (w != nullptr) {
+    WriteRecord& rec = w->writes[addr];
+    rec.instr = instr_seq_;
+    rec.writers.assign(1, {kScalarLane, value});
+  }
+  clobbered_.erase(addr);
+}
+
+void ScatterChecker::on_overwrite(const Word* base, std::size_t n,
+                                  std::size_t stride) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word* addr = base + i * stride;
+    if (!clobbered_.empty()) clobbered_.erase(addr);
+    for (Window& w : windows_) w.writes.erase(addr);
+  }
+}
+
+void ScatterChecker::on_contiguous_read(std::span<const Word> table,
+                                        std::size_t offset, std::size_t n) {
+  if (clobbered_.empty()) return;
+  if (covering_window(table) != nullptr) return;
+  Hazard h;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word* addr = table.data() + offset + i;
+    if (clobbered_.count(addr) == 0) continue;
+    h.lanes.push_back(i);
+    h.expected.push_back(static_cast<Word>(offset + i));
+    if (h.lanes.size() == 1) h.found = *addr;
+  }
+  if (h.lanes.empty()) return;
+  h.kind = HazardKind::kClobberedWorkRead;
+  h.op = OpClass::kVectorLoad;
+  h.address = h.expected.front();
+  std::ostringstream os;
+  os << "contiguous load reads offsets " << join_values(h.expected)
+     << " still holding stale labels from a closed label round "
+     << "(overwrite them or retire_work the array)";
+  h.message = os.str();
+  const std::size_t first_new = report_.size();
+  add(std::move(h));
+  if (throw_) throw_audit(first_new);
+}
+
+// ---- FOL-level audits ------------------------------------------------------
+
+void ScatterChecker::audit_tuple_set(std::span<const std::size_t> set,
+                                     std::span<const WordVec> index_vectors) {
+  // Each tuple t touches { iv[set[t]] : iv in index_vectors }. Within one
+  // parallel-processable set those footprints must be pairwise disjoint.
+  std::unordered_map<Word, std::size_t> owner;  // address -> tuple index
+  const std::size_t first_new = report_.size();
+  for (std::size_t t = 0; t < set.size(); ++t) {
+    const std::size_t lane = set[t];
+    for (const WordVec& iv : index_vectors) {
+      FOLVEC_REQUIRE(lane < iv.size(),
+                     "audit_tuple_set: set entry outside index vectors");
+      const Word address = iv[lane];
+      const auto [it, inserted] = owner.emplace(address, t);
+      if (inserted || it->second == t) continue;
+      Hazard h;
+      h.kind = HazardKind::kTupleConflict;
+      h.op = OpClass::kVectorScatter;
+      h.address = address;
+      h.lanes = {it->second, t};
+      std::ostringstream os;
+      os << "FOL* set places tuples " << join_lanes(h.lanes)
+         << " (lanes " << set[it->second] << " and " << lane
+         << ") in one round but both touch address " << address;
+      h.message = os.str();
+      add(std::move(h));
+    }
+  }
+  if (report_.size() > first_new && throw_) throw_audit(first_new);
+}
+
+void ScatterChecker::audit_theorem_violation(const std::string& where,
+                                             const std::string& details) {
+  Hazard h;
+  h.kind = HazardKind::kTheoremViolation;
+  h.op = OpClass::kVectorScatter;
+  h.context = where;
+  h.message = where + ": " + details;
+  const std::size_t first_new = report_.size();
+  add(std::move(h));
+  if (throw_) throw_audit(first_new);
+}
+
+void ScatterChecker::retire_work(std::span<const Word> region) {
+  if (clobbered_.empty()) return;
+  const Word* b = region.data();
+  const Word* e = region.data() + region.size();
+  for (auto it = clobbered_.begin(); it != clobbered_.end();) {
+    if (b <= *it && *it < e) {
+      it = clobbered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace folvec::vm

@@ -1,0 +1,58 @@
+#include "vm/hazard.h"
+
+#include <sstream>
+
+namespace folvec::vm {
+
+const char* hazard_kind_name(HazardKind kind) {
+  switch (kind) {
+    case HazardKind::kOutOfBounds:
+      return "out-of-bounds";
+    case HazardKind::kLengthMismatch:
+      return "length-mismatch";
+    case HazardKind::kUnsanctionedDuplicate:
+      return "unsanctioned-duplicate";
+    case HazardKind::kElsViolation:
+      return "els-violation";
+    case HazardKind::kClobberedWorkRead:
+      return "clobbered-work-read";
+    case HazardKind::kTupleConflict:
+      return "tuple-conflict";
+    case HazardKind::kTheoremViolation:
+      return "theorem-violation";
+  }
+  return "unknown";
+}
+
+std::string Hazard::to_string() const {
+  std::ostringstream os;
+  os << '[' << hazard_kind_name(kind) << "] " << message;
+  return os.str();
+}
+
+std::size_t HazardReport::count(HazardKind kind) const {
+  std::size_t n = 0;
+  for (const Hazard& h : hazards_) {
+    if (h.kind == kind) ++n;
+  }
+  return n;
+}
+
+const Hazard* HazardReport::first(HazardKind kind) const {
+  for (const Hazard& h : hazards_) {
+    if (h.kind == kind) return &h;
+  }
+  return nullptr;
+}
+
+std::string HazardReport::to_string() const {
+  if (hazards_.empty()) return "no hazards\n";
+  std::ostringstream os;
+  os << hazards_.size() << (hazards_.size() == 1 ? " hazard:\n" : " hazards:\n");
+  for (const Hazard& h : hazards_) {
+    os << "  " << h.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace folvec::vm

@@ -1,0 +1,104 @@
+// Structured hazard reports for the ScatterCheck auditor (see checker.h).
+//
+// A Hazard describes one rule violation observed at a single vector
+// instruction, with enough lane-level detail that a test can assert on the
+// exact offending lanes and a human can read the pretty-printed report and
+// know which address was contested and which values collided there. Hazards
+// accumulate in a per-machine HazardReport; audit-class hazards additionally
+// raise AuditError when MachineConfig::audit_throw is set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/require.h"
+#include "vm/cost_model.h"
+
+namespace folvec::vm {
+
+/// Identical to the alias in machine.h (which includes this header);
+/// duplicated so the report types stand alone.
+using Word = std::int64_t;
+
+/// What kind of contract was broken. The first two are hard preconditions
+/// (the machine refuses them even without audit mode); the rest are
+/// audit-only hazards — the vector-machine analogues of data races.
+enum class HazardKind : std::uint8_t {
+  kOutOfBounds,           ///< a lane's address is outside the table
+  kLengthMismatch,        ///< index/value/mask operand lengths disagree
+  kUnsanctionedDuplicate, ///< duplicate-address scatter outside a FOL round
+  kElsViolation,          ///< readback saw a value no colliding lane wrote
+  kClobberedWorkRead,     ///< gather from work whose labels were never retired
+  kTupleConflict,         ///< two FOL* tuples in one set share an address
+  kTheoremViolation,      ///< a Decomposition fails satisfies_all_theorems
+};
+
+/// Short stable name for a HazardKind ("out-of-bounds", "els-violation", ...).
+const char* hazard_kind_name(HazardKind kind);
+
+/// Sentinel lane id used when a write came from the scalar unit
+/// (VectorMachine::scalar_store) rather than a vector lane.
+inline constexpr std::size_t kScalarLane = static_cast<std::size_t>(-1);
+
+/// One observed violation, at one instruction, at (usually) one address.
+struct Hazard {
+  HazardKind kind = HazardKind::kOutOfBounds;
+  /// The instruction class that tripped the check.
+  OpClass op = OpClass::kVectorScatter;
+  /// The contested table index, or -1 when the hazard is not about a single
+  /// address (length mismatches, theorem violations).
+  Word address = -1;
+  /// The lanes involved, in ascending order. For kElsViolation these are the
+  /// lanes whose writes were amalgamated; for kTupleConflict they are tuple
+  /// indices within the offending set; kScalarLane marks a scalar-unit write.
+  std::vector<std::size_t> lanes;
+  /// The value actually observed in memory (kElsViolation /
+  /// kClobberedWorkRead), else 0.
+  Word found = 0;
+  /// The values that would have been legal to observe (the colliding lanes'
+  /// written values, for kElsViolation).
+  std::vector<Word> expected;
+  /// Label of the enclosing ConflictWindow, or "" outside any window.
+  std::string context;
+  /// Fully formatted one-line diagnostic.
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Accumulated hazards for one VectorMachine. Tests assert on this; the CLI
+/// pretty-prints it via to_string().
+class HazardReport {
+ public:
+  void add(Hazard h) { hazards_.push_back(std::move(h)); }
+  void clear() { hazards_.clear(); }
+
+  bool empty() const { return hazards_.empty(); }
+  std::size_t size() const { return hazards_.size(); }
+  const std::vector<Hazard>& hazards() const { return hazards_; }
+  const Hazard& operator[](std::size_t i) const { return hazards_[i]; }
+
+  /// Number of recorded hazards of one kind.
+  std::size_t count(HazardKind kind) const;
+
+  /// First recorded hazard of one kind, or nullptr.
+  const Hazard* first(HazardKind kind) const;
+
+  /// Multi-line human-readable report ("no hazards" when empty).
+  std::string to_string() const;
+
+ private:
+  std::vector<Hazard> hazards_;
+};
+
+/// Thrown for audit-class hazards when MachineConfig::audit_throw is set.
+/// Derives InternalError so existing "the substrate is broken" expectations
+/// (e.g. FOL under ELS-violation injection) keep holding under audit.
+class AuditError : public InternalError {
+ public:
+  explicit AuditError(const std::string& what) : InternalError(what) {}
+};
+
+}  // namespace folvec::vm

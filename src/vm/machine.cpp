@@ -1,12 +1,48 @@
 #include "vm/machine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
+
+#include "vm/checker.h"
 
 namespace folvec::vm {
 
+bool MachineConfig::audit_default() {
+  const char* env = std::getenv("FOLVEC_AUDIT");
+  if (env != nullptr && env[0] != '\0') {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+#ifdef FOLVEC_AUDIT_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
 VectorMachine::VectorMachine(const MachineConfig& config)
-    : config_(config), shuffle_rng_(config.shuffle_seed) {}
+    : config_(config), shuffle_rng_(config.shuffle_seed) {
+  if (config_.audit) {
+    checker_ = std::make_unique<ScatterChecker>(config_.audit_throw);
+  }
+}
+
+VectorMachine::~VectorMachine() = default;
+VectorMachine::VectorMachine(VectorMachine&&) noexcept = default;
+VectorMachine& VectorMachine::operator=(VectorMachine&&) noexcept = default;
+
+const HazardReport& VectorMachine::hazards() const {
+  static const HazardReport empty;
+  return checker_ != nullptr ? checker_->report() : empty;
+}
+
+void VectorMachine::clear_hazards() {
+  if (checker_ != nullptr) checker_->clear();
+}
+
+void VectorMachine::retire_work(std::span<const Word> region) {
+  if (checker_ != nullptr) checker_->retire_work(region);
+}
 
 // ---- vector generation -----------------------------------------------------
 
@@ -274,11 +310,13 @@ void VectorMachine::store(std::span<Word> table, std::size_t offset,
                           std::span<const Word> v) {
   FOLVEC_REQUIRE(offset + v.size() <= table.size(),
                  "contiguous store out of bounds");
+  if (checker_ != nullptr) checker_->on_overwrite(table.data() + offset, v.size());
   issue(OpClass::kVectorStore, v.size());
   for (std::size_t i = 0; i < v.size(); ++i) table[offset + i] = v[i];
 }
 
 void VectorMachine::fill(std::span<Word> table, Word value) {
+  if (checker_ != nullptr) checker_->on_overwrite(table.data(), table.size());
   issue(OpClass::kVectorStore, table.size());
   for (auto& w : table) w = value;
 }
@@ -286,6 +324,7 @@ void VectorMachine::fill(std::span<Word> table, Word value) {
 WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
                             std::size_t n) {
   FOLVEC_REQUIRE(offset + n <= table.size(), "contiguous load out of bounds");
+  if (checker_ != nullptr) checker_->on_contiguous_read(table, offset, n);
   issue(OpClass::kVectorLoad, n);
   return WordVec(table.begin() + static_cast<std::ptrdiff_t>(offset),
                  table.begin() + static_cast<std::ptrdiff_t>(offset + n));
@@ -309,6 +348,9 @@ void VectorMachine::store_strided(std::span<Word> table, std::size_t offset,
   FOLVEC_REQUIRE(stride > 0, "stride must be positive");
   FOLVEC_REQUIRE(v.empty() || offset + (v.size() - 1) * stride < table.size(),
                  "strided store out of bounds");
+  if (checker_ != nullptr) {
+    checker_->on_overwrite(table.data() + offset, v.size(), stride);
+  }
   issue(OpClass::kVectorStore, v.size());
   for (std::size_t i = 0; i < v.size(); ++i) table[offset + i * stride] = v[i];
 }
@@ -325,6 +367,7 @@ void VectorMachine::check_indices(std::span<const Word> idx,
 
 WordVec VectorMachine::gather(std::span<const Word> table,
                               std::span<const Word> idx) {
+  if (checker_ != nullptr) checker_->on_gather(table, idx, nullptr);
   check_indices(idx, table.size());
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size());
@@ -337,6 +380,7 @@ WordVec VectorMachine::gather(std::span<const Word> table,
 WordVec VectorMachine::gather_masked(std::span<const Word> table,
                                      std::span<const Word> idx, const Mask& m,
                                      Word fill) {
+  if (checker_ != nullptr) checker_->on_gather(table, idx, &m);
   FOLVEC_REQUIRE(idx.size() == m.size(), "index/mask lengths must match");
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size(), fill);
@@ -368,6 +412,9 @@ std::vector<std::size_t> VectorMachine::scatter_lane_order(std::size_t n) {
 
 void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
                             std::span<const Word> vals) {
+  if (checker_ != nullptr) {
+    checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/false);
+  }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
   issue(OpClass::kVectorScatter, idx.size());
@@ -397,6 +444,9 @@ void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
 void VectorMachine::scatter_masked(std::span<Word> table,
                                    std::span<const Word> idx,
                                    std::span<const Word> vals, const Mask& m) {
+  if (checker_ != nullptr) {
+    checker_->on_scatter(table, idx, vals, &m, /*ordered=*/false);
+  }
   FOLVEC_REQUIRE(idx.size() == vals.size() && idx.size() == m.size(),
                  "index/value/mask lengths must match");
   issue(OpClass::kVectorScatter, idx.size());
@@ -414,12 +464,23 @@ void VectorMachine::scatter_masked(std::span<Word> table,
 void VectorMachine::scatter_ordered(std::span<Word> table,
                                     std::span<const Word> idx,
                                     std::span<const Word> vals) {
+  if (checker_ != nullptr) {
+    checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/true);
+  }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
   issue(OpClass::kVectorScatterOrdered, idx.size());
   for (std::size_t lane = 0; lane < idx.size(); ++lane) {
     table[static_cast<std::size_t>(idx[lane])] = vals[lane];
   }
+}
+
+void VectorMachine::scalar_store(std::span<Word> table, std::size_t pos,
+                                 Word value) {
+  FOLVEC_REQUIRE(pos < table.size(), "scalar store out of bounds");
+  if (checker_ != nullptr) checker_->on_scalar_store(table, pos, value);
+  issue(OpClass::kScalarMem, 1);
+  table[pos] = value;
 }
 
 }  // namespace folvec::vm

@@ -31,12 +31,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "support/prng.h"
 #include "support/require.h"
 #include "vm/cost_model.h"
+#include "vm/hazard.h"
 #include "vm/trace.h"
 
 namespace folvec::vm {
@@ -64,16 +66,50 @@ struct MachineConfig {
   /// Failure injection: colliding scatter lanes store an amalgam (XOR) of
   /// their values, violating the ELS condition. For tests only.
   bool inject_els_violation = false;
+
+  /// Default audit setting: true when FOLVEC_AUDIT is set to a non-empty,
+  /// non-"0" value in the environment, or when the library was built with
+  /// -DFOLVEC_AUDIT=ON (overridable back off via FOLVEC_AUDIT=0).
+  static bool audit_default();
+
+  /// Enable the ScatterCheck hazard auditor (see checker.h) on this machine.
+  bool audit = audit_default();
+  /// Under audit, throw AuditError at the offending instruction for
+  /// audit-class hazards. With false, hazards only accumulate in
+  /// VectorMachine::hazards(). Hard preconditions (bounds, lengths) always
+  /// throw PreconditionError regardless.
+  bool audit_throw = true;
 };
+
+class ScatterChecker;
 
 class VectorMachine {
  public:
   VectorMachine() : VectorMachine(MachineConfig{}) {}
   explicit VectorMachine(const MachineConfig& config);
+  ~VectorMachine();
+  VectorMachine(VectorMachine&&) noexcept;
+  VectorMachine& operator=(VectorMachine&&) noexcept;
 
   const MachineConfig& config() const { return config_; }
   CostAccumulator& cost() { return cost_; }
   const CostAccumulator& cost() const { return cost_; }
+
+  // ---- ScatterCheck auditing (see checker.h) ------------------------------
+
+  bool audit_enabled() const { return checker_ != nullptr; }
+
+  /// The auditor, or nullptr when audit mode is off.
+  ScatterChecker* checker() { return checker_.get(); }
+
+  /// Hazards recorded so far (an empty report when audit mode is off).
+  const HazardReport& hazards() const;
+  void clear_hazards();
+
+  /// Declares that `region` (a label work array) is dead: drops any
+  /// clobbered-work marks covering it so unrelated arrays that later reuse
+  /// the allocation are not flagged. No-op without audit; free.
+  void retire_work(std::span<const Word> region);
 
   /// Attaches (or detaches, with nullptr) an instruction trace sink. The
   /// sink is borrowed, not owned, and must outlive its attachment.
@@ -195,6 +231,11 @@ class VectorMachine {
   void scatter_ordered(std::span<Word> table, std::span<const Word> idx,
                        std::span<const Word> vals);
 
+  /// Single scalar-unit store table[pos] = value (one kScalarMem tick).
+  /// FOL*'s deadlock-avoidance rescue uses this so the auditor can see the
+  /// write; prefer it over raw writes to any vector-visible table.
+  void scalar_store(std::span<Word> table, std::size_t pos, Word value);
+
   // ---- scalar-unit cost ticks ---------------------------------------------
 
   void scalar_alu(std::size_t n = 1) { issue(OpClass::kScalarAlu, n); }
@@ -226,6 +267,7 @@ class VectorMachine {
   CostAccumulator cost_;
   Xoshiro256 shuffle_rng_;
   TraceSink* trace_ = nullptr;
+  std::unique_ptr<ScatterChecker> checker_;
 };
 
 }  // namespace folvec::vm

@@ -95,7 +95,7 @@ TEST(Fol1Test, PlainWrapperAllocatesItsOwnWork) {
 }
 
 TEST(Fol1Test, PlainWrapperRejectsNegativeIndices) {
-  EXPECT_THROW(fol1_decompose_plain(WordVec{-1, 0}), PreconditionError);
+  EXPECT_THROW(fol1_decompose_plain(WordVec{-1, 0}), InternalError);
 }
 
 TEST(Fol1Test, RoundOfLaneMatchesDecomposition) {

@@ -104,7 +104,12 @@ TEST(MultiIncrementTest, UnsafeVersionLosesUpdatesOnSharedTails) {
 
   VectorMachine m;
   multi_increment(m, safe, heads_s, 1);
-  multi_increment_unsafe(m, unsafe, heads_s, 1);
+  // The unsafe variant's lost update is exactly the hazard ScatterCheck
+  // exists to catch, so it runs on an unaudited machine here.
+  MachineConfig unsafe_cfg;
+  unsafe_cfg.audit = false;
+  VectorMachine m_unsafe(unsafe_cfg);
+  multi_increment_unsafe(m_unsafe, unsafe, heads_s, 1);
 
   EXPECT_EQ(safe.car(tail_s), 102);    // both lists incremented it
   EXPECT_EQ(unsafe.car(tail_s), 101);  // one update was lost (Figure 4)

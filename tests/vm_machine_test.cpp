@@ -144,8 +144,11 @@ TEST_F(MachineTest, ScatterWithoutDuplicatesIsOrderIndependent) {
 }
 
 TEST_F(MachineTest, ScatterDuplicateSurvivorDependsOnOrder) {
+  // These scatters probe machine-dependent duplicate behaviour on purpose,
+  // so they opt out of the hazard audit.
   {
     MachineConfig cfg;
+    cfg.audit = false;
     cfg.scatter_order = ScatterOrder::kForward;
     VectorMachine m(cfg);
     WordVec table(1, 0);
@@ -154,6 +157,7 @@ TEST_F(MachineTest, ScatterDuplicateSurvivorDependsOnOrder) {
   }
   {
     MachineConfig cfg;
+    cfg.audit = false;
     cfg.scatter_order = ScatterOrder::kReverse;
     VectorMachine m(cfg);
     WordVec table(1, 0);
@@ -164,6 +168,7 @@ TEST_F(MachineTest, ScatterDuplicateSurvivorDependsOnOrder) {
 
 TEST_F(MachineTest, ShuffledScatterSatisfiesEls) {
   MachineConfig cfg;
+  cfg.audit = false;  // intentional duplicate scatters
   cfg.scatter_order = ScatterOrder::kShuffled;
   VectorMachine m(cfg);
   // Whatever the interleaving, the survivor must be one of the written
@@ -178,6 +183,7 @@ TEST_F(MachineTest, ShuffledScatterSatisfiesEls) {
 
 TEST_F(MachineTest, ShuffledScatterEventuallyVariesSurvivor) {
   MachineConfig cfg;
+  cfg.audit = false;  // intentional duplicate scatters
   cfg.scatter_order = ScatterOrder::kShuffled;
   VectorMachine m(cfg);
   bool saw_different = false;
@@ -197,6 +203,7 @@ TEST_F(MachineTest, ShuffledScatterEventuallyVariesSurvivor) {
 
 TEST_F(MachineTest, ElsViolationInjectionProducesAmalgam) {
   MachineConfig cfg;
+  cfg.audit = false;  // the injected amalgam is the point, not a hazard
   cfg.inject_els_violation = true;
   VectorMachine m(cfg);
   WordVec table(2, 0);
