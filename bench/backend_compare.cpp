@@ -1,0 +1,175 @@
+// Serial vs parallel execution backend on the paper's core workloads:
+// FOL1 decomposition, FOL* decomposition, multiple hashing (Figure 8), and
+// address-calculation sorting (Figure 12), at N up to 2^20.
+//
+// Two numbers are reported side by side for every workload:
+//
+//   * the chime-model time (modeled S-810 microseconds) — identical across
+//     backends by construction, and asserted so: the backend only changes
+//     who executes the lanes, never which instructions are issued;
+//   * measured host wall-clock per backend, and the parallel-over-serial
+//     wall acceleration.
+//
+// Every run is also differentially checked: the parallel digest (outputs +
+// final memory images) must be bit-identical to the serial one, which makes
+// this bench double as a million-element backend equivalence test.
+//
+// Worker count defaults to 8 (override with FOLVEC_BENCH_THREADS); on hosts
+// with fewer cores the wall acceleration honestly degrades toward 1.
+#include <cstddef>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fol/fol1.h"
+#include "fol/fol_star.h"
+#include "hashing/open_table.h"
+#include "sorting/address_calc.h"
+#include "support/env.h"
+#include "support/prng.h"
+#include "support/require.h"
+#include "support/table_printer.h"
+#include "vm/machine.h"
+
+namespace {
+
+using folvec::vm::BackendKind;
+using folvec::vm::MachineConfig;
+using folvec::vm::VectorMachine;
+using folvec::vm::Word;
+using folvec::vm::WordVec;
+
+struct Sample {
+  double chime_us = 0;
+  double wall_s = 0;
+  WordVec digest;
+};
+
+std::size_t bench_threads() {
+  if (const auto env = folvec::env_value("FOLVEC_BENCH_THREADS")) {
+    const long v = std::strtol(env->c_str(), nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 8;
+}
+
+template <typename Body>
+Sample run_backend(BackendKind kind, std::size_t threads,
+                   const folvec::vm::CostParams& params, const Body& body) {
+  MachineConfig cfg;
+  cfg.audit = false;  // the auditor would pin execution to the serial path
+  cfg.backend = kind;
+  cfg.backend_threads = threads;
+  VectorMachine m(cfg);
+  Sample s;
+  s.digest = body(m);
+  s.chime_us = m.cost().microseconds(params);
+  s.wall_s = m.cost().total_wall_seconds();
+  return s;
+}
+
+void emit(WordVec& digest, const WordVec& v) {
+  digest.insert(digest.end(), v.begin(), v.end());
+}
+
+WordVec fol1_body(VectorMachine& m, std::size_t n) {
+  const std::size_t distinct = std::max<std::size_t>(1, n / 4);
+  const WordVec idx =
+      folvec::random_keys(n, static_cast<Word>(distinct), 0xf011 + n);
+  WordVec work(distinct, 0);
+  const folvec::fol::Decomposition d = folvec::fol::fol1_decompose(m, idx, work);
+  WordVec digest;
+  for (const auto& set : d.sets) {
+    digest.push_back(static_cast<Word>(set.size()));
+    for (std::size_t lane : set) digest.push_back(static_cast<Word>(lane));
+  }
+  emit(digest, work);
+  return digest;
+}
+
+WordVec fol_star_body(VectorMachine& m, std::size_t n) {
+  const std::size_t areas = 8 * n;
+  std::vector<WordVec> lanes(2);
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    lanes[k] =
+        folvec::random_keys(n, static_cast<Word>(areas), 0x57a2 + n + k);
+  }
+  WordVec work(areas, 0);
+  const folvec::fol::StarDecomposition d =
+      folvec::fol::fol_star_decompose(m, lanes, work);
+  WordVec digest{static_cast<Word>(d.scalar_rescues),
+                 static_cast<Word>(d.forced_singletons)};
+  for (const auto& set : d.sets) {
+    digest.push_back(static_cast<Word>(set.size()));
+    for (std::size_t lane : set) digest.push_back(static_cast<Word>(lane));
+  }
+  return digest;
+}
+
+WordVec hashing_body(VectorMachine& m, std::size_t n) {
+  const WordVec keys = folvec::random_unique_keys(
+      n, static_cast<Word>(8 * n), 0x4a54 + n);
+  WordVec table(2 * n + 1, folvec::hashing::kUnentered);
+  const folvec::hashing::MultiHashStats st =
+      folvec::hashing::multi_hash_open_insert(
+          m, table, keys, folvec::hashing::ProbeVariant::kKeyDependent);
+  WordVec digest{static_cast<Word>(st.iterations),
+                 static_cast<Word>(st.max_vector_len)};
+  emit(digest, table);
+  return digest;
+}
+
+WordVec sorting_body(VectorMachine& m, std::size_t n) {
+  const auto vmax = static_cast<Word>(4 * n);
+  WordVec data = folvec::random_keys(n, vmax, 0x5057 + n);
+  folvec::sorting::address_calc_sort_vector(m, data, vmax);
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  using folvec::Cell;
+  const folvec::vm::CostParams params = folvec::vm::CostParams::s810_like();
+  const std::size_t threads = bench_threads();
+
+  struct Workload {
+    const char* name;
+    WordVec (*body)(VectorMachine&, std::size_t);
+  };
+  const Workload workloads[] = {
+      {"fol1", fol1_body},
+      {"fol_star", fol_star_body},
+      {"multi_hash", hashing_body},
+      {"addr_calc_sort", sorting_body},
+  };
+
+  folvec::TablePrinter table({"workload", "N", "chime_us", "serial_wall_ms",
+                              "parallel_wall_ms", "wall_accel"});
+  for (const Workload& w : workloads) {
+    for (int lg : {14, 17, 20}) {
+      const auto n = static_cast<std::size_t>(1) << lg;
+      const auto body = [&w, n](VectorMachine& m) { return w.body(m, n); };
+      const Sample serial =
+          run_backend(BackendKind::kSerial, threads, params, body);
+      const Sample parallel =
+          run_backend(BackendKind::kParallel, threads, params, body);
+      FOLVEC_CHECK(serial.digest == parallel.digest,
+                   "parallel backend diverged from serial reference");
+      FOLVEC_CHECK(serial.chime_us == parallel.chime_us,
+                   "backends must issue identical instruction streams");
+      const double accel =
+          parallel.wall_s > 0 ? serial.wall_s / parallel.wall_s : 0;
+      table.add_row({w.name, Cell(static_cast<long long>(n)),
+                     Cell(serial.chime_us, 0), Cell(serial.wall_s * 1e3, 2),
+                     Cell(parallel.wall_s * 1e3, 2), Cell(accel, 2)});
+    }
+  }
+  table.print(std::cout,
+              "Backend comparison: chime model vs measured wall clock (" +
+                  std::to_string(threads) + " workers requested)");
+  std::cout << "\nchime times are backend-invariant (asserted); wall "
+               "acceleration depends on host core count\n";
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "fol/fol_star.h"
 
+#include <unordered_set>
+
 #include "support/require.h"
 #include "vm/checker.h"
 
@@ -9,6 +11,28 @@ using vm::Mask;
 using vm::VectorMachine;
 using vm::Word;
 using vm::WordVec;
+
+namespace {
+
+/// Whether the last remaining tuple shares a storage address with any other
+/// remaining tuple this round — i.e. whether its survival depended on the
+/// deadlock-avoidance scalar re-store rather than on being conflict-free.
+/// Host-side accounting only: issues no machine instructions, so the chime
+/// cost of the decomposition is unchanged.
+bool last_tuple_contested(const std::vector<WordVec>& remaining,
+                          std::size_t n) {
+  if (n < 2) return false;
+  std::unordered_set<Word> last_addrs;
+  for (const auto& lane : remaining) last_addrs.insert(lane[n - 1]);
+  for (const auto& lane : remaining) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      if (last_addrs.count(lane[p]) != 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 StarDecomposition fol_star_decompose(VectorMachine& m,
                                      std::span<const WordVec> index_vectors,
@@ -77,7 +101,12 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
       tuple_ok[n - 1] = 1;
       n_ok = 1;
       ++out.forced_singletons;
-    } else if (rescued_by_scalar && n_ok == 1) {
+    } else if (rescued_by_scalar && last_tuple_contested(remaining, n)) {
+      // A rescue counts whenever the scalar re-store decided a contested
+      // address in the last tuple's favour — regardless of how many other
+      // tuples survived alongside it. (The old `n_ok == 1` gate missed every
+      // rescue that coexisted with surviving tuples, and charged a rescue
+      // when an uncontested last tuple happened to be the sole survivor.)
       ++out.scalar_rescues;
     }
 

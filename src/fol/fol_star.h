@@ -30,7 +30,9 @@ namespace folvec::fol {
 struct StarDecomposition {
   /// sets[j] holds tuple positions (0-based) of parallel-processable set j.
   std::vector<std::vector<std::size_t>> sets;
-  /// Rounds resolved by the scalar last-tuple rewrite (deadlock prevention).
+  /// Rounds where the scalar last-tuple rewrite decided a contested address
+  /// in the last tuple's favour (deadlock prevention) — counted whether or
+  /// not other tuples survived the same round.
   std::size_t scalar_rescues = 0;
   /// Tuples forced out as singletons because they self-conflict.
   std::size_t forced_singletons = 0;

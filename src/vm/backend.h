@@ -1,0 +1,126 @@
+// Pluggable execution backends for VectorMachine.
+//
+// VectorMachine decides *what* each primitive computes (semantics, cost
+// accounting, audit hooks, bounds checks); a Backend decides *how* the lane
+// loop executes. SerialBackend is the reference implementation — the original
+// per-op scalar loops, lane 0 to n-1 — and every other backend must be
+// bit-identical to it for every primitive, including the machine-dependent
+// scatter survivor under every ScatterOrder. That contract is what lets the
+// differential fuzz (tests/backend_diff_test.cpp) pin ParallelBackend to
+// SerialBackend at any worker count.
+//
+// The interface is deliberately narrow, VCODE-style (Chatterjee/Blelloch):
+// one generic contiguous-range kernel for all elementwise work, explicit
+// entry points only where a parallel implementation needs structure the
+// kernel cannot express (reductions, compress, bounds scans, scatter).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "vm/machine.h"
+
+namespace folvec::vm {
+
+/// Non-owning reference to a `void(std::size_t lo, std::size_t hi)` kernel.
+/// Backends invoke it synchronously (possibly from worker threads) before
+/// returning, so the referenced callable only needs to outlive the call.
+class RangeFn {
+ public:
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, RangeFn>, int> =
+                0>
+  RangeFn(const F& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(&f), call_([](const void* ctx, std::size_t lo, std::size_t hi) {
+          (*static_cast<const F*>(ctx))(lo, hi);
+        }) {}
+
+  void operator()(std::size_t lo, std::size_t hi) const { call_(ctx_, lo, hi); }
+
+ private:
+  const void* ctx_;
+  void (*call_)(const void*, std::size_t, std::size_t);
+};
+
+/// The order lanes of one scatter instruction are applied in. kForward and
+/// kReverse avoid materializing an order vector; kExplicit carries one
+/// (VectorMachine derives it from shuffle_seed for ScatterOrder::kShuffled,
+/// independently of the backend and its worker count).
+enum class ScatterTraversal : std::uint8_t { kForward, kReverse, kExplicit };
+
+class Backend {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Worker lanes the backend may chunk an instruction across (1 = serial).
+  virtual std::size_t workers() const = 0;
+
+  /// Runs `fn` over [0, n), possibly split into disjoint contiguous chunks
+  /// executed concurrently. `fn` must be safe for disjoint ranges. Any
+  /// exception a chunk throws is rethrown here; when several chunks throw,
+  /// the lowest chunk's exception wins (matching serial first-lane-throws).
+  virtual void for_lanes(std::size_t n, RangeFn fn) = 0;
+
+  /// Reductions. Chunk partials combine in ascending chunk order, so results
+  /// equal the serial left fold for the associative folds used here.
+  virtual Word reduce_sum(std::span<const Word> v) = 0;
+  virtual Word reduce_min(std::span<const Word> v) = 0;
+  virtual Word reduce_max(std::span<const Word> v) = 0;
+  virtual std::size_t count_true(std::span<const std::uint8_t> m) = 0;
+
+  /// Pack-under-mask, preserving lane order.
+  virtual WordVec compress(std::span<const Word> v,
+                           std::span<const std::uint8_t> m) = 0;
+
+  /// Returns the lowest lane whose index falls outside [0, table_size), or
+  /// npos when all (mask-active, if mask != nullptr) lanes are in bounds.
+  virtual std::size_t first_oob(std::span<const Word> idx,
+                                std::size_t table_size,
+                                const std::uint8_t* mask) = 0;
+
+  /// Applies table[idx[lane]] = vals[lane] for every (mask-active) lane, as
+  /// if lanes were visited one at a time in `traversal` order — the last
+  /// visit to an address wins. All indices of active lanes are already
+  /// bounds-checked. Must be bit-identical to apply_scatter_reference for
+  /// any worker count.
+  virtual void scatter(std::span<Word> table, std::span<const Word> idx,
+                       std::span<const Word> vals, const std::uint8_t* mask,
+                       ScatterTraversal traversal,
+                       std::span<const std::size_t> order) = 0;
+};
+
+/// The reference scatter semantics every backend must reproduce.
+void apply_scatter_reference(std::span<Word> table, std::span<const Word> idx,
+                             std::span<const Word> vals,
+                             const std::uint8_t* mask,
+                             ScatterTraversal traversal,
+                             std::span<const std::size_t> order);
+
+/// The original per-op loops of VectorMachine: one thread, lane 0 to n-1.
+class SerialBackend final : public Backend {
+ public:
+  const char* name() const override { return "serial"; }
+  std::size_t workers() const override { return 1; }
+
+  void for_lanes(std::size_t n, RangeFn fn) override;
+  Word reduce_sum(std::span<const Word> v) override;
+  Word reduce_min(std::span<const Word> v) override;
+  Word reduce_max(std::span<const Word> v) override;
+  std::size_t count_true(std::span<const std::uint8_t> m) override;
+  WordVec compress(std::span<const Word> v,
+                   std::span<const std::uint8_t> m) override;
+  std::size_t first_oob(std::span<const Word> idx, std::size_t table_size,
+                        const std::uint8_t* mask) override;
+  void scatter(std::span<Word> table, std::span<const Word> idx,
+               std::span<const Word> vals, const std::uint8_t* mask,
+               ScatterTraversal traversal,
+               std::span<const std::size_t> order) override;
+};
+
+}  // namespace folvec::vm

@@ -99,6 +99,12 @@ std::uint64_t CostAccumulator::total_elements() const {
   return t;
 }
 
+double CostAccumulator::total_wall_seconds() const {
+  double t = 0;
+  for (auto v : wall_seconds_) t += v;
+  return t;
+}
+
 double CostAccumulator::cycles(const CostParams& p) const {
   double total = 0;
   for (std::size_t i = 0; i < kOpClassCount; ++i) {
@@ -112,6 +118,7 @@ CostAccumulator& CostAccumulator::operator+=(const CostAccumulator& other) {
   for (std::size_t i = 0; i < kOpClassCount; ++i) {
     instructions_[i] += other.instructions_[i];
     elements_[i] += other.elements_[i];
+    wall_seconds_[i] += other.wall_seconds_[i];
   }
   return *this;
 }

@@ -82,6 +82,12 @@ struct CostParams {
 
 /// Raw instruction/element counts per class; cycle conversion is applied on
 /// demand so one run can be re-priced under several CostParams.
+///
+/// Next to the chime model, the accumulator also collects measured *host*
+/// wall-clock per class (record_wall, fed by VectorMachine's per-primitive
+/// timers). The chime numbers answer "what would the S-810 have done"; the
+/// wall numbers answer "what does this backend do on this hardware" — the
+/// backend-comparison bench reports both side by side.
 class CostAccumulator {
  public:
   void record(OpClass c, std::size_t elements) {
@@ -90,9 +96,15 @@ class CostAccumulator {
     elements_[i] += elements;
   }
 
+  /// Adds measured host execution time for one instruction of class `c`.
+  void record_wall(OpClass c, double seconds) {
+    wall_seconds_[static_cast<std::size_t>(c)] += seconds;
+  }
+
   void reset() {
     instructions_.fill(0);
     elements_.fill(0);
+    wall_seconds_.fill(0.0);
   }
 
   std::uint64_t instructions(OpClass c) const {
@@ -103,6 +115,12 @@ class CostAccumulator {
   }
   std::uint64_t total_instructions() const;
   std::uint64_t total_elements() const;
+
+  /// Measured host seconds spent executing instructions of class `c`.
+  double wall_seconds(OpClass c) const {
+    return wall_seconds_[static_cast<std::size_t>(c)];
+  }
+  double total_wall_seconds() const;
 
   /// Estimated cycles under `p`.
   double cycles(const CostParams& p) const;
@@ -120,6 +138,7 @@ class CostAccumulator {
  private:
   std::array<std::uint64_t, kOpClassCount> instructions_{};
   std::array<std::uint64_t, kOpClassCount> elements_{};
+  std::array<double, kOpClassCount> wall_seconds_{};
 };
 
 /// Cost-ticking helper for scalar baseline code. Wraps a nullable

@@ -1,22 +1,37 @@
 #include "vm/machine.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <numeric>
+#include <unordered_map>
+#include <utility>
 
+#include "support/env.h"
+#include "vm/backend.h"
 #include "vm/checker.h"
+#include "vm/parallel_backend.h"
 
 namespace folvec::vm {
 
 bool MachineConfig::audit_default() {
-  const char* env = std::getenv("FOLVEC_AUDIT");
-  if (env != nullptr && env[0] != '\0') {
-    return !(env[0] == '0' && env[1] == '\0');
-  }
+  if (const auto env = env_value("FOLVEC_AUDIT")) return env_flag(*env);
 #ifdef FOLVEC_AUDIT_DEFAULT
   return true;
 #else
   return false;
+#endif
+}
+
+BackendKind MachineConfig::backend_default() {
+  if (const auto env = env_value("FOLVEC_BACKEND")) {
+    const std::string v = env_normalize(*env);
+    if (v == "serial") return BackendKind::kSerial;
+    if (v == "parallel") return BackendKind::kParallel;
+    return env_flag(v) ? BackendKind::kParallel : BackendKind::kSerial;
+  }
+#ifdef FOLVEC_PARALLEL_DEFAULT
+  return BackendKind::kParallel;
+#else
+  return BackendKind::kSerial;
 #endif
 }
 
@@ -25,11 +40,26 @@ VectorMachine::VectorMachine(const MachineConfig& config)
   if (config_.audit) {
     checker_ = std::make_unique<ScatterChecker>(config_.audit_throw);
   }
+  // Audit pins execution to the serial reference path: ScatterCheck's
+  // per-lane bookkeeping is single-threaded, and an audited instruction
+  // stream must be the one whose semantics the auditor reasons about.
+  if (config_.backend == BackendKind::kParallel && checker_ == nullptr) {
+    backend_ = std::make_unique<ParallelBackend>(config_.backend_threads,
+                                                 config_.backend_grain);
+  } else {
+    backend_ = std::make_unique<SerialBackend>();
+  }
 }
 
 VectorMachine::~VectorMachine() = default;
 VectorMachine::VectorMachine(VectorMachine&&) noexcept = default;
 VectorMachine& VectorMachine::operator=(VectorMachine&&) noexcept = default;
+
+const char* VectorMachine::backend_name() const { return backend_->name(); }
+
+std::size_t VectorMachine::backend_workers() const {
+  return backend_->workers();
+}
 
 const HazardReport& VectorMachine::hazards() const {
   static const HazardReport empty;
@@ -47,26 +77,51 @@ void VectorMachine::retire_work(std::span<const Word> region) {
 // ---- vector generation -----------------------------------------------------
 
 WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
+  const OpTimer timer(cost_, OpClass::kVectorArith);
   issue(OpClass::kVectorArith, n);
   WordVec out(n);
-  Word v = start;
-  for (std::size_t i = 0; i < n; ++i, v += step) out[i] = v;
+  Word* o = out.data();
+  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      o[i] = start + step * static_cast<Word>(i);
+    }
+  });
   return out;
 }
 
 WordVec VectorMachine::splat(std::size_t n, Word value) {
+  const OpTimer timer(cost_, OpClass::kVectorArith);
   issue(OpClass::kVectorArith, n);
-  return WordVec(n, value);
+  WordVec out(n);
+  Word* o = out.data();
+  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    std::fill(o + lo, o + hi, value);
+  });
+  return out;
 }
 
 WordVec VectorMachine::copy(std::span<const Word> v) {
+  const OpTimer timer(cost_, OpClass::kVectorLoad);
   issue(OpClass::kVectorLoad, v.size());
-  return WordVec(v.begin(), v.end());
+  WordVec out(v.size());
+  Word* o = out.data();
+  backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
+    std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
+              v.begin() + static_cast<std::ptrdiff_t>(hi), o + lo);
+  });
+  return out;
 }
 
 WordVec VectorMachine::reverse(std::span<const Word> v) {
+  const OpTimer timer(cost_, OpClass::kVectorLoad);
   issue(OpClass::kVectorLoad, v.size());
-  return WordVec(v.rbegin(), v.rend());
+  const std::size_t n = v.size();
+  WordVec out(n);
+  Word* o = out.data();
+  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = v[n - 1 - i];
+  });
+  return out;
 }
 
 // ---- elementwise arithmetic -------------------------------------------------
@@ -75,17 +130,25 @@ template <typename F>
 WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
                            F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorArith);
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  Word* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]);
+  });
   return out;
 }
 
 template <typename F>
 WordVec VectorMachine::map(std::span<const Word> a, F f) {
+  const OpTimer timer(cost_, OpClass::kVectorArith);
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  Word* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]);
+  });
   return out;
 }
 
@@ -111,26 +174,34 @@ WordVec VectorMachine::mul_scalar(std::span<const Word> a, Word s) {
 
 WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
   FOLVEC_REQUIRE(s > 0, "div_scalar needs a positive divisor");
+  const OpTimer timer(cost_, OpClass::kVectorDiv);
   issue(OpClass::kVectorDiv, a.size());
   WordVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // Floor division (operands may be negative).
-    Word q = a[i] / s;
-    if ((a[i] % s) != 0 && (a[i] < 0)) --q;
-    out[i] = q;
-  }
+  Word* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Floor division (operands may be negative).
+      Word q = a[i] / s;
+      if ((a[i] % s) != 0 && (a[i] < 0)) --q;
+      o[i] = q;
+    }
+  });
   return out;
 }
 
 WordVec VectorMachine::mod_scalar(std::span<const Word> a, Word s) {
   FOLVEC_REQUIRE(s > 0, "mod_scalar needs a positive modulus");
+  const OpTimer timer(cost_, OpClass::kVectorDiv);
   issue(OpClass::kVectorDiv, a.size());
   WordVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    Word r = a[i] % s;
-    if (r < 0) r += s;
-    out[i] = r;
-  }
+  Word* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      Word r = a[i] % s;
+      if (r < 0) r += s;
+      o[i] = r;
+    }
+  });
   return out;
 }
 
@@ -165,19 +236,25 @@ template <typename F>
 Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b,
                         F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorCompare);
   issue(OpClass::kVectorCompare, a.size());
   Mask out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = f(a[i], b[i]) ? 1 : 0;
-  }
+  std::uint8_t* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]) ? 1 : 0;
+  });
   return out;
 }
 
 template <typename F>
 Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f) {
+  const OpTimer timer(cost_, OpClass::kVectorCompare);
   issue(OpClass::kVectorCompare, a.size());
   Mask out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]) ? 1 : 0;
+  std::uint8_t* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]) ? 1 : 0;
+  });
   return out;
 }
 
@@ -221,86 +298,102 @@ Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
 
 Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorMask);
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  std::uint8_t* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      o[i] = static_cast<std::uint8_t>(a[i] & b[i]);
+    }
+  });
   return out;
 }
 
 Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorMask);
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] | b[i];
+  std::uint8_t* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      o[i] = static_cast<std::uint8_t>(a[i] | b[i]);
+    }
+  });
   return out;
 }
 
 Mask VectorMachine::mask_not(const Mask& a) {
+  const OpTimer timer(cost_, OpClass::kVectorMask);
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ? 0 : 1;
+  std::uint8_t* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = a[i] != 0 ? 0 : 1;
+  });
   return out;
 }
 
 std::size_t VectorMachine::count_true(const Mask& m) {
+  const OpTimer timer(cost_, OpClass::kVectorReduce);
   issue(OpClass::kVectorReduce, m.size());
-  std::size_t n = 0;
-  for (auto b : m) n += b;
-  return n;
+  return backend_->count_true(m);
 }
 
 // ---- reductions ---------------------------------------------------------------
 
 Word VectorMachine::reduce_sum(std::span<const Word> v) {
+  const OpTimer timer(cost_, OpClass::kVectorReduce);
   issue(OpClass::kVectorReduce, v.size());
-  Word total = 0;
-  for (Word x : v) total += x;
-  return total;
+  return backend_->reduce_sum(v);
 }
 
 Word VectorMachine::reduce_min(std::span<const Word> v) {
   FOLVEC_REQUIRE(!v.empty(), "reduce_min needs a nonempty vector");
+  const OpTimer timer(cost_, OpClass::kVectorReduce);
   issue(OpClass::kVectorReduce, v.size());
-  Word best = v[0];
-  for (Word x : v) best = std::min(best, x);
-  return best;
+  return backend_->reduce_min(v);
 }
 
 Word VectorMachine::reduce_max(std::span<const Word> v) {
   FOLVEC_REQUIRE(!v.empty(), "reduce_max needs a nonempty vector");
+  const OpTimer timer(cost_, OpClass::kVectorReduce);
   issue(OpClass::kVectorReduce, v.size());
-  Word best = v[0];
-  for (Word x : v) best = std::max(best, x);
-  return best;
+  return backend_->reduce_max(v);
 }
 
 // ---- selection -----------------------------------------------------------------
 
 WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorCompress);
   issue(OpClass::kVectorCompress, v.size());
-  WordVec out;
-  out.reserve(v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (m[i]) out.push_back(v[i]);
-  }
-  return out;
+  return backend_->compress(v, m);
 }
 
 WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
                               std::span<const Word> b) {
   FOLVEC_REQUIRE(a.size() == b.size() && a.size() == m.size(),
                  "select operand lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorArith);
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = m[i] ? a[i] : b[i];
+  Word* o = out.data();
+  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = m[i] != 0 ? a[i] : b[i];
+  });
   return out;
 }
 
 WordVec VectorMachine::from_mask(const Mask& m) {
+  const OpTimer timer(cost_, OpClass::kVectorArith);
   issue(OpClass::kVectorArith, m.size());
   WordVec out(m.size());
-  for (std::size_t i = 0; i < m.size(); ++i) out[i] = m[i] ? 1 : 0;
+  Word* o = out.data();
+  backend_->for_lanes(m.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = m[i] != 0 ? 1 : 0;
+  });
   return out;
 }
 
@@ -308,37 +401,61 @@ WordVec VectorMachine::from_mask(const Mask& m) {
 
 void VectorMachine::store(std::span<Word> table, std::size_t offset,
                           std::span<const Word> v) {
-  FOLVEC_REQUIRE(offset + v.size() <= table.size(),
+  // Subtraction form: `offset + v.size() <= table.size()` wraps for huge
+  // offsets and would wave the store through.
+  FOLVEC_REQUIRE(offset <= table.size() && v.size() <= table.size() - offset,
                  "contiguous store out of bounds");
   if (checker_ != nullptr) checker_->on_overwrite(table.data() + offset, v.size());
+  const OpTimer timer(cost_, OpClass::kVectorStore);
   issue(OpClass::kVectorStore, v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) table[offset + i] = v[i];
+  Word* dst = table.data() + offset;
+  backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
+    std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
+              v.begin() + static_cast<std::ptrdiff_t>(hi), dst + lo);
+  });
 }
 
 void VectorMachine::fill(std::span<Word> table, Word value) {
   if (checker_ != nullptr) checker_->on_overwrite(table.data(), table.size());
+  const OpTimer timer(cost_, OpClass::kVectorStore);
   issue(OpClass::kVectorStore, table.size());
-  for (auto& w : table) w = value;
+  Word* dst = table.data();
+  backend_->for_lanes(table.size(), [&](std::size_t lo, std::size_t hi) {
+    std::fill(dst + lo, dst + hi, value);
+  });
 }
 
 WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
                             std::size_t n) {
-  FOLVEC_REQUIRE(offset + n <= table.size(), "contiguous load out of bounds");
+  FOLVEC_REQUIRE(offset <= table.size() && n <= table.size() - offset,
+                 "contiguous load out of bounds");
   if (checker_ != nullptr) checker_->on_contiguous_read(table, offset, n);
+  const OpTimer timer(cost_, OpClass::kVectorLoad);
   issue(OpClass::kVectorLoad, n);
-  return WordVec(table.begin() + static_cast<std::ptrdiff_t>(offset),
-                 table.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  WordVec out(n);
+  Word* o = out.data();
+  const Word* src = table.data() + offset;
+  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    std::copy(src + lo, src + hi, o + lo);
+  });
+  return out;
 }
 
 WordVec VectorMachine::load_strided(std::span<const Word> table,
                                     std::size_t offset, std::size_t stride,
                                     std::size_t n) {
   FOLVEC_REQUIRE(stride > 0, "stride must be positive");
-  FOLVEC_REQUIRE(n == 0 || offset + (n - 1) * stride < table.size(),
+  // Division form: `offset + (n-1)*stride` wraps for huge offsets/strides.
+  FOLVEC_REQUIRE(n == 0 || (offset < table.size() &&
+                            (table.size() - 1 - offset) / stride >= n - 1),
                  "strided load out of bounds");
+  const OpTimer timer(cost_, OpClass::kVectorLoad);
   issue(OpClass::kVectorLoad, n);
   WordVec out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = table[offset + i * stride];
+  Word* o = out.data();
+  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) o[i] = table[offset + i * stride];
+  });
   return out;
 }
 
@@ -346,34 +463,42 @@ void VectorMachine::store_strided(std::span<Word> table, std::size_t offset,
                                   std::size_t stride,
                                   std::span<const Word> v) {
   FOLVEC_REQUIRE(stride > 0, "stride must be positive");
-  FOLVEC_REQUIRE(v.empty() || offset + (v.size() - 1) * stride < table.size(),
-                 "strided store out of bounds");
+  FOLVEC_REQUIRE(
+      v.empty() || (offset < table.size() &&
+                    (table.size() - 1 - offset) / stride >= v.size() - 1),
+      "strided store out of bounds");
   if (checker_ != nullptr) {
     checker_->on_overwrite(table.data() + offset, v.size(), stride);
   }
+  const OpTimer timer(cost_, OpClass::kVectorStore);
   issue(OpClass::kVectorStore, v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) table[offset + i * stride] = v[i];
+  backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) table[offset + i * stride] = v[i];
+  });
 }
 
 // ---- memory: list vector -----------------------------------------------------------
 
 void VectorMachine::check_indices(std::span<const Word> idx,
-                                  std::size_t table_size) const {
-  for (Word i : idx) {
-    FOLVEC_REQUIRE(i >= 0 && static_cast<std::size_t>(i) < table_size,
-                   "list-vector index out of bounds");
-  }
+                                  std::size_t table_size, const Mask* mask) {
+  const std::uint8_t* m = mask != nullptr ? mask->data() : nullptr;
+  FOLVEC_REQUIRE(backend_->first_oob(idx, table_size, m) == Backend::npos,
+                 "list-vector index out of bounds");
 }
 
 WordVec VectorMachine::gather(std::span<const Word> table,
                               std::span<const Word> idx) {
   if (checker_ != nullptr) checker_->on_gather(table, idx, nullptr);
   check_indices(idx, table.size());
+  const OpTimer timer(cost_, OpClass::kVectorGather);
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    out[i] = table[static_cast<std::size_t>(idx[i])];
-  }
+  Word* o = out.data();
+  backend_->for_lanes(idx.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      o[i] = table[static_cast<std::size_t>(idx[i])];
+    }
+  });
   return out;
 }
 
@@ -382,32 +507,47 @@ WordVec VectorMachine::gather_masked(std::span<const Word> table,
                                      Word fill) {
   if (checker_ != nullptr) checker_->on_gather(table, idx, &m);
   FOLVEC_REQUIRE(idx.size() == m.size(), "index/mask lengths must match");
+  check_indices(idx, table.size(), &m);
+  const OpTimer timer(cost_, OpClass::kVectorGather);
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size(), fill);
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    if (!m[i]) continue;
-    FOLVEC_REQUIRE(idx[i] >= 0 &&
-                       static_cast<std::size_t>(idx[i]) < table.size(),
-                   "list-vector index out of bounds");
-    out[i] = table[static_cast<std::size_t>(idx[i])];
-  }
+  Word* o = out.data();
+  backend_->for_lanes(idx.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (m[i] != 0) o[i] = table[static_cast<std::size_t>(idx[i])];
+    }
+  });
   return out;
 }
 
-std::vector<std::size_t> VectorMachine::scatter_lane_order(std::size_t n) {
+std::vector<std::size_t> VectorMachine::shuffled_lane_order(std::size_t n) {
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
+  shuffle(order, shuffle_rng_);
+  return order;
+}
+
+void VectorMachine::dispatch_scatter(std::span<Word> table,
+                                     std::span<const Word> idx,
+                                     std::span<const Word> vals,
+                                     const Mask* mask) {
+  const std::uint8_t* m = mask != nullptr ? mask->data() : nullptr;
   switch (config_.scatter_order) {
     case ScatterOrder::kForward:
+      backend_->scatter(table, idx, vals, m, ScatterTraversal::kForward, {});
       break;
     case ScatterOrder::kReverse:
-      std::reverse(order.begin(), order.end());
+      backend_->scatter(table, idx, vals, m, ScatterTraversal::kReverse, {});
       break;
-    case ScatterOrder::kShuffled:
-      shuffle(order, shuffle_rng_);
+    case ScatterOrder::kShuffled: {
+      // The permutation is drawn from the machine's RNG on the issuing
+      // thread, so it is identical for every backend and worker count.
+      const std::vector<std::size_t> order = shuffled_lane_order(idx.size());
+      backend_->scatter(table, idx, vals, m, ScatterTraversal::kExplicit,
+                        order);
       break;
+    }
   }
-  return order;
 }
 
 void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
@@ -417,28 +557,30 @@ void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
+  const OpTimer timer(cost_, OpClass::kVectorScatter);
   issue(OpClass::kVectorScatter, idx.size());
   if (config_.inject_els_violation) {
     // Failure injection: a contested address receives an "amalgam" — a mix
     // of the colliding values that is (in general) equal to none of them,
     // exactly what the ELS condition forbids. Singleton writes stay intact.
+    // One hash-map pass per instruction; the amalgam of an address is the
+    // XOR over every colliding lane, so the result is byte-identical to the
+    // old per-lane-pair quadratic scan.
+    std::unordered_map<Word, std::pair<std::size_t, Word>> per_addr;
+    per_addr.reserve(idx.size());
     for (std::size_t lane = 0; lane < idx.size(); ++lane) {
-      std::size_t collisions = 0;
-      Word amalgam = 0;
-      for (std::size_t other = 0; other < idx.size(); ++other) {
-        if (idx[other] == idx[lane]) {
-          ++collisions;
-          amalgam ^= vals[other] + 1;
-        }
-      }
+      auto& [collisions, amalgam] = per_addr[idx[lane]];
+      ++collisions;
+      amalgam ^= vals[lane] + 1;
+    }
+    for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+      const auto& [collisions, amalgam] = per_addr.find(idx[lane])->second;
       table[static_cast<std::size_t>(idx[lane])] =
           collisions > 1 ? amalgam : vals[lane];
     }
     return;
   }
-  for (const auto lane : scatter_lane_order(idx.size())) {
-    table[static_cast<std::size_t>(idx[lane])] = vals[lane];
-  }
+  dispatch_scatter(table, idx, vals, nullptr);
 }
 
 void VectorMachine::scatter_masked(std::span<Word> table,
@@ -449,16 +591,12 @@ void VectorMachine::scatter_masked(std::span<Word> table,
   }
   FOLVEC_REQUIRE(idx.size() == vals.size() && idx.size() == m.size(),
                  "index/value/mask lengths must match");
-  issue(OpClass::kVectorScatter, idx.size());
   // Inactive lanes do not access memory, so (like gather_masked) their
   // indices may be arbitrary and are not bounds-checked.
-  for (const auto lane : scatter_lane_order(idx.size())) {
-    if (!m[lane]) continue;
-    FOLVEC_REQUIRE(idx[lane] >= 0 &&
-                       static_cast<std::size_t>(idx[lane]) < table.size(),
-                   "list-vector index out of bounds");
-    table[static_cast<std::size_t>(idx[lane])] = vals[lane];
-  }
+  check_indices(idx, table.size(), &m);
+  const OpTimer timer(cost_, OpClass::kVectorScatter);
+  issue(OpClass::kVectorScatter, idx.size());
+  dispatch_scatter(table, idx, vals, &m);
 }
 
 void VectorMachine::scatter_ordered(std::span<Word> table,
@@ -469,10 +607,12 @@ void VectorMachine::scatter_ordered(std::span<Word> table,
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
+  const OpTimer timer(cost_, OpClass::kVectorScatterOrdered);
   issue(OpClass::kVectorScatterOrdered, idx.size());
-  for (std::size_t lane = 0; lane < idx.size(); ++lane) {
-    table[static_cast<std::size_t>(idx[lane])] = vals[lane];
-  }
+  // VSTX semantics: lane i completes before lane i+1, independent of the
+  // configured ELS order.
+  backend_->scatter(table, idx, vals, nullptr, ScatterTraversal::kForward,
+                    {});
 }
 
 void VectorMachine::scalar_store(std::span<Word> table, std::size_t pos,

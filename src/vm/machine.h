@@ -30,6 +30,7 @@
 // scalar_branch(), so "acceleration ratio" always compares like with like.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -58,6 +59,12 @@ enum class ScatterOrder : std::uint8_t {
   kShuffled,  ///< fresh pseudo-random lane order per scatter instruction
 };
 
+/// Which execution backend runs the primitive lane loops (see backend.h).
+enum class BackendKind : std::uint8_t {
+  kSerial,    ///< reference semantics, one thread
+  kParallel,  ///< lanes chunked across a persistent thread pool
+};
+
 struct MachineConfig {
   ScatterOrder scatter_order = ScatterOrder::kForward;
   /// Seed for the kShuffled write orders (each scatter derives a fresh
@@ -67,10 +74,27 @@ struct MachineConfig {
   /// their values, violating the ELS condition. For tests only.
   bool inject_els_violation = false;
 
-  /// Default audit setting: true when FOLVEC_AUDIT is set to a non-empty,
-  /// non-"0" value in the environment, or when the library was built with
-  /// -DFOLVEC_AUDIT=ON (overridable back off via FOLVEC_AUDIT=0).
+  /// Default audit setting: from the FOLVEC_AUDIT environment variable when
+  /// set (off spellings, case-insensitive: 0/false/off/no — see
+  /// support/env.h), else true iff built with -DFOLVEC_AUDIT=ON.
   static bool audit_default();
+
+  /// Default backend: from the FOLVEC_BACKEND environment variable when set
+  /// ("serial"/"parallel", or the boolean spellings of support/env.h where
+  /// truthy means parallel), else parallel iff built with
+  /// -DFOLVEC_PARALLEL=ON.
+  static BackendKind backend_default();
+
+  /// Execution backend. Audit mode pins the instruction stream to the
+  /// serial path regardless (ScatterCheck's per-lane bookkeeping is
+  /// single-threaded, and audited runs must see reference execution).
+  BackendKind backend = backend_default();
+  /// Worker threads for the parallel backend; 0 = hardware concurrency.
+  std::size_t backend_threads = 0;
+  /// Minimum lanes per worker chunk before the parallel backend splits an
+  /// instruction. Tests lower it to exercise the parallel path on short
+  /// vectors; benches keep the default so tiny ops skip dispatch.
+  std::size_t backend_grain = 4096;
 
   /// Enable the ScatterCheck hazard auditor (see checker.h) on this machine.
   bool audit = audit_default();
@@ -82,6 +106,7 @@ struct MachineConfig {
 };
 
 class ScatterChecker;
+class Backend;
 
 class VectorMachine {
  public:
@@ -94,6 +119,12 @@ class VectorMachine {
   const MachineConfig& config() const { return config_; }
   CostAccumulator& cost() { return cost_; }
   const CostAccumulator& cost() const { return cost_; }
+
+  /// Name of the active execution backend ("serial" or "parallel"). May
+  /// differ from config().backend: audit mode pins execution to serial.
+  const char* backend_name() const;
+  /// Worker count of the active backend (1 for serial).
+  std::size_t backend_workers() const;
 
   // ---- ScatterCheck auditing (see checker.h) ------------------------------
 
@@ -249,6 +280,26 @@ class VectorMachine {
     if (trace_ != nullptr) trace_->record(c, n);
   }
 
+  /// RAII wall-clock probe: charges the enclosing scope's elapsed host time
+  /// to one op class, next to the chime counts the same scope issues.
+  class OpTimer {
+   public:
+    OpTimer(CostAccumulator& cost, OpClass c)
+        : cost_(cost), c_(c), start_(std::chrono::steady_clock::now()) {}
+    ~OpTimer() {
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - start_;
+      cost_.record_wall(c_, dt.count());
+    }
+    OpTimer(const OpTimer&) = delete;
+    OpTimer& operator=(const OpTimer&) = delete;
+
+   private:
+    CostAccumulator& cost_;
+    OpClass c_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   template <typename F>
   WordVec zip(std::span<const Word> a, std::span<const Word> b, F f);
   template <typename F>
@@ -258,16 +309,23 @@ class VectorMachine {
   template <typename F>
   Mask cmp_scalar(std::span<const Word> a, F f);
 
-  /// The lane write order for one scatter instruction.
-  std::vector<std::size_t> scatter_lane_order(std::size_t n);
+  /// The shuffled lane write order for one kShuffled scatter instruction.
+  std::vector<std::size_t> shuffled_lane_order(std::size_t n);
 
-  void check_indices(std::span<const Word> idx, std::size_t table_size) const;
+  /// Dispatches one ELS scatter to the backend under the configured
+  /// ScatterOrder (bounds already checked, audit hooks already run).
+  void dispatch_scatter(std::span<Word> table, std::span<const Word> idx,
+                        std::span<const Word> vals, const Mask* mask);
+
+  void check_indices(std::span<const Word> idx, std::size_t table_size,
+                     const Mask* mask = nullptr);
 
   MachineConfig config_;
   CostAccumulator cost_;
   Xoshiro256 shuffle_rng_;
   TraceSink* trace_ = nullptr;
   std::unique_ptr<ScatterChecker> checker_;
+  std::unique_ptr<Backend> backend_;
 };
 
 }  // namespace folvec::vm

@@ -1,0 +1,230 @@
+#include "vm/parallel_backend.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace folvec::vm {
+
+namespace {
+
+std::size_t hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Chunk i of `c` even chunks over [0, n): [i*step, min(n, (i+1)*step)).
+struct ChunkPlan {
+  std::size_t step;
+  std::size_t n;
+  std::size_t lo(std::size_t i) const { return i * step; }
+  std::size_t hi(std::size_t i) const { return std::min(n, (i + 1) * step); }
+};
+
+ChunkPlan plan(std::size_t n, std::size_t chunks) {
+  return ChunkPlan{(n + chunks - 1) / chunks, n};
+}
+
+}  // namespace
+
+ParallelBackend::ParallelBackend(std::size_t workers, std::size_t grain)
+    : workers_(workers == 0 ? hardware_workers() : workers),
+      grain_(std::max<std::size_t>(1, grain)) {}
+
+ParallelBackend::~ParallelBackend() = default;
+
+std::size_t ParallelBackend::chunks_for(std::size_t n) const {
+  if (workers_ == 1 || n < 2 * grain_) return 1;
+  return std::min(workers_, n / grain_);
+}
+
+ThreadPool& ParallelBackend::pool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(workers_);
+  return *pool_;
+}
+
+void ParallelBackend::for_lanes(std::size_t n, RangeFn fn) {
+  const std::size_t c = chunks_for(n);
+  if (c <= 1) {
+    fn(0, n);
+    return;
+  }
+  const ChunkPlan p = plan(n, c);
+  pool().run(c, [&](std::size_t i) {
+    const std::size_t lo = p.lo(i);
+    const std::size_t hi = p.hi(i);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+Word ParallelBackend::reduce(std::span<const Word> v,
+                             Word (*fold)(Word, Word)) {
+  const std::size_t c = chunks_for(v.size());
+  if (c <= 1) {
+    Word acc = v[0];
+    for (std::size_t i = 1; i < v.size(); ++i) acc = fold(acc, v[i]);
+    return acc;
+  }
+  const ChunkPlan p = plan(v.size(), c);
+  std::vector<Word> partials(c);
+  pool().run(c, [&](std::size_t i) {
+    Word acc = v[p.lo(i)];
+    for (std::size_t j = p.lo(i) + 1; j < p.hi(i); ++j) acc = fold(acc, v[j]);
+    partials[i] = acc;
+  });
+  // Combine in ascending chunk order: for the associative folds used here
+  // this equals the serial left fold bit-for-bit.
+  Word acc = partials[0];
+  for (std::size_t i = 1; i < c; ++i) acc = fold(acc, partials[i]);
+  return acc;
+}
+
+Word ParallelBackend::reduce_sum(std::span<const Word> v) {
+  if (v.empty()) return 0;
+  return reduce(v, [](Word a, Word b) {
+    return static_cast<Word>(static_cast<std::uint64_t>(a) +
+                             static_cast<std::uint64_t>(b));
+  });
+}
+
+Word ParallelBackend::reduce_min(std::span<const Word> v) {
+  return reduce(v, [](Word a, Word b) { return std::min(a, b); });
+}
+
+Word ParallelBackend::reduce_max(std::span<const Word> v) {
+  return reduce(v, [](Word a, Word b) { return std::max(a, b); });
+}
+
+std::size_t ParallelBackend::count_true(std::span<const std::uint8_t> m) {
+  const std::size_t c = chunks_for(m.size());
+  if (c <= 1) {
+    std::size_t n = 0;
+    for (auto b : m) n += b;
+    return n;
+  }
+  const ChunkPlan p = plan(m.size(), c);
+  std::vector<std::size_t> partials(c, 0);
+  pool().run(c, [&](std::size_t i) {
+    std::size_t n = 0;
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
+    partials[i] = n;
+  });
+  std::size_t total = 0;
+  for (std::size_t n : partials) total += n;
+  return total;
+}
+
+WordVec ParallelBackend::compress(std::span<const Word> v,
+                                  std::span<const std::uint8_t> m) {
+  const std::size_t c = chunks_for(v.size());
+  if (c <= 1) {
+    WordVec out;
+    out.reserve(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (m[i] != 0) out.push_back(v[i]);
+    }
+    return out;
+  }
+  const ChunkPlan p = plan(v.size(), c);
+  std::vector<std::size_t> counts(c, 0);
+  pool().run(c, [&](std::size_t i) {
+    std::size_t n = 0;
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
+    counts[i] = n;
+  });
+  std::vector<std::size_t> offsets(c, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    offsets[i] = total;
+    total += counts[i];
+  }
+  WordVec out(total);
+  Word* dst = out.data();
+  pool().run(c, [&](std::size_t i) {
+    std::size_t at = offsets[i];
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) {
+      if (m[j] != 0) dst[at++] = v[j];
+    }
+  });
+  return out;
+}
+
+std::size_t ParallelBackend::first_oob(std::span<const Word> idx,
+                                       std::size_t table_size,
+                                       const std::uint8_t* mask) {
+  const auto scan = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (mask != nullptr && mask[i] == 0) continue;
+      if (idx[i] < 0 || static_cast<std::size_t>(idx[i]) >= table_size) {
+        return i;
+      }
+    }
+    return npos;
+  };
+  const std::size_t c = chunks_for(idx.size());
+  if (c <= 1) return scan(0, idx.size());
+  const ChunkPlan p = plan(idx.size(), c);
+  std::vector<std::size_t> firsts(c, npos);
+  pool().run(c, [&](std::size_t i) { firsts[i] = scan(p.lo(i), p.hi(i)); });
+  // Chunks are ascending lane ranges, so the first chunk reporting a
+  // violation holds the globally lowest offending lane.
+  for (std::size_t f : firsts) {
+    if (f != npos) return f;
+  }
+  return npos;
+}
+
+void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
+                              std::span<const Word> vals,
+                              const std::uint8_t* mask,
+                              ScatterTraversal traversal,
+                              std::span<const std::size_t> order) {
+  const std::size_t n = idx.size();
+  const std::size_t c = chunks_for(n);
+  if (c <= 1 || table.empty()) {
+    apply_scatter_reference(table, idx, vals, mask, traversal, order);
+    return;
+  }
+  // Lane visited at traversal position `pos`; positions ascend 0..n-1.
+  const auto lane_at = [&](std::size_t pos) {
+    switch (traversal) {
+      case ScatterTraversal::kReverse:
+        return n - 1 - pos;
+      case ScatterTraversal::kExplicit:
+        return order[pos];
+      case ScatterTraversal::kForward:
+        break;
+    }
+    return pos;
+  };
+  const std::size_t ranges = c;
+  const std::size_t range_words = (table.size() + ranges - 1) / ranges;
+  buckets_.resize(c * ranges);
+  for (auto& b : buckets_) b.clear();
+
+  // Pass 1: route each active write to its owning address range, keeping
+  // position order within every (slice, range) bucket.
+  const ChunkPlan p = plan(n, c);
+  pool().run(c, [&](std::size_t slice) {
+    std::vector<Route>* row = &buckets_[slice * ranges];
+    for (std::size_t pos = p.lo(slice); pos < p.hi(slice); ++pos) {
+      const std::size_t lane = lane_at(pos);
+      if (mask != nullptr && mask[lane] == 0) continue;
+      const Word addr = idx[lane];
+      row[static_cast<std::size_t>(addr) / range_words].push_back(
+          Route{addr, vals[lane]});
+    }
+  });
+
+  // Pass 2: each worker owns one address range and replays its buckets in
+  // ascending (slice, position) order — exactly the serial traversal order
+  // restricted to that range. Ranges are disjoint, so no write races.
+  pool().run(ranges, [&](std::size_t r) {
+    for (std::size_t slice = 0; slice < c; ++slice) {
+      for (const Route& w : buckets_[slice * ranges + r]) {
+        table[static_cast<std::size_t>(w.addr)] = w.val;
+      }
+    }
+  });
+}
+
+}  // namespace folvec::vm

@@ -1,0 +1,84 @@
+// ParallelBackend: chunks VectorMachine primitives across a thread pool.
+//
+// Every primitive must be bit-identical to SerialBackend at any worker
+// count. For elementwise work, reductions, compress, and bounds scans that
+// follows from deterministic chunking (contiguous ascending chunks, partials
+// combined in chunk order). Scatter is the interesting case — the survivor
+// of a contested address is defined by the lane *traversal order* — and is
+// handled with a two-pass owner-computes merge:
+//
+//   pass 1 (parallel over traversal positions): each worker walks its
+//     contiguous slice of the traversal order and routes every active
+//     (address, value) write into a bucket keyed by the destination address
+//     range that owns it, preserving the slice's position order;
+//   pass 2 (parallel over address ranges): each worker owns one address
+//     range and replays that range's buckets slice 0..W-1, each in recorded
+//     order — i.e. exactly ascending traversal position.
+//
+// For any address, writes are applied in traversal-position order and only
+// by its owning worker, so the survivor equals the serial loop's for every
+// ScatterOrder and any worker count, and no two workers ever touch the same
+// table word (no atomics needed; the pool's join is the barrier between
+// passes). This is the lane-exact ELS merge: the parallel machine stores
+// exactly one of the written values — the same one the serial machine does.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "vm/backend.h"
+#include "vm/thread_pool.h"
+
+namespace folvec::vm {
+
+class ParallelBackend final : public Backend {
+ public:
+  /// `workers` == 0 picks std::thread::hardware_concurrency (at least 1).
+  /// `grain` is the minimum lane count per chunk: instructions shorter than
+  /// two grains run inline, so tiny vectors skip dispatch entirely.
+  explicit ParallelBackend(std::size_t workers, std::size_t grain);
+  ~ParallelBackend() override;
+
+  const char* name() const override { return "parallel"; }
+  std::size_t workers() const override { return workers_; }
+
+  void for_lanes(std::size_t n, RangeFn fn) override;
+  Word reduce_sum(std::span<const Word> v) override;
+  Word reduce_min(std::span<const Word> v) override;
+  Word reduce_max(std::span<const Word> v) override;
+  std::size_t count_true(std::span<const std::uint8_t> m) override;
+  WordVec compress(std::span<const Word> v,
+                   std::span<const std::uint8_t> m) override;
+  std::size_t first_oob(std::span<const Word> idx, std::size_t table_size,
+                        const std::uint8_t* mask) override;
+  void scatter(std::span<Word> table, std::span<const Word> idx,
+               std::span<const Word> vals, const std::uint8_t* mask,
+               ScatterTraversal traversal,
+               std::span<const std::size_t> order) override;
+
+ private:
+  /// One routed scatter write: destination address and the value stored.
+  struct Route {
+    Word addr;
+    Word val;
+  };
+
+  /// Chunks an n-lane instruction: 1 (inline) below two grains, otherwise
+  /// at most `workers_`, never fewer than one grain per chunk.
+  std::size_t chunks_for(std::size_t n) const;
+
+  /// The pool, spawned on first parallel-sized instruction.
+  ThreadPool& pool();
+
+  Word reduce(std::span<const Word> v, Word (*fold)(Word, Word));
+
+  std::size_t workers_;
+  std::size_t grain_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Scatter routing buckets, row-major [slice][owner range]; reused across
+  /// instructions to keep capacity warm.
+  std::vector<std::vector<Route>> buckets_;
+};
+
+}  // namespace folvec::vm

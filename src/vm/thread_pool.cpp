@@ -1,0 +1,87 @@
+#include "vm/thread_pool.h"
+
+#include "support/require.h"
+
+namespace folvec::vm {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  FOLVEC_REQUIRE(workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(workers - 1);
+  for (std::size_t i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::claim(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.tasks) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      job.errors[i] = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    claim(*job);
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      ++checked_in_;
+      if (checked_in_ == threads_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty() || tasks == 1) {
+    // Inline execution: first exception propagates naturally, which matches
+    // the lowest-task-index rule because tasks run in order.
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.tasks = tasks;
+  job.errors.resize(tasks);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    checked_in_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  claim(job);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return checked_in_ == threads_.size(); });
+    job_ = nullptr;
+  }
+  for (auto& e : job.errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace folvec::vm

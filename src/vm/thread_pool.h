@@ -1,0 +1,65 @@
+// A persistent fork-join worker pool for the parallel execution backend.
+//
+// The pool spawns its threads once and parks them on a condition variable
+// between jobs, so per-instruction dispatch costs a wakeup, not a spawn —
+// the same reason the S-3800's pipes stay powered between vector
+// instructions. run() is a blocking parallel-for over task indices: the
+// calling thread participates as a worker, tasks are claimed from a shared
+// atomic counter (so uneven chunks balance), and run() returns only after
+// every task has completed, which gives callers a full happens-before
+// barrier over everything the tasks wrote.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace folvec::vm {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` pool threads; the caller of run() is the final
+  /// worker. `workers` must be at least 1 (1 means run() executes inline).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  std::size_t size() const { return threads_.size() + 1; }
+
+  /// Invokes fn(i) for every i in [0, tasks), distributed over the pool and
+  /// the calling thread; returns when all invocations have finished. If
+  /// invocations throw, the exception of the lowest task index is rethrown
+  /// (deterministic regardless of scheduling).
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t tasks = 0;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void worker_loop();
+  static void claim(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;           // guarded by mu_
+  std::uint64_t generation_ = 0;  // guarded by mu_
+  std::size_t checked_in_ = 0;    // guarded by mu_
+  bool stop_ = false;             // guarded by mu_
+};
+
+}  // namespace folvec::vm

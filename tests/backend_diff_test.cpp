@@ -1,0 +1,327 @@
+// Differential fuzz of the execution backends: ParallelBackend must be
+// bit-identical to SerialBackend for every primitive, under every
+// ScatterOrder, at every worker count — same outputs, same memory images,
+// same chime costs, same exceptions. The parallel machines run with a tiny
+// backend_grain so even short vectors actually cross the thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "support/prng.h"
+#include "vm/machine.h"
+#include "vm/thread_pool.h"
+
+namespace folvec::vm {
+namespace {
+
+MachineConfig diff_config(ScatterOrder order, std::uint64_t seed) {
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  cfg.shuffle_seed = seed;
+  // The fuzz scatters duplicate addresses outside ConflictWindows on
+  // purpose; opt out of auditing regardless of the FOLVEC_AUDIT env (audit
+  // would also pin the parallel machine to the serial path).
+  cfg.audit = false;
+  return cfg;
+}
+
+VectorMachine make_serial(ScatterOrder order, std::uint64_t seed) {
+  MachineConfig cfg = diff_config(order, seed);
+  cfg.backend = BackendKind::kSerial;
+  return VectorMachine(cfg);
+}
+
+VectorMachine make_parallel(ScatterOrder order, std::uint64_t seed,
+                            std::size_t threads, std::size_t grain = 8) {
+  MachineConfig cfg = diff_config(order, seed);
+  cfg.backend = BackendKind::kParallel;
+  cfg.backend_threads = threads;
+  cfg.backend_grain = grain;
+  return VectorMachine(cfg);
+}
+
+void expect_same_costs(const CostAccumulator& serial,
+                       const CostAccumulator& parallel) {
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    EXPECT_EQ(serial.instructions(c), parallel.instructions(c))
+        << "instruction count diverged for " << op_class_name(c);
+    EXPECT_EQ(serial.elements(c), parallel.elements(c))
+        << "element count diverged for " << op_class_name(c);
+  }
+}
+
+/// Shared random operands for one script run at size n.
+struct Inputs {
+  WordVec a, b, table, idx, vals;
+  Mask mask;
+
+  Inputs(std::size_t n, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    const std::size_t table_size = std::max<std::size_t>(1, n / 2);
+    a.resize(n);
+    b.resize(n);
+    idx.resize(n);
+    vals.resize(n);
+    mask.resize(n);
+    table.resize(table_size);
+    for (auto& x : a) x = rng.in_range(-1000000, 1000000);
+    for (auto& x : b) x = rng.in_range(-1000000, 1000000);
+    for (auto& x : table) x = rng.in_range(-1000000, 1000000);
+    // Heavy collisions: ~n lanes over n/2 addresses.
+    for (auto& x : idx) {
+      x = rng.in_range(0, static_cast<Word>(table_size) - 1);
+    }
+    for (auto& x : vals) x = rng.in_range(-1000000, 1000000);
+    for (auto& x : mask) x = static_cast<std::uint8_t>(rng.below(3) != 0);
+  }
+};
+
+/// Runs every primitive once on `m` and returns a flat digest of all
+/// results plus the final memory image.
+WordVec run_script(VectorMachine& m, const Inputs& in) {
+  const std::size_t n = in.a.size();
+  WordVec digest;
+  const auto emit = [&digest](const WordVec& v) {
+    digest.insert(digest.end(), v.begin(), v.end());
+  };
+  const auto emit_mask = [&digest](const Mask& v) {
+    for (auto b : v) digest.push_back(b);
+  };
+
+  emit(m.iota(n, -5, 3));
+  emit(m.splat(n, 42));
+  emit(m.copy(in.a));
+  emit(m.reverse(in.a));
+  emit(m.add(in.a, in.b));
+  emit(m.sub(in.a, in.b));
+  emit(m.mul(in.a, in.b));
+  emit(m.add_scalar(in.a, 17));
+  emit(m.mul_scalar(in.a, -3));
+  emit(m.div_scalar(in.a, 7));
+  emit(m.mod_scalar(in.a, 7));
+  emit(m.and_scalar(in.a, 0xff));
+  emit(m.or_scalar(in.a, 0x10));
+  emit(m.shr_scalar(in.a, 2));
+  emit(m.negate(in.a));
+  emit_mask(m.eq(in.a, in.b));
+  emit_mask(m.ne(in.a, in.b));
+  emit_mask(m.le(in.a, in.b));
+  emit_mask(m.lt(in.a, in.b));
+  emit_mask(m.eq_scalar(in.a, 0));
+  emit_mask(m.ne_scalar(in.a, 0));
+  emit_mask(m.le_scalar(in.a, 100));
+  emit_mask(m.lt_scalar(in.a, 100));
+  emit_mask(m.ge_scalar(in.a, 100));
+  const Mask lt_mask = m.lt(in.a, in.b);
+  emit_mask(m.mask_and(lt_mask, in.mask));
+  emit_mask(m.mask_or(lt_mask, in.mask));
+  emit_mask(m.mask_not(in.mask));
+  digest.push_back(static_cast<Word>(m.count_true(in.mask)));
+  digest.push_back(m.reduce_sum(in.a));
+  if (n > 0) {
+    digest.push_back(m.reduce_min(in.a));
+    digest.push_back(m.reduce_max(in.a));
+  }
+  emit(m.compress(in.a, in.mask));
+  emit(m.select(in.mask, in.a, in.b));
+  emit(m.from_mask(in.mask));
+
+  WordVec mem(in.table.begin(), in.table.end());
+  const std::size_t head = std::min(mem.size(), in.vals.size());
+  m.store(mem, 0,
+          WordVec(in.vals.begin(),
+                  in.vals.begin() + static_cast<std::ptrdiff_t>(head)));
+  emit(m.load(mem, 0, mem.size()));
+  if (!mem.empty()) {
+    const std::size_t strided_n = (mem.size() + 1) / 2;
+    emit(m.load_strided(mem, 0, 2, strided_n));
+    m.store_strided(mem, 0, 2, in.a.empty()
+                                   ? WordVec{}
+                                   : WordVec(in.a.begin(),
+                                             in.a.begin() +
+                                                 static_cast<std::ptrdiff_t>(
+                                                     strided_n)));
+  }
+  m.fill(mem, -7);
+  emit(mem);
+
+  emit(m.gather(in.table, in.idx));
+  emit(m.gather_masked(in.table, in.idx, in.mask, -99));
+
+  // Three consecutive ELS scatters: under kShuffled each draws a fresh
+  // permutation from the machine RNG, so this also checks that the RNG
+  // stream is consumed identically on both backends.
+  WordVec target(in.table.begin(), in.table.end());
+  m.scatter(target, in.idx, in.vals);
+  emit(target);
+  m.scatter(target, in.idx, in.a);
+  emit(target);
+  m.scatter_masked(target, in.idx, in.vals, in.mask);
+  emit(target);
+  m.scatter_ordered(target, in.idx, in.b);
+  emit(target);
+  return digest;
+}
+
+class BackendDiffTest
+    : public ::testing::TestWithParam<std::tuple<ScatterOrder, std::size_t>> {
+ protected:
+  ScatterOrder order() const { return std::get<0>(GetParam()); }
+  std::size_t threads() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(BackendDiffTest, EveryPrimitiveBitIdenticalWithIdenticalChimes) {
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64},
+        std::size_t{257}, std::size_t{1000}, std::size_t{4099}}) {
+    const Inputs in(n, 0xfeed0000 + n);
+    VectorMachine serial = make_serial(order(), 99);
+    VectorMachine parallel = make_parallel(order(), 99, threads());
+    ASSERT_STREQ(parallel.backend_name(), "parallel");
+    EXPECT_EQ(parallel.backend_workers(), threads());
+    const WordVec want = run_script(serial, in);
+    const WordVec got = run_script(parallel, in);
+    ASSERT_EQ(want, got) << "digest diverged at n=" << n;
+    expect_same_costs(serial.cost(), parallel.cost());
+  }
+}
+
+TEST_P(BackendDiffTest, ScatterMergeLaneExactUnderHeavyCollisions) {
+  Xoshiro256 rng(0xc0113c7);
+  for (int round = 0; round < 40; ++round) {
+    const auto n = static_cast<std::size_t>(rng.in_range(1, 600));
+    // Between 1 and n distinct addresses: the low end makes nearly every
+    // lane collide, the merge's worst case.
+    const auto table_size = static_cast<std::size_t>(
+        rng.in_range(1, static_cast<Word>(n)));
+    WordVec table_s(table_size, 0);
+    WordVec idx(n);
+    WordVec vals(n);
+    for (auto& x : idx) {
+      x = rng.in_range(0, static_cast<Word>(table_size) - 1);
+    }
+    for (auto& x : vals) x = rng.in_range(-1 << 20, 1 << 20);
+    WordVec table_p = table_s;
+    const auto seed = static_cast<std::uint64_t>(round) * 7919 + 1;
+    VectorMachine serial = make_serial(order(), seed);
+    VectorMachine parallel = make_parallel(order(), seed, threads(),
+                                           /*grain=*/1);
+    serial.scatter(table_s, idx, vals);
+    parallel.scatter(table_p, idx, vals);
+    ASSERT_EQ(table_s, table_p)
+        << "scatter survivor diverged: n=" << n << " areas=" << table_size;
+  }
+}
+
+TEST_P(BackendDiffTest, ExceptionParityAcrossWorkerThreads) {
+  VectorMachine serial = make_serial(order(), 5);
+  VectorMachine parallel = make_parallel(order(), 5, threads());
+  // A negative element deep inside one chunk: the worker's exception must
+  // surface on the issuing thread with the serial exception type.
+  WordVec v(300, 1);
+  v[257] = -4;
+  EXPECT_THROW(serial.shl_scalar(v, 1), PreconditionError);
+  EXPECT_THROW(parallel.shl_scalar(v, 1), PreconditionError);
+  // Out-of-bounds lane in the middle of a gather/scatter.
+  WordVec table(16, 0);
+  WordVec idx(300, 3);
+  idx[170] = 99;
+  EXPECT_THROW(serial.gather(table, idx), PreconditionError);
+  EXPECT_THROW(parallel.gather(table, idx), PreconditionError);
+  const WordVec vals(300, 1);
+  EXPECT_THROW(serial.scatter(table, idx, vals), PreconditionError);
+  EXPECT_THROW(parallel.scatter(table, idx, vals), PreconditionError);
+  // Inactive out-of-bounds lanes are legal on both.
+  Mask mask(300, 1);
+  mask[170] = 0;
+  WordVec table_s = table;
+  WordVec table_p = table;
+  serial.scatter_masked(table_s, idx, vals, mask);
+  parallel.scatter_masked(table_p, idx, vals, mask);
+  EXPECT_EQ(table_s, table_p);
+}
+
+std::string diff_param_name(
+    const ::testing::TestParamInfo<std::tuple<ScatterOrder, std::size_t>>&
+        info) {
+  static constexpr const char* kOrderNames[] = {"Forward", "Reverse",
+                                                "Shuffled"};
+  return std::string(
+             kOrderNames[static_cast<std::size_t>(std::get<0>(info.param))]) +
+         "x" + std::to_string(std::get<1>(info.param)) + "threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersAllThreadCounts, BackendDiffTest,
+    ::testing::Combine(::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kReverse,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8})),
+    diff_param_name);
+
+TEST(BackendDiffLargeTest, LargeVectorsWithDefaultGrain) {
+  const std::size_t n = 200000;
+  const Inputs in(n, 0xabcde);
+  VectorMachine serial = make_serial(ScatterOrder::kShuffled, 7);
+  VectorMachine parallel =
+      make_parallel(ScatterOrder::kShuffled, 7, 4, /*grain=*/4096);
+  const WordVec want = run_script(serial, in);
+  const WordVec got = run_script(parallel, in);
+  ASSERT_EQ(want, got);
+  expect_same_costs(serial.cost(), parallel.cost());
+}
+
+TEST(BackendDiffLargeTest, AuditModePinsParallelConfigToSerialPath) {
+  MachineConfig cfg;
+  cfg.backend = BackendKind::kParallel;
+  cfg.backend_threads = 4;
+  cfg.audit = true;
+  const VectorMachine m(cfg);
+  EXPECT_STREQ(m.backend_name(), "serial");
+  EXPECT_EQ(m.backend_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> hits(1000, 0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, RethrowsLowestTaskException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.run(64, [&](std::size_t i) {
+        if (i % 2 == 1) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::size_t total = 0;
+  for (int job = 0; job < 100; ++job) {
+    std::vector<std::size_t> marks(17, 0);
+    pool.run(marks.size(), [&](std::size_t i) { marks[i] = i; });
+    for (std::size_t i = 0; i < marks.size(); ++i) total += marks[i];
+  }
+  EXPECT_EQ(total, 100u * (16u * 17u / 2u));
+}
+
+}  // namespace
+}  // namespace folvec::vm

@@ -118,6 +118,52 @@ TEST(FolStarTest, MutualConflictIsRescuedByScalarWrite) {
   EXPECT_EQ(d.sets[1].size(), 1u);
   expect_valid(d, lanes);
   EXPECT_EQ(d.forced_singletons, 0u);
+  // Round 1 rescues the contested last tuple; round 2's lone leftover is
+  // uncontested and must NOT be charged as a rescue.
+  EXPECT_EQ(d.scalar_rescues, 1u);
+}
+
+TEST(FolStarTest, RescueCountedEvenWhenOtherTuplesSurviveAlongside) {
+  // Regression: the old accounting only counted a rescue when the rescued
+  // tuple was the round's *sole* survivor. Here round 1's survivors are
+  // {T2, T3}: T3 = <2,5> is contested (shares area 2 with T1) and owes its
+  // survival to the scalar re-store, so it must count even though T2
+  // survived alongside. Round 2 = {T0, T1} is conflict-free (no rescue).
+  const std::vector<WordVec> lanes{WordVec{0, 2, 0, 2}, WordVec{1, 3, 4, 5}};
+  const StarDecomposition d =
+      decompose(lanes, vm::ScatterOrder::kForward);
+  expect_valid(d, lanes);
+  ASSERT_EQ(d.rounds(), 2u);
+  EXPECT_EQ(d.sets[0], (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(d.sets[1], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(d.scalar_rescues, 1u);
+  EXPECT_EQ(d.forced_singletons, 0u);
+}
+
+TEST(FolStarTest, UncontestedSoleSurvivorIsNotChargedAsRescue) {
+  // Regression (the flip side): the old accounting charged a rescue
+  // whenever a sole survivor happened to be the last tuple, even if nothing
+  // contested its addresses. Round 1 survivors are {T1, T2}; round 2's
+  // leftover T0 = <0,1> survives alone — but area 0 is no longer contested
+  // by anyone, so scalar_rescues must stay 0.
+  const std::vector<WordVec> lanes{WordVec{0, 0, 5}, WordVec{1, 2, 6}};
+  const StarDecomposition d =
+      decompose(lanes, vm::ScatterOrder::kForward);
+  expect_valid(d, lanes);
+  ASSERT_EQ(d.rounds(), 2u);
+  EXPECT_EQ(d.sets[0], (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(d.sets[1], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(d.scalar_rescues, 0u);
+  EXPECT_EQ(d.forced_singletons, 0u);
+}
+
+TEST(FolStarTest, DisjointTuplesReportNoRescues) {
+  const std::vector<WordVec> lanes{WordVec{0, 2}, WordVec{1, 3}};
+  const StarDecomposition d = decompose(lanes);
+  expect_valid(d, lanes);
+  ASSERT_EQ(d.rounds(), 1u);
+  EXPECT_EQ(d.scalar_rescues, 0u);
+  EXPECT_EQ(d.forced_singletons, 0u);
 }
 
 TEST(FolStarTest, SelfConflictingTupleBecomesForcedSingleton) {

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "support/env.h"
 #include "support/prng.h"
 #include "support/require.h"
 #include "support/stats.h"
@@ -13,6 +14,38 @@
 
 namespace folvec {
 namespace {
+
+TEST(EnvTest, NormalizeTrimsAndLowercases) {
+  EXPECT_EQ(env_normalize("  OfF\t"), "off");
+  EXPECT_EQ(env_normalize("Parallel"), "parallel");
+  EXPECT_EQ(env_normalize("   "), "");
+  EXPECT_EQ(env_normalize(""), "");
+}
+
+TEST(EnvTest, FlagRecognisesEveryOffSpelling) {
+  // Regression: FOLVEC_AUDIT used to treat only the literal "0" as off, so
+  // "off"/"false"/"no" silently *enabled* the auditor.
+  for (const char* off : {"", "0", "00", "000", "false", "FALSE", "False",
+                          "off", "OFF", "Off", "no", "No", "NO", " 0 ",
+                          "\toff\n", "  false  "}) {
+    EXPECT_FALSE(env_flag(off)) << '"' << off << '"';
+  }
+  for (const char* on : {"1", "01", "true", "on", "yes", "2", "parallel",
+                         "enabled", "  1  ", "0x0"}) {
+    EXPECT_TRUE(env_flag(on)) << '"' << on << '"';
+  }
+}
+
+TEST(EnvTest, ValueReturnsNulloptWhenUnsetOrEmpty) {
+  ::unsetenv("FOLVEC_ENV_TEST_VAR");
+  EXPECT_FALSE(env_value("FOLVEC_ENV_TEST_VAR").has_value());
+  ::setenv("FOLVEC_ENV_TEST_VAR", "", 1);
+  EXPECT_FALSE(env_value("FOLVEC_ENV_TEST_VAR").has_value());
+  ::setenv("FOLVEC_ENV_TEST_VAR", "Parallel", 1);
+  ASSERT_TRUE(env_value("FOLVEC_ENV_TEST_VAR").has_value());
+  EXPECT_EQ(*env_value("FOLVEC_ENV_TEST_VAR"), "Parallel");
+  ::unsetenv("FOLVEC_ENV_TEST_VAR");
+}
 
 TEST(RequireTest, RequireThrowsPrecondition) {
   EXPECT_THROW(FOLVEC_REQUIRE(1 == 2, "impossible"), PreconditionError);

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <string>
+
+#include "support/prng.h"
 
 namespace folvec::vm {
 namespace {
@@ -264,6 +269,154 @@ TEST_F(MachineTest, MaskedScatterSkipsBoundsCheckOnInactiveLanes) {
   EXPECT_THROW(
       m_.scatter_masked(table, WordVec{99}, WordVec{1}, Mask{1}),
       PreconditionError);
+}
+
+TEST_F(MachineTest, ContiguousBoundsChecksSurviveOffsetOverflow) {
+  // Regression: the old checks computed `offset + v.size()` /
+  // `offset + n`, which wraps for offsets near SIZE_MAX and used to let a
+  // huge offset slip past the guard. Subtraction-form checks must throw.
+  WordVec table(8, 0);
+  const WordVec vals{1, 2, 3, 4};
+  EXPECT_THROW(m_.load(table, SIZE_MAX - 1, 4), PreconditionError);
+  EXPECT_THROW(m_.load(table, SIZE_MAX, 1), PreconditionError);
+  EXPECT_THROW(m_.store(table, SIZE_MAX - 2, vals), PreconditionError);
+  EXPECT_THROW(m_.load(table, 9, 0), PreconditionError);
+  // In-range operations still work, including the exact-fit edge.
+  m_.store(table, 4, vals);
+  EXPECT_EQ(m_.load(table, 4, 4), vals);
+  EXPECT_TRUE(m_.load(table, 8, 0).empty());
+}
+
+TEST_F(MachineTest, StridedBoundsChecksSurviveOverflow) {
+  // Regression: `offset + (n-1)*stride` overflows for huge strides; the
+  // rewritten check divides instead of multiplying.
+  WordVec table(8, 0);
+  EXPECT_THROW(m_.load_strided(table, 0, SIZE_MAX / 2 + 1, 3),
+               PreconditionError);
+  EXPECT_THROW(m_.load_strided(table, 2, SIZE_MAX - 1, 2), PreconditionError);
+  EXPECT_THROW(m_.store_strided(table, 2, SIZE_MAX - 1, WordVec{1, 2}),
+               PreconditionError);
+  EXPECT_THROW(m_.load_strided(table, 8, 1, 1), PreconditionError);
+  // n == 0 touches nothing, so even absurd offsets/strides are legal.
+  EXPECT_TRUE(m_.load_strided(table, SIZE_MAX, SIZE_MAX, 0).empty());
+  m_.store_strided(table, SIZE_MAX, SIZE_MAX, WordVec{});
+  // Exact-fit edges still pass: last element lands on table.back().
+  table = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(m_.load_strided(table, 1, 3, 3), (WordVec{1, 4, 7}));
+  m_.store_strided(table, 1, 3, WordVec{-1, -4, -7});
+  EXPECT_EQ(table, (WordVec{0, -1, 2, 3, -4, 5, 6, -7}));
+}
+
+TEST_F(MachineTest, ElsViolationInjectionMatchesQuadraticReference) {
+  // Regression for the O(n^2) -> O(n) rewrite of the injection path: the
+  // amalgam written to each contested address must stay byte-identical to
+  // the brute-force definition (XOR of val+1 over every colliding lane;
+  // uncontested lanes store their value unchanged).
+  MachineConfig cfg;
+  cfg.inject_els_violation = true;
+  cfg.audit = false;
+  VectorMachine m(cfg);
+  Xoshiro256 rng(0x1badb002);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<std::size_t>(rng.in_range(1, 400));
+    const auto areas = static_cast<std::size_t>(
+        rng.in_range(1, static_cast<Word>(n)));
+    WordVec idx(n);
+    WordVec vals(n);
+    for (auto& x : idx) x = rng.in_range(0, static_cast<Word>(areas) - 1);
+    for (auto& x : vals) x = rng.in_range(-1000, 1000);
+    WordVec got(areas, -1);
+    m.scatter(got, idx, vals);
+    WordVec want(areas, -1);
+    for (std::size_t a = 0; a < areas; ++a) {
+      std::size_t collisions = 0;
+      Word amalgam = 0;
+      for (std::size_t lane = 0; lane < n; ++lane) {
+        if (idx[lane] == static_cast<Word>(a)) {
+          ++collisions;
+          amalgam ^= vals[lane] + 1;
+          if (collisions == 1) want[a] = vals[lane];
+        }
+      }
+      if (collisions > 1) want[a] = amalgam;
+    }
+    ASSERT_EQ(got, want) << "injection amalgam diverged at round " << round;
+  }
+}
+
+/// Saves one environment variable on construction, restores it on
+/// destruction, so default-parsing tests cannot leak into other tests (or
+/// be confused by CI jobs that export FOLVEC_AUDIT=1).
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* cur = std::getenv(name);
+    if (cur != nullptr) saved_ = cur;
+    had_ = cur != nullptr;
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+  void set(const char* value) { ::setenv(name_, value, 1); }
+  void unset() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST_F(MachineTest, AuditDefaultParsesOffSpellingsCaseInsensitively) {
+  // Regression: only the literal "0" used to turn the auditor off, so
+  // FOLVEC_AUDIT=off counter-intuitively *enabled* it.
+  const ScopedEnv env("FOLVEC_AUDIT");
+  for (const char* off : {"0", "00", "false", "OFF", "No", " off "}) {
+    ::setenv("FOLVEC_AUDIT", off, 1);
+    EXPECT_FALSE(MachineConfig::audit_default()) << '"' << off << '"';
+  }
+  for (const char* on : {"1", "true", "ON", "Yes"}) {
+    ::setenv("FOLVEC_AUDIT", on, 1);
+    EXPECT_TRUE(MachineConfig::audit_default()) << '"' << on << '"';
+  }
+}
+
+TEST_F(MachineTest, BackendDefaultParsesNamesAndBooleanSpellings) {
+  const ScopedEnv env("FOLVEC_BACKEND");
+  for (const char* serial : {"serial", "SERIAL", " Serial ", "0", "off",
+                             "false", "No"}) {
+    ::setenv("FOLVEC_BACKEND", serial, 1);
+    EXPECT_EQ(MachineConfig::backend_default(), BackendKind::kSerial)
+        << '"' << serial << '"';
+  }
+  for (const char* parallel : {"parallel", "Parallel", "1", "on", "true",
+                               "Yes"}) {
+    ::setenv("FOLVEC_BACKEND", parallel, 1);
+    EXPECT_EQ(MachineConfig::backend_default(), BackendKind::kParallel)
+        << '"' << parallel << '"';
+  }
+}
+
+TEST_F(MachineTest, BackendIntrospection) {
+  // Explicit configs on both machines: the suite must pass regardless of
+  // what FOLVEC_BACKEND the environment exports.
+  MachineConfig cfg;
+  cfg.backend = BackendKind::kSerial;
+  const VectorMachine s(cfg);
+  EXPECT_STREQ(s.backend_name(), "serial");
+  EXPECT_EQ(s.backend_workers(), 1u);
+  cfg.backend = BackendKind::kParallel;
+  cfg.backend_threads = 3;
+  cfg.audit = false;
+  const VectorMachine p(cfg);
+  EXPECT_STREQ(p.backend_name(), "parallel");
+  EXPECT_EQ(p.backend_workers(), 3u);
 }
 
 TEST_F(MachineTest, CostAccumulatorCountsInstructionsAndElements) {
