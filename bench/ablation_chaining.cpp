@@ -13,6 +13,7 @@
 // table fills, where chaining's round count stays flat.
 #include <iostream>
 
+#include "bench_harness/report.h"
 #include "hashing/chain_table.h"
 #include "hashing/open_table.h"
 #include "support/prng.h"
@@ -25,6 +26,9 @@ int main() {
   using vm::Word;
   const vm::CostParams params = vm::CostParams::s810_like();
   constexpr std::size_t kTableSize = 4099;
+  bench::BenchReport report("ablation_chaining");
+  report.config("table_size", 4099);
+  report.config("loads", JsonArray{0.1, 0.3, 0.5, 0.7, 0.9, 0.98});
 
   TablePrinter table({"load", "open_us", "chain_us", "open/chain"});
   double low_load_ratio = 0;
@@ -57,6 +61,12 @@ int main() {
   table.print(std::cout,
               "Ablation: open addressing (Fig 8) vs chaining (Fig 7), "
               "table N=4099, modeled S-810");
+  report.add_table(
+      "Ablation: open addressing (Fig 8) vs chaining (Fig 7), table N=4099, "
+      "modeled S-810",
+      table);
+  report.note("open_over_chain_low_load", low_load_ratio);
+  report.note("open_over_chain_high_load", high_load_ratio);
   std::cout << "\nopen addressing re-probes into a filling table; chaining's "
                "FOL rounds track only bucket multiplicity, so the ratio "
                "moves against open addressing as the load rises\n";

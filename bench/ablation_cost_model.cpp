@@ -12,11 +12,17 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/require.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("ablation_cost_model");
+  report.config("table_size", 4099);
+  report.config("models",
+                JsonArray{"s810_like", "zero_startup", "cheap_gather"});
+  report.config("seed", 42);
   struct Named {
     const char* name;
     vm::CostParams params;
@@ -52,6 +58,12 @@ int main() {
   table.print(std::cout,
               "Ablation: multiple hashing (N=4099) re-priced under variant "
               "machine models");
+  report.add_table(
+      "Ablation: multiple hashing (N=4099) re-priced under variant machine "
+      "models",
+      table);
+  report.note("accel_low_load_s810", base_small_load);
+  report.note("accel_low_load_zero_startup", nostartup_small_load);
   std::cout << "\nzero_startup lifts the short-vector (low load) regime the "
                "most: the hump's left flank is a startup artefact\n";
   FOLVEC_CHECK(nostartup_small_load > base_small_load,

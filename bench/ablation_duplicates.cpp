@@ -10,11 +10,15 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/require.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("ablation_duplicates");
+  report.config("n", 4096);
+  report.config("scaling_duplication_percent", 1);
   const vm::CostParams params = vm::CostParams::s810_like();
 
   {
@@ -38,6 +42,9 @@ int main() {
     }
     table.print(std::cout,
                 "Ablation: FOL1 rounds and cost vs duplication (N=4096)");
+    report.add_table("Ablation: FOL1 rounds and cost vs duplication (N=4096)",
+                     table);
+    report.note("worst_best_time_ratio", time_all_same / time_unique);
     std::cout << "\nworst/best time ratio: " << time_all_same / time_unique
               << "x (Theorem 6: all-duplicates costs O(N^2))\n\n";
     FOLVEC_CHECK(time_all_same > 50.0 * time_unique,
@@ -65,6 +72,8 @@ int main() {
     }
     table.print(std::cout,
                 "Ablation: FOL1 scaling with 1% duplication (Theorem 4)");
+    report.add_table("Ablation: FOL1 scaling with 1% duplication (Theorem 4)",
+                     table);
     std::cout << "\nper-lane cost is flat: FOL1 is O(N) when sharing is "
                  "rare\n";
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "fol/fol_star.h"
 #include "rewrite/assoc_rewrite.h"
 #include "rewrite/term.h"
@@ -23,6 +24,9 @@ int main() {
   using vm::Word;
   using vm::WordVec;
   const vm::CostParams params = vm::CostParams::s810_like();
+  bench::BenchReport report("ablation_folstar");
+  report.config("n", 2048);
+  report.config("tuple_widths", JsonArray{1, 2, 3, 4, 5, 6});
 
   {
     const std::size_t n = 2048;
@@ -49,6 +53,7 @@ int main() {
       prev = us;
     }
     table.print(std::cout, "Ablation: FOL* decomposition cost vs L (N=2048)");
+    report.add_table("Ablation: FOL* decomposition cost vs L (N=2048)", table);
     std::cout << "\npaper guidance: linear growth in L; practical for L < ~5\n\n";
   }
 
@@ -101,6 +106,9 @@ int main() {
     table.print(std::cout,
                 "FOL* application: associative-law rewriting to left-deep "
                 "form (L=2)");
+    report.add_table(
+        "FOL* application: associative-law rewriting to left-deep form (L=2)",
+        table);
     std::cout
         << "\nright comb = fully chained redexes: the paper's own caveat "
            "applies (acceleration may fall below 1 when conflicts dominate; "

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness/report.h"
 #include "hashing/open_table.h"
 #include "lang/interp.h"
 #include "support/prng.h"
@@ -47,6 +48,9 @@ int main() {
   using vm::WordVec;
   const vm::CostParams params = vm::CostParams::s810_like();
   constexpr std::size_t kTableSize = 4099;
+  bench::BenchReport report("ablation_listing");
+  report.config("table_size", 4099);
+  report.config("loads", JsonArray{0.1, 0.5, 0.9});
 
   TablePrinter table({"load", "native_us", "listing_us", "overhead"});
   for (double load : {0.1, 0.5, 0.9}) {
@@ -83,6 +87,10 @@ int main() {
   table.print(std::cout,
               "Ablation: Figure 8 as an interpreted listing vs the native "
               "implementation (N=4099)");
+  report.add_table(
+      "Ablation: Figure 8 as an interpreted listing vs the native "
+      "implementation (N=4099)",
+      table);
   std::cout << "\nboth produce bit-identical tables; the gap is the cost of "
                "materializing slice renames through memory instead of "
                "registers\n";

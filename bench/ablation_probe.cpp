@@ -8,11 +8,15 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/require.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("ablation_probe");
+  report.config("table_size", 4099);
+  report.config("seed", 42);
   const vm::CostParams params = vm::CostParams::s810_like();
   const double loads[] = {0.1, 0.3, 0.5, 0.7, 0.9, 0.98};
 
@@ -45,6 +49,12 @@ int main() {
   table.print(std::cout,
               "Ablation: probe recalculation, original (+1) vs optimized "
               "(+(key&31)+1), table N=4099");
+  report.add_table(
+      "Ablation: probe recalculation, original (+1) vs optimized "
+      "(+(key&31)+1), table N=4099",
+      table);
+  report.note("high_load_wins", high_load_wins);
+  report.note("high_load_rows", high_load_rows);
   std::cout << "\npaper claim: the optimized recalculation wins for load "
                "factors in [0.5, 0.98] (colliding convoys split up instead "
                "of re-colliding)\n"

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness/report.h"
 #include "fol/fol1.h"
 #include "fol/fol_star.h"
 #include "hashing/open_table.h"
@@ -131,8 +132,12 @@ WordVec sorting_body(VectorMachine& m, std::size_t n) {
 
 int main() {
   using folvec::Cell;
+  using folvec::JsonArray;
   const folvec::vm::CostParams params = folvec::vm::CostParams::s810_like();
   const std::size_t threads = bench_threads();
+  folvec::bench::BenchReport report("backend_compare");
+  report.config("threads", threads);
+  report.config("sizes_log2", JsonArray{14, 17, 20});
 
   struct Workload {
     const char* name;
@@ -169,6 +174,9 @@ int main() {
   table.print(std::cout,
               "Backend comparison: chime model vs measured wall clock (" +
                   std::to_string(threads) + " workers requested)");
+  report.add_table("Backend comparison: chime model vs measured wall clock (" +
+                       std::to_string(threads) + " workers requested)",
+                   table);
   std::cout << "\nchime times are backend-invariant (asserted); wall "
                "acceleration depends on host core count\n";
   return 0;

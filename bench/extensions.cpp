@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "hashing/hash_map.h"
 #include "queens/queens.h"
 #include "sorting/address_calc.h"
@@ -23,6 +24,10 @@ int main() {
   using vm::Word;
   using vm::WordVec;
   const vm::CostParams params = vm::CostParams::s810_like();
+  bench::BenchReport report("extensions");
+  report.config("queens_n", JsonArray{6, 7, 8, 9, 10, 11});
+  report.config("sort_sizes", JsonArray{256, 4096, 65536});
+  report.config("upsert_batches", JsonArray{100, 1000, 10000});
 
   {
     TablePrinter table({"N", "solutions", "scalar_us", "vector_us", "accel",
@@ -44,6 +49,11 @@ int main() {
     table.print(std::cout,
                 "Extension: N-queens, scalar backtracking vs SIVP "
                 "breadth-first (modeled S-810)");
+    report.add_table(
+        "Extension: N-queens, scalar backtracking vs SIVP breadth-first "
+        "(modeled S-810)",
+        table);
+    report.note("queens_best_accel", best);
     FOLVEC_CHECK(best > 1.0, "SIVP queens must beat scalar at larger N");
     std::cout << '\n';
   }
@@ -80,6 +90,10 @@ int main() {
     table.print(std::cout,
                 "Extension: vectorized O(n) sort family, 16-bit keys "
                 "(modeled S-810)");
+    report.add_table(
+        "Extension: vectorized O(n) sort family, 16-bit keys (modeled "
+        "S-810)",
+        table);
     std::cout << "\nnote the radix blow-up at large n: a digit's expected "
                  "multiplicity is n/256, and the ordered-FOL counting pass "
                  "pays one round per duplicate (Theorem 6's regime) — "
@@ -116,6 +130,10 @@ int main() {
     table.print(std::cout,
                 "Extension: VectorHashMap batch upserts with vectorized "
                 "growth (modeled S-810)");
+    report.add_table(
+        "Extension: VectorHashMap batch upserts with vectorized growth "
+        "(modeled S-810)",
+        table);
     std::cout << "\nper-op cost falls as batches grow: vector startup "
                  "amortizes across the batch\n";
   }

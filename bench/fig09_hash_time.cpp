@@ -10,10 +10,15 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("fig09_hash_time");
+  report.config("table_sizes", JsonArray{521, 4099});
+  report.config("probe", "key_dependent");
+  report.config("seed", 42);
   const vm::CostParams params = vm::CostParams::s810_like();
   const double loads[] = {0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
                           0.6,  0.7,  0.8, 0.9, 0.95, 0.98, 1.0};
@@ -33,6 +38,10 @@ int main() {
   table.print(std::cout,
               "Figure 9: CPU time of multiple hashing into an empty hash "
               "table (modeled S-810)");
+  report.add_table(
+      "Figure 9: CPU time of multiple hashing into an empty hash table "
+      "(modeled S-810)",
+      table);
   std::cout << "\npaper reference: scalar ~10x the vectorized time at load "
                "0.5; both curves rise steeply past load 0.9\n";
   return 0;

@@ -10,11 +10,16 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/require.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("fig10_hash_accel");
+  report.config("table_sizes", JsonArray{521, 4099});
+  report.config("probe", "key_dependent");
+  report.config("seeds", 3);
   const vm::CostParams params = vm::CostParams::s810_like();
   const double loads[] = {0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
                           0.6,  0.7,  0.8, 0.9, 0.95, 0.98, 1.0};
@@ -58,6 +63,15 @@ int main() {
   table.print(std::cout,
               "Figure 10: acceleration ratio of multiple hashing (modeled "
               "S-810)");
+  report.add_table(
+      "Figure 10: acceleration ratio of multiple hashing (modeled S-810)",
+      table);
+  report.note("peak_small", peak_small);
+  report.note("peak_small_load", peak_small_load);
+  report.note("peak_large", peak_large);
+  report.note("peak_large_load", peak_large_load);
+  report.note("paper_peak_small", 5.2);
+  report.note("paper_peak_large", 12.3);
   std::cout << "\nmeasured peaks: " << peak_small << " @ load "
             << peak_small_load << " (N=521), " << peak_large << " @ load "
             << peak_large_load << " (N=4099)\n"

@@ -7,11 +7,19 @@
 // (e.g. the O(N^2) all-duplicates FOL1 case shows up directly here too).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
+#include "bench_harness/report.h"
 #include "fol/fol1.h"
 #include "hashing/open_table.h"
 #include "sorting/address_calc.h"
 #include "sorting/dist_count.h"
+#include "support/env.h"
 #include "support/prng.h"
+#include "support/require.h"
+#include "telemetry/metrics.h"
+#include "telemetry/spans.h"
 #include "tree/bst.h"
 #include "vm/checker.h"
 #include "vm/machine.h"
@@ -147,6 +155,108 @@ void BM_BstBulkInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_BstBulkInsert)->Arg(128)->Arg(2048);
 
+// ---- disabled-path overhead guard ------------------------------------------
+//
+// The telemetry hooks ship inside every VectorMachine op, so the substrate
+// must stay free when nothing is installed. The pre-telemetry baseline is
+// not measurable at runtime, but two of its properties are checkable:
+//
+//   * chime neutrality — telemetry never issues machine instructions, so
+//     the modeled instruction/element totals must be bit-identical with and
+//     without a registry+tracer installed (stronger than the 2% budget);
+//   * disabled-path cost — the run with nothing installed must not be
+//     slower than the run that actually records (interleaved min-of-k
+//     walls, 25% slack to absorb shared-host noise), which bounds the
+//     disabled hooks at "no costlier than the enabled ones", i.e. one
+//     relaxed atomic load per record site.
+//
+// Set FOLVEC_SKIP_OVERHEAD_GUARD=1 to skip the wall check (sanitizer or
+// emulated hosts, where timing is meaningless).
+
+struct GuardSample {
+  std::uint64_t instructions = 0;
+  std::uint64_t elements = 0;
+  double wall_seconds = 0;
+};
+
+GuardSample guard_workload() {
+  const auto t0 = std::chrono::steady_clock::now();
+  VectorMachine m;
+  const WordVec keys = random_unique_keys(2048, 1 << 30, 99);
+  std::vector<Word> table(4099, folvec::hashing::kUnentered);
+  folvec::hashing::multi_hash_open_insert(
+      m, table, keys, folvec::hashing::ProbeVariant::kKeyDependent);
+  const WordVec targets = random_keys(1 << 14, 1 << 12, 17);
+  WordVec work(std::size_t{1} << 12, 0);
+  benchmark::DoNotOptimize(folvec::fol::fol1_decompose(m, targets, work));
+  GuardSample s;
+  s.instructions = m.cost().total_instructions();
+  s.elements = m.cost().total_elements();
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return s;
+}
+
+GuardSample run_overhead_guard() {
+  constexpr int kReps = 7;
+  guard_workload();  // warmup: page in code and key material
+
+  // Interleave the disabled and enabled reps so ambient host load (CI
+  // neighbors, background builds) drifts both measurements alike instead
+  // of landing on one side of the comparison.
+  folvec::telemetry::MetricsRegistry registry;
+  folvec::telemetry::SpanTracer tracer;
+  GuardSample off;
+  GuardSample on;
+  for (int i = 0; i < kReps; ++i) {
+    const GuardSample s = guard_workload();
+    GuardSample t;
+    {
+      const folvec::telemetry::ScopedMetrics sm(registry);
+      const folvec::telemetry::ScopedTracer st(tracer);
+      t = guard_workload();
+    }
+    if (i == 0) {
+      off = s;
+      on = t;
+    } else {
+      FOLVEC_CHECK(s.instructions == off.instructions &&
+                       s.elements == off.elements,
+                   "guard workload must be chime-deterministic across runs");
+      off.wall_seconds = std::min(off.wall_seconds, s.wall_seconds);
+      on.wall_seconds = std::min(on.wall_seconds, t.wall_seconds);
+    }
+    FOLVEC_CHECK(t.instructions == off.instructions &&
+                     t.elements == off.elements,
+                 "telemetry must not perturb the modeled instruction stream");
+  }
+
+  const auto skip_env = folvec::env_value("FOLVEC_SKIP_OVERHEAD_GUARD");
+  if (!(skip_env && folvec::env_flag(*skip_env))) {
+    FOLVEC_CHECK(off.wall_seconds <= on.wall_seconds * 1.25,
+                 "disabled-path telemetry hooks cost more than the enabled "
+                 "path: the no-registry fast path has regressed");
+  }
+  off.wall_seconds = on.wall_seconds > 0 ? off.wall_seconds / on.wall_seconds
+                                         : 0;  // report the ratio
+  return off;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const GuardSample guard = run_overhead_guard();
+
+  folvec::bench::BenchReport report("micro_vm");
+  report.config("guard_reps", 7);
+  report.note("guard_chime_instructions", guard.instructions);
+  report.note("guard_chime_elements", guard.elements);
+  report.note("guard_disabled_over_enabled_wall", guard.wall_seconds);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

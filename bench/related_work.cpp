@@ -13,11 +13,16 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/require.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("related_work");
+  report.config("gc_heap_cells", JsonArray{1000, 10000, 100000});
+  report.config("maze_sides", JsonArray{16, 64, 192});
+  report.config("seed", 42);
   const vm::CostParams params = vm::CostParams::s810_like();
 
   {
@@ -41,6 +46,11 @@ int main() {
     table.print(std::cout,
                 "Related work: vectorized copying GC (Appel/Bendiksen "
                 "lineage) on the modeled S-810");
+    report.add_table(
+        "Related work: vectorized copying GC (Appel/Bendiksen lineage) on "
+        "the modeled S-810",
+        table);
+    report.note("gc_accel_largest_heap", prev_size_accel);
     FOLVEC_CHECK(prev_size_accel > 1.0,
                  "vectorized GC must beat scalar on large heaps");
     std::cout << '\n';
@@ -63,6 +73,11 @@ int main() {
     table.print(std::cout,
                 "Related work: vectorized maze routing (Suzuki et al. "
                 "lineage) on the modeled S-810");
+    report.add_table(
+        "Related work: vectorized maze routing (Suzuki et al. lineage) on "
+        "the modeled S-810",
+        table);
+    report.note("maze_best_accel", best);
     FOLVEC_CHECK(best > 1.0,
                  "vectorized routing must beat scalar on large grids");
   }

@@ -11,11 +11,17 @@
 #include <iostream>
 
 #include "bench_harness/experiments.h"
+#include "bench_harness/report.h"
 #include "support/require.h"
 #include "support/table_printer.h"
 
 int main() {
   using namespace folvec;
+  bench::BenchReport report("tab01_sorting");
+  report.config("sizes_log2", JsonArray{6, 10, 14});
+  report.config("addr_calc_vmax_log2", 20);
+  report.config("dist_count_range_log2", 16);
+  report.config("seed", 42);
   const vm::CostParams params = vm::CostParams::s810_like();
   constexpr vm::Word kVmax = 1 << 20;   // address-calc value range
   constexpr vm::Word kRange = 1 << 16;  // dist-count value range (paper's)
@@ -60,6 +66,12 @@ int main() {
   table.print(std::cout,
               "Table 1: CPU time and acceleration of O(N) sorting "
               "algorithms (modeled S-810/20)");
+  report.add_table(
+      "Table 1: CPU time and acceleration of O(N) sorting algorithms "
+      "(modeled S-810/20)",
+      table);
+  report.note("addr_calc_accel_at_max_n", acs_prev);
+  report.note("dist_count_accel_at_max_n", dcs_prev);
   std::cout << "\nshape checks passed: address-calc acceleration grows with "
                "N; dist-counting acceleration shrinks with N\n";
   return 0;

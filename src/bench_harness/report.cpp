@@ -1,0 +1,120 @@
+#include "bench_harness/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "support/env.h"
+#include "vm/machine.h"
+
+namespace folvec::bench {
+
+namespace {
+
+/// The effective backend a default-config machine gets under the current
+/// environment (FOLVEC_BACKEND / FOLVEC_AUDIT), as a JSON object.
+JsonObject probe_backend() {
+  const vm::VectorMachine probe;
+  const vm::MachineConfig& config = probe.config();
+  const bool requested_parallel =
+      config.backend == vm::BackendKind::kParallel;
+  const bool pinned = requested_parallel && probe.audit_enabled();
+  JsonObject out{
+      {"name", probe.backend_name()},
+      {"workers", probe.backend_workers()},
+      {"requested", requested_parallel ? "parallel" : "serial"},
+      {"pinned", pinned},
+      {"pin_reason", pinned ? JsonValue("audit") : JsonValue(nullptr)},
+  };
+  return out;
+}
+
+JsonValue snapshot_to_json_value(const telemetry::MetricsSnapshot& snap) {
+  // Round-trip through the renderer so the report embeds exactly the object
+  // MetricsSnapshot::to_json documents.
+  return JsonValue::parse(snap.to_json(-1));
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+BenchReport::~BenchReport() {
+  if (!written_) write();
+}
+
+void BenchReport::config(std::string_view key, JsonValue value) {
+  config_.emplace_back(std::string(key), std::move(value));
+}
+
+void BenchReport::note(std::string_view key, JsonValue value) {
+  notes_.emplace_back(std::string(key), std::move(value));
+}
+
+void BenchReport::add_table(std::string_view title,
+                            const TablePrinter& table) {
+  JsonArray headers;
+  for (const std::string& h : table.headers()) headers.push_back(h);
+  JsonArray rows;
+  for (const auto& row : table.rows()) {
+    JsonArray cells;
+    for (const std::string& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  tables_.push_back(JsonObject{{"title", std::string(title)},
+                               {"headers", std::move(headers)},
+                               {"rows", std::move(rows)}});
+}
+
+std::string BenchReport::path() const {
+  std::string dir = env_value("FOLVEC_BENCH_JSON_DIR").value_or(".");
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::write() {
+  written_ = true;
+  // Complete the trace / FOLVEC_METRICS files first: the report is the
+  // last artifact, and its metrics snapshot must match what was flushed.
+  session_.flush();
+  const telemetry::MetricsSnapshot snap = session_.registry().snapshot();
+
+  std::uint64_t chime_instructions = 0;
+  std::uint64_t chime_elements = 0;
+  for (const auto& [k, v] : snap.counters) {
+    if (k.rfind("vm.op.", 0) != 0) continue;
+    if (k.size() >= 13 && k.compare(k.size() - 13, 13, ".instructions") == 0) {
+      chime_instructions += v;
+    } else if (k.size() >= 9 && k.compare(k.size() - 9, 9, ".elements") == 0) {
+      chime_elements += v;
+    }
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start_;
+
+  const JsonValue doc(JsonObject{
+      {"schema", "folvec-bench-report-v1"},
+      {"bench", name_},
+      {"config", std::move(config_)},
+      {"backend", probe_backend()},
+      {"chime", JsonObject{{"instructions", chime_instructions},
+                           {"elements", chime_elements}}},
+      {"wall", JsonObject{{"seconds", wall.count()}}},
+      {"tables", std::move(tables_)},
+      {"notes", std::move(notes_)},
+      {"metrics", snapshot_to_json_value(snap)},
+  });
+
+  const std::string out_path = path();
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "folvec: cannot write bench report %s\n",
+                 out_path.c_str());
+    return false;
+  }
+  os << doc.dump(2) << '\n';
+  return os.good();
+}
+
+}  // namespace folvec::bench

@@ -4,6 +4,7 @@
 
 #include "fol/invariants.h"
 #include "support/require.h"
+#include "telemetry/metrics.h"
 #include "vm/checker.h"
 
 namespace folvec::fol {
@@ -18,6 +19,10 @@ Decomposition fol1_decompose(VectorMachine& m,
                              std::span<Word> work) {
   Decomposition out;
   if (index_vector.empty()) return out;
+
+  const vm::AlgoSpan span(m, "fol1.decompose");
+  telemetry::count("fol1.calls");
+  telemetry::count("fol1.lanes", index_vector.size());
 
   // The label rounds below deliberately scatter colliding labels; declare
   // the sanctioned conflict window so ScatterCheck can verify the readbacks
@@ -37,6 +42,8 @@ Decomposition fol1_decompose(VectorMachine& m,
     FOLVEC_CHECK(out.sets.size() < max_rounds,
                  "FOL1 failed to terminate within N rounds; the scatter "
                  "substrate violates the ELS condition");
+    const vm::AlgoSpan round_span(m, "round", out.sets.size());
+    const std::size_t n_remaining = remaining_idx.size();
 
     // Step 1 (writing labels): one list-vector store. The lane positions are
     // globally unique, so they double as this round's labels.
@@ -51,6 +58,9 @@ Decomposition fol1_decompose(VectorMachine& m,
                  "FOL1 round produced an empty set: a contested work word "
                  "holds none of the written labels (ELS violation)");
 
+    telemetry::observe("fol1.set_size", n_survived);
+    telemetry::count("fol1.contested_lanes", n_remaining - n_survived);
+
     const WordVec winners = m.compress(remaining_pos, survived);
     std::vector<std::size_t> set;
     set.reserve(winners.size());
@@ -62,6 +72,8 @@ Decomposition fol1_decompose(VectorMachine& m,
     remaining_idx = m.compress(remaining_idx, contested);
     remaining_pos = m.compress(remaining_pos, contested);
   }
+  telemetry::count("fol1.rounds", out.sets.size());
+  telemetry::observe("fol1.rounds_per_call", out.sets.size());
   if (m.audit_enabled() && !satisfies_all_theorems(out, index_vector)) {
     m.checker()->audit_theorem_violation(
         "FOL1", "decomposition fails satisfies_all_theorems (Theorems 1-6)");

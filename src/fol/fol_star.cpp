@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "support/require.h"
+#include "telemetry/metrics.h"
 #include "vm/checker.h"
 
 namespace folvec::fol {
@@ -47,6 +48,10 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
   }
   if (n0 == 0) return out;
 
+  const vm::AlgoSpan span(m, "fol_star.decompose");
+  telemetry::count("fol_star.calls");
+  telemetry::count("fol_star.tuples", n0);
+
   // The whole tuple-labelling loop is one sanctioned conflict window: every
   // round deliberately scatters colliding labels into `work`.
   const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
@@ -70,6 +75,7 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
       out.unassigned = positions.size();
       break;
     }
+    const vm::AlgoSpan round_span(m, "round", out.sets.size());
     const std::size_t n = positions.size();
 
     // Step 1: scatter each lane's labels (vector), then re-write the last
@@ -110,6 +116,9 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
       ++out.scalar_rescues;
     }
 
+    telemetry::observe("fol_star.set_size", n_ok);
+    telemetry::count("fol_star.contested_tuples", n - n_ok);
+
     const WordVec winners = m.compress(positions, tuple_ok);
     std::vector<std::size_t> set;
     set.reserve(winners.size());
@@ -128,6 +137,11 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     }
     positions = m.compress(positions, contested);
   }
+  telemetry::count("fol_star.rounds", out.sets.size());
+  telemetry::observe("fol_star.rounds_per_call", out.sets.size());
+  telemetry::count("fol_star.scalar_rescues", out.scalar_rescues);
+  telemetry::count("fol_star.forced_singletons", out.forced_singletons);
+  telemetry::count("fol_star.unassigned", out.unassigned);
   return out;
 }
 

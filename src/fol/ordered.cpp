@@ -1,6 +1,7 @@
 #include "fol/ordered.h"
 
 #include "support/require.h"
+#include "telemetry/metrics.h"
 #include "vm/checker.h"
 
 namespace folvec::fol {
@@ -16,6 +17,10 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
   Decomposition out;
   if (index_vector.empty()) return out;
 
+  const vm::AlgoSpan span(m, "fol1_ordered.decompose");
+  telemetry::count("fol1_ordered.calls");
+  telemetry::count("fol1_ordered.lanes", index_vector.size());
+
   // Ordered scatters define their survivor, but the labels left in `work`
   // are still transient: the window marks them for use-after-round checks.
   const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
@@ -28,6 +33,7 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
   while (!remaining_idx.empty()) {
     FOLVEC_CHECK(out.sets.size() < max_rounds,
                  "ordered FOL1 failed to terminate within N rounds");
+    const vm::AlgoSpan round_span(m, "round", out.sets.size());
 
     // Ordered (VSTX) scatter of the labels in reverse lane order: the last
     // store wins deterministically, so each contested work word ends up
@@ -41,6 +47,7 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
     const std::size_t n_survived = m.count_true(survived);
     FOLVEC_CHECK(n_survived > 0,
                  "ordered FOL1 round produced an empty set");
+    telemetry::observe("fol1_ordered.set_size", n_survived);
 
     const WordVec winners = m.compress(remaining_pos, survived);
     std::vector<std::size_t> set;
@@ -52,6 +59,8 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
     remaining_idx = m.compress(remaining_idx, contested);
     remaining_pos = m.compress(remaining_pos, contested);
   }
+  telemetry::count("fol1_ordered.rounds", out.sets.size());
+  telemetry::observe("fol1_ordered.rounds_per_call", out.sets.size());
   return out;
 }
 
@@ -60,6 +69,7 @@ std::size_t replay_journal(VectorMachine& m, std::span<const Word> targets,
                            std::span<Word> work, std::span<Word> table) {
   FOLVEC_REQUIRE(targets.size() == values.size(),
                  "journal targets/values must have equal length");
+  const vm::AlgoSpan span(m, "replay_journal");
   const Decomposition dec = fol1_decompose_ordered(m, targets, work);
   for (const auto& set : dec.sets) {
     WordVec idx(set.size());

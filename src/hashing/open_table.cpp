@@ -4,6 +4,7 @@
 
 #include "hashing/hash_fn.h"
 #include "support/require.h"
+#include "telemetry/metrics.h"
 #include "vm/checker.h"
 
 namespace folvec::hashing {
@@ -58,6 +59,7 @@ std::size_t ScalarOpenTable::insert(Word key) {
   slots_[static_cast<std::size_t>(h)] = key;
   cost_.mem(1);
   ++entered_;
+  telemetry::observe("hashing.scalar.probe_count", probes);
   return probes;
 }
 
@@ -87,6 +89,10 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
   FOLVEC_REQUIRE(keys.size() <= free_slots,
                  "more keys than free slots in the table");
 
+  const vm::AlgoSpan span(m, "hashing.multi_insert");
+  telemetry::count("hashing.insert_calls");
+  telemetry::count("hashing.keys", keys.size());
+
   // Figure 8, first entry attempt: hash, then store keys into empty slots.
   // More than one key may be written to one entry — the ELS scatter keeps
   // exactly one intact, and the check below detects the losers. The whole
@@ -106,10 +112,18 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
   const std::size_t max_iterations = table.size() * 33;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     ++stats.iterations;
+    const vm::AlgoSpan round_span(m, "retry", iter);
     const Mask entered = m.eq(m.gather(table, hashed), key_vec);
     const Mask rest = m.mask_not(entered);
     const std::size_t nrest = m.count_true(rest);
-    if (nrest == 0) return stats;
+    // Keys confirmed entered this pass found their slot on probe iter+1.
+    telemetry::observe("hashing.probe_count", iter + 1,
+                       key_vec.size() - nrest);
+    if (nrest == 0) {
+      telemetry::count("hashing.retry_rounds", stats.iterations);
+      telemetry::observe("hashing.retry_rounds_per_call", stats.iterations);
+      return stats;
+    }
 
     hashed = m.compress(hashed, rest);
     key_vec = m.compress(key_vec, rest);

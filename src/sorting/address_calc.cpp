@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "support/require.h"
+#include "telemetry/metrics.h"
 #include "vm/checker.h"
 
 namespace folvec::sorting {
@@ -93,6 +94,8 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
   check_input(data, vmax);
   const auto n = static_cast<Word>(data.size());
   if (n == 0) return stats;
+  const vm::AlgoSpan span(m, "sorting.address_calc");
+  telemetry::count("sorting.address_calc.calls");
   const Word unentered = vmax;
 
   std::vector<Word> c(static_cast<std::size_t>(3 * n));
@@ -103,6 +106,7 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
   WordVec hv = m.div_scalar(m.mul_scalar(a, 2 * n), vmax);
 
   while (!a.empty()) {
+    const vm::AlgoSpan pass_span(m, "pass", stats.outer_passes);
     ++stats.outer_passes;
 
     // B: advance lanes whose slot holds a value <= their datum. The loop is
@@ -156,6 +160,10 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
   const WordVec sorted = m.compress(cv, m.ne_scalar(cv, unentered));
   FOLVEC_CHECK(sorted.size() == data.size(), "pack phase lost elements");
   m.store(data, 0, sorted);
+  // Displacement statistics: how far the probe/ripple loops had to walk.
+  telemetry::count("sorting.address_calc.outer_passes", stats.outer_passes);
+  telemetry::observe("sorting.address_calc.probe_steps", stats.probe_steps);
+  telemetry::observe("sorting.address_calc.shift_steps", stats.shift_steps);
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #include "fol/fol1.h"
 #include "sorting/scan.h"
 #include "support/require.h"
+#include "telemetry/metrics.h"
 
 namespace folvec::sorting {
 
@@ -61,6 +62,8 @@ DistCountStats dist_count_sort_vector(VectorMachine& m, std::span<Word> data,
   DistCountStats stats;
   check_input(data, range);
   if (data.empty()) return stats;
+  const vm::AlgoSpan span(m, "sorting.dist_count");
+  telemetry::count("sorting.dist_count.calls");
 
   std::vector<Word> count(static_cast<std::size_t>(range));
   m.fill(count, 0);
@@ -99,6 +102,7 @@ DistCountStats dist_count_sort_vector(VectorMachine& m, std::span<Word> data,
   }
 
   m.store(data, 0, m.load(out, 0, out.size()));
+  telemetry::count("sorting.dist_count.fol_rounds", stats.fol_rounds);
   return stats;
 }
 

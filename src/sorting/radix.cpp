@@ -5,6 +5,7 @@
 #include "fol/ordered.h"
 #include "sorting/scan.h"
 #include "support/require.h"
+#include "telemetry/metrics.h"
 
 namespace folvec::sorting {
 
@@ -79,6 +80,8 @@ RadixStats radix_sort_vector(VectorMachine& m, std::span<Word> data,
   const auto radix = std::size_t{1} << bits_per_digit;
   const auto mask = static_cast<Word>(radix - 1);
   const int passes = passes_needed(data, bits_per_digit);
+  const vm::AlgoSpan span(m, "sorting.radix");
+  telemetry::count("sorting.radix.calls");
 
   std::vector<Word> count(radix);
   std::vector<Word> base(radix);
@@ -87,6 +90,8 @@ RadixStats radix_sort_vector(VectorMachine& m, std::span<Word> data,
   WordVec vals = m.copy(data);
 
   for (int p = 0; p < passes; ++p) {
+    const vm::AlgoSpan pass_span(m, "digit_pass",
+                                 static_cast<std::size_t>(p));
     ++stats.digit_passes;
     const int shift = p * bits_per_digit;
     const WordVec digits = m.and_scalar(m.shr_scalar(vals, shift), mask);
@@ -125,6 +130,8 @@ RadixStats radix_sort_vector(VectorMachine& m, std::span<Word> data,
   }
   m.retire_work(work);
   m.store(data, 0, vals);
+  telemetry::count("sorting.radix.fol_rounds", stats.fol_rounds);
+  telemetry::count("sorting.radix.digit_passes", stats.digit_passes);
   return stats;
 }
 

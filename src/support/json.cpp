@@ -1,0 +1,313 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace folvec {
+
+namespace {
+
+/// Renders a double the way the repo's JSON wants it: integers without a
+/// fractional part (counters and chime counts stay grep-able), everything
+/// else with round-trip precision.
+std::string render_number(double d) {
+  FOLVEC_REQUIRE(std::isfinite(d), "JSON cannot represent NaN or infinity");
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Shorten when a lower precision already round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char trial[64];
+    std::snprintf(trial, sizeof trial, "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(trial, "%lf", &back);
+    if (back == d) return trial;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    const JsonValue v = value();
+    skip_ws();
+    FOLVEC_REQUIRE(pos_ == text_.size(), err("trailing characters"));
+    return v;
+  }
+
+ private:
+  std::string err(const std::string& what) const {
+    return "JSON parse error at byte " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    FOLVEC_REQUIRE(pos_ < text_.size(), err("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    FOLVEC_REQUIRE(consume(c), err(std::string("expected '") + c + "'"));
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return JsonValue(string());
+      case 't':
+        FOLVEC_REQUIRE(literal("true"), err("bad literal"));
+        return JsonValue(true);
+      case 'f':
+        FOLVEC_REQUIRE(literal("false"), err("bad literal"));
+        return JsonValue(false);
+      case 'n':
+        FOLVEC_REQUIRE(literal("null"), err("bad literal"));
+        return JsonValue(nullptr);
+      default:
+        return JsonValue(number());
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject members;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(members));
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue(std::move(members));
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray items;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(items));
+    for (;;) {
+      items.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue(std::move(items));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      FOLVEC_REQUIRE(pos_ < text_.size(), err("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      FOLVEC_REQUIRE(pos_ < text_.size(), err("unterminated escape"));
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          FOLVEC_REQUIRE(pos_ + 4 <= text_.size(), err("short \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else FOLVEC_REQUIRE(false, err("bad \\u escape"));
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // nothing in the repo emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          FOLVEC_REQUIRE(false, err("unknown escape"));
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    FOLVEC_REQUIRE(pos_ > start, err("expected a value"));
+    double out = 0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    FOLVEC_REQUIRE(res.ec == std::errc() && res.ptr == text_.data() + pos_,
+                   err("malformed number"));
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_to(const JsonValue& v, std::ostringstream& os, int indent,
+             int depth) {
+  const auto newline = [&](int d) {
+    if (indent >= 0) {
+      os << '\n';
+      for (int i = 0; i < indent * d; ++i) os << ' ';
+    }
+  };
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_number()) {
+    os << render_number(v.as_number());
+  } else if (v.is_string()) {
+    os << JsonValue::quote(v.as_string());
+  } else if (v.is_array()) {
+    const JsonArray& a = v.as_array();
+    if (a.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i != 0) os << ',';
+      newline(depth + 1);
+      dump_to(a[i], os, indent, depth + 1);
+    }
+    newline(depth);
+    os << ']';
+  } else {
+    const JsonObject& o = v.as_object();
+    if (o.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i != 0) os << ',';
+      newline(depth + 1);
+      os << JsonValue::quote(o[i].first) << (indent >= 0 ? ": " : ":");
+      dump_to(o[i].second, os, indent, depth + 1);
+    }
+    newline(depth);
+    os << '}';
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  dump_to(*this, os, indent, 0);
+  return os.str();
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace folvec

@@ -1,0 +1,88 @@
+// Minimal JSON value model, writer, and recursive-descent parser.
+//
+// The telemetry layer renders metric snapshots and Chrome trace events as
+// JSON, the bench reporter writes BENCH_<name>.json files, and the CI schema
+// checker (tools/bench_schema_check) reads them back. One shared value model
+// keeps writer and reader agreeing on the dialect: UTF-8 passthrough
+// strings, doubles rendered with enough digits to round-trip, no comments,
+// no trailing commas. This is not a general-purpose JSON library — it
+// supports exactly what the repo's own files need, which is also why it can
+// stay ~200 lines and dependency-free.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace folvec {
+
+class JsonValue;
+
+/// Object members keep insertion order (benches want stable, diffable
+/// files), so the storage is a vector of pairs, not a map.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : value_(b) {}                        // NOLINT
+  JsonValue(double d) : value_(d) {}                      // NOLINT
+  template <typename I>
+    requires(std::integral<I> && !std::same_as<I, bool>)
+  JsonValue(I i) : value_(static_cast<double>(i)) {}      // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}      // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}    // NOLINT
+  JsonValue(JsonArray a)                                  // NOLINT
+      : value_(std::make_shared<JsonArray>(std::move(a))) {}
+  JsonValue(JsonObject o)                                 // NOLINT
+      : value_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(value_);
+  }
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(value_);
+  }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(value_);
+  }
+  const JsonObject& as_object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(value_);
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Serializes compactly (`indent < 0`) or pretty-printed with `indent`
+  /// spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document. Throws folvec::PreconditionError with
+  /// a byte offset on malformed input; trailing garbage is an error.
+  static JsonValue parse(std::string_view text);
+
+  /// Escapes and quotes one string for direct streaming into JSON output.
+  static std::string quote(std::string_view s);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      value_;
+};
+
+}  // namespace folvec

@@ -50,6 +50,11 @@ class TablePrinter {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Raw access for the bench reporter's JSON twins: the header names and
+  /// the rendered (string-form) rows, in insertion order.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,229 @@
+#include "telemetry/metrics.h"
+
+#include <atomic>
+#include <bit>
+#include <sstream>
+
+#include "support/json.h"
+
+namespace folvec::telemetry {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+/// Namespaces that describe the host-execution machinery (thread pool,
+/// backend identity) rather than the modeled computation; excluded from the
+/// deterministic view because they legitimately vary with worker count.
+bool is_host_namespace(std::string_view name) {
+  return name.rfind("pool.", 0) == 0 || name.rfind("backend.", 0) == 0;
+}
+
+}  // namespace
+
+// ---- HistogramData ----------------------------------------------------------
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::pair<std::uint64_t, std::uint64_t> histogram_bucket_range(std::size_t b) {
+  if (b == 0) return {0, 0};
+  const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+  const std::uint64_t hi =
+      b == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  return {lo, hi};
+}
+
+void HistogramData::record(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  buckets[histogram_bucket(value)] += weight;
+  if (count == 0 || value < min) min = value;
+  if (value > max) max = value;
+  count += weight;
+  sum += value * weight;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  if (count == 0 || other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+}
+
+// ---- MetricsSnapshot --------------------------------------------------------
+
+MetricsSnapshot MetricsSnapshot::deterministic() const {
+  MetricsSnapshot out;
+  for (const auto& [k, v] : counters) {
+    if (!is_host_namespace(k)) out.counters.emplace(k, v);
+  }
+  for (const auto& [k, v] : gauges) {
+    if (!is_host_namespace(k)) out.gauges.emplace(k, v);
+  }
+  for (const auto& [k, v] : histograms) {
+    if (!is_host_namespace(k)) out.histograms.emplace(k, v);
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& after,
+                                      const MetricsSnapshot& before) {
+  MetricsSnapshot out = after;
+  for (auto& [k, v] : out.counters) {
+    const auto it = before.counters.find(k);
+    if (it != before.counters.end()) v -= it->second;
+  }
+  for (auto& [k, h] : out.histograms) {
+    const auto it = before.histograms.find(k);
+    if (it == before.histograms.end()) continue;
+    const HistogramData& b = it->second;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      h.buckets[i] -= b.buckets[i];
+    }
+    h.count -= b.count;
+    h.sum -= b.sum;
+    // min/max cannot be un-merged; keep the after-side extremes.
+  }
+  for (auto& [k, t] : out.timings) {
+    const auto it = before.timings.find(k);
+    if (it != before.timings.end()) t -= it->second;
+  }
+  return out;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) {
+    const auto [it, fresh] = gauges.emplace(k, v);
+    if (!fresh && v > it->second) it->second = v;
+  }
+  for (const auto& [k, h] : other.histograms) histograms[k].merge(h);
+  for (const auto& [k, t] : other.timings) timings[k] += t;
+  for (const auto& [k, s] : other.labels) labels[k] = s;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters) {
+    os << "counter   " << k << " = " << v << '\n';
+  }
+  for (const auto& [k, v] : gauges) {
+    os << "gauge     " << k << " = " << v << '\n';
+  }
+  for (const auto& [k, h] : histograms) {
+    os << "histogram " << k << ": count=" << h.count << " sum=" << h.sum
+       << " min=" << h.min << " max=" << h.max << '\n';
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      const auto [lo, hi] = histogram_bucket_range(b);
+      os << "            [" << lo << ".." << hi << "] " << h.buckets[b]
+         << '\n';
+    }
+  }
+  for (const auto& [k, t] : timings) {
+    os << "timing    " << k << " = " << t << " s\n";
+  }
+  for (const auto& [k, s] : labels) {
+    os << "label     " << k << " = " << s << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  JsonObject counters_json;
+  for (const auto& [k, v] : counters) counters_json.emplace_back(k, v);
+  JsonObject gauges_json;
+  for (const auto& [k, v] : gauges) gauges_json.emplace_back(k, v);
+  JsonObject hists_json;
+  for (const auto& [k, h] : histograms) {
+    JsonArray buckets;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      const auto [lo, hi] = histogram_bucket_range(b);
+      buckets.push_back(JsonObject{
+          {"lo", lo}, {"hi", hi}, {"count", h.buckets[b]}});
+    }
+    hists_json.emplace_back(
+        k, JsonObject{{"count", h.count},
+                      {"sum", h.sum},
+                      {"min", h.min},
+                      {"max", h.max},
+                      {"buckets", std::move(buckets)}});
+  }
+  JsonObject timings_json;
+  for (const auto& [k, t] : timings) timings_json.emplace_back(k, t);
+  JsonObject labels_json;
+  for (const auto& [k, s] : labels) labels_json.emplace_back(k, s);
+  const JsonValue doc(JsonObject{{"counters", std::move(counters_json)},
+                                 {"gauges", std::move(gauges_json)},
+                                 {"histograms", std::move(hists_json)},
+                                 {"timings", std::move(timings_json)},
+                                 {"labels", std::move(labels_json)}});
+  return doc.dump(indent);
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  data_.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  data_.gauges[std::string(name)] = value;
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto [it, fresh] = data_.gauges.emplace(std::string(name), value);
+  if (!fresh && value > it->second) it->second = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value,
+                              std::uint64_t weight) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  data_.histograms[std::string(name)].record(value, weight);
+}
+
+void MetricsRegistry::time_add(std::string_view name, double seconds) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  data_.timings[std::string(name)] += seconds;
+}
+
+void MetricsRegistry::label(std::string_view name, std::string value) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  data_.labels[std::string(name)] = std::move(value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return data_;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  data_ = MetricsSnapshot{};
+}
+
+// ---- global install ---------------------------------------------------------
+
+MetricsRegistry* metrics() {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+void install_metrics(MetricsRegistry* registry) {
+  g_metrics.store(registry, std::memory_order_release);
+}
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry& registry)
+    : previous_(metrics()) {
+  install_metrics(&registry);
+}
+
+ScopedMetrics::~ScopedMetrics() { install_metrics(previous_); }
+
+}  // namespace folvec::telemetry

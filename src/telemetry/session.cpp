@@ -1,0 +1,56 @@
+#include "telemetry/session.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/env.h"
+
+namespace folvec::telemetry {
+
+EnvSession::EnvSession() : previous_metrics_(metrics()) {
+  install_metrics(&registry_);
+  trace_path_ = env_value("FOLVEC_TRACE_JSON");
+  if (trace_path_) {
+    tracer_ = std::make_unique<SpanTracer>();
+    previous_tracer_ = tracer();
+    install_tracer(tracer_.get());
+  }
+  metrics_path_ = env_value("FOLVEC_METRICS");
+}
+
+void EnvSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (tracer_ && trace_path_) {
+    if (!tracer_->write_chrome_trace_file(*trace_path_)) {
+      std::fprintf(stderr, "folvec: failed to write FOLVEC_TRACE_JSON=%s\n",
+                   trace_path_->c_str());
+    }
+  }
+  if (metrics_path_) {
+    const std::string text = registry_.snapshot().to_json();
+    // "-" and boolean spellings mean stderr; anything else is a file path.
+    const std::string norm = env_normalize(*metrics_path_);
+    const bool to_stderr = norm == "-" || norm == "1" || norm == "true" ||
+                           norm == "on" || norm == "yes" || norm == "stderr";
+    if (to_stderr) {
+      std::fprintf(stderr, "%s\n", text.c_str());
+    } else {
+      std::ofstream os(*metrics_path_);
+      if (os) {
+        os << text << '\n';
+      } else {
+        std::fprintf(stderr, "folvec: failed to write FOLVEC_METRICS=%s\n",
+                     metrics_path_->c_str());
+      }
+    }
+  }
+}
+
+EnvSession::~EnvSession() {
+  flush();
+  if (tracer_) install_tracer(previous_tracer_);
+  install_metrics(previous_metrics_);
+}
+
+}  // namespace folvec::telemetry

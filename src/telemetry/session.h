@@ -1,0 +1,56 @@
+// Environment-driven telemetry session.
+//
+// EnvSession is the one object a binary needs to construct to honor the
+// telemetry environment variables:
+//
+//   FOLVEC_TRACE_JSON=<path>  install a SpanTracer, write a Chrome
+//                             trace-event file to <path> at destruction
+//   FOLVEC_METRICS=<path>     write the final metrics snapshot as JSON to
+//                             <path> at destruction ("-" = stderr; boolean
+//                             spellings like "1" also mean stderr)
+//
+// A MetricsRegistry is installed unconditionally: the registry itself is
+// cheap and the bench reporter reads the snapshot whether or not
+// FOLVEC_METRICS asked for a copy on disk. Binaries that want the
+// zero-overhead path (micro_vm's guard) simply don't construct a session.
+//
+// The session installs on construction and uninstalls + flushes on
+// destruction, so a bench main's natural scoping produces complete files.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/spans.h"
+
+namespace folvec::telemetry {
+
+class EnvSession {
+ public:
+  EnvSession();
+  ~EnvSession();
+  EnvSession(const EnvSession&) = delete;
+  EnvSession& operator=(const EnvSession&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  /// Non-null when FOLVEC_TRACE_JSON requested a trace.
+  SpanTracer* span_tracer() { return tracer_.get(); }
+  const std::optional<std::string>& trace_path() const { return trace_path_; }
+
+  /// Writes pending outputs (trace file, FOLVEC_METRICS dump) now instead of
+  /// at destruction; safe to call more than once.
+  void flush();
+
+ private:
+  MetricsRegistry registry_;
+  std::unique_ptr<SpanTracer> tracer_;
+  std::optional<std::string> trace_path_;
+  std::optional<std::string> metrics_path_;
+  MetricsRegistry* previous_metrics_;
+  SpanTracer* previous_tracer_ = nullptr;
+  bool flushed_ = false;
+};
+
+}  // namespace folvec::telemetry

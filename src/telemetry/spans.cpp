@@ -1,0 +1,119 @@
+#include "telemetry/spans.h"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+#include "support/json.h"
+
+namespace folvec::telemetry {
+
+namespace {
+
+std::atomic<SpanTracer*> g_tracer{nullptr};
+
+}  // namespace
+
+SpanTracer::SpanTracer(std::size_t capacity)
+    : epoch_(Clock::now()), capacity_(capacity) {
+  events_.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void SpanTracer::push(Event e) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::begin(std::string name, std::uint64_t chime_instructions,
+                       std::uint64_t chime_elements) {
+  stack_.push_back(
+      Open{std::move(name), Clock::now(), chime_instructions, chime_elements});
+}
+
+void SpanTracer::end(std::uint64_t chime_instructions,
+                     std::uint64_t chime_elements) {
+  if (stack_.empty()) return;
+  Open open = std::move(stack_.back());
+  stack_.pop_back();
+  const double ts = to_us(open.start);
+  const double dur = to_us(Clock::now()) - ts;
+  push(Event{/*static_name=*/nullptr, std::move(open.name), ts, dur,
+             /*elements=*/0,
+             chime_instructions >= open.chime_instructions
+                 ? chime_instructions - open.chime_instructions
+                 : 0,
+             chime_elements >= open.chime_elements
+                 ? chime_elements - open.chime_elements
+                 : 0,
+             /*is_op=*/false});
+}
+
+void SpanTracer::op(const char* static_name, std::size_t elements,
+                    Clock::time_point start, Clock::time_point end) {
+  const double ts = to_us(start);
+  push(Event{static_name, std::string(), ts, to_us(end) - ts,
+             static_cast<std::uint64_t>(elements), 0, 0, /*is_op=*/true});
+}
+
+void SpanTracer::append_event_json(std::ostream& os, const Event& e,
+                                   bool& first) const {
+  if (!first) os << ",\n";
+  first = false;
+  const std::string_view name =
+      e.static_name != nullptr ? std::string_view(e.static_name)
+                               : std::string_view(e.name);
+  os << "    {\"name\": " << JsonValue::quote(name)
+     << ", \"cat\": " << (e.is_op ? "\"op\"" : "\"span\"")
+     << ", \"ph\": \"X\", \"pid\": 1, \"tid\": 1"
+     << ", \"ts\": " << JsonValue(e.ts_us).dump()
+     << ", \"dur\": " << JsonValue(e.dur_us).dump();
+  if (e.is_op) {
+    os << ", \"args\": {\"elements\": " << e.elements << "}";
+  } else {
+    os << ", \"args\": {\"chime_instructions\": " << e.chime_instructions
+       << ", \"chime_elements\": " << e.chime_elements << "}";
+  }
+  os << "}";
+}
+
+void SpanTracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& e : events_) append_event_json(os, e, first);
+  // Spans still open at write time are emitted as-of-now so a trace
+  // captured mid-run (e.g. from an atexit hook) is still well formed.
+  const double now_us = to_us(Clock::now());
+  for (const Open& open : stack_) {
+    const double ts = to_us(open.start);
+    append_event_json(
+        os,
+        Event{nullptr, open.name, ts, now_us - ts, 0, 0, 0, /*is_op=*/false},
+        first);
+  }
+  os << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
+     << "\"dropped_events\": " << dropped_ << "}\n}\n";
+}
+
+bool SpanTracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+SpanTracer* tracer() { return g_tracer.load(std::memory_order_relaxed); }
+
+void install_tracer(SpanTracer* t) {
+  g_tracer.store(t, std::memory_order_release);
+}
+
+ScopedTracer::ScopedTracer(SpanTracer& t) : previous_(tracer()) {
+  install_tracer(&t);
+}
+
+ScopedTracer::~ScopedTracer() { install_tracer(previous_); }
+
+}  // namespace folvec::telemetry

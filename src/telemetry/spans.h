@@ -1,0 +1,146 @@
+// Span tracing with Chrome trace-event export.
+//
+// A SpanTracer collects a timeline of nested spans — algorithm phases like
+// `fol1.decompose > round[3] > v.scatter` — each carrying measured host
+// wall time and, when the opener supplies them, chime deltas (modeled
+// instruction/element counts). The timeline serializes as Chrome
+// trace-event JSON ("X" complete events), so a run opens directly in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Like TraceSink and the metrics registry, the tracer is a process-wide
+// borrowed pointer, nullptr by default: every probe is one relaxed atomic
+// load when tracing is off. Set FOLVEC_TRACE_JSON=<path> to have
+// telemetry::EnvSession (used by every bench binary) install a tracer and
+// write the file at exit.
+//
+// Spans are single-threaded by design: algorithms issue instructions from
+// the machine's issuing thread, and worker-thread activity shows up in the
+// "pool." metrics instead. The tracer therefore keeps one open-span stack.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace folvec::telemetry {
+
+class SpanTracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `capacity` bounds the stored event count (long bench runs would
+  /// otherwise grow without limit); events past the cap are counted in
+  /// dropped() but not stored. Open-span stack depth is unaffected.
+  explicit SpanTracer(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  /// Opens a nested span. `chime_instructions`/`chime_elements` are the
+  /// opener's running totals (0 when unknown); the matching end() computes
+  /// the deltas attributed to the span.
+  void begin(std::string name, std::uint64_t chime_instructions = 0,
+             std::uint64_t chime_elements = 0);
+
+  /// Closes the innermost open span. Unbalanced end() is ignored.
+  void end(std::uint64_t chime_instructions = 0,
+           std::uint64_t chime_elements = 0);
+
+  /// Records one leaf event for a machine instruction: `static_name` must
+  /// point at storage that outlives the tracer (op-class mnemonics do).
+  void op(const char* static_name, std::size_t elements, Clock::time_point start,
+          Clock::time_point end);
+
+  /// Stored events (ops + closed spans).
+  std::size_t size() const { return events_.size(); }
+  /// Events discarded because the capacity was reached.
+  std::size_t dropped() const { return dropped_; }
+  /// Depth of currently open spans.
+  std::size_t open_depth() const { return stack_.size(); }
+
+  /// Writes the collected timeline as a Chrome trace-event JSON object:
+  /// {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}.
+  /// Open spans are closed as-of-now in the output (the tracer's own state
+  /// is not modified).
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Convenience: write_chrome_trace to `path`; returns false on I/O error.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* static_name;  // non-null for op events
+    std::string name;         // used when static_name is null
+    double ts_us;
+    double dur_us;
+    std::uint64_t elements;
+    std::uint64_t chime_instructions;
+    std::uint64_t chime_elements;
+    bool is_op;
+  };
+  struct Open {
+    std::string name;
+    Clock::time_point start;
+    std::uint64_t chime_instructions;
+    std::uint64_t chime_elements;
+  };
+
+  double to_us(Clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+  void push(Event e);
+  void append_event_json(std::ostream& os, const Event& e, bool& first) const;
+
+  Clock::time_point epoch_;
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  std::vector<Open> stack_;
+  std::size_t dropped_ = 0;
+};
+
+/// The installed tracer, or nullptr (borrowed, same contract as metrics()).
+SpanTracer* tracer();
+void install_tracer(SpanTracer* t);
+
+/// True when a tracer is installed — use to guard expensive name building.
+inline bool tracing() { return tracer() != nullptr; }
+
+/// RAII span against the installed tracer; a no-op when tracing is off.
+/// Chime-carrying spans are opened through vm::AlgoSpan (vm/machine.h),
+/// which reads the machine's cost accumulator on both edges.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : active_(tracing()) {
+    if (active_) tracer()->begin(name);
+  }
+  /// Builds "prefix[index]" only when tracing is on.
+  ScopedSpan(const char* prefix, std::size_t index) : active_(tracing()) {
+    if (active_) {
+      tracer()->begin(std::string(prefix) + '[' + std::to_string(index) + ']');
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) tracer()->end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// RAII install/uninstall of a tracer (tests, bench mains).
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(SpanTracer& t);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  SpanTracer* previous_;
+};
+
+}  // namespace folvec::telemetry

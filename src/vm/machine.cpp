@@ -1,7 +1,10 @@
 #include "vm/machine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <numeric>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +14,29 @@
 #include "vm/parallel_backend.h"
 
 namespace folvec::vm {
+
+namespace {
+
+/// Whether this machine's config asked for the parallel backend but audit
+/// mode pinned execution to the serial reference path.
+bool audit_pinned(const MachineConfig& config, bool audited) {
+  return audited && config.backend == BackendKind::kParallel;
+}
+
+/// One-time stderr notice that the parallel request was pinned to serial;
+/// per-machine repetition would drown test output, but silence would leave
+/// FOLVEC_BACKEND=parallel users benchmarking the wrong backend unawares.
+void warn_audit_pin_once() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "folvec: audit mode pins execution to the serial backend; "
+                 "the requested parallel backend is ignored "
+                 "(set FOLVEC_AUDIT=0 to benchmark parallel execution)\n");
+  }
+}
+
+}  // namespace
 
 bool MachineConfig::audit_default() {
   if (const auto env = env_value("FOLVEC_AUDIT")) return env_flag(*env);
@@ -49,11 +75,53 @@ VectorMachine::VectorMachine(const MachineConfig& config)
   } else {
     backend_ = std::make_unique<SerialBackend>();
   }
+  if (audit_pinned(config_, checker_ != nullptr)) warn_audit_pin_once();
 }
 
-VectorMachine::~VectorMachine() = default;
+VectorMachine::~VectorMachine() {
+  // A moved-from machine has no backend (and nothing to report).
+  if (backend_ != nullptr) flush_telemetry();
+}
+
 VectorMachine::VectorMachine(VectorMachine&&) noexcept = default;
 VectorMachine& VectorMachine::operator=(VectorMachine&&) noexcept = default;
+
+void VectorMachine::flush_telemetry() const {
+  telemetry::MetricsRegistry* r = telemetry::metrics();
+  if (r == nullptr) return;
+  r->add("vm.machines", 1);
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    if (cost_.instructions(c) == 0) continue;
+    const std::string base = std::string("vm.op.") + op_class_name(c);
+    r->add(base + ".instructions", cost_.instructions(c));
+    r->add(base + ".elements", cost_.elements(c));
+    r->time_add(base + ".wall_seconds", cost_.wall_seconds(c));
+  }
+  if (checker_ != nullptr) {
+    const HazardReport& report = checker_->report();
+    for (int k = 0; k <= static_cast<int>(HazardKind::kTheoremViolation);
+         ++k) {
+      const auto kind = static_cast<HazardKind>(k);
+      const std::size_t n = report.count(kind);
+      if (n != 0) {
+        r->add(std::string("audit.hazard.") + hazard_kind_name(kind), n);
+      }
+    }
+  }
+  // Backend identity lives in the excluded-from-determinism "backend."
+  // namespace: it legitimately differs between serial and parallel runs.
+  r->label("backend.name", backend_name());
+  r->label("backend.requested", config_.backend == BackendKind::kParallel
+                                    ? "parallel"
+                                    : "serial");
+  r->gauge_max("backend.workers",
+               static_cast<std::int64_t>(backend_workers()));
+  if (audit_pinned(config_, checker_ != nullptr)) {
+    r->add("backend.pinned", 1);
+    r->label("backend.pin_reason", "audit");
+  }
+}
 
 const char* VectorMachine::backend_name() const { return backend_->name(); }
 
@@ -77,7 +145,7 @@ void VectorMachine::retire_work(std::span<const Word> region) {
 // ---- vector generation -----------------------------------------------------
 
 WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
-  const OpTimer timer(cost_, OpClass::kVectorArith);
+  const OpTimer timer(cost_, OpClass::kVectorArith, n);
   issue(OpClass::kVectorArith, n);
   WordVec out(n);
   Word* o = out.data();
@@ -90,7 +158,7 @@ WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
 }
 
 WordVec VectorMachine::splat(std::size_t n, Word value) {
-  const OpTimer timer(cost_, OpClass::kVectorArith);
+  const OpTimer timer(cost_, OpClass::kVectorArith, n);
   issue(OpClass::kVectorArith, n);
   WordVec out(n);
   Word* o = out.data();
@@ -101,7 +169,7 @@ WordVec VectorMachine::splat(std::size_t n, Word value) {
 }
 
 WordVec VectorMachine::copy(std::span<const Word> v) {
-  const OpTimer timer(cost_, OpClass::kVectorLoad);
+  const OpTimer timer(cost_, OpClass::kVectorLoad, v.size());
   issue(OpClass::kVectorLoad, v.size());
   WordVec out(v.size());
   Word* o = out.data();
@@ -113,7 +181,7 @@ WordVec VectorMachine::copy(std::span<const Word> v) {
 }
 
 WordVec VectorMachine::reverse(std::span<const Word> v) {
-  const OpTimer timer(cost_, OpClass::kVectorLoad);
+  const OpTimer timer(cost_, OpClass::kVectorLoad, v.size());
   issue(OpClass::kVectorLoad, v.size());
   const std::size_t n = v.size();
   WordVec out(n);
@@ -130,7 +198,7 @@ template <typename F>
 WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
                            F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorArith);
+  const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
   Word* o = out.data();
@@ -142,7 +210,7 @@ WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
 
 template <typename F>
 WordVec VectorMachine::map(std::span<const Word> a, F f) {
-  const OpTimer timer(cost_, OpClass::kVectorArith);
+  const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
   Word* o = out.data();
@@ -174,7 +242,7 @@ WordVec VectorMachine::mul_scalar(std::span<const Word> a, Word s) {
 
 WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
   FOLVEC_REQUIRE(s > 0, "div_scalar needs a positive divisor");
-  const OpTimer timer(cost_, OpClass::kVectorDiv);
+  const OpTimer timer(cost_, OpClass::kVectorDiv, a.size());
   issue(OpClass::kVectorDiv, a.size());
   WordVec out(a.size());
   Word* o = out.data();
@@ -191,7 +259,7 @@ WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
 
 WordVec VectorMachine::mod_scalar(std::span<const Word> a, Word s) {
   FOLVEC_REQUIRE(s > 0, "mod_scalar needs a positive modulus");
-  const OpTimer timer(cost_, OpClass::kVectorDiv);
+  const OpTimer timer(cost_, OpClass::kVectorDiv, a.size());
   issue(OpClass::kVectorDiv, a.size());
   WordVec out(a.size());
   Word* o = out.data();
@@ -236,7 +304,7 @@ template <typename F>
 Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b,
                         F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorCompare);
+  const OpTimer timer(cost_, OpClass::kVectorCompare, a.size());
   issue(OpClass::kVectorCompare, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
@@ -248,7 +316,7 @@ Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b,
 
 template <typename F>
 Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f) {
-  const OpTimer timer(cost_, OpClass::kVectorCompare);
+  const OpTimer timer(cost_, OpClass::kVectorCompare, a.size());
   issue(OpClass::kVectorCompare, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
@@ -298,7 +366,7 @@ Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
 
 Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorMask);
+  const OpTimer timer(cost_, OpClass::kVectorMask, a.size());
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
@@ -312,7 +380,7 @@ Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
 
 Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorMask);
+  const OpTimer timer(cost_, OpClass::kVectorMask, a.size());
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
@@ -325,7 +393,7 @@ Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
 }
 
 Mask VectorMachine::mask_not(const Mask& a) {
-  const OpTimer timer(cost_, OpClass::kVectorMask);
+  const OpTimer timer(cost_, OpClass::kVectorMask, a.size());
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
@@ -336,7 +404,7 @@ Mask VectorMachine::mask_not(const Mask& a) {
 }
 
 std::size_t VectorMachine::count_true(const Mask& m) {
-  const OpTimer timer(cost_, OpClass::kVectorReduce);
+  const OpTimer timer(cost_, OpClass::kVectorReduce, m.size());
   issue(OpClass::kVectorReduce, m.size());
   return backend_->count_true(m);
 }
@@ -344,21 +412,21 @@ std::size_t VectorMachine::count_true(const Mask& m) {
 // ---- reductions ---------------------------------------------------------------
 
 Word VectorMachine::reduce_sum(std::span<const Word> v) {
-  const OpTimer timer(cost_, OpClass::kVectorReduce);
+  const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
   return backend_->reduce_sum(v);
 }
 
 Word VectorMachine::reduce_min(std::span<const Word> v) {
   FOLVEC_REQUIRE(!v.empty(), "reduce_min needs a nonempty vector");
-  const OpTimer timer(cost_, OpClass::kVectorReduce);
+  const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
   return backend_->reduce_min(v);
 }
 
 Word VectorMachine::reduce_max(std::span<const Word> v) {
   FOLVEC_REQUIRE(!v.empty(), "reduce_max needs a nonempty vector");
-  const OpTimer timer(cost_, OpClass::kVectorReduce);
+  const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
   return backend_->reduce_max(v);
 }
@@ -367,7 +435,7 @@ Word VectorMachine::reduce_max(std::span<const Word> v) {
 
 WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorCompress);
+  const OpTimer timer(cost_, OpClass::kVectorCompress, v.size());
   issue(OpClass::kVectorCompress, v.size());
   return backend_->compress(v, m);
 }
@@ -376,7 +444,7 @@ WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
                               std::span<const Word> b) {
   FOLVEC_REQUIRE(a.size() == b.size() && a.size() == m.size(),
                  "select operand lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorArith);
+  const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
   Word* o = out.data();
@@ -387,7 +455,7 @@ WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
 }
 
 WordVec VectorMachine::from_mask(const Mask& m) {
-  const OpTimer timer(cost_, OpClass::kVectorArith);
+  const OpTimer timer(cost_, OpClass::kVectorArith, m.size());
   issue(OpClass::kVectorArith, m.size());
   WordVec out(m.size());
   Word* o = out.data();
@@ -406,7 +474,7 @@ void VectorMachine::store(std::span<Word> table, std::size_t offset,
   FOLVEC_REQUIRE(offset <= table.size() && v.size() <= table.size() - offset,
                  "contiguous store out of bounds");
   if (checker_ != nullptr) checker_->on_overwrite(table.data() + offset, v.size());
-  const OpTimer timer(cost_, OpClass::kVectorStore);
+  const OpTimer timer(cost_, OpClass::kVectorStore, v.size());
   issue(OpClass::kVectorStore, v.size());
   Word* dst = table.data() + offset;
   backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
@@ -417,7 +485,7 @@ void VectorMachine::store(std::span<Word> table, std::size_t offset,
 
 void VectorMachine::fill(std::span<Word> table, Word value) {
   if (checker_ != nullptr) checker_->on_overwrite(table.data(), table.size());
-  const OpTimer timer(cost_, OpClass::kVectorStore);
+  const OpTimer timer(cost_, OpClass::kVectorStore, table.size());
   issue(OpClass::kVectorStore, table.size());
   Word* dst = table.data();
   backend_->for_lanes(table.size(), [&](std::size_t lo, std::size_t hi) {
@@ -430,7 +498,7 @@ WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
   FOLVEC_REQUIRE(offset <= table.size() && n <= table.size() - offset,
                  "contiguous load out of bounds");
   if (checker_ != nullptr) checker_->on_contiguous_read(table, offset, n);
-  const OpTimer timer(cost_, OpClass::kVectorLoad);
+  const OpTimer timer(cost_, OpClass::kVectorLoad, n);
   issue(OpClass::kVectorLoad, n);
   WordVec out(n);
   Word* o = out.data();
@@ -449,7 +517,7 @@ WordVec VectorMachine::load_strided(std::span<const Word> table,
   FOLVEC_REQUIRE(n == 0 || (offset < table.size() &&
                             (table.size() - 1 - offset) / stride >= n - 1),
                  "strided load out of bounds");
-  const OpTimer timer(cost_, OpClass::kVectorLoad);
+  const OpTimer timer(cost_, OpClass::kVectorLoad, n);
   issue(OpClass::kVectorLoad, n);
   WordVec out(n);
   Word* o = out.data();
@@ -470,7 +538,7 @@ void VectorMachine::store_strided(std::span<Word> table, std::size_t offset,
   if (checker_ != nullptr) {
     checker_->on_overwrite(table.data() + offset, v.size(), stride);
   }
-  const OpTimer timer(cost_, OpClass::kVectorStore);
+  const OpTimer timer(cost_, OpClass::kVectorStore, v.size());
   issue(OpClass::kVectorStore, v.size());
   backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) table[offset + i * stride] = v[i];
@@ -490,7 +558,7 @@ WordVec VectorMachine::gather(std::span<const Word> table,
                               std::span<const Word> idx) {
   if (checker_ != nullptr) checker_->on_gather(table, idx, nullptr);
   check_indices(idx, table.size());
-  const OpTimer timer(cost_, OpClass::kVectorGather);
+  const OpTimer timer(cost_, OpClass::kVectorGather, idx.size());
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size());
   Word* o = out.data();
@@ -508,7 +576,7 @@ WordVec VectorMachine::gather_masked(std::span<const Word> table,
   if (checker_ != nullptr) checker_->on_gather(table, idx, &m);
   FOLVEC_REQUIRE(idx.size() == m.size(), "index/mask lengths must match");
   check_indices(idx, table.size(), &m);
-  const OpTimer timer(cost_, OpClass::kVectorGather);
+  const OpTimer timer(cost_, OpClass::kVectorGather, idx.size());
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size(), fill);
   Word* o = out.data();
@@ -557,7 +625,7 @@ void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
-  const OpTimer timer(cost_, OpClass::kVectorScatter);
+  const OpTimer timer(cost_, OpClass::kVectorScatter, idx.size());
   issue(OpClass::kVectorScatter, idx.size());
   if (config_.inject_els_violation) {
     // Failure injection: a contested address receives an "amalgam" — a mix
@@ -594,7 +662,7 @@ void VectorMachine::scatter_masked(std::span<Word> table,
   // Inactive lanes do not access memory, so (like gather_masked) their
   // indices may be arbitrary and are not bounds-checked.
   check_indices(idx, table.size(), &m);
-  const OpTimer timer(cost_, OpClass::kVectorScatter);
+  const OpTimer timer(cost_, OpClass::kVectorScatter, idx.size());
   issue(OpClass::kVectorScatter, idx.size());
   dispatch_scatter(table, idx, vals, &m);
 }
@@ -607,7 +675,7 @@ void VectorMachine::scatter_ordered(std::span<Word> table,
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
-  const OpTimer timer(cost_, OpClass::kVectorScatterOrdered);
+  const OpTimer timer(cost_, OpClass::kVectorScatterOrdered, idx.size());
   issue(OpClass::kVectorScatterOrdered, idx.size());
   // VSTX semantics: lane i completes before lane i+1, independent of the
   // configured ELS order.

@@ -38,6 +38,8 @@
 
 #include "support/prng.h"
 #include "support/require.h"
+#include "telemetry/metrics.h"
+#include "telemetry/spans.h"
 #include "vm/cost_model.h"
 #include "vm/hazard.h"
 #include "vm/trace.h"
@@ -281,15 +283,24 @@ class VectorMachine {
   }
 
   /// RAII wall-clock probe: charges the enclosing scope's elapsed host time
-  /// to one op class, next to the chime counts the same scope issues.
+  /// to one op class, next to the chime counts the same scope issues. When a
+  /// span tracer is installed the instruction also becomes a leaf "op" event
+  /// in the Chrome trace (op_class_name returns static storage, so the event
+  /// allocates nothing).
   class OpTimer {
    public:
-    OpTimer(CostAccumulator& cost, OpClass c)
-        : cost_(cost), c_(c), start_(std::chrono::steady_clock::now()) {}
+    OpTimer(CostAccumulator& cost, OpClass c, std::size_t elements)
+        : cost_(cost),
+          c_(c),
+          elements_(elements),
+          start_(std::chrono::steady_clock::now()) {}
     ~OpTimer() {
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - start_;
+      const auto end = std::chrono::steady_clock::now();
+      const std::chrono::duration<double> dt = end - start_;
       cost_.record_wall(c_, dt.count());
+      if (telemetry::SpanTracer* t = telemetry::tracer()) {
+        t->op(op_class_name(c_), elements_, start_, end);
+      }
     }
     OpTimer(const OpTimer&) = delete;
     OpTimer& operator=(const OpTimer&) = delete;
@@ -297,6 +308,7 @@ class VectorMachine {
    private:
     CostAccumulator& cost_;
     OpClass c_;
+    std::size_t elements_;
     std::chrono::steady_clock::time_point start_;
   };
 
@@ -320,12 +332,54 @@ class VectorMachine {
   void check_indices(std::span<const Word> idx, std::size_t table_size,
                      const Mask* mask = nullptr);
 
+  /// Publishes this machine's accumulated state to the installed metrics
+  /// registry (vm.op.* chime counts and wall timings, audit.hazard.* counts,
+  /// backend.* identity). Called from the destructor; a no-op when no
+  /// registry is installed.
+  void flush_telemetry() const;
+
   MachineConfig config_;
   CostAccumulator cost_;
   Xoshiro256 shuffle_rng_;
   TraceSink* trace_ = nullptr;
   std::unique_ptr<ScatterChecker> checker_;
   std::unique_ptr<Backend> backend_;
+};
+
+/// RAII algorithm span: a chime-carrying telemetry span scoped to one
+/// machine. On both edges it reads the machine's cost accumulator, so the
+/// Chrome trace shows the modeled instruction/element deltas attributed to
+/// the span next to its measured wall time. A no-op when tracing is off.
+class AlgoSpan {
+ public:
+  AlgoSpan(VectorMachine& m, const char* name)
+      : m_(m), active_(telemetry::tracing()) {
+    if (active_) {
+      telemetry::tracer()->begin(name, m_.cost().total_instructions(),
+                                 m_.cost().total_elements());
+    }
+  }
+  /// Builds "prefix[index]" (e.g. "round[3]") only when tracing is on.
+  AlgoSpan(VectorMachine& m, const char* prefix, std::size_t index)
+      : m_(m), active_(telemetry::tracing()) {
+    if (active_) {
+      telemetry::tracer()->begin(
+          std::string(prefix) + '[' + std::to_string(index) + ']',
+          m_.cost().total_instructions(), m_.cost().total_elements());
+    }
+  }
+  ~AlgoSpan() {
+    if (active_) {
+      telemetry::tracer()->end(m_.cost().total_instructions(),
+                               m_.cost().total_elements());
+    }
+  }
+  AlgoSpan(const AlgoSpan&) = delete;
+  AlgoSpan& operator=(const AlgoSpan&) = delete;
+
+ private:
+  VectorMachine& m_;
+  bool active_;
 };
 
 }  // namespace folvec::vm

@@ -1,7 +1,10 @@
 #include "vm/parallel_backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
+
+#include "telemetry/metrics.h"
 
 namespace folvec::vm {
 
@@ -181,9 +184,11 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
   const std::size_t n = idx.size();
   const std::size_t c = chunks_for(n);
   if (c <= 1 || table.empty()) {
+    telemetry::count("pool.scatter.inline");
     apply_scatter_reference(table, idx, vals, mask, traversal, order);
     return;
   }
+  telemetry::count("pool.scatter.parallel");
   // Lane visited at traversal position `pos`; positions ascend 0..n-1.
   const auto lane_at = [&](std::size_t pos) {
     switch (traversal) {
@@ -203,6 +208,7 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
 
   // Pass 1: route each active write to its owning address range, keeping
   // position order within every (slice, range) bucket.
+  const auto t0 = std::chrono::steady_clock::now();
   const ChunkPlan p = plan(n, c);
   pool().run(c, [&](std::size_t slice) {
     std::vector<Route>* row = &buckets_[slice * ranges];
@@ -214,6 +220,7 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
           Route{addr, vals[lane]});
     }
   });
+  const auto t1 = std::chrono::steady_clock::now();
 
   // Pass 2: each worker owns one address range and replays its buckets in
   // ascending (slice, position) order — exactly the serial traversal order
@@ -225,6 +232,26 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
       }
     }
   });
+
+  if (telemetry::MetricsRegistry* reg = telemetry::metrics()) {
+    const auto t2 = std::chrono::steady_clock::now();
+    using Sec = std::chrono::duration<double>;
+    reg->time_add("pool.scatter.route_seconds", Sec(t1 - t0).count());
+    reg->time_add("pool.scatter.replay_seconds", Sec(t2 - t1).count());
+    // Replay-phase balance: writes owned by the busiest range vs the total.
+    std::uint64_t total = 0;
+    std::uint64_t busiest = 0;
+    for (std::size_t r = 0; r < ranges; ++r) {
+      std::uint64_t range_total = 0;
+      for (std::size_t slice = 0; slice < c; ++slice) {
+        range_total += buckets_[slice * ranges + r].size();
+      }
+      total += range_total;
+      busiest = std::max(busiest, range_total);
+    }
+    reg->add("pool.scatter.routed_writes", total);
+    reg->observe("pool.scatter.busiest_range_writes", busiest);
+  }
 }
 
 }  // namespace folvec::vm

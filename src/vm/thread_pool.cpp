@@ -1,14 +1,21 @@
 #include "vm/thread_pool.h"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
+
 #include "support/require.h"
+#include "telemetry/metrics.h"
 
 namespace folvec::vm {
 
 ThreadPool::ThreadPool(std::size_t workers) {
   FOLVEC_REQUIRE(workers >= 1, "thread pool needs at least one worker");
+  // Slot `workers - 1` belongs to the thread calling run().
+  worker_stats_.resize(workers);
   threads_.reserve(workers - 1);
   for (std::size_t i = 0; i + 1 < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -19,21 +26,47 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& t : threads_) t.join();
+  flush_telemetry();
 }
 
-void ThreadPool::claim(Job& job) {
+void ThreadPool::flush_telemetry() const {
+  telemetry::MetricsRegistry* r = telemetry::metrics();
+  if (r == nullptr || (jobs_ == 0 && inline_jobs_ == 0)) return;
+  r->add("pool.jobs", jobs_);
+  r->add("pool.inline_jobs", inline_jobs_);
+  r->add("pool.tasks", tasks_total_);
+  r->gauge_max("pool.max_tasks_per_job",
+               static_cast<std::int64_t>(max_tasks_per_job_));
+  for (std::size_t w = 0; w < worker_stats_.size(); ++w) {
+    const WorkerStats& s = worker_stats_[w];
+    if (s.tasks == 0) continue;
+    const std::string base = "pool.worker." + std::to_string(w);
+    r->add(base + ".tasks", s.tasks);
+    r->time_add(base + ".busy_seconds", s.busy_seconds);
+  }
+}
+
+void ThreadPool::claim(Job& job, std::size_t worker, WorkerStats& stats) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t claimed = 0;
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.tasks) return;
+    if (i >= job.tasks) break;
+    ++claimed;
     try {
       (*job.fn)(i);
     } catch (...) {
       job.errors[i] = std::current_exception();
     }
   }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  stats.busy_seconds += dt.count();
+  stats.tasks += claimed;
+  job.claimed[worker] = static_cast<std::size_t>(claimed);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
@@ -44,7 +77,7 @@ void ThreadPool::worker_loop() {
       seen = generation_;
       job = job_;
     }
-    claim(*job);
+    claim(*job, worker, worker_stats_[worker]);
     {
       const std::lock_guard<std::mutex> lk(mu_);
       ++checked_in_;
@@ -59,13 +92,18 @@ void ThreadPool::run(std::size_t tasks,
   if (threads_.empty() || tasks == 1) {
     // Inline execution: first exception propagates naturally, which matches
     // the lowest-task-index rule because tasks run in order.
+    ++inline_jobs_;
     for (std::size_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
+  ++jobs_;
+  tasks_total_ += tasks;
+  max_tasks_per_job_ = std::max(max_tasks_per_job_, tasks);
   Job job;
   job.fn = &fn;
   job.tasks = tasks;
   job.errors.resize(tasks);
+  job.claimed.resize(size());
   {
     const std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;
@@ -73,11 +111,19 @@ void ThreadPool::run(std::size_t tasks,
     ++generation_;
   }
   work_cv_.notify_all();
-  claim(job);
+  claim(job, size() - 1, worker_stats_[size() - 1]);
   {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] { return checked_in_ == threads_.size(); });
     job_ = nullptr;
+  }
+  // Per-job imbalance: spread between the busiest and idlest worker's claim
+  // counts. A healthy pool on even chunks shows 0 or 1.
+  if (telemetry::metrics() != nullptr) {
+    const auto [lo, hi] =
+        std::minmax_element(job.claimed.begin(), job.claimed.end());
+    telemetry::observe("pool.claim_imbalance",
+                       static_cast<std::uint64_t>(*hi - *lo));
   }
   for (auto& e : job.errors) {
     if (e != nullptr) std::rethrow_exception(e);

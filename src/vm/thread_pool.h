@@ -47,10 +47,24 @@ class ThreadPool {
     std::size_t tasks = 0;
     std::atomic<std::size_t> next{0};
     std::vector<std::exception_ptr> errors;
+    /// Tasks claimed per worker, for the per-job imbalance metric. Each
+    /// worker writes only its own slot.
+    std::vector<std::size_t> claimed;
   };
 
-  void worker_loop();
-  static void claim(Job& job);
+  /// Per-worker lifetime totals, written only by the owning worker while
+  /// jobs run, read after join (destructor) to publish "pool." metrics.
+  struct WorkerStats {
+    double busy_seconds = 0.0;
+    std::uint64_t tasks = 0;
+  };
+
+  /// Publishes pool totals to the installed metrics registry ("pool."
+  /// namespace; excluded from the deterministic snapshot view).
+  void flush_telemetry() const;
+
+  void worker_loop(std::size_t worker);
+  static void claim(Job& job, std::size_t worker, WorkerStats& stats);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -60,6 +74,11 @@ class ThreadPool {
   std::uint64_t generation_ = 0;  // guarded by mu_
   std::size_t checked_in_ = 0;    // guarded by mu_
   bool stop_ = false;             // guarded by mu_
+  std::vector<WorkerStats> worker_stats_;
+  std::uint64_t jobs_ = 0;        ///< run() calls dispatched to the pool
+  std::uint64_t inline_jobs_ = 0; ///< run() calls executed inline
+  std::uint64_t tasks_total_ = 0;
+  std::size_t max_tasks_per_job_ = 0;
 };
 
 }  // namespace folvec::vm

@@ -4,31 +4,19 @@
 
 namespace folvec::vm {
 
-std::size_t TraceSink::count(OpClass c) const {
-  std::size_t n = 0;
-  for (const auto& e : entries_) n += (e.op == c) ? 1u : 0u;
-  return n;
-}
-
-std::size_t TraceSink::max_length(OpClass c) const {
-  std::size_t best = 0;
-  for (const auto& e : entries_) {
-    if (e.op == c && e.elements > best) best = e.elements;
-  }
-  return best;
-}
-
 std::string TraceSink::to_string(std::size_t max_entries) const {
   std::ostringstream os;
   std::size_t shown = 0;
   for (const auto& e : entries_) {
-    if (shown == max_entries) {
-      os << "... (+" << entries_.size() - shown << " more)";
-      break;
-    }
+    if (shown == max_entries) break;
     if (shown != 0) os << ' ';
     os << op_class_name(e.op) << '[' << e.elements << ']';
     ++shown;
+  }
+  const std::size_t unshown = entries_.size() - shown + dropped_;
+  if (unshown != 0) {
+    if (shown != 0) os << ' ';
+    os << "... (+" << unshown << " more)";
   }
   return os.str();
 }

@@ -12,9 +12,18 @@
 //
 // Tracing is off unless a sink is attached, so the hot path costs one
 // pointer test per instruction.
+//
+// A sink may be given a capacity bound: once `capacity` entries are stored,
+// further entries are dropped (counted in dropped()) instead of growing the
+// buffer without limit across a long bench run. Per-class aggregates are
+// maintained exactly over every *recorded* instruction, so count() and
+// max_length() keep answering for the whole run even after entries are
+// dropped; only entries() is truncated.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,26 +41,64 @@ struct TraceEntry {
 
 class TraceSink {
  public:
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  /// `capacity` bounds the number of *stored* entries; aggregates stay
+  /// exact regardless. The default is unbounded (the historical behavior).
+  explicit TraceSink(std::size_t capacity = kUnbounded)
+      : capacity_(capacity) {}
+
   void record(OpClass op, std::size_t elements) {
-    entries_.push_back({op, elements});
+    const auto i = static_cast<std::size_t>(op);
+    ++counts_[i];
+    if (elements > max_lengths_[i]) max_lengths_[i] = elements;
+    if (entries_.size() < capacity_) {
+      entries_.push_back({op, elements});
+    } else {
+      ++dropped_;
+    }
   }
 
+  /// Stored entries only — at most `capacity()` of them.
   const std::vector<TraceEntry>& entries() const { return entries_; }
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    dropped_ = 0;
+    counts_.fill(0);
+    max_lengths_.fill(0);
+  }
+  /// Stored entry count (== total_recorded() minus dropped()).
   std::size_t size() const { return entries_.size(); }
 
-  /// Number of instructions of class `c` in the trace.
-  std::size_t count(OpClass c) const;
+  std::size_t capacity() const { return capacity_; }
+  /// Instructions recorded but not stored because the sink was full.
+  std::size_t dropped() const { return dropped_; }
+  /// Every instruction this sink has seen, stored or not.
+  std::size_t total_recorded() const { return entries_.size() + dropped_; }
 
-  /// Longest vector length seen for class `c` (0 if none).
-  std::size_t max_length(OpClass c) const;
+  /// Number of instructions of class `c` recorded — exact over the whole
+  /// run, including instructions dropped from the entry buffer.
+  std::size_t count(OpClass c) const {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+
+  /// Longest vector length seen for class `c` (0 if none) — exact over the
+  /// whole run, including dropped instructions.
+  std::size_t max_length(OpClass c) const {
+    return max_lengths_[static_cast<std::size_t>(c)];
+  }
 
   /// Compact rendering: "v.gather[128] v.cmp[128] ..." — useful in test
-  /// failure messages and documentation.
+  /// failure messages and documentation. Notes dropped entries at the end.
   std::string to_string(std::size_t max_entries = 64) const;
 
  private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
   std::vector<TraceEntry> entries_;
+  std::array<std::size_t, kOpClassCount> counts_{};
+  std::array<std::size_t, kOpClassCount> max_lengths_{};
 };
 
 }  // namespace folvec::vm

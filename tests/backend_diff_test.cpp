@@ -7,12 +7,18 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "fol/fol1.h"
+#include "hashing/open_table.h"
+#include "support/json.h"
 #include "support/prng.h"
+#include "telemetry/metrics.h"
+#include "telemetry/spans.h"
 #include "vm/machine.h"
 #include "vm/thread_pool.h"
 
@@ -286,6 +292,128 @@ TEST(BackendDiffLargeTest, AuditModePinsParallelConfigToSerialPath) {
   const VectorMachine m(cfg);
   EXPECT_STREQ(m.backend_name(), "serial");
   EXPECT_EQ(m.backend_workers(), 1u);
+}
+
+// ---- telemetry determinism across backends ---------------------------------
+//
+// The metrics contract (telemetry/metrics.h): everything outside the "pool."
+// and "backend." namespaces carries modeled quantities and must be
+// bit-identical for the same program on any backend at any worker count.
+// The span timeline likewise: the same spans, in the same order, with the
+// same chime deltas — only the wall timestamps differ.
+
+VectorMachine make_telemetry_machine(BackendKind kind, std::size_t threads) {
+  MachineConfig cfg;
+  cfg.audit = false;  // audit would pin the parallel machine to serial
+  cfg.backend = kind;
+  cfg.backend_threads = threads;
+  cfg.backend_grain = 8;  // force short vectors across the pool
+  return VectorMachine(cfg);
+}
+
+/// A workload touching every instrumented layer: raw machine ops, FOL1
+/// rounds with duplicates, and multiple hashing with retries.
+void telemetry_workload(VectorMachine& m) {
+  const WordVec targets = random_keys(1000, 100, 0x7e1e);
+  WordVec work(100, 0);
+  fol::fol1_decompose(m, targets, work);
+
+  const WordVec keys = random_unique_keys(500, 1 << 20, 0x7e1f);
+  WordVec table(1031, hashing::kUnentered);
+  hashing::multi_hash_open_insert(m, table, keys,
+                                  hashing::ProbeVariant::kKeyDependent);
+
+  const WordVec a = m.iota(4096);
+  m.reduce_sum(m.mul_scalar(a, 3));
+}
+
+telemetry::MetricsSnapshot run_with_metrics(BackendKind kind,
+                                            std::size_t threads) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedMetrics scoped(registry);
+  {
+    // The machine flushes its per-op-class totals on destruction, so the
+    // snapshot is taken after this scope closes.
+    VectorMachine m = make_telemetry_machine(kind, threads);
+    telemetry_workload(m);
+  }
+  return registry.snapshot();
+}
+
+/// The backend-invariant part of a trace: event names, categories, and
+/// chime payloads, in emission order — everything but the wall clock.
+std::string span_tree_signature(BackendKind kind, std::size_t threads) {
+  telemetry::SpanTracer tracer;
+  {
+    const telemetry::ScopedTracer scoped(tracer);
+    VectorMachine m = make_telemetry_machine(kind, threads);
+    telemetry_workload(m);
+  }
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  std::string sig;
+  for (const JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    sig += ev.find("name")->as_string();
+    sig += '|';
+    sig += ev.find("cat")->as_string();
+    if (const JsonValue* args = ev.find("args")) {
+      for (const char* key :
+           {"elements", "chime_instructions", "chime_elements"}) {
+        if (const JsonValue* v = args->find(key)) {
+          sig += '|';
+          sig += std::to_string(static_cast<std::uint64_t>(v->as_number()));
+        }
+      }
+    }
+    sig += '\n';
+  }
+  return sig;
+}
+
+TEST(TelemetryDeterminismTest, MetricsIdenticalAcrossBackendsAndWorkers) {
+  const telemetry::MetricsSnapshot serial =
+      run_with_metrics(BackendKind::kSerial, 1).deterministic();
+  ASSERT_FALSE(serial.counters.empty());
+  ASSERT_FALSE(serial.histograms.empty());
+  EXPECT_TRUE(serial.counters.contains("fol1.rounds"));
+  EXPECT_TRUE(serial.counters.contains("hashing.retry_rounds"));
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const telemetry::MetricsSnapshot parallel =
+        run_with_metrics(BackendKind::kParallel, workers).deterministic();
+    EXPECT_EQ(serial.to_text(), parallel.to_text())
+        << "deterministic metrics diverged at " << workers << " workers";
+    EXPECT_TRUE(serial == parallel);
+  }
+}
+
+TEST(TelemetryDeterminismTest, FullSnapshotSeparatesHostOnlyNamespaces) {
+  // The raw (non-deterministic view) parallel snapshot is allowed to differ
+  // from serial ONLY via timings, labels, and the pool./backend. namespaces.
+  const telemetry::MetricsSnapshot serial =
+      run_with_metrics(BackendKind::kSerial, 1);
+  const telemetry::MetricsSnapshot parallel =
+      run_with_metrics(BackendKind::kParallel, 4);
+  EXPECT_EQ(parallel.labels.at("backend.name"), "parallel");
+  EXPECT_EQ(serial.labels.at("backend.name"), "serial");
+  for (const auto& [name, value] : parallel.counters) {
+    if (name.starts_with("pool.") || name.starts_with("backend.")) continue;
+    ASSERT_TRUE(serial.counters.contains(name)) << name;
+    EXPECT_EQ(serial.counters.at(name), value) << name;
+  }
+}
+
+TEST(TelemetryDeterminismTest, SpanTreesIdenticalAcrossBackendsAndWorkers) {
+  const std::string serial = span_tree_signature(BackendKind::kSerial, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("fol1.decompose|span"), std::string::npos);
+  EXPECT_NE(serial.find("hashing.multi_insert|span"), std::string::npos);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const std::string parallel =
+        span_tree_signature(BackendKind::kParallel, workers);
+    EXPECT_EQ(serial, parallel)
+        << "span tree diverged at " << workers << " workers";
+  }
 }
 
 TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "support/env.h"
+#include "support/json.h"
 #include "support/prng.h"
 #include "support/require.h"
 #include "support/stats.h"
@@ -172,6 +173,74 @@ TEST(TablePrinterTest, PrintIncludesTitle) {
   std::ostringstream os;
   t.print(os, "My Table");
   EXPECT_NE(os.str().find("My Table"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExposesHeadersAndRenderedRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", Cell(3.14159, 2)});
+  t.add_row({"beta", Cell(42)});
+  EXPECT_EQ(t.headers(), (std::vector<std::string>{"name", "value"}));
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.rows()[0], (std::vector<std::string>{"alpha", "3.14"}));
+  EXPECT_EQ(t.rows()[1], (std::vector<std::string>{"beta", "42"}));
+}
+
+TEST(JsonTest, DumpAndParseRoundTrip) {
+  const JsonValue doc(JsonObject{
+      {"string", "hi \"there\"\n"},
+      {"int", 42},
+      {"float", 2.5},
+      {"flag", true},
+      {"nothing", nullptr},
+      {"list", JsonArray{1, 2, 3}},
+      {"nested", JsonObject{{"k", "v"}}},
+  });
+  for (const int indent : {-1, 0, 2}) {
+    const JsonValue back = JsonValue::parse(doc.dump(indent));
+    EXPECT_EQ(back.find("string")->as_string(), "hi \"there\"\n");
+    EXPECT_EQ(back.find("int")->as_number(), 42.0);
+    EXPECT_EQ(back.find("float")->as_number(), 2.5);
+    EXPECT_TRUE(back.find("flag")->as_bool());
+    EXPECT_TRUE(back.find("nothing")->is_null());
+    ASSERT_EQ(back.find("list")->as_array().size(), 3u);
+    EXPECT_EQ(back.find("list")->as_array()[2].as_number(), 3.0);
+    EXPECT_EQ(back.find("nested")->find("k")->as_string(), "v");
+  }
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder) {
+  const JsonValue doc(JsonObject{{"z", 1}, {"a", 2}, {"m", 3}});
+  EXPECT_EQ(doc.dump(-1), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(JsonTest, NumbersRoundTripLargeIntegers) {
+  // Chime element totals reach 2^40+; doubles carry them exactly to 2^53.
+  const std::uint64_t big = (std::uint64_t{1} << 50) + 12345;
+  const JsonValue doc(JsonObject{{"n", big}});
+  const JsonValue back = JsonValue::parse(doc.dump(-1));
+  EXPECT_EQ(static_cast<std::uint64_t>(back.find("n")->as_number()), big);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "{\"a\":1,}", "\"unterminated"}) {
+    EXPECT_THROW(JsonValue::parse(bad), PreconditionError) << bad;
+  }
+}
+
+TEST(JsonTest, FindOnNonObjectAndMissingKey) {
+  const JsonValue arr(JsonArray{1});
+  EXPECT_EQ(arr.find("x"), nullptr);
+  const JsonValue obj(JsonObject{{"a", 1}});
+  EXPECT_EQ(obj.find("b"), nullptr);
+  ASSERT_NE(obj.find("a"), nullptr);
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonValue::quote("a\"b\\c\n\t"), R"("a\"b\\c\n\t")");
+  const JsonValue back =
+      JsonValue::parse(JsonValue::quote("ctrl\x01" "end"));
+  EXPECT_EQ(back.as_string(), "ctrl\x01" "end");
 }
 
 TEST(StatsTest, SummaryOnKnownData) {

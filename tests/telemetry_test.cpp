@@ -1,0 +1,380 @@
+// Tests for the telemetry layer: metrics registry (counters, gauges,
+// log2-bucket histograms), snapshot views and algebra, the span tracer's
+// Chrome trace-event export, and the environment-driven session.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/session.h"
+#include "telemetry/spans.h"
+
+namespace folvec::telemetry {
+namespace {
+
+// ---- histogram buckets ------------------------------------------------------
+
+TEST(HistogramTest, BucketIsBitWidth) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(1023), 10u);
+  EXPECT_EQ(histogram_bucket(1024), 11u);
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), 64u);
+}
+
+TEST(HistogramTest, BucketRangesTileTheDomain) {
+  EXPECT_EQ(histogram_bucket_range(0), (std::pair<std::uint64_t,
+                                                  std::uint64_t>{0, 0}));
+  std::uint64_t expected_lo = 1;
+  for (std::size_t b = 1; b <= 64; ++b) {
+    const auto [lo, hi] = histogram_bucket_range(b);
+    EXPECT_EQ(lo, expected_lo) << "bucket " << b;
+    EXPECT_EQ(histogram_bucket(lo), b);
+    EXPECT_EQ(histogram_bucket(hi), b);
+    if (b < 64) expected_lo = hi + 1;
+  }
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMaxAndWeights) {
+  HistogramData h;
+  h.record(5);
+  h.record(0);
+  h.record(100, 3);  // three occurrences at once
+  h.record(7, 0);    // zero weight: must be a no-op
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 305u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_EQ(h.buckets[histogram_bucket(100)], 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 61.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  HistogramData a;
+  a.record(2);
+  HistogramData b;
+  b.record(1000, 2);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 2002u);
+  EXPECT_EQ(a.min, 2u);
+  EXPECT_EQ(a.max, 1000u);
+  a.merge(HistogramData{});  // empty merge is a no-op
+  EXPECT_EQ(a.count, 3u);
+}
+
+// ---- registry and helpers ---------------------------------------------------
+
+TEST(MetricsRegistryTest, HelpersAreNoOpsWithoutARegistry) {
+  ASSERT_EQ(metrics(), nullptr) << "another test leaked an installed registry";
+  // Must not crash — this is the production disabled path.
+  count("x");
+  gauge_set("x", 1);
+  gauge_max("x", 2);
+  observe("x", 3);
+  time_add("x", 0.5);
+  label("x", "y");
+}
+
+TEST(MetricsRegistryTest, ScopedInstallRoutesHelpersAndRestores) {
+  MetricsRegistry outer;
+  {
+    const ScopedMetrics install_outer(outer);
+    EXPECT_EQ(metrics(), &outer);
+    count("c", 2);
+    {
+      MetricsRegistry inner;
+      const ScopedMetrics install_inner(inner);
+      EXPECT_EQ(metrics(), &inner);
+      count("c", 5);
+      EXPECT_EQ(inner.snapshot().counters.at("c"), 5u);
+    }
+    EXPECT_EQ(metrics(), &outer);
+    count("c");
+    gauge_set("g", -3);
+    gauge_max("g", 10);
+    gauge_max("g", 4);  // below the high-water mark: ignored
+    observe("h", 6, 2);
+    time_add("t", 0.25);
+    time_add("t", 0.25);
+    label("l", "first");
+    label("l", "second");
+  }
+  EXPECT_EQ(metrics(), nullptr);
+  const MetricsSnapshot snap = outer.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_EQ(snap.gauges.at("g"), 10);
+  EXPECT_EQ(snap.histograms.at("h").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.timings.at("t"), 0.5);
+  EXPECT_EQ(snap.labels.at("l"), "second");
+}
+
+TEST(MetricsRegistryTest, ResetClears) {
+  MetricsRegistry r;
+  r.add("c");
+  r.observe("h", 1);
+  r.reset();
+  EXPECT_TRUE(r.snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < kPerThread; ++i) {
+        r.add("shared");
+        r.observe("hist", static_cast<std::uint64_t>(i % 7));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.histograms.at("hist").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- snapshot views and algebra ---------------------------------------------
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry r;
+  r.add("fol1.rounds", 3);
+  r.add("pool.jobs", 9);
+  r.add("backend.pinned", 1);
+  r.gauge_max("backend.workers", 8);
+  r.gauge_max("fol1.depth", 2);
+  r.observe("fol1.set_size", 100);
+  r.observe("pool.imbalance", 5);
+  r.time_add("vm.op.v.arith.wall_seconds", 0.5);
+  r.label("backend.name", "parallel");
+  return r.snapshot();
+}
+
+TEST(MetricsSnapshotTest, DeterministicViewDropsHostState) {
+  const MetricsSnapshot det = sample_snapshot().deterministic();
+  EXPECT_TRUE(det.counters.contains("fol1.rounds"));
+  EXPECT_FALSE(det.counters.contains("pool.jobs"));
+  EXPECT_FALSE(det.counters.contains("backend.pinned"));
+  EXPECT_TRUE(det.gauges.contains("fol1.depth"));
+  EXPECT_FALSE(det.gauges.contains("backend.workers"));
+  EXPECT_TRUE(det.histograms.contains("fol1.set_size"));
+  EXPECT_FALSE(det.histograms.contains("pool.imbalance"));
+  EXPECT_TRUE(det.timings.empty());
+  EXPECT_TRUE(det.labels.empty());
+}
+
+TEST(MetricsSnapshotTest, DiffSubtractsCountersAndHistograms) {
+  MetricsRegistry r;
+  r.add("c", 10);
+  r.observe("h", 4, 2);
+  const MetricsSnapshot before = r.snapshot();
+  r.add("c", 7);
+  r.add("fresh", 1);
+  r.observe("h", 4);
+  const MetricsSnapshot delta = MetricsSnapshot::diff(r.snapshot(), before);
+  EXPECT_EQ(delta.counters.at("c"), 7u);
+  EXPECT_EQ(delta.counters.at("fresh"), 1u);
+  EXPECT_EQ(delta.histograms.at("h").count, 1u);
+  EXPECT_EQ(delta.histograms.at("h").sum, 4u);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsAndTakesGaugeMax) {
+  MetricsSnapshot a = sample_snapshot();
+  MetricsSnapshot b = sample_snapshot();
+  b.gauges["fol1.depth"] = 1;  // below a's value: merge keeps the max
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("fol1.rounds"), 6u);
+  EXPECT_EQ(a.gauges.at("fol1.depth"), 2);
+  EXPECT_EQ(a.histograms.at("fol1.set_size").count, 2u);
+  EXPECT_DOUBLE_EQ(a.timings.at("vm.op.v.arith.wall_seconds"), 1.0);
+}
+
+TEST(MetricsSnapshotTest, TextAndJsonRenderings) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("counter   fol1.rounds = 3"), std::string::npos);
+  EXPECT_NE(text.find("label     backend.name = parallel"), std::string::npos);
+
+  const JsonValue doc = JsonValue::parse(snap.to_json(-1));
+  EXPECT_EQ(doc.find("counters")->find("fol1.rounds")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("labels")->find("backend.name")->as_string(), "parallel");
+  const JsonValue* hist = doc.find("histograms")->find("fol1.set_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_number(), 1.0);
+  EXPECT_EQ(hist->find("buckets")->as_array().size(), 1u);
+}
+
+// ---- span tracer ------------------------------------------------------------
+
+/// Parses the tracer's output and returns (name, cat) pairs in file order.
+std::vector<std::pair<std::string, std::string>> trace_events(
+    const SpanTracer& tracer) {
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    out.emplace_back(ev.find("name")->as_string(),
+                     ev.find("cat")->as_string());
+  }
+  return out;
+}
+
+TEST(SpanTracerTest, NestedSpansCarryChimeDeltas) {
+  SpanTracer tracer;
+  tracer.begin("outer", 100, 1000);
+  tracer.begin("inner", 140, 1400);
+  tracer.end(150, 1500);  // inner: +10 instructions, +100 elements
+  tracer.end(200, 2000);  // outer: +100 instructions, +1000 elements
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  const JsonArray& evs = doc.find("traceEvents")->as_array();
+  ASSERT_EQ(evs.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(evs[0].find("name")->as_string(), "inner");
+  EXPECT_EQ(evs[0].find("args")->find("chime_instructions")->as_number(), 10.0);
+  EXPECT_EQ(evs[0].find("args")->find("chime_elements")->as_number(), 100.0);
+  EXPECT_EQ(evs[1].find("name")->as_string(), "outer");
+  EXPECT_EQ(evs[1].find("args")->find("chime_instructions")->as_number(),
+            100.0);
+  // The inner span nests inside the outer one on the timeline.
+  const double outer_ts = evs[1].find("ts")->as_number();
+  const double outer_dur = evs[1].find("dur")->as_number();
+  const double inner_ts = evs[0].find("ts")->as_number();
+  const double inner_dur = evs[0].find("dur")->as_number();
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur + 1e-9);
+}
+
+TEST(SpanTracerTest, OpEventsAndUnbalancedEnd) {
+  SpanTracer tracer;
+  const auto t0 = SpanTracer::Clock::now();
+  tracer.op("v.gather", 128, t0, t0 + std::chrono::microseconds(5));
+  tracer.end();  // unbalanced: ignored
+  EXPECT_EQ(tracer.size(), 1u);
+  const auto evs = trace_events(tracer);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0], (std::pair<std::string, std::string>{"v.gather", "op"}));
+}
+
+TEST(SpanTracerTest, CapacityDropsButCounts) {
+  SpanTracer tracer(2);
+  const auto t0 = SpanTracer::Clock::now();
+  for (int i = 0; i < 5; ++i) tracer.op("v.arith", 1, t0, t0);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->as_number(), 3.0);
+}
+
+TEST(SpanTracerTest, OpenSpansAppearInOutputWithoutMutatingState) {
+  SpanTracer tracer;
+  tracer.begin("still_open");
+  EXPECT_EQ(tracer.open_depth(), 1u);
+  const auto evs = trace_events(tracer);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].first, "still_open");
+  // The tracer itself still considers the span open.
+  EXPECT_EQ(tracer.open_depth(), 1u);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.end();
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(SpanTracerTest, ScopedSpanOnlyRecordsWhenInstalled) {
+  { const ScopedSpan off("ignored"); }  // no tracer installed: no-op
+
+  SpanTracer tracer;
+  {
+    const ScopedTracer install(tracer);
+    ASSERT_TRUE(tracing());
+    const ScopedSpan named("phase");
+    const ScopedSpan indexed("round", 7);
+  }
+  EXPECT_FALSE(tracing());
+  const auto evs = trace_events(tracer);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].first, "round[7]");
+  EXPECT_EQ(evs[1].first, "phase");
+}
+
+// ---- env session ------------------------------------------------------------
+
+class EnvSessionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("FOLVEC_TRACE_JSON");
+    ::unsetenv("FOLVEC_METRICS");
+  }
+};
+
+TEST_F(EnvSessionTest, InstallsRegistryAndRestores) {
+  ASSERT_EQ(metrics(), nullptr);
+  {
+    EnvSession session;
+    EXPECT_EQ(metrics(), &session.registry());
+    EXPECT_EQ(session.span_tracer(), nullptr);  // no FOLVEC_TRACE_JSON
+    count("session.counter", 4);
+    EXPECT_EQ(session.registry().snapshot().counters.at("session.counter"),
+              4u);
+  }
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+TEST_F(EnvSessionTest, WritesTraceAndMetricsFiles) {
+  const std::string trace_path = ::testing::TempDir() + "folvec_trace.json";
+  const std::string metrics_path = ::testing::TempDir() + "folvec_metrics.json";
+  ::setenv("FOLVEC_TRACE_JSON", trace_path.c_str(), 1);
+  ::setenv("FOLVEC_METRICS", metrics_path.c_str(), 1);
+  {
+    EnvSession session;
+    ASSERT_NE(session.span_tracer(), nullptr);
+    ASSERT_TRUE(session.trace_path().has_value());
+    const ScopedSpan span("unit_test");
+    count("session.file_counter", 2);
+  }
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  const JsonValue trace = JsonValue::parse(trace_buf.str());
+  ASSERT_EQ(trace.find("traceEvents")->as_array().size(), 1u);
+  EXPECT_EQ(
+      trace.find("traceEvents")->as_array()[0].find("name")->as_string(),
+      "unit_test");
+
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream metrics_buf;
+  metrics_buf << metrics_in.rdbuf();
+  const JsonValue snap = JsonValue::parse(metrics_buf.str());
+  EXPECT_EQ(snap.find("counters")->find("session.file_counter")->as_number(),
+            2.0);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace folvec::telemetry

@@ -34,6 +34,48 @@ TEST(TraceSinkTest, ToStringRendersAndTruncates) {
   EXPECT_NE(cut.find("(+3 more)"), std::string::npos);
 }
 
+TEST(TraceSinkTest, CapacityBoundsStorageButNotAggregates) {
+  TraceSink t(3);
+  EXPECT_EQ(t.capacity(), 3u);
+  for (std::size_t i = 1; i <= 10; ++i) {
+    t.record(OpClass::kVectorGather, i * 10);
+  }
+  // Storage is truncated at the capacity...
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.entries().size(), 3u);
+  EXPECT_EQ(t.dropped(), 7u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  // ...but the per-class aggregates cover every recorded instruction,
+  // including the max length 100 that only a dropped entry carried.
+  EXPECT_EQ(t.count(OpClass::kVectorGather), 10u);
+  EXPECT_EQ(t.max_length(OpClass::kVectorGather), 100u);
+}
+
+TEST(TraceSinkTest, ToStringNotesDroppedEntries) {
+  TraceSink t(2);
+  for (int i = 0; i < 5; ++i) t.record(OpClass::kVectorArith, 8);
+  // 2 stored, 3 dropped: all 3 unshown instructions are announced.
+  EXPECT_NE(t.to_string().find("(+3 more)"), std::string::npos);
+}
+
+TEST(TraceSinkTest, ClearResetsDroppedAndAggregates) {
+  TraceSink t(1);
+  t.record(OpClass::kVectorArith, 8);
+  t.record(OpClass::kVectorArith, 16);
+  ASSERT_EQ(t.dropped(), 1u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_EQ(t.count(OpClass::kVectorArith), 0u);
+  EXPECT_EQ(t.max_length(OpClass::kVectorArith), 0u);
+  // Capacity survives clear(): the sink can refill up to the same bound.
+  t.record(OpClass::kVectorArith, 4);
+  t.record(OpClass::kVectorArith, 4);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
 TEST(MachineTraceTest, DetachedByDefault) {
   VectorMachine m;
   m.iota(4);  // must not crash without a sink

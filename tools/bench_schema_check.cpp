@@ -1,0 +1,253 @@
+// bench_schema_check: validates machine-readable bench reports.
+//
+// Every bench binary writes a `BENCH_<name>.json` next to its stdout tables
+// (schema "folvec-bench-report-v1", emitted by bench_harness/report.cpp).
+// CI runs one bench per family and then feeds the resulting files through
+// this checker, so a field rename, a malformed document, or a table whose
+// rows drifted from its headers fails the build instead of silently
+// producing artifacts nobody can load.
+//
+// Usage: bench_schema_check FILE...
+// Exits 0 iff every file parses and conforms; prints one line per problem.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace {
+
+using folvec::JsonValue;
+
+/// Collects problems for one file; empty means the file conforms.
+class Checker {
+ public:
+  explicit Checker(std::string path) : path_(std::move(path)) {}
+
+  void fail(const std::string& what) { problems_.push_back(what); }
+
+  /// Fetches `parent.key`, recording a problem when absent.
+  const JsonValue* require(const JsonValue& parent, const std::string& key,
+                           const std::string& where) {
+    const JsonValue* v = parent.find(key);
+    if (v == nullptr) fail("missing key \"" + key + "\" in " + where);
+    return v;
+  }
+
+  const JsonValue* require_object(const JsonValue& parent,
+                                  const std::string& key,
+                                  const std::string& where) {
+    const JsonValue* v = require(parent, key, where);
+    if (v != nullptr && !v->is_object()) {
+      fail("\"" + key + "\" in " + where + " must be an object");
+      return nullptr;
+    }
+    return v;
+  }
+
+  void require_uint(const JsonValue& parent, const std::string& key,
+                    const std::string& where) {
+    const JsonValue* v = require(parent, key, where);
+    if (v == nullptr) return;
+    if (!v->is_number() || v->as_number() < 0) {
+      fail("\"" + key + "\" in " + where + " must be a non-negative number");
+    }
+  }
+
+  void check_table(const JsonValue& table, const std::string& where) {
+    if (!table.is_object()) {
+      fail(where + " must be an object");
+      return;
+    }
+    const JsonValue* title = require(table, "title", where);
+    if (title != nullptr && !title->is_string()) {
+      fail(where + ".title must be a string");
+    }
+    const JsonValue* headers = require(table, "headers", where);
+    std::size_t width = 0;
+    if (headers != nullptr) {
+      if (!headers->is_array() || headers->as_array().empty()) {
+        fail(where + ".headers must be a non-empty array");
+      } else {
+        width = headers->as_array().size();
+        for (const JsonValue& h : headers->as_array()) {
+          if (!h.is_string()) fail(where + ".headers must hold strings");
+        }
+      }
+    }
+    const JsonValue* rows = require(table, "rows", where);
+    if (rows == nullptr) return;
+    if (!rows->is_array()) {
+      fail(where + ".rows must be an array");
+      return;
+    }
+    for (std::size_t r = 0; r < rows->as_array().size(); ++r) {
+      const JsonValue& row = rows->as_array()[r];
+      const std::string row_where =
+          where + ".rows[" + std::to_string(r) + "]";
+      if (!row.is_array()) {
+        fail(row_where + " must be an array");
+        continue;
+      }
+      if (width != 0 && row.as_array().size() != width) {
+        fail(row_where + " has " + std::to_string(row.as_array().size()) +
+             " cells, headers declare " + std::to_string(width));
+      }
+      for (const JsonValue& cell : row.as_array()) {
+        if (!cell.is_string()) fail(row_where + " must hold strings");
+      }
+    }
+  }
+
+  void check_backend(const JsonValue& backend) {
+    const JsonValue* name = require(backend, "name", "backend");
+    if (name != nullptr &&
+        (!name->is_string() ||
+         (name->as_string() != "serial" && name->as_string() != "parallel"))) {
+      fail("backend.name must be \"serial\" or \"parallel\"");
+    }
+    const JsonValue* workers = require(backend, "workers", "backend");
+    if (workers != nullptr &&
+        (!workers->is_number() || workers->as_number() < 1)) {
+      fail("backend.workers must be a number >= 1");
+    }
+    const JsonValue* requested = require(backend, "requested", "backend");
+    if (requested != nullptr && !requested->is_string()) {
+      fail("backend.requested must be a string");
+    }
+    const JsonValue* pinned = require(backend, "pinned", "backend");
+    if (pinned != nullptr && !pinned->is_bool()) {
+      fail("backend.pinned must be a boolean");
+    }
+    const JsonValue* reason = require(backend, "pin_reason", "backend");
+    if (pinned != nullptr && pinned->is_bool() && reason != nullptr) {
+      // The reason travels with the pin: null exactly when not pinned.
+      if (pinned->as_bool() && !reason->is_string()) {
+        fail("backend.pin_reason must name a reason when pinned");
+      }
+      if (!pinned->as_bool() && !reason->is_null()) {
+        fail("backend.pin_reason must be null when not pinned");
+      }
+    }
+  }
+
+  void check_metrics(const JsonValue& metrics) {
+    for (const char* section :
+         {"counters", "gauges", "histograms", "timings", "labels"}) {
+      require_object(metrics, section, "metrics");
+    }
+    const JsonValue* counters = metrics.find("counters");
+    if (counters != nullptr && counters->is_object()) {
+      for (const auto& [key, value] : counters->as_object()) {
+        if (!value.is_number() || value.as_number() < 0) {
+          fail("metrics.counters[\"" + key +
+               "\"] must be a non-negative number");
+        }
+      }
+    }
+  }
+
+  void check_document(const JsonValue& doc) {
+    if (!doc.is_object()) {
+      fail("top level must be an object");
+      return;
+    }
+    const JsonValue* schema = require(doc, "schema", "top level");
+    if (schema != nullptr &&
+        (!schema->is_string() ||
+         schema->as_string() != "folvec-bench-report-v1")) {
+      fail("schema must be the string \"folvec-bench-report-v1\"");
+    }
+    const JsonValue* bench = require(doc, "bench", "top level");
+    if (bench != nullptr &&
+        (!bench->is_string() || bench->as_string().empty())) {
+      fail("bench must be a non-empty string");
+    }
+    require_object(doc, "config", "top level");
+    require_object(doc, "notes", "top level");
+
+    if (const JsonValue* backend =
+            require_object(doc, "backend", "top level")) {
+      check_backend(*backend);
+    }
+    if (const JsonValue* chime = require_object(doc, "chime", "top level")) {
+      require_uint(*chime, "instructions", "chime");
+      require_uint(*chime, "elements", "chime");
+    }
+    if (const JsonValue* wall = require_object(doc, "wall", "top level")) {
+      require_uint(*wall, "seconds", "wall");
+    }
+    const JsonValue* tables = require(doc, "tables", "top level");
+    if (tables != nullptr) {
+      if (!tables->is_array()) {
+        fail("tables must be an array");
+      } else {
+        for (std::size_t i = 0; i < tables->as_array().size(); ++i) {
+          check_table(tables->as_array()[i],
+                      "tables[" + std::to_string(i) + "]");
+        }
+      }
+    }
+    if (const JsonValue* metrics =
+            require_object(doc, "metrics", "top level")) {
+      check_metrics(*metrics);
+    }
+  }
+
+  /// Reads, parses, and validates the file. Returns true on success.
+  bool run() {
+    std::ifstream in(path_);
+    if (!in) {
+      fail("cannot open file");
+      return report();
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      check_document(JsonValue::parse(buf.str()));
+    } catch (const std::exception& e) {
+      fail(std::string("invalid JSON: ") + e.what());
+    }
+    return report();
+  }
+
+ private:
+  bool report() const {
+    if (problems_.empty()) {
+      std::printf("ok      %s\n", path_.c_str());
+      return true;
+    }
+    for (const std::string& p : problems_) {
+      std::printf("FAIL    %s: %s\n", path_.c_str(), p.c_str());
+    }
+    return false;
+  }
+
+  std::string path_;
+  std::vector<std::string> problems_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s BENCH_report.json...\n"
+                 "validates folvec-bench-report-v1 documents\n",
+                 argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!Checker(argv[i]).run()) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("%d of %d report(s) failed schema validation\n", failures,
+                argc - 1);
+    return 1;
+  }
+  return 0;
+}
