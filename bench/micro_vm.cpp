@@ -65,6 +65,49 @@ void BM_MachineScatter(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineScatter)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_MachineScatterGatherEq(benchmark::State& state) {
+  // The fused FOL kernel: scatter distinct labels, gather the readback,
+  // compare — one pass over the lanes instead of three. Random indices
+  // collide on purpose (that is the workload the kernel exists for); the
+  // window sanctions the duplicates under FOLVEC_AUDIT=1.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m;
+  WordVec table(n, -1);
+  const WordVec idx = random_keys(n, static_cast<Word>(n), 11);
+  const WordVec labels = m.iota(n);
+  const folvec::vm::ConflictWindow window(
+      m, table, folvec::vm::WindowKind::kDataRace, "sge microbench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.scatter_gather_eq(table, idx, labels));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MachineScatterGatherEq)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_MachinePartition(benchmark::State& state) {
+  // The fused kept/rejected split that replaces compress(v, m) +
+  // compress(v, !m) in the round loops.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m;
+  const WordVec v = m.iota(n);
+  const auto mask_words = random_keys(n, 2, 12);
+  folvec::vm::Mask mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = static_cast<std::uint8_t>(mask_words[i]);
+  }
+  WordVec kept(n);
+  WordVec rejected(n);
+  for (auto _ : state) {
+    m.partition_into(kept, rejected, v, mask);
+    benchmark::DoNotOptimize(kept.data());
+    benchmark::DoNotOptimize(rejected.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MachinePartition)->Arg(1 << 14);
+
 void BM_MachineCompress(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   VectorMachine m;
@@ -243,16 +286,68 @@ GuardSample run_overhead_guard() {
   return off;
 }
 
+// ---- fused-kernel chime accounting -----------------------------------------
+//
+// A fixed FOL1 workload (2^14 lanes, rare sharing, fixed seed) run twice:
+// fused (scatter_gather_eq + partition) and unfused (the reference chains,
+// MachineConfig::fuse = false). The modeled instruction/element totals are
+// fully deterministic, so they land in the report notes where the CI
+// chime-regression job diffs them against committed golden ceilings —
+// google-benchmark's adaptive iteration counts make the timing numbers
+// useless as goldens, but these are not timing numbers.
+
+struct FusedCutSample {
+  std::uint64_t fused_instructions = 0;
+  std::uint64_t fused_elements = 0;
+  std::uint64_t unfused_instructions = 0;
+  std::uint64_t unfused_elements = 0;
+  double chime_cut = 0;  // 1 - fused_us/unfused_us under the S-810 table
+};
+
+FusedCutSample run_fused_cut_probe() {
+  const folvec::vm::CostParams params = folvec::vm::CostParams::s810_like();
+  const std::size_t n = std::size_t{1} << 14;
+  const WordVec targets = random_keys(n, static_cast<Word>(4 * n), 23);
+  double us[2] = {0, 0};
+  FusedCutSample s;
+  for (const bool fuse : {true, false}) {
+    folvec::vm::MachineConfig cfg;
+    cfg.fuse = fuse;
+    VectorMachine m(cfg);
+    WordVec work(4 * n, 0);
+    benchmark::DoNotOptimize(folvec::fol::fol1_decompose(m, targets, work));
+    if (fuse) {
+      s.fused_instructions = m.cost().total_instructions();
+      s.fused_elements = m.cost().total_elements();
+      us[0] = m.cost().microseconds(params);
+    } else {
+      s.unfused_instructions = m.cost().total_instructions();
+      s.unfused_elements = m.cost().total_elements();
+      us[1] = m.cost().microseconds(params);
+    }
+  }
+  FOLVEC_CHECK(us[0] < us[1],
+               "fused FOL1 must price below the unfused composition");
+  s.chime_cut = 1.0 - us[0] / us[1];
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const GuardSample guard = run_overhead_guard();
+  const FusedCutSample fused = run_fused_cut_probe();
 
   folvec::bench::BenchReport report("micro_vm");
   report.config("guard_reps", 7);
   report.note("guard_chime_instructions", guard.instructions);
   report.note("guard_chime_elements", guard.elements);
   report.note("guard_disabled_over_enabled_wall", guard.wall_seconds);
+  report.note("fused_fol1_chime_instructions", fused.fused_instructions);
+  report.note("fused_fol1_chime_elements", fused.fused_elements);
+  report.note("unfused_fol1_chime_instructions", fused.unfused_instructions);
+  report.note("unfused_fol1_chime_elements", fused.unfused_elements);
+  report.note("fol1_fused_chime_cut", fused.chime_cut);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,10 +1,12 @@
 #include "fol/fol1.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "fol/invariants.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "vm/buffer_pool.h"
 #include "vm/checker.h"
 
 namespace folvec::fol {
@@ -33,26 +35,38 @@ Decomposition fol1_decompose(VectorMachine& m,
   // Step 0 (preprocessing): labels are the lane positions, the "most easily
   // computable" unique labels per the paper's footnote 6. Positions stay
   // attached to their lanes across rounds so the final sets report original
-  // lane numbers.
-  WordVec remaining_idx = m.copy(index_vector);
-  WordVec remaining_pos = m.iota(index_vector.size());
+  // lane numbers. All round-loop working vectors come from the machine's
+  // buffer pool: after the first round the loop is allocation-free.
+  vm::BufferPool& pool = m.pool();
+  const std::size_t n0 = index_vector.size();
+  vm::PooledVec remaining_idx(pool, n0);
+  vm::PooledVec remaining_pos(pool, n0);
+  vm::PooledVec next_idx(pool, n0);
+  vm::PooledVec next_pos(pool, n0);
+  vm::PooledVec winners(pool, n0);
+  vm::PooledVec assigned_idx(pool, n0);  // kept half of the idx split; unused
+  m.copy_into(*remaining_idx, index_vector);
+  m.iota_into(*remaining_pos, index_vector.size());
+
+  // The subset collection grows by one push_back per round; reserve a
+  // round-count guess up front to skip the early reallocation ladder.
+  out.sets.reserve(std::min<std::size_t>(index_vector.size(), 32));
 
   const std::size_t max_rounds = index_vector.size();
-  while (!remaining_idx.empty()) {
+  while (!remaining_idx->empty()) {
     FOLVEC_CHECK(out.sets.size() < max_rounds,
                  "FOL1 failed to terminate within N rounds; the scatter "
                  "substrate violates the ELS condition");
     const vm::AlgoSpan round_span(m, "round", out.sets.size());
-    const std::size_t n_remaining = remaining_idx.size();
+    const std::size_t n_remaining = remaining_idx->size();
 
-    // Step 1 (writing labels): one list-vector store. The lane positions are
-    // globally unique, so they double as this round's labels.
-    m.scatter(work, remaining_idx, remaining_pos);
-
-    // Step 2 (detection of overwriting): read back through the same indices
-    // and keep the lanes whose label survived.
-    const WordVec readback = m.gather(work, remaining_idx);
-    const Mask survived = m.eq(readback, remaining_pos);
+    // Steps 1+2 (writing labels, detection of overwriting) as one fused
+    // instruction: scatter the globally unique lane positions, read back
+    // through the same indices, and keep the lanes whose label survived.
+    // count_true charges its reduce either way, but the fused kernel's
+    // cached popcount lets it skip the host-side scan.
+    Mask survived(0);
+    m.scatter_gather_eq_into(survived, work, *remaining_idx, *remaining_pos);
     const std::size_t n_survived = m.count_true(survived);
     FOLVEC_CHECK(n_survived > 0,
                  "FOL1 round produced an empty set: a contested work word "
@@ -61,16 +75,20 @@ Decomposition fol1_decompose(VectorMachine& m,
     telemetry::observe("fol1.set_size", n_survived);
     telemetry::count("fol1.contested_lanes", n_remaining - n_survived);
 
-    const WordVec winners = m.compress(remaining_pos, survived);
+    // Step 3 (updating control variables): one partition per control vector
+    // replaces the old compress / mask_not / compress / compress chain. The
+    // kept half of the position split is this round's output set; the kept
+    // half of the index split is dead (those lanes are assigned).
+    m.partition_into(*winners, *next_pos, *remaining_pos, survived);
+    m.partition_into(*assigned_idx, *next_idx, *remaining_idx, survived);
+
     std::vector<std::size_t> set;
-    set.reserve(winners.size());
-    for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    set.reserve(winners->size());
+    for (Word w : *winners) set.push_back(static_cast<std::size_t>(w));
     out.sets.push_back(std::move(set));
 
-    // Step 3 (updating control variables): drop the assigned lanes.
-    const Mask contested = m.mask_not(survived);
-    remaining_idx = m.compress(remaining_idx, contested);
-    remaining_pos = m.compress(remaining_pos, contested);
+    std::swap(*remaining_idx, *next_idx);
+    std::swap(*remaining_pos, *next_pos);
   }
   telemetry::count("fol1.rounds", out.sets.size());
   telemetry::observe("fol1.rounds_per_call", out.sets.size());

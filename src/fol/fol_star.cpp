@@ -1,9 +1,12 @@
 #include "fol/fol_star.h"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "vm/buffer_pool.h"
 #include "vm/checker.h"
 
 namespace folvec::fol {
@@ -20,14 +23,14 @@ namespace {
 /// deadlock-avoidance scalar re-store rather than on being conflict-free.
 /// Host-side accounting only: issues no machine instructions, so the chime
 /// cost of the decomposition is unchanged.
-bool last_tuple_contested(const std::vector<WordVec>& remaining,
+bool last_tuple_contested(const std::vector<vm::PooledVec>& remaining,
                           std::size_t n) {
   if (n < 2) return false;
   std::unordered_set<Word> last_addrs;
-  for (const auto& lane : remaining) last_addrs.insert(lane[n - 1]);
+  for (const auto& lane : remaining) last_addrs.insert((*lane)[n - 1]);
   for (const auto& lane : remaining) {
     for (std::size_t p = 0; p + 1 < n; ++p) {
-      if (last_addrs.count(lane[p]) != 0) return true;
+      if (last_addrs.count((*lane)[p]) != 0) return true;
     }
   }
   return false;
@@ -59,52 +62,75 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
 
   // Step 0: globally-unique labels. Tuple position p, lane k gets label
   // k*n0 + p; positions are carried through the rounds unchanged so labels
-  // stay unique and sets report original tuple numbers.
-  std::vector<WordVec> remaining(num_lanes);
+  // stay unique and sets report original tuple numbers. All per-lane and
+  // per-round working vectors are pooled and refilled with the *_into
+  // primitives, so steady-state rounds allocate nothing.
+  vm::BufferPool& pool = m.pool();
+  std::vector<vm::PooledVec> remaining;
+  std::vector<vm::PooledVec> next_remaining;
+  std::vector<vm::PooledVec> labels;
+  remaining.reserve(num_lanes);
+  next_remaining.reserve(num_lanes);
+  labels.reserve(num_lanes);
   for (std::size_t k = 0; k < num_lanes; ++k) {
-    remaining[k] = m.copy(index_vectors[k]);
+    remaining.emplace_back(pool, n0);
+    next_remaining.emplace_back(pool, n0);
+    labels.emplace_back(pool, n0);
+    m.copy_into(*remaining[k], index_vectors[k]);
   }
-  WordVec positions = m.iota(n0);
+  vm::PooledVec positions(pool, n0);
+  vm::PooledVec next_positions(pool, n0);
+  vm::PooledVec readback(pool, n0);
+  vm::PooledVec winners(pool, n0);
+  vm::PooledVec assigned(pool, n0);  // kept half of the lane splits; unused
+  m.iota_into(*positions, n0);
 
   const auto lane_label = [n0](std::size_t k, Word pos) {
     return static_cast<Word>(k) * static_cast<Word>(n0) + pos;
   };
 
-  while (!positions.empty()) {
+  // The subset collection grows by one push_back per round; reserve a
+  // round-count guess up front to skip the early reallocation ladder.
+  out.sets.reserve(max_rounds != 0 ? max_rounds
+                                   : std::min<std::size_t>(n0, 32));
+
+  while (!positions->empty()) {
     if (max_rounds != 0 && out.sets.size() == max_rounds) {
-      out.unassigned = positions.size();
+      out.unassigned = positions->size();
       break;
     }
     const vm::AlgoSpan round_span(m, "round", out.sets.size());
-    const std::size_t n = positions.size();
+    const std::size_t n = positions->size();
 
     // Step 1: scatter each lane's labels (vector), then re-write the last
     // tuple's labels with scalar stores, in lane order, so the last tuple
-    // survives any cross-tuple conflict.
-    std::vector<WordVec> labels(num_lanes);
+    // survives any cross-tuple conflict. (The scalar re-stores sit between
+    // the scatters and the readbacks, so the fused scatter_gather_eq kernel
+    // does not apply to this algorithm.)
     for (std::size_t k = 0; k < num_lanes; ++k) {
-      labels[k] =
-          m.add_scalar(positions, static_cast<Word>(k) * static_cast<Word>(n0));
-      m.scatter(work, remaining[k], labels[k]);
+      m.add_scalar_into(*labels[k], *positions,
+                        static_cast<Word>(k) * static_cast<Word>(n0));
+      m.scatter(work, *remaining[k], *labels[k]);
     }
     for (std::size_t k = 0; k < num_lanes; ++k) {
-      const auto target = static_cast<std::size_t>(remaining[k][n - 1]);
-      m.scalar_store(work, target, lane_label(k, positions[n - 1]));
+      const auto target = static_cast<std::size_t>((*remaining[k])[n - 1]);
+      m.scalar_store(work, target, lane_label(k, (*positions)[n - 1]));
     }
 
     // Step 2: a tuple survives only if every lane's label survived.
     Mask tuple_ok;
     for (std::size_t k = 0; k < num_lanes; ++k) {
-      const WordVec readback = m.gather(work, remaining[k]);
-      const Mask lane_ok = m.eq(readback, labels[k]);
+      m.gather_into(*readback, work, *remaining[k]);
+      const Mask lane_ok = m.eq(*readback, *labels[k]);
       tuple_ok = (k == 0) ? lane_ok : m.mask_and(tuple_ok, lane_ok);
     }
 
     std::size_t n_ok = m.count_true(tuple_ok);
-    const bool rescued_by_scalar = tuple_ok[n - 1] != 0;
+    const bool rescued_by_scalar = tuple_ok.test(n - 1) != 0;
     if (n_ok == 0) {
       // The last tuple self-conflicts; force it out as a singleton.
       tuple_ok[n - 1] = 1;
+      tuple_ok.set_popcount(1);
       n_ok = 1;
       ++out.forced_singletons;
     } else if (rescued_by_scalar && last_tuple_contested(remaining, n)) {
@@ -119,10 +145,13 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     telemetry::observe("fol_star.set_size", n_ok);
     telemetry::count("fol_star.contested_tuples", n - n_ok);
 
-    const WordVec winners = m.compress(positions, tuple_ok);
+    // Step 3: one partition per control vector splits winners from the
+    // still-contested tuples (replacing compress + mask_not + compress).
+    m.partition_into(*winners, *next_positions, *positions, tuple_ok);
+
     std::vector<std::size_t> set;
-    set.reserve(winners.size());
-    for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    set.reserve(winners->size());
+    for (Word w : *winners) set.push_back(static_cast<std::size_t>(w));
     if (m.audit_enabled() && set.size() > 1) {
       // Forced singletons are trivially conflict-free; every multi-tuple set
       // must be pairwise address-disjoint across all index vectors.
@@ -130,12 +159,11 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     }
     out.sets.push_back(std::move(set));
 
-    // Step 3: drop the assigned tuples from every lane.
-    const Mask contested = m.mask_not(tuple_ok);
     for (std::size_t k = 0; k < num_lanes; ++k) {
-      remaining[k] = m.compress(remaining[k], contested);
+      m.partition_into(*assigned, *next_remaining[k], *remaining[k], tuple_ok);
+      std::swap(*remaining[k], *next_remaining[k]);
     }
-    positions = m.compress(positions, contested);
+    std::swap(*positions, *next_positions);
   }
   telemetry::count("fol_star.rounds", out.sets.size());
   telemetry::observe("fol_star.rounds_per_call", out.sets.size());

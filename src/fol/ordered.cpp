@@ -1,7 +1,11 @@
 #include "fol/ordered.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "vm/buffer_pool.h"
 #include "vm/checker.h"
 
 namespace folvec::fol {
@@ -26,11 +30,30 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
   const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,
                                   "ordered FOL1 label round");
 
-  WordVec remaining_idx = m.copy(index_vector);
-  WordVec remaining_pos = m.iota(index_vector.size());
+  // Round-loop working vectors come from the machine's buffer pool and are
+  // reused via the *_into primitives: steady-state rounds allocate nothing.
+  // (Fused scatter_gather_eq does not apply here — the ordered VSTX scatter
+  // has its own survivor rule — but the partition split does.)
+  vm::BufferPool& pool = m.pool();
+  const std::size_t n0 = index_vector.size();
+  vm::PooledVec remaining_idx(pool, n0);
+  vm::PooledVec remaining_pos(pool, n0);
+  vm::PooledVec next_idx(pool, n0);
+  vm::PooledVec next_pos(pool, n0);
+  vm::PooledVec rev_idx(pool, n0);
+  vm::PooledVec rev_labels(pool, n0);
+  vm::PooledVec readback(pool, n0);
+  vm::PooledVec winners(pool, n0);
+  vm::PooledVec assigned_idx(pool, n0);  // kept half of the idx split; unused
+  m.copy_into(*remaining_idx, index_vector);
+  m.iota_into(*remaining_pos, index_vector.size());
+
+  // The subset collection grows by one push_back per round; reserve a
+  // round-count guess up front to skip the early reallocation ladder.
+  out.sets.reserve(std::min<std::size_t>(index_vector.size(), 32));
 
   const std::size_t max_rounds = index_vector.size();
-  while (!remaining_idx.empty()) {
+  while (!remaining_idx->empty()) {
     FOLVEC_CHECK(out.sets.size() < max_rounds,
                  "ordered FOL1 failed to terminate within N rounds");
     const vm::AlgoSpan round_span(m, "round", out.sets.size());
@@ -38,26 +61,30 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
     // Ordered (VSTX) scatter of the labels in reverse lane order: the last
     // store wins deterministically, so each contested work word ends up
     // holding its earliest remaining occurrence's label.
-    const WordVec rev_idx = m.reverse(remaining_idx);
-    const WordVec rev_labels = m.reverse(remaining_pos);
-    m.scatter_ordered(work, rev_idx, rev_labels);
+    m.reverse_into(*rev_idx, *remaining_idx);
+    m.reverse_into(*rev_labels, *remaining_pos);
+    m.scatter_ordered(work, *rev_idx, *rev_labels);
 
-    const WordVec readback = m.gather(work, remaining_idx);
-    const Mask survived = m.eq(readback, remaining_pos);
+    m.gather_into(*readback, work, *remaining_idx);
+    const Mask survived = m.eq(*readback, *remaining_pos);
     const std::size_t n_survived = m.count_true(survived);
     FOLVEC_CHECK(n_survived > 0,
                  "ordered FOL1 round produced an empty set");
     telemetry::observe("fol1_ordered.set_size", n_survived);
 
-    const WordVec winners = m.compress(remaining_pos, survived);
+    // One partition per control vector replaces the old compress / mask_not
+    // / compress / compress chain; the kept half of the position split is
+    // this round's output set.
+    m.partition_into(*winners, *next_pos, *remaining_pos, survived);
+    m.partition_into(*assigned_idx, *next_idx, *remaining_idx, survived);
+
     std::vector<std::size_t> set;
-    set.reserve(winners.size());
-    for (Word w : winners) set.push_back(static_cast<std::size_t>(w));
+    set.reserve(winners->size());
+    for (Word w : *winners) set.push_back(static_cast<std::size_t>(w));
     out.sets.push_back(std::move(set));
 
-    const Mask contested = m.mask_not(survived);
-    remaining_idx = m.compress(remaining_idx, contested);
-    remaining_pos = m.compress(remaining_pos, contested);
+    std::swap(*remaining_idx, *next_idx);
+    std::swap(*remaining_pos, *next_pos);
   }
   telemetry::count("fol1_ordered.rounds", out.sets.size());
   telemetry::observe("fol1_ordered.rounds_per_call", out.sets.size());
@@ -71,16 +98,20 @@ std::size_t replay_journal(VectorMachine& m, std::span<const Word> targets,
                  "journal targets/values must have equal length");
   const vm::AlgoSpan span(m, "replay_journal");
   const Decomposition dec = fol1_decompose_ordered(m, targets, work);
+  // One pooled pair of staging vectors serves every set; the per-set resize
+  // never reallocates once the largest set has been seen.
+  vm::PooledVec idx(m.pool(), targets.size());
+  vm::PooledVec val(m.pool(), targets.size());
   for (const auto& set : dec.sets) {
-    WordVec idx(set.size());
-    WordVec val(set.size());
+    idx->resize(set.size());
+    val->resize(set.size());
     for (std::size_t i = 0; i < set.size(); ++i) {
-      idx[i] = targets[set[i]];
-      val[i] = values[set[i]];
+      (*idx)[i] = targets[set[i]];
+      (*val)[i] = values[set[i]];
     }
     // Conflict-free within the set (Lemma 2), so the plain ELS scatter is
     // safe here; ordering across sets is what preserves replay order.
-    m.scatter(table, idx, val);
+    m.scatter(table, *idx, *val);
   }
   return dec.rounds();
 }

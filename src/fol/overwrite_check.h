@@ -28,9 +28,10 @@ inline vm::Mask overwrite_and_check(vm::VectorMachine& m,
   // A sanctioned race: the written values are real data, not labels.
   const vm::ConflictWindow window(m, table, vm::WindowKind::kDataRace,
                                   "overwrite-and-check");
-  m.scatter(table, idx, vals);
-  const vm::WordVec readback = m.gather(table, idx);
-  return m.eq(readback, vals);
+  // The primitive IS the fused instruction: scatter, gather back, compare,
+  // one memory pass (falls back to the three-op composition under
+  // FOLVEC_FUSE=0 or injection).
+  return m.scatter_gather_eq(table, idx, vals);
 }
 
 /// Masked variant: lanes with `active[i]` false neither store nor check
@@ -42,9 +43,7 @@ inline vm::Mask overwrite_and_check_masked(vm::VectorMachine& m,
                                            const vm::Mask& active) {
   const vm::ConflictWindow window(m, table, vm::WindowKind::kDataRace,
                                   "overwrite-and-check");
-  m.scatter_masked(table, idx, vals, active);
-  const vm::WordVec readback = m.gather(table, idx);
-  return m.mask_and(m.eq(readback, vals), active);
+  return m.scatter_gather_eq_masked(table, idx, vals, active);
 }
 
 }  // namespace folvec::fol

@@ -2,9 +2,12 @@
 
 #include <unordered_set>
 
+#include <utility>
+
 #include "hashing/hash_fn.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "vm/buffer_pool.h"
 #include "vm/checker.h"
 
 namespace folvec::hashing {
@@ -100,33 +103,47 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
   // are a sanctioned data-race window over the table.
   const vm::ConflictWindow window(m, table, vm::WindowKind::kDataRace,
                                   "multiple hashing insert");
-  WordVec key_vec = m.copy(keys);
-  WordVec hashed = m.mod_scalar(key_vec, size);
+  // Retry-round working vectors are pooled and refilled in place; after the
+  // first round the loop performs no allocation.
+  vm::BufferPool& pool = m.pool();
+  vm::PooledVec key_vec(pool, keys.size());
+  vm::PooledVec next_key(pool, keys.size());
+  vm::PooledVec next_hashed(pool, keys.size());
+  vm::PooledVec probed(pool, keys.size());
+  // Kept half of the splits; unused.
+  vm::PooledVec entered_scratch(pool, keys.size());
+  m.copy_into(*key_vec, keys);
+  WordVec hashed = m.mod_scalar(*key_vec, size);
   {
-    const Mask empty = m.eq_scalar(m.gather(table, hashed), kUnentered);
-    m.scatter_masked(table, hashed, key_vec, empty);
+    m.gather_into(*probed, table, hashed);
+    const Mask empty = m.eq_scalar(*probed, kUnentered);
+    m.scatter_masked(table, hashed, *key_vec, empty);
   }
-  stats.max_vector_len = key_vec.size();
+  stats.max_vector_len = key_vec->size();
 
   // Outer loop: detect which keys made it, pack the rest, re-probe.
   const std::size_t max_iterations = table.size() * 33;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     ++stats.iterations;
     const vm::AlgoSpan round_span(m, "retry", iter);
-    const Mask entered = m.eq(m.gather(table, hashed), key_vec);
-    const Mask rest = m.mask_not(entered);
-    const std::size_t nrest = m.count_true(rest);
+    m.gather_into(*probed, table, hashed);
+    const Mask entered = m.eq(*probed, *key_vec);
+    const std::size_t nrest = key_vec->size() - m.count_true(entered);
     // Keys confirmed entered this pass found their slot on probe iter+1.
     telemetry::observe("hashing.probe_count", iter + 1,
-                       key_vec.size() - nrest);
+                       key_vec->size() - nrest);
     if (nrest == 0) {
       telemetry::count("hashing.retry_rounds", stats.iterations);
       telemetry::observe("hashing.retry_rounds_per_call", stats.iterations);
       return stats;
     }
 
-    hashed = m.compress(hashed, rest);
-    key_vec = m.compress(key_vec, rest);
+    // One partition per control vector replaces the old mask_not + two
+    // compresses; the kept (entered) halves are dead.
+    m.partition_into(*entered_scratch, *next_hashed, hashed, entered);
+    m.partition_into(*entered_scratch, *next_key, *key_vec, entered);
+    std::swap(hashed, *next_hashed);
+    std::swap(*key_vec, *next_key);
 
     // Subscript recalculation. The optimized variant separates keys that
     // collided at the same slot by giving each its own stride.
@@ -136,13 +153,14 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
         hashed = m.mod_scalar(m.add_scalar(hashed, 1), size);
         break;
       case ProbeVariant::kKeyDependent:
-        step = m.add_scalar(m.and_scalar(key_vec, 31), 1);
+        step = m.add_scalar(m.and_scalar(*key_vec, 31), 1);
         hashed = m.mod_scalar(m.add(hashed, step), size);
         break;
     }
 
-    const Mask empty = m.eq_scalar(m.gather(table, hashed), kUnentered);
-    m.scatter_masked(table, hashed, key_vec, empty);
+    m.gather_into(*probed, table, hashed);
+    const Mask empty = m.eq_scalar(*probed, kUnentered);
+    m.scatter_masked(table, hashed, *key_vec, empty);
   }
   FOLVEC_CHECK(false, "multiple hashing failed to converge");
 }
@@ -159,29 +177,39 @@ vm::Mask multi_hash_open_contains(VectorMachine& m,
 
   // Lockstep probing: lanes retire when they hit their key (found) or an
   // empty slot (absent); the rest advance along their probe sequence.
-  WordVec key_vec = m.copy(keys);
-  WordVec lane = m.iota(keys.size());
-  WordVec hashed = m.mod_scalar(key_vec, size);
+  // Working vectors are pooled; the probe loop allocates only masks.
+  vm::BufferPool& pool = m.pool();
+  vm::PooledVec key_vec(pool, keys.size());
+  vm::PooledVec lane(pool, keys.size());
+  vm::PooledVec probed(pool, keys.size());
+  vm::PooledVec hit_lanes(pool, keys.size());
+  vm::PooledVec packed(pool, keys.size());
+  m.copy_into(*key_vec, keys);
+  m.iota_into(*lane, keys.size());
+  WordVec hashed = m.mod_scalar(*key_vec, size);
   const std::size_t max_iterations = table.size() * 33;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
-    const WordVec probed = m.gather(table, hashed);
-    const Mask hit = m.eq(probed, key_vec);
-    const Mask miss = m.eq_scalar(probed, kUnentered);
+    m.gather_into(*probed, table, hashed);
+    const Mask hit = m.eq(*probed, *key_vec);
+    const Mask miss = m.eq_scalar(*probed, kUnentered);
     // Record hits through the lane index vector.
-    const WordVec hit_lanes = m.compress(lane, hit);
-    for (Word l : hit_lanes) found[static_cast<std::size_t>(l)] = 1;
+    m.compress_into(*hit_lanes, *lane, hit);
+    for (Word l : *hit_lanes) found[static_cast<std::size_t>(l)] = 1;
     const Mask active = m.mask_not(m.mask_or(hit, miss));
     if (m.count_true(active) == 0) return found;
-    key_vec = m.compress(key_vec, active);
-    lane = m.compress(lane, active);
-    hashed = m.compress(hashed, active);
+    m.compress_into(*packed, *key_vec, active);
+    std::swap(*key_vec, *packed);
+    m.compress_into(*packed, *lane, active);
+    std::swap(*lane, *packed);
+    m.compress_into(*packed, hashed, active);
+    std::swap(hashed, *packed);
     switch (variant) {
       case ProbeVariant::kLinear:
         hashed = m.mod_scalar(m.add_scalar(hashed, 1), size);
         break;
       case ProbeVariant::kKeyDependent:
         hashed = m.mod_scalar(
-            m.add(hashed, m.add_scalar(m.and_scalar(key_vec, 31), 1)), size);
+            m.add(hashed, m.add_scalar(m.and_scalar(*key_vec, 31), 1)), size);
         break;
     }
   }

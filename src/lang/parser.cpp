@@ -281,7 +281,9 @@ class Parser {
       advance();
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kUnary;
-      e->op = "-";
+      // assign(1, '-') rather than = "-": GCC 12's -Wrestrict false-fires on
+      // the inlined const char* assignment path (PR105329).
+      e->op.assign(1, '-');
       e->line = peek().line;
       e->args.push_back(parse_unary());
       return e;

@@ -91,11 +91,20 @@ bool TermArena::is_left_deep(Word root) const {
 }
 
 std::string TermArena::to_string(Word root) const {
+  // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-fires on the inlined `const char* + std::string&&` path (PR105329).
   if (kind(root) == NodeKind::kLeaf) {
-    return "s" + std::to_string(symbol(root));
+    std::string out(1, 's');
+    out += std::to_string(symbol(root));
+    return out;
   }
   const char op = kind(root) == NodeKind::kAdd ? '+' : '*';
-  return "(" + to_string(left(root)) + op + to_string(right(root)) + ")";
+  std::string out(1, '(');
+  out += to_string(left(root));
+  out += op;
+  out += to_string(right(root));
+  out += ')';
+  return out;
 }
 
 Word TermArena::unshare(Word root) {

@@ -168,8 +168,7 @@ std::vector<Word> Grid::route_vector_multi(VectorMachine& m,
     {
       const vm::ConflictWindow window(m, claim, vm::WindowKind::kLabelRound,
                                       "frontier dedup claim");
-      m.scatter(claim, open_cells, labels);
-      winner = m.eq(m.gather(claim, open_cells), labels);
+      winner = m.scatter_gather_eq(claim, open_cells, labels);
     }
     const std::size_t n_win = m.count_true(winner);
     if (stats != nullptr) {

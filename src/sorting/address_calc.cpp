@@ -1,9 +1,11 @@
 #include "sorting/address_calc.h"
 
 #include <limits>
+#include <utility>
 
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "vm/buffer_pool.h"
 #include "vm/checker.h"
 
 namespace folvec::sorting {
@@ -101,6 +103,19 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
   std::vector<Word> c(static_cast<std::size_t>(3 * n));
   m.fill(c, unentered);
 
+  // Pass-loop working vectors are pooled; steady-state passes allocate only
+  // masks and the expression temporaries of phase B.
+  vm::BufferPool& pool = m.pool();
+  const std::size_t n0 = data.size();
+  vm::PooledVec work(pool, n0);
+  vm::PooledVec probed(pool, n0);
+  vm::PooledVec shift_vals(pool, n0);
+  vm::PooledVec shift_idx(pool, n0);
+  vm::PooledVec scratch(pool, n0);
+  vm::PooledVec next_hv(pool, n0);
+  vm::PooledVec next_a(pool, n0);
+  vm::PooledVec assigned(pool, n0);  // kept half of the phase-E split; unused
+
   WordVec a = m.copy(data);
   // A: spreading-function "hash" of every datum at once.
   WordVec hv = m.div_scalar(m.mul_scalar(a, 2 * n), vmax);
@@ -112,7 +127,8 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
     // B: advance lanes whose slot holds a value <= their datum. The loop is
     // all-vector; each pass moves only the still-colliding lanes.
     for (;;) {
-      const Mask uninsertable = m.le(m.gather(c, hv), a);
+      m.gather_into(*probed, c, hv);
+      const Mask uninsertable = m.le(*probed, a);
       if (m.count_true(uninsertable) == 0) break;
       ++stats.probe_steps;
       hv = m.select(uninsertable, m.add_scalar(hv, 1), hv);
@@ -120,16 +136,16 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
 
     // C: overwrite-and-check with negated lane identifiers (-1..-nrest,
     // disjoint from the non-negative data), then store data where the
-    // identifier survived. Every claimed slot gets exactly one winner, so
-    // the masked data scatter below overwrites every label the round left.
-    const WordVec work = m.gather(c, hv);  // save displaced originals
+    // identifier survived. The claim is one fused scatter_gather_eq; every
+    // claimed slot gets exactly one winner, so the masked data scatter below
+    // overwrites every label the round left.
+    m.gather_into(*work, c, hv);  // save displaced originals
     const WordVec ids = m.negate(m.iota(a.size(), 1));
     Mask entered;
     {
       const vm::ConflictWindow window(m, c, vm::WindowKind::kLabelRound,
                                       "address-calc id claim");
-      m.scatter(c, hv, ids);
-      entered = m.eq(m.gather(c, hv), ids);
+      entered = m.scatter_gather_eq(c, hv, ids);
     }
     m.scatter_masked(c, hv, a, entered);
 
@@ -137,22 +153,27 @@ AddressCalcStats address_calc_sort_vector(VectorMachine& m,
     // start at distinct slots (winners are unique per slot) and advance by
     // one slot per step, so they never collide; a chain that runs into
     // another winner's fresh value simply carries it along.
-    Mask to_shift = m.mask_and(entered, m.ne_scalar(work, unentered));
-    WordVec shift_vals = m.compress(work, to_shift);
-    WordVec shift_idx = m.add_scalar(m.compress(hv, to_shift), 1);
-    while (!shift_vals.empty()) {
+    const Mask to_shift = m.mask_and(entered, m.ne_scalar(*work, unentered));
+    m.compress_into(*shift_vals, *work, to_shift);
+    m.compress_into(*scratch, hv, to_shift);
+    m.add_scalar_into(*shift_idx, *scratch, 1);
+    while (!shift_vals->empty()) {
       ++stats.shift_steps;
-      const WordVec next = m.gather(c, shift_idx);
-      m.scatter(c, shift_idx, shift_vals);
-      const Mask nonempty = m.ne_scalar(next, unentered);
-      shift_vals = m.compress(next, nonempty);
-      shift_idx = m.add_scalar(m.compress(shift_idx, nonempty), 1);
+      m.gather_into(*probed, c, *shift_idx);
+      m.scatter(c, *shift_idx, *shift_vals);
+      const Mask nonempty = m.ne_scalar(*probed, unentered);
+      m.compress_into(*shift_vals, *probed, nonempty);
+      m.compress_into(*scratch, *shift_idx, nonempty);
+      m.add_scalar_into(*shift_idx, *scratch, 1);
     }
 
-    // E: pack the lanes that lost the identifier check for the next pass.
-    const Mask rest = m.mask_not(entered);
-    hv = m.compress(hv, rest);
-    a = m.compress(a, rest);
+    // E: pack the lanes that lost the identifier check for the next pass:
+    // one partition per control vector, keeping only the rejected halves
+    // (replacing the old mask_not + two compresses).
+    m.partition_into(*assigned, *next_hv, hv, entered);
+    m.partition_into(*assigned, *next_a, a, entered);
+    std::swap(hv, *next_hv);
+    std::swap(a, *next_a);
   }
 
   // F: pack the occupied slots of C back into `data`.

@@ -81,4 +81,46 @@ void SerialBackend::scatter(std::span<Word> table, std::span<const Word> idx,
   apply_scatter_reference(table, idx, vals, mask, traversal, order);
 }
 
+void SerialBackend::compress_into(std::span<const Word> v,
+                                  std::span<const std::uint8_t> m,
+                                  std::span<Word> out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (m[i] != 0) out[k++] = v[i];
+  }
+}
+
+std::size_t SerialBackend::scatter_gather_eq(
+    std::span<Word> table, std::span<const Word> idx,
+    std::span<const Word> vals, const std::uint8_t* mask,
+    ScatterTraversal traversal, std::span<const std::size_t> order,
+    std::span<std::uint8_t> out_match, void (*between_passes)(void*),
+    void* hook_ctx) {
+  apply_scatter_reference(table, idx, vals, mask, traversal, order);
+  if (between_passes != nullptr) between_passes(hook_ctx);
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const bool active = mask == nullptr || mask[i] != 0;
+    const std::uint8_t hit =
+        active && table[static_cast<std::size_t>(idx[i])] == vals[i] ? 1 : 0;
+    out_match[i] = hit;
+    survivors += hit;
+  }
+  return survivors;
+}
+
+void SerialBackend::partition(std::span<const Word> v,
+                              std::span<const std::uint8_t> m,
+                              std::span<Word> kept, std::span<Word> rejected) {
+  std::size_t k = 0;
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (m[i] != 0) {
+      kept[k++] = v[i];
+    } else {
+      rejected[r++] = v[i];
+    }
+  }
+}
+
 }  // namespace folvec::vm

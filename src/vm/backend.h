@@ -78,6 +78,36 @@ class Backend {
   virtual WordVec compress(std::span<const Word> v,
                            std::span<const std::uint8_t> m) = 0;
 
+  /// Pack-under-mask into a caller-sized destination: `out` has exactly
+  /// popcount(m) elements (the machine sizes it from the Mask's cached
+  /// count), lane order preserved.
+  virtual void compress_into(std::span<const Word> v,
+                             std::span<const std::uint8_t> m,
+                             std::span<Word> out) = 0;
+
+  /// Fused kernel: ELS scatter of (idx, vals) into `table` (exactly like
+  /// scatter()), then readback compare out_match[i] = (mask-active and
+  /// table[idx[i]] == vals[i]). The readback pass begins only after the
+  /// scatter pass fully completes (the composition's memory order). Returns
+  /// the number of true lanes in out_match. `between_passes`, when non-null,
+  /// is invoked once on the issuing thread at that boundary — VectorMachine
+  /// uses it for the audit readback probe and the masked variant's
+  /// all-lanes bounds check; its exceptions propagate with the scatter
+  /// already applied, matching the unfused composition.
+  virtual std::size_t scatter_gather_eq(
+      std::span<Word> table, std::span<const Word> idx,
+      std::span<const Word> vals, const std::uint8_t* mask,
+      ScatterTraversal traversal, std::span<const std::size_t> order,
+      std::span<std::uint8_t> out_match, void (*between_passes)(void*),
+      void* hook_ctx) = 0;
+
+  /// Fused two-way pack: kept gets v's mask-true lanes, rejected the rest,
+  /// both in lane order. The spans are pre-sized exactly (kept.size() ==
+  /// popcount(m), rejected.size() == v.size() - popcount(m)).
+  virtual void partition(std::span<const Word> v,
+                         std::span<const std::uint8_t> m, std::span<Word> kept,
+                         std::span<Word> rejected) = 0;
+
   /// Returns the lowest lane whose index falls outside [0, table_size), or
   /// npos when all (mask-active, if mask != nullptr) lanes are in bounds.
   virtual std::size_t first_oob(std::span<const Word> idx,
@@ -115,12 +145,25 @@ class SerialBackend final : public Backend {
   std::size_t count_true(std::span<const std::uint8_t> m) override;
   WordVec compress(std::span<const Word> v,
                    std::span<const std::uint8_t> m) override;
+  void compress_into(std::span<const Word> v, std::span<const std::uint8_t> m,
+                     std::span<Word> out) override;
   std::size_t first_oob(std::span<const Word> idx, std::size_t table_size,
                         const std::uint8_t* mask) override;
   void scatter(std::span<Word> table, std::span<const Word> idx,
                std::span<const Word> vals, const std::uint8_t* mask,
                ScatterTraversal traversal,
                std::span<const std::size_t> order) override;
+  std::size_t scatter_gather_eq(std::span<Word> table,
+                                std::span<const Word> idx,
+                                std::span<const Word> vals,
+                                const std::uint8_t* mask,
+                                ScatterTraversal traversal,
+                                std::span<const std::size_t> order,
+                                std::span<std::uint8_t> out_match,
+                                void (*between_passes)(void*),
+                                void* hook_ctx) override;
+  void partition(std::span<const Word> v, std::span<const std::uint8_t> m,
+                 std::span<Word> kept, std::span<Word> rejected) override;
 };
 
 }  // namespace folvec::vm

@@ -1,0 +1,66 @@
+#include "vm/buffer_pool.h"
+
+#include <bit>
+#include <utility>
+
+namespace folvec::vm {
+
+std::size_t BufferPool::floor_log2(std::size_t v) {
+  return static_cast<std::size_t>(std::bit_width(v)) - 1;
+}
+
+BufferPool::WordVec BufferPool::acquire(std::size_t n) {
+  ++stats_.acquires;
+  // Bucket b holds capacities in [2^b, 2^(b+1)). The search starts in the
+  // bucket containing `want` itself — whose members fit only if their
+  // individual capacity reaches want — and walks two buckets higher, where
+  // every member fits. Larger buckets are deliberately not scanned: burning
+  // a huge buffer on a tiny ask would evict it from the size class that
+  // actually needs it.
+  const std::size_t want = n == 0 ? 1 : n;
+  const std::size_t lo = floor_log2(want);
+  for (std::size_t b = lo; b < kBuckets && b <= lo + 2; ++b) {
+    std::vector<WordVec>& bucket = buckets_[b];
+    for (std::size_t i = bucket.size(); i-- > 0;) {
+      if (bucket[i].capacity() < want) continue;
+      WordVec v = std::move(bucket[i]);
+      bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+      stats_.held_words -= v.capacity();
+      ++stats_.hits;
+      v.resize(n);
+      return v;
+    }
+  }
+  ++stats_.misses;
+  WordVec v;
+  v.resize(n);
+  return v;
+}
+
+void BufferPool::release(WordVec&& v) {
+  WordVec dead = std::move(v);
+  if (dead.capacity() == 0) {
+    ++stats_.discards;
+    return;
+  }
+  const std::size_t b = floor_log2(dead.capacity());
+  std::vector<WordVec>& bucket = buckets_[b];
+  if (bucket.size() >= kMaxPerBucket) {
+    ++stats_.discards;
+    return;
+  }
+  ++stats_.releases;
+  stats_.held_words += dead.capacity();
+  if (stats_.held_words > stats_.peak_held_words) {
+    stats_.peak_held_words = stats_.held_words;
+  }
+  dead.clear();
+  bucket.push_back(std::move(dead));
+}
+
+void BufferPool::trim() {
+  for (auto& bucket : buckets_) bucket.clear();
+  stats_.held_words = 0;
+}
+
+}  // namespace folvec::vm

@@ -1,0 +1,99 @@
+// A size-bucketed free list of WordVec storage — the software stand-in for
+// vector registers.
+//
+// Every value-returning VectorMachine primitive materializes its result in a
+// fresh WordVec; on a register machine those intermediates would live in
+// vector registers and cost nothing to "allocate". The pool closes that gap
+// for the hot round loops: an algorithm acquires its working vectors once,
+// feeds them to the *_into primitives each round, and releases them at the
+// end — steady-state rounds touch no allocator.
+//
+// Released vectors are bucketed by floor(log2(capacity)), so bucket i holds
+// capacities in [2^i, 2^(i+1)); acquire(n) scans its own bucket (checking
+// each candidate's capacity) and the next two up, serving hits by a
+// capacity-preserving resize. Each bucket keeps at most kMaxPerBucket
+// vectors; beyond that, release simply frees.
+//
+// The pool is owned by one VectorMachine and, like the machine itself, is
+// confined to the machine's issuing thread — no locking. Stats are exported
+// by the machine under the host-only "pool." metrics namespace (excluded
+// from MetricsSnapshot::deterministic(), like the parallel scatter-merge
+// stats), so hit rates never enter cross-backend determinism contracts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace folvec::vm {
+
+class BufferPool {
+ public:
+  /// Free vectors retained per size bucket; further releases deallocate.
+  static constexpr std::size_t kMaxPerBucket = 8;
+
+  using WordVec = std::vector<std::int64_t>;
+
+  /// A vector of size n (contents unspecified), reusing pooled storage with
+  /// capacity >= n when any is available.
+  WordVec acquire(std::size_t n);
+
+  /// Returns a vector's storage to the pool (or frees it when the bucket is
+  /// full). The vector is left empty either way.
+  void release(WordVec&& v);
+
+  /// Drops all retained storage.
+  void trim();
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t hits = 0;      ///< acquires served from a free list
+    std::uint64_t misses = 0;    ///< acquires that had to allocate
+    std::uint64_t releases = 0;  ///< releases retained in a bucket
+    std::uint64_t discards = 0;  ///< releases dropped (bucket full / tiny)
+    /// Words of capacity currently parked in free lists.
+    std::uint64_t held_words = 0;
+    /// High-water mark of held_words over the pool's lifetime.
+    std::uint64_t peak_held_words = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+
+  static std::size_t floor_log2(std::size_t v);
+
+  std::array<std::vector<WordVec>, kBuckets> buckets_{};
+  Stats stats_;
+};
+
+/// RAII pooled vector: acquires on construction, releases on destruction.
+/// The round loops' working buffers are PooledVecs so early exits (theorem
+/// checks, audit throws) still hand the storage back.
+class PooledVec {
+ public:
+  PooledVec(BufferPool& pool, std::size_t n)
+      : pool_(&pool), v_(pool.acquire(n)) {}
+  ~PooledVec() {
+    if (pool_ != nullptr) pool_->release(std::move(v_));
+  }
+  PooledVec(const PooledVec&) = delete;
+  PooledVec& operator=(const PooledVec&) = delete;
+  PooledVec(PooledVec&& other) noexcept
+      : pool_(other.pool_), v_(std::move(other.v_)) {
+    other.pool_ = nullptr;
+  }
+  PooledVec& operator=(PooledVec&&) = delete;
+
+  BufferPool::WordVec& operator*() { return v_; }
+  const BufferPool::WordVec& operator*() const { return v_; }
+  BufferPool::WordVec* operator->() { return &v_; }
+  const BufferPool::WordVec* operator->() const { return &v_; }
+
+ private:
+  BufferPool* pool_;
+  BufferPool::WordVec v_;
+};
+
+}  // namespace folvec::vm

@@ -22,6 +22,8 @@ const char* op_class_name(OpClass c) {
     case OpClass::kVectorScatterOrdered: return "v.scatter.ord";
     case OpClass::kVectorCompress: return "v.compress";
     case OpClass::kVectorReduce: return "v.reduce";
+    case OpClass::kVectorScatterGatherEq: return "v.sge";
+    case OpClass::kVectorPartition: return "v.partition";
     case OpClass::kCount: break;
   }
   return "?";
@@ -65,6 +67,16 @@ CostParams CostParams::s810_like() {
   set(p, OpClass::kVectorScatterOrdered, 70.0, 2.0);
   set(p, OpClass::kVectorCompress, 45.0, 0.25);
   set(p, OpClass::kVectorReduce, 40.0, 0.15);
+  // Fused kernels are charged the *chained* cost: one startup for the whole
+  // pipe group instead of one per primitive. scatter_gather_eq's readback
+  // rides the scatter's address stream, so the second memory pass overlaps
+  // the first instead of paying the full 1.0 again, and the compare + count
+  // chain for free — 1.5 cycles/element against 2.3 for the four-op
+  // composition (scatter 1.0 + gather 1.0 + compare 0.15 + count 0.15).
+  // partition runs both packs from one read of v and one mask scan, at the
+  // single-compress element rate.
+  set(p, OpClass::kVectorScatterGatherEq, 70.0, 1.5);
+  set(p, OpClass::kVectorPartition, 45.0, 0.25);
   return p;
 }
 
@@ -84,6 +96,10 @@ CostParams CostParams::cheap_gather() {
   p.per_element[static_cast<std::size_t>(OpClass::kVectorScatter)] = linear;
   p.per_element[static_cast<std::size_t>(OpClass::kVectorScatterOrdered)] =
       linear;
+  // The fused scatter+readback is memory-bound the same way; at linear
+  // speed both passes together cost two linear streams.
+  p.per_element[static_cast<std::size_t>(OpClass::kVectorScatterGatherEq)] =
+      2.0 * linear;
   return p;
 }
 

@@ -43,6 +43,8 @@ enum class OpClass : std::uint8_t {
   kVectorScatterOrdered,  ///< indexed store, order-preserving (VSTX); slower
   kVectorCompress,        ///< pack-under-mask ("A where M")
   kVectorReduce,          ///< reduction (count_true, sum, min, max)
+  kVectorScatterGatherEq, ///< fused scatter + readback gather + compare
+  kVectorPartition,       ///< fused two-way pack-under-mask (kept/rejected)
   kCount
 };
 

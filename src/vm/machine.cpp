@@ -10,6 +10,7 @@
 
 #include "support/env.h"
 #include "vm/backend.h"
+#include "vm/buffer_pool.h"
 #include "vm/checker.h"
 #include "vm/parallel_backend.h"
 
@@ -47,6 +48,11 @@ bool MachineConfig::audit_default() {
 #endif
 }
 
+bool MachineConfig::fuse_default() {
+  if (const auto env = env_value("FOLVEC_FUSE")) return env_flag(*env);
+  return true;
+}
+
 BackendKind MachineConfig::backend_default() {
   if (const auto env = env_value("FOLVEC_BACKEND")) {
     const std::string v = env_normalize(*env);
@@ -62,7 +68,9 @@ BackendKind MachineConfig::backend_default() {
 }
 
 VectorMachine::VectorMachine(const MachineConfig& config)
-    : config_(config), shuffle_rng_(config.shuffle_seed) {
+    : config_(config),
+      shuffle_rng_(config.shuffle_seed),
+      pool_(std::make_unique<BufferPool>()) {
   if (config_.audit) {
     checker_ = std::make_unique<ScatterChecker>(config_.audit_throw);
   }
@@ -109,6 +117,17 @@ void VectorMachine::flush_telemetry() const {
       }
     }
   }
+  // Buffer-pool behaviour is host allocator reuse, not machine semantics,
+  // so it reports in the excluded-from-determinism "pool." namespace.
+  const BufferPool::Stats& ps = pool_->stats();
+  if (ps.acquires != 0) {
+    r->add("pool.buffer.acquires", ps.acquires);
+    r->add("pool.buffer.hits", ps.hits);
+    r->add("pool.buffer.misses", ps.misses);
+    r->add("pool.buffer.releases", ps.releases);
+    r->add("pool.buffer.discards", ps.discards);
+    r->observe("pool.buffer.peak_held_words", ps.peak_held_words);
+  }
   // Backend identity lives in the excluded-from-determinism "backend."
   // namespace: it legitimately differs between serial and parallel runs.
   r->label("backend.name", backend_name());
@@ -145,16 +164,22 @@ void VectorMachine::retire_work(std::span<const Word> region) {
 // ---- vector generation -----------------------------------------------------
 
 WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
+  WordVec out;
+  iota_into(out, n, start, step);
+  return out;
+}
+
+void VectorMachine::iota_into(WordVec& out, std::size_t n, Word start,
+                              Word step) {
   const OpTimer timer(cost_, OpClass::kVectorArith, n);
   issue(OpClass::kVectorArith, n);
-  WordVec out(n);
+  out.resize(n);
   Word* o = out.data();
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       o[i] = start + step * static_cast<Word>(i);
     }
   });
-  return out;
 }
 
 WordVec VectorMachine::splat(std::size_t n, Word value) {
@@ -169,59 +194,92 @@ WordVec VectorMachine::splat(std::size_t n, Word value) {
 }
 
 WordVec VectorMachine::copy(std::span<const Word> v) {
+  WordVec out;
+  copy_into(out, v);
+  return out;
+}
+
+void VectorMachine::copy_into(WordVec& out, std::span<const Word> v) {
   const OpTimer timer(cost_, OpClass::kVectorLoad, v.size());
   issue(OpClass::kVectorLoad, v.size());
-  WordVec out(v.size());
+  out.resize(v.size());
   Word* o = out.data();
   backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
     std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
               v.begin() + static_cast<std::ptrdiff_t>(hi), o + lo);
   });
-  return out;
 }
 
 WordVec VectorMachine::reverse(std::span<const Word> v) {
+  WordVec out;
+  reverse_into(out, v);
+  return out;
+}
+
+void VectorMachine::reverse_into(WordVec& out, std::span<const Word> v) {
   const OpTimer timer(cost_, OpClass::kVectorLoad, v.size());
   issue(OpClass::kVectorLoad, v.size());
   const std::size_t n = v.size();
-  WordVec out(n);
+  out.resize(n);
   Word* o = out.data();
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = v[n - 1 - i];
   });
-  return out;
 }
 
 // ---- elementwise arithmetic -------------------------------------------------
 
 template <typename F>
-WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
-                           F f) {
+void VectorMachine::zip_into(WordVec& out, std::span<const Word> a,
+                             std::span<const Word> b, F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
   const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
-  WordVec out(a.size());
+  out.resize(a.size());
   Word* o = out.data();
   backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]);
   });
+}
+
+template <typename F>
+WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
+                           F f) {
+  WordVec out;
+  zip_into(out, a, b, f);
   return out;
 }
 
 template <typename F>
-WordVec VectorMachine::map(std::span<const Word> a, F f) {
+void VectorMachine::map_into(WordVec& out, std::span<const Word> a, F f) {
   const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
-  WordVec out(a.size());
+  out.resize(a.size());
   Word* o = out.data();
   backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]);
   });
+}
+
+template <typename F>
+WordVec VectorMachine::map(std::span<const Word> a, F f) {
+  WordVec out;
+  map_into(out, a, f);
   return out;
 }
 
 WordVec VectorMachine::add(std::span<const Word> a, std::span<const Word> b) {
   return zip(a, b, [](Word x, Word y) { return x + y; });
+}
+
+void VectorMachine::add_into(WordVec& out, std::span<const Word> a,
+                             std::span<const Word> b) {
+  zip_into(out, a, b, [](Word x, Word y) { return x + y; });
+}
+
+void VectorMachine::add_scalar_into(WordVec& out, std::span<const Word> a,
+                                    Word s) {
+  map_into(out, a, [s](Word x) { return x + s; });
 }
 
 WordVec VectorMachine::sub(std::span<const Word> a, std::span<const Word> b) {
@@ -404,9 +462,14 @@ Mask VectorMachine::mask_not(const Mask& a) {
 }
 
 std::size_t VectorMachine::count_true(const Mask& m) {
+  // count_true always charges its kVectorReduce chime — the modeled machine
+  // still runs the instruction — but the host scan is skipped whenever the
+  // mask already carries its popcount (and the result is cached for the
+  // compress / partition sizing that usually follows).
   const OpTimer timer(cost_, OpClass::kVectorReduce, m.size());
   issue(OpClass::kVectorReduce, m.size());
-  return backend_->count_true(m);
+  if (!m.has_popcount()) m.set_popcount(backend_->count_true(m));
+  return m.popcount();
 }
 
 // ---- reductions ---------------------------------------------------------------
@@ -437,7 +500,25 @@ WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
   const OpTimer timer(cost_, OpClass::kVectorCompress, v.size());
   issue(OpClass::kVectorCompress, v.size());
+  if (m.has_popcount()) {
+    // A known count lets the result allocate exactly instead of reserving a
+    // full-length buffer and shrinking.
+    WordVec out(m.popcount());
+    backend_->compress_into(v, m, out);
+    return out;
+  }
   return backend_->compress(v, m);
+}
+
+std::size_t VectorMachine::compress_into(WordVec& out, std::span<const Word> v,
+                                         const Mask& m) {
+  FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
+  const OpTimer timer(cost_, OpClass::kVectorCompress, v.size());
+  issue(OpClass::kVectorCompress, v.size());
+  const std::size_t nt = m.popcount();
+  out.resize(nt);
+  backend_->compress_into(v, m, out);
+  return nt;
 }
 
 WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
@@ -556,18 +637,24 @@ void VectorMachine::check_indices(std::span<const Word> idx,
 
 WordVec VectorMachine::gather(std::span<const Word> table,
                               std::span<const Word> idx) {
+  WordVec out;
+  gather_into(out, table, idx);
+  return out;
+}
+
+void VectorMachine::gather_into(WordVec& out, std::span<const Word> table,
+                                std::span<const Word> idx) {
   if (checker_ != nullptr) checker_->on_gather(table, idx, nullptr);
   check_indices(idx, table.size());
   const OpTimer timer(cost_, OpClass::kVectorGather, idx.size());
   issue(OpClass::kVectorGather, idx.size());
-  WordVec out(idx.size());
+  out.resize(idx.size());
   Word* o = out.data();
   backend_->for_lanes(idx.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       o[i] = table[static_cast<std::size_t>(idx[i])];
     }
   });
-  return out;
 }
 
 WordVec VectorMachine::gather_masked(std::span<const Word> table,
@@ -689,6 +776,162 @@ void VectorMachine::scalar_store(std::span<Word> table, std::size_t pos,
   if (checker_ != nullptr) checker_->on_scalar_store(table, pos, value);
   issue(OpClass::kScalarMem, 1);
   table[pos] = value;
+}
+
+// ---- fused kernels ----------------------------------------------------------
+
+ScatterTraversal VectorMachine::resolve_scatter_order(
+    std::size_t n, std::vector<std::size_t>& order) {
+  switch (config_.scatter_order) {
+    case ScatterOrder::kForward:
+      return ScatterTraversal::kForward;
+    case ScatterOrder::kReverse:
+      return ScatterTraversal::kReverse;
+    case ScatterOrder::kShuffled:
+      break;
+  }
+  // Drawn on the issuing thread, one draw per scatter-class instruction —
+  // the fused kernel consumes exactly the draw its composition's one
+  // scatter would, so fused and unfused runs see identical RNG streams.
+  order = shuffled_lane_order(n);
+  return ScatterTraversal::kExplicit;
+}
+
+void VectorMachine::fused_scatter_gather_eq(Mask& out, std::span<Word> table,
+                                            std::span<const Word> idx,
+                                            std::span<const Word> vals,
+                                            const Mask* active) {
+  const std::size_t n = idx.size();
+  const OpTimer timer(cost_, OpClass::kVectorScatterGatherEq, n);
+  issue(OpClass::kVectorScatterGatherEq, n);
+  std::vector<std::size_t> order;
+  const ScatterTraversal traversal = resolve_scatter_order(n, order);
+
+  // Runs once between the scatter and readback passes, on the issuing
+  // thread. The masked form must bounds-check ALL lanes here — its readback
+  // gathers inactive lanes too, and the composition faults at the gather,
+  // i.e. with the scatter already applied. The audit probe sits at the same
+  // point so ScatterCheck sees scatter-then-gather exactly like the
+  // composition.
+  struct BetweenPasses {
+    VectorMachine* m;
+    std::span<Word> table;
+    std::span<const Word> idx;
+    bool recheck_all_lanes;
+  } hook{this, table, idx, active != nullptr};
+  const auto probe = [](void* ctx) {
+    auto* h = static_cast<BetweenPasses*>(ctx);
+    if (h->recheck_all_lanes) h->m->check_indices(h->idx, h->table.size());
+    if (h->m->checker_ != nullptr) {
+      h->m->checker_->on_gather(h->table, h->idx, nullptr);
+    }
+  };
+  const bool need_probe = hook.recheck_all_lanes || checker_ != nullptr;
+
+  out.resize(n);
+  const std::size_t survivors = backend_->scatter_gather_eq(
+      table, idx, vals, active != nullptr ? active->data() : nullptr,
+      traversal, order, std::span<std::uint8_t>(out.data(), n),
+      need_probe ? +probe : nullptr, &hook);
+  out.set_popcount(survivors);
+  if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
+    r->add("fused.sge", 1);
+    r->add("fused.sge.lanes", n);
+  }
+}
+
+Mask VectorMachine::scatter_gather_eq(std::span<Word> table,
+                                      std::span<const Word> idx,
+                                      std::span<const Word> vals) {
+  Mask out;
+  scatter_gather_eq_into(out, table, idx, vals);
+  return out;
+}
+
+void VectorMachine::scatter_gather_eq_into(Mask& out, std::span<Word> table,
+                                           std::span<const Word> idx,
+                                           std::span<const Word> vals) {
+  // The ELS-violation injection lives in the plain scatter, so the injected
+  // amalgam must flow through the unfused composition to stay observable.
+  if (!config_.fuse || config_.inject_els_violation) {
+    scatter(table, idx, vals);
+    const WordVec readback = gather(table, idx);
+    out = eq(readback, vals);
+    return;
+  }
+  if (checker_ != nullptr) {
+    checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/false);
+  }
+  FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
+  check_indices(idx, table.size());
+  fused_scatter_gather_eq(out, table, idx, vals, nullptr);
+}
+
+Mask VectorMachine::scatter_gather_eq_masked(std::span<Word> table,
+                                             std::span<const Word> idx,
+                                             std::span<const Word> vals,
+                                             const Mask& active) {
+  if (!config_.fuse || config_.inject_els_violation) {
+    scatter_masked(table, idx, vals, active);
+    const WordVec readback = gather(table, idx);
+    return mask_and(eq(readback, vals), active);
+  }
+  if (checker_ != nullptr) {
+    checker_->on_scatter(table, idx, vals, &active, /*ordered=*/false);
+  }
+  FOLVEC_REQUIRE(idx.size() == vals.size() && idx.size() == active.size(),
+                 "index/value/mask lengths must match");
+  // Like scatter_masked, only active lanes are checked before the store;
+  // the readback's all-lanes check runs between the passes.
+  check_indices(idx, table.size(), &active);
+  Mask out;
+  fused_scatter_gather_eq(out, table, idx, vals, &active);
+  return out;
+}
+
+std::pair<WordVec, WordVec> VectorMachine::partition(std::span<const Word> v,
+                                                     const Mask& m) {
+  FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
+  if (!config_.fuse) {
+    WordVec kept = compress(v, m);
+    const Mask rejected_mask = mask_not(m);
+    WordVec rejected = compress(v, rejected_mask);
+    return {std::move(kept), std::move(rejected)};
+  }
+  const std::size_t nt = m.popcount();
+  const OpTimer timer(cost_, OpClass::kVectorPartition, v.size());
+  issue(OpClass::kVectorPartition, v.size());
+  WordVec kept(nt);
+  WordVec rejected(v.size() - nt);
+  backend_->partition(v, m, kept, rejected);
+  if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
+    r->add("fused.partition", 1);
+    r->add("fused.partition.lanes", v.size());
+  }
+  return {std::move(kept), std::move(rejected)};
+}
+
+std::size_t VectorMachine::partition_into(WordVec& kept, WordVec& rejected,
+                                          std::span<const Word> v,
+                                          const Mask& m) {
+  FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
+  if (!config_.fuse) {
+    const std::size_t nt = compress_into(kept, v, m);
+    const Mask rejected_mask = mask_not(m);
+    compress_into(rejected, v, rejected_mask);
+    return nt;
+  }
+  const std::size_t nt = m.popcount();
+  const OpTimer timer(cost_, OpClass::kVectorPartition, v.size());
+  issue(OpClass::kVectorPartition, v.size());
+  kept.resize(nt);
+  rejected.resize(v.size() - nt);
+  backend_->partition(v, m, kept, rejected);
+  if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
+    r->add("fused.partition", 1);
+    r->add("fused.partition.lanes", v.size());
+  }
+  return nt;
 }
 
 }  // namespace folvec::vm

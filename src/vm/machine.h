@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "support/prng.h"
@@ -42,6 +43,7 @@
 #include "telemetry/spans.h"
 #include "vm/cost_model.h"
 #include "vm/hazard.h"
+#include "vm/mask.h"
 #include "vm/trace.h"
 
 namespace folvec::vm {
@@ -50,9 +52,6 @@ namespace folvec::vm {
 /// all Words, exactly as on the word-addressed vector machines of the era.
 using Word = std::int64_t;
 using WordVec = std::vector<Word>;
-
-/// Boolean mask vector (one byte per element, values 0/1).
-using Mask = std::vector<std::uint8_t>;
 
 /// Which colliding lane survives a scatter to a shared address.
 enum class ScatterOrder : std::uint8_t {
@@ -98,6 +97,16 @@ struct MachineConfig {
   /// vectors; benches keep the default so tiny ops skip dispatch.
   std::size_t backend_grain = 4096;
 
+  /// Default fusion setting: from the FOLVEC_FUSE environment variable when
+  /// set (boolean spellings of support/env.h), else true.
+  static bool fuse_default();
+
+  /// Execute scatter_gather_eq / partition as single fused instructions
+  /// (chained pipes, one vector startup). With false they run as their
+  /// unfused primitive compositions — bit-identical outputs, the original
+  /// chime stream — which is the differential-testing reference.
+  bool fuse = fuse_default();
+
   /// Enable the ScatterCheck hazard auditor (see checker.h) on this machine.
   bool audit = audit_default();
   /// Under audit, throw AuditError at the offending instruction for
@@ -109,6 +118,8 @@ struct MachineConfig {
 
 class ScatterChecker;
 class Backend;
+class BufferPool;
+enum class ScatterTraversal : std::uint8_t;  // full declaration in backend.h
 
 class VectorMachine {
  public:
@@ -147,6 +158,11 @@ class VectorMachine {
   /// Attaches (or detaches, with nullptr) an instruction trace sink. The
   /// sink is borrowed, not owned, and must outlive its attachment.
   void attach_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// The machine's vector-register buffer pool (see buffer_pool.h).
+  /// Steady-state round loops acquire their working vectors here and feed
+  /// them to the *_into primitives so repeated rounds allocate nothing.
+  BufferPool& pool() { return *pool_; }
 
   // ---- vector generation -------------------------------------------------
 
@@ -269,6 +285,65 @@ class VectorMachine {
   /// write; prefer it over raw writes to any vector-visible table.
   void scalar_store(std::span<Word> table, std::size_t pos, Word value);
 
+  // ---- fused kernels -------------------------------------------------------
+  //
+  // Each fused op is semantically identical to a fixed composition of the
+  // primitives above, but issues as ONE instruction charged the chained cost
+  // (one vector startup, overlapped pipes — see cost_model.h). With
+  // MachineConfig::fuse == false (FOLVEC_FUSE=0) the op literally executes
+  // its composition instead: bit-identical outputs and memory effects, the
+  // original unfused chime stream. ScatterCheck observes the fused scatter
+  // through the same on_scatter/on_gather hooks as the composition.
+
+  /// Fused FOL kernel: scatter(table, idx, vals); readback = gather(table,
+  /// idx); return eq(readback, vals) — the ELS survivor mask in one pass.
+  /// The result Mask carries its popcount (the survivor count falls out of
+  /// the fused compare), so callers need no separate count_true.
+  Mask scatter_gather_eq(std::span<Word> table, std::span<const Word> idx,
+                         std::span<const Word> vals);
+
+  /// Destination-passing scatter_gather_eq; reuses `out`'s storage.
+  void scatter_gather_eq_into(Mask& out, std::span<Word> table,
+                              std::span<const Word> idx,
+                              std::span<const Word> vals);
+
+  /// Masked fused kernel: scatter_masked(table, idx, vals, active); then
+  /// mask_and(eq(gather(table, idx), vals), active). Note the readback
+  /// gathers ALL lanes (like the composition), so every idx must be in
+  /// bounds even where `active` is false.
+  Mask scatter_gather_eq_masked(std::span<Word> table,
+                                std::span<const Word> idx,
+                                std::span<const Word> vals,
+                                const Mask& active);
+
+  /// Fused one-pass split: {compress(v, m), compress(v, mask_not(m))}.
+  std::pair<WordVec, WordVec> partition(std::span<const Word> v,
+                                        const Mask& m);
+
+  /// Destination-passing partition; returns the kept count. `kept` and
+  /// `rejected` are resized to exactly popcount(m) and v.size()-popcount(m)
+  /// and must not alias `v`.
+  std::size_t partition_into(WordVec& kept, WordVec& rejected,
+                             std::span<const Word> v, const Mask& m);
+
+  // ---- destination-passing variants ---------------------------------------
+  //
+  // Same semantics, op class and chime as the value-returning primitive;
+  // `out` is resized to the result length and its capacity is reused, so a
+  // pool-acquired buffer makes repeated rounds allocation-free. `out` must
+  // not alias any input span.
+
+  void iota_into(WordVec& out, std::size_t n, Word start = 0, Word step = 1);
+  void copy_into(WordVec& out, std::span<const Word> v);
+  void reverse_into(WordVec& out, std::span<const Word> v);
+  void add_into(WordVec& out, std::span<const Word> a, std::span<const Word> b);
+  void add_scalar_into(WordVec& out, std::span<const Word> a, Word s);
+  void gather_into(WordVec& out, std::span<const Word> table,
+                   std::span<const Word> idx);
+  /// Returns the packed length (= popcount of m).
+  std::size_t compress_into(WordVec& out, std::span<const Word> v,
+                            const Mask& m);
+
   // ---- scalar-unit cost ticks ---------------------------------------------
 
   void scalar_alu(std::size_t n = 1) { issue(OpClass::kScalarAlu, n); }
@@ -315,11 +390,26 @@ class VectorMachine {
   template <typename F>
   WordVec zip(std::span<const Word> a, std::span<const Word> b, F f);
   template <typename F>
+  void zip_into(WordVec& out, std::span<const Word> a, std::span<const Word> b,
+                F f);
+  template <typename F>
   WordVec map(std::span<const Word> a, F f);
+  template <typename F>
+  void map_into(WordVec& out, std::span<const Word> a, F f);
   template <typename F>
   Mask cmp(std::span<const Word> a, std::span<const Word> b, F f);
   template <typename F>
   Mask cmp_scalar(std::span<const Word> a, F f);
+
+  /// Shared fused-kernel body for the scatter_gather_eq variants: issues the
+  /// single kVectorScatterGatherEq instruction and runs the backend's fused
+  /// scatter + readback-compare, publishing the survivor count on `out`.
+  /// The caller has already run the scatter-half hooks and bounds checks;
+  /// the readback half's audit probe (and, for the masked form, its
+  /// all-lanes bounds check) runs between the two passes.
+  void fused_scatter_gather_eq(Mask& out, std::span<Word> table,
+                               std::span<const Word> idx,
+                               std::span<const Word> vals, const Mask* active);
 
   /// The shuffled lane write order for one kShuffled scatter instruction.
   std::vector<std::size_t> shuffled_lane_order(std::size_t n);
@@ -338,12 +428,19 @@ class VectorMachine {
   /// registry is installed.
   void flush_telemetry() const;
 
+  /// Resolves the configured ScatterOrder for one scatter-class instruction:
+  /// fills `order` (consuming one shuffled draw under kShuffled, exactly as
+  /// the plain scatter would) and returns the traversal for the backend.
+  ScatterTraversal resolve_scatter_order(std::size_t n,
+                                         std::vector<std::size_t>& order);
+
   MachineConfig config_;
   CostAccumulator cost_;
   Xoshiro256 shuffle_rng_;
   TraceSink* trace_ = nullptr;
   std::unique_ptr<ScatterChecker> checker_;
   std::unique_ptr<Backend> backend_;
+  std::unique_ptr<BufferPool> pool_;
 };
 
 /// RAII algorithm span: a chime-carrying telemetry span scoped to one

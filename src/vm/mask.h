@@ -1,0 +1,132 @@
+// Boolean mask vector with a cached population count.
+//
+// Masks are produced by every vector compare and consumed by compress /
+// partition / count_true / the audit paths — several of which need the
+// number of true lanes. As a plain std::vector<std::uint8_t> the mask was
+// scanned up to three times per FOL round for the same count. Mask keeps
+// the count alongside the bytes:
+//
+//   * constructors with knowable contents ((n), (n, v)) record it up front;
+//   * trusted producers (count_true, the fused scatter_gather_eq, which
+//     deliver the count as a by-product of their single pass) publish it
+//     via set_popcount();
+//   * popcount() lazily computes-and-caches otherwise, so any mask is
+//     scanned at most once no matter how many consumers ask;
+//   * every non-const access (data(), operator[], begin(), resize to a
+//     shorter length) conservatively invalidates the cache — correctness
+//     never depends on callers remembering to invalidate.
+//
+// The cache is a host-side bookkeeping detail: reading it issues no machine
+// instructions and never changes the modeled chime stream (count_true still
+// charges its kVectorReduce cost whether or not the scan is skipped).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace folvec::vm {
+
+class Mask {
+ public:
+  using value_type = std::uint8_t;
+  using size_type = std::size_t;
+  using iterator = std::vector<std::uint8_t>::iterator;
+  using const_iterator = std::vector<std::uint8_t>::const_iterator;
+
+  /// Sentinel: the cached count is unknown and must be recomputed.
+  static constexpr std::size_t kUnknownPopcount =
+      static_cast<std::size_t>(-1);
+
+  Mask() = default;
+  /// n lanes, all false (count known: 0).
+  explicit Mask(std::size_t n) : bits_(n), popcount_(0) {}
+  /// n lanes, all `value` (count known).
+  Mask(std::size_t n, std::uint8_t value)
+      : bits_(n, value), popcount_(value != 0 ? n : 0) {}
+  Mask(std::initializer_list<std::uint8_t> init) : bits_(init) {
+    popcount_ = scan();
+  }
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  // ---- const access (cache-preserving) ------------------------------------
+
+  const std::uint8_t* data() const { return bits_.data(); }
+  std::uint8_t operator[](std::size_t i) const { return bits_[i]; }
+  /// Const element read usable on a non-const mask without touching the
+  /// cache (a non-const operator[] must assume a write).
+  std::uint8_t test(std::size_t i) const { return bits_[i]; }
+  const_iterator begin() const { return bits_.begin(); }
+  const_iterator end() const { return bits_.end(); }
+  const_iterator cbegin() const { return bits_.cbegin(); }
+  const_iterator cend() const { return bits_.cend(); }
+
+  operator std::span<const std::uint8_t>() const { return bits_; }
+
+  // ---- mutating access (cache-invalidating) -------------------------------
+
+  std::uint8_t* data() {
+    popcount_ = kUnknownPopcount;
+    return bits_.data();
+  }
+  std::uint8_t& operator[](std::size_t i) {
+    popcount_ = kUnknownPopcount;
+    return bits_[i];
+  }
+  iterator begin() {
+    popcount_ = kUnknownPopcount;
+    return bits_.begin();
+  }
+  iterator end() {
+    popcount_ = kUnknownPopcount;
+    return bits_.end();
+  }
+
+  /// Grows keep the count (new lanes are false); shrinks drop unknown bits.
+  void resize(std::size_t n) {
+    if (n < bits_.size()) popcount_ = kUnknownPopcount;
+    bits_.resize(n);
+  }
+
+  void clear() {
+    bits_.clear();
+    popcount_ = 0;
+  }
+
+  // ---- population count ---------------------------------------------------
+
+  bool has_popcount() const { return popcount_ != kUnknownPopcount; }
+
+  /// Number of true lanes; computed at most once and cached.
+  std::size_t popcount() const {
+    if (popcount_ == kUnknownPopcount) popcount_ = scan();
+    return popcount_;
+  }
+
+  /// Publishes a count computed as a by-product of writing the mask (e.g.
+  /// by the fused scatter_gather_eq kernel). The caller vouches that `n`
+  /// equals the actual number of true lanes.
+  void set_popcount(std::size_t n) const { popcount_ = n; }
+
+  friend bool operator==(const Mask& a, const Mask& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::size_t scan() const {
+    std::size_t c = 0;
+    for (const std::uint8_t b : bits_) c += b;
+    return c;
+  }
+
+  std::vector<std::uint8_t> bits_;
+  /// Cached number of true lanes; mutable so lazily computing it and
+  /// publishing a producer-known count work through const references.
+  mutable std::size_t popcount_ = 0;
+};
+
+}  // namespace folvec::vm

@@ -254,4 +254,124 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
   }
 }
 
+void ParallelBackend::compress_into(std::span<const Word> v,
+                                    std::span<const std::uint8_t> m,
+                                    std::span<Word> out) {
+  const std::size_t c = chunks_for(v.size());
+  if (c <= 1) {
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (m[i] != 0) out[at++] = v[i];
+    }
+    return;
+  }
+  const ChunkPlan p = plan(v.size(), c);
+  std::vector<std::size_t> counts(c, 0);
+  pool().run(c, [&](std::size_t i) {
+    std::size_t n = 0;
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
+    counts[i] = n;
+  });
+  std::vector<std::size_t> offsets(c, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    offsets[i] = total;
+    total += counts[i];
+  }
+  Word* dst = out.data();
+  pool().run(c, [&](std::size_t i) {
+    std::size_t at = offsets[i];
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) {
+      if (m[j] != 0) dst[at++] = v[j];
+    }
+  });
+}
+
+std::size_t ParallelBackend::scatter_gather_eq(
+    std::span<Word> table, std::span<const Word> idx,
+    std::span<const Word> vals, const std::uint8_t* mask,
+    ScatterTraversal traversal, std::span<const std::size_t> order,
+    std::span<std::uint8_t> out_match, void (*between_passes)(void*),
+    void* hook_ctx) {
+  // The scatter pass is exactly the plain scatter (inline or owner-computes
+  // merge); the pool join inside it is the barrier that makes every write
+  // visible to the readback pass below.
+  scatter(table, idx, vals, mask, traversal, order);
+  if (between_passes != nullptr) between_passes(hook_ctx);
+
+  const std::size_t n = idx.size();
+  const Word* table_p = table.data();
+  const auto compare = [&](std::size_t lo, std::size_t hi) {
+    std::size_t hits = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const bool active = mask == nullptr || mask[i] != 0;
+      const std::uint8_t hit =
+          active && table_p[static_cast<std::size_t>(idx[i])] == vals[i] ? 1
+                                                                         : 0;
+      out_match[i] = hit;
+      hits += hit;
+    }
+    return hits;
+  };
+  const std::size_t c = chunks_for(n);
+  if (c <= 1) return compare(0, n);
+  const ChunkPlan p = plan(n, c);
+  std::vector<std::size_t> partials(c, 0);
+  pool().run(c, [&](std::size_t i) { partials[i] = compare(p.lo(i), p.hi(i)); });
+  std::size_t survivors = 0;
+  for (std::size_t h : partials) survivors += h;
+  return survivors;
+}
+
+void ParallelBackend::partition(std::span<const Word> v,
+                                std::span<const std::uint8_t> m,
+                                std::span<Word> kept,
+                                std::span<Word> rejected) {
+  const std::size_t c = chunks_for(v.size());
+  if (c <= 1) {
+    std::size_t k = 0;
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (m[i] != 0) {
+        kept[k++] = v[i];
+      } else {
+        rejected[r++] = v[i];
+      }
+    }
+    return;
+  }
+  const ChunkPlan p = plan(v.size(), c);
+  std::vector<std::size_t> counts(c, 0);
+  pool().run(c, [&](std::size_t i) {
+    std::size_t n = 0;
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
+    counts[i] = n;
+  });
+  // Chunk i's kept lanes start at the sum of earlier chunks' true counts;
+  // its rejected lanes at the sum of earlier chunks' false counts.
+  std::vector<std::size_t> kept_off(c, 0);
+  std::vector<std::size_t> rej_off(c, 0);
+  std::size_t kept_total = 0;
+  std::size_t rej_total = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    kept_off[i] = kept_total;
+    rej_off[i] = rej_total;
+    kept_total += counts[i];
+    rej_total += (p.hi(i) - p.lo(i)) - counts[i];
+  }
+  Word* kept_p = kept.data();
+  Word* rej_p = rejected.data();
+  pool().run(c, [&](std::size_t i) {
+    std::size_t k = kept_off[i];
+    std::size_t r = rej_off[i];
+    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) {
+      if (m[j] != 0) {
+        kept_p[k++] = v[j];
+      } else {
+        rej_p[r++] = v[j];
+      }
+    }
+  });
+}
+
 }  // namespace folvec::vm

@@ -56,6 +56,23 @@ class ParallelBackend final : public Backend {
                std::span<const Word> vals, const std::uint8_t* mask,
                ScatterTraversal traversal,
                std::span<const std::size_t> order) override;
+  void compress_into(std::span<const Word> v, std::span<const std::uint8_t> m,
+                     std::span<Word> out) override;
+  /// The scatter pass reuses the owner-computes merge above; the readback
+  /// compare pass then chunks lanes with per-chunk survivor partials summed
+  /// in chunk order, so the count (and every mask byte) is bit-identical to
+  /// serial at any worker count.
+  std::size_t scatter_gather_eq(std::span<Word> table,
+                                std::span<const Word> idx,
+                                std::span<const Word> vals,
+                                const std::uint8_t* mask,
+                                ScatterTraversal traversal,
+                                std::span<const std::size_t> order,
+                                std::span<std::uint8_t> out_match,
+                                void (*between_passes)(void*),
+                                void* hook_ctx) override;
+  void partition(std::span<const Word> v, std::span<const std::uint8_t> m,
+                 std::span<Word> kept, std::span<Word> rejected) override;
 
  private:
   /// One routed scatter write: destination address and the value stored.

@@ -19,6 +19,8 @@
 #include "support/prng.h"
 #include "telemetry/metrics.h"
 #include "telemetry/spans.h"
+#include "vm/buffer_pool.h"
+#include "vm/checker.h"
 #include "vm/machine.h"
 #include "vm/thread_pool.h"
 
@@ -413,6 +415,194 @@ TEST(TelemetryDeterminismTest, SpanTreesIdenticalAcrossBackendsAndWorkers) {
         span_tree_signature(BackendKind::kParallel, workers);
     EXPECT_EQ(serial, parallel)
         << "span tree diverged at " << workers << " workers";
+  }
+}
+
+// ---- fused vs unfused differential fuzz ------------------------------------
+//
+// The fused scatter_gather_eq / partition kernels are an optimization, not a
+// semantics change: for every ScatterOrder, every backend, every worker
+// count, and audit on or off, a machine with config.fuse=true must produce
+// bit-identical outputs and memory images to the same machine running the
+// unfused reference composition (FOLVEC_FUSE=0). Chimes are NOT compared
+// across fuse modes — charging fused ops less is the point — but they must
+// be identical across backends and audit settings for a fixed fuse mode.
+
+/// Machine whose fuse flag is forced rather than inherited from the env.
+VectorMachine make_fused_machine(ScatterOrder order, std::size_t threads,
+                                 bool audit, bool fuse) {
+  MachineConfig cfg;
+  cfg.scatter_order = order;
+  cfg.shuffle_seed = 4242;
+  cfg.audit = audit;
+  cfg.fuse = fuse;
+  if (threads == 0) {
+    cfg.backend = BackendKind::kSerial;
+  } else {
+    cfg.backend = BackendKind::kParallel;
+    cfg.backend_threads = threads;
+    cfg.backend_grain = 8;
+  }
+  return VectorMachine(cfg);
+}
+
+/// Exercises the fused entry points plus their pooled *_into variants and
+/// one full FOL1 decomposition; returns a flat digest of every result and
+/// final memory image. Scatters sit inside ConflictWindows so the script is
+/// audit-clean.
+WordVec run_fused_script(VectorMachine& m, const Inputs& in) {
+  const std::size_t n = in.a.size();
+  WordVec digest;
+  const auto emit = [&digest](const WordVec& v) {
+    digest.insert(digest.end(), v.begin(), v.end());
+  };
+  const auto emit_mask = [&digest](const Mask& v) {
+    for (auto b : v) digest.push_back(b);
+  };
+
+  // Distinct per-lane values, so a lane's readback matches only its own
+  // write (the overwrite-and-check precondition).
+  const WordVec labels = m.iota(n, 1, 3);
+
+  WordVec table(in.table.begin(), in.table.end());
+  {
+    const ConflictWindow window(m, table, WindowKind::kDataRace,
+                                "fused fuzz sge");
+    const Mask survived = m.scatter_gather_eq(table, in.idx, labels);
+    digest.push_back(static_cast<Word>(m.count_true(survived)));
+    emit_mask(survived);
+  }
+  emit(table);
+
+  WordVec table_masked(in.table.begin(), in.table.end());
+  {
+    const ConflictWindow window(m, table_masked, WindowKind::kDataRace,
+                                "fused fuzz sge_masked");
+    const Mask survived =
+        m.scatter_gather_eq_masked(table_masked, in.idx, labels, in.mask);
+    digest.push_back(static_cast<Word>(m.count_true(survived)));
+    emit_mask(survived);
+  }
+  emit(table_masked);
+
+  const auto [kept, rejected] = m.partition(in.a, in.mask);
+  emit(kept);
+  emit(rejected);
+
+  WordVec kept2;
+  WordVec rejected2;
+  digest.push_back(
+      static_cast<Word>(m.partition_into(kept2, rejected2, in.b, in.mask)));
+  emit(kept2);
+  emit(rejected2);
+
+  // Pooled destination-passing round trip.
+  PooledVec buf(m.pool(), 0);
+  PooledVec buf2(m.pool(), 0);
+  m.gather_into(*buf, in.table, in.idx);
+  emit(*buf);
+  m.add_scalar_into(*buf2, *buf, 11);
+  emit(*buf2);
+  m.compress_into(*buf, in.a, in.mask);
+  emit(*buf);
+
+  // Algorithm level: a duplicate-heavy FOL1 decomposition runs the fused
+  // round loop end to end (or its unfused reference under fuse=false).
+  if (n > 0) {
+    WordVec work(in.table.size(), 0);
+    WordVec fol_idx(in.idx.begin(), in.idx.end());
+    const fol::Decomposition dec = fol::fol1_decompose(m, fol_idx, work);
+    m.retire_work(work);
+    digest.push_back(static_cast<Word>(dec.rounds()));
+    for (const auto& set : dec.sets) {
+      for (const std::size_t lane : set) {
+        digest.push_back(static_cast<Word>(lane));
+      }
+    }
+  }
+  return digest;
+}
+
+class FusedDiffTest
+    : public ::testing::TestWithParam<
+          std::tuple<ScatterOrder, std::size_t, bool>> {
+ protected:
+  ScatterOrder order() const { return std::get<0>(GetParam()); }
+  /// 0 = serial backend; otherwise parallel with this worker count.
+  std::size_t threads() const { return std::get<1>(GetParam()); }
+  bool audit() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(FusedDiffTest, FusedBitIdenticalToUnfusedComposition) {
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64},
+        std::size_t{257}, std::size_t{1000}}) {
+    const Inputs in(n, 0xf05ed000 + n);
+    VectorMachine fused = make_fused_machine(order(), threads(), audit(),
+                                             /*fuse=*/true);
+    VectorMachine unfused = make_fused_machine(order(), threads(), audit(),
+                                               /*fuse=*/false);
+    const WordVec want = run_fused_script(unfused, in);
+    const WordVec got = run_fused_script(fused, in);
+    ASSERT_EQ(want, got) << "fused digest diverged at n=" << n;
+  }
+}
+
+TEST_P(FusedDiffTest, ChimesInvariantAcrossBackendAndAudit) {
+  // For a fixed fuse mode the chime stream is part of the deterministic
+  // contract: serial, parallel at any width, audit on or off — identical.
+  for (const bool fuse : {true, false}) {
+    const Inputs in(513, 0xc41135);
+    VectorMachine base = make_fused_machine(order(), 0, false, fuse);
+    const WordVec base_digest = run_fused_script(base, in);
+    VectorMachine other =
+        make_fused_machine(order(), threads(), audit(), fuse);
+    const WordVec other_digest = run_fused_script(other, in);
+    ASSERT_EQ(base_digest, other_digest);
+    expect_same_costs(base.cost(), other.cost());
+  }
+}
+
+using FusedDiffParam = std::tuple<ScatterOrder, std::size_t, bool>;
+
+std::string fused_param_name(
+    const ::testing::TestParamInfo<FusedDiffParam>& info) {
+  static constexpr const char* kFusedOrderNames[] = {"Forward", "Reverse",
+                                                     "Shuffled"};
+  const std::size_t workers = std::get<1>(info.param);
+  return std::string(kFusedOrderNames[static_cast<std::size_t>(
+             std::get<0>(info.param))]) +
+         (workers == 0 ? std::string("xSerial")
+                       : "xParallel" + std::to_string(workers)) +
+         (std::get<2>(info.param) ? "xAudit" : "xNoAudit");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, FusedDiffTest,
+    ::testing::Combine(::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kReverse,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{8}),
+                       ::testing::Bool()),
+    fused_param_name);
+
+TEST(FusedDiffEdgeTest, MaskedSgeFaultsLikeCompositionWithScatterApplied) {
+  // An out-of-bounds INACTIVE lane: the masked scatter skips it, but the
+  // fused op's readback gathers all lanes, so it must throw exactly like
+  // the unfused composition does at its gather — i.e. with the scatter's
+  // stores already landed.
+  for (const bool fuse : {true, false}) {
+    VectorMachine m = make_fused_machine(ScatterOrder::kForward, 0,
+                                         /*audit=*/false, fuse);
+    WordVec table(16, -1);
+    WordVec idx{3, 99, 5};
+    const WordVec vals{10, 11, 12};
+    Mask active{1, 0, 1};
+    EXPECT_THROW(m.scatter_gather_eq_masked(table, idx, vals, active),
+                 PreconditionError);
+    EXPECT_EQ(table[3], 10);
+    EXPECT_EQ(table[5], 12);
   }
 }
 

@@ -99,18 +99,45 @@ TEST(MachineTraceTest, AttachedSinkSeesEveryInstruction) {
 }
 
 TEST(MachineTraceTest, Fol1DuplicateFreeInstructionMix) {
-  // A duplicate-free FOL1 run is one round: copy + iota + scatter + gather
-  // + compare + count + compress(winners) + not + 2 compress(rest).
-  VectorMachine m;
+  // A duplicate-free fused FOL1 run is one round: copy + iota +
+  // scatter_gather_eq + count + 2 partition (positions and indices).
+  // Force fusion on so a FOLVEC_FUSE=0 environment can't flip the mix.
+  MachineConfig cfg;
+  cfg.fuse = true;
+  VectorMachine m(cfg);
   TraceSink t;
   m.attach_trace(&t);
   const WordVec v{3, 1, 4, 0, 2};
   WordVec work(5, 0);
   folvec::fol::fol1_decompose(m, v, work);
+  EXPECT_EQ(t.count(OpClass::kVectorScatterGatherEq), 1u);
+  EXPECT_EQ(t.count(OpClass::kVectorReduce), 1u);
+  EXPECT_EQ(t.count(OpClass::kVectorPartition), 2u);
+  EXPECT_EQ(t.count(OpClass::kVectorScatter), 0u);
+  EXPECT_EQ(t.count(OpClass::kVectorGather), 0u);
+  EXPECT_EQ(t.count(OpClass::kVectorCompare), 0u);
+  EXPECT_EQ(t.count(OpClass::kVectorCompress), 0u);
+  EXPECT_EQ(t.max_length(OpClass::kVectorScatterGatherEq), 5u);
+}
+
+TEST(MachineTraceTest, Fol1UnfusedInstructionMix) {
+  // With fusion off the same run decomposes into the reference chain:
+  // scatter + gather + compare + count, then each partition becomes
+  // compress + mask_not + compress.
+  MachineConfig cfg;
+  cfg.fuse = false;
+  VectorMachine m(cfg);
+  TraceSink t;
+  m.attach_trace(&t);
+  const WordVec v{3, 1, 4, 0, 2};
+  WordVec work(5, 0);
+  folvec::fol::fol1_decompose(m, v, work);
+  EXPECT_EQ(t.count(OpClass::kVectorScatterGatherEq), 0u);
+  EXPECT_EQ(t.count(OpClass::kVectorPartition), 0u);
   EXPECT_EQ(t.count(OpClass::kVectorScatter), 1u);
   EXPECT_EQ(t.count(OpClass::kVectorGather), 1u);
   EXPECT_EQ(t.count(OpClass::kVectorCompare), 1u);
-  EXPECT_EQ(t.count(OpClass::kVectorCompress), 3u);
+  EXPECT_EQ(t.count(OpClass::kVectorCompress), 4u);
   EXPECT_EQ(t.max_length(OpClass::kVectorScatter), 5u);
 }
 
