@@ -112,6 +112,44 @@ WordVec fol1_rare_body(VectorMachine& m, std::size_t n) {
   return fol1_body_sized(m, n, 4 * n, 0xfa2e + n);
 }
 
+WordVec fol1_distinct_body(VectorMachine& m, std::size_t n) {
+  // All-distinct addressing (N areas, multiplicity 1, a shuffled
+  // permutation): one full-length round, the baseline the adaptive
+  // degradation bound below is measured against.
+  WordVec idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<Word>(i);
+  folvec::Xoshiro256 rng(0xd157 + n);
+  folvec::shuffle(idx, rng);
+  WordVec work(n, 0);
+  const folvec::fol::Decomposition d = folvec::fol::fol1_decompose(m, idx, work);
+  WordVec digest{static_cast<Word>(d.drained_lanes)};
+  for (const auto& set : d.sets) {
+    digest.push_back(static_cast<Word>(set.size()));
+    for (std::size_t lane : set) digest.push_back(static_cast<Word>(lane));
+  }
+  emit(digest, work);
+  return digest;
+}
+
+WordVec fol1_heavy_body(VectorMachine& m, std::size_t n) {
+  // Theorem 6's pathological-sharing worst case: every lane addresses the
+  // same area (multiplicity N), which the pure decomposition serves in N
+  // rounds of shrinking scatters — O(N^2) lane work. The adaptive drain
+  // detects the surviving-fraction collapse after round one and finishes in
+  // a single O(N) scalar pass; main() asserts the modeled cost stays within
+  // 2x the all-distinct baseline at N=2^20.
+  const WordVec idx(n, 0);
+  WordVec work(1, 0);
+  const folvec::fol::Decomposition d = folvec::fol::fol1_decompose(m, idx, work);
+  WordVec digest{static_cast<Word>(d.drained_lanes)};
+  for (const auto& set : d.sets) {
+    digest.push_back(static_cast<Word>(set.size()));
+    for (std::size_t lane : set) digest.push_back(static_cast<Word>(lane));
+  }
+  emit(digest, work);
+  return digest;
+}
+
 WordVec fol_star_body(VectorMachine& m, std::size_t n) {
   const std::size_t areas = 8 * n;
   std::vector<WordVec> lanes(2);
@@ -170,10 +208,16 @@ int main() {
   const Workload workloads[] = {
       {"fol1", fol1_body, true},
       {"fol1_rare", fol1_rare_body, true},
+      {"fol1_distinct", fol1_distinct_body, false},
+      {"fol1_heavy", fol1_heavy_body, false},
       {"fol_star", fol_star_body, false},
       {"multi_hash", hashing_body, false},
       {"addr_calc_sort", sorting_body, false},
   };
+
+  // Chime times captured at N=2^20 for the adaptive-degradation bound.
+  double distinct_chime_n20 = 0;
+  double heavy_chime_n20 = 0;
 
   folvec::TablePrinter table({"workload", "N", "fused_chime_us",
                               "unfused_chime_us", "chime_cut", "serial_wall_ms",
@@ -230,6 +274,12 @@ int main() {
         report.note(std::string(w.name) + "_wall_fused_over_unfused_n20",
                     unfused.wall_s > 0 ? serial.wall_s / unfused.wall_s : 0);
       }
+      if (lg == 20 && std::string(w.name) == "fol1_distinct") {
+        distinct_chime_n20 = serial.chime_us;
+      }
+      if (lg == 20 && std::string(w.name) == "fol1_heavy") {
+        heavy_chime_n20 = serial.chime_us;
+      }
       const double accel =
           parallel.wall_s > 0 ? serial.wall_s / parallel.wall_s : 0;
       table.add_row({w.name, Cell(static_cast<long long>(n)),
@@ -239,6 +289,18 @@ int main() {
                      Cell(unfused.wall_s * 1e3, 2), Cell(accel, 2)});
     }
   }
+  // Graceful-degradation acceptance bound: with the adaptive drain on
+  // (the default), maximal sharing (every lane one area, multiplicity N)
+  // must model within 2x of the all-distinct run of the same length —
+  // instead of the ~N/2-fold blowup of the pure Theorem 6 decomposition.
+  FOLVEC_CHECK(distinct_chime_n20 > 0 && heavy_chime_n20 > 0,
+               "fol1_distinct / fol1_heavy N=2^20 samples missing");
+  const double heavy_ratio = heavy_chime_n20 / distinct_chime_n20;
+  FOLVEC_CHECK(heavy_ratio <= 2.0,
+               "adaptive drain failed to bound pathological sharing within "
+               "2x of the all-distinct chime cost at N=2^20");
+  report.note("fol1_heavy_over_distinct_chime_n20", heavy_ratio);
+
   table.print(std::cout,
               "Backend comparison: fused vs unfused chimes, serial vs "
               "parallel wall clock (" +

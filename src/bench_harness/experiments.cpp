@@ -180,7 +180,8 @@ RunResult run_assoc_rewrite(std::size_t leaves, bool right_comb,
 }
 
 RunResult run_fol1_decompose(std::size_t n, std::size_t distinct,
-                             std::uint64_t seed, const CostParams& params) {
+                             std::uint64_t seed, const CostParams& params,
+                             bool adaptive) {
   FOLVEC_REQUIRE(distinct > 0 && distinct <= n,
                  "distinct must be in [1, n]");
   RunResult result;
@@ -207,7 +208,9 @@ RunResult run_fol1_decompose(std::size_t n, std::size_t distinct,
   }
   result.scalar_us = scalar_acc.microseconds(params);
 
-  VectorMachine m;
+  vm::MachineConfig config;
+  config.adaptive = adaptive;
+  VectorMachine m(config);
   std::vector<Word> work(distinct, 0);
   const fol::Decomposition dec = fol::fol1_decompose(m, targets, work);
   result.vector_us = m.cost().microseconds(params);

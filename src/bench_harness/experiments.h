@@ -56,8 +56,12 @@ RunResult run_assoc_rewrite(std::size_t leaves, bool right_comb,
 
 /// FOL1 in isolation: decompose an index vector of `n` lanes over
 /// `distinct` storage areas (distinct == n means duplicate-free).
+/// `adaptive` toggles MachineConfig::adaptive for the vector run — theorem
+/// sweeps that measure the pure O(N * max multiplicity) round cost pass
+/// false, production-shaped comparisons leave the drain on.
 RunResult run_fol1_decompose(std::size_t n, std::size_t distinct,
-                             std::uint64_t seed, const vm::CostParams& params);
+                             std::uint64_t seed, const vm::CostParams& params,
+                             bool adaptive = true);
 
 /// Section 5 substrate: semispace GC over a random heap of `cells` cons
 /// cells with `live_fraction` of them reachable, scalar vs vectorized

@@ -78,6 +78,12 @@ bool BenchReport::write() {
   // Complete the trace / FOLVEC_METRICS files first: the report is the
   // last artifact, and its metrics snapshot must match what was flushed.
   session_.flush();
+  // An injected-fault run is not comparable with a clean one; record the
+  // plan so report consumers (and bench_schema_check) can tell them apart.
+  if (const FaultPlan* plan = session_.fault_plan()) {
+    config("fault_spec", plan->spec());
+    config("fault_seed", static_cast<std::uint64_t>(plan->seed()));
+  }
   const telemetry::MetricsSnapshot snap = session_.registry().snapshot();
 
   std::uint64_t chime_instructions = 0;

@@ -1,9 +1,11 @@
 #include "fol/fol1.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "fol/invariants.h"
+#include "support/faultsim.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
 #include "vm/buffer_pool.h"
@@ -67,10 +69,30 @@ Decomposition fol1_decompose(VectorMachine& m,
     // cached popcount lets it skip the host-side scan.
     Mask survived(0);
     m.scatter_gather_eq_into(survived, work, *remaining_idx, *remaining_pos);
-    const std::size_t n_survived = m.count_true(survived);
-    FOLVEC_CHECK(n_survived > 0,
-                 "FOL1 round produced an empty set: a contested work word "
-                 "holds none of the written labels (ELS violation)");
+    std::size_t n_survived = m.count_true(survived);
+    if (n_survived == 0) {
+      // An empty round means a contested work word holds none of the
+      // written labels — transient on hardware that occasionally drops the
+      // ELS guarantee (and under injected kElsViolation faults), permanent
+      // on a substrate that never provides it. Re-issuing the label round
+      // is always safe: no lane was assigned, so the retry recomputes the
+      // identical survivors from the identical inputs.
+      constexpr std::size_t kMaxElsRetries = 2;
+      std::size_t retries = 0;
+      while (n_survived == 0 && retries < kMaxElsRetries) {
+        ++retries;
+        m.scatter_gather_eq_into(survived, work, *remaining_idx,
+                                 *remaining_pos);
+        n_survived = m.count_true(survived);
+      }
+      telemetry::count("fol1.els_round_retries", retries);
+      if (n_survived > 0 && faults() != nullptr) {
+        telemetry::count("fault.recovered.els");
+      }
+      FOLVEC_CHECK(n_survived > 0,
+                   "FOL1 round produced an empty set: a contested work word "
+                   "holds none of the written labels (ELS violation)");
+    }
 
     telemetry::observe("fol1.set_size", n_survived);
     telemetry::count("fol1.contested_lanes", n_remaining - n_survived);
@@ -89,6 +111,41 @@ Decomposition fol1_decompose(VectorMachine& m,
 
     std::swap(*remaining_idx, *next_idx);
     std::swap(*remaining_pos, *next_pos);
+
+    // Adaptive degradation (Theorems 5-6): rounds equal the maximum address
+    // multiplicity, so a collapsing surviving fraction on a large remainder
+    // signals the quadratic tail — e.g. every lane addressing one area runs
+    // N rounds of N-lane scatters. Drain that tail in one scalar pass: the
+    // j-th remaining occurrence of an address joins set base+j. Occurrences
+    // are counted lane-order, so the sets stay disjoint, cover the rest,
+    // have non-increasing sizes, and the total round count still equals the
+    // maximum multiplicity — the drained decomposition satisfies every
+    // theorem the pure one does, and is identical for every backend.
+    const vm::MachineConfig& cfg = m.config();
+    if (cfg.adaptive && remaining_idx->size() >= cfg.adaptive_min_remaining &&
+        n_survived * cfg.adaptive_collapse_den < n_remaining) {
+      const std::size_t base = out.sets.size();
+      const WordVec& idx = *remaining_idx;
+      const WordVec& pos = *remaining_pos;
+      std::unordered_map<Word, std::size_t> occurrence;
+      occurrence.reserve(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        const std::size_t j = occurrence[idx[i]]++;
+        if (base + j == out.sets.size()) out.sets.emplace_back();
+        out.sets[base + j].push_back(static_cast<std::size_t>(pos[i]));
+      }
+      out.drained_lanes = idx.size();
+      // Scalar chime: one pass over the k drained lanes (ALU per lane for
+      // the occurrence bump, a load+store pair per distinct address for the
+      // counter, one branch for the loop) — O(k) against the vector path's
+      // O(k * max multiplicity).
+      m.scalar_alu(idx.size());
+      m.scalar_mem(2 * occurrence.size());
+      m.scalar_branch(1);
+      telemetry::count("fol1.adaptive_drains");
+      telemetry::count("fol1.adaptive_drained_lanes", idx.size());
+      break;
+    }
   }
   telemetry::count("fol1.rounds", out.sets.size());
   telemetry::observe("fol1.rounds_per_call", out.sets.size());
@@ -97,6 +154,16 @@ Decomposition fol1_decompose(VectorMachine& m,
         "FOL1", "decomposition fails satisfies_all_theorems (Theorems 1-6)");
   }
   return out;
+}
+
+Status fol1_try_decompose(VectorMachine& m, std::span<const Word> index_vector,
+                          std::span<Word> work, Decomposition& out) {
+  try {
+    out = fol1_decompose(m, index_vector, work);
+    return Status::ok();
+  } catch (const RecoverableError& e) {
+    return e.status();
+  }
 }
 
 Decomposition fol1_decompose_plain(std::span<const Word> index_vector) {

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "support/status.h"
 #include "vm/machine.h"
 
 namespace folvec::fol {
@@ -34,6 +35,12 @@ namespace folvec::fol {
 /// (the latter for FOL1 only).
 struct Decomposition {
   std::vector<std::vector<std::size_t>> sets;
+
+  /// Lanes assigned by the adaptive scalar drain rather than by vector
+  /// rounds (see MachineConfig::adaptive). 0 when the decomposition ran
+  /// entirely on the vector unit. The drained assignment satisfies exactly
+  /// the same theorems; this field only reports how it was computed.
+  std::size_t drained_lanes = 0;
 
   std::size_t rounds() const { return sets.size(); }
 
@@ -58,6 +65,15 @@ struct Decomposition {
 Decomposition fol1_decompose(vm::VectorMachine& m,
                              std::span<const vm::Word> index_vector,
                              std::span<vm::Word> work);
+
+/// Status-returning form of fol1_decompose: recoverable exhaustion (a
+/// capped buffer pool running dry, an injected fault the machine could not
+/// absorb) comes back as a non-ok Status with `out` untouched, instead of
+/// unwinding through the caller's batch. Precondition and internal errors
+/// still throw — they mean "bug", not "data".
+Status fol1_try_decompose(vm::VectorMachine& m,
+                          std::span<const vm::Word> index_vector,
+                          std::span<vm::Word> work, Decomposition& out);
 
 /// Convenience wrapper: decomposes a plain index vector with no caller-
 /// provided machine or work area. Allocates a work array of max(index)+1

@@ -1,6 +1,7 @@
 #include "fol/fol_star.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -164,6 +165,70 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
       std::swap(*remaining[k], *next_remaining[k]);
     }
     std::swap(*positions, *next_positions);
+
+    // Adaptive degradation: a collapsing surviving fraction on a large
+    // remainder signals the pairwise-conflict chain worst case (O(N) rounds
+    // of O(N·L)-lane scatters). Drain the tail greedily on the scalar unit:
+    // each tuple joins the earliest set in which none of its addresses has
+    // been used yet, self-conflicting tuples are forced out as trailing
+    // singletons (any multi-tuple set containing one would address an area
+    // twice), and bounded decompositions (max_rounds != 0) never drain —
+    // their round/unassigned contract needs real rounds.
+    const vm::MachineConfig& cfg = m.config();
+    if (cfg.adaptive && max_rounds == 0 &&
+        positions->size() >= cfg.adaptive_min_remaining &&
+        n_ok * cfg.adaptive_collapse_den < n) {
+      const std::size_t base = out.sets.size();
+      const std::size_t n_rest = positions->size();
+      std::unordered_map<Word, std::size_t> next_free;
+      next_free.reserve(n_rest * num_lanes);
+      std::vector<std::size_t> self_conflicting;
+      for (std::size_t p = 0; p < n_rest; ++p) {
+        bool self_conflict = false;
+        for (std::size_t a = 0; a < num_lanes && !self_conflict; ++a) {
+          for (std::size_t b = a + 1; b < num_lanes; ++b) {
+            if ((*remaining[a])[p] == (*remaining[b])[p]) {
+              self_conflict = true;
+              break;
+            }
+          }
+        }
+        if (self_conflict) {
+          self_conflicting.push_back(p);
+          continue;
+        }
+        std::size_t j = 0;
+        for (std::size_t k = 0; k < num_lanes; ++k) {
+          const auto it = next_free.find((*remaining[k])[p]);
+          if (it != next_free.end()) j = std::max(j, it->second);
+        }
+        // j is at most one past the deepest set assigned so far, so this
+        // creates at most one new (immediately non-empty) set.
+        while (base + j >= out.sets.size()) out.sets.emplace_back();
+        out.sets[base + j].push_back(static_cast<std::size_t>((*positions)[p]));
+        for (std::size_t k = 0; k < num_lanes; ++k) {
+          next_free[(*remaining[k])[p]] = j + 1;
+        }
+      }
+      if (m.audit_enabled()) {
+        for (std::size_t j = base; j < out.sets.size(); ++j) {
+          if (out.sets[j].size() > 1) {
+            m.checker()->audit_tuple_set(out.sets[j], index_vectors);
+          }
+        }
+      }
+      for (std::size_t p : self_conflicting) {
+        out.sets.push_back({static_cast<std::size_t>((*positions)[p])});
+        ++out.forced_singletons;
+      }
+      out.drained_tuples = n_rest;
+      m.scalar_alu(n_rest * num_lanes);
+      m.scalar_mem(2 * next_free.size());
+      m.scalar_branch(1);
+      telemetry::count("fol_star.adaptive_drains");
+      telemetry::count("fol_star.adaptive_drained_tuples", n_rest);
+      break;
+    }
   }
   telemetry::count("fol_star.rounds", out.sets.size());
   telemetry::observe("fol_star.rounds_per_call", out.sets.size());

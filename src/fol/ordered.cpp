@@ -1,6 +1,7 @@
 #include "fol/ordered.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "support/require.h"
@@ -57,6 +58,7 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
     FOLVEC_CHECK(out.sets.size() < max_rounds,
                  "ordered FOL1 failed to terminate within N rounds");
     const vm::AlgoSpan round_span(m, "round", out.sets.size());
+    const std::size_t n_remaining = remaining_idx->size();
 
     // Ordered (VSTX) scatter of the labels in reverse lane order: the last
     // store wins deterministically, so each contested work word ends up
@@ -85,6 +87,35 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
 
     std::swap(*remaining_idx, *next_idx);
     std::swap(*remaining_pos, *next_pos);
+
+    // Adaptive degradation. The ordered survivor rule makes the drain an
+    // exact replay of what the remaining vector rounds would compute: each
+    // round keeps precisely the earliest remaining occurrence of every
+    // address, i.e. the j-th remaining occurrence (in lane order) joins set
+    // base+j — which is the drain's assignment, lane for lane. So ordered
+    // FOL1 with the drain returns the bit-identical decomposition, just in
+    // O(k) scalar work instead of O(k * max multiplicity) vector work.
+    const vm::MachineConfig& cfg = m.config();
+    if (cfg.adaptive && remaining_idx->size() >= cfg.adaptive_min_remaining &&
+        n_survived * cfg.adaptive_collapse_den < n_remaining) {
+      const std::size_t base = out.sets.size();
+      const WordVec& idx = *remaining_idx;
+      const WordVec& pos = *remaining_pos;
+      std::unordered_map<Word, std::size_t> occurrence;
+      occurrence.reserve(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        const std::size_t j = occurrence[idx[i]]++;
+        if (base + j == out.sets.size()) out.sets.emplace_back();
+        out.sets[base + j].push_back(static_cast<std::size_t>(pos[i]));
+      }
+      out.drained_lanes = idx.size();
+      m.scalar_alu(idx.size());
+      m.scalar_mem(2 * occurrence.size());
+      m.scalar_branch(1);
+      telemetry::count("fol1_ordered.adaptive_drains");
+      telemetry::count("fol1_ordered.adaptive_drained_lanes", idx.size());
+      break;
+    }
   }
   telemetry::count("fol1_ordered.rounds", out.sets.size());
   telemetry::observe("fol1_ordered.rounds_per_call", out.sets.size());

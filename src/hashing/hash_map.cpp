@@ -1,8 +1,12 @@
 #include "hashing/hash_map.h"
 
 #include <unordered_set>
+#include <utility>
 
+#include "support/faultsim.h"
 #include "support/require.h"
+#include "support/status.h"
+#include "telemetry/metrics.h"
 #include "vm/checker.h"
 
 namespace folvec::hashing {
@@ -52,6 +56,11 @@ WordVec VectorHashMap::find_slots(VectorMachine& m,
     hashed = m.mod_scalar(
         m.add(hashed, m.add_scalar(m.and_scalar(key_vec, 31), 1)), size);
   }
+  // A full sweep without every lane retiring: those lanes sit on probe
+  // cycles with no empty slot (full table or the gcd hazard of
+  // open_table.h) and are reported absent. Surfaced rather than silent —
+  // see multi_hash_open_contains.
+  telemetry::count("hashing.lookup_sweep_exhausted", key_vec.size());
   return result;
 }
 
@@ -59,6 +68,12 @@ WordVec VectorHashMap::insert_tracking_slots(VectorMachine& m,
                                              const WordVec& keys) {
   WordVec result(keys.size(), -1);
   if (keys.empty()) return result;
+  if (FaultPlan* plan = faults();
+      plan != nullptr && plan->fires(FaultSite::kProbeSaturation)) {
+    telemetry::count("fault.injected.probe");
+    throw RecoverableError(StatusCode::kProbeCycleSaturated,
+                           "injected probe-cycle saturation");
+  }
   const auto size = static_cast<Word>(slots_.size());
   // Figure 8 races distinct keys for empty slots: a sanctioned data race.
   const vm::ConflictWindow window(m, slots_, vm::WindowKind::kDataRace,
@@ -93,26 +108,50 @@ WordVec VectorHashMap::insert_tracking_slots(VectorMachine& m,
     const Mask empty = m.eq_scalar(m.gather(slots_, hashed), kUnentered);
     m.scatter_masked(slots_, hashed, key_vec, empty);
   }
-  FOLVEC_CHECK(false, "hash map insert failed to converge");
-  return result;
+  // Non-convergence after a full sweep is data-dependent (saturated probe
+  // cycles on a composite-sized table), not a library bug: report it
+  // recoverably so upsert_batch can rehash bigger and retry. Keys that did
+  // land stay in slots_ (entered_ untouched); rehash() re-derives them.
+  telemetry::count("hashing.probe_cycle_saturated");
+  throw RecoverableError(StatusCode::kProbeCycleSaturated,
+                         "hash map insert swept the table without converging");
 }
 
 void VectorHashMap::rehash(VectorMachine& m, std::size_t min_capacity) {
   ++rehashes_;
   // Compress the live keys and values out of the old arrays with vector
   // operations, then re-enter them into the fresh table (tombstones drop
-  // out with the compress: live slots hold non-negative keys).
+  // out with the compress: live slots hold non-negative keys). Because a
+  // live slot holds a real key whether or not entered_ counted it, this
+  // also heals the partial state a failed insert_tracking_slots leaves
+  // behind — the strays are simply re-entered and re-counted.
   const WordVec old_keys = m.load(slots_, 0, slots_.size());
   const Mask live = m.ge_scalar(old_keys, 0);
   const WordVec keys = m.compress(old_keys, live);
   const WordVec vals = m.compress(m.load(values_, 0, values_.size()), live);
 
+  // Build into fresh storage and roll back if the re-entry itself fails
+  // (injected fault, or a saturated cycle in the new size): the recovery
+  // path must never lose values, and its caller retries with a bigger
+  // capacity anyway.
+  std::vector<Word> saved_slots = std::move(slots_);
+  std::vector<Word> saved_values = std::move(values_);
+  const std::size_t saved_entered = entered_;
+  const std::size_t saved_tombstones = tombstones_;
   slots_.assign(round_capacity(min_capacity), kUnentered);
   values_.assign(slots_.size(), 0);
   entered_ = 0;
   tombstones_ = 0;
-  const WordVec new_slots = insert_tracking_slots(m, keys);
-  m.scatter(values_, new_slots, vals);
+  try {
+    const WordVec new_slots = insert_tracking_slots(m, keys);
+    m.scatter(values_, new_slots, vals);
+  } catch (const RecoverableError&) {
+    slots_ = std::move(saved_slots);
+    values_ = std::move(saved_values);
+    entered_ = saved_entered;
+    tombstones_ = saved_tombstones;
+    throw;
+  }
 }
 
 void VectorHashMap::grow(VectorMachine& m, std::size_t need) {
@@ -159,6 +198,35 @@ void VectorHashMap::upsert_batch(VectorMachine& m,
   for (Word k : keys) {
     FOLVEC_REQUIRE(k >= 0, "keys must be non-negative");
   }
+  // Graceful degradation: recoverable exhaustion mid-attempt (saturated
+  // probe cycle, injected fault) is answered by rehashing to double
+  // capacity and re-running the attempt. The re-run re-derives which keys
+  // are present, so keys half-inserted by the failed attempt resolve as
+  // existing and the batch completes exactly once per lane.
+  constexpr std::size_t kMaxRecoveries = 4;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      upsert_batch_once(m, keys, values);
+      if (attempt != 0) {
+        telemetry::count("hashing.upsert_recoveries", attempt);
+        if (faults() != nullptr) telemetry::count("fault.recovered.probe");
+      }
+      return;
+    } catch (const RecoverableError&) {
+      if (attempt == kMaxRecoveries) throw;
+      try {
+        rehash(m, slots_.size() * 2);
+      } catch (const RecoverableError&) {
+        // The recovery was hit too (sustained injection). rehash rolled
+        // itself back, so the next attempt retries from a consistent state.
+      }
+    }
+  }
+}
+
+void VectorHashMap::upsert_batch_once(VectorMachine& m,
+                                      std::span<const Word> keys,
+                                      std::span<const Word> values) {
   grow(m, keys.size());
 
   // Split the batch into existing keys (value overwrite) and new keys

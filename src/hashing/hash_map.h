@@ -35,7 +35,12 @@ class VectorHashMap {
 
   /// Batch upsert. Keys must be non-negative; duplicates within the batch
   /// resolve to the last lane's value. Grows (rehashes) as needed to keep
-  /// the load factor at or below 0.7.
+  /// the load factor at or below 0.7, and recovers from recoverable
+  /// exhaustion (a saturated probe cycle, injected or genuine) by rehashing
+  /// to double capacity and retrying — the rehash rolls back on failure and
+  /// re-derives partially-inserted keys, so a recovered batch is
+  /// indistinguishable from an untroubled one. After a bounded number of
+  /// failed recoveries the last folvec::RecoverableError propagates.
   void upsert_batch(vm::VectorMachine& m, std::span<const vm::Word> keys,
                     std::span<const vm::Word> values);
 
@@ -65,7 +70,16 @@ class VectorHashMap {
   std::size_t rehash_count() const { return rehashes_; }
 
  private:
+  /// One upsert attempt; throws folvec::RecoverableError on recoverable
+  /// exhaustion (upsert_batch's retry loop rehashes and re-runs it).
+  void upsert_batch_once(vm::VectorMachine& m, std::span<const vm::Word> keys,
+                         std::span<const vm::Word> values);
+
   /// Enters keys (all distinct, none present) and returns their slots.
+  /// Throws folvec::RecoverableError(kProbeCycleSaturated) when the probe
+  /// loop sweeps the table without converging or fault injection forces the
+  /// condition; the table may then hold a partial subset of `keys` (with
+  /// entered_ NOT advanced) — rehash() re-derives the live set, healing it.
   vm::WordVec insert_tracking_slots(vm::VectorMachine& m,
                                     const vm::WordVec& keys);
 

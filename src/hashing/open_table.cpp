@@ -1,10 +1,11 @@
 #include "hashing/open_table.h"
 
+#include <string>
 #include <unordered_set>
-
 #include <utility>
 
 #include "hashing/hash_fn.h"
+#include "support/faultsim.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
 #include "vm/buffer_pool.h"
@@ -34,9 +35,21 @@ Word ScalarOpenTable::probe_step(Word key) const {
   return 1;
 }
 
-std::size_t ScalarOpenTable::insert(Word key) {
+Status ScalarOpenTable::try_insert(Word key, std::size_t* probes_out) {
   FOLVEC_REQUIRE(key >= 0, "keys must be non-negative");
-  FOLVEC_REQUIRE(entered_ < slots_.size(), "table is full");
+  if (FaultPlan* plan = faults();
+      plan != nullptr && plan->fires(FaultSite::kProbeSaturation)) {
+    telemetry::count("fault.injected.probe");
+    return Status(StatusCode::kProbeCycleSaturated,
+                  "injected probe-cycle saturation");
+  }
+  if (entered_ == slots_.size()) {
+    // Genuinely full: a distinct condition from a saturated probe cycle,
+    // and one growing also fixes.
+    return Status(StatusCode::kTableFull,
+                  "every slot of the " + std::to_string(slots_.size()) +
+                      "-slot table is occupied");
+  }
   const auto size = static_cast<Word>(slots_.size());
   // hash: one (slow) integer division plus bookkeeping on the scalar unit.
   cost_.div(1);
@@ -56,14 +69,95 @@ std::size_t ScalarOpenTable::insert(Word key) {
     cost_.alu(2);
     cost_.mem(1);
     cost_.branch(1);
-    FOLVEC_CHECK(probes <= slots_.size() * 33,
-                 "open-addressing probe sequence failed to find a free slot");
+    // The sequence advances by a constant step, so its cycle length divides
+    // the table size: after `size` probes every reachable slot has been
+    // visited. Exceeding that means the key's cycle holds no free slot even
+    // though the table is not full (gcd hazard — see the header).
+    if (probes > slots_.size()) {
+      telemetry::count("hashing.probe_cycle_saturated");
+      return Status(
+          StatusCode::kProbeCycleSaturated,
+          "probe cycle of key " + std::to_string(key) + " (step " +
+              std::to_string(probe_step(key)) + ", table size " +
+              std::to_string(slots_.size()) +
+              ") has no free slot although the table is not full");
+    }
   }
   slots_[static_cast<std::size_t>(h)] = key;
   cost_.mem(1);
   ++entered_;
   telemetry::observe("hashing.scalar.probe_count", probes);
+  if (probes_out != nullptr) *probes_out = probes;
+  return Status::ok();
+}
+
+std::size_t ScalarOpenTable::insert(Word key) {
+  std::size_t probes = 0;
+  const Status st = try_insert(key, &probes);
+  if (!st.is_ok()) throw RecoverableError(st.code(), st.message());
   return probes;
+}
+
+void ScalarOpenTable::grow() {
+  // The next prime above twice the current size: prime sizes make
+  // gcd(step, size) = 1 for every key-dependent step in [1, 32], so every
+  // probe cycle covers the whole table and saturation implies truly full.
+  std::size_t candidate = slots_.size() * 2 + 1;
+  const auto is_prime = [](std::size_t v) {
+    for (std::size_t d = 3; d * d <= v; d += 2) {
+      if (v % d == 0) return false;
+    }
+    return (v & 1) != 0;
+  };
+  while (!is_prime(candidate)) candidate += 2;
+  std::vector<Word> old = std::move(slots_);
+  slots_.assign(candidate, kUnentered);
+  entered_ = 0;
+  ++grows_;
+  telemetry::count("hashing.scalar.grows");
+  for (Word v : old) {
+    if (v == kUnentered) continue;
+    // Re-entry cannot fail: the new size is prime (full-cycle probing) and
+    // strictly larger than the number of live keys. Injected faults are
+    // ignored here — the re-entry IS the recovery path.
+    const auto size = static_cast<Word>(slots_.size());
+    cost_.div(1);
+    cost_.alu(1);
+    Word h = mod_hash(v, size);
+    cost_.mem(1);
+    cost_.branch(1);
+    while (slots_[static_cast<std::size_t>(h)] != kUnentered) {
+      h = mod_hash(h + probe_step(v), size);
+      cost_.div(1);
+      cost_.alu(2);
+      cost_.mem(1);
+      cost_.branch(1);
+    }
+    slots_[static_cast<std::size_t>(h)] = v;
+    cost_.mem(1);
+    ++entered_;
+  }
+}
+
+std::size_t ScalarOpenTable::insert_or_grow(Word key) {
+  // One grow always suffices for a genuine failure (prime size, cycle
+  // covers the table, size > 2x the live keys), so the bound only trips
+  // under sustained fault injection — surface that instead of growing
+  // without limit.
+  constexpr std::size_t kMaxGrows = 3;
+  Status st;
+  for (std::size_t attempt = 0; attempt <= kMaxGrows; ++attempt) {
+    std::size_t probes = 0;
+    st = try_insert(key, &probes);
+    if (st.is_ok()) {
+      if (attempt != 0 && faults() != nullptr) {
+        telemetry::count("fault.recovered.probe");
+      }
+      return probes;
+    }
+    if (attempt < kMaxGrows) grow();
+  }
+  throw RecoverableError(st.code(), st.message());
 }
 
 bool ScalarOpenTable::contains(Word key) const {
@@ -78,19 +172,35 @@ bool ScalarOpenTable::contains(Word key) const {
   return false;
 }
 
-MultiHashStats multi_hash_open_insert(VectorMachine& m,
-                                      std::span<Word> table,
-                                      std::span<const Word> keys,
-                                      ProbeVariant variant) {
-  MultiHashStats stats;
-  if (keys.empty()) return stats;
+namespace {
+
+/// Body of the Figure 8 insert, factored so the try_ wrapper can translate
+/// its recoverable failure modes into Statuses without unwinding machinery
+/// at every return site.
+Status multi_hash_open_insert_body(VectorMachine& m, std::span<Word> table,
+                                   std::span<const Word> keys,
+                                   ProbeVariant variant,
+                                   MultiHashStats& stats) {
+  if (keys.empty()) return Status::ok();
   const auto size = static_cast<Word>(table.size());
   FOLVEC_REQUIRE(size > 32,
                  "the key-dependent probe step requires size(table) > 32");
+  if (FaultPlan* plan = faults();
+      plan != nullptr && plan->fires(FaultSite::kProbeSaturation)) {
+    telemetry::count("fault.injected.probe");
+    return Status(StatusCode::kProbeCycleSaturated,
+                  "injected probe-cycle saturation");
+  }
   std::size_t free_slots = 0;
   for (Word v : table) free_slots += (v == kUnentered) ? 1u : 0u;
-  FOLVEC_REQUIRE(keys.size() <= free_slots,
-                 "more keys than free slots in the table");
+  if (keys.size() > free_slots) {
+    // Data-dependent, not caller misuse: how full the table is depends on
+    // what was previously inserted. Recover by growing (see
+    // VectorHashMap::rehash) and retrying the batch.
+    return Status(StatusCode::kTableFull,
+                  std::to_string(keys.size()) + " keys for " +
+                      std::to_string(free_slots) + " free slots");
+  }
 
   const vm::AlgoSpan span(m, "hashing.multi_insert");
   telemetry::count("hashing.insert_calls");
@@ -135,7 +245,7 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
     if (nrest == 0) {
       telemetry::count("hashing.retry_rounds", stats.iterations);
       telemetry::observe("hashing.retry_rounds_per_call", stats.iterations);
-      return stats;
+      return Status::ok();
     }
 
     // One partition per control vector replaces the old mask_not + two
@@ -162,13 +272,52 @@ MultiHashStats multi_hash_open_insert(VectorMachine& m,
     const Mask empty = m.eq_scalar(*probed, kUnentered);
     m.scatter_masked(table, hashed, *key_vec, empty);
   }
-  FOLVEC_CHECK(false, "multiple hashing failed to converge");
+  // A full sweep of the table without convergence: every remaining key's
+  // probe cycle is saturated (composite size + gcd hazard). The table holds
+  // the keys that did land; the caller recovers by growing and re-deriving
+  // the remainder.
+  telemetry::count("hashing.probe_cycle_saturated");
+  return Status(StatusCode::kProbeCycleSaturated,
+                "multiple hashing swept the table without converging (" +
+                    std::to_string(key_vec->size()) +
+                    " keys on saturated probe cycles)");
+}
+
+}  // namespace
+
+Status try_multi_hash_open_insert(VectorMachine& m, std::span<Word> table,
+                                  std::span<const Word> keys,
+                                  ProbeVariant variant,
+                                  MultiHashStats* stats_out) {
+  MultiHashStats stats;
+  Status st;
+  try {
+    st = multi_hash_open_insert_body(m, table, keys, variant, stats);
+  } catch (const RecoverableError& e) {
+    // A capped buffer pool running dry mid-insert arrives as an exception
+    // from acquire(); forward it as a value.
+    st = e.status();
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return st;
+}
+
+MultiHashStats multi_hash_open_insert(VectorMachine& m,
+                                      std::span<Word> table,
+                                      std::span<const Word> keys,
+                                      ProbeVariant variant) {
+  MultiHashStats stats;
+  const Status st = multi_hash_open_insert_body(m, table, keys, variant, stats);
+  if (!st.is_ok()) throw RecoverableError(st.code(), st.message());
+  return stats;
 }
 
 vm::Mask multi_hash_open_contains(VectorMachine& m,
                                   std::span<const Word> table,
                                   std::span<const Word> keys,
-                                  ProbeVariant variant) {
+                                  ProbeVariant variant,
+                                  MultiHashLookupStats* lookup_stats) {
+  if (lookup_stats != nullptr) *lookup_stats = MultiHashLookupStats{};
   const auto size = static_cast<Word>(table.size());
   FOLVEC_REQUIRE(size > 32,
                  "the key-dependent probe step requires size(table) > 32");
@@ -213,8 +362,16 @@ vm::Mask multi_hash_open_contains(VectorMachine& m,
         break;
     }
   }
-  // Lanes still probing after a full sweep of the table are absent (this
-  // only happens when the table is completely full).
+  // Lanes still probing after a full sweep of the table are reported
+  // absent. Reachable only when some probe cycle holds no empty slot — the
+  // table is completely full, or a composite size saturated a cycle (gcd
+  // hazard, see the header) — so surface the count instead of falling
+  // through silently: a caller seeing nonzero exhausted lanes on a table it
+  // believes sparse has hit the hazard and should grow to a prime size.
+  telemetry::count("hashing.lookup_sweep_exhausted", key_vec->size());
+  if (lookup_stats != nullptr) {
+    lookup_stats->sweep_exhausted_lanes = key_vec->size();
+  }
   return found;
 }
 

@@ -11,12 +11,24 @@
 //                     instead of re-colliding forever.
 // The paper asserts size(table) > 32 for the key-dependent variant; the
 // reproduction uses the paper's prime sizes 521 and 4099.
+//
+// Probe-cycle hazard (why the paper's sizes are prime): the key-dependent
+// sequence advances by a constant per-key step s = (key & 31) + 1 modulo the
+// table size. When gcd(s, size) = g > 1 the sequence visits only the
+// size/g slots congruent to hash(key) mod g — a key can exhaust its probe
+// CYCLE while plenty of free slots sit outside it. That condition is
+// data-dependent, not a bug: it is reported as StatusCode::
+// kProbeCycleSaturated (distinct from kTableFull, where every slot really
+// is occupied), and insert_or_grow() recovers by growing to a prime size,
+// which forces g = 1 for every step in [1, 32] so each probe cycle covers
+// the whole table.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "support/status.h"
 #include "vm/cost_model.h"
 #include "vm/machine.h"
 
@@ -40,8 +52,26 @@ class ScalarOpenTable {
 
   /// Inserts a key (non-negative, not already present — the Figure 8
   /// algorithm requires distinct keys). Returns the probe count used.
-  /// Throws PreconditionError if the table is full.
+  /// Throws folvec::RecoverableError on kTableFull (every slot occupied) or
+  /// kProbeCycleSaturated (the key's probe cycle is full while free slots
+  /// remain outside it — see the gcd note above); PreconditionError still
+  /// means caller misuse (negative or duplicate key).
   std::size_t insert(vm::Word key);
+
+  /// Status-returning form of insert(): recoverable exhaustion comes back
+  /// as kTableFull / kProbeCycleSaturated with the table unchanged, and
+  /// `probes_out` (when non-null) receives the probe count on success.
+  Status try_insert(vm::Word key, std::size_t* probes_out = nullptr);
+
+  /// insert() with graceful degradation: on recoverable exhaustion the
+  /// table grows to the next prime above twice its size (eliminating every
+  /// probe-cycle hazard — gcd(step, prime) = 1 for steps in [1, 32]),
+  /// re-enters the existing keys, and retries. Returns the probe count of
+  /// the final, successful insert.
+  std::size_t insert_or_grow(vm::Word key);
+
+  /// Times insert_or_grow() had to grow the table.
+  std::size_t grow_count() const { return grows_; }
 
   /// True if `key` is in the table (follows the same probe sequence).
   bool contains(vm::Word key) const;
@@ -55,11 +85,13 @@ class ScalarOpenTable {
 
  private:
   vm::Word probe_step(vm::Word key) const;
+  void grow();
 
   std::vector<vm::Word> slots_;
   ProbeVariant variant_;
   mutable vm::ScalarCost cost_;
   std::size_t entered_ = 0;
+  std::size_t grows_ = 0;
 };
 
 /// Statistics returned by the vectorized multiple hash.
@@ -71,11 +103,36 @@ struct MultiHashStats {
 /// Figure 8: enters `keys` (distinct, non-negative) into the open-addressing
 /// table `table` (every slot kUnentered or a previously entered key) using
 /// the overwrite-and-check specialization of FOL — the keys themselves act
-/// as labels. Entirely vector operations on `m`.
+/// as labels. Entirely vector operations on `m`. Throws
+/// folvec::RecoverableError on recoverable exhaustion (see
+/// try_multi_hash_open_insert); note the table may hold a PARTIAL subset of
+/// `keys` on that path — callers that recover by growing must re-derive
+/// which keys remain (VectorHashMap::rehash does exactly that).
 MultiHashStats multi_hash_open_insert(vm::VectorMachine& m,
                                       std::span<vm::Word> table,
                                       std::span<const vm::Word> keys,
                                       ProbeVariant variant);
+
+/// Status-returning form: kTableFull when `keys` outnumber the free slots,
+/// kProbeCycleSaturated when the retry loop sweeps the table without
+/// converging (or fault injection forces it), kPoolExhausted forwarded from
+/// a capped buffer pool. `stats_out` (when non-null) receives the pass
+/// statistics accumulated so far even on failure.
+Status try_multi_hash_open_insert(vm::VectorMachine& m,
+                                  std::span<vm::Word> table,
+                                  std::span<const vm::Word> keys,
+                                  ProbeVariant variant,
+                                  MultiHashStats* stats_out = nullptr);
+
+/// Statistics returned by the vectorized membership query.
+struct MultiHashLookupStats {
+  /// Lanes still probing after a full sweep of the table — reported absent.
+  /// Non-zero only when a table with no empty slot on some probe cycle is
+  /// queried for an absent key (completely full, or a saturated cycle of a
+  /// composite-sized table); also mirrored to the
+  /// "hashing.lookup_sweep_exhausted" counter.
+  std::size_t sweep_exhausted_lanes = 0;
+};
 
 /// Vectorized membership query: probes all keys in lockstep and returns one
 /// mask lane per key. Read-only, so index-vector duplicates are harmless
@@ -84,6 +141,7 @@ MultiHashStats multi_hash_open_insert(vm::VectorMachine& m,
 vm::Mask multi_hash_open_contains(vm::VectorMachine& m,
                                   std::span<const vm::Word> table,
                                   std::span<const vm::Word> keys,
-                                  ProbeVariant variant);
+                                  ProbeVariant variant,
+                                  MultiHashLookupStats* lookup_stats = nullptr);
 
 }  // namespace folvec::hashing

@@ -16,6 +16,13 @@ EnvSession::EnvSession() : previous_metrics_(metrics()) {
     install_tracer(tracer_.get());
   }
   metrics_path_ = env_value("FOLVEC_METRICS");
+  fault_plan_ = FaultPlan::from_env();
+  if (fault_plan_) {
+    previous_faults_ = install_faults(fault_plan_.get());
+    registry_.label("fault.spec", fault_plan_->spec());
+    registry_.gauge_max("fault.seed",
+                        static_cast<std::int64_t>(fault_plan_->seed()));
+  }
 }
 
 void EnvSession::flush() {
@@ -49,6 +56,7 @@ void EnvSession::flush() {
 
 EnvSession::~EnvSession() {
   flush();
+  if (fault_plan_) install_faults(previous_faults_);
   if (tracer_) install_tracer(previous_tracer_);
   install_metrics(previous_metrics_);
 }

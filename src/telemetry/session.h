@@ -8,6 +8,10 @@
 //   FOLVEC_METRICS=<path>     write the final metrics snapshot as JSON to
 //                             <path> at destruction ("-" = stderr; boolean
 //                             spellings like "1" also mean stderr)
+//   FOLVEC_FAULT_SPEC=<spec>  install a deterministic FaultPlan for the
+//                             session (see support/faultsim.h for the
+//                             clause grammar), seeded by FOLVEC_FAULT_SEED
+//                             (default 0)
 //
 // A MetricsRegistry is installed unconditionally: the registry itself is
 // cheap and the bench reporter reads the snapshot whether or not
@@ -22,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "support/faultsim.h"
 #include "telemetry/metrics.h"
 #include "telemetry/spans.h"
 
@@ -38,6 +43,8 @@ class EnvSession {
   /// Non-null when FOLVEC_TRACE_JSON requested a trace.
   SpanTracer* span_tracer() { return tracer_.get(); }
   const std::optional<std::string>& trace_path() const { return trace_path_; }
+  /// Non-null when FOLVEC_FAULT_SPEC installed a fault plan.
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
 
   /// Writes pending outputs (trace file, FOLVEC_METRICS dump) now instead of
   /// at destruction; safe to call more than once.
@@ -46,10 +53,12 @@ class EnvSession {
  private:
   MetricsRegistry registry_;
   std::unique_ptr<SpanTracer> tracer_;
+  std::unique_ptr<FaultPlan> fault_plan_;
   std::optional<std::string> trace_path_;
   std::optional<std::string> metrics_path_;
   MetricsRegistry* previous_metrics_;
   SpanTracer* previous_tracer_ = nullptr;
+  FaultPlan* previous_faults_ = nullptr;
   bool flushed_ = false;
 };
 

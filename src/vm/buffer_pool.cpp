@@ -1,7 +1,13 @@
 #include "vm/buffer_pool.h"
 
+#include <algorithm>
 #include <bit>
+#include <string>
 #include <utility>
+
+#include "support/faultsim.h"
+#include "support/status.h"
+#include "telemetry/metrics.h"
 
 namespace folvec::vm {
 
@@ -9,8 +15,37 @@ std::size_t BufferPool::floor_log2(std::size_t v) {
   return static_cast<std::size_t>(std::bit_width(v)) - 1;
 }
 
+std::size_t BufferPool::bucket_of(std::size_t capacity) {
+  return floor_log2(capacity == 0 ? 1 : capacity);
+}
+
 BufferPool::WordVec BufferPool::acquire(std::size_t n) {
   ++stats_.acquires;
+  if (limit_words_ != 0 && stats_.outstanding_words + n > limit_words_) {
+    telemetry::count("pool.buffer.exhausted");
+    throw RecoverableError(
+        StatusCode::kPoolExhausted,
+        "buffer pool word limit exceeded (outstanding " +
+            std::to_string(stats_.outstanding_words) + " + " +
+            std::to_string(n) + " > limit " +
+            std::to_string(limit_words_) + ")");
+  }
+  if (FaultPlan* plan = faults();
+      plan != nullptr && plan->fires(FaultSite::kPoolAlloc)) {
+    // Injected allocation failure of the pooled fast path. Degrade the way
+    // a pressured allocator would: drop every free list and serve the
+    // request with a fresh allocation — slower, never wrong, and invisible
+    // to the modeled chime stream (pool reuse is host bookkeeping).
+    telemetry::count("fault.injected.pool_alloc");
+    trim();
+    ++stats_.fault_drops;
+    ++stats_.misses;
+    WordVec fresh;
+    fresh.resize(n);
+    stats_.outstanding_words += fresh.capacity();
+    telemetry::count("fault.recovered.pool_alloc");
+    return fresh;
+  }
   // Bucket b holds capacities in [2^b, 2^(b+1)). The search starts in the
   // bucket containing `want` itself — whose members fit only if their
   // individual capacity reaches want — and walks two buckets higher, where
@@ -28,22 +63,28 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
       stats_.held_words -= v.capacity();
       ++stats_.hits;
       v.resize(n);
+      stats_.outstanding_words += v.capacity();
       return v;
     }
   }
   ++stats_.misses;
   WordVec v;
   v.resize(n);
+  stats_.outstanding_words += v.capacity();
   return v;
 }
 
 void BufferPool::release(WordVec&& v) {
   WordVec dead = std::move(v);
+  const auto cap = static_cast<std::uint64_t>(dead.capacity());
+  // Saturating: an algorithm may std::swap a larger externally-allocated
+  // vector into a pooled slot and release that instead.
+  stats_.outstanding_words -= std::min(stats_.outstanding_words, cap);
   if (dead.capacity() == 0) {
     ++stats_.discards;
     return;
   }
-  const std::size_t b = floor_log2(dead.capacity());
+  const std::size_t b = bucket_of(dead.capacity());
   std::vector<WordVec>& bucket = buckets_[b];
   if (bucket.size() >= kMaxPerBucket) {
     ++stats_.discards;

@@ -36,7 +36,11 @@ class BufferPool {
   using WordVec = std::vector<std::int64_t>;
 
   /// A vector of size n (contents unspecified), reusing pooled storage with
-  /// capacity >= n when any is available.
+  /// capacity >= n when any is available. Under an installed FaultPlan a
+  /// kPoolAlloc fire degrades gracefully: the free lists are dropped (as a
+  /// pressured allocator would drop its caches) and the request is served
+  /// by a fresh allocation. Throws folvec::RecoverableError(kPoolExhausted)
+  /// when a word limit is set and granting `n` would exceed it.
   WordVec acquire(std::size_t n);
 
   /// Returns a vector's storage to the pool (or frees it when the bucket is
@@ -45,6 +49,17 @@ class BufferPool {
 
   /// Drops all retained storage.
   void trim();
+
+  /// Caps the total words of capacity handed out and not yet released;
+  /// 0 (the default) means unlimited. Acquires beyond the cap throw
+  /// RecoverableError(kPoolExhausted) — the recoverable-exhaustion producer
+  /// used by the resilience tests and by capped production deployments.
+  void set_limit_words(std::uint64_t words) { limit_words_ = words; }
+  std::uint64_t limit_words() const { return limit_words_; }
+
+  /// The free-list bucket a capacity lands in: floor(log2(capacity)).
+  /// Exposed for the bucket-boundary regression tests.
+  static std::size_t bucket_of(std::size_t capacity);
 
   struct Stats {
     std::uint64_t acquires = 0;
@@ -56,6 +71,12 @@ class BufferPool {
     std::uint64_t held_words = 0;
     /// High-water mark of held_words over the pool's lifetime.
     std::uint64_t peak_held_words = 0;
+    /// Words of capacity handed out and not yet released (capacity-based,
+    /// saturating: callers may legitimately release larger swapped-in
+    /// storage than they acquired).
+    std::uint64_t outstanding_words = 0;
+    /// Injected kPoolAlloc faults absorbed by dropping the free lists.
+    std::uint64_t fault_drops = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -66,6 +87,7 @@ class BufferPool {
 
   std::array<std::vector<WordVec>, kBuckets> buckets_{};
   Stats stats_;
+  std::uint64_t limit_words_ = 0;
 };
 
 /// RAII pooled vector: acquires on construction, releases on destruction.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "support/env.h"
+#include "support/faultsim.h"
 #include "vm/backend.h"
 #include "vm/buffer_pool.h"
 #include "vm/checker.h"
@@ -50,6 +51,11 @@ bool MachineConfig::audit_default() {
 
 bool MachineConfig::fuse_default() {
   if (const auto env = env_value("FOLVEC_FUSE")) return env_flag(*env);
+  return true;
+}
+
+bool MachineConfig::adaptive_default() {
+  if (const auto env = env_value("FOLVEC_ADAPTIVE")) return env_flag(*env);
   return true;
 }
 
@@ -127,6 +133,7 @@ void VectorMachine::flush_telemetry() const {
     r->add("pool.buffer.releases", ps.releases);
     r->add("pool.buffer.discards", ps.discards);
     r->observe("pool.buffer.peak_held_words", ps.peak_held_words);
+    if (ps.fault_drops != 0) r->add("pool.buffer.fault_drops", ps.fault_drops);
   }
   // Backend identity lives in the excluded-from-determinism "backend."
   // namespace: it legitimately differs between serial and parallel runs.
@@ -705,6 +712,37 @@ void VectorMachine::dispatch_scatter(std::span<Word> table,
   }
 }
 
+void VectorMachine::amalgam_scatter(std::span<Word> table,
+                                    std::span<const Word> idx,
+                                    std::span<const Word> vals) {
+  // Failure injection: a contested address receives an "amalgam" — a mix
+  // of the colliding values that is (in general) equal to none of them,
+  // exactly what the ELS condition forbids. Singleton writes stay intact.
+  // One hash-map pass per instruction; the amalgam of an address is the
+  // XOR over every colliding lane, so the result is byte-identical to the
+  // old per-lane-pair quadratic scan. Always computed on the issuing
+  // thread, so the injected image is identical for every backend.
+  std::unordered_map<Word, std::pair<std::size_t, Word>> per_addr;
+  per_addr.reserve(idx.size());
+  for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+    auto& [collisions, amalgam] = per_addr[idx[lane]];
+    ++collisions;
+    amalgam ^= vals[lane] + 1;
+  }
+  for (std::size_t lane = 0; lane < idx.size(); ++lane) {
+    const auto& [collisions, amalgam] = per_addr.find(idx[lane])->second;
+    table[static_cast<std::size_t>(idx[lane])] =
+        collisions > 1 ? amalgam : vals[lane];
+  }
+}
+
+bool VectorMachine::els_fault_fires() {
+  FaultPlan* plan = faults();
+  if (plan == nullptr || !plan->fires(FaultSite::kElsViolation)) return false;
+  telemetry::count("fault.injected.els");
+  return true;
+}
+
 void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
                             std::span<const Word> vals) {
   if (checker_ != nullptr) {
@@ -714,25 +752,13 @@ void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
   check_indices(idx, table.size());
   const OpTimer timer(cost_, OpClass::kVectorScatter, idx.size());
   issue(OpClass::kVectorScatter, idx.size());
-  if (config_.inject_els_violation) {
-    // Failure injection: a contested address receives an "amalgam" — a mix
-    // of the colliding values that is (in general) equal to none of them,
-    // exactly what the ELS condition forbids. Singleton writes stay intact.
-    // One hash-map pass per instruction; the amalgam of an address is the
-    // XOR over every colliding lane, so the result is byte-identical to the
-    // old per-lane-pair quadratic scan.
-    std::unordered_map<Word, std::pair<std::size_t, Word>> per_addr;
-    per_addr.reserve(idx.size());
-    for (std::size_t lane = 0; lane < idx.size(); ++lane) {
-      auto& [collisions, amalgam] = per_addr[idx[lane]];
-      ++collisions;
-      amalgam ^= vals[lane] + 1;
-    }
-    for (std::size_t lane = 0; lane < idx.size(); ++lane) {
-      const auto& [collisions, amalgam] = per_addr.find(idx[lane])->second;
-      table[static_cast<std::size_t>(idx[lane])] =
-          collisions > 1 ? amalgam : vals[lane];
-    }
+  // Exactly one kElsViolation draw per unmasked scatter-class instruction
+  // (this is the composition's one scatter); a fired instruction consumes no
+  // shuffle draw, in fused and unfused mode alike, so the RNG streams stay
+  // aligned. The config flag short-circuits the draw: a machine built to
+  // always violate ELS needs no plan.
+  if (config_.inject_els_violation || els_fault_fires()) {
+    amalgam_scatter(table, idx, vals);
     return;
   }
   dispatch_scatter(table, idx, vals, nullptr);
@@ -864,6 +890,32 @@ void VectorMachine::scatter_gather_eq_into(Mask& out, std::span<Word> table,
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
+  // The fused kernel's one kElsViolation draw — the same single draw the
+  // composition's scatter would consume, so fused and unfused runs under
+  // one FaultPlan make identical decisions. A fired instruction still
+  // issues (and is timed as) one fused op: the injected image corrupts
+  // memory, not the modeled pipeline.
+  if (els_fault_fires()) {
+    const std::size_t n = idx.size();
+    const OpTimer timer(cost_, OpClass::kVectorScatterGatherEq, n);
+    issue(OpClass::kVectorScatterGatherEq, n);
+    amalgam_scatter(table, idx, vals);
+    if (checker_ != nullptr) checker_->on_gather(table, idx, nullptr);
+    out.resize(n);
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t bit =
+          table[static_cast<std::size_t>(idx[i])] == vals[i] ? 1 : 0;
+      out.data()[i] = bit;
+      survivors += bit;
+    }
+    out.set_popcount(survivors);
+    if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
+      r->add("fused.sge", 1);
+      r->add("fused.sge.lanes", n);
+    }
+    return;
+  }
   fused_scatter_gather_eq(out, table, idx, vals, nullptr);
 }
 

@@ -107,6 +107,26 @@ struct MachineConfig {
   /// chime stream — which is the differential-testing reference.
   bool fuse = fuse_default();
 
+  /// Default adaptive-degradation setting: from the FOLVEC_ADAPTIVE
+  /// environment variable when set (boolean spellings of support/env.h),
+  /// else true.
+  static bool adaptive_default();
+
+  /// Adaptive degradation for pathological sharing (Theorems 5-6): when a
+  /// FOL round's surviving fraction collapses below 1/adaptive_collapse_den
+  /// with at least adaptive_min_remaining lanes still unassigned, the FOL
+  /// drivers drain the remaining high-multiplicity tail through the scalar
+  /// unit in one O(k) pass instead of running O(max multiplicity) further
+  /// vector rounds — bounding the Theorem 6 worst case at O(N) vector work
+  /// plus O(k) scalar work. The drained assignment preserves every
+  /// decomposition theorem and is identical across backends and fuse modes.
+  bool adaptive = adaptive_default();
+  /// Minimum unassigned lanes before the drain may trigger; small tails
+  /// finish faster as vector rounds than as a scalar pass.
+  std::size_t adaptive_min_remaining = 2048;
+  /// Collapse denominator: drain when survivors * den < remaining.
+  std::size_t adaptive_collapse_den = 8;
+
   /// Enable the ScatterCheck hazard auditor (see checker.h) on this machine.
   bool audit = audit_default();
   /// Under audit, throw AuditError at the offending instruction for
@@ -413,6 +433,19 @@ class VectorMachine {
 
   /// The shuffled lane write order for one kShuffled scatter instruction.
   std::vector<std::size_t> shuffled_lane_order(std::size_t n);
+
+  /// One kElsViolation fault draw for an unmasked scatter-class instruction
+  /// (the plain scatter or the fused scatter_gather_eq — both consume
+  /// exactly one draw per instruction, so fused and unfused runs under the
+  /// same FaultPlan see identical decision streams). Emits the
+  /// fault.injected.els counter on fire.
+  bool els_fault_fires();
+
+  /// The ELS-violation memory image: every contested address receives the
+  /// XOR-amalgam of its colliding (values + 1); singleton writes land
+  /// intact. One hash-map pass, identical for every backend.
+  static void amalgam_scatter(std::span<Word> table, std::span<const Word> idx,
+                              std::span<const Word> vals);
 
   /// Dispatches one ELS scatter to the backend under the configured
   /// ScatterOrder (bounds already checked, audit hooks already run).

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "support/faultsim.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
 
@@ -53,6 +54,12 @@ void ThreadPool::claim(Job& job, std::size_t worker, WorkerStats& stats) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.tasks) break;
     ++claimed;
+    if (i == job.inject_task) {
+      // Injected worker death: record the fault without touching the task
+      // body. run() re-dispatches the task inline after the barrier.
+      job.errors[i] = std::make_exception_ptr(InjectedFault(FaultSite::kWorkerFault));
+      continue;
+    }
     try {
       (*job.fn)(i);
     } catch (...) {
@@ -89,10 +96,22 @@ void ThreadPool::worker_loop(std::size_t worker) {
 void ThreadPool::run(std::size_t tasks,
                      const std::function<void(std::size_t)>& fn) {
   if (tasks == 0) return;
+  // One kWorkerFault draw per job, made on the calling thread BEFORE the
+  // inline/pooled split, so plans see the same decision stream regardless
+  // of worker count or task granularity.
+  bool inject = false;
+  if (FaultPlan* plan = faults();
+      plan != nullptr && plan->fires(FaultSite::kWorkerFault)) {
+    inject = true;
+    telemetry::count("fault.injected.worker");
+  }
   if (threads_.empty() || tasks == 1) {
     // Inline execution: first exception propagates naturally, which matches
-    // the lowest-task-index rule because tasks run in order.
+    // the lowest-task-index rule because tasks run in order. An injected
+    // fault has nothing to kill here — the "re-dispatch" is the same inline
+    // call — so it counts as recovered immediately.
     ++inline_jobs_;
+    if (inject) telemetry::count("fault.recovered.worker");
     for (std::size_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
@@ -104,6 +123,7 @@ void ThreadPool::run(std::size_t tasks,
   job.tasks = tasks;
   job.errors.resize(tasks);
   job.claimed.resize(size());
+  if (inject) job.inject_task = 0;
   {
     const std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;
@@ -125,8 +145,18 @@ void ThreadPool::run(std::size_t tasks,
     telemetry::observe("pool.claim_imbalance",
                        static_cast<std::uint64_t>(*hi - *lo));
   }
-  for (auto& e : job.errors) {
-    if (e != nullptr) std::rethrow_exception(e);
+  // Real failures win over injected ones: rethrow the lowest-index genuine
+  // error (the pre-injection contract). If the only error is the injected
+  // fault, recover by running the sacrificed task inline — it was never
+  // started, so this is its first and only execution.
+  for (std::size_t i = 0; i < job.errors.size(); ++i) {
+    if (job.errors[i] == nullptr || i == job.inject_task) continue;
+    std::rethrow_exception(job.errors[i]);
+  }
+  if (job.inject_task != kNoInject && job.errors[job.inject_task] != nullptr) {
+    job.errors[job.inject_task] = nullptr;
+    fn(job.inject_task);
+    telemetry::count("fault.recovered.worker");
   }
 }
 

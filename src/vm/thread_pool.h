@@ -50,7 +50,14 @@ class ThreadPool {
     /// Tasks claimed per worker, for the per-job imbalance metric. Each
     /// worker writes only its own slot.
     std::vector<std::size_t> claimed;
+    /// Task index sacrificed to an injected kWorkerFault this job (kNoInject
+    /// when none). The claiming worker records the fault WITHOUT running the
+    /// task body — pass-1 scatter tasks append to routing buckets, so a
+    /// partially-run body must never run twice — and run() re-executes the
+    /// task inline after the barrier, giving exactly-once execution.
+    std::size_t inject_task = kNoInject;
   };
+  static constexpr std::size_t kNoInject = static_cast<std::size_t>(-1);
 
   /// Per-worker lifetime totals, written only by the owning worker while
   /// jobs run, read after join (destructor) to publish "pool." metrics.

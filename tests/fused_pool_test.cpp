@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/prng.h"
+#include "support/status.h"
 #include "vm/buffer_pool.h"
 #include "vm/cost_model.h"
 #include "vm/machine.h"
@@ -101,7 +103,135 @@ TEST(MaskTest, CountTrueCachesAndStillChargesItsReduce) {
   EXPECT_EQ(m.cost().instructions(OpClass::kVectorReduce), before + 2);
 }
 
+TEST(MaskTest, PopcountCacheFuzzAgainstReferenceScan) {
+  // Every non-const access path must leave popcount() equal to a manual
+  // scan; a stale cache here silently corrupts every fused survivor count
+  // downstream. Drive a random operation mix against a reference vector.
+  Xoshiro256 rng(0xf022edULL);
+  Mask mask(16, 1);
+  std::vector<std::uint8_t> ref(16, 1);
+  const auto manual = [&ref] {
+    std::size_t n = 0;
+    for (std::uint8_t b : ref) n += b != 0 ? 1u : 0u;
+    return n;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    switch (rng.in_range(0, 7)) {
+      case 0:  // non-const operator[] write
+        if (!ref.empty()) {
+          const auto i = static_cast<std::size_t>(
+              rng.in_range(0, static_cast<std::int64_t>(ref.size()) - 1));
+          const auto v = static_cast<std::uint8_t>(rng.in_range(0, 1));
+          mask[i] = v;
+          ref[i] = v;
+        }
+        break;
+      case 1:  // non-const data() write
+        if (!ref.empty()) {
+          const auto i = static_cast<std::size_t>(
+              rng.in_range(0, static_cast<std::int64_t>(ref.size()) - 1));
+          const auto v = static_cast<std::uint8_t>(rng.in_range(0, 1));
+          mask.data()[i] = v;
+          ref[i] = v;
+        }
+        break;
+      case 2:  // non-const iterator write sweep
+        for (auto it = mask.begin(); it != mask.end(); ++it) {
+          *it = static_cast<std::uint8_t>(rng.in_range(0, 1));
+        }
+        for (std::size_t i = 0; i < ref.size(); ++i) ref[i] = mask.test(i);
+        break;
+      case 3: {  // resize (grow keeps the count, shrink drops it)
+        const auto n = static_cast<std::size_t>(rng.in_range(0, 48));
+        mask.resize(n);
+        ref.resize(n, 0);
+        break;
+      }
+      case 4:
+        mask.clear();
+        ref.clear();
+        break;
+      case 5:  // trusted producer publishing a by-product count
+        mask.set_popcount(manual());
+        break;
+      case 6: {  // const reads must not perturb anything
+        std::size_t seen = 0;
+        for (std::size_t i = 0; i < mask.size(); ++i) {
+          seen += mask.test(i) != 0 ? 1u : 0u;
+        }
+        EXPECT_EQ(seen, manual());
+        break;
+      }
+      case 7: {  // fresh construction with a known count
+        const auto n = static_cast<std::size_t>(rng.in_range(0, 32));
+        const auto v = static_cast<std::uint8_t>(rng.in_range(0, 1));
+        mask = Mask(n, v);
+        ref.assign(n, v);
+        EXPECT_TRUE(mask.has_popcount());
+        break;
+      }
+    }
+    ASSERT_EQ(mask.popcount(), manual()) << "after op at step " << step;
+    ASSERT_TRUE(mask.has_popcount());
+    ASSERT_EQ(mask.size(), ref.size());
+  }
+}
+
 // ---- BufferPool -------------------------------------------------------------
+
+TEST(BufferPoolTest, BucketOfBoundaries) {
+  // bucket_of is floor(log2(capacity)) with 0 mapped to bucket 0; the
+  // power-of-two edges are exactly where an off-by-one would misplace a
+  // vector into a bucket acquire() never scans.
+  EXPECT_EQ(BufferPool::bucket_of(0), 0u);
+  EXPECT_EQ(BufferPool::bucket_of(1), 0u);
+  EXPECT_EQ(BufferPool::bucket_of(2), 1u);
+  EXPECT_EQ(BufferPool::bucket_of(3), 1u);
+  EXPECT_EQ(BufferPool::bucket_of(4), 2u);
+  EXPECT_EQ(BufferPool::bucket_of(7), 2u);
+  EXPECT_EQ(BufferPool::bucket_of(8), 3u);
+  EXPECT_EQ(BufferPool::bucket_of((std::size_t{1} << 16) - 1), 15u);
+  EXPECT_EQ(BufferPool::bucket_of(std::size_t{1} << 16), 16u);
+  EXPECT_EQ(BufferPool::bucket_of((std::size_t{1} << 16) + 1), 16u);
+  EXPECT_EQ(BufferPool::bucket_of(static_cast<std::size_t>(-1)), 63u);
+}
+
+TEST(BufferPoolTest, UndersizedSameBucketCandidateIsSkipped) {
+  // Capacity 6 parks in bucket 2 ([4, 8)); acquire(7) scans that bucket but
+  // must reject the too-small candidate and allocate fresh instead of
+  // handing back six words for a seven-word request.
+  BufferPool pool;
+  BufferPool::WordVec small;
+  small.reserve(6);
+  pool.release(std::move(small));
+  BufferPool::WordVec v = pool.acquire(7);
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_GE(v.capacity(), 7u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPoolTest, WordLimitThrowsRecoverableAndReleaseRestoresHeadroom) {
+  BufferPool pool;
+  pool.set_limit_words(16);
+  BufferPool::WordVec a = pool.acquire(8);
+  EXPECT_GE(pool.stats().outstanding_words, 8u);
+  try {
+    BufferPool::WordVec b = pool.acquire(16);  // 8 + 16 > 16
+    FAIL() << "capped acquire should throw";
+  } catch (const RecoverableError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kPoolExhausted);
+  }
+  // The failed acquire left accounting intact; releasing the outstanding
+  // vector restores enough headroom for the same request to succeed.
+  pool.release(std::move(a));
+  BufferPool::WordVec b = pool.acquire(16);
+  EXPECT_EQ(b.size(), 16u);
+  pool.set_limit_words(0);  // unlimited again
+  BufferPool::WordVec c = pool.acquire(4096);
+  EXPECT_EQ(c.size(), 4096u);
+}
+
 
 TEST(BufferPoolTest, AcquireAfterReleaseReusesStorage) {
   BufferPool pool;

@@ -89,7 +89,14 @@ TEST(ScalarOpenTableTest, FillToCapacity) {
   for (Word k : keys) t.insert(k);
   EXPECT_DOUBLE_EQ(t.load_factor(), 1.0);
   for (Word k : keys) EXPECT_TRUE(t.contains(k));
-  EXPECT_THROW(t.insert(1 << 21), PreconditionError);
+  // A full table is a data-dependent, recoverable condition (grow and
+  // retry), not caller misuse.
+  try {
+    t.insert(1 << 21);
+    FAIL() << "insert into a full table should throw";
+  } catch (const RecoverableError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kTableFull);
+  }
 }
 
 TEST(MultiHashOpenTest, MatchesScalarKeyMultiset) {
@@ -129,9 +136,17 @@ TEST(MultiHashOpenTest, RejectsOverfill) {
   VectorMachine m;
   std::vector<Word> table(67, kUnentered);
   const auto keys = random_unique_keys(68, 1 << 20, 5);
-  EXPECT_THROW(
-      multi_hash_open_insert(m, table, keys, ProbeVariant::kKeyDependent),
-      PreconditionError);
+  try {
+    multi_hash_open_insert(m, table, keys, ProbeVariant::kKeyDependent);
+    FAIL() << "overfilled batch should throw";
+  } catch (const RecoverableError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kTableFull);
+  }
+  MultiHashStats stats;
+  const Status st = try_multi_hash_open_insert(
+      m, table, keys, ProbeVariant::kKeyDependent, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kTableFull);
+  EXPECT_EQ(stats.iterations, 0u);
 }
 
 TEST(MultiHashOpenTest, EmptyKeySetIsNoop) {

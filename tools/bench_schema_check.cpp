@@ -150,6 +150,38 @@ class Checker {
     }
   }
 
+  /// An injected-fault run is not comparable with a clean one: any fault.*
+  /// counter in the metrics requires the report to carry its FaultPlan
+  /// (config.fault_spec / config.fault_seed, recorded by BenchReport) so
+  /// report consumers can tell the two apart. One-directional on purpose —
+  /// a declared plan whose sites never fired leaves no counters and is
+  /// still a valid clean-looking run.
+  void check_fault_provenance(const JsonValue& config,
+                              const JsonValue& metrics) {
+    const JsonValue* counters = metrics.find("counters");
+    if (counters == nullptr || !counters->is_object()) return;
+    std::string example;
+    for (const auto& [key, value] : counters->as_object()) {
+      if (key.rfind("fault.", 0) == 0) {
+        example = key;
+        break;
+      }
+    }
+    if (example.empty()) return;
+    const JsonValue* spec = config.find("fault_spec");
+    if (spec == nullptr || !spec->is_string() || spec->as_string().empty()) {
+      fail("metrics.counters[\"" + example +
+           "\"] recorded but config.fault_spec is missing: injected-fault "
+           "reports must carry their fault plan");
+    }
+    const JsonValue* seed = config.find("fault_seed");
+    if (seed == nullptr || !seed->is_number()) {
+      fail("metrics.counters[\"" + example +
+           "\"] recorded but config.fault_seed is missing: injected-fault "
+           "reports must carry their fault seed");
+    }
+  }
+
   void check_document(const JsonValue& doc) {
     if (!doc.is_object()) {
       fail("top level must be an object");
@@ -166,7 +198,7 @@ class Checker {
         (!bench->is_string() || bench->as_string().empty())) {
       fail("bench must be a non-empty string");
     }
-    require_object(doc, "config", "top level");
+    const JsonValue* config = require_object(doc, "config", "top level");
     require_object(doc, "notes", "top level");
 
     if (const JsonValue* backend =
@@ -194,6 +226,7 @@ class Checker {
     if (const JsonValue* metrics =
             require_object(doc, "metrics", "top level")) {
       check_metrics(*metrics);
+      if (config != nullptr) check_fault_provenance(*config, *metrics);
     }
   }
 
