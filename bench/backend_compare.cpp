@@ -22,6 +22,12 @@
 // unfused digest bit-identical to the fused one, which makes this bench
 // double as a million-element fused-kernel equivalence test.
 //
+// A second table compares audit modes on the proven-safe fol1_distinct
+// workload: audit off, full per-lane ScatterCheck, and the static-analysis
+// elided auditor (MachineConfig::analysis + audit_elide). Asserted: >= 80%
+// of scatter-class ops proven safe, identical outputs and chime streams
+// across modes, and the elided wall beating the full audit at N=2^20.
+//
 // Worker count defaults to 8 (override with FOLVEC_BENCH_THREADS); on hosts
 // with fewer cores the wall acceleration honestly degrades toward 1.
 #include <algorithm>
@@ -32,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "bench_harness/report.h"
 #include "fol/fol1.h"
 #include "fol/fol_star.h"
@@ -56,6 +63,20 @@ struct Sample {
   double wall_s = 0;
   WordVec digest;
 };
+
+/// One audit-mode run of the proven-safe FOL1 workload, with the analyzer's
+/// elision metrics when static analysis was attached.
+struct AuditSample {
+  double chime_us = 0;
+  double wall_s = 0;
+  WordVec digest;
+  std::uint64_t scatter_ops = 0;
+  std::uint64_t scatter_safe = 0;
+  std::uint64_t elided = 0;
+  std::uint64_t checked = 0;
+};
+
+enum class AuditMode { kOff, kFull, kElide };
 
 std::size_t bench_threads() {
   if (const auto env = folvec::env_value("FOLVEC_BENCH_THREADS")) {
@@ -301,10 +322,111 @@ int main() {
                "2x of the all-distinct chime cost at N=2^20");
   report.note("fol1_heavy_over_distinct_chime_n20", heavy_ratio);
 
+  // ---- audit-mode comparison ----------------------------------------------
+  // The static verifier's elision claim, measured on the all-distinct FOL1
+  // workload (every scatter-class op proven safe): audit off is the floor,
+  // full per-lane ScatterCheck the ceiling, and the analysis-elided auditor
+  // keeps the guarantees (the elided round's write footprint is booked as
+  // one clobber interval) while skipping the per-lane pass.
+  const auto run_audit = [&params](AuditMode mode, std::size_t n) {
+    MachineConfig cfg;
+    cfg.backend = BackendKind::kSerial;  // audit pins serial; compare alike
+    cfg.audit = mode != AuditMode::kOff;
+    cfg.analysis = mode == AuditMode::kElide;
+    cfg.audit_elide = mode == AuditMode::kElide;
+    VectorMachine m(cfg);
+    AuditSample s;
+    s.digest = fol1_distinct_body(m, n);
+    s.chime_us = m.cost().microseconds(params);
+    s.wall_s = m.cost().total_wall_seconds();
+    if (auto* a = m.analyzer()) {
+      s.scatter_ops = a->stats().scatter_ops;
+      s.scatter_safe = a->stats().scatter_safe;
+      s.elided = a->stats().elided_instructions;
+      s.checked = a->stats().checked_instructions;
+    }
+    return s;
+  };
+  folvec::TablePrinter audit_table({"audit", "N", "chime_us", "wall_ms",
+                                    "audit_overhead", "scatter_proven_safe",
+                                    "elided_fraction"});
+  double full_wall_n20 = 0;
+  double elide_wall_n20 = 0;
+  for (int lg : {14, 17, 20}) {
+    const auto n = static_cast<std::size_t>(1) << lg;
+    run_audit(AuditMode::kElide, n);  // warmup (pages in the key material)
+    AuditSample off;
+    AuditSample full;
+    AuditSample elide;
+    constexpr int kReps = 3;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const AuditSample o = run_audit(AuditMode::kOff, n);
+      const AuditSample f = run_audit(AuditMode::kFull, n);
+      const AuditSample e = run_audit(AuditMode::kElide, n);
+      if (rep == 0) {
+        off = o;
+        full = f;
+        elide = e;
+      } else {
+        off.wall_s = std::min(off.wall_s, o.wall_s);
+        full.wall_s = std::min(full.wall_s, f.wall_s);
+        elide.wall_s = std::min(elide.wall_s, e.wall_s);
+      }
+    }
+    FOLVEC_CHECK(off.digest == full.digest && off.digest == elide.digest,
+                 "audit modes must not change workload outputs");
+    FOLVEC_CHECK(off.chime_us == full.chime_us &&
+                     off.chime_us == elide.chime_us,
+                 "auditing is host bookkeeping: the modeled chime stream "
+                 "must be identical across audit modes");
+    FOLVEC_CHECK(elide.scatter_ops > 0, "analysis saw no scatter-class ops");
+    const double safe_frac = static_cast<double>(elide.scatter_safe) /
+                             static_cast<double>(elide.scatter_ops);
+    const std::uint64_t audited = elide.elided + elide.checked;
+    const double elided_frac =
+        audited > 0 ? static_cast<double>(elide.elided) /
+                          static_cast<double>(audited)
+                    : 0;
+    FOLVEC_CHECK(safe_frac >= 0.8,
+                 "the distinct-key FOL1 workload must prove >= 80% of its "
+                 "scatter-class ops safe");
+    const auto row = [&](const char* name, const AuditSample& s, bool stats) {
+      audit_table.add_row(
+          {name, Cell(static_cast<long long>(n)), Cell(s.chime_us, 0),
+           Cell(s.wall_s * 1e3, 2),
+           Cell(off.wall_s > 0 ? s.wall_s / off.wall_s : 0, 2),
+           stats ? Cell(safe_frac, 3) : Cell(""),
+           stats ? Cell(elided_frac, 3) : Cell("")});
+    };
+    row("off", off, false);
+    row("full", full, false);
+    row("elide", elide, true);
+    if (lg == 20) {
+      full_wall_n20 = full.wall_s;
+      elide_wall_n20 = elide.wall_s;
+      report.note("fol1_distinct_audit_full_wall_ms_n20", full.wall_s * 1e3);
+      report.note("fol1_distinct_audit_elide_wall_ms_n20",
+                  elide.wall_s * 1e3);
+      report.note("fol1_distinct_scatter_proven_safe_n20", safe_frac);
+      report.note("fol1_distinct_elided_fraction_n20", elided_frac);
+    }
+  }
+  // The elision acceptance bound: proving the ops safe must actually buy
+  // back the auditor's per-lane wall cost on the workload it targets.
+  FOLVEC_CHECK(elide_wall_n20 < full_wall_n20,
+               "analysis-elided auditing must beat the full per-lane "
+               "ScatterCheck wall time at N=2^20");
+
   table.print(std::cout,
               "Backend comparison: fused vs unfused chimes, serial vs "
               "parallel wall clock (" +
                   std::to_string(threads) + " workers requested)");
+  audit_table.print(std::cout,
+                    "Audit modes on the proven-safe fol1_distinct workload: "
+                    "off vs full ScatterCheck vs analysis-elided");
+  report.add_table("Audit modes on the proven-safe fol1_distinct workload: "
+                       "off vs full ScatterCheck vs analysis-elided",
+                   audit_table);
   report.add_table("Backend comparison: fused vs unfused chimes, serial vs "
                        "parallel wall clock (" +
                        std::to_string(threads) + " workers requested)",

@@ -1,0 +1,252 @@
+#include "analysis/facts.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace folvec::analysis {
+
+namespace {
+
+constexpr Word kWordMin = std::numeric_limits<Word>::min();
+constexpr Word kWordMax = std::numeric_limits<Word>::max();
+
+using Wide = __int128;
+
+bool fits(Wide v) {
+  return v >= static_cast<Wide>(kWordMin) && v <= static_cast<Wide>(kWordMax);
+}
+
+/// Shifts an interval by a wide-computed pair of endpoints; drops the whole
+/// fact set to unknown when either endpoint leaves the machine word (the
+/// concrete op would wrap, and wrapped lanes satisfy none of our claims).
+LaneFacts ranged(const LaneFacts& base, Wide lo, Wide hi) {
+  if (!fits(lo) || !fits(hi)) return LaneFacts::unknown(base.lanes);
+  LaneFacts f = base;
+  f.has_range = true;
+  f.lo = static_cast<Word>(lo);
+  f.hi = static_cast<Word>(hi);
+  return f;
+}
+
+}  // namespace
+
+LaneFacts facts_iota(std::size_t n, Word start, Word step) {
+  LaneFacts f;
+  f.lanes = n;
+  if (n == 0) {
+    // Vacuous: an empty vector satisfies every claim, but carries no range.
+    f.distinct = true;
+    f.sorted = true;
+    return f;
+  }
+  const Wide last =
+      static_cast<Wide>(start) + static_cast<Wide>(step) * (static_cast<Wide>(n) - 1);
+  if (!fits(last)) return LaneFacts::unknown(n);
+  const Word last_w = static_cast<Word>(last);
+  f.has_range = true;
+  f.lo = std::min(start, last_w);
+  f.hi = std::max(start, last_w);
+  f.tight = true;
+  f.distinct = step != 0 || n == 1;
+  f.sorted = step >= 0 || n == 1;
+  return f;
+}
+
+LaneFacts facts_splat(std::size_t n, Word value) {
+  LaneFacts f;
+  f.lanes = n;
+  f.has_range = true;
+  f.lo = value;
+  f.hi = value;
+  f.tight = n > 0;
+  f.distinct = n <= 1;
+  f.sorted = true;
+  return f;
+}
+
+LaneFacts facts_copy(const LaneFacts& v) { return v; }
+
+LaneFacts facts_reverse(const LaneFacts& v) {
+  LaneFacts f = v;
+  // Non-decreasing reversed is non-increasing, which we do not track.
+  f.sorted = v.lanes <= 1 || v.constant();
+  return f;
+}
+
+LaneFacts facts_add_scalar(const LaneFacts& v, Word s) {
+  if (!v.has_range) return LaneFacts::unknown(v.lanes);
+  LaneFacts f = ranged(v, static_cast<Wide>(v.lo) + s, static_cast<Wide>(v.hi) + s);
+  // distinct/sorted/tight survive a (non-wrapping) shift untouched.
+  return f;
+}
+
+LaneFacts facts_mul_scalar(const LaneFacts& v, Word s) {
+  if (s == 0) return facts_splat(v.lanes, 0);
+  if (!v.has_range) return LaneFacts::unknown(v.lanes);
+  const Wide a = static_cast<Wide>(v.lo) * s;
+  const Wide b = static_cast<Wide>(v.hi) * s;
+  LaneFacts f = ranged(v, std::min(a, b), std::max(a, b));
+  if (!f.has_range) return f;
+  // Scaling by a nonzero factor is injective; order flips for negative s.
+  if (s < 0) f.sorted = v.lanes <= 1;
+  return f;
+}
+
+LaneFacts facts_div_scalar(const LaneFacts& v, Word s) {
+  if (s <= 0 || !v.has_range) return LaneFacts::unknown(v.lanes);
+  const auto floordiv = [s](Word x) {
+    Word q = x / s;
+    if ((x % s) != 0 && x < 0) --q;
+    return q;
+  };
+  LaneFacts f = v;
+  f.lo = floordiv(v.lo);
+  f.hi = floordiv(v.hi);
+  // Floor division is monotone: endpoints map to endpoints (tight survives)
+  // and sortedness survives; collisions kill distinctness.
+  f.distinct = v.lanes <= 1;
+  return f;
+}
+
+LaneFacts facts_mod_scalar(const LaneFacts& v, Word s) {
+  if (s <= 0) return LaneFacts::unknown(v.lanes);
+  if (v.has_range && v.lo >= 0 && v.hi < s) {
+    // The reduction is the identity on this interval: full facts survive.
+    return v;
+  }
+  LaneFacts f = LaneFacts::unknown(v.lanes);
+  f.has_range = true;
+  f.lo = 0;
+  f.hi = s - 1;
+  return f;
+}
+
+LaneFacts facts_and_scalar(const LaneFacts& v, Word s) {
+  if (s < 0) {
+    // Sign bit survives the mask: no useful bound.
+    return LaneFacts::unknown(v.lanes);
+  }
+  LaneFacts f = LaneFacts::unknown(v.lanes);
+  f.has_range = true;
+  f.lo = 0;
+  f.hi = s;  // x & s has only bits of s set, hence lies in [0, s]
+  return f;
+}
+
+LaneFacts facts_or_scalar(const LaneFacts& v, Word s) {
+  if (s < 0 || !v.has_range || v.lo < 0) return LaneFacts::unknown(v.lanes);
+  // For non-negative x and s: max(x, s) <= x|s <= x + s.
+  const Wide hi = static_cast<Wide>(v.hi) + s;
+  LaneFacts f = LaneFacts::unknown(v.lanes);
+  if (!fits(hi)) return f;
+  f.has_range = true;
+  f.lo = std::max(v.lo, s);
+  f.hi = static_cast<Word>(hi);
+  return f;
+}
+
+LaneFacts facts_shl_scalar(const LaneFacts& v, Word k) {
+  if (k < 0 || k >= 64 || !v.has_range || v.lo < 0) {
+    return LaneFacts::unknown(v.lanes);
+  }
+  const Wide scale = static_cast<Wide>(1) << k;
+  LaneFacts f = ranged(v, static_cast<Wide>(v.lo) * scale,
+                       static_cast<Wide>(v.hi) * scale);
+  return f;  // injective and monotone when it does not wrap
+}
+
+LaneFacts facts_shr_scalar(const LaneFacts& v, Word k) {
+  if (k < 0 || k >= 64 || !v.has_range) return LaneFacts::unknown(v.lanes);
+  LaneFacts f = v;
+  f.lo = v.lo >> k;
+  f.hi = v.hi >> k;
+  f.distinct = v.lanes <= 1;  // monotone but not injective
+  return f;
+}
+
+LaneFacts facts_negate(const LaneFacts& v) {
+  if (!v.has_range || v.lo == kWordMin) return LaneFacts::unknown(v.lanes);
+  LaneFacts f = v;
+  f.lo = -v.hi;
+  f.hi = -v.lo;
+  f.sorted = v.lanes <= 1 || v.constant();
+  return f;
+}
+
+LaneFacts facts_add(const LaneFacts& a, const LaneFacts& b) {
+  if (!a.has_range || !b.has_range) return LaneFacts::unknown(a.lanes);
+  LaneFacts f = ranged(LaneFacts::unknown(a.lanes),
+                       static_cast<Wide>(a.lo) + b.lo,
+                       static_cast<Wide>(a.hi) + b.hi);
+  if (!f.has_range) return f;
+  // Adding a provably-constant vector is a shift; otherwise injectivity is
+  // lost. Sums of non-decreasing vectors stay non-decreasing.
+  f.distinct = (a.distinct && b.constant()) || (b.distinct && a.constant());
+  f.tight = (a.tight && b.constant()) || (b.tight && a.constant());
+  f.sorted = a.sorted && b.sorted;
+  return f;
+}
+
+LaneFacts facts_sub(const LaneFacts& a, const LaneFacts& b) {
+  if (!a.has_range || !b.has_range) return LaneFacts::unknown(a.lanes);
+  LaneFacts f = ranged(LaneFacts::unknown(a.lanes),
+                       static_cast<Wide>(a.lo) - b.hi,
+                       static_cast<Wide>(a.hi) - b.lo);
+  if (!f.has_range) return f;
+  f.distinct = (a.distinct && b.constant()) || (b.distinct && a.constant());
+  f.tight = (a.tight && b.constant()) || (b.tight && a.constant());
+  f.sorted = a.sorted && b.constant();
+  return f;
+}
+
+LaneFacts facts_mul(const LaneFacts& a, const LaneFacts& b) {
+  if (!a.has_range || !b.has_range) return LaneFacts::unknown(a.lanes);
+  const Wide p1 = static_cast<Wide>(a.lo) * b.lo;
+  const Wide p2 = static_cast<Wide>(a.lo) * b.hi;
+  const Wide p3 = static_cast<Wide>(a.hi) * b.lo;
+  const Wide p4 = static_cast<Wide>(a.hi) * b.hi;
+  return ranged(LaneFacts::unknown(a.lanes), std::min({p1, p2, p3, p4}),
+                std::max({p1, p2, p3, p4}));
+}
+
+LaneFacts facts_subset(const LaneFacts& v, std::size_t out_lanes) {
+  LaneFacts f = v;
+  f.lanes = out_lanes;
+  f.tight = false;  // the endpoint lanes may have been dropped
+  if (out_lanes == 0) {
+    f.has_range = false;
+    f.distinct = true;
+    f.sorted = true;
+  }
+  return f;
+}
+
+LaneFacts facts_select(const LaneFacts& a, const LaneFacts& b, std::size_t n) {
+  LaneFacts f = LaneFacts::unknown(n);
+  if (a.has_range && b.has_range) {
+    f.has_range = true;
+    f.lo = std::min(a.lo, b.lo);
+    f.hi = std::max(a.hi, b.hi);
+  }
+  return f;
+}
+
+LaneFacts facts_from_mask(std::size_t n) {
+  LaneFacts f = LaneFacts::unknown(n);
+  f.has_range = true;
+  f.lo = 0;
+  f.hi = 1;
+  return f;
+}
+
+LaneFacts facts_observed(std::size_t n, Word lo, Word hi) {
+  LaneFacts f = LaneFacts::unknown(n);
+  if (n == 0) return f;
+  f.has_range = true;
+  f.lo = lo;
+  f.hi = hi;
+  f.tight = true;
+  return f;
+}
+
+}  // namespace folvec::analysis

@@ -1,0 +1,132 @@
+// Abstract lane domains for the static hazard verifier.
+//
+// LaneFacts is what the analyzer knows about every lane of one vector value
+// without looking at the lanes: a value interval [lo, hi] (optionally
+// "tight", meaning both endpoints are attained by some lane), pairwise
+// distinctness, and sortedness (non-decreasing lane order). distinct+sorted
+// together mean strictly increasing, which is why no separate monotonicity
+// flag is tracked: every transfer function that preserves the pair preserves
+// strict monotonicity for free.
+//
+// The transfer functions below mirror the VectorMachine primitives exactly
+// (iota/splat/copy/arith/compress/partition/select/...). Each one must be
+// SOUND: every claim in the returned facts must hold for the concrete lanes
+// the machine actually produces, for all inputs satisfying the input facts.
+// When a claim cannot be guaranteed — e.g. the interval arithmetic could
+// overflow the 64-bit machine word — the function drops to unknown() rather
+// than guess. Soundness here is what makes audit elision safe: a ProvenSafe
+// verdict derived from these facts licenses skipping ScatterCheck's per-lane
+// work (see docs/analysis.md for the full contract).
+//
+// The same functions serve the online analyzer (facts attached to live
+// machine values) and the offline replay verifier (facts recomputed from a
+// recorded op graph), so the two can never disagree about the domain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace folvec::analysis {
+
+/// The machine word (mirrors vm::Word; analysis/ depends on no vm header).
+using Word = std::int64_t;
+
+struct LaneFacts {
+  /// Number of lanes in the described vector. Always known.
+  std::size_t lanes = 0;
+
+  /// When true, every lane value v satisfies lo <= v <= hi.
+  bool has_range = false;
+  Word lo = 0;
+  Word hi = 0;
+  /// When true (requires has_range), some lane attains lo and some lane
+  /// attains hi. Needed to *prove* a hazard: an untight interval crossing a
+  /// table edge only says a violation is possible, a tight one exhibits an
+  /// offending lane.
+  bool tight = false;
+
+  /// When true, lane values are pairwise distinct.
+  bool distinct = false;
+  /// When true, lane values are non-decreasing in lane order.
+  bool sorted = false;
+
+  /// Nothing known beyond the lane count.
+  static LaneFacts unknown(std::size_t n) {
+    LaneFacts f;
+    f.lanes = n;
+    return f;
+  }
+
+  /// Interval width as hi - lo + 1, saturating at 2^64-1 (width of the full
+  /// Word range). Only meaningful with has_range.
+  std::uint64_t width() const {
+    const std::uint64_t d =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    return d == ~std::uint64_t{0} ? d : d + 1;
+  }
+
+  /// All lane values provably equal (a splat, whatever its producer).
+  bool constant() const { return has_range && lo == hi; }
+
+  /// Pigeonhole: more lanes than interval values forces a duplicate pair.
+  bool proven_duplicates() const {
+    return lanes > 1 && has_range && static_cast<std::uint64_t>(lanes) > width();
+  }
+
+  /// Every value in [lo, hi] provably attained: distinct lanes exactly
+  /// filling the interval (a permutation of it, in some order).
+  bool covers_range() const {
+    return has_range && distinct && lanes > 0 &&
+           static_cast<std::uint64_t>(lanes) == width();
+  }
+
+  friend bool operator==(const LaneFacts& a, const LaneFacts& b) {
+    return a.lanes == b.lanes && a.has_range == b.has_range && a.lo == b.lo &&
+           a.hi == b.hi && a.tight == b.tight && a.distinct == b.distinct &&
+           a.sorted == b.sorted;
+  }
+};
+
+// ---- transfer functions (one per VectorMachine primitive family) -----------
+
+LaneFacts facts_iota(std::size_t n, Word start, Word step);
+LaneFacts facts_splat(std::size_t n, Word value);
+LaneFacts facts_copy(const LaneFacts& v);
+LaneFacts facts_reverse(const LaneFacts& v);
+
+LaneFacts facts_add_scalar(const LaneFacts& v, Word s);
+LaneFacts facts_mul_scalar(const LaneFacts& v, Word s);
+/// Floor division by a positive scalar.
+LaneFacts facts_div_scalar(const LaneFacts& v, Word s);
+/// Euclidean remainder by a positive scalar (result in [0, s)).
+LaneFacts facts_mod_scalar(const LaneFacts& v, Word s);
+LaneFacts facts_and_scalar(const LaneFacts& v, Word s);
+LaneFacts facts_or_scalar(const LaneFacts& v, Word s);
+/// Logical left shift (elements non-negative, k in [0, 63]).
+LaneFacts facts_shl_scalar(const LaneFacts& v, Word k);
+/// Arithmetic right shift (k in [0, 63]).
+LaneFacts facts_shr_scalar(const LaneFacts& v, Word k);
+LaneFacts facts_negate(const LaneFacts& v);
+
+LaneFacts facts_add(const LaneFacts& a, const LaneFacts& b);
+LaneFacts facts_sub(const LaneFacts& a, const LaneFacts& b);
+LaneFacts facts_mul(const LaneFacts& a, const LaneFacts& b);
+
+/// Order-preserving subset (compress / either partition half): interval and
+/// the distinct/sorted pair survive, tightness does not (the endpoint lanes
+/// may be dropped).
+LaneFacts facts_subset(const LaneFacts& v, std::size_t out_lanes);
+
+/// Elementwise select: hull of the two operand intervals, no lane-order or
+/// distinctness claims survive.
+LaneFacts facts_select(const LaneFacts& a, const LaneFacts& b, std::size_t n);
+
+/// Mask converted to 0/1 words.
+LaneFacts facts_from_mask(std::size_t n);
+
+/// A measured range: the analyzer scanned the concrete lanes and saw min
+/// `lo`, max `hi` (so the interval is tight). Distinctness is NOT claimed —
+/// the scan does not dedup.
+LaneFacts facts_observed(std::size_t n, Word lo, Word hi);
+
+}  // namespace folvec::analysis

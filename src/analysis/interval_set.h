@@ -1,0 +1,95 @@
+// A set of half-open address intervals with merge-on-insert semantics.
+//
+// ScatterCheck tracks clobbered label addresses exactly (one hash-set entry
+// per written address). Audit elision skips the per-lane pass that would
+// enumerate those addresses, but the *range* the elided scatter may have
+// written is statically known — that is what licensed the elision. The
+// checker therefore books elided label-round writes here, at interval
+// granularity, so clobbered-work detection survives elision (conservatively:
+// the interval covers every address the scatter could have touched).
+//
+// Keyed on const T* into the audited tables; intervals are [begin, end).
+// Insertion merges overlapping/adjacent intervals; erasure splits. All
+// operations are O(log n) plus the number of intervals touched, and n stays
+// tiny in practice (one interval per elided round, erased on overwrite or
+// retire).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+namespace folvec::analysis {
+
+template <typename T>
+class IntervalSet {
+ public:
+  bool empty() const { return ivals_.empty(); }
+  std::size_t size() const { return ivals_.size(); }
+  void clear() { ivals_.clear(); }
+
+  /// Visits each interval as f(begin, end), in address order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [b, e] : ivals_) f(b, e);
+  }
+
+  /// Inserts [b, e), merging with any overlapping or adjacent intervals.
+  void add(const T* b, const T* e) {
+    if (b >= e) return;
+    // Absorb every interval that overlaps or touches [b, e).
+    auto it = ivals_.upper_bound(b);
+    if (it != ivals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= b) it = prev;
+    }
+    while (it != ivals_.end() && it->first <= e) {
+      if (it->first < b) b = it->first;
+      if (it->second > e) e = it->second;
+      it = ivals_.erase(it);
+    }
+    ivals_.emplace(b, e);
+  }
+
+  /// Removes [b, e) from the set, splitting intervals that straddle it.
+  void erase(const T* b, const T* e) {
+    if (b >= e || ivals_.empty()) return;
+    auto it = ivals_.upper_bound(b);
+    if (it != ivals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > b) it = prev;
+    }
+    while (it != ivals_.end() && it->first < e) {
+      const T* ib = it->first;
+      const T* ie = it->second;
+      it = ivals_.erase(it);
+      if (ib < b) ivals_.emplace(ib, b);
+      if (ie > e) {
+        ivals_.emplace(e, ie);
+        break;
+      }
+    }
+  }
+
+  bool contains(const T* p) const {
+    if (ivals_.empty()) return false;
+    auto it = ivals_.upper_bound(p);
+    if (it == ivals_.begin()) return false;
+    --it;
+    return p < it->second;
+  }
+
+  /// True when [b, e) intersects any interval.
+  bool overlaps(const T* b, const T* e) const {
+    if (b >= e || ivals_.empty()) return false;
+    auto it = ivals_.upper_bound(b);
+    if (it != ivals_.end() && it->first < e) return true;
+    if (it == ivals_.begin()) return false;
+    --it;
+    return it->second > b;
+  }
+
+ private:
+  std::map<const T*, const T*> ivals_;  // begin -> end, disjoint, sorted
+};
+
+}  // namespace folvec::analysis

@@ -28,6 +28,11 @@ Decomposition fol1_decompose(VectorMachine& m,
   telemetry::count("fol1.calls");
   telemetry::count("fol1.lanes", index_vector.size());
 
+  // One host-side scan gives the analyzer a tight interval fact for the
+  // index vector; the partition in step 3 preserves it, so every round's
+  // scatter bounds stay proven and the per-lane audit pass can be elided.
+  m.observe_range(index_vector);
+
   // The label rounds below deliberately scatter colliding labels; declare
   // the sanctioned conflict window so ScatterCheck can verify the readbacks
   // against the ELS contract instead of flagging the duplicates.

@@ -56,6 +56,10 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
   telemetry::count("fol_star.calls");
   telemetry::count("fol_star.tuples", n0);
 
+  // Tight interval facts for every index vector: each lane's scatters and
+  // readbacks inherit the proven bounds through copy_into / partition_into.
+  for (const auto& v : index_vectors) m.observe_range(v);
+
   // The whole tuple-labelling loop is one sanctioned conflict window: every
   // round deliberately scatters colliding labels into `work`.
   const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,

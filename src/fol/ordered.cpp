@@ -26,6 +26,10 @@ Decomposition fol1_decompose_ordered(VectorMachine& m,
   telemetry::count("fol1_ordered.calls");
   telemetry::count("fol1_ordered.lanes", index_vector.size());
 
+  // Tight interval fact for the analyzer; reverse_into and partition_into
+  // both preserve it, so every round's scatter bounds stay proven.
+  m.observe_range(index_vector);
+
   // Ordered scatters define their survivor, but the labels left in `work`
   // are still transient: the window marks them for use-after-round checks.
   const vm::ConflictWindow window(m, work, vm::WindowKind::kLabelRound,

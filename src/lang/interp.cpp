@@ -109,6 +109,9 @@ Interpreter::Flow Interpreter::exec_block(const std::vector<StmtPtr>& body) {
 }
 
 Interpreter::Flow Interpreter::exec(const Stmt& stmt) {
+  // Stamp the machine's analyzer with the statement's source line so every
+  // diagnostic the static verifier emits points at program text.
+  m_.set_source_line(stmt.line);
   switch (stmt.kind) {
     case Stmt::Kind::kAssign:
       exec_assign(stmt);
@@ -216,12 +219,21 @@ void Interpreter::exec_assign(const Stmt& stmt) {
         m_.scalar_mem(1);
         return;
       }
-      // List-vector store (scatter), masked under a where-block.
+      // List-vector store (scatter), masked under a where-block. Rebase the
+      // subscripts only when the array is not 0-based: the no-copy path
+      // keeps the analyzer's facts (keyed by storage) attached to them.
       const ArrayValue& indices = std::get<ArrayValue>(idx);
-      WordVec adjusted = indices.data;
+      WordVec rebased;
       if (target.lo != 0) {
-        adjusted = m_.add_scalar(adjusted, -target.lo);
+        rebased = m_.add_scalar(indices.data, -target.lo);
       }
+      const WordVec& adjusted = target.lo != 0 ? rebased : indices.data;
+      // Expression evaluation copies arrays out of the environment, which
+      // detaches any lane facts keyed on the original storage. One host-side
+      // scan re-establishes tight bounds (and distinctness when the
+      // subscripts are strictly increasing) so the verifier can judge the
+      // scatter instead of reporting Unknown.
+      m_.observe_range(adjusted);
       WordVec values;
       if (const Word* scalar_value = std::get_if<Word>(&rhs)) {
         values = m_.splat(adjusted.size(), *scalar_value);
@@ -289,6 +301,7 @@ void Interpreter::exec_assign(const Stmt& stmt) {
 // ---- expressions -----------------------------------------------------------------
 
 Value Interpreter::eval(const Expr& expr) {
+  m_.set_source_line(expr.line);
   switch (expr.kind) {
     case Expr::Kind::kNumber:
       return expr.number;
@@ -310,10 +323,14 @@ Value Interpreter::eval(const Expr& expr) {
         m_.scalar_mem(1);
         return base.data[static_cast<std::size_t>(pos)];
       }
-      // List-vector load (gather).
+      // List-vector load (gather). Same fact-recovery scan as the scatter
+      // path in exec_assign: evaluation copied the subscripts out of the
+      // environment, so their lane facts must be re-measured.
       const ArrayValue& indices = std::get<ArrayValue>(idx);
-      WordVec adjusted = indices.data;
-      if (base.lo != 0) adjusted = m_.add_scalar(adjusted, -base.lo);
+      WordVec rebased;
+      if (base.lo != 0) rebased = m_.add_scalar(indices.data, -base.lo);
+      const WordVec& adjusted = base.lo != 0 ? rebased : indices.data;
+      m_.observe_range(adjusted);
       return ArrayValue{1, m_.gather(base.data, adjusted)};
     }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "support/faultsim.h"
 #include "support/status.h"
 #include "telemetry/metrics.h"
@@ -44,6 +45,9 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
     fresh.resize(n);
     stats_.outstanding_words += fresh.capacity();
     telemetry::count("fault.recovered.pool_alloc");
+    if (analyzer_ != nullptr) {
+      analyzer_->on_buffer_acquire(fresh.data(), fresh.capacity());
+    }
     return fresh;
   }
   // Bucket b holds capacities in [2^b, 2^(b+1)). The search starts in the
@@ -64,6 +68,9 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
       ++stats_.hits;
       v.resize(n);
       stats_.outstanding_words += v.capacity();
+      if (analyzer_ != nullptr) {
+        analyzer_->on_buffer_acquire(v.data(), v.capacity());
+      }
       return v;
     }
   }
@@ -71,6 +78,9 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
   WordVec v;
   v.resize(n);
   stats_.outstanding_words += v.capacity();
+  if (analyzer_ != nullptr) {
+    analyzer_->on_buffer_acquire(v.data(), v.capacity());
+  }
   return v;
 }
 
@@ -88,9 +98,17 @@ void BufferPool::release(WordVec&& v) {
   std::vector<WordVec>& bucket = buckets_[b];
   if (bucket.size() >= kMaxPerBucket) {
     ++stats_.discards;
+    if (analyzer_ != nullptr) {
+      // Freed to the heap: the range may be recycled into unrelated storage,
+      // so the analyzer only invalidates it (no use-after-release poison).
+      analyzer_->on_buffer_freed(dead.data(), dead.capacity());
+    }
     return;
   }
   ++stats_.releases;
+  if (analyzer_ != nullptr) {
+    analyzer_->on_buffer_release(dead.data(), dead.capacity());
+  }
   stats_.held_words += dead.capacity();
   if (stats_.held_words > stats_.peak_held_words) {
     stats_.peak_held_words = stats_.held_words;
@@ -100,7 +118,14 @@ void BufferPool::release(WordVec&& v) {
 }
 
 void BufferPool::trim() {
-  for (auto& bucket : buckets_) bucket.clear();
+  for (auto& bucket : buckets_) {
+    if (analyzer_ != nullptr) {
+      for (const WordVec& v : bucket) {
+        analyzer_->on_buffer_freed(v.data(), v.capacity());
+      }
+    }
+    bucket.clear();
+  }
   stats_.held_words = 0;
 }
 

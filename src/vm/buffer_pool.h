@@ -26,6 +26,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace folvec::analysis {
+class Analyzer;
+}  // namespace folvec::analysis
+
 namespace folvec::vm {
 
 class BufferPool {
@@ -80,6 +84,12 @@ class BufferPool {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attach the machine's static hazard analyzer (nullptr detaches). The
+  /// pool reports every storage transition — acquire (live), release
+  /// (parked: reads are use-after-release), free (gone) — which is exactly
+  /// the lifetime state machine behind the kLifetime hazard class.
+  void set_analyzer(analysis::Analyzer* a) { analyzer_ = a; }
+
  private:
   static constexpr std::size_t kBuckets = 64;
 
@@ -88,6 +98,7 @@ class BufferPool {
   std::array<std::vector<WordVec>, kBuckets> buckets_{};
   Stats stats_;
   std::uint64_t limit_words_ = 0;
+  analysis::Analyzer* analyzer_ = nullptr;
 };
 
 /// RAII pooled vector: acquires on construction, releases on destruction.

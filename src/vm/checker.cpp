@@ -55,6 +55,10 @@ void ScatterChecker::pop_window() {
     // them back outside a window is a hazard until they are overwritten or
     // the work array is retired.
     for (const auto& [addr, rec] : w.writes) clobbered_.insert(addr);
+    // Elided scatters never enumerated their addresses; their (exact)
+    // footprints carry the same staleness at interval granularity.
+    w.elided_ranges.for_each(
+        [this](const Word* b, const Word* e) { clobbered_ranges_.add(b, e); });
   }
   windows_.pop_back();
 }
@@ -174,12 +178,14 @@ void ScatterChecker::on_gather(std::span<const Word> table,
       h.message = os.str();
       add(std::move(h));
     }
-  } else if (!clobbered_.empty()) {
+  } else if (!clobbered_.empty() || !clobbered_ranges_.empty()) {
     Hazard h;
     for (std::size_t lane = 0; lane < idx.size(); ++lane) {
       if (mask != nullptr && (*mask)[lane] == 0) continue;
       const Word* addr = table.data() + static_cast<std::size_t>(idx[lane]);
-      if (clobbered_.count(addr) == 0) continue;
+      if (clobbered_.count(addr) == 0 && !clobbered_ranges_.contains(addr)) {
+        continue;
+      }
       h.lanes.push_back(lane);
       h.expected.push_back(idx[lane]);
       if (h.lanes.size() == 1) h.found = *addr;
@@ -243,6 +249,7 @@ void ScatterChecker::on_scatter(std::span<const Word> table,
         }
       }
       clobbered_.erase(addr);
+      clobbered_ranges_.erase(addr, addr + 1);
     }
     return;
   }
@@ -267,7 +274,51 @@ void ScatterChecker::on_scatter(std::span<const Word> table,
   }
   if (report_.size() > first_new && throw_) throw_audit(first_new);
   for (const auto& [target, g] : groups) {
-    clobbered_.erase(table.data() + static_cast<std::size_t>(target));
+    const Word* addr = table.data() + static_cast<std::size_t>(target);
+    clobbered_.erase(addr);
+    clobbered_ranges_.erase(addr, addr + 1);
+  }
+}
+
+void ScatterChecker::on_scatter_elided(std::span<const Word> table, Word lo,
+                                       Word hi, bool exact) {
+  ++instr_seq_;
+  if (lo > hi) return;
+  const Word* b = table.data() + static_cast<std::size_t>(lo);
+  const Word* e = table.data() + static_cast<std::size_t>(hi) + 1;
+  // The elided scatter replaced whatever candidate values earlier writes
+  // left anywhere in its footprint. Stale records must not survive: a later
+  // fully-audited gather would compare memory against candidates this write
+  // superseded and report a false ELS violation. (Dropping them on a
+  // non-exact footprint merely widens what the elided round stops checking —
+  // the documented trade of elision — it never invents hazards.)
+  for (Window& w : windows_) {
+    if (w.writes.empty()) continue;
+    for (auto it = w.writes.begin(); it != w.writes.end();) {
+      if (b <= it->first && it->first < e) {
+        it = w.writes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!exact) return;
+  // Provable full coverage: every address in [lo, hi] now holds this
+  // scatter's data, so older clobber marks are lifted...
+  for (auto it = clobbered_.begin(); it != clobbered_.end();) {
+    if (b <= *it && *it < e) {
+      it = clobbered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  clobbered_ranges_.erase(b, e);
+  // ...and if this is a label round, the whole footprint becomes stale when
+  // the window closes. (Non-exact label-round footprints are *not* booked:
+  // marking addresses the scatter may have skipped would invent hazards.)
+  Window* w = covering_window(table);
+  if (w != nullptr && w->kind == WindowKind::kLabelRound) {
+    w->elided_ranges.add(b, e);
   }
 }
 
@@ -282,6 +333,7 @@ void ScatterChecker::on_scalar_store(std::span<const Word> table,
     rec.writers.assign(1, {kScalarLane, value});
   }
   clobbered_.erase(addr);
+  clobbered_ranges_.erase(addr, addr + 1);
 }
 
 void ScatterChecker::on_overwrite(const Word* base, std::size_t n,
@@ -289,18 +341,24 @@ void ScatterChecker::on_overwrite(const Word* base, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     const Word* addr = base + i * stride;
     if (!clobbered_.empty()) clobbered_.erase(addr);
-    for (Window& w : windows_) w.writes.erase(addr);
+    clobbered_ranges_.erase(addr, addr + 1);
+    for (Window& w : windows_) {
+      w.writes.erase(addr);
+      w.elided_ranges.erase(addr, addr + 1);
+    }
   }
 }
 
 void ScatterChecker::on_contiguous_read(std::span<const Word> table,
                                         std::size_t offset, std::size_t n) {
-  if (clobbered_.empty()) return;
+  if (clobbered_.empty() && clobbered_ranges_.empty()) return;
   if (covering_window(table) != nullptr) return;
   Hazard h;
   for (std::size_t i = 0; i < n; ++i) {
     const Word* addr = table.data() + offset + i;
-    if (clobbered_.count(addr) == 0) continue;
+    if (clobbered_.count(addr) == 0 && !clobbered_ranges_.contains(addr)) {
+      continue;
+    }
     h.lanes.push_back(i);
     h.expected.push_back(static_cast<Word>(offset + i));
     if (h.lanes.size() == 1) h.found = *addr;
@@ -364,7 +422,7 @@ void ScatterChecker::audit_theorem_violation(const std::string& where,
 }
 
 void ScatterChecker::retire_work(std::span<const Word> region) {
-  if (clobbered_.empty()) return;
+  if (clobbered_.empty() && clobbered_ranges_.empty()) return;
   const Word* b = region.data();
   const Word* e = region.data() + region.size();
   for (auto it = clobbered_.begin(); it != clobbered_.end();) {
@@ -374,6 +432,7 @@ void ScatterChecker::retire_work(std::span<const Word> region) {
       ++it;
     }
   }
+  clobbered_ranges_.erase(b, e);
 }
 
 }  // namespace folvec::vm

@@ -52,6 +52,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/interval_set.h"
 #include "vm/hazard.h"
 #include "vm/machine.h"
 
@@ -97,6 +99,17 @@ class ScatterChecker {
   void on_scatter(std::span<const Word> table, std::span<const Word> idx,
                   std::span<const Word> vals, const Mask* mask, bool ordered);
 
+  /// Instead of on_scatter when the analyzer proved the op safe and the
+  /// machine elided the per-lane audit pass. `lo`/`hi` bound (inclusively)
+  /// the addresses the scatter may have written; `exact` means it provably
+  /// overwrote *every* address in [lo, hi]. Keeps the candidate-set and
+  /// clobber state consistent without enumerating lanes: stale per-address
+  /// candidate sets in the range are dropped (the elided write replaced
+  /// them), exact coverage clears clobber marks, and exact label-round
+  /// writes are re-booked as a clobbered range when the window closes.
+  void on_scatter_elided(std::span<const Word> table, Word lo, Word hi,
+                         bool exact);
+
   /// Before a scalar_store: a deterministic single-address write (FOL*'s
   /// scalar rescue). Replaces the address's candidate set inside a window.
   void on_scalar_store(std::span<const Word> table, std::size_t pos,
@@ -141,6 +154,10 @@ class ScatterChecker {
     WindowKind kind = WindowKind::kLabelRound;
     const char* label = "";
     std::unordered_map<const Word*, WriteRecord> writes;
+    /// Exact-coverage elided scatter footprints; booked into
+    /// clobbered_ranges_ when a label round closes. Trimmed by overwrites,
+    /// exactly like `writes`.
+    analysis::IntervalSet<Word> elided_ranges;
   };
 
   /// Innermost window whose span contains the whole table, or nullptr.
@@ -162,6 +179,9 @@ class ScatterChecker {
   HazardReport report_;
   std::vector<Window> windows_;
   std::unordered_set<const Word*> clobbered_;
+  /// Interval-granular clobber marks from elided label-round scatters (the
+  /// per-address set above tracks fully-audited rounds). Reads consult both.
+  analysis::IntervalSet<Word> clobbered_ranges_;
   std::uint64_t instr_seq_ = 0;
 };
 
@@ -172,10 +192,19 @@ class ConflictWindow {
  public:
   ConflictWindow(VectorMachine& m, std::span<const Word> table,
                  WindowKind kind, const char* label)
-      : checker_(m.audit_enabled() ? m.checker() : nullptr) {
+      : checker_(m.audit_enabled() ? m.checker() : nullptr),
+        analyzer_(m.analyzer()) {
     if (checker_ != nullptr) checker_->push_window(table, kind, label);
+    if (analyzer_ != nullptr) {
+      analyzer_->on_window_open(table,
+                                kind == WindowKind::kLabelRound
+                                    ? analysis::WindowCtx::kLabelRound
+                                    : analysis::WindowCtx::kDataRace,
+                                label);
+    }
   }
   ~ConflictWindow() {
+    if (analyzer_ != nullptr) analyzer_->on_window_close();
     if (checker_ != nullptr) checker_->pop_window();
   }
 
@@ -184,6 +213,7 @@ class ConflictWindow {
 
  private:
   ScatterChecker* checker_;
+  analysis::Analyzer* analyzer_;
 };
 
 }  // namespace folvec::vm

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "support/env.h"
 #include "support/faultsim.h"
 #include "vm/backend.h"
@@ -59,6 +60,16 @@ bool MachineConfig::adaptive_default() {
   return true;
 }
 
+bool MachineConfig::analysis_default() {
+  if (const auto env = env_value("FOLVEC_ANALYSIS")) return env_flag(*env);
+  return false;
+}
+
+bool MachineConfig::audit_elide_default() {
+  if (const auto env = env_value("FOLVEC_AUDIT_ELIDE")) return env_flag(*env);
+  return true;
+}
+
 BackendKind MachineConfig::backend_default() {
   if (const auto env = env_value("FOLVEC_BACKEND")) {
     const std::string v = env_normalize(*env);
@@ -79,6 +90,10 @@ VectorMachine::VectorMachine(const MachineConfig& config)
       pool_(std::make_unique<BufferPool>()) {
   if (config_.audit) {
     checker_ = std::make_unique<ScatterChecker>(config_.audit_throw);
+  }
+  if (config_.analysis) {
+    analyzer_ = std::make_unique<analysis::Analyzer>();
+    pool_->set_analyzer(analyzer_.get());
   }
   // Audit pins execution to the serial reference path: ScatterCheck's
   // per-lane bookkeeping is single-threaded, and an audited instruction
@@ -123,6 +138,26 @@ void VectorMachine::flush_telemetry() const {
       }
     }
   }
+  if (analyzer_ != nullptr) {
+    const analysis::Analyzer::Stats& as = analyzer_->stats();
+    if (as.mem_ops != 0) {
+      r->add("analysis.ops", as.mem_ops);
+      r->add("analysis.ops.proven_safe", as.mem_safe);
+      r->add("analysis.ops.unknown", as.mem_unknown);
+      r->add("analysis.ops.proven_hazard", as.mem_hazard);
+      r->add("analysis.scatter.ops", as.scatter_ops);
+      r->add("analysis.scatter.proven_safe", as.scatter_safe);
+    }
+    if (as.elided_instructions != 0) {
+      r->add("analysis.elided.instructions", as.elided_instructions);
+      r->add("analysis.elided.lanes", as.elided_lanes);
+    }
+    if (as.checked_instructions != 0) {
+      r->add("analysis.checked.instructions", as.checked_instructions);
+      r->add("analysis.checked.lanes", as.checked_lanes);
+    }
+    if (as.vetoed != 0) r->add("analysis.vetoed", as.vetoed);
+  }
   // Buffer-pool behaviour is host allocator reuse, not machine semantics,
   // so it reports in the excluded-from-determinism "pool." namespace.
   const BufferPool::Stats& ps = pool_->stats();
@@ -166,6 +201,20 @@ void VectorMachine::clear_hazards() {
 
 void VectorMachine::retire_work(std::span<const Word> region) {
   if (checker_ != nullptr) checker_->retire_work(region);
+  if (analyzer_ != nullptr) analyzer_->on_retire_work(region);
+}
+
+void VectorMachine::set_source_line(std::size_t line) {
+  if (analyzer_ != nullptr) analyzer_->set_line(line);
+}
+
+void VectorMachine::observe_range(std::span<const Word> v) {
+  if (analyzer_ != nullptr) analyzer_->observe_range(v);
+}
+
+bool VectorMachine::elide_allowed() const {
+  return analyzer_ != nullptr && checker_ != nullptr && config_.audit_elide &&
+         !config_.inject_els_violation && faults() == nullptr;
 }
 
 // ---- vector generation -----------------------------------------------------
@@ -187,6 +236,9 @@ void VectorMachine::iota_into(WordVec& out, std::size_t n, Word start,
       o[i] = start + step * static_cast<Word>(i);
     }
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_gen(analysis::Opcode::kIota, out, start, step);
+  }
 }
 
 WordVec VectorMachine::splat(std::size_t n, Word value) {
@@ -197,6 +249,9 @@ WordVec VectorMachine::splat(std::size_t n, Word value) {
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
     std::fill(o + lo, o + hi, value);
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_gen(analysis::Opcode::kSplat, out, value, 0);
+  }
   return out;
 }
 
@@ -215,6 +270,9 @@ void VectorMachine::copy_into(WordVec& out, std::span<const Word> v) {
     std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
               v.begin() + static_cast<std::ptrdiff_t>(hi), o + lo);
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kCopy, out, v);
+  }
 }
 
 WordVec VectorMachine::reverse(std::span<const Word> v) {
@@ -232,6 +290,9 @@ void VectorMachine::reverse_into(WordVec& out, std::span<const Word> v) {
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = v[n - 1 - i];
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kReverse, out, v);
+  }
 }
 
 // ---- elementwise arithmetic -------------------------------------------------
@@ -276,33 +337,59 @@ WordVec VectorMachine::map(std::span<const Word> a, F f) {
 }
 
 WordVec VectorMachine::add(std::span<const Word> a, std::span<const Word> b) {
-  return zip(a, b, [](Word x, Word y) { return x + y; });
+  WordVec out = zip(a, b, [](Word x, Word y) { return x + y; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_binary(analysis::Opcode::kAdd, out, a, b);
+  }
+  return out;
 }
 
 void VectorMachine::add_into(WordVec& out, std::span<const Word> a,
                              std::span<const Word> b) {
   zip_into(out, a, b, [](Word x, Word y) { return x + y; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_binary(analysis::Opcode::kAdd, out, a, b);
+  }
 }
 
 void VectorMachine::add_scalar_into(WordVec& out, std::span<const Word> a,
                                     Word s) {
   map_into(out, a, [s](Word x) { return x + s; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kAddScalar, out, a, s);
+  }
 }
 
 WordVec VectorMachine::sub(std::span<const Word> a, std::span<const Word> b) {
-  return zip(a, b, [](Word x, Word y) { return x - y; });
+  WordVec out = zip(a, b, [](Word x, Word y) { return x - y; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_binary(analysis::Opcode::kSub, out, a, b);
+  }
+  return out;
 }
 
 WordVec VectorMachine::mul(std::span<const Word> a, std::span<const Word> b) {
-  return zip(a, b, [](Word x, Word y) { return x * y; });
+  WordVec out = zip(a, b, [](Word x, Word y) { return x * y; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_binary(analysis::Opcode::kMul, out, a, b);
+  }
+  return out;
 }
 
 WordVec VectorMachine::add_scalar(std::span<const Word> a, Word s) {
-  return map(a, [s](Word x) { return x + s; });
+  WordVec out = map(a, [s](Word x) { return x + s; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kAddScalar, out, a, s);
+  }
+  return out;
 }
 
 WordVec VectorMachine::mul_scalar(std::span<const Word> a, Word s) {
-  return map(a, [s](Word x) { return x * s; });
+  WordVec out = map(a, [s](Word x) { return x * s; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kMulScalar, out, a, s);
+  }
+  return out;
 }
 
 WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
@@ -319,6 +406,9 @@ WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
       o[i] = q;
     }
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kDivScalar, out, a, s);
+  }
   return out;
 }
 
@@ -335,32 +425,55 @@ WordVec VectorMachine::mod_scalar(std::span<const Word> a, Word s) {
       o[i] = r;
     }
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kModScalar, out, a, s);
+  }
   return out;
 }
 
 WordVec VectorMachine::and_scalar(std::span<const Word> a, Word s) {
-  return map(a, [s](Word x) { return x & s; });
+  WordVec out = map(a, [s](Word x) { return x & s; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kAndScalar, out, a, s);
+  }
+  return out;
 }
 
 WordVec VectorMachine::or_scalar(std::span<const Word> a, Word s) {
-  return map(a, [s](Word x) { return x | s; });
+  WordVec out = map(a, [s](Word x) { return x | s; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kOrScalar, out, a, s);
+  }
+  return out;
 }
 
 WordVec VectorMachine::shl_scalar(std::span<const Word> a, int k) {
   FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
-  return map(a, [k](Word x) {
+  WordVec out = map(a, [k](Word x) {
     FOLVEC_REQUIRE(x >= 0, "shl_scalar needs non-negative elements");
     return static_cast<Word>(static_cast<std::uint64_t>(x) << k);
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kShlScalar, out, a, k);
+  }
+  return out;
 }
 
 WordVec VectorMachine::shr_scalar(std::span<const Word> a, int k) {
   FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
-  return map(a, [k](Word x) { return x >> k; });
+  WordVec out = map(a, [k](Word x) { return x >> k; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kShrScalar, out, a, k);
+  }
+  return out;
 }
 
 WordVec VectorMachine::negate(std::span<const Word> a) {
-  return map(a, [](Word x) { return -x; });
+  WordVec out = map(a, [](Word x) { return -x; });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kNegate, out, a);
+  }
+  return out;
 }
 
 // ---- compares ---------------------------------------------------------------
@@ -391,40 +504,64 @@ Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f) {
   return out;
 }
 
+void VectorMachine::rec_cmp(analysis::Opcode op, const Mask& out,
+                            std::span<const Word> a, std::span<const Word> b,
+                            Word s) {
+  if (analyzer_ != nullptr) analyzer_->rec_cmp(op, out.bytes(), a, b, s);
+}
+
 Mask VectorMachine::eq(std::span<const Word> a, std::span<const Word> b) {
-  return cmp(a, b, [](Word x, Word y) { return x == y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x == y; });
+  rec_cmp(analysis::Opcode::kCmpEq, out, a, b, 0);
+  return out;
 }
 
 Mask VectorMachine::ne(std::span<const Word> a, std::span<const Word> b) {
-  return cmp(a, b, [](Word x, Word y) { return x != y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x != y; });
+  rec_cmp(analysis::Opcode::kCmpNe, out, a, b, 0);
+  return out;
 }
 
 Mask VectorMachine::le(std::span<const Word> a, std::span<const Word> b) {
-  return cmp(a, b, [](Word x, Word y) { return x <= y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x <= y; });
+  rec_cmp(analysis::Opcode::kCmpLe, out, a, b, 0);
+  return out;
 }
 
 Mask VectorMachine::lt(std::span<const Word> a, std::span<const Word> b) {
-  return cmp(a, b, [](Word x, Word y) { return x < y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x < y; });
+  rec_cmp(analysis::Opcode::kCmpLt, out, a, b, 0);
+  return out;
 }
 
 Mask VectorMachine::eq_scalar(std::span<const Word> a, Word s) {
-  return cmp_scalar(a, [s](Word x) { return x == s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x == s; });
+  rec_cmp(analysis::Opcode::kCmpEqScalar, out, a, {}, s);
+  return out;
 }
 
 Mask VectorMachine::ne_scalar(std::span<const Word> a, Word s) {
-  return cmp_scalar(a, [s](Word x) { return x != s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x != s; });
+  rec_cmp(analysis::Opcode::kCmpNeScalar, out, a, {}, s);
+  return out;
 }
 
 Mask VectorMachine::le_scalar(std::span<const Word> a, Word s) {
-  return cmp_scalar(a, [s](Word x) { return x <= s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x <= s; });
+  rec_cmp(analysis::Opcode::kCmpLeScalar, out, a, {}, s);
+  return out;
 }
 
 Mask VectorMachine::lt_scalar(std::span<const Word> a, Word s) {
-  return cmp_scalar(a, [s](Word x) { return x < s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x < s; });
+  rec_cmp(analysis::Opcode::kCmpLtScalar, out, a, {}, s);
+  return out;
 }
 
 Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
-  return cmp_scalar(a, [s](Word x) { return x >= s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x >= s; });
+  rec_cmp(analysis::Opcode::kCmpGeScalar, out, a, {}, s);
+  return out;
 }
 
 // ---- mask algebra -------------------------------------------------------------
@@ -440,6 +577,9 @@ Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
       o[i] = static_cast<std::uint8_t>(a[i] & b[i]);
     }
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_mask2(analysis::Opcode::kMaskAnd, out.bytes(), a.bytes(), b.bytes());
+  }
   return out;
 }
 
@@ -454,6 +594,9 @@ Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
       o[i] = static_cast<std::uint8_t>(a[i] | b[i]);
     }
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_mask2(analysis::Opcode::kMaskOr, out.bytes(), a.bytes(), b.bytes());
+  }
   return out;
 }
 
@@ -465,6 +608,9 @@ Mask VectorMachine::mask_not(const Mask& a) {
   backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = a[i] != 0 ? 0 : 1;
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_mask2(analysis::Opcode::kMaskNot, out.bytes(), a.bytes(), {});
+  }
   return out;
 }
 
@@ -476,6 +622,7 @@ std::size_t VectorMachine::count_true(const Mask& m) {
   const OpTimer timer(cost_, OpClass::kVectorReduce, m.size());
   issue(OpClass::kVectorReduce, m.size());
   if (!m.has_popcount()) m.set_popcount(backend_->count_true(m));
+  if (analyzer_ != nullptr) analyzer_->rec_count_true(m.bytes());
   return m.popcount();
 }
 
@@ -484,6 +631,9 @@ std::size_t VectorMachine::count_true(const Mask& m) {
 Word VectorMachine::reduce_sum(std::span<const Word> v) {
   const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_reduce(analysis::Opcode::kReduceSum, v);
+  }
   return backend_->reduce_sum(v);
 }
 
@@ -491,6 +641,9 @@ Word VectorMachine::reduce_min(std::span<const Word> v) {
   FOLVEC_REQUIRE(!v.empty(), "reduce_min needs a nonempty vector");
   const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_reduce(analysis::Opcode::kReduceMin, v);
+  }
   return backend_->reduce_min(v);
 }
 
@@ -498,6 +651,9 @@ Word VectorMachine::reduce_max(std::span<const Word> v) {
   FOLVEC_REQUIRE(!v.empty(), "reduce_max needs a nonempty vector");
   const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_reduce(analysis::Opcode::kReduceMax, v);
+  }
   return backend_->reduce_max(v);
 }
 
@@ -512,9 +668,12 @@ WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
     // full-length buffer and shrinking.
     WordVec out(m.popcount());
     backend_->compress_into(v, m, out);
+    if (analyzer_ != nullptr) analyzer_->rec_compress(out, v, m.bytes());
     return out;
   }
-  return backend_->compress(v, m);
+  WordVec out = backend_->compress(v, m);
+  if (analyzer_ != nullptr) analyzer_->rec_compress(out, v, m.bytes());
+  return out;
 }
 
 std::size_t VectorMachine::compress_into(WordVec& out, std::span<const Word> v,
@@ -525,6 +684,7 @@ std::size_t VectorMachine::compress_into(WordVec& out, std::span<const Word> v,
   const std::size_t nt = m.popcount();
   out.resize(nt);
   backend_->compress_into(v, m, out);
+  if (analyzer_ != nullptr) analyzer_->rec_compress(out, v, m.bytes());
   return nt;
 }
 
@@ -539,6 +699,7 @@ WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
   backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = m[i] != 0 ? a[i] : b[i];
   });
+  if (analyzer_ != nullptr) analyzer_->rec_select(out, m.bytes(), a, b);
   return out;
 }
 
@@ -550,6 +711,7 @@ WordVec VectorMachine::from_mask(const Mask& m) {
   backend_->for_lanes(m.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = m[i] != 0 ? 1 : 0;
   });
+  if (analyzer_ != nullptr) analyzer_->rec_from_mask(out, m.bytes());
   return out;
 }
 
@@ -569,6 +731,9 @@ void VectorMachine::store(std::span<Word> table, std::size_t offset,
     std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
               v.begin() + static_cast<std::ptrdiff_t>(hi), dst + lo);
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_store(analysis::Opcode::kStore, table, dst, v.size(), 1);
+  }
 }
 
 void VectorMachine::fill(std::span<Word> table, Word value) {
@@ -579,6 +744,9 @@ void VectorMachine::fill(std::span<Word> table, Word value) {
   backend_->for_lanes(table.size(), [&](std::size_t lo, std::size_t hi) {
     std::fill(dst + lo, dst + hi, value);
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_store(analysis::Opcode::kFill, table, dst, table.size(), 1);
+  }
 }
 
 WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
@@ -594,6 +762,9 @@ WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
     std::copy(src + lo, src + hi, o + lo);
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_load(analysis::Opcode::kLoad, out, table);
+  }
   return out;
 }
 
@@ -612,6 +783,9 @@ WordVec VectorMachine::load_strided(std::span<const Word> table,
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) o[i] = table[offset + i * stride];
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_load(analysis::Opcode::kLoadStrided, out, table);
+  }
   return out;
 }
 
@@ -631,6 +805,10 @@ void VectorMachine::store_strided(std::span<Word> table, std::size_t offset,
   backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) table[offset + i * stride] = v[i];
   });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_store(analysis::Opcode::kStoreStrided, table,
+                         table.data() + offset, v.size(), stride);
+  }
 }
 
 // ---- memory: list vector -----------------------------------------------------------
@@ -651,7 +829,29 @@ WordVec VectorMachine::gather(std::span<const Word> table,
 
 void VectorMachine::gather_into(WordVec& out, std::span<const Word> table,
                                 std::span<const Word> idx) {
-  if (checker_ != nullptr) checker_->on_gather(table, idx, nullptr);
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_gather(table, idx, /*masked=*/false);
+    if (analyzer_->veto() &&
+        sv[analysis::HazardClass::kBounds] == analysis::Verdict::kProvenHazard) {
+      // Lint dry mode: a proven out-of-bounds gather is not executed; the
+      // output is defined as zeros so analysis can continue past it.
+      analyzer_->note_vetoed();
+      out.assign(idx.size(), 0);
+      analyzer_->rec_gather(out, table, idx, {}, sv, /*elided=*/false);
+      return;
+    }
+    elide = elide_allowed() && sv.all_safe();
+  }
+  if (checker_ != nullptr) {
+    if (elide) {
+      analyzer_->note_elided(idx.size());
+    } else {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_gather(table, idx, nullptr);
+    }
+  }
   check_indices(idx, table.size());
   const OpTimer timer(cost_, OpClass::kVectorGather, idx.size());
   issue(OpClass::kVectorGather, idx.size());
@@ -662,12 +862,26 @@ void VectorMachine::gather_into(WordVec& out, std::span<const Word> table,
       o[i] = table[static_cast<std::size_t>(idx[i])];
     }
   });
+  if (analyzer_ != nullptr) analyzer_->rec_gather(out, table, idx, {}, sv, elide);
 }
 
 WordVec VectorMachine::gather_masked(std::span<const Word> table,
                                      std::span<const Word> idx, const Mask& m,
                                      Word fill) {
-  if (checker_ != nullptr) checker_->on_gather(table, idx, &m);
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_gather(table, idx, /*masked=*/true);
+    elide = elide_allowed() && sv.all_safe();
+  }
+  if (checker_ != nullptr) {
+    if (elide) {
+      analyzer_->note_elided(idx.size());
+    } else {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_gather(table, idx, &m);
+    }
+  }
   FOLVEC_REQUIRE(idx.size() == m.size(), "index/mask lengths must match");
   check_indices(idx, table.size(), &m);
   const OpTimer timer(cost_, OpClass::kVectorGather, idx.size());
@@ -679,6 +893,7 @@ WordVec VectorMachine::gather_masked(std::span<const Word> table,
       if (m[i] != 0) o[i] = table[static_cast<std::size_t>(idx[i])];
     }
   });
+  if (analyzer_ != nullptr) analyzer_->rec_gather(out, table, idx, m.bytes(), sv, elide);
   return out;
 }
 
@@ -743,10 +958,45 @@ bool VectorMachine::els_fault_fires() {
   return true;
 }
 
+bool VectorMachine::try_elide_scatter(std::span<const Word> table,
+                                      std::span<const Word> idx,
+                                      const analysis::OpVerdicts& sv,
+                                      bool masked) {
+  if (!elide_allowed() || !sv.all_safe()) return false;
+  Word lo = 0;
+  Word hi = 0;
+  bool exact = false;
+  if (!analyzer_->proven_index_range(idx, table.size(), &lo, &hi, &exact)) {
+    return false;
+  }
+  // A masked scatter skips inactive lanes, so even a range-covering index
+  // vector does not provably overwrite every address in [lo, hi].
+  checker_->on_scatter_elided(table, lo, hi, exact && !masked);
+  analyzer_->note_elided(idx.size());
+  return true;
+}
+
 void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
                             std::span<const Word> vals) {
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_scatter(table, idx, vals, /*masked=*/false,
+                                     /*ordered=*/false);
+    if (analyzer_->veto() &&
+        sv[analysis::HazardClass::kBounds] == analysis::Verdict::kProvenHazard) {
+      analyzer_->note_vetoed();
+      analyzer_->rec_scatter(table, idx, vals, {}, /*ordered=*/false, sv,
+                             /*elided=*/false, /*executed=*/false);
+      return;
+    }
+  }
   if (checker_ != nullptr) {
-    checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/false);
+    elide = try_elide_scatter(table, idx, sv, /*masked=*/false);
+    if (!elide) {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/false);
+    }
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
@@ -759,16 +1009,35 @@ void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
   // always violate ELS needs no plan.
   if (config_.inject_els_violation || els_fault_fires()) {
     amalgam_scatter(table, idx, vals);
+    if (analyzer_ != nullptr) {
+      analyzer_->rec_scatter(table, idx, vals, {}, /*ordered=*/false, sv,
+                             elide);
+    }
     return;
   }
   dispatch_scatter(table, idx, vals, nullptr);
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_scatter(table, idx, vals, {}, /*ordered=*/false, sv, elide);
+  }
 }
 
 void VectorMachine::scatter_masked(std::span<Word> table,
                                    std::span<const Word> idx,
                                    std::span<const Word> vals, const Mask& m) {
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_scatter(table, idx, vals, /*masked=*/true,
+                                     /*ordered=*/false);
+  }
   if (checker_ != nullptr) {
-    checker_->on_scatter(table, idx, vals, &m, /*ordered=*/false);
+    // An all-safe masked verdict required the all-lane range proof (the
+    // mask never weakens the bounds judge), so the elided range is valid.
+    elide = try_elide_scatter(table, idx, sv, /*masked=*/true);
+    if (!elide) {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_scatter(table, idx, vals, &m, /*ordered=*/false);
+    }
   }
   FOLVEC_REQUIRE(idx.size() == vals.size() && idx.size() == m.size(),
                  "index/value/mask lengths must match");
@@ -778,13 +1047,33 @@ void VectorMachine::scatter_masked(std::span<Word> table,
   const OpTimer timer(cost_, OpClass::kVectorScatter, idx.size());
   issue(OpClass::kVectorScatter, idx.size());
   dispatch_scatter(table, idx, vals, &m);
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_scatter(table, idx, vals, m.bytes(), /*ordered=*/false, sv, elide);
+  }
 }
 
 void VectorMachine::scatter_ordered(std::span<Word> table,
                                     std::span<const Word> idx,
                                     std::span<const Word> vals) {
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_scatter(table, idx, vals, /*masked=*/false,
+                                     /*ordered=*/true);
+    if (analyzer_->veto() &&
+        sv[analysis::HazardClass::kBounds] == analysis::Verdict::kProvenHazard) {
+      analyzer_->note_vetoed();
+      analyzer_->rec_scatter(table, idx, vals, {}, /*ordered=*/true, sv,
+                             /*elided=*/false, /*executed=*/false);
+      return;
+    }
+  }
   if (checker_ != nullptr) {
-    checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/true);
+    elide = try_elide_scatter(table, idx, sv, /*masked=*/false);
+    if (!elide) {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/true);
+    }
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
@@ -794,6 +1083,9 @@ void VectorMachine::scatter_ordered(std::span<Word> table,
   // configured ELS order.
   backend_->scatter(table, idx, vals, nullptr, ScatterTraversal::kForward,
                     {});
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_scatter(table, idx, vals, {}, /*ordered=*/true, sv, elide);
+  }
 }
 
 void VectorMachine::scalar_store(std::span<Word> table, std::size_t pos,
@@ -802,6 +1094,7 @@ void VectorMachine::scalar_store(std::span<Word> table, std::size_t pos,
   if (checker_ != nullptr) checker_->on_scalar_store(table, pos, value);
   issue(OpClass::kScalarMem, 1);
   table[pos] = value;
+  if (analyzer_ != nullptr) analyzer_->rec_scalar_store(table, pos);
 }
 
 // ---- fused kernels ----------------------------------------------------------
@@ -826,7 +1119,7 @@ ScatterTraversal VectorMachine::resolve_scatter_order(
 void VectorMachine::fused_scatter_gather_eq(Mask& out, std::span<Word> table,
                                             std::span<const Word> idx,
                                             std::span<const Word> vals,
-                                            const Mask* active) {
+                                            const Mask* active, bool elide) {
   const std::size_t n = idx.size();
   const OpTimer timer(cost_, OpClass::kVectorScatterGatherEq, n);
   issue(OpClass::kVectorScatterGatherEq, n);
@@ -844,15 +1137,16 @@ void VectorMachine::fused_scatter_gather_eq(Mask& out, std::span<Word> table,
     std::span<Word> table;
     std::span<const Word> idx;
     bool recheck_all_lanes;
-  } hook{this, table, idx, active != nullptr};
+    bool audit_probe;
+  } hook{this, table, idx, active != nullptr, !elide && checker_ != nullptr};
   const auto probe = [](void* ctx) {
     auto* h = static_cast<BetweenPasses*>(ctx);
     if (h->recheck_all_lanes) h->m->check_indices(h->idx, h->table.size());
-    if (h->m->checker_ != nullptr) {
+    if (h->audit_probe) {
       h->m->checker_->on_gather(h->table, h->idx, nullptr);
     }
   };
-  const bool need_probe = hook.recheck_all_lanes || checker_ != nullptr;
+  const bool need_probe = hook.recheck_all_lanes || hook.audit_probe;
 
   out.resize(n);
   const std::size_t survivors = backend_->scatter_gather_eq(
@@ -885,8 +1179,25 @@ void VectorMachine::scatter_gather_eq_into(Mask& out, std::span<Word> table,
     out = eq(readback, vals);
     return;
   }
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_sge(table, idx, vals, /*masked=*/false);
+    if (analyzer_->veto() &&
+        sv[analysis::HazardClass::kBounds] == analysis::Verdict::kProvenHazard) {
+      analyzer_->note_vetoed();
+      out = Mask(idx.size());
+      analyzer_->rec_sge(out.bytes(), table, idx, vals, {}, sv, /*elided=*/false,
+                         /*executed=*/false);
+      return;
+    }
+  }
   if (checker_ != nullptr) {
-    checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/false);
+    elide = try_elide_scatter(table, idx, sv, /*masked=*/false);
+    if (!elide) {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_scatter(table, idx, vals, nullptr, /*ordered=*/false);
+    }
   }
   FOLVEC_REQUIRE(idx.size() == vals.size(), "index/value lengths must match");
   check_indices(idx, table.size());
@@ -914,9 +1225,15 @@ void VectorMachine::scatter_gather_eq_into(Mask& out, std::span<Word> table,
       r->add("fused.sge", 1);
       r->add("fused.sge.lanes", n);
     }
+    if (analyzer_ != nullptr) {
+      analyzer_->rec_sge(out.bytes(), table, idx, vals, {}, sv, /*elided=*/false);
+    }
     return;
   }
-  fused_scatter_gather_eq(out, table, idx, vals, nullptr);
+  fused_scatter_gather_eq(out, table, idx, vals, nullptr, elide);
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_sge(out.bytes(), table, idx, vals, {}, sv, elide);
+  }
 }
 
 Mask VectorMachine::scatter_gather_eq_masked(std::span<Word> table,
@@ -928,8 +1245,25 @@ Mask VectorMachine::scatter_gather_eq_masked(std::span<Word> table,
     const WordVec readback = gather(table, idx);
     return mask_and(eq(readback, vals), active);
   }
+  analysis::OpVerdicts sv;
+  bool elide = false;
+  if (analyzer_ != nullptr) {
+    sv = analyzer_->classify_sge(table, idx, vals, /*masked=*/true);
+    if (analyzer_->veto() &&
+        sv[analysis::HazardClass::kBounds] == analysis::Verdict::kProvenHazard) {
+      analyzer_->note_vetoed();
+      Mask vetoed(idx.size());
+      analyzer_->rec_sge(vetoed.bytes(), table, idx, vals, active.bytes(), sv,
+                         /*elided=*/false, /*executed=*/false);
+      return vetoed;
+    }
+  }
   if (checker_ != nullptr) {
-    checker_->on_scatter(table, idx, vals, &active, /*ordered=*/false);
+    elide = try_elide_scatter(table, idx, sv, /*masked=*/true);
+    if (!elide) {
+      if (analyzer_ != nullptr) analyzer_->note_checked(idx.size());
+      checker_->on_scatter(table, idx, vals, &active, /*ordered=*/false);
+    }
   }
   FOLVEC_REQUIRE(idx.size() == vals.size() && idx.size() == active.size(),
                  "index/value/mask lengths must match");
@@ -937,7 +1271,10 @@ Mask VectorMachine::scatter_gather_eq_masked(std::span<Word> table,
   // the readback's all-lanes check runs between the passes.
   check_indices(idx, table.size(), &active);
   Mask out;
-  fused_scatter_gather_eq(out, table, idx, vals, &active);
+  fused_scatter_gather_eq(out, table, idx, vals, &active, elide);
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_sge(out.bytes(), table, idx, vals, active.bytes(), sv, elide);
+  }
   return out;
 }
 
@@ -956,6 +1293,7 @@ std::pair<WordVec, WordVec> VectorMachine::partition(std::span<const Word> v,
   WordVec kept(nt);
   WordVec rejected(v.size() - nt);
   backend_->partition(v, m, kept, rejected);
+  if (analyzer_ != nullptr) analyzer_->rec_partition(kept, rejected, v, m.bytes());
   if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
     r->add("fused.partition", 1);
     r->add("fused.partition.lanes", v.size());
@@ -979,6 +1317,7 @@ std::size_t VectorMachine::partition_into(WordVec& kept, WordVec& rejected,
   kept.resize(nt);
   rejected.resize(v.size() - nt);
   backend_->partition(v, m, kept, rejected);
+  if (analyzer_ != nullptr) analyzer_->rec_partition(kept, rejected, v, m.bytes());
   if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
     r->add("fused.partition", 1);
     r->add("fused.partition.lanes", v.size());

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/opgraph.h"
 #include "support/prng.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
@@ -45,6 +46,10 @@
 #include "vm/hazard.h"
 #include "vm/mask.h"
 #include "vm/trace.h"
+
+namespace folvec::analysis {
+class Analyzer;
+}  // namespace folvec::analysis
 
 namespace folvec::vm {
 
@@ -134,6 +139,26 @@ struct MachineConfig {
   /// VectorMachine::hazards(). Hard preconditions (bounds, lengths) always
   /// throw PreconditionError regardless.
   bool audit_throw = true;
+
+  /// Default static-analysis setting: from the FOLVEC_ANALYSIS environment
+  /// variable when set (boolean spellings of support/env.h), else false.
+  static bool analysis_default();
+
+  /// Attach the static hazard analyzer (see analysis/analyzer.h): every
+  /// primitive transfers abstract lane facts and list-vector memory ops are
+  /// classified per hazard class before they execute.
+  bool analysis = analysis_default();
+
+  /// Default audit-elision setting: from the FOLVEC_AUDIT_ELIDE environment
+  /// variable when set (boolean spellings of support/env.h), else true.
+  static bool audit_elide_default();
+
+  /// With both audit and analysis on, skip ScatterCheck's per-lane pass for
+  /// instructions the analyzer proves safe in every hazard class (the
+  /// machine's hard bounds check always runs). Never elides under fault
+  /// injection, so injected hazards stay detectable. See docs/analysis.md
+  /// for the exact detection coverage traded away.
+  bool audit_elide = audit_elide_default();
 };
 
 class ScatterChecker;
@@ -165,6 +190,20 @@ class VectorMachine {
 
   /// The auditor, or nullptr when audit mode is off.
   ScatterChecker* checker() { return checker_.get(); }
+
+  // ---- static hazard analysis (see analysis/analyzer.h) -------------------
+
+  /// The analyzer, or nullptr when MachineConfig::analysis is off.
+  analysis::Analyzer* analyzer() { return analyzer_.get(); }
+
+  /// Source location attached to subsequently recorded ops (the lang
+  /// interpreter sets this per statement). No-op without analysis.
+  void set_source_line(std::size_t line);
+
+  /// Measured-range annotation: host-scans `v` (no machine cost) and records
+  /// a tight interval fact, so subsequent gathers/scatters indexed by `v`
+  /// can be proven in bounds. No-op without analysis.
+  void observe_range(std::span<const Word> v);
 
   /// Hazards recorded so far (an empty report when audit mode is off).
   const HazardReport& hazards() const;
@@ -427,9 +466,13 @@ class VectorMachine {
   /// The caller has already run the scatter-half hooks and bounds checks;
   /// the readback half's audit probe (and, for the masked form, its
   /// all-lanes bounds check) runs between the two passes.
+  /// With `elide` true the readback's audit probe is skipped (the scatter
+  /// half's elision already booked the range with the checker); the masked
+  /// form's all-lanes bounds recheck always runs.
   void fused_scatter_gather_eq(Mask& out, std::span<Word> table,
                                std::span<const Word> idx,
-                               std::span<const Word> vals, const Mask* active);
+                               std::span<const Word> vals, const Mask* active,
+                               bool elide);
 
   /// The shuffled lane write order for one kShuffled scatter instruction.
   std::vector<std::size_t> shuffled_lane_order(std::size_t n);
@@ -455,6 +498,22 @@ class VectorMachine {
   void check_indices(std::span<const Word> idx, std::size_t table_size,
                      const Mask* mask = nullptr);
 
+  /// True when the machine is in a state where an all-safe static verdict
+  /// licenses skipping ScatterCheck's per-lane pass: analysis + audit on,
+  /// elision enabled, and no fault injection of any kind in play.
+  bool elide_allowed() const;
+
+  /// Forwards one compare result to the analyzer (no-op without analysis).
+  void rec_cmp(analysis::Opcode op, const Mask& out, std::span<const Word> a,
+               std::span<const Word> b, Word s);
+
+  /// Attempts to elide ScatterCheck's per-lane pass for one scatter-class
+  /// instruction: requires elide_allowed(), an all-safe verdict and a proven
+  /// index range. On success the checker is told the elided write range (so
+  /// its clobber bookkeeping stays exact) and elision stats are bumped.
+  bool try_elide_scatter(std::span<const Word> table, std::span<const Word> idx,
+                         const analysis::OpVerdicts& sv, bool masked);
+
   /// Publishes this machine's accumulated state to the installed metrics
   /// registry (vm.op.* chime counts and wall timings, audit.hazard.* counts,
   /// backend.* identity). Called from the destructor; a no-op when no
@@ -472,6 +531,9 @@ class VectorMachine {
   Xoshiro256 shuffle_rng_;
   TraceSink* trace_ = nullptr;
   std::unique_ptr<ScatterChecker> checker_;
+  // Declared before pool_: the pool's destructor fires release hooks into
+  // the analyzer, so the analyzer must still be alive when pool_ dies.
+  std::unique_ptr<analysis::Analyzer> analyzer_;
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<BufferPool> pool_;
 };

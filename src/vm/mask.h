@@ -67,6 +67,11 @@ class Mask {
 
   operator std::span<const std::uint8_t>() const { return bits_; }
 
+  /// The bytes as a read-only span. Named form of the conversion above for
+  /// non-const masks, where span's range constructor would otherwise win
+  /// overload resolution and invalidate the cache via non-const begin().
+  std::span<const std::uint8_t> bytes() const { return bits_; }
+
   // ---- mutating access (cache-invalidating) -------------------------------
 
   std::uint8_t* data() {

@@ -215,6 +215,43 @@ TEST_F(InterpTest, CostsAreCharged) {
   EXPECT_GE(m_.cost().elements(vm::OpClass::kVectorLoad), 100u);
 }
 
+// ---- negative paths: every failure names its source line ---------------------
+
+TEST_F(InterpTest, BadTokenReportsItsLine) {
+  try {
+    interp_.run("x := 1;\ny := 2 ? 3;");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("unexpected character"), std::string::npos) << what;
+  }
+}
+
+TEST_F(InterpTest, BuiltinArityMismatchReportsItsLine) {
+  interp_.set_array("A", WordVec{1, 2, 3});
+  try {
+    interp_.run("n := 0;\nm := 1;\nk := countTrue(A[1 : 3] > 1, m);");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("countTrue"), std::string::npos) << what;
+  }
+}
+
+TEST_F(InterpTest, OutOfBoundsSliceReportsItsLine) {
+  interp_.set_array("A", WordVec{1, 2, 3});
+  try {
+    interp_.run("x := 1;\ny := 2;\nz := 3;\nB := A[2 : 5];");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("slice out of range"), std::string::npos) << what;
+  }
+}
+
 TEST_F(InterpTest, NestedWhereMasksIntersect) {
   interp_.set_array("A", WordVec{1, 2, 3, 4});
   interp_.run(

@@ -1,0 +1,195 @@
+// folvec_lint: static hazard verification for array-language programs.
+//
+// Runs each program through the lang interpreter on an analyzing
+// VectorMachine in "dry" mode: audit on but non-throwing, the op-graph
+// recorder on, and veto on — memory ops whose bounds verdict is
+// kProvenHazard are skipped instead of executed, so analysis continues past
+// the first defect. Every proven hazard is printed as a clang-style
+// diagnostic (`file:line: error: ...`); afterwards the recorded graph is
+// round-tripped through JSON and replayed by the offline verifier, and any
+// divergence between replayed and recorded verdicts is reported as an
+// internal error (it means an analyzer/verifier bug, not a program bug).
+//
+// Exit status: 0 when every program is hazard-free and replays cleanly,
+// 1 otherwise.
+//
+// Usage: folvec_lint [--json-graph <path>] [--no-veto] <program.fv>...
+//   --json-graph <path>  also dump the last program's op graph as
+//                        "folvec-opgraph-v1" JSON ("-" = stdout)
+//   --no-veto            execute proven-hazard ops instead of skipping them
+//                        (the run then stops at the first PreconditionError)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/opgraph.h"
+#include "analysis/verdict.h"
+#include "analysis/verifier.h"
+#include "fol/fol1.h"
+#include "lang/interp.h"
+#include "support/require.h"
+#include "vm/machine.h"
+
+namespace {
+
+using folvec::analysis::Diagnostic;
+using folvec::lang::ArrayValue;
+using folvec::lang::Value;
+using folvec::vm::Word;
+using folvec::vm::WordVec;
+
+/// fol1Labels(indexArray, workSize): runs one FOL1 decomposition of the
+/// index array over a fresh work array and returns that work array — stale
+/// labels included. The canonical producer of clobbered work for the lint
+/// examples (reading the result outside a window is the kClobber hazard).
+Value fol1_labels(folvec::vm::VectorMachine& m, std::span<const Value> args) {
+  const ArrayValue* idx =
+      args.size() == 2 ? std::get_if<ArrayValue>(&args[0]) : nullptr;
+  const Word* n = args.size() == 2 ? std::get_if<Word>(&args[1]) : nullptr;
+  if (idx == nullptr || n == nullptr || *n < 0) {
+    throw folvec::PreconditionError(
+        "fol1Labels needs (indexArray, workSize) arguments");
+  }
+  WordVec work(static_cast<std::size_t>(*n), 0);
+  folvec::fol::fol1_decompose(m, idx->data, work);
+  return ArrayValue{0, std::move(work)};
+}
+
+int usage() {
+  std::cerr << "usage: folvec_lint [--json-graph <path>] [--no-veto] "
+               "<program.fv>...\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = true;
+  return buf.str();
+}
+
+void print_diag(const std::string& file, const Diagnostic& d) {
+  std::cout << file << ':';
+  if (d.line != 0) std::cout << d.line << ':';
+  std::cout << " error: " << d.message << " ["
+            << folvec::analysis::hazard_class_name(d.cls) << "]\n";
+}
+
+/// Lints one program. Returns true when it is hazard-free and the offline
+/// replay agrees with the online analysis.
+bool lint_file(const std::string& file, bool veto, const std::string& json_out) {
+  bool ok = false;
+  const std::string source = read_file(file, &ok);
+  if (!ok) {
+    std::cout << file << ": error: cannot read file\n";
+    return false;
+  }
+
+  folvec::vm::MachineConfig cfg;
+  cfg.audit = true;
+  cfg.audit_throw = false;  // accumulate audit hazards, keep executing
+  cfg.analysis = true;
+  cfg.audit_elide = false;  // lint wants the full per-lane audit as backstop
+  folvec::vm::VectorMachine m(cfg);
+  folvec::analysis::Analyzer* an = m.analyzer();
+  an->set_record_graph(true);
+  an->set_veto(veto);
+
+  bool clean = true;
+  folvec::lang::Interpreter interp(m);
+  interp.register_builtin("fol1Labels", [&m](std::span<const Value> args) {
+    return fol1_labels(m, args);
+  });
+  try {
+    interp.run(source);
+  } catch (const std::exception& e) {
+    // Parse errors and hard runtime preconditions carry their own
+    // "line N" context in the message.
+    std::cout << file << ": error: " << e.what() << "\n";
+    clean = false;
+  }
+
+  for (const Diagnostic& d : an->diagnostics()) {
+    print_diag(file, d);
+    clean = false;
+  }
+
+  // Offline replay over the JSON round-trip: the verifier re-judges every
+  // memory op from the recorded facts and must agree with the online run.
+  const std::string json = an->graph().to_json();
+  folvec::analysis::ReplayResult replay;
+  try {
+    replay = folvec::analysis::verify(
+        folvec::analysis::OpGraph::from_json(json));
+  } catch (const std::exception& e) {
+    std::cout << file << ": internal error: graph round-trip failed: "
+              << e.what() << "\n";
+    return false;
+  }
+  for (const std::string& mm : replay.mismatches) {
+    std::cout << file << ": internal error: replay mismatch: " << mm << "\n";
+    clean = false;
+  }
+
+  const auto& st = an->stats();
+  std::cout << file << ": " << st.mem_ops << " memory ops analyzed: "
+            << st.mem_safe << " proven safe, " << st.mem_unknown
+            << " unknown, " << st.mem_hazard << " proven hazard";
+  if (st.vetoed != 0) std::cout << " (" << st.vetoed << " vetoed)";
+  std::cout << "\n";
+
+  if (!json_out.empty()) {
+    if (json_out == "-") {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream out(json_out, std::ios::binary);
+      out << json << "\n";
+      if (!out) {
+        std::cout << file << ": error: cannot write " << json_out << "\n";
+        clean = false;
+      }
+    }
+  }
+  return clean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string json_out;
+  bool veto = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-graph") {
+      if (i + 1 >= argc) return usage();
+      json_out = argv[++i];
+    } else if (arg == "--no-veto") {
+      veto = false;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  bool all_clean = true;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    // --json-graph applies to the last file so a single-program invocation
+    // behaves the obvious way.
+    const bool last = i + 1 == files.size();
+    if (!lint_file(files[i], veto, last ? json_out : std::string())) {
+      all_clean = false;
+    }
+  }
+  return all_clean ? 0 : 1;
+}

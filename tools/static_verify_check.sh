@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Golden-diff harness for the static hazard verifier: runs folvec_lint over
+# every lang/ example program and compares the diagnostics (including source
+# line numbers and the safe/unknown/hazard summary) against the checked-in
+# goldens in examples/lang/golden/. Programs whose golden contains an
+# ": error: " diagnostic must also make the lint exit non-zero, and clean
+# programs must exit zero, so exit-code drift is caught even when the text
+# happens to match.
+#
+# Usage: static_verify_check.sh <path-to-folvec_lint> <repo-root>
+set -u
+
+lint="${1:?usage: static_verify_check.sh <folvec_lint> <repo-root>}"
+root="${2:?usage: static_verify_check.sh <folvec_lint> <repo-root>}"
+case "$lint" in
+  /*) ;;
+  *) lint="$(pwd)/$lint" ;;
+esac
+cd "$root" || exit 1
+
+status=0
+checked=0
+for f in examples/lang/*.fv; do
+  name="$(basename "$f" .fv)"
+  golden="examples/lang/golden/$name.golden"
+  if [ ! -f "$golden" ]; then
+    echo "static-verify: FAIL $f: no golden at $golden" >&2
+    status=1
+    continue
+  fi
+  actual="$("$lint" "$f")"
+  lint_exit=$?
+  want_exit=0
+  if grep -q ": error: " "$golden"; then
+    want_exit=1
+  fi
+  if [ "$lint_exit" -ne "$want_exit" ]; then
+    echo "static-verify: FAIL $f: lint exited $lint_exit, expected $want_exit" >&2
+    status=1
+  fi
+  if ! printf '%s\n' "$actual" | diff -u "$golden" - >&2; then
+    echo "static-verify: FAIL $f: diagnostics diverge from $golden" >&2
+    status=1
+  fi
+  checked=$((checked + 1))
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "static-verify: FAIL: no example programs found under examples/lang/" >&2
+  status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "static-verify: OK ($checked programs match their goldens)"
+fi
+exit $status
