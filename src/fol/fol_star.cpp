@@ -107,14 +107,21 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
     const vm::AlgoSpan round_span(m, "round", out.sets.size());
     const std::size_t n = positions->size();
 
-    // Step 1: scatter each lane's labels (vector), then re-write the last
-    // tuple's labels with scalar stores, in lane order, so the last tuple
-    // survives any cross-tuple conflict. (The scalar re-stores sit between
-    // the scatters and the readbacks, so the fused scatter_gather_eq kernel
+    // Step 1: compute every lane's labels (one batched dispatch — each
+    // add_scalar_into reads only `positions`, so the per-lane chain has no
+    // cross-dependency), then scatter them, then re-write the last tuple's
+    // labels with scalar stores, in lane order, so the last tuple survives
+    // any cross-tuple conflict. (The scalar re-stores sit between the
+    // scatters and the readbacks, so the fused scatter_gather_eq kernel
     // does not apply to this algorithm.)
+    {
+      const vm::VectorMachine::OpBatch batch(m);
+      for (std::size_t k = 0; k < num_lanes; ++k) {
+        m.add_scalar_into(*labels[k], *positions,
+                          static_cast<Word>(k) * static_cast<Word>(n0));
+      }
+    }
     for (std::size_t k = 0; k < num_lanes; ++k) {
-      m.add_scalar_into(*labels[k], *positions,
-                        static_cast<Word>(k) * static_cast<Word>(n0));
       m.scatter(work, *remaining[k], *labels[k]);
     }
     for (std::size_t k = 0; k < num_lanes; ++k) {

@@ -222,6 +222,11 @@ Status multi_hash_open_insert_body(VectorMachine& m, std::span<Word> table,
   vm::PooledVec probed(pool, keys.size());
   // Kept half of the splits; unused.
   vm::PooledVec entered_scratch(pool, keys.size());
+  // Named intermediates for the batched subscript recalculation below:
+  // queued kernels hold pointers into these until the batch flushes, so the
+  // chain cannot be composed from value-returning temporaries.
+  vm::PooledVec probe_tmp(pool, keys.size());
+  vm::PooledVec step_vec(pool, keys.size());
   m.copy_into(*key_vec, keys);
   WordVec hashed = m.mod_scalar(*key_vec, size);
   {
@@ -256,16 +261,23 @@ Status multi_hash_open_insert_body(VectorMachine& m, std::span<Word> table,
     std::swap(*key_vec, *next_key);
 
     // Subscript recalculation. The optimized variant separates keys that
-    // collided at the same slot by giving each its own stride.
-    WordVec step;
-    switch (variant) {
-      case ProbeVariant::kLinear:
-        hashed = m.mod_scalar(m.add_scalar(hashed, 1), size);
-        break;
-      case ProbeVariant::kKeyDependent:
-        step = m.add_scalar(m.and_scalar(*key_vec, 31), 1);
-        hashed = m.mod_scalar(m.add(hashed, step), size);
-        break;
+    // collided at the same slot by giving each its own stride. The whole
+    // chain is elementwise, so it queues under one OpBatch and crosses the
+    // pool boundary once at the gather below instead of once per op.
+    {
+      const vm::VectorMachine::OpBatch batch(m);
+      switch (variant) {
+        case ProbeVariant::kLinear:
+          m.add_scalar_into(*probe_tmp, hashed, 1);
+          m.mod_scalar_into(hashed, *probe_tmp, size);
+          break;
+        case ProbeVariant::kKeyDependent:
+          m.and_scalar_into(*probe_tmp, *key_vec, 31);
+          m.add_scalar_into(*step_vec, *probe_tmp, 1);
+          m.add_into(*probe_tmp, hashed, *step_vec);
+          m.mod_scalar_into(hashed, *probe_tmp, size);
+          break;
+      }
     }
 
     m.gather_into(*probed, table, hashed);
@@ -333,6 +345,10 @@ vm::Mask multi_hash_open_contains(VectorMachine& m,
   vm::PooledVec probed(pool, keys.size());
   vm::PooledVec hit_lanes(pool, keys.size());
   vm::PooledVec packed(pool, keys.size());
+  // Named intermediates for the batched subscript recalculation (see the
+  // insert loop): queued kernels hold pointers into these until the flush.
+  vm::PooledVec probe_tmp(pool, keys.size());
+  vm::PooledVec step_vec(pool, keys.size());
   m.copy_into(*key_vec, keys);
   m.iota_into(*lane, keys.size());
   WordVec hashed = m.mod_scalar(*key_vec, size);
@@ -352,14 +368,20 @@ vm::Mask multi_hash_open_contains(VectorMachine& m,
     std::swap(*lane, *packed);
     m.compress_into(*packed, hashed, active);
     std::swap(hashed, *packed);
-    switch (variant) {
-      case ProbeVariant::kLinear:
-        hashed = m.mod_scalar(m.add_scalar(hashed, 1), size);
-        break;
-      case ProbeVariant::kKeyDependent:
-        hashed = m.mod_scalar(
-            m.add(hashed, m.add_scalar(m.and_scalar(*key_vec, 31), 1)), size);
-        break;
+    {
+      const vm::VectorMachine::OpBatch batch(m);
+      switch (variant) {
+        case ProbeVariant::kLinear:
+          m.add_scalar_into(*probe_tmp, hashed, 1);
+          m.mod_scalar_into(hashed, *probe_tmp, size);
+          break;
+        case ProbeVariant::kKeyDependent:
+          m.and_scalar_into(*probe_tmp, *key_vec, 31);
+          m.add_scalar_into(*step_vec, *probe_tmp, 1);
+          m.add_into(*probe_tmp, hashed, *step_vec);
+          m.mod_scalar_into(hashed, *probe_tmp, size);
+          break;
+      }
     }
   }
   // Lanes still probing after a full sweep of the table are reported

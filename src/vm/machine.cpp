@@ -100,7 +100,8 @@ VectorMachine::VectorMachine(const MachineConfig& config)
   // stream must be the one whose semantics the auditor reasons about.
   if (config_.backend == BackendKind::kParallel && checker_ == nullptr) {
     backend_ = std::make_unique<ParallelBackend>(config_.backend_threads,
-                                                 config_.backend_grain);
+                                                 config_.backend_grain,
+                                                 config_.merge_strategy);
   } else {
     backend_ = std::make_unique<SerialBackend>();
   }
@@ -217,6 +218,61 @@ bool VectorMachine::elide_allowed() const {
          !config_.inject_els_violation && faults() == nullptr;
 }
 
+// ---- multi-op batched dispatch ---------------------------------------------
+
+void VectorMachine::end_batch() {
+  FOLVEC_CHECK(batch_depth_ > 0, "unbalanced OpBatch close");
+  if (--batch_depth_ == 0) flush_batch();
+}
+
+void VectorMachine::flush_batch() {
+  if (batch_.empty()) return;
+  // Detach the queue first so the flush can never re-enter itself.
+  const std::vector<BatchEntry> entries = std::move(batch_);
+  batch_.clear();
+  const std::size_t n = batch_lanes_;
+  batch_lanes_ = 0;
+  const auto start = std::chrono::steady_clock::now();
+  // ONE pool crossing for the whole queued round: each worker chunk runs
+  // every kernel in issue order over its own lanes, which preserves the
+  // serial per-lane dataflow because queued kernels are lane-aligned.
+  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    for (const BatchEntry& e : entries) e.kernel(lo, hi);
+  });
+  const auto end = std::chrono::steady_clock::now();
+  // Chimes were issued at enqueue; the flush's measured wall time is split
+  // evenly across the queued op classes so per-class wall totals stay
+  // populated (the split is host bookkeeping, not modeled cost).
+  const double share = std::chrono::duration<double>(end - start).count() /
+                       static_cast<double>(entries.size());
+  for (const BatchEntry& e : entries) {
+    cost_.record_wall(e.op_class, share);
+  }
+  if (telemetry::SpanTracer* t = telemetry::tracer()) {
+    for (const BatchEntry& e : entries) {
+      t->op(op_class_name(e.op_class), n, start, end);
+    }
+  }
+  if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
+    r->add("pool.dispatch.batched", 1);
+    r->add("pool.dispatch.batched_ops", entries.size());
+  }
+}
+
+void VectorMachine::run_lanes(
+    OpClass c, std::size_t n,
+    std::function<void(std::size_t, std::size_t)> kernel, bool batchable) {
+  if (batchable && batching()) {
+    if (!batch_.empty() && batch_lanes_ != n) flush_batch();
+    batch_lanes_ = n;
+    batch_.push_back(BatchEntry{std::move(kernel), c});
+    return;
+  }
+  if (!batchable) flush_batch();
+  const OpTimer timer(cost_, c, n);
+  backend_->for_lanes(n, kernel);
+}
+
 // ---- vector generation -----------------------------------------------------
 
 WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
@@ -227,11 +283,11 @@ WordVec VectorMachine::iota(std::size_t n, Word start, Word step) {
 
 void VectorMachine::iota_into(WordVec& out, std::size_t n, Word start,
                               Word step) {
-  const OpTimer timer(cost_, OpClass::kVectorArith, n);
   issue(OpClass::kVectorArith, n);
   out.resize(n);
   Word* o = out.data();
-  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+  run_lanes(OpClass::kVectorArith, n, [o, start, step](std::size_t lo,
+                                                       std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       o[i] = start + step * static_cast<Word>(i);
     }
@@ -242,13 +298,13 @@ void VectorMachine::iota_into(WordVec& out, std::size_t n, Word start,
 }
 
 WordVec VectorMachine::splat(std::size_t n, Word value) {
-  const OpTimer timer(cost_, OpClass::kVectorArith, n);
   issue(OpClass::kVectorArith, n);
   WordVec out(n);
   Word* o = out.data();
-  backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
-    std::fill(o + lo, o + hi, value);
-  });
+  run_lanes(OpClass::kVectorArith, n,
+            [o, value](std::size_t lo, std::size_t hi) {
+              std::fill(o + lo, o + hi, value);
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_gen(analysis::Opcode::kSplat, out, value, 0);
   }
@@ -262,14 +318,14 @@ WordVec VectorMachine::copy(std::span<const Word> v) {
 }
 
 void VectorMachine::copy_into(WordVec& out, std::span<const Word> v) {
-  const OpTimer timer(cost_, OpClass::kVectorLoad, v.size());
   issue(OpClass::kVectorLoad, v.size());
   out.resize(v.size());
   Word* o = out.data();
-  backend_->for_lanes(v.size(), [&](std::size_t lo, std::size_t hi) {
-    std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
-              v.begin() + static_cast<std::ptrdiff_t>(hi), o + lo);
-  });
+  run_lanes(OpClass::kVectorLoad, v.size(),
+            [o, v](std::size_t lo, std::size_t hi) {
+              std::copy(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                        v.begin() + static_cast<std::ptrdiff_t>(hi), o + lo);
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kCopy, out, v);
   }
@@ -282,6 +338,9 @@ WordVec VectorMachine::reverse(std::span<const Word> v) {
 }
 
 void VectorMachine::reverse_into(WordVec& out, std::span<const Word> v) {
+  // Cross-lane read (lane i reads v[n-1-i]): never batched, and any queued
+  // round must land before it runs.
+  flush_batch();
   const OpTimer timer(cost_, OpClass::kVectorLoad, v.size());
   issue(OpClass::kVectorLoad, v.size());
   const std::size_t n = v.size();
@@ -301,13 +360,13 @@ template <typename F>
 void VectorMachine::zip_into(WordVec& out, std::span<const Word> a,
                              std::span<const Word> b, F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
   out.resize(a.size());
   Word* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]);
-  });
+  run_lanes(OpClass::kVectorArith, a.size(),
+            [o, a, b, f](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]);
+            });
 }
 
 template <typename F>
@@ -319,20 +378,23 @@ WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
 }
 
 template <typename F>
-void VectorMachine::map_into(WordVec& out, std::span<const Word> a, F f) {
-  const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
+void VectorMachine::map_into(WordVec& out, std::span<const Word> a, F f,
+                             bool batchable) {
   issue(OpClass::kVectorArith, a.size());
   out.resize(a.size());
   Word* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]);
-  });
+  run_lanes(
+      OpClass::kVectorArith, a.size(),
+      [o, a, f](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]);
+      },
+      batchable);
 }
 
 template <typename F>
-WordVec VectorMachine::map(std::span<const Word> a, F f) {
+WordVec VectorMachine::map(std::span<const Word> a, F f, bool batchable) {
   WordVec out;
-  map_into(out, a, f);
+  map_into(out, a, f, batchable);
   return out;
 }
 
@@ -394,18 +456,18 @@ WordVec VectorMachine::mul_scalar(std::span<const Word> a, Word s) {
 
 WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
   FOLVEC_REQUIRE(s > 0, "div_scalar needs a positive divisor");
-  const OpTimer timer(cost_, OpClass::kVectorDiv, a.size());
   issue(OpClass::kVectorDiv, a.size());
   WordVec out(a.size());
   Word* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      // Floor division (operands may be negative).
-      Word q = a[i] / s;
-      if ((a[i] % s) != 0 && (a[i] < 0)) --q;
-      o[i] = q;
-    }
-  });
+  run_lanes(OpClass::kVectorDiv, a.size(),
+            [o, a, s](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                // Floor division (operands may be negative).
+                Word q = a[i] / s;
+                if ((a[i] % s) != 0 && (a[i] < 0)) --q;
+                o[i] = q;
+              }
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kDivScalar, out, a, s);
   }
@@ -413,30 +475,42 @@ WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
 }
 
 WordVec VectorMachine::mod_scalar(std::span<const Word> a, Word s) {
-  FOLVEC_REQUIRE(s > 0, "mod_scalar needs a positive modulus");
-  const OpTimer timer(cost_, OpClass::kVectorDiv, a.size());
-  issue(OpClass::kVectorDiv, a.size());
-  WordVec out(a.size());
-  Word* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      Word r = a[i] % s;
-      if (r < 0) r += s;
-      o[i] = r;
-    }
-  });
-  if (analyzer_ != nullptr) {
-    analyzer_->rec_unary(analysis::Opcode::kModScalar, out, a, s);
-  }
+  WordVec out;
+  mod_scalar_into(out, a, s);
   return out;
 }
 
+void VectorMachine::mod_scalar_into(WordVec& out, std::span<const Word> a,
+                                    Word s) {
+  FOLVEC_REQUIRE(s > 0, "mod_scalar needs a positive modulus");
+  issue(OpClass::kVectorDiv, a.size());
+  out.resize(a.size());
+  Word* o = out.data();
+  run_lanes(OpClass::kVectorDiv, a.size(),
+            [o, a, s](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                Word r = a[i] % s;
+                if (r < 0) r += s;
+                o[i] = r;
+              }
+            });
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kModScalar, out, a, s);
+  }
+}
+
 WordVec VectorMachine::and_scalar(std::span<const Word> a, Word s) {
-  WordVec out = map(a, [s](Word x) { return x & s; });
+  WordVec out;
+  and_scalar_into(out, a, s);
+  return out;
+}
+
+void VectorMachine::and_scalar_into(WordVec& out, std::span<const Word> a,
+                                    Word s) {
+  map_into(out, a, [s](Word x) { return x & s; });
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kAndScalar, out, a, s);
   }
-  return out;
 }
 
 WordVec VectorMachine::or_scalar(std::span<const Word> a, Word s) {
@@ -449,10 +523,15 @@ WordVec VectorMachine::or_scalar(std::span<const Word> a, Word s) {
 
 WordVec VectorMachine::shl_scalar(std::span<const Word> a, int k) {
   FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
-  WordVec out = map(a, [k](Word x) {
-    FOLVEC_REQUIRE(x >= 0, "shl_scalar needs non-negative elements");
-    return static_cast<Word>(static_cast<std::uint64_t>(x) << k);
-  });
+  // The per-lane precondition throws from inside the kernel; deferring it
+  // to a batch flush would break exception parity, so never batch it.
+  WordVec out = map(
+      a,
+      [k](Word x) {
+        FOLVEC_REQUIRE(x >= 0, "shl_scalar needs non-negative elements");
+        return static_cast<Word>(static_cast<std::uint64_t>(x) << k);
+      },
+      /*batchable=*/false);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kShlScalar, out, a, k);
   }
@@ -482,25 +561,27 @@ template <typename F>
 Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b,
                         F f) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorCompare, a.size());
   issue(OpClass::kVectorCompare, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]) ? 1 : 0;
-  });
+  run_lanes(OpClass::kVectorCompare, a.size(),
+            [o, a, b, f](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                o[i] = f(a[i], b[i]) ? 1 : 0;
+              }
+            });
   return out;
 }
 
 template <typename F>
 Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f) {
-  const OpTimer timer(cost_, OpClass::kVectorCompare, a.size());
   issue(OpClass::kVectorCompare, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]) ? 1 : 0;
-  });
+  run_lanes(OpClass::kVectorCompare, a.size(),
+            [o, a, f](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]) ? 1 : 0;
+            });
   return out;
 }
 
@@ -568,15 +649,17 @@ Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
 
 Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorMask, a.size());
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      o[i] = static_cast<std::uint8_t>(a[i] & b[i]);
-    }
-  });
+  const std::span<const std::uint8_t> ab = a.bytes();
+  const std::span<const std::uint8_t> bb = b.bytes();
+  run_lanes(OpClass::kVectorMask, a.size(),
+            [o, ab, bb](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                o[i] = static_cast<std::uint8_t>(ab[i] & bb[i]);
+              }
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_mask2(analysis::Opcode::kMaskAnd, out.bytes(), a.bytes(), b.bytes());
   }
@@ -585,15 +668,17 @@ Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
 
 Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorMask, a.size());
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      o[i] = static_cast<std::uint8_t>(a[i] | b[i]);
-    }
-  });
+  const std::span<const std::uint8_t> ab = a.bytes();
+  const std::span<const std::uint8_t> bb = b.bytes();
+  run_lanes(OpClass::kVectorMask, a.size(),
+            [o, ab, bb](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                o[i] = static_cast<std::uint8_t>(ab[i] | bb[i]);
+              }
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_mask2(analysis::Opcode::kMaskOr, out.bytes(), a.bytes(), b.bytes());
   }
@@ -601,13 +686,14 @@ Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
 }
 
 Mask VectorMachine::mask_not(const Mask& a) {
-  const OpTimer timer(cost_, OpClass::kVectorMask, a.size());
   issue(OpClass::kVectorMask, a.size());
   Mask out(a.size());
   std::uint8_t* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = a[i] != 0 ? 0 : 1;
-  });
+  const std::span<const std::uint8_t> ab = a.bytes();
+  run_lanes(OpClass::kVectorMask, a.size(),
+            [o, ab](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) o[i] = ab[i] != 0 ? 0 : 1;
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_mask2(analysis::Opcode::kMaskNot, out.bytes(), a.bytes(), {});
   }
@@ -615,6 +701,7 @@ Mask VectorMachine::mask_not(const Mask& a) {
 }
 
 std::size_t VectorMachine::count_true(const Mask& m) {
+  flush_batch();
   // count_true always charges its kVectorReduce chime — the modeled machine
   // still runs the instruction — but the host scan is skipped whenever the
   // mask already carries its popcount (and the result is cached for the
@@ -629,6 +716,7 @@ std::size_t VectorMachine::count_true(const Mask& m) {
 // ---- reductions ---------------------------------------------------------------
 
 Word VectorMachine::reduce_sum(std::span<const Word> v) {
+  flush_batch();
   const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
   if (analyzer_ != nullptr) {
@@ -638,6 +726,7 @@ Word VectorMachine::reduce_sum(std::span<const Word> v) {
 }
 
 Word VectorMachine::reduce_min(std::span<const Word> v) {
+  flush_batch();
   FOLVEC_REQUIRE(!v.empty(), "reduce_min needs a nonempty vector");
   const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
@@ -648,6 +737,7 @@ Word VectorMachine::reduce_min(std::span<const Word> v) {
 }
 
 Word VectorMachine::reduce_max(std::span<const Word> v) {
+  flush_batch();
   FOLVEC_REQUIRE(!v.empty(), "reduce_max needs a nonempty vector");
   const OpTimer timer(cost_, OpClass::kVectorReduce, v.size());
   issue(OpClass::kVectorReduce, v.size());
@@ -660,6 +750,7 @@ Word VectorMachine::reduce_max(std::span<const Word> v) {
 // ---- selection -----------------------------------------------------------------
 
 WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
+  flush_batch();
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
   const OpTimer timer(cost_, OpClass::kVectorCompress, v.size());
   issue(OpClass::kVectorCompress, v.size());
@@ -678,6 +769,7 @@ WordVec VectorMachine::compress(std::span<const Word> v, const Mask& m) {
 
 std::size_t VectorMachine::compress_into(WordVec& out, std::span<const Word> v,
                                          const Mask& m) {
+  flush_batch();
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
   const OpTimer timer(cost_, OpClass::kVectorCompress, v.size());
   issue(OpClass::kVectorCompress, v.size());
@@ -692,25 +784,29 @@ WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
                               std::span<const Word> b) {
   FOLVEC_REQUIRE(a.size() == b.size() && a.size() == m.size(),
                  "select operand lengths must match");
-  const OpTimer timer(cost_, OpClass::kVectorArith, a.size());
   issue(OpClass::kVectorArith, a.size());
   WordVec out(a.size());
   Word* o = out.data();
-  backend_->for_lanes(a.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = m[i] != 0 ? a[i] : b[i];
-  });
+  const std::span<const std::uint8_t> mb = m.bytes();
+  run_lanes(OpClass::kVectorArith, a.size(),
+            [o, mb, a, b](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                o[i] = mb[i] != 0 ? a[i] : b[i];
+              }
+            });
   if (analyzer_ != nullptr) analyzer_->rec_select(out, m.bytes(), a, b);
   return out;
 }
 
 WordVec VectorMachine::from_mask(const Mask& m) {
-  const OpTimer timer(cost_, OpClass::kVectorArith, m.size());
   issue(OpClass::kVectorArith, m.size());
   WordVec out(m.size());
   Word* o = out.data();
-  backend_->for_lanes(m.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) o[i] = m[i] != 0 ? 1 : 0;
-  });
+  const std::span<const std::uint8_t> mb = m.bytes();
+  run_lanes(OpClass::kVectorArith, m.size(),
+            [o, mb](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) o[i] = mb[i] != 0 ? 1 : 0;
+            });
   if (analyzer_ != nullptr) analyzer_->rec_from_mask(out, m.bytes());
   return out;
 }
@@ -719,6 +815,7 @@ WordVec VectorMachine::from_mask(const Mask& m) {
 
 void VectorMachine::store(std::span<Word> table, std::size_t offset,
                           std::span<const Word> v) {
+  flush_batch();
   // Subtraction form: `offset + v.size() <= table.size()` wraps for huge
   // offsets and would wave the store through.
   FOLVEC_REQUIRE(offset <= table.size() && v.size() <= table.size() - offset,
@@ -737,6 +834,7 @@ void VectorMachine::store(std::span<Word> table, std::size_t offset,
 }
 
 void VectorMachine::fill(std::span<Word> table, Word value) {
+  flush_batch();
   if (checker_ != nullptr) checker_->on_overwrite(table.data(), table.size());
   const OpTimer timer(cost_, OpClass::kVectorStore, table.size());
   issue(OpClass::kVectorStore, table.size());
@@ -751,6 +849,7 @@ void VectorMachine::fill(std::span<Word> table, Word value) {
 
 WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
                             std::size_t n) {
+  flush_batch();
   FOLVEC_REQUIRE(offset <= table.size() && n <= table.size() - offset,
                  "contiguous load out of bounds");
   if (checker_ != nullptr) checker_->on_contiguous_read(table, offset, n);
@@ -771,6 +870,7 @@ WordVec VectorMachine::load(std::span<const Word> table, std::size_t offset,
 WordVec VectorMachine::load_strided(std::span<const Word> table,
                                     std::size_t offset, std::size_t stride,
                                     std::size_t n) {
+  flush_batch();
   FOLVEC_REQUIRE(stride > 0, "stride must be positive");
   // Division form: `offset + (n-1)*stride` wraps for huge offsets/strides.
   FOLVEC_REQUIRE(n == 0 || (offset < table.size() &&
@@ -792,6 +892,7 @@ WordVec VectorMachine::load_strided(std::span<const Word> table,
 void VectorMachine::store_strided(std::span<Word> table, std::size_t offset,
                                   std::size_t stride,
                                   std::span<const Word> v) {
+  flush_batch();
   FOLVEC_REQUIRE(stride > 0, "stride must be positive");
   FOLVEC_REQUIRE(
       v.empty() || (offset < table.size() &&
@@ -829,6 +930,7 @@ WordVec VectorMachine::gather(std::span<const Word> table,
 
 void VectorMachine::gather_into(WordVec& out, std::span<const Word> table,
                                 std::span<const Word> idx) {
+  flush_batch();
   analysis::OpVerdicts sv;
   bool elide = false;
   if (analyzer_ != nullptr) {
@@ -868,6 +970,7 @@ void VectorMachine::gather_into(WordVec& out, std::span<const Word> table,
 WordVec VectorMachine::gather_masked(std::span<const Word> table,
                                      std::span<const Word> idx, const Mask& m,
                                      Word fill) {
+  flush_batch();
   analysis::OpVerdicts sv;
   bool elide = false;
   if (analyzer_ != nullptr) {
@@ -978,6 +1081,7 @@ bool VectorMachine::try_elide_scatter(std::span<const Word> table,
 
 void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
                             std::span<const Word> vals) {
+  flush_batch();
   analysis::OpVerdicts sv;
   bool elide = false;
   if (analyzer_ != nullptr) {
@@ -1024,6 +1128,7 @@ void VectorMachine::scatter(std::span<Word> table, std::span<const Word> idx,
 void VectorMachine::scatter_masked(std::span<Word> table,
                                    std::span<const Word> idx,
                                    std::span<const Word> vals, const Mask& m) {
+  flush_batch();
   analysis::OpVerdicts sv;
   bool elide = false;
   if (analyzer_ != nullptr) {
@@ -1055,6 +1160,7 @@ void VectorMachine::scatter_masked(std::span<Word> table,
 void VectorMachine::scatter_ordered(std::span<Word> table,
                                     std::span<const Word> idx,
                                     std::span<const Word> vals) {
+  flush_batch();
   analysis::OpVerdicts sv;
   bool elide = false;
   if (analyzer_ != nullptr) {
@@ -1090,6 +1196,7 @@ void VectorMachine::scatter_ordered(std::span<Word> table,
 
 void VectorMachine::scalar_store(std::span<Word> table, std::size_t pos,
                                  Word value) {
+  flush_batch();
   FOLVEC_REQUIRE(pos < table.size(), "scalar store out of bounds");
   if (checker_ != nullptr) checker_->on_scalar_store(table, pos, value);
   issue(OpClass::kScalarMem, 1);
@@ -1171,6 +1278,7 @@ Mask VectorMachine::scatter_gather_eq(std::span<Word> table,
 void VectorMachine::scatter_gather_eq_into(Mask& out, std::span<Word> table,
                                            std::span<const Word> idx,
                                            std::span<const Word> vals) {
+  flush_batch();
   // The ELS-violation injection lives in the plain scatter, so the injected
   // amalgam must flow through the unfused composition to stay observable.
   if (!config_.fuse || config_.inject_els_violation) {
@@ -1240,6 +1348,7 @@ Mask VectorMachine::scatter_gather_eq_masked(std::span<Word> table,
                                              std::span<const Word> idx,
                                              std::span<const Word> vals,
                                              const Mask& active) {
+  flush_batch();
   if (!config_.fuse || config_.inject_els_violation) {
     scatter_masked(table, idx, vals, active);
     const WordVec readback = gather(table, idx);
@@ -1280,6 +1389,7 @@ Mask VectorMachine::scatter_gather_eq_masked(std::span<Word> table,
 
 std::pair<WordVec, WordVec> VectorMachine::partition(std::span<const Word> v,
                                                      const Mask& m) {
+  flush_batch();
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
   if (!config_.fuse) {
     WordVec kept = compress(v, m);
@@ -1304,6 +1414,7 @@ std::pair<WordVec, WordVec> VectorMachine::partition(std::span<const Word> v,
 std::size_t VectorMachine::partition_into(WordVec& kept, WordVec& rejected,
                                           std::span<const Word> v,
                                           const Mask& m) {
+  flush_batch();
   FOLVEC_REQUIRE(v.size() == m.size(), "value/mask lengths must match");
   if (!config_.fuse) {
     const std::size_t nt = compress_into(kept, v, m);

@@ -32,6 +32,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <utility>
@@ -71,6 +72,15 @@ enum class BackendKind : std::uint8_t {
   kParallel,  ///< lanes chunked across a persistent thread pool
 };
 
+/// How the parallel backend merges colliding scatter writes (see
+/// parallel_backend.h for both algorithms; every choice is bit-identical to
+/// serial, they differ only in memory traffic and dispatch count).
+enum class MergeStrategy : std::uint8_t {
+  kAuto,        ///< single-pass for forward/reverse traversals, else two-pass
+  kSinglePass,  ///< claim-interval merge, one dispatch (any traversal)
+  kTwoPass,     ///< owner-computes route+replay merge (the PR 2 reference)
+};
+
 struct MachineConfig {
   ScatterOrder scatter_order = ScatterOrder::kForward;
   /// Seed for the kShuffled write orders (each scatter derives a fresh
@@ -101,6 +111,10 @@ struct MachineConfig {
   /// instruction. Tests lower it to exercise the parallel path on short
   /// vectors; benches keep the default so tiny ops skip dispatch.
   std::size_t backend_grain = 4096;
+  /// Scatter merge strategy of the parallel backend. kAuto picks per
+  /// instruction; the forced settings exist for differential tests and
+  /// ablation benches (every setting is bit-identical to serial).
+  MergeStrategy merge_strategy = MergeStrategy::kAuto;
 
   /// Default fusion setting: from the FOLVEC_FUSE environment variable when
   /// set (boolean spellings of support/env.h), else true.
@@ -222,6 +236,39 @@ class VectorMachine {
   /// Steady-state round loops acquire their working vectors here and feed
   /// them to the *_into primitives so repeated rounds allocate nothing.
   BufferPool& pool() { return *pool_; }
+
+  // ---- multi-op batched dispatch ------------------------------------------
+
+  /// RAII dispatch batch: while one is alive (and neither audit nor
+  /// analysis is attached), lane-aligned register ops — generation,
+  /// elementwise arithmetic, compares, mask algebra, select — queue their
+  /// lane kernels instead of dispatching each to the backend; the queued
+  /// round then crosses the pool boundary ONCE, each worker running every
+  /// queued kernel over its lane chunk in issue order. Chimes and the
+  /// instruction trace are recorded eagerly at issue (the modeled stream is
+  /// unchanged); wall time is measured at the flush and split evenly over
+  /// the queued op classes.
+  ///
+  /// A batch flushes at the outermost scope exit, whenever a non-batchable
+  /// primitive (memory, reduction, compress/partition, reverse, shl_scalar)
+  /// is issued, and whenever the queued lane count changes. Per-chunk
+  /// in-order execution of lane-aligned kernels reproduces serial dataflow
+  /// exactly, so results are bit-identical to unbatched execution — but
+  /// they are UNOBSERVABLE until the flush. Lifetime rules for callers:
+  /// every buffer an enqueued kernel reads or writes must stay alive and
+  /// unresized until the flush — compose chains through named (pooled)
+  /// buffers via the *_into primitives, never through nested temporaries,
+  /// and do not release pooled buffers mid-batch. See docs/backends.md.
+  class OpBatch {
+   public:
+    explicit OpBatch(VectorMachine& m) : m_(m) { m_.begin_batch(); }
+    ~OpBatch() { m_.end_batch(); }
+    OpBatch(const OpBatch&) = delete;
+    OpBatch& operator=(const OpBatch&) = delete;
+
+   private:
+    VectorMachine& m_;
+  };
 
   // ---- vector generation -------------------------------------------------
 
@@ -397,6 +444,8 @@ class VectorMachine {
   void reverse_into(WordVec& out, std::span<const Word> v);
   void add_into(WordVec& out, std::span<const Word> a, std::span<const Word> b);
   void add_scalar_into(WordVec& out, std::span<const Word> a, Word s);
+  void and_scalar_into(WordVec& out, std::span<const Word> a, Word s);
+  void mod_scalar_into(WordVec& out, std::span<const Word> a, Word s);
   void gather_into(WordVec& out, std::span<const Word> table,
                    std::span<const Word> idx);
   /// Returns the packed length (= popcount of m).
@@ -452,13 +501,43 @@ class VectorMachine {
   void zip_into(WordVec& out, std::span<const Word> a, std::span<const Word> b,
                 F f);
   template <typename F>
-  WordVec map(std::span<const Word> a, F f);
+  WordVec map(std::span<const Word> a, F f, bool batchable = true);
   template <typename F>
-  void map_into(WordVec& out, std::span<const Word> a, F f);
+  void map_into(WordVec& out, std::span<const Word> a, F f,
+                bool batchable = true);
   template <typename F>
   Mask cmp(std::span<const Word> a, std::span<const Word> b, F f);
   template <typename F>
   Mask cmp_scalar(std::span<const Word> a, F f);
+
+  // ---- batched dispatch internals -----------------------------------------
+
+  /// One queued lane kernel of an open OpBatch. Kernels capture their
+  /// operand pointers/spans by value (taken AFTER the destination resize)
+  /// and touch only lanes [lo, hi), so running every queued kernel in issue
+  /// order per chunk reproduces the serial dataflow exactly.
+  struct BatchEntry {
+    std::function<void(std::size_t, std::size_t)> kernel;
+    OpClass op_class;
+  };
+
+  void begin_batch() { ++batch_depth_; }
+  void end_batch();
+  /// Dispatches the queued kernels as one pool crossing; a no-op when the
+  /// queue is empty. Every non-batchable primitive calls this first, so
+  /// machine state is always current when it executes.
+  void flush_batch();
+  /// True while eligible primitives must queue instead of dispatch. Audit
+  /// and analysis observe results eagerly, so either disables batching.
+  bool batching() const {
+    return batch_depth_ > 0 && checker_ == nullptr && analyzer_ == nullptr;
+  }
+  /// Runs one lane-aligned kernel: queued when batching, else dispatched
+  /// immediately under an OpTimer (`batchable` false forces immediate —
+  /// used by kernels that may throw per lane, which must not defer).
+  void run_lanes(OpClass c, std::size_t n,
+                 std::function<void(std::size_t, std::size_t)> kernel,
+                 bool batchable = true);
 
   /// Shared fused-kernel body for the scatter_gather_eq variants: issues the
   /// single kVectorScatterGatherEq instruction and runs the backend's fused
@@ -536,6 +615,11 @@ class VectorMachine {
   std::unique_ptr<analysis::Analyzer> analyzer_;
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<BufferPool> pool_;
+  /// Open OpBatch nesting depth and the queued round (see OpBatch).
+  std::size_t batch_depth_ = 0;
+  /// Lane count shared by every queued entry; a mismatching issue flushes.
+  std::size_t batch_lanes_ = 0;
+  std::vector<BatchEntry> batch_;
 };
 
 /// RAII algorithm span: a chime-carrying telemetry span scoped to one

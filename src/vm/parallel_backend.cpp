@@ -1,9 +1,11 @@
 #include "vm/parallel_backend.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "support/require.h"
 #include "telemetry/metrics.h"
 
 namespace folvec::vm {
@@ -15,29 +17,34 @@ std::size_t hardware_workers() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-/// Chunk i of `c` even chunks over [0, n): [i*step, min(n, (i+1)*step)).
-struct ChunkPlan {
-  std::size_t step;
-  std::size_t n;
-  std::size_t lo(std::size_t i) const { return i * step; }
-  std::size_t hi(std::size_t i) const { return std::min(n, (i + 1) * step); }
-};
-
-ChunkPlan plan(std::size_t n, std::size_t chunks) {
-  return ChunkPlan{(n + chunks - 1) / chunks, n};
-}
+/// Lanes between early-cut polls in the first_oob scan: cheap enough to be
+/// invisible next to the compare, frequent enough that a chunk bails within
+/// microseconds of a lower chunk's hit.
+constexpr std::size_t kEarlyCutStride = 1024;
 
 }  // namespace
 
-ParallelBackend::ParallelBackend(std::size_t workers, std::size_t grain)
+ParallelBackend::ParallelBackend(std::size_t workers, std::size_t grain,
+                                 MergeStrategy merge)
     : workers_(workers == 0 ? hardware_workers() : workers),
-      grain_(std::max<std::size_t>(1, grain)) {}
+      grain_(std::max<std::size_t>(1, grain)),
+      merge_(merge) {}
 
 ParallelBackend::~ParallelBackend() = default;
 
 std::size_t ParallelBackend::chunks_for(std::size_t n) const {
   if (workers_ == 1 || n < 2 * grain_) return 1;
   return std::min(workers_, n / grain_);
+}
+
+detail::ChunkPlan ParallelBackend::checked_plan(std::size_t n, std::size_t c) {
+  const detail::ChunkPlan p = detail::plan(n, c);
+  const std::size_t k = p.count();
+  // Dispatching exactly count() tasks keeps every pooled chunk non-empty:
+  // the last one must still own at least one lane.
+  FOLVEC_CHECK(k >= 1 && p.lo(k - 1) < p.hi(k - 1),
+               "chunk plan produced a zero-lane pooled chunk");
+  return p;
 }
 
 ThreadPool& ParallelBackend::pool() {
@@ -51,12 +58,9 @@ void ParallelBackend::for_lanes(std::size_t n, RangeFn fn) {
     fn(0, n);
     return;
   }
-  const ChunkPlan p = plan(n, c);
-  pool().run(c, [&](std::size_t i) {
-    const std::size_t lo = p.lo(i);
-    const std::size_t hi = p.hi(i);
-    if (lo < hi) fn(lo, hi);
-  });
+  const detail::ChunkPlan p = checked_plan(n, c);
+  pool().run_affine(p.count(),
+                    [&](std::size_t i) { fn(p.lo(i), p.hi(i)); });
 }
 
 Word ParallelBackend::reduce(std::span<const Word> v,
@@ -67,9 +71,12 @@ Word ParallelBackend::reduce(std::span<const Word> v,
     for (std::size_t i = 1; i < v.size(); ++i) acc = fold(acc, v[i]);
     return acc;
   }
-  const ChunkPlan p = plan(v.size(), c);
-  std::vector<Word> partials(c);
-  pool().run(c, [&](std::size_t i) {
+  const detail::ChunkPlan p = checked_plan(v.size(), c);
+  const std::size_t k = p.count();
+  std::vector<Word> partials(k);
+  pool().run_affine(k, [&](std::size_t i) {
+    // Chunk i is non-empty by construction, so the seeding read is in
+    // bounds (the old chunks-sized dispatch read v[lo] of empty tails).
     Word acc = v[p.lo(i)];
     for (std::size_t j = p.lo(i) + 1; j < p.hi(i); ++j) acc = fold(acc, v[j]);
     partials[i] = acc;
@@ -77,7 +84,7 @@ Word ParallelBackend::reduce(std::span<const Word> v,
   // Combine in ascending chunk order: for the associative folds used here
   // this equals the serial left fold bit-for-bit.
   Word acc = partials[0];
-  for (std::size_t i = 1; i < c; ++i) acc = fold(acc, partials[i]);
+  for (std::size_t i = 1; i < k; ++i) acc = fold(acc, partials[i]);
   return acc;
 }
 
@@ -104,9 +111,10 @@ std::size_t ParallelBackend::count_true(std::span<const std::uint8_t> m) {
     for (auto b : m) n += b;
     return n;
   }
-  const ChunkPlan p = plan(m.size(), c);
-  std::vector<std::size_t> partials(c, 0);
-  pool().run(c, [&](std::size_t i) {
+  const detail::ChunkPlan p = checked_plan(m.size(), c);
+  const std::size_t k = p.count();
+  std::vector<std::size_t> partials(k, 0);
+  pool().run_affine(k, [&](std::size_t i) {
     std::size_t n = 0;
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
     partials[i] = n;
@@ -127,22 +135,23 @@ WordVec ParallelBackend::compress(std::span<const Word> v,
     }
     return out;
   }
-  const ChunkPlan p = plan(v.size(), c);
-  std::vector<std::size_t> counts(c, 0);
-  pool().run(c, [&](std::size_t i) {
+  const detail::ChunkPlan p = checked_plan(v.size(), c);
+  const std::size_t k = p.count();
+  std::vector<std::size_t> counts(k, 0);
+  pool().run_affine(k, [&](std::size_t i) {
     std::size_t n = 0;
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
     counts[i] = n;
   });
-  std::vector<std::size_t> offsets(c, 0);
+  std::vector<std::size_t> offsets(k, 0);
   std::size_t total = 0;
-  for (std::size_t i = 0; i < c; ++i) {
+  for (std::size_t i = 0; i < k; ++i) {
     offsets[i] = total;
     total += counts[i];
   }
   WordVec out(total);
   Word* dst = out.data();
-  pool().run(c, [&](std::size_t i) {
+  pool().run_affine(k, [&](std::size_t i) {
     std::size_t at = offsets[i];
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) {
       if (m[j] != 0) dst[at++] = v[j];
@@ -154,26 +163,42 @@ WordVec ParallelBackend::compress(std::span<const Word> v,
 std::size_t ParallelBackend::first_oob(std::span<const Word> idx,
                                        std::size_t table_size,
                                        const std::uint8_t* mask) {
-  const auto scan = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (mask != nullptr && mask[i] == 0) continue;
-      if (idx[i] < 0 || static_cast<std::size_t>(idx[i]) >= table_size) {
-        return i;
-      }
-    }
-    return npos;
+  const auto oob = [&](std::size_t i) {
+    if (mask != nullptr && mask[i] == 0) return false;
+    return idx[i] < 0 || static_cast<std::size_t>(idx[i]) >= table_size;
   };
   const std::size_t c = chunks_for(idx.size());
-  if (c <= 1) return scan(0, idx.size());
-  const ChunkPlan p = plan(idx.size(), c);
-  std::vector<std::size_t> firsts(c, npos);
-  pool().run(c, [&](std::size_t i) { firsts[i] = scan(p.lo(i), p.hi(i)); });
-  // Chunks are ascending lane ranges, so the first chunk reporting a
-  // violation holds the globally lowest offending lane.
-  for (std::size_t f : firsts) {
-    if (f != npos) return f;
+  if (c <= 1) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (oob(i)) return i;
+    }
+    return npos;
   }
-  return npos;
+  const detail::ChunkPlan p = checked_plan(idx.size(), c);
+  // Early-cut scan: `best` holds the lowest offending lane found so far.
+  // A chunk bails only when best < its lo — i.e. a STRICTLY earlier chunk
+  // already hit — so the chunk containing the globally-first violation can
+  // never bail (that would contradict globality) and its first local hit IS
+  // the global first. Every store is raced only through the CAS-min loop,
+  // and the pool join orders the final relaxed load after all of them.
+  std::atomic<std::size_t> best{npos};
+  pool().run_affine(p.count(), [&](std::size_t i) {
+    const std::size_t lo = p.lo(i);
+    const std::size_t hi = p.hi(i);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if ((j - lo) % kEarlyCutStride == 0 &&
+          best.load(std::memory_order_relaxed) < lo) {
+        return;
+      }
+      if (!oob(j)) continue;
+      std::size_t cur = best.load(std::memory_order_relaxed);
+      while (j < cur && !best.compare_exchange_weak(
+                            cur, j, std::memory_order_relaxed)) {
+      }
+      return;  // later lanes of this chunk cannot beat its first hit
+    }
+  });
+  return best.load(std::memory_order_relaxed);
 }
 
 void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
@@ -181,14 +206,79 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
                               const std::uint8_t* mask,
                               ScatterTraversal traversal,
                               std::span<const std::size_t> order) {
-  const std::size_t n = idx.size();
-  const std::size_t c = chunks_for(n);
+  const std::size_t c = chunks_for(idx.size());
   if (c <= 1 || table.empty()) {
     telemetry::count("pool.scatter.inline");
     apply_scatter_reference(table, idx, vals, mask, traversal, order);
     return;
   }
   telemetry::count("pool.scatter.parallel");
+  const bool single =
+      merge_ == MergeStrategy::kSinglePass ||
+      (merge_ == MergeStrategy::kAuto &&
+       traversal != ScatterTraversal::kExplicit);
+  if (single) {
+    telemetry::count("pool.merge.single_pass");
+    scatter_single_pass(table, idx, vals, mask, traversal, order);
+  } else {
+    telemetry::count("pool.merge.two_pass");
+    scatter_two_pass(table, idx, vals, mask, traversal, order, c);
+  }
+}
+
+void ParallelBackend::scatter_single_pass(std::span<Word> table,
+                                          std::span<const Word> idx,
+                                          std::span<const Word> vals,
+                                          const std::uint8_t* mask,
+                                          ScatterTraversal traversal,
+                                          std::span<const std::size_t> order) {
+  const std::size_t n = idx.size();
+  // The serial survivor of an address is its write with the highest
+  // traversal position. Scanning positions n-1 down to 0, the FIRST write
+  // each interval owner meets for an address is that survivor; the claim
+  // stamp then retires the address for the rest of the scan.
+  const auto lane_at = [&](std::size_t pos) {
+    switch (traversal) {
+      case ScatterTraversal::kReverse:
+        return n - 1 - pos;
+      case ScatterTraversal::kExplicit:
+        return order[pos];
+      case ScatterTraversal::kForward:
+        break;
+    }
+    return pos;
+  };
+  if (claim_.size() < table.size()) claim_.resize(table.size(), 0);
+  ++claim_epoch_;
+  const std::uint64_t epoch = claim_epoch_;
+  std::uint64_t* claim = claim_.data();
+  const std::size_t ranges = std::min(workers_, table.size());
+  const std::size_t range_words =
+      table.size() / ranges + (table.size() % ranges != 0 ? 1 : 0);
+  pool().run_affine(ranges, [&](std::size_t r) {
+    const std::size_t a_lo = r * range_words;
+    const std::size_t a_hi = std::min(table.size(), a_lo + range_words);
+    if (a_lo >= a_hi) return;
+    for (std::size_t pos = n; pos-- > 0;) {
+      const std::size_t lane = lane_at(pos);
+      if (mask != nullptr && mask[lane] == 0) continue;
+      const auto addr = static_cast<std::size_t>(idx[lane]);
+      if (addr < a_lo || addr >= a_hi) continue;
+      if (claim[addr] == epoch) continue;
+      claim[addr] = epoch;
+      table[addr] = vals[lane];
+    }
+  });
+}
+
+void ParallelBackend::scatter_two_pass(std::span<Word> table,
+                                       std::span<const Word> idx,
+                                       std::span<const Word> vals,
+                                       const std::uint8_t* mask,
+                                       ScatterTraversal traversal,
+                                       std::span<const std::size_t> order,
+                                       std::size_t c) {
+  const std::size_t n = idx.size();
   // Lane visited at traversal position `pos`; positions ascend 0..n-1.
   const auto lane_at = [&](std::size_t pos) {
     switch (traversal) {
@@ -202,15 +292,16 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
     return pos;
   };
   const std::size_t ranges = c;
-  const std::size_t range_words = (table.size() + ranges - 1) / ranges;
+  const std::size_t range_words =
+      table.size() / ranges + (table.size() % ranges != 0 ? 1 : 0);
   buckets_.resize(c * ranges);
   for (auto& b : buckets_) b.clear();
 
   // Pass 1: route each active write to its owning address range, keeping
   // position order within every (slice, range) bucket.
   const auto t0 = std::chrono::steady_clock::now();
-  const ChunkPlan p = plan(n, c);
-  pool().run(c, [&](std::size_t slice) {
+  const detail::ChunkPlan p = checked_plan(n, c);
+  pool().run_affine(p.count(), [&](std::size_t slice) {
     std::vector<Route>* row = &buckets_[slice * ranges];
     for (std::size_t pos = p.lo(slice); pos < p.hi(slice); ++pos) {
       const std::size_t lane = lane_at(pos);
@@ -225,7 +316,7 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
   // Pass 2: each worker owns one address range and replays its buckets in
   // ascending (slice, position) order — exactly the serial traversal order
   // restricted to that range. Ranges are disjoint, so no write races.
-  pool().run(ranges, [&](std::size_t r) {
+  pool().run_affine(ranges, [&](std::size_t r) {
     for (std::size_t slice = 0; slice < c; ++slice) {
       for (const Route& w : buckets_[slice * ranges + r]) {
         table[static_cast<std::size_t>(w.addr)] = w.val;
@@ -265,21 +356,22 @@ void ParallelBackend::compress_into(std::span<const Word> v,
     }
     return;
   }
-  const ChunkPlan p = plan(v.size(), c);
-  std::vector<std::size_t> counts(c, 0);
-  pool().run(c, [&](std::size_t i) {
+  const detail::ChunkPlan p = checked_plan(v.size(), c);
+  const std::size_t k = p.count();
+  std::vector<std::size_t> counts(k, 0);
+  pool().run_affine(k, [&](std::size_t i) {
     std::size_t n = 0;
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
     counts[i] = n;
   });
-  std::vector<std::size_t> offsets(c, 0);
+  std::vector<std::size_t> offsets(k, 0);
   std::size_t total = 0;
-  for (std::size_t i = 0; i < c; ++i) {
+  for (std::size_t i = 0; i < k; ++i) {
     offsets[i] = total;
     total += counts[i];
   }
   Word* dst = out.data();
-  pool().run(c, [&](std::size_t i) {
+  pool().run_affine(k, [&](std::size_t i) {
     std::size_t at = offsets[i];
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) {
       if (m[j] != 0) dst[at++] = v[j];
@@ -293,9 +385,9 @@ std::size_t ParallelBackend::scatter_gather_eq(
     ScatterTraversal traversal, std::span<const std::size_t> order,
     std::span<std::uint8_t> out_match, void (*between_passes)(void*),
     void* hook_ctx) {
-  // The scatter pass is exactly the plain scatter (inline or owner-computes
-  // merge); the pool join inside it is the barrier that makes every write
-  // visible to the readback pass below.
+  // The scatter pass is exactly the plain scatter (inline, single-pass, or
+  // two-pass merge); the pool join inside it is the barrier that makes every
+  // write visible to the readback pass below.
   scatter(table, idx, vals, mask, traversal, order);
   if (between_passes != nullptr) between_passes(hook_ctx);
 
@@ -315,9 +407,11 @@ std::size_t ParallelBackend::scatter_gather_eq(
   };
   const std::size_t c = chunks_for(n);
   if (c <= 1) return compare(0, n);
-  const ChunkPlan p = plan(n, c);
-  std::vector<std::size_t> partials(c, 0);
-  pool().run(c, [&](std::size_t i) { partials[i] = compare(p.lo(i), p.hi(i)); });
+  const detail::ChunkPlan p = checked_plan(n, c);
+  const std::size_t k = p.count();
+  std::vector<std::size_t> partials(k, 0);
+  pool().run_affine(
+      k, [&](std::size_t i) { partials[i] = compare(p.lo(i), p.hi(i)); });
   std::size_t survivors = 0;
   for (std::size_t h : partials) survivors += h;
   return survivors;
@@ -340,20 +434,21 @@ void ParallelBackend::partition(std::span<const Word> v,
     }
     return;
   }
-  const ChunkPlan p = plan(v.size(), c);
-  std::vector<std::size_t> counts(c, 0);
-  pool().run(c, [&](std::size_t i) {
+  const detail::ChunkPlan p = checked_plan(v.size(), c);
+  const std::size_t nk = p.count();
+  std::vector<std::size_t> counts(nk, 0);
+  pool().run_affine(nk, [&](std::size_t i) {
     std::size_t n = 0;
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
     counts[i] = n;
   });
   // Chunk i's kept lanes start at the sum of earlier chunks' true counts;
   // its rejected lanes at the sum of earlier chunks' false counts.
-  std::vector<std::size_t> kept_off(c, 0);
-  std::vector<std::size_t> rej_off(c, 0);
+  std::vector<std::size_t> kept_off(nk, 0);
+  std::vector<std::size_t> rej_off(nk, 0);
   std::size_t kept_total = 0;
   std::size_t rej_total = 0;
-  for (std::size_t i = 0; i < c; ++i) {
+  for (std::size_t i = 0; i < nk; ++i) {
     kept_off[i] = kept_total;
     rej_off[i] = rej_total;
     kept_total += counts[i];
@@ -361,7 +456,7 @@ void ParallelBackend::partition(std::span<const Word> v,
   }
   Word* kept_p = kept.data();
   Word* rej_p = rejected.data();
-  pool().run(c, [&](std::size_t i) {
+  pool().run_affine(nk, [&](std::size_t i) {
     std::size_t k = kept_off[i];
     std::size_t r = rej_off[i];
     for (std::size_t j = p.lo(i); j < p.hi(i); ++j) {

@@ -3,9 +3,16 @@
 // Every primitive must be bit-identical to SerialBackend at any worker
 // count. For elementwise work, reductions, compress, and bounds scans that
 // follows from deterministic chunking (contiguous ascending chunks, partials
-// combined in chunk order). Scatter is the interesting case — the survivor
-// of a contested address is defined by the lane *traversal order* — and is
-// handled with a two-pass owner-computes merge:
+// combined in chunk order). Chunked instructions dispatch with static worker
+// affinity (ThreadPool::run_affine): chunk i always runs on worker i, so
+// consecutive instructions over equal-length vectors hand each worker the
+// same lane range — its chunk stays in its cache across the whole round.
+//
+// Scatter is the interesting case — the survivor of a contested address is
+// defined by the lane *traversal order* — and supports two lane-exact ELS
+// merges (selected by MergeStrategy; both are bit-identical to serial):
+//
+// Two-pass owner-computes merge (the PR 2 reference, kTwoPass):
 //
 //   pass 1 (parallel over traversal positions): each worker walks its
 //     contiguous slice of the traversal order and routes every active
@@ -15,15 +22,29 @@
 //     range and replays that range's buckets slice 0..W-1, each in recorded
 //     order — i.e. exactly ascending traversal position.
 //
-// For any address, writes are applied in traversal-position order and only
-// by its owning worker, so the survivor equals the serial loop's for every
-// ScatterOrder and any worker count, and no two workers ever touch the same
-// table word (no atomics needed; the pool's join is the barrier between
-// passes). This is the lane-exact ELS merge: the parallel machine stores
-// exactly one of the written values — the same one the serial machine does.
+// Single-pass claim-interval merge (kSinglePass; kAuto uses it for forward
+// and reverse traversals): the serial survivor of an address is its write
+// with the HIGHEST traversal position, i.e. the first one encountered when
+// scanning positions n-1 down to 0. The table is partitioned into disjoint
+// per-worker address intervals; in ONE dispatch every worker scans all n
+// positions in that descending order, skips addresses outside its interval,
+// and applies the first write it meets to each of its addresses (an
+// epoch-stamped claim array dedups without clearing or atomics — interval
+// disjointness removes all races). One dispatch instead of two, no routing
+// buckets, and under heavy collisions each address is written exactly once.
+// kAuto keeps kExplicit traversals on the two-pass path: scanning a
+// shuffled order array per worker touches lanes randomly, where the routing
+// pass at least streams its slice; forcing kSinglePass remains exact.
+//
+// In both merges, for any address writes are applied in traversal-position
+// order by a single owner, so the survivor equals the serial loop's for
+// every ScatterOrder and any worker count. This is the lane-exact ELS
+// merge: the parallel machine stores exactly one of the written values —
+// the same one the serial machine does.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -32,12 +53,44 @@
 
 namespace folvec::vm {
 
+namespace detail {
+
+/// Chunk i of count() even chunks over [0, n): [i*step, min(n, (i+1)*step)).
+/// Only the first count() chunks are non-empty; callers dispatch exactly
+/// that many tasks, so no zero-lane chunk ever reaches the pool.
+struct ChunkPlan {
+  std::size_t step;
+  std::size_t n;
+  std::size_t lo(std::size_t i) const { return i * step; }
+  /// Subtraction form: `(i + 1) * step` wraps for n near SIZE_MAX (the last
+  /// chunk's product exceeds SIZE_MAX whenever step does not divide n).
+  std::size_t hi(std::size_t i) const {
+    const std::size_t base = lo(i);
+    return n - base < step ? n : base + step;
+  }
+  /// Number of non-empty chunks: ceil(n / step), overflow-proof.
+  std::size_t count() const {
+    return n == 0 ? 0 : n / step + (n % step != 0 ? 1 : 0);
+  }
+};
+
+/// Plans `chunks` even chunks over [0, n). The ceil-division is written in
+/// quotient-plus-remainder form: the textbook (n + chunks - 1) / chunks
+/// wraps for n near SIZE_MAX and would plan step 0.
+inline ChunkPlan plan(std::size_t n, std::size_t chunks) {
+  const std::size_t step = n / chunks + (n % chunks != 0 ? 1 : 0);
+  return ChunkPlan{step == 0 ? 1 : step, n};
+}
+
+}  // namespace detail
+
 class ParallelBackend final : public Backend {
  public:
   /// `workers` == 0 picks std::thread::hardware_concurrency (at least 1).
   /// `grain` is the minimum lane count per chunk: instructions shorter than
   /// two grains run inline, so tiny vectors skip dispatch entirely.
-  explicit ParallelBackend(std::size_t workers, std::size_t grain);
+  explicit ParallelBackend(std::size_t workers, std::size_t grain,
+                           MergeStrategy merge = MergeStrategy::kAuto);
   ~ParallelBackend() override;
 
   const char* name() const override { return "parallel"; }
@@ -58,7 +111,7 @@ class ParallelBackend final : public Backend {
                std::span<const std::size_t> order) override;
   void compress_into(std::span<const Word> v, std::span<const std::uint8_t> m,
                      std::span<Word> out) override;
-  /// The scatter pass reuses the owner-computes merge above; the readback
+  /// The scatter pass reuses the lane-exact merge above; the readback
   /// compare pass then chunks lanes with per-chunk survivor partials summed
   /// in chunk order, so the count (and every mask byte) is bit-identical to
   /// serial at any worker count.
@@ -85,17 +138,38 @@ class ParallelBackend final : public Backend {
   /// at most `workers_`, never fewer than one grain per chunk.
   std::size_t chunks_for(std::size_t n) const;
 
+  /// Plans `c` chunks over n lanes and asserts the zero-lane-chunk
+  /// invariant; dispatch exactly the returned plan's count() tasks.
+  static detail::ChunkPlan checked_plan(std::size_t n, std::size_t c);
+
   /// The pool, spawned on first parallel-sized instruction.
   ThreadPool& pool();
 
   Word reduce(std::span<const Word> v, Word (*fold)(Word, Word));
 
+  void scatter_two_pass(std::span<Word> table, std::span<const Word> idx,
+                        std::span<const Word> vals, const std::uint8_t* mask,
+                        ScatterTraversal traversal,
+                        std::span<const std::size_t> order, std::size_t c);
+  void scatter_single_pass(std::span<Word> table, std::span<const Word> idx,
+                           std::span<const Word> vals,
+                           const std::uint8_t* mask,
+                           ScatterTraversal traversal,
+                           std::span<const std::size_t> order);
+
   std::size_t workers_;
   std::size_t grain_;
+  MergeStrategy merge_;
   std::unique_ptr<ThreadPool> pool_;
   /// Scatter routing buckets, row-major [slice][owner range]; reused across
-  /// instructions to keep capacity warm.
+  /// instructions to keep capacity warm (two-pass merge only).
   std::vector<std::vector<Route>> buckets_;
+  /// Single-pass merge claim stamps, one per table word: claim_[addr] ==
+  /// claim_epoch_ means `addr` already received its surviving write this
+  /// instruction. Bumping the epoch invalidates every stamp at once, so the
+  /// array is never cleared; entries are only touched by the interval owner.
+  std::vector<std::uint64_t> claim_;
+  std::uint64_t claim_epoch_ = 0;
 };
 
 }  // namespace folvec::vm

@@ -41,10 +41,23 @@ class ThreadPool {
   /// (deterministic regardless of scheduling).
   void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
 
+  /// Like run(), but with a static task→worker map instead of the shared
+  /// claim counter: pool worker i always executes task i, and the calling
+  /// thread (the last logical worker) always executes task tasks-1.
+  /// Requires tasks <= size(). Because the map is a pure function of the
+  /// task index, consecutive jobs with the same task count hand every worker
+  /// the same task (for the backend: the same lane chunk) each time — the
+  /// chunk-affinity property that keeps per-worker caches warm across
+  /// consecutive instructions on equal-length vectors. Error and injected
+  /// worker-fault semantics match run() exactly.
+  void run_affine(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t tasks = 0;
+    /// Static task→worker map instead of the claim counter (run_affine).
+    bool affine = false;
     std::atomic<std::size_t> next{0};
     std::vector<std::exception_ptr> errors;
     /// Tasks claimed per worker, for the per-job imbalance metric. Each
@@ -72,6 +85,11 @@ class ThreadPool {
 
   void worker_loop(std::size_t worker);
   static void claim(Job& job, std::size_t worker, WorkerStats& stats);
+  /// Runs the one statically-assigned task of an affine job (or none, for
+  /// workers beyond the job's task count).
+  void claim_affine(Job& job, std::size_t worker, WorkerStats& stats) const;
+  /// Shared dispatch/barrier body of run() and run_affine().
+  void run_job(Job& job, const std::function<void(std::size_t)>& fn);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -83,6 +101,7 @@ class ThreadPool {
   bool stop_ = false;             // guarded by mu_
   std::vector<WorkerStats> worker_stats_;
   std::uint64_t jobs_ = 0;        ///< run() calls dispatched to the pool
+  std::uint64_t affine_jobs_ = 0; ///< run_affine() calls dispatched
   std::uint64_t inline_jobs_ = 0; ///< run() calls executed inline
   std::uint64_t tasks_total_ = 0;
   std::size_t max_tasks_per_job_ = 0;

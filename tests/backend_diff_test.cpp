@@ -45,11 +45,13 @@ VectorMachine make_serial(ScatterOrder order, std::uint64_t seed) {
 }
 
 VectorMachine make_parallel(ScatterOrder order, std::uint64_t seed,
-                            std::size_t threads, std::size_t grain = 8) {
+                            std::size_t threads, std::size_t grain = 8,
+                            MergeStrategy merge = MergeStrategy::kAuto) {
   MachineConfig cfg = diff_config(order, seed);
   cfg.backend = BackendKind::kParallel;
   cfg.backend_threads = threads;
   cfg.backend_grain = grain;
+  cfg.merge_strategy = merge;
   return VectorMachine(cfg);
 }
 
@@ -271,7 +273,7 @@ INSTANTIATE_TEST_SUITE_P(
                                          ScatterOrder::kReverse,
                                          ScatterOrder::kShuffled),
                        ::testing::Values(std::size_t{1}, std::size_t{2},
-                                         std::size_t{8})),
+                                         std::size_t{4}, std::size_t{8})),
     diff_param_name);
 
 TEST(BackendDiffLargeTest, LargeVectorsWithDefaultGrain) {
@@ -583,9 +585,88 @@ INSTANTIATE_TEST_SUITE_P(
                                          ScatterOrder::kReverse,
                                          ScatterOrder::kShuffled),
                        ::testing::Values(std::size_t{0}, std::size_t{1},
-                                         std::size_t{2}, std::size_t{8}),
+                                         std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}),
                        ::testing::Bool()),
     fused_param_name);
+
+// ---- merge-strategy scaling fuzz -------------------------------------------
+//
+// The scatter merge strategy (single-pass claim intervals vs two-pass
+// owner-computes) is a host-side choice: for every ScatterOrder, worker
+// count, and fuse mode, a machine forced onto either merge must be
+// bit-identical — outputs, memory images, and chimes — to the serial
+// reference.
+
+using MergeScalingParam =
+    std::tuple<ScatterOrder, std::size_t, MergeStrategy>;
+
+class MergeScalingDiffTest
+    : public ::testing::TestWithParam<MergeScalingParam> {
+ protected:
+  ScatterOrder order() const { return std::get<0>(GetParam()); }
+  std::size_t threads() const { return std::get<1>(GetParam()); }
+  MergeStrategy merge() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(MergeScalingDiffTest, FullScriptBitIdenticalToSerial) {
+  for (const std::size_t n : {std::size_t{257}, std::size_t{1000}}) {
+    const Inputs in(n, 0x4e46e000 + n);
+    VectorMachine serial = make_serial(order(), 99);
+    VectorMachine parallel =
+        make_parallel(order(), 99, threads(), /*grain=*/8, merge());
+    const WordVec want = run_script(serial, in);
+    const WordVec got = run_script(parallel, in);
+    ASSERT_EQ(want, got) << "digest diverged at n=" << n;
+    expect_same_costs(serial.cost(), parallel.cost());
+  }
+}
+
+TEST_P(MergeScalingDiffTest, FusedScriptBitIdenticalForEitherFuseMode) {
+  for (const bool fuse : {true, false}) {
+    const Inputs in(600, 0x4e46ef);
+    MachineConfig serial_cfg;
+    serial_cfg.scatter_order = order();
+    serial_cfg.shuffle_seed = 4242;
+    serial_cfg.audit = false;
+    serial_cfg.fuse = fuse;
+    serial_cfg.backend = BackendKind::kSerial;
+    MachineConfig par_cfg = serial_cfg;
+    par_cfg.backend = BackendKind::kParallel;
+    par_cfg.backend_threads = threads();
+    par_cfg.backend_grain = 8;
+    par_cfg.merge_strategy = merge();
+    VectorMachine serial(serial_cfg);
+    VectorMachine parallel(par_cfg);
+    const WordVec want = run_fused_script(serial, in);
+    const WordVec got = run_fused_script(parallel, in);
+    ASSERT_EQ(want, got) << "fuse=" << fuse;
+    expect_same_costs(serial.cost(), parallel.cost());
+  }
+}
+
+std::string merge_scaling_param_name(
+    const ::testing::TestParamInfo<MergeScalingParam>& info) {
+  static constexpr const char* kOrderNames[] = {"Forward", "Reverse",
+                                                "Shuffled"};
+  static constexpr const char* kMergeNames[] = {"Auto", "SinglePass",
+                                                "TwoPass"};
+  return std::string(
+             kOrderNames[static_cast<std::size_t>(std::get<0>(info.param))]) +
+         "x" + std::to_string(std::get<1>(info.param)) + "threadsx" +
+         kMergeNames[static_cast<std::size_t>(std::get<2>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersWorkersMerges, MergeScalingDiffTest,
+    ::testing::Combine(::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kReverse,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8}),
+                       ::testing::Values(MergeStrategy::kSinglePass,
+                                         MergeStrategy::kTwoPass)),
+    merge_scaling_param_name);
 
 TEST(FusedDiffEdgeTest, MaskedSgeFaultsLikeCompositionWithScatterApplied) {
   // An out-of-bounds INACTIVE lane: the masked scatter skips it, but the

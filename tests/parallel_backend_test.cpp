@@ -1,0 +1,462 @@
+// Unit and regression tests for the parallel backend internals: the chunk
+// planner (overflow + zero-lane-chunk clipping), the early-cut first_oob
+// scan, both lane-exact scatter merges, worker chunk affinity, and the
+// multi-op batched dispatch (VectorMachine::OpBatch).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/prng.h"
+#include "support/require.h"
+#include "telemetry/metrics.h"
+#include "vm/backend.h"
+#include "vm/machine.h"
+#include "vm/parallel_backend.h"
+#include "vm/thread_pool.h"
+
+namespace folvec::vm {
+namespace {
+
+// ---- chunk planner ---------------------------------------------------------
+
+TEST(ChunkPlanTest, EvenAndRaggedPlansCoverEveryLaneOnce) {
+  for (const std::size_t n : {0u, 1u, 5u, 6u, 7u, 8u, 63u, 64u, 65u, 1000u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+      const detail::ChunkPlan p = detail::plan(n, chunks);
+      const std::size_t count = p.count();
+      ASSERT_LE(count, chunks) << "n=" << n << " chunks=" << chunks;
+      std::size_t covered = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(p.lo(i), covered);
+        ASSERT_LT(p.lo(i), p.hi(i))
+            << "zero-lane chunk planned: n=" << n << " chunks=" << chunks
+            << " i=" << i;
+        covered = p.hi(i);
+      }
+      ASSERT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ChunkPlanTest, CeilDivisionDoesNotWrapNearSizeMax) {
+  // Regression: the textbook (n + chunks - 1) / chunks overflows for n near
+  // SIZE_MAX, planning step 0 and an infinite chunk walk.
+  const std::size_t n = std::numeric_limits<std::size_t>::max() - 5;
+  for (const std::size_t chunks : {1u, 2u, 7u, 8u}) {
+    const detail::ChunkPlan p = detail::plan(n, chunks);
+    ASSERT_GT(p.step, 0u);
+    ASSERT_GE(p.step, n / chunks);
+    const std::size_t count = p.count();
+    ASSERT_GE(count, 1u);
+    ASSERT_LE(count, chunks);
+    // The last chunk is non-empty and ends exactly at n.
+    ASSERT_LT(p.lo(count - 1), p.hi(count - 1));
+    ASSERT_EQ(p.hi(count - 1), n);
+  }
+}
+
+TEST(ChunkPlanTest, TinyVectorsClipEmptyTailChunks) {
+  // workers=4 over 6 lanes plans step 2 -> 3 chunks, not 4: the zero-lane
+  // tail chunk must be clipped before dispatch (the pooled reduce seeds
+  // each chunk's partial with v[lo], which reads out of bounds on an empty
+  // chunk).
+  EXPECT_EQ(detail::plan(6, 4).count(), 3u);
+  EXPECT_EQ(detail::plan(5, 4).count(), 3u);
+  EXPECT_EQ(detail::plan(1, 8).count(), 1u);
+  EXPECT_EQ(detail::plan(8, 8).count(), 8u);
+  EXPECT_EQ(detail::plan(9, 8).count(), 5u);
+}
+
+// Machine-level regression for the empty-tail-chunk OOB read: tiny vectors
+// on a wide machine with grain 1 must reduce exactly like serial.
+TEST(ChunkPlanTest, TinyVectorReductionsMatchSerialAtGrainOne) {
+  MachineConfig serial_cfg;
+  serial_cfg.backend = BackendKind::kSerial;
+  MachineConfig par_cfg;
+  par_cfg.backend = BackendKind::kParallel;
+  par_cfg.backend_threads = 4;
+  par_cfg.backend_grain = 1;
+  VectorMachine serial(serial_cfg);
+  VectorMachine parallel(par_cfg);
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 13u}) {
+    Xoshiro256 rng(0x1234 + n);
+    WordVec v(n);
+    for (auto& x : v) x = rng.in_range(-1000, 1000);
+    EXPECT_EQ(serial.reduce_sum(v), parallel.reduce_sum(v)) << "n=" << n;
+    EXPECT_EQ(serial.reduce_min(v), parallel.reduce_min(v)) << "n=" << n;
+    EXPECT_EQ(serial.reduce_max(v), parallel.reduce_max(v)) << "n=" << n;
+  }
+}
+
+// ---- first_oob early cut ---------------------------------------------------
+
+TEST(FirstOobTest, GloballyFirstHitAtEveryWorkerCount) {
+  SerialBackend serial;
+  Xoshiro256 rng(0xf00b);
+  for (int round = 0; round < 60; ++round) {
+    const auto n = static_cast<std::size_t>(rng.in_range(1, 5000));
+    const std::size_t table_size = 128;
+    WordVec idx(n);
+    for (auto& x : idx) x = rng.in_range(0, 127);
+    // 0-3 out-of-bounds lanes at random positions (negative and too-large).
+    const int oob_lanes = static_cast<int>(rng.below(4));
+    for (int k = 0; k < oob_lanes; ++k) {
+      const auto pos = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(n)));
+      idx[pos] = (k % 2 == 0) ? 128 + rng.in_range(0, 100) : -1;
+    }
+    const std::size_t want = serial.first_oob(idx, table_size, nullptr);
+    for (const std::size_t workers : {1u, 2u, 3u, 4u, 8u}) {
+      ParallelBackend parallel(workers, /*grain=*/1);
+      EXPECT_EQ(parallel.first_oob(idx, table_size, nullptr), want)
+          << "n=" << n << " workers=" << workers;
+    }
+  }
+}
+
+TEST(FirstOobTest, EarlyCutNeverSkipsAnEarlierHitInAnotherChunk) {
+  // A late chunk holds an immediate OOB lane; an early chunk holds one deep
+  // inside. The late chunk's fast hit may cut other chunks' scans, but the
+  // early chunk can never be cut before its own (globally first) hit.
+  const std::size_t n = 50000;
+  WordVec idx(n, 0);
+  idx[1200] = -7;      // global first, early chunk, past the poll stride
+  idx[n - 1] = 99999;  // instant hit for the last chunk
+  SerialBackend serial;
+  ASSERT_EQ(serial.first_oob(idx, 10, nullptr), 1200u);
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    ParallelBackend parallel(workers, /*grain=*/1);
+    EXPECT_EQ(parallel.first_oob(idx, 10, nullptr), 1200u)
+        << "workers=" << workers;
+  }
+}
+
+TEST(FirstOobTest, MaskedLanesAreExemptAtEveryWorkerCount) {
+  const std::size_t n = 4096;
+  WordVec idx(n, 1);
+  std::vector<std::uint8_t> mask(n, 1);
+  idx[100] = 500;  // masked off: not a hit
+  mask[100] = 0;
+  idx[3000] = 600;  // active: the hit
+  SerialBackend serial;
+  ASSERT_EQ(serial.first_oob(idx, 256, mask.data()), 3000u);
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ParallelBackend parallel(workers, /*grain=*/1);
+    EXPECT_EQ(parallel.first_oob(idx, 256, mask.data()), 3000u);
+  }
+}
+
+// ---- scatter merge strategies ----------------------------------------------
+
+/// Serial-reference scatter for one traversal over possibly-masked lanes.
+void reference_scatter(WordVec& table, const WordVec& idx, const WordVec& vals,
+                       const std::vector<std::uint8_t>* mask,
+                       ScatterTraversal traversal,
+                       const std::vector<std::size_t>& order) {
+  SerialBackend serial;
+  serial.scatter(table, idx, vals, mask != nullptr ? mask->data() : nullptr,
+                 traversal, order);
+}
+
+TEST(ScatterMergeTest, BothMergesMatchSerialForEveryTraversalAndWorkerCount) {
+  Xoshiro256 rng(0x5ca77e2);
+  for (int round = 0; round < 50; ++round) {
+    const auto n = static_cast<std::size_t>(rng.in_range(1, 1200));
+    const auto table_size =
+        static_cast<std::size_t>(rng.in_range(1, static_cast<Word>(n)));
+    WordVec idx(n);
+    WordVec vals(n);
+    for (auto& x : idx) {
+      x = rng.in_range(0, static_cast<Word>(table_size) - 1);
+    }
+    for (auto& x : vals) x = rng.in_range(-100000, 100000);
+    std::vector<std::uint8_t> mask(n);
+    for (auto& b : mask) b = static_cast<std::uint8_t>(rng.below(4) != 0);
+    const bool use_mask = round % 2 == 0;
+    std::vector<std::size_t> order;
+    for (const ScatterTraversal traversal :
+         {ScatterTraversal::kForward, ScatterTraversal::kReverse,
+          ScatterTraversal::kExplicit}) {
+      if (traversal == ScatterTraversal::kExplicit) {
+        order.resize(n);
+        for (std::size_t i = 0; i < n; ++i) order[i] = i;
+        shuffle(order, rng);
+      } else {
+        order.clear();
+      }
+      WordVec want(table_size, -1);
+      reference_scatter(want, idx, vals, use_mask ? &mask : nullptr,
+                        traversal, order);
+      for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        for (const MergeStrategy merge :
+             {MergeStrategy::kAuto, MergeStrategy::kSinglePass,
+              MergeStrategy::kTwoPass}) {
+          ParallelBackend parallel(workers, /*grain=*/1, merge);
+          WordVec got(table_size, -1);
+          parallel.scatter(got, idx, vals,
+                           use_mask ? mask.data() : nullptr, traversal,
+                           order);
+          ASSERT_EQ(want, got)
+              << "n=" << n << " areas=" << table_size
+              << " workers=" << workers << " traversal="
+              << static_cast<int>(traversal)
+              << " merge=" << static_cast<int>(merge);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScatterMergeTest, AutoSelectsSinglePassForStreamingTraversals) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedMetrics scoped(registry);
+  const std::size_t n = 4096;
+  WordVec idx(n);
+  WordVec vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<Word>(i % 64);
+    vals[i] = static_cast<Word>(i);
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = n - 1 - i;
+  {
+    ParallelBackend parallel(4, /*grain=*/1);
+    WordVec table(64, 0);
+    parallel.scatter(table, idx, vals, nullptr, ScatterTraversal::kForward,
+                     {});
+    parallel.scatter(table, idx, vals, nullptr, ScatterTraversal::kReverse,
+                     {});
+    parallel.scatter(table, idx, vals, nullptr, ScatterTraversal::kExplicit,
+                     order);
+  }
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("pool.merge.single_pass"), 2u);
+  EXPECT_EQ(snap.counters.at("pool.merge.two_pass"), 1u);
+}
+
+// ---- machine-level merge strategy differential -----------------------------
+
+TEST(MergeStrategyMachineTest, ForcedStrategiesBitIdenticalToSerial) {
+  for (const ScatterOrder order :
+       {ScatterOrder::kForward, ScatterOrder::kReverse,
+        ScatterOrder::kShuffled}) {
+    MachineConfig serial_cfg;
+    serial_cfg.backend = BackendKind::kSerial;
+    serial_cfg.scatter_order = order;
+    serial_cfg.shuffle_seed = 77;
+    serial_cfg.audit = false;
+    VectorMachine serial(serial_cfg);
+    const std::size_t n = 3000;
+    Xoshiro256 rng(0xabc + static_cast<std::uint64_t>(order));
+    WordVec idx(n);
+    WordVec vals(n);
+    for (auto& x : idx) x = rng.in_range(0, 99);
+    for (auto& x : vals) x = rng.in_range(-5000, 5000);
+    WordVec want(100, 0);
+    serial.scatter(want, idx, vals);
+    for (const MergeStrategy merge :
+         {MergeStrategy::kAuto, MergeStrategy::kSinglePass,
+          MergeStrategy::kTwoPass}) {
+      MachineConfig cfg = serial_cfg;
+      cfg.backend = BackendKind::kParallel;
+      cfg.backend_threads = 4;
+      cfg.backend_grain = 8;
+      cfg.merge_strategy = merge;
+      VectorMachine parallel(cfg);
+      WordVec got(100, 0);
+      parallel.scatter(got, idx, vals);
+      ASSERT_EQ(want, got) << "order=" << static_cast<int>(order)
+                           << " merge=" << static_cast<int>(merge);
+    }
+  }
+}
+
+// ---- run_affine ------------------------------------------------------------
+
+TEST(RunAffineTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t tasks : {1u, 2u, 3u, 4u}) {
+    std::vector<int> hits(tasks, 0);
+    pool.run_affine(tasks, [&](std::size_t i) { hits[i] += 1; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(RunAffineTest, RequiresOneWorkerPerTask) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_affine(3, [](std::size_t) {}), PreconditionError);
+}
+
+TEST(RunAffineTest, SameTaskCountPinsTasksToTheSameThreads) {
+  // The affinity property: the task -> worker map is a pure function of the
+  // task index, so consecutive same-shape jobs land each task on the same
+  // thread (and the last task on the caller).
+  ThreadPool pool(4);
+  const std::size_t tasks = 4;
+  std::vector<std::thread::id> first(tasks);
+  pool.run_affine(tasks,
+                  [&](std::size_t i) { first[i] = std::this_thread::get_id(); });
+  EXPECT_EQ(first[tasks - 1], std::this_thread::get_id());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::thread::id> again(tasks);
+    pool.run_affine(tasks, [&](std::size_t i) {
+      again[i] = std::this_thread::get_id();
+    });
+    ASSERT_EQ(first, again) << "affinity broke on round " << round;
+  }
+}
+
+TEST(RunAffineTest, RethrowsLowestTaskException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.run_affine(4, [&](std::size_t i) {
+        if (i >= 1) throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+// ---- multi-op batched dispatch (OpBatch) -----------------------------------
+
+VectorMachine batch_machine(BackendKind kind, std::size_t threads) {
+  MachineConfig cfg;
+  cfg.audit = false;
+  cfg.backend = kind;
+  cfg.backend_threads = threads;
+  cfg.backend_grain = 8;
+  return VectorMachine(cfg);
+}
+
+/// An elementwise round composed through named pre-declared buffers — the
+/// documented OpBatch pattern. `batched` toggles the OpBatch scope; results
+/// must be bit-identical either way.
+WordVec batch_script(VectorMachine& m, const WordVec& a, const WordVec& b,
+                     bool batched) {
+  WordVec r1;
+  WordVec r2;
+  WordVec sel;
+  Mask lt(0);
+  WordVec digest;
+  // Declared BEFORE the batch scope: a buffer declared inside it would be
+  // destroyed before the OpBatch flushes (the documented lifetime rule).
+  const WordVec head(a.begin(),
+                     a.begin() + static_cast<std::ptrdiff_t>(a.size() / 2));
+  {
+    std::optional<VectorMachine::OpBatch> batch;
+    if (batched) batch.emplace(m);
+    m.add_into(r1, a, b);
+    m.add_scalar_into(r2, r1, 5);
+    lt = m.lt(r2, b);
+    sel = m.select(lt, r1, r2);
+    m.mod_scalar_into(r1, sel, 97);
+    // Lane-count change mid-batch: flushes the queue, then re-batches.
+    m.add_scalar_into(r2, head, 3);
+  }
+  digest.insert(digest.end(), r1.begin(), r1.end());
+  digest.insert(digest.end(), r2.begin(), r2.end());
+  digest.insert(digest.end(), sel.begin(), sel.end());
+  for (const auto bit : lt) digest.push_back(bit);
+  return digest;
+}
+
+TEST(OpBatchTest, BatchedResultsAndChimesIdenticalToUnbatched) {
+  Xoshiro256 rng(0xba7c4);
+  for (const BackendKind kind : {BackendKind::kSerial, BackendKind::kParallel}) {
+    for (const std::size_t n : {2u, 64u, 1000u, 4099u}) {
+      WordVec a(n);
+      WordVec b(n);
+      for (auto& x : a) x = rng.in_range(-100000, 100000);
+      for (auto& x : b) x = rng.in_range(-100000, 100000);
+      VectorMachine plain = batch_machine(kind, 4);
+      VectorMachine batched = batch_machine(kind, 4);
+      const WordVec want = batch_script(plain, a, b, /*batched=*/false);
+      const WordVec got = batch_script(batched, a, b, /*batched=*/true);
+      ASSERT_EQ(want, got) << "n=" << n;
+      for (std::size_t i = 0; i < kOpClassCount; ++i) {
+        const auto c = static_cast<OpClass>(i);
+        EXPECT_EQ(plain.cost().instructions(c),
+                  batched.cost().instructions(c))
+            << op_class_name(c);
+        EXPECT_EQ(plain.cost().elements(c), batched.cost().elements(c))
+            << op_class_name(c);
+      }
+    }
+  }
+}
+
+TEST(OpBatchTest, EagerOpMidBatchObservesAllQueuedResults) {
+  VectorMachine m = batch_machine(BackendKind::kParallel, 4);
+  const WordVec a = m.iota(1000, 0, 1);
+  WordVec r1;
+  Word sum = 0;
+  {
+    const VectorMachine::OpBatch batch(m);
+    m.add_scalar_into(r1, a, 1);
+    // reduce_sum is not batchable: it must flush the queue first and see
+    // the materialized r1.
+    sum = m.reduce_sum(r1);
+  }
+  EXPECT_EQ(sum, static_cast<Word>(1000) * 999 / 2 + 1000);
+}
+
+TEST(OpBatchTest, NestedBatchesFlushOnlyAtOutermostClose) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedMetrics scoped(registry);
+  {
+    VectorMachine m = batch_machine(BackendKind::kParallel, 4);
+    const WordVec a = m.iota(512, 0, 1);
+    WordVec r1;
+    WordVec r2;
+    WordVec r3;
+    {
+      const VectorMachine::OpBatch outer(m);
+      m.add_scalar_into(r1, a, 1);
+      {
+        const VectorMachine::OpBatch inner(m);
+        m.add_scalar_into(r2, r1, 1);
+      }
+      // The inner close must NOT have flushed: all entries flush together.
+      m.add_into(r3, r1, r2);
+    }
+    EXPECT_EQ(r2[511], 513);
+    EXPECT_EQ(r3[511], 1025);
+  }
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_TRUE(snap.counters.contains("pool.dispatch.batched"));
+  EXPECT_EQ(snap.counters.at("pool.dispatch.batched"), 1u);
+  EXPECT_EQ(snap.counters.at("pool.dispatch.batched_ops"), 3u);
+}
+
+TEST(OpBatchTest, BatchingDisabledUnderAudit) {
+  // Audit machines interleave checker probes with ops, so batching is
+  // gated off: results must still be correct and the batched-dispatch
+  // counter untouched.
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedMetrics scoped(registry);
+  {
+    MachineConfig cfg;
+    cfg.audit = true;
+    VectorMachine m(cfg);
+    const WordVec a = m.iota(256, 0, 1);
+    WordVec r1;
+    {
+      const VectorMachine::OpBatch batch(m);
+      m.add_scalar_into(r1, a, 10);
+    }
+    EXPECT_EQ(r1[255], 265);
+  }
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_FALSE(snap.counters.contains("pool.dispatch.batched"));
+}
+
+}  // namespace
+}  // namespace folvec::vm

@@ -9,21 +9,33 @@
 // its unfused chain, a cost-table regression — pushes a note value above
 // its ceiling and fails the build.
 //
-// Golden format ("folvec-chime-golden-v1", bench/goldens/chime_baseline.json):
+// Golden format ("folvec-chime-golden-v1", bench/goldens/*.json):
 //
 //   {
 //     "schema": "folvec-chime-golden-v1",
 //     "budgets": {
-//       "<bench name>": { "<note key>": <ceiling>, ... },
+//       "<bench name>": {
+//         "<note key>": <ceiling>,                      // number: max only
+//         "<note key>": {"min": <floor>},               // ratio floors
+//         "<note key>": {"min": <floor>, "max": <c>},   // both bounds
+//         ...
+//       },
 //       ...
 //     }
 //   }
 //
+// A plain number is a ceiling (the original form, used for the modeled
+// chime totals). An object budget holds a "min" floor and/or "max" ceiling
+// — the floor form gates ratios that must stay ABOVE a bound, e.g. the
+// backend_compare wall-acceleration notes in
+// bench/goldens/backend_scaling.json, where parallel-over-serial must stay
+// > 1.0 on the CI scaling leg.
+//
 // Every budgeted note must exist in the matching report, be a number, and
-// be <= its ceiling. Reports whose bench name has no budget entry pass with
-// a "skip" line (the schema checker still validates them). Regenerate the
-// goldens deliberately — run the benches, read the new note values out of
-// the BENCH_*.json files, and commit the new ceilings with the change that
+// be within its bounds. Reports whose bench name has no budget entry pass
+// with a "skip" line (the schema checker still validates them). Regenerate
+// the goldens deliberately — run the benches, read the new note values out
+// of the BENCH_*.json files, and commit the new bounds with the change that
 // moved them.
 //
 // Usage: chime_regression_check GOLDEN_FILE BENCH_report.json...
@@ -78,10 +90,34 @@ int check_report(const std::string& path, const JsonValue& report,
   }
   const JsonValue* notes = report.find("notes");
   int problems = 0;
-  for (const auto& [key, ceiling] : budget->as_object()) {
-    if (!ceiling.is_number()) {
-      std::printf("FAIL    %s: ceiling \"%s\" must be a number\n",
-                  path.c_str(), key.c_str());
+  for (const auto& [key, bound] : budget->as_object()) {
+    // A plain number is a ceiling; an object carries "min" and/or "max".
+    std::optional<double> floor;
+    std::optional<double> ceiling;
+    if (bound.is_number()) {
+      ceiling = bound.as_number();
+    } else if (bound.is_object()) {
+      bool bad = false;
+      for (const auto& [bkey, bval] : bound.as_object()) {
+        if (!bval.is_number() || (bkey != "min" && bkey != "max")) {
+          bad = true;
+          break;
+        }
+        (bkey == "min" ? floor : ceiling) = bval.as_number();
+      }
+      if (bad || (!floor && !ceiling)) {
+        std::printf(
+            "FAIL    %s: budget \"%s\" object must hold numeric \"min\" "
+            "and/or \"max\"\n",
+            path.c_str(), key.c_str());
+        ++problems;
+        continue;
+      }
+    } else {
+      std::printf(
+          "FAIL    %s: budget \"%s\" must be a number or a {min,max} "
+          "object\n",
+          path.c_str(), key.c_str());
       ++problems;
       continue;
     }
@@ -92,15 +128,27 @@ int check_report(const std::string& path, const JsonValue& report,
       ++problems;
       continue;
     }
-    if (v->as_number() > ceiling.as_number()) {
+    if (ceiling && v->as_number() > *ceiling) {
       std::printf(
           "FAIL    %s: %s = %.6g exceeds the golden ceiling %.6g — the "
           "modeled chime cost has regressed\n",
-          path.c_str(), key.c_str(), v->as_number(), ceiling.as_number());
+          path.c_str(), key.c_str(), v->as_number(), *ceiling);
       ++problems;
+    } else if (floor && v->as_number() < *floor) {
+      std::printf(
+          "FAIL    %s: %s = %.6g is below the golden floor %.6g — the "
+          "measured ratio has regressed\n",
+          path.c_str(), key.c_str(), v->as_number(), *floor);
+      ++problems;
+    } else if (ceiling && floor) {
+      std::printf("ok      %s: %s = %.6g in [%.6g, %.6g]\n", path.c_str(),
+                  key.c_str(), v->as_number(), *floor, *ceiling);
+    } else if (floor) {
+      std::printf("ok      %s: %s = %.6g >= %.6g\n", path.c_str(),
+                  key.c_str(), v->as_number(), *floor);
     } else {
       std::printf("ok      %s: %s = %.6g <= %.6g\n", path.c_str(), key.c_str(),
-                  v->as_number(), ceiling.as_number());
+                  v->as_number(), *ceiling);
     }
   }
   return problems;
@@ -112,7 +160,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s GOLDEN_FILE BENCH_report.json...\n"
-                 "checks bench-report note values against golden ceilings\n",
+                 "checks bench-report note values against golden bounds\n",
                  argv[0]);
     return 2;
   }
