@@ -19,6 +19,7 @@
 #include "support/prng.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/spans.h"
 #include "tree/bst.h"
 #include "vm/checker.h"
@@ -206,7 +207,8 @@ BENCHMARK(BM_BstBulkInsert)->Arg(128)->Arg(2048);
 //
 //   * chime neutrality — telemetry never issues machine instructions, so
 //     the modeled instruction/element totals must be bit-identical with and
-//     without a registry+tracer installed (stronger than the 2% budget);
+//     without a registry+tracer+profiler installed (stronger than the 2%
+//     budget);
 //   * disabled-path cost — the run with nothing installed must not be
 //     slower than the run that actually records (interleaved min-of-k
 //     walls, 25% slack to absorb shared-host noise), which bounds the
@@ -250,6 +252,7 @@ GuardSample run_overhead_guard() {
   // of landing on one side of the comparison.
   folvec::telemetry::MetricsRegistry registry;
   folvec::telemetry::SpanTracer tracer;
+  folvec::telemetry::Profiler profiler;
   GuardSample off;
   GuardSample on;
   for (int i = 0; i < kReps; ++i) {
@@ -258,6 +261,7 @@ GuardSample run_overhead_guard() {
     {
       const folvec::telemetry::ScopedMetrics sm(registry);
       const folvec::telemetry::ScopedTracer st(tracer);
+      const folvec::telemetry::ScopedProfiler sp(profiler);
       t = guard_workload();
     }
     if (i == 0) {

@@ -1,8 +1,10 @@
 #include "bench_harness/report.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <utility>
+#include <vector>
 
 #include "support/env.h"
 #include "vm/machine.h"
@@ -33,6 +35,55 @@ JsonValue snapshot_to_json_value(const telemetry::MetricsSnapshot& snap) {
   // Round-trip through the renderer so the report embeds exactly the object
   // MetricsSnapshot::to_json documents.
   return JsonValue::parse(snap.to_json(-1));
+}
+
+/// The model-fidelity section: every op class the session profiler saw,
+/// with its least-squares wall_ns ~ elements fit, wall_ns percentiles, and
+/// — when the series name matches a chime op class — the model's constants
+/// (the fitted b_ns over chime_b_ns is the host-vs-model speed ratio).
+JsonObject build_calibration(const telemetry::Profiler& prof) {
+  const vm::CostParams model = vm::CostParams::s810_like();
+  JsonObject ops;
+  std::vector<std::pair<double, std::string>> residuals;
+  for (const auto& [name, series] : prof.snapshot()) {
+    const telemetry::OpFit fit = series.fit();
+    JsonObject entry{
+        {"samples", fit.samples},
+        {"elements", series.elements},
+        {"a_ns", fit.a_ns},
+        {"b_ns", fit.b_ns},
+        {"r2", fit.r2},
+        {"rms_residual_ns", fit.rms_residual_ns},
+        {"wall_ns_p50", series.wall_ns.p50()},
+        {"wall_ns_p90", series.wall_ns.p90()},
+        {"wall_ns_p99", series.wall_ns.p99()},
+    };
+    for (std::size_t c = 0; c < vm::kOpClassCount; ++c) {
+      if (name != vm::op_class_name(static_cast<vm::OpClass>(c))) continue;
+      entry.emplace_back("chime_startup_cycles", model.startup[c]);
+      entry.emplace_back("chime_per_element_cycles", model.per_element[c]);
+      entry.emplace_back("chime_b_ns",
+                         model.per_element[c] / model.clock_hz * 1.0e9);
+      break;
+    }
+    residuals.emplace_back(fit.rms_residual_ns, name);
+    ops.emplace_back(name, std::move(entry));
+  }
+  std::sort(residuals.begin(), residuals.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  JsonArray worst;
+  for (std::size_t i = 0; i < residuals.size() && i < 3; ++i) {
+    worst.push_back(residuals[i].second);
+  }
+  return JsonObject{
+      {"model", "wall_ns ~ a_ns + b_ns * elements"},
+      {"clock_hz", model.clock_hz},
+      {"ops", std::move(ops)},
+      {"worst_residual_ops", std::move(worst)},
+  };
 }
 
 }  // namespace
@@ -100,13 +151,14 @@ bool BenchReport::write() {
       std::chrono::steady_clock::now() - start_;
 
   const JsonValue doc(JsonObject{
-      {"schema", "folvec-bench-report-v1"},
+      {"schema", "folvec-bench-report-v2"},
       {"bench", name_},
       {"config", std::move(config_)},
       {"backend", probe_backend()},
       {"chime", JsonObject{{"instructions", chime_instructions},
                            {"elements", chime_elements}}},
       {"wall", JsonObject{{"seconds", wall.count()}}},
+      {"calibration", build_calibration(session_.session_profiler())},
       {"tables", std::move(tables_)},
       {"notes", std::move(notes_)},
       {"metrics", snapshot_to_json_value(snap)},

@@ -7,19 +7,24 @@
 // printed tables plus the full metric snapshot — so CI and plotting scripts
 // consume the same run the human-readable output describes.
 //
-// Report schema ("folvec-bench-report-v1"; see docs/observability.md):
-//   schema   the literal schema id
-//   bench    the bench name
-//   config   bench-declared parameters (config())
-//   backend  effective execution backend of a default-config machine:
-//            name, workers, requested, pinned, pin_reason
-//   chime    modeled totals summed from the vm.op.* counters:
-//            instructions, elements
-//   wall     host seconds between report construction and write
-//   tables   JSON twins of every TablePrinter handed to add_table()
-//   notes    free-form result values (note())
-//   metrics  the full MetricsSnapshot (counters/gauges/histograms/timings/
-//            labels)
+// Report schema ("folvec-bench-report-v2"; see docs/observability.md):
+//   schema       the literal schema id
+//   bench        the bench name
+//   config       bench-declared parameters (config())
+//   backend      effective execution backend of a default-config machine:
+//                name, workers, requested, pinned, pin_reason
+//   chime        modeled totals summed from the vm.op.* counters:
+//                instructions, elements
+//   wall         host seconds between report construction and write
+//   calibration  model-fidelity section from the session profiler: per
+//                op class the least-squares wall_ns ~ a_ns + b_ns *
+//                elements fit (with R² and RMS residual), wall_ns
+//                p50/p90/p99 percentiles, and the chime model's constants;
+//                plus the worst-residual op-class names
+//   tables       JSON twins of every TablePrinter handed to add_table()
+//   notes        free-form result values (note())
+//   metrics      the full MetricsSnapshot (counters/gauges/histograms/
+//                timings/labels)
 //
 // The file lands in FOLVEC_BENCH_JSON_DIR (created by the caller) or the
 // current directory.

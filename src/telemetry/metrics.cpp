@@ -39,22 +39,106 @@ std::pair<std::uint64_t, std::uint64_t> histogram_bucket_range(std::size_t b) {
   return {lo, hi};
 }
 
+std::uint64_t saturating_add_u64(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? ~std::uint64_t{0} : s;
+}
+
+std::uint64_t saturating_mul_u64(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > ~std::uint64_t{0} / b) return ~std::uint64_t{0};
+  return a * b;
+}
+
 void HistogramData::record(std::uint64_t value, std::uint64_t weight) {
   if (weight == 0) return;
-  buckets[histogram_bucket(value)] += weight;
+  std::uint64_t& bucket = buckets[histogram_bucket(value)];
+  bucket = saturating_add_u64(bucket, weight);
   if (count == 0 || value < min) min = value;
   if (value > max) max = value;
-  count += weight;
-  sum += value * weight;
+  count = saturating_add_u64(count, weight);
+  sum = saturating_add_u64(sum, saturating_mul_u64(value, weight));
 }
 
 void HistogramData::merge(const HistogramData& other) {
   if (other.count == 0) return;
-  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = saturating_add_u64(buckets[i], other.buckets[i]);
+  }
   if (count == 0 || other.min < min) min = other.min;
   if (other.max > max) max = other.max;
-  count += other.count;
-  sum += other.sum;
+  count = saturating_add_u64(count, other.count);
+  sum = saturating_add_u64(sum, other.sum);
+}
+
+// ---- PercentileSketch -------------------------------------------------------
+
+std::size_t PercentileSketch::bucket_index(std::uint64_t value) {
+  if (value < 2 * kSubBuckets) return static_cast<std::size_t>(value);
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(value));
+  // The power-of-two block [2^(w-1), 2^w) splits into kSubBuckets ranges
+  // of width 2^(w-1-kSubBucketBits).
+  const std::size_t sub = static_cast<std::size_t>(
+      (value - (std::uint64_t{1} << (w - 1))) >> (w - 1 - kSubBucketBits));
+  return 2 * kSubBuckets + (w - (kSubBucketBits + 2)) * kSubBuckets + sub;
+}
+
+std::pair<std::uint64_t, std::uint64_t> PercentileSketch::bucket_range(
+    std::size_t b) {
+  if (b < 2 * kSubBuckets) return {b, b};
+  const std::size_t block = (b - 2 * kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (b - 2 * kSubBuckets) % kSubBuckets;
+  const std::size_t w = block + kSubBucketBits + 2;
+  const std::uint64_t width = std::uint64_t{1} << (w - 1 - kSubBucketBits);
+  const std::uint64_t lo = (std::uint64_t{1} << (w - 1)) + sub * width;
+  return {lo, lo + (width - 1)};
+}
+
+void PercentileSketch::record(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  std::uint64_t& b = buckets_[bucket_index(value)];
+  b = saturating_add_u64(b, weight);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ = saturating_add_u64(count_, weight);
+  sum_ = saturating_add_u64(sum_, saturating_mul_u64(value, weight));
+}
+
+void PercentileSketch::merge(const PercentileSketch& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] = saturating_add_u64(buckets_[i], other.buckets_[i]);
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ = saturating_add_u64(count_, other.count_);
+  sum_ = saturating_add_u64(sum_, other.sum_);
+}
+
+std::uint64_t PercentileSketch::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based: ceil(q * count), clamped to
+  // [1, count] so q=0 is the smallest sample and q=1 the largest.
+  const double scaled = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    cum = saturating_add_u64(cum, buckets_[b]);
+    if (cum >= rank) {
+      const auto [lo, hi] = bucket_range(b);
+      std::uint64_t rep = lo + (hi - lo) / 2;
+      if (rep < min_) rep = min_;
+      if (rep > max_) rep = max_;
+      return rep;
+    }
+  }
+  return max_;
 }
 
 // ---- MetricsSnapshot --------------------------------------------------------
@@ -78,23 +162,37 @@ MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& after,
   MetricsSnapshot out = after;
   for (auto& [k, v] : out.counters) {
     const auto it = before.counters.find(k);
-    if (it != before.counters.end()) v -= it->second;
+    if (it != before.counters.end()) {
+      v = v >= it->second ? v - it->second : 0;  // clamp across resets
+    }
+  }
+  for (const auto& kv : before.counters) {
+    out.counters.emplace(kv.first, 0);  // only-in-before: a zero delta
   }
   for (auto& [k, h] : out.histograms) {
     const auto it = before.histograms.find(k);
     if (it == before.histograms.end()) continue;
     const HistogramData& b = it->second;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
-      h.buckets[i] -= b.buckets[i];
+      h.buckets[i] = h.buckets[i] >= b.buckets[i] ? h.buckets[i] - b.buckets[i]
+                                                  : 0;
     }
-    h.count -= b.count;
-    h.sum -= b.sum;
+    h.count = h.count >= b.count ? h.count - b.count : 0;
+    h.sum = h.sum >= b.sum ? h.sum - b.sum : 0;
     // min/max cannot be un-merged; keep the after-side extremes.
+  }
+  for (const auto& kv : before.histograms) {
+    out.histograms.emplace(kv.first, HistogramData{});
   }
   for (auto& [k, t] : out.timings) {
     const auto it = before.timings.find(k);
     if (it != before.timings.end()) t -= it->second;
   }
+  for (const auto& kv : before.timings) {
+    out.timings.emplace(kv.first, 0.0);
+  }
+  // Gauges and labels stay `after`'s verbatim (instantaneous facts — see
+  // the header contract); only-in-before gauges/labels are dropped.
   return out;
 }
 

@@ -42,6 +42,8 @@ struct HistogramData {
   std::uint64_t max = 0;
 
   /// Records `weight` occurrences of `value` (one bucket bump of `weight`).
+  /// `count` and `sum` saturate at UINT64_MAX instead of wrapping, so a
+  /// huge weight can pin them to the ceiling but never corrupt them.
   void record(std::uint64_t value, std::uint64_t weight = 1);
   void merge(const HistogramData& other);
 
@@ -59,6 +61,69 @@ std::size_t histogram_bucket(std::uint64_t value);
 /// Inclusive [lo, hi] value range of bucket `b`.
 std::pair<std::uint64_t, std::uint64_t> histogram_bucket_range(std::size_t b);
 
+/// Saturating uint64 arithmetic used by the histogram/sketch accumulators.
+std::uint64_t saturating_add_u64(std::uint64_t a, std::uint64_t b);
+std::uint64_t saturating_mul_u64(std::uint64_t a, std::uint64_t b);
+
+/// Fixed-memory quantile sketch (HDR-histogram style): each power of two
+/// is split into kSubBuckets equal-width sub-buckets, so any quantile
+/// comes back as a bucket-midpoint representative whose relative error is
+/// bounded by half a sub-bucket width — at 16 sub-buckets, <= 1/32
+/// (~3.1%) for values past the exact range. Values below 2 * kSubBuckets
+/// land in single-value buckets and are exact.
+///
+/// The sketch is deterministic (pure function of the recorded multiset,
+/// independent of recording order) and mergeable (bucket-wise addition),
+/// which is what the serving-layer p50/p99 machinery and the calibration
+/// profiler need; the coarser HistogramData stays the snapshot/diff
+/// workhorse. ~8 KiB per instance, no allocation.
+class PercentileSketch {
+ public:
+  static constexpr std::size_t kSubBucketBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// 2*kSubBuckets exact buckets (values 0..2*kSubBuckets-1, bit widths up
+  /// to kSubBucketBits+1) + kSubBuckets per remaining power of two.
+  static constexpr std::size_t kBuckets =
+      2 * kSubBuckets + (64 - (kSubBucketBits + 1)) * kSubBuckets;
+
+  /// Flat bucket index of `value`; strictly monotone in `value`.
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Inclusive [lo, hi] value range of bucket `b`.
+  static std::pair<std::uint64_t, std::uint64_t> bucket_range(std::size_t b);
+
+  /// Records `weight` occurrences of `value` (saturating accumulators).
+  void record(std::uint64_t value, std::uint64_t weight = 1);
+  /// Bucket-wise accumulation of another sketch.
+  void merge(const PercentileSketch& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile `q` in [0, 1]: the midpoint representative of the
+  /// bucket holding the ceil(q * count)-th smallest recorded value,
+  /// clamped into [min, max]. Returns 0 on an empty sketch.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+
+  bool operator==(const PercentileSketch&) const = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
 /// An immutable copy of a registry's state. Also the registry's internal
 /// storage (guarded by its mutex).
 struct MetricsSnapshot {
@@ -75,9 +140,19 @@ struct MetricsSnapshot {
   /// across execution backends and worker counts for the same program.
   MetricsSnapshot deterministic() const;
 
-  /// Per-entry difference `after - before` (counters/histograms subtract;
-  /// gauges, timings, and labels are taken from `after`). Entries absent
-  /// from `after` are dropped.
+  /// Per-entry difference `after - before`, keyed on the union of both
+  /// snapshots' counters, histograms, and timings:
+  ///  * present in both: counters and histogram accumulators subtract,
+  ///    clamping at 0 instead of wrapping (a registry reset between the
+  ///    snapshots can legitimately make `before` larger); timings subtract
+  ///    without clamping (negative deltas flag a reset).
+  ///  * only in `after`: copied through (delta from an implicit 0).
+  ///  * only in `before`: surfaced explicitly as a zero-valued entry
+  ///    (0 counter / empty histogram / 0.0 timing) so consumers can see
+  ///    the key existed rather than silently losing it.
+  /// Gauges and labels are instantaneous facts, not accumulations: the
+  /// result carries `after`'s gauges and labels verbatim, and gauges or
+  /// labels present only in `before` are intentionally dropped.
   static MetricsSnapshot diff(const MetricsSnapshot& after,
                               const MetricsSnapshot& before);
 

@@ -1,0 +1,95 @@
+#include "telemetry/profile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace folvec::telemetry {
+
+namespace {
+
+std::atomic<Profiler*> g_profiler{nullptr};
+
+}  // namespace
+
+OpFit Profiler::Series::fit() const {
+  OpFit f;
+  f.samples = samples;
+  if (samples == 0) return f;
+  const double n = static_cast<double>(samples);
+  const double ss_tot = sum_ww - sum_w * sum_w / n;
+  const double var_x = sum_nn - sum_n * sum_n / n;
+  const double cov = sum_nw - sum_n * sum_w / n;
+  if (samples < 2 || var_x <= 0.0) {
+    f.a_ns = sum_w / n;
+    f.b_ns = 0.0;
+    f.rms_residual_ns = std::sqrt(std::max(0.0, ss_tot) / n);
+    f.r2 = ss_tot <= 0.0 ? 1.0 : 0.0;
+    return f;
+  }
+  f.b_ns = cov / var_x;
+  f.a_ns = (sum_w - f.b_ns * sum_n) / n;
+  const double ss_res =
+      std::max(0.0, sum_ww - f.a_ns * sum_w - f.b_ns * sum_nw);
+  f.rms_residual_ns = std::sqrt(ss_res / n);
+  f.r2 = ss_tot > 0.0 ? std::clamp(1.0 - ss_res / ss_tot, 0.0, 1.0) : 1.0;
+  return f;
+}
+
+void Profiler::Series::merge(const Series& other) {
+  samples += other.samples;
+  elements += other.elements;
+  sum_n += other.sum_n;
+  sum_nn += other.sum_nn;
+  sum_w += other.sum_w;
+  sum_ww += other.sum_ww;
+  sum_nw += other.sum_nw;
+  wall_ns.merge(other.wall_ns);
+}
+
+void Profiler::record(const char* static_name, std::size_t elements,
+                      double wall_seconds) {
+  const double w_ns = wall_seconds * 1e9;
+  const double n = static_cast<double>(elements);
+  const std::uint64_t w_ns_u =
+      w_ns <= 0.0 ? 0 : static_cast<std::uint64_t>(w_ns);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_[static_name];
+  ++s.samples;
+  s.elements += elements;
+  s.sum_n += n;
+  s.sum_nn += n * n;
+  s.sum_w += w_ns;
+  s.sum_ww += w_ns * w_ns;
+  s.sum_nw += n * w_ns;
+  s.wall_ns.record(w_ns_u);
+}
+
+std::map<std::string, Profiler::Series> Profiler::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Series> out;
+  for (const auto& [name, series] : series_) {
+    auto [it, fresh] = out.emplace(name, series);
+    if (!fresh) it->second.merge(series);
+  }
+  return out;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+Profiler* profiler() { return g_profiler.load(std::memory_order_relaxed); }
+
+void install_profiler(Profiler* p) {
+  g_profiler.store(p, std::memory_order_release);
+}
+
+ScopedProfiler::ScopedProfiler(Profiler& p) : previous_(profiler()) {
+  install_profiler(&p);
+}
+
+ScopedProfiler::~ScopedProfiler() { install_profiler(previous_); }
+
+}  // namespace folvec::telemetry

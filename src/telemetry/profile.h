@@ -1,0 +1,109 @@
+// Cost-model calibration profiler.
+//
+// The chime model (vm/cost_model.h) predicts `cost = startup + n *
+// per_element` cycles per instruction; the paper's claims are stated in
+// those modeled chimes, but since PR 7 the headline win is wall-clock.
+// This profiler quantifies how well the model tracks the host: every
+// executed instruction contributes one (elements, wall_ns) sample to a
+// per-op-class series, and at report time each series yields
+//
+//   * a least-squares fit  wall_ns ~ a_ns + b_ns * elements  with R² and
+//     the RMS residual (the chime model is affine in n, so R² against n
+//     is exactly R² against the chime prediction), and
+//   * p50/p90/p99 wall_ns from a PercentileSketch (bounded relative
+//     error, deterministic, mergeable).
+//
+// The bench reporter (bench_harness/report.cpp) pairs each fitted series
+// with the op class's chime constants and emits the "calibration" section
+// of every BENCH_*.json; high-residual classes are flagged so a model
+// mismatch is visible per report and trendable across PRs.
+//
+// Like the tracer and the metrics registry, the profiler is a
+// process-wide borrowed pointer, nullptr by default: the off path is one
+// relaxed atomic load per instruction, enforced by micro_vm's overhead
+// guard. Series are keyed by the op-class mnemonic pointer (static
+// storage) so the hot-path record is a pointer-hash lookup; snapshot()
+// re-keys by string and merges aliases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "telemetry/metrics.h"
+
+namespace folvec::telemetry {
+
+/// Least-squares fit of one op class's wall ~ elements relation.
+struct OpFit {
+  std::uint64_t samples = 0;
+  double a_ns = 0.0;  // intercept: fitted fixed cost per instruction
+  double b_ns = 0.0;  // slope: fitted cost per element
+  double r2 = 0.0;    // coefficient of determination, clamped to [0, 1]
+  double rms_residual_ns = 0.0;
+};
+
+class Profiler {
+ public:
+  /// One op class's accumulated samples: the moments needed for the
+  /// least-squares fit plus a wall_ns percentile sketch.
+  struct Series {
+    std::uint64_t samples = 0;
+    std::uint64_t elements = 0;  // total lanes across samples
+    double sum_n = 0.0;          // Σ elements
+    double sum_nn = 0.0;         // Σ elements²
+    double sum_w = 0.0;          // Σ wall_ns
+    double sum_ww = 0.0;         // Σ wall_ns²
+    double sum_nw = 0.0;         // Σ elements · wall_ns
+    PercentileSketch wall_ns;
+
+    /// Fit from the moments. With < 2 samples or zero variance in n the
+    /// slope is 0 and the intercept is the mean; R² is then 1 exactly
+    /// when the samples are constant (nothing left to explain).
+    OpFit fit() const;
+    void merge(const Series& other);
+  };
+
+  /// Records one executed instruction. `static_name` must point at storage
+  /// that outlives the profiler (op-class mnemonics do). Thread-safe.
+  void record(const char* static_name, std::size_t elements,
+              double wall_seconds);
+
+  /// Copies all series out, keyed by op name; series recorded under
+  /// distinct pointers with equal spellings are merged.
+  std::map<std::string, Series> snapshot() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<const char*, Series> series_;
+};
+
+/// The installed profiler, or nullptr (borrowed, same contract as
+/// metrics() / tracer()).
+Profiler* profiler();
+void install_profiler(Profiler* p);
+
+/// Zero-cost-when-off recording helper.
+inline void profile_op(const char* static_name, std::size_t elements,
+                       double wall_seconds) {
+  if (Profiler* p = profiler()) p->record(static_name, elements, wall_seconds);
+}
+
+/// RAII install/uninstall of a profiler (tests, bench mains).
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(Profiler& p);
+  ~ScopedProfiler();
+  ScopedProfiler(const ScopedProfiler&) = delete;
+  ScopedProfiler& operator=(const ScopedProfiler&) = delete;
+
+ private:
+  Profiler* previous_;
+};
+
+}  // namespace folvec::telemetry

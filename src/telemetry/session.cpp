@@ -7,8 +7,10 @@
 
 namespace folvec::telemetry {
 
-EnvSession::EnvSession() : previous_metrics_(metrics()) {
+EnvSession::EnvSession()
+    : previous_metrics_(metrics()), previous_profiler_(profiler()) {
   install_metrics(&registry_);
+  install_profiler(&profiler_);
   trace_path_ = env_value("FOLVEC_TRACE_JSON");
   if (trace_path_) {
     tracer_ = std::make_unique<SpanTracer>();
@@ -58,6 +60,7 @@ EnvSession::~EnvSession() {
   flush();
   if (fault_plan_) install_faults(previous_faults_);
   if (tracer_) install_tracer(previous_tracer_);
+  install_profiler(previous_profiler_);
   install_metrics(previous_metrics_);
 }
 

@@ -13,10 +13,11 @@
 //                             clause grammar), seeded by FOLVEC_FAULT_SEED
 //                             (default 0)
 //
-// A MetricsRegistry is installed unconditionally: the registry itself is
-// cheap and the bench reporter reads the snapshot whether or not
-// FOLVEC_METRICS asked for a copy on disk. Binaries that want the
-// zero-overhead path (micro_vm's guard) simply don't construct a session.
+// A MetricsRegistry and a calibration Profiler are installed
+// unconditionally: both are cheap, and the bench reporter reads the
+// snapshot and the per-op-class fits whether or not FOLVEC_METRICS asked
+// for a copy on disk. Binaries that want the zero-overhead path
+// (micro_vm's guard) simply don't construct a session.
 //
 // The session installs on construction and uninstalls + flushes on
 // destruction, so a bench main's natural scoping produces complete files.
@@ -28,6 +29,7 @@
 
 #include "support/faultsim.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/spans.h"
 
 namespace folvec::telemetry {
@@ -40,6 +42,8 @@ class EnvSession {
   EnvSession& operator=(const EnvSession&) = delete;
 
   MetricsRegistry& registry() { return registry_; }
+  /// The session's calibration profiler (installed for the whole session).
+  Profiler& session_profiler() { return profiler_; }
   /// Non-null when FOLVEC_TRACE_JSON requested a trace.
   SpanTracer* span_tracer() { return tracer_.get(); }
   const std::optional<std::string>& trace_path() const { return trace_path_; }
@@ -52,11 +56,13 @@ class EnvSession {
 
  private:
   MetricsRegistry registry_;
+  Profiler profiler_;
   std::unique_ptr<SpanTracer> tracer_;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::optional<std::string> trace_path_;
   std::optional<std::string> metrics_path_;
   MetricsRegistry* previous_metrics_;
+  Profiler* previous_profiler_;
   SpanTracer* previous_tracer_ = nullptr;
   FaultPlan* previous_faults_ = nullptr;
   bool flushed_ = false;

@@ -2,7 +2,15 @@
 
 #include <atomic>
 #include <fstream>
+#include <functional>
 #include <ostream>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 #include "support/json.h"
 
@@ -12,89 +20,282 @@ namespace {
 
 std::atomic<SpanTracer*> g_tracer{nullptr};
 
+// Serial numbers key the thread-local track cache: a tracer constructed at
+// a recycled address gets a fresh serial, so stale caches never resolve.
+std::atomic<std::uint64_t> g_tracer_serials{0};
+
+// Per-thread single-slot cache: the track this thread registered with the
+// tracer whose serial is `tls_serial`. Owner-thread-only after the first
+// (mutex-guarded) registration, which is what makes push() safe under
+// concurrent per-thread recording.
+thread_local std::uint64_t tls_serial = 0;
+thread_local void* tls_track = nullptr;
+
+std::uint64_t current_tid() {
+#if defined(__linux__)
+  return static_cast<std::uint64_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+}
+
 }  // namespace
 
 SpanTracer::SpanTracer(std::size_t capacity)
-    : epoch_(Clock::now()), capacity_(capacity) {
-  events_.reserve(capacity < 4096 ? capacity : 4096);
+    : epoch_(Clock::now()),
+      capacity_(capacity),
+      serial_(g_tracer_serials.fetch_add(1, std::memory_order_relaxed) + 1) {
+  // Register the constructing thread eagerly as track 0, named "main": it
+  // is the machine's issuing thread in every bench and test, and exporting
+  // it first keeps deterministic span/op events in a stable file order.
+  track().name = "main";
 }
 
-void SpanTracer::push(Event e) {
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+SpanTracer::~SpanTracer() = default;
+
+SpanTracer::Track& SpanTracer::track() {
+  if (tls_serial == serial_ && tls_track != nullptr) {
+    return *static_cast<Track*>(tls_track);
+  }
+  const std::uint64_t tid = current_tid();
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  Track* mine = nullptr;
+  // A thread alternating between two live tracers re-registers on each
+  // switch; find its existing track so it never gets a duplicate.
+  for (const std::unique_ptr<Track>& t : tracks_) {
+    if (t->tid == tid) {
+      mine = t.get();
+      break;
+    }
+  }
+  if (mine == nullptr) {
+    tracks_.push_back(std::make_unique<Track>());
+    mine = tracks_.back().get();
+    mine->tid = tid;
+    // Small eager reserve: a long bench run registers a track per pool
+    // worker thread (hundreds across many machines), so a large reserve
+    // here would dominate the trace's memory; growth is geometric anyway.
+    mine->events.reserve(capacity_ < 256 ? capacity_ : 256);
+  }
+  tls_serial = serial_;
+  tls_track = mine;
+  return *mine;
+}
+
+void SpanTracer::push(Track& t, Event e) {
+  if (t.events.size() >= capacity_) {
+    ++t.dropped;
     return;
   }
-  events_.push_back(std::move(e));
+  t.events.push_back(std::move(e));
 }
 
 void SpanTracer::begin(std::string name, std::uint64_t chime_instructions,
                        std::uint64_t chime_elements) {
-  stack_.push_back(
+  track().stack.push_back(
       Open{std::move(name), Clock::now(), chime_instructions, chime_elements});
 }
 
 void SpanTracer::end(std::uint64_t chime_instructions,
                      std::uint64_t chime_elements) {
-  if (stack_.empty()) return;
-  Open open = std::move(stack_.back());
-  stack_.pop_back();
-  const double ts = to_us(open.start);
-  const double dur = to_us(Clock::now()) - ts;
-  push(Event{/*static_name=*/nullptr, std::move(open.name), ts, dur,
-             /*elements=*/0,
-             chime_instructions >= open.chime_instructions
-                 ? chime_instructions - open.chime_instructions
-                 : 0,
-             chime_elements >= open.chime_elements
-                 ? chime_elements - open.chime_elements
-                 : 0,
-             /*is_op=*/false});
+  Track& t = track();
+  if (t.stack.empty()) return;
+  Open open = std::move(t.stack.back());
+  t.stack.pop_back();
+  Event e;
+  e.kind = EventKind::kSpan;
+  e.name = std::move(open.name);
+  e.ts_us = to_us(open.start);
+  e.dur_us = to_us(Clock::now()) - e.ts_us;
+  e.chime_instructions = chime_instructions >= open.chime_instructions
+                             ? chime_instructions - open.chime_instructions
+                             : 0;
+  e.chime_elements = chime_elements >= open.chime_elements
+                         ? chime_elements - open.chime_elements
+                         : 0;
+  push(t, std::move(e));
 }
 
 void SpanTracer::op(const char* static_name, std::size_t elements,
                     Clock::time_point start, Clock::time_point end) {
+  Event e;
+  e.kind = EventKind::kOp;
+  e.static_name = static_name;
+  e.ts_us = to_us(start);
+  e.dur_us = to_us(end) - e.ts_us;
+  e.elements = static_cast<std::uint64_t>(elements);
+  push(track(), std::move(e));
+}
+
+void SpanTracer::set_thread_name(std::string_view name) {
+  Track& t = track();
+  if (t.name.empty()) t.name = std::string(name);
+}
+
+std::uint64_t SpanTracer::next_flow_id() {
+  return flow_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void SpanTracer::flow_begin(const char* static_name, std::uint64_t flow_id) {
+  Event e;
+  e.kind = EventKind::kFlowStart;
+  e.static_name = static_name;
+  e.ts_us = to_us(Clock::now());
+  e.flow_id = flow_id;
+  push(track(), std::move(e));
+}
+
+void SpanTracer::chunk(const char* static_name, std::size_t lo, std::size_t hi,
+                       std::uint64_t flow_id, Clock::time_point start,
+                       Clock::time_point end) {
+  Track& t = track();
   const double ts = to_us(start);
-  push(Event{static_name, std::string(), ts, to_us(end) - ts,
-             static_cast<std::uint64_t>(elements), 0, 0, /*is_op=*/true});
+  if (flow_id != 0) {
+    // The flow-finish binds to the enclosing slice ("bp":"e"), which is the
+    // chunk slice pushed right after it — same thread, same timestamp.
+    Event f;
+    f.kind = EventKind::kFlowEnd;
+    f.static_name = static_name;
+    f.ts_us = ts;
+    f.flow_id = flow_id;
+    push(t, std::move(f));
+  }
+  Event e;
+  e.kind = EventKind::kChunk;
+  e.static_name = static_name;
+  e.ts_us = ts;
+  e.dur_us = to_us(end) - ts;
+  e.lo = static_cast<std::uint64_t>(lo);
+  e.elements = static_cast<std::uint64_t>(hi - lo);
+  e.flow_id = flow_id;
+  push(t, std::move(e));
+}
+
+void SpanTracer::counter(const char* static_name, double value) {
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.static_name = static_name;
+  e.ts_us = to_us(Clock::now());
+  e.value = value;
+  push(track(), std::move(e));
+}
+
+std::size_t SpanTracer::size() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t n = 0;
+  for (const std::unique_ptr<Track>& t : tracks_) n += t->events.size();
+  return n;
+}
+
+std::size_t SpanTracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t n = 0;
+  for (const std::unique_ptr<Track>& t : tracks_) n += t->dropped;
+  return n;
+}
+
+std::size_t SpanTracer::open_depth() const {
+  const std::uint64_t tid = current_tid();
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const std::unique_ptr<Track>& t : tracks_) {
+    if (t->tid == tid) return t->stack.size();
+  }
+  return 0;
+}
+
+std::size_t SpanTracer::track_count() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  return tracks_.size();
 }
 
 void SpanTracer::append_event_json(std::ostream& os, const Event& e,
-                                   bool& first) const {
+                                   std::uint64_t tid, bool& first) const {
   if (!first) os << ",\n";
   first = false;
   const std::string_view name =
       e.static_name != nullptr ? std::string_view(e.static_name)
                                : std::string_view(e.name);
-  os << "    {\"name\": " << JsonValue::quote(name)
-     << ", \"cat\": " << (e.is_op ? "\"op\"" : "\"span\"")
-     << ", \"ph\": \"X\", \"pid\": 1, \"tid\": 1"
-     << ", \"ts\": " << JsonValue(e.ts_us).dump()
-     << ", \"dur\": " << JsonValue(e.dur_us).dump();
-  if (e.is_op) {
-    os << ", \"args\": {\"elements\": " << e.elements << "}";
-  } else {
-    os << ", \"args\": {\"chime_instructions\": " << e.chime_instructions
-       << ", \"chime_elements\": " << e.chime_elements << "}";
+  os << "    {\"name\": " << JsonValue::quote(name);
+  switch (e.kind) {
+    case EventKind::kSpan:
+      os << ", \"cat\": \"span\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << JsonValue(e.ts_us).dump()
+         << ", \"dur\": " << JsonValue(e.dur_us).dump()
+         << ", \"args\": {\"chime_instructions\": " << e.chime_instructions
+         << ", \"chime_elements\": " << e.chime_elements << "}";
+      break;
+    case EventKind::kOp:
+      os << ", \"cat\": \"op\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << JsonValue(e.ts_us).dump()
+         << ", \"dur\": " << JsonValue(e.dur_us).dump()
+         << ", \"args\": {\"elements\": " << e.elements << "}";
+      break;
+    case EventKind::kChunk:
+      os << ", \"cat\": \"chunk\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << JsonValue(e.ts_us).dump()
+         << ", \"dur\": " << JsonValue(e.dur_us).dump()
+         << ", \"args\": {\"lo\": " << e.lo
+         << ", \"hi\": " << (e.lo + e.elements) << ", \"lanes\": " << e.elements
+         << ", \"flow\": " << e.flow_id << "}";
+      break;
+    case EventKind::kFlowStart:
+      os << ", \"cat\": \"flow\", \"ph\": \"s\", \"id\": " << e.flow_id
+         << ", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << JsonValue(e.ts_us).dump() << ", \"args\": {}";
+      break;
+    case EventKind::kFlowEnd:
+      os << ", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \"id\": "
+         << e.flow_id << ", \"pid\": 1, \"tid\": " << tid
+         << ", \"ts\": " << JsonValue(e.ts_us).dump() << ", \"args\": {}";
+      break;
+    case EventKind::kCounter:
+      os << ", \"cat\": \"counter\", \"ph\": \"C\", \"pid\": 1, \"tid\": "
+         << tid << ", \"ts\": " << JsonValue(e.ts_us).dump()
+         << ", \"args\": {\"value\": " << JsonValue(e.value).dump() << "}";
+      break;
   }
   os << "}";
 }
 
 void SpanTracer::write_chrome_trace(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
   os << "{\n  \"traceEvents\": [\n";
   bool first = true;
-  for (const Event& e : events_) append_event_json(os, e, first);
-  // Spans still open at write time are emitted as-of-now so a trace
-  // captured mid-run (e.g. from an atexit hook) is still well formed.
   const double now_us = to_us(Clock::now());
-  for (const Open& open : stack_) {
-    const double ts = to_us(open.start);
-    append_event_json(
-        os,
-        Event{nullptr, open.name, ts, now_us - ts, 0, 0, 0, /*is_op=*/false},
-        first);
+  std::size_t dropped_total = 0;
+  std::size_t sort_index = 0;
+  for (const std::unique_ptr<Track>& t : tracks_) {
+    dropped_total += t->dropped;
+    // Thread metadata first: the name ("main" / "worker-<i>", or a tid
+    // placeholder for threads that never named themselves) and a sort
+    // index pinning registration order in the viewer.
+    std::string label =
+        t->name.empty() ? "thread-" + std::to_string(t->tid) : t->name;
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << t->tid << ", \"args\": {\"name\": "
+       << JsonValue::quote(label) << "}},\n"
+       << "    {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << t->tid << ", \"args\": {\"sort_index\": "
+       << sort_index << "}}";
+    ++sort_index;
+    for (const Event& e : t->events) append_event_json(os, e, t->tid, first);
+    // Spans still open at write time are emitted as-of-now so a trace
+    // captured mid-run (e.g. from an atexit hook) is still well formed.
+    for (const Open& open : t->stack) {
+      Event e;
+      e.kind = EventKind::kSpan;
+      e.name = open.name;
+      e.ts_us = to_us(open.start);
+      e.dur_us = now_us - e.ts_us;
+      append_event_json(os, e, t->tid, first);
+    }
   }
   os << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
-     << "\"dropped_events\": " << dropped_ << "}\n}\n";
+     << "\"dropped_events\": " << dropped_total
+     << ", \"tracks\": " << tracks_.size() << "}\n}\n";
 }
 
 bool SpanTracer::write_chrome_trace_file(const std::string& path) const {

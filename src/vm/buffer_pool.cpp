@@ -9,8 +9,16 @@
 #include "support/faultsim.h"
 #include "support/status.h"
 #include "telemetry/metrics.h"
+#include "telemetry/spans.h"
 
 namespace folvec::vm {
+
+void BufferPool::note_outstanding() const {
+  if (telemetry::SpanTracer* t = telemetry::tracer()) {
+    t->counter("pool.buffer.words_in_use",
+               static_cast<double>(stats_.outstanding_words));
+  }
+}
 
 std::size_t BufferPool::floor_log2(std::size_t v) {
   return static_cast<std::size_t>(std::bit_width(v)) - 1;
@@ -44,6 +52,7 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
     WordVec fresh;
     fresh.resize(n);
     stats_.outstanding_words += fresh.capacity();
+    note_outstanding();
     telemetry::count("fault.recovered.pool_alloc");
     if (analyzer_ != nullptr) {
       analyzer_->on_buffer_acquire(fresh.data(), fresh.capacity());
@@ -68,6 +77,7 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
       ++stats_.hits;
       v.resize(n);
       stats_.outstanding_words += v.capacity();
+      note_outstanding();
       if (analyzer_ != nullptr) {
         analyzer_->on_buffer_acquire(v.data(), v.capacity());
       }
@@ -78,6 +88,7 @@ BufferPool::WordVec BufferPool::acquire(std::size_t n) {
   WordVec v;
   v.resize(n);
   stats_.outstanding_words += v.capacity();
+  note_outstanding();
   if (analyzer_ != nullptr) {
     analyzer_->on_buffer_acquire(v.data(), v.capacity());
   }
@@ -90,6 +101,7 @@ void BufferPool::release(WordVec&& v) {
   // Saturating: an algorithm may std::swap a larger externally-allocated
   // vector into a pooled slot and release that instead.
   stats_.outstanding_words -= std::min(stats_.outstanding_words, cap);
+  note_outstanding();
   if (dead.capacity() == 0) {
     ++stats_.discards;
     return;

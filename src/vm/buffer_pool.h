@@ -94,6 +94,9 @@ class BufferPool {
   static constexpr std::size_t kBuckets = 64;
 
   static std::size_t floor_log2(std::size_t v);
+  /// Emits the "pool.buffer.words_in_use" counter-track sample when a span
+  /// tracer is installed (one relaxed load otherwise).
+  void note_outstanding() const;
 
   std::array<std::vector<WordVec>, kBuckets> buckets_{};
   Stats stats_;

@@ -232,12 +232,30 @@ void VectorMachine::flush_batch() {
   batch_.clear();
   const std::size_t n = batch_lanes_;
   batch_lanes_ = 0;
+  telemetry::SpanTracer* t = telemetry::tracer();
+  std::uint64_t flow = 0;
+  if (t != nullptr) {
+    // Counter track: queued ops in flight while the flush executes.
+    t->counter("vm.batch.occupancy", static_cast<double>(entries.size()));
+    flow = t->next_flow_id();
+  }
   const auto start = std::chrono::steady_clock::now();
+  // The flow start binds to the op slices emitted below over [start, end]
+  // on this (issuing) thread; each worker chunk records the bound finish,
+  // drawing flush -> chunk arrows in the trace viewer.
+  if (t != nullptr) t->flow_begin("vm.batch.flush", flow);
   // ONE pool crossing for the whole queued round: each worker chunk runs
   // every kernel in issue order over its own lanes, which preserves the
   // serial per-lane dataflow because queued kernels are lane-aligned.
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
-    for (const BatchEntry& e : entries) e.kernel(lo, hi);
+    if (t != nullptr) {
+      const auto chunk_start = std::chrono::steady_clock::now();
+      for (const BatchEntry& e : entries) e.kernel(lo, hi);
+      t->chunk("vm.batch.chunk", lo, hi, flow, chunk_start,
+               std::chrono::steady_clock::now());
+    } else {
+      for (const BatchEntry& e : entries) e.kernel(lo, hi);
+    }
   });
   const auto end = std::chrono::steady_clock::now();
   // Chimes were issued at enqueue; the flush's measured wall time is split
@@ -247,11 +265,13 @@ void VectorMachine::flush_batch() {
                        static_cast<double>(entries.size());
   for (const BatchEntry& e : entries) {
     cost_.record_wall(e.op_class, share);
+    telemetry::profile_op(op_class_name(e.op_class), n, share);
   }
-  if (telemetry::SpanTracer* t = telemetry::tracer()) {
+  if (t != nullptr) {
     for (const BatchEntry& e : entries) {
       t->op(op_class_name(e.op_class), n, start, end);
     }
+    t->counter("vm.batch.occupancy", 0.0);
   }
   if (telemetry::MetricsRegistry* r = telemetry::metrics()) {
     r->add("pool.dispatch.batched", 1);

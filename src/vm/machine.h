@@ -42,6 +42,7 @@
 #include "support/prng.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/spans.h"
 #include "vm/cost_model.h"
 #include "vm/hazard.h"
@@ -469,7 +470,8 @@ class VectorMachine {
   /// to one op class, next to the chime counts the same scope issues. When a
   /// span tracer is installed the instruction also becomes a leaf "op" event
   /// in the Chrome trace (op_class_name returns static storage, so the event
-  /// allocates nothing).
+  /// allocates nothing); when a calibration profiler is installed the
+  /// (elements, wall) pair feeds the per-op-class wall~chime fit.
   class OpTimer {
    public:
     OpTimer(CostAccumulator& cost, OpClass c, std::size_t elements)
@@ -484,6 +486,7 @@ class VectorMachine {
       if (telemetry::SpanTracer* t = telemetry::tracer()) {
         t->op(op_class_name(c_), elements_, start_, end);
       }
+      telemetry::profile_op(op_class_name(c_), elements_, dt.count());
     }
     OpTimer(const OpTimer&) = delete;
     OpTimer& operator=(const OpTimer&) = delete;

@@ -7,6 +7,7 @@
 #include "support/faultsim.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "telemetry/spans.h"
 
 namespace folvec::vm {
 
@@ -105,6 +106,7 @@ void ThreadPool::claim_affine(Job& job, std::size_t worker,
 
 void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
+  bool named_track = false;
   for (;;) {
     Job* job = nullptr;
     {
@@ -113,6 +115,15 @@ void ThreadPool::worker_loop(std::size_t worker) {
       if (stop_) return;
       seen = generation_;
       job = job_;
+    }
+    // Name this worker's trace track on its first traced job, so Chrome
+    // traces show "worker-<i>" lanes instead of anonymous tids. The caller
+    // participates as logical worker size()-1 on the "main" track.
+    if (!named_track) {
+      if (telemetry::SpanTracer* t = telemetry::tracer()) {
+        t->set_thread_name("worker-" + std::to_string(worker));
+        named_track = true;
+      }
     }
     if (job->affine) {
       claim_affine(*job, worker, worker_stats_[worker]);
@@ -142,6 +153,12 @@ bool draw_worker_fault() {
 }  // namespace
 
 void ThreadPool::run_job(Job& job, const std::function<void(std::size_t)>& fn) {
+  // Counter track: workers engaged while the job runs (0 between jobs).
+  telemetry::SpanTracer* trace = telemetry::tracer();
+  if (trace != nullptr) {
+    trace->counter("pool.occupancy",
+                   static_cast<double>(std::min(job.tasks, size())));
+  }
   {
     const std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;
@@ -159,6 +176,7 @@ void ThreadPool::run_job(Job& job, const std::function<void(std::size_t)>& fn) {
     done_cv_.wait(lk, [&] { return checked_in_ == threads_.size(); });
     job_ = nullptr;
   }
+  if (trace != nullptr) trace->counter("pool.occupancy", 0.0);
   // Per-job imbalance: spread between the busiest and idlest worker's claim
   // counts. A healthy pool on even chunks shows 0 or 1. Affine jobs skip it
   // — their 0/1 assignment is static, so the spread carries no signal.

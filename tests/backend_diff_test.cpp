@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -344,8 +345,12 @@ telemetry::MetricsSnapshot run_with_metrics(BackendKind kind,
   return registry.snapshot();
 }
 
-/// The backend-invariant part of a trace: event names, categories, and
-/// chime payloads, in emission order — everything but the wall clock.
+/// The backend-invariant part of a trace: span and op event names,
+/// categories, and chime payloads, in emission order — everything but the
+/// wall clock. Host-side decoration (thread metadata, per-worker "chunk"
+/// slices, "flow" arrows, "counter" samples) is excluded by construction:
+/// those describe how the host scheduled the work, not what the program
+/// computed, and legitimately differ across backends and worker counts.
 std::string span_tree_signature(BackendKind kind, std::size_t threads) {
   telemetry::SpanTracer tracer;
   {
@@ -358,9 +363,14 @@ std::string span_tree_signature(BackendKind kind, std::size_t threads) {
   const JsonValue doc = JsonValue::parse(os.str());
   std::string sig;
   for (const JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    const JsonValue* cat = ev.find("cat");
+    if (cat == nullptr ||
+        (cat->as_string() != "span" && cat->as_string() != "op")) {
+      continue;
+    }
     sig += ev.find("name")->as_string();
     sig += '|';
-    sig += ev.find("cat")->as_string();
+    sig += cat->as_string();
     if (const JsonValue* args = ev.find("args")) {
       for (const char* key :
            {"elements", "chime_instructions", "chime_elements"}) {
@@ -418,6 +428,93 @@ TEST(TelemetryDeterminismTest, SpanTreesIdenticalAcrossBackendsAndWorkers) {
     EXPECT_EQ(serial, parallel)
         << "span tree diverged at " << workers << " workers";
   }
+}
+
+TEST(TelemetryDeterminismTest, ParallelTraceHasWorkerTracksFlowsAndCounters) {
+  telemetry::SpanTracer tracer;
+  {
+    const telemetry::ScopedTracer scoped(tracer);
+    VectorMachine m = make_telemetry_machine(BackendKind::kParallel, 8);
+    telemetry_workload(m);
+    // The machine (and its pool) is destroyed before export: the joins
+    // provide the quiescence the tracer's export contract requires.
+  }
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+
+  std::set<std::string> thread_names;
+  std::set<double> named_tids;
+  std::set<double> flow_start_ids;
+  std::set<double> flow_end_ids;
+  std::set<std::string> counter_names;
+  std::set<double> span_tids;
+  std::set<double> chunk_tids;
+  for (const JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    const std::string ph = ev.find("ph")->as_string();
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+    EXPECT_EQ(ev.find("pid")->as_number(), 1.0);
+    if (ph == "M") {
+      if (ev.find("name")->as_string() == "thread_name") {
+        thread_names.insert(ev.find("args")->find("name")->as_string());
+        named_tids.insert(ev.find("tid")->as_number());
+      }
+      continue;
+    }
+    // Every non-metadata event is timestamped and categorized.
+    ASSERT_NE(ev.find("ts"), nullptr);
+    const std::string cat = ev.find("cat")->as_string();
+    if (ph == "s") {
+      EXPECT_EQ(cat, "flow");
+      flow_start_ids.insert(ev.find("id")->as_number());
+    } else if (ph == "f") {
+      EXPECT_EQ(cat, "flow");
+      EXPECT_EQ(ev.find("bp")->as_string(), "e");
+      flow_end_ids.insert(ev.find("id")->as_number());
+    } else if (ph == "C") {
+      EXPECT_EQ(cat, "counter");
+      ASSERT_NE(ev.find("args")->find("value"), nullptr);
+      counter_names.insert(ev.find("name")->as_string());
+    } else {
+      ASSERT_EQ(ph, "X");
+      ASSERT_NE(ev.find("dur"), nullptr);
+      EXPECT_TRUE(cat == "span" || cat == "op" || cat == "chunk") << cat;
+      if (cat == "span" || cat == "op") {
+        span_tids.insert(ev.find("tid")->as_number());
+      } else {
+        chunk_tids.insert(ev.find("tid")->as_number());
+      }
+    }
+  }
+
+  // Acceptance: distinct named tracks for main plus the pool workers.
+  EXPECT_TRUE(thread_names.contains("main"));
+  std::size_t worker_tracks = 0;
+  for (const std::string& n : thread_names) {
+    if (n.rfind("worker-", 0) == 0) ++worker_tracks;
+  }
+  EXPECT_GE(worker_tracks, 4u);
+  EXPECT_GE(named_tids.size(), 5u);
+  EXPECT_GE(tracer.track_count(), 5u);
+
+  // Deterministic span/op events all ride the issuing ("main") thread;
+  // chunk slices fan out across the worker tracks.
+  ASSERT_EQ(span_tids.size(), 1u);
+  EXPECT_FALSE(chunk_tids.empty());
+  EXPECT_GT(chunk_tids.size(), 1u);
+
+  // Flow arrows: every finish id was started, and at least one flush
+  // produced arrows at all.
+  EXPECT_FALSE(flow_start_ids.empty());
+  EXPECT_FALSE(flow_end_ids.empty());
+  for (const double id : flow_end_ids) {
+    EXPECT_TRUE(flow_start_ids.contains(id)) << "unmatched flow id " << id;
+  }
+
+  // Counter tracks: batch occupancy and pool occupancy at minimum.
+  EXPECT_GE(counter_names.size(), 2u);
+  EXPECT_TRUE(counter_names.contains("pool.occupancy"));
 }
 
 // ---- fused vs unfused differential fuzz ------------------------------------

@@ -3,16 +3,21 @@
 // Chrome trace-event export, and the environment-driven session.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/session.h"
 #include "telemetry/spans.h"
 
@@ -71,6 +76,137 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.max, 1000u);
   a.merge(HistogramData{});  // empty merge is a no-op
   EXPECT_EQ(a.count, 3u);
+}
+
+TEST(HistogramTest, SaturatingArithmeticHelpers) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  EXPECT_EQ(saturating_add_u64(kMax - 1, 1), kMax);  // boundary: exact
+  EXPECT_EQ(saturating_add_u64(kMax, 1), kMax);      // just past: pinned
+  EXPECT_EQ(saturating_add_u64(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_mul_u64(kMax, 1), kMax);
+  EXPECT_EQ(saturating_mul_u64(kMax / 2, 2), kMax - 1);  // boundary: exact
+  EXPECT_EQ(saturating_mul_u64(kMax / 2 + 1, 2), kMax);  // just past: pinned
+  EXPECT_EQ(saturating_mul_u64(0, kMax), 0u);
+}
+
+TEST(HistogramTest, SumSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  HistogramData h;
+  h.record(kMax);
+  EXPECT_EQ(h.sum, kMax);
+  h.record(1);  // pre-fix this wrapped sum back to 0
+  EXPECT_EQ(h.sum, kMax);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.max, kMax);
+
+  // Weighted records saturate through the multiply too.
+  HistogramData w;
+  w.record(kMax / 2 + 1, 2);
+  EXPECT_EQ(w.sum, kMax);
+  EXPECT_EQ(w.count, 2u);
+
+  // Merge saturates count, sum, and the shared bucket.
+  HistogramData a;
+  a.record(3, kMax);
+  HistogramData b;
+  b.record(3, kMax);
+  a.merge(b);
+  EXPECT_EQ(a.count, kMax);
+  EXPECT_EQ(a.buckets.at(histogram_bucket(3)), kMax);
+}
+
+// ---- percentile sketch ------------------------------------------------------
+
+TEST(PercentileSketchTest, BucketRangesTileTheDomain) {
+  // Exact region: one bucket per value below 2 * kSubBuckets.
+  for (std::uint64_t v = 0; v < 2 * PercentileSketch::kSubBuckets; ++v) {
+    EXPECT_EQ(PercentileSketch::bucket_index(v), v);
+    EXPECT_EQ(PercentileSketch::bucket_range(v),
+              (std::pair<std::uint64_t, std::uint64_t>{v, v}));
+  }
+  // Sub-bucketed region: ranges are contiguous and invert bucket_index.
+  std::uint64_t expected_lo = 2 * PercentileSketch::kSubBuckets;
+  for (std::size_t b = 2 * PercentileSketch::kSubBuckets;
+       b < PercentileSketch::kBuckets; ++b) {
+    const auto [lo, hi] = PercentileSketch::bucket_range(b);
+    EXPECT_EQ(lo, expected_lo) << "bucket " << b;
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(PercentileSketch::bucket_index(lo), b);
+    EXPECT_EQ(PercentileSketch::bucket_index(hi), b);
+    if (hi == ~std::uint64_t{0}) {
+      EXPECT_EQ(b + 1, PercentileSketch::kBuckets);
+      break;
+    }
+    expected_lo = hi + 1;
+  }
+}
+
+TEST(PercentileSketchTest, SmallValuesAreExact) {
+  PercentileSketch s;
+  for (std::uint64_t v = 0; v < 2 * PercentileSketch::kSubBuckets; ++v) {
+    s.record(v);
+  }
+  EXPECT_EQ(s.count(), 2 * PercentileSketch::kSubBuckets);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 2 * PercentileSketch::kSubBuckets - 1);
+  // Values below 2 * kSubBuckets land in singleton buckets, so every
+  // quantile is an exact sample: rank ceil(q * 32) - 1.
+  EXPECT_EQ(s.quantile(0.0), 0u);
+  EXPECT_EQ(s.p50(), 15u);
+  EXPECT_EQ(s.p90(), 28u);
+  EXPECT_EQ(s.quantile(1.0), 31u);
+}
+
+TEST(PercentileSketchTest, QuantilesHaveBoundedRelativeError) {
+  PercentileSketch s;
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 1;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;  // splitmix-style walk
+    const std::uint64_t v = (x >> 20) % 10'000'000;
+    values.push_back(v);
+    s.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double approx = static_cast<double>(s.quantile(q));
+    // One sub-bucket spans 1/16 of its power-of-two block and the sketch
+    // answers with the bucket midpoint, so the error is below 1/32.
+    EXPECT_NEAR(approx, exact, exact / 16.0 + 1.0) << "q=" << q;
+  }
+}
+
+TEST(PercentileSketchTest, MergeMatchesCombinedRecordingExactly) {
+  PercentileSketch a;
+  PercentileSketch b;
+  PercentileSketch combined;
+  for (std::uint64_t v : {3u, 700u, 41u, 5u}) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (std::uint64_t v : {1'000'000u, 2u, 900u}) {
+    b.record(v, 2);
+    combined.record(v, 2);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, combined);  // deterministic: same samples, same state
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), 2u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+  a.merge(PercentileSketch{});  // empty merge is a no-op
+  EXPECT_EQ(a, combined);
+}
+
+TEST(PercentileSketchTest, QuantileClampsToObservedRange) {
+  PercentileSketch s;
+  s.record(1000);  // midpoint of 1000's bucket is below the sample
+  EXPECT_EQ(s.quantile(0.0), 1000u);
+  EXPECT_EQ(s.quantile(1.0), 1000u);
+  EXPECT_EQ(PercentileSketch{}.quantile(0.5), 0u);  // empty: defined as 0
 }
 
 // ---- registry and helpers ---------------------------------------------------
@@ -193,6 +329,44 @@ TEST(MetricsSnapshotTest, DiffSubtractsCountersAndHistograms) {
   EXPECT_EQ(delta.histograms.at("h").sum, 4u);
 }
 
+TEST(MetricsSnapshotTest, DiffKeysOnlyInBeforeYieldZeroDeltas) {
+  MetricsRegistry r;
+  r.add("gone.counter", 9);
+  r.observe("gone.hist", 4);
+  r.time_add("gone.timing", 1.5);
+  r.gauge_max("gone.gauge", 7);
+  r.label("gone.label", "x");
+  const MetricsSnapshot before = r.snapshot();
+  r.reset();
+  r.add("kept", 2);
+  const MetricsSnapshot delta = MetricsSnapshot::diff(r.snapshot(), before);
+  // Accumulating families surface only-in-before keys as explicit zeros, so
+  // consumers iterating the diff see the full key universe.
+  EXPECT_EQ(delta.counters.at("gone.counter"), 0u);
+  EXPECT_EQ(delta.counters.at("kept"), 2u);
+  EXPECT_EQ(delta.histograms.at("gone.hist").count, 0u);
+  EXPECT_DOUBLE_EQ(delta.timings.at("gone.timing"), 0.0);
+  // Instantaneous families are `after` verbatim: only-in-before dropped.
+  EXPECT_FALSE(delta.gauges.contains("gone.gauge"));
+  EXPECT_FALSE(delta.labels.contains("gone.label"));
+}
+
+TEST(MetricsSnapshotTest, DiffClampsAcrossResetsAndKeepsGaugesVerbatim) {
+  MetricsRegistry r;
+  r.add("c", 100);
+  r.observe("h", 8, 10);
+  const MetricsSnapshot before = r.snapshot();
+  r.reset();  // counters restart below their before values
+  r.add("c", 3);
+  r.observe("h", 8, 2);
+  r.gauge_set("g", 5);
+  const MetricsSnapshot delta = MetricsSnapshot::diff(r.snapshot(), before);
+  EXPECT_EQ(delta.counters.at("c"), 0u);  // clamped, not wrapped
+  EXPECT_EQ(delta.histograms.at("h").count, 0u);
+  EXPECT_EQ(delta.histograms.at("h").sum, 0u);
+  EXPECT_EQ(delta.gauges.at("g"), 5);  // after's instantaneous value
+}
+
 TEST(MetricsSnapshotTest, MergeAddsAndTakesGaugeMax) {
   MetricsSnapshot a = sample_snapshot();
   MetricsSnapshot b = sample_snapshot();
@@ -221,16 +395,33 @@ TEST(MetricsSnapshotTest, TextAndJsonRenderings) {
 
 // ---- span tracer ------------------------------------------------------------
 
-/// Parses the tracer's output and returns (name, cat) pairs in file order.
-std::vector<std::pair<std::string, std::string>> trace_events(
-    const SpanTracer& tracer) {
+/// Parses the tracer's full Chrome trace-event export.
+JsonValue parse_trace(const SpanTracer& tracer) {
   std::ostringstream os;
   tracer.write_chrome_trace(os);
-  const JsonValue doc = JsonValue::parse(os.str());
-  std::vector<std::pair<std::string, std::string>> out;
+  return JsonValue::parse(os.str());
+}
+
+/// The events with phase `ph` ("X" slices, "M" metadata, "s"/"f" flow,
+/// "C" counters), as pointers into `doc`, in file order.
+std::vector<const JsonValue*> events_with_ph(const JsonValue& doc,
+                                             const std::string& ph) {
+  std::vector<const JsonValue*> out;
   for (const JsonValue& ev : doc.find("traceEvents")->as_array()) {
-    out.emplace_back(ev.find("name")->as_string(),
-                     ev.find("cat")->as_string());
+    if (ev.find("ph")->as_string() == ph) out.push_back(&ev);
+  }
+  return out;
+}
+
+/// (name, cat) of the "X" slice events, skipping thread metadata, flow,
+/// and counter phases, in file order.
+std::vector<std::pair<std::string, std::string>> trace_events(
+    const SpanTracer& tracer) {
+  const JsonValue doc = parse_trace(tracer);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const JsonValue* ev : events_with_ph(doc, "X")) {
+    out.emplace_back(ev->find("name")->as_string(),
+                     ev->find("cat")->as_string());
   }
   return out;
 }
@@ -244,23 +435,22 @@ TEST(SpanTracerTest, NestedSpansCarryChimeDeltas) {
   EXPECT_EQ(tracer.size(), 2u);
   EXPECT_EQ(tracer.open_depth(), 0u);
 
-  std::ostringstream os;
-  tracer.write_chrome_trace(os);
-  const JsonValue doc = JsonValue::parse(os.str());
-  const JsonArray& evs = doc.find("traceEvents")->as_array();
+  const JsonValue doc = parse_trace(tracer);
+  const std::vector<const JsonValue*> evs = events_with_ph(doc, "X");
   ASSERT_EQ(evs.size(), 2u);
   // Spans close inner-first.
-  EXPECT_EQ(evs[0].find("name")->as_string(), "inner");
-  EXPECT_EQ(evs[0].find("args")->find("chime_instructions")->as_number(), 10.0);
-  EXPECT_EQ(evs[0].find("args")->find("chime_elements")->as_number(), 100.0);
-  EXPECT_EQ(evs[1].find("name")->as_string(), "outer");
-  EXPECT_EQ(evs[1].find("args")->find("chime_instructions")->as_number(),
+  EXPECT_EQ(evs[0]->find("name")->as_string(), "inner");
+  EXPECT_EQ(evs[0]->find("args")->find("chime_instructions")->as_number(),
+            10.0);
+  EXPECT_EQ(evs[0]->find("args")->find("chime_elements")->as_number(), 100.0);
+  EXPECT_EQ(evs[1]->find("name")->as_string(), "outer");
+  EXPECT_EQ(evs[1]->find("args")->find("chime_instructions")->as_number(),
             100.0);
   // The inner span nests inside the outer one on the timeline.
-  const double outer_ts = evs[1].find("ts")->as_number();
-  const double outer_dur = evs[1].find("dur")->as_number();
-  const double inner_ts = evs[0].find("ts")->as_number();
-  const double inner_dur = evs[0].find("dur")->as_number();
+  const double outer_ts = evs[1]->find("ts")->as_number();
+  const double outer_dur = evs[1]->find("dur")->as_number();
+  const double inner_ts = evs[0]->find("ts")->as_number();
+  const double inner_dur = evs[0]->find("dur")->as_number();
   EXPECT_GE(inner_ts, outer_ts);
   EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur + 1e-9);
 }
@@ -319,6 +509,175 @@ TEST(SpanTracerTest, ScopedSpanOnlyRecordsWhenInstalled) {
   EXPECT_EQ(evs[1].first, "phase");
 }
 
+TEST(SpanTracerTest, ThreadsRecordOnSeparateNamedTracks) {
+  SpanTracer tracer;
+  EXPECT_EQ(tracer.track_count(), 1u);  // "main" registers eagerly
+  const auto t0 = SpanTracer::Clock::now();
+  tracer.op("v.arith", 8, t0, t0);
+  std::thread worker([&tracer, t0] {
+    tracer.set_thread_name("worker-0");
+    tracer.set_thread_name("late-rename");  // first call wins
+    tracer.op("v.gather", 16, t0, t0);
+  });
+  worker.join();  // quiescence: the join orders the worker's writes
+  EXPECT_EQ(tracer.track_count(), 2u);
+  EXPECT_EQ(tracer.size(), 2u);
+
+  const JsonValue doc = parse_trace(tracer);
+  EXPECT_EQ(doc.find("otherData")->find("tracks")->as_number(), 2.0);
+  std::vector<std::string> names;
+  std::set<double> metadata_tids;
+  for (const JsonValue* m : events_with_ph(doc, "M")) {
+    if (m->find("name")->as_string() != "thread_name") continue;
+    names.push_back(m->find("args")->find("name")->as_string());
+    metadata_tids.insert(m->find("tid")->as_number());
+  }
+  // Main's track exports first so deterministic events keep a stable order.
+  ASSERT_EQ(names, (std::vector<std::string>{"main", "worker-0"}));
+  EXPECT_EQ(metadata_tids.size(), 2u);
+
+  // Each op rides its recording thread's track: distinct real tids, both
+  // announced by the metadata events.
+  const std::vector<const JsonValue*> xs = events_with_ph(doc, "X");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0]->find("name")->as_string(), "v.arith");
+  EXPECT_EQ(xs[1]->find("name")->as_string(), "v.gather");
+  EXPECT_NE(xs[0]->find("tid")->as_number(), xs[1]->find("tid")->as_number());
+  for (const JsonValue* x : xs) {
+    EXPECT_TRUE(metadata_tids.contains(x->find("tid")->as_number()));
+  }
+}
+
+TEST(SpanTracerTest, ConcurrentRecordingLosesNoEvents) {
+  SpanTracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  const auto t0 = SpanTracer::Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t, t0] {
+      tracer.set_thread_name("worker-" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) tracer.op("v.arith", 1, t0, t0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.track_count(), 1u + kThreads);
+}
+
+TEST(SpanTracerTest, FlowEventsLinkIssueToChunks) {
+  SpanTracer tracer;
+  const auto t0 = SpanTracer::Clock::now();
+  const std::uint64_t flow = tracer.next_flow_id();
+  ASSERT_NE(flow, 0u);
+  tracer.flow_begin("vm.batch.flush", flow);
+  tracer.chunk("vm.batch.chunk", 32, 64, flow, t0,
+               t0 + std::chrono::microseconds(3));
+
+  const JsonValue doc = parse_trace(tracer);
+  const std::vector<const JsonValue*> starts = events_with_ph(doc, "s");
+  const std::vector<const JsonValue*> ends = events_with_ph(doc, "f");
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(starts[0]->find("cat")->as_string(), "flow");
+  EXPECT_EQ(starts[0]->find("id")->as_number(),
+            static_cast<double>(flow));
+  EXPECT_EQ(ends[0]->find("id")->as_number(), static_cast<double>(flow));
+  // The finish binds to its enclosing slice — the chunk pushed after it.
+  EXPECT_EQ(ends[0]->find("bp")->as_string(), "e");
+
+  const std::vector<const JsonValue*> xs = events_with_ph(doc, "X");
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0]->find("cat")->as_string(), "chunk");
+  EXPECT_EQ(xs[0]->find("args")->find("lo")->as_number(), 32.0);
+  EXPECT_EQ(xs[0]->find("args")->find("hi")->as_number(), 64.0);
+  EXPECT_EQ(xs[0]->find("args")->find("lanes")->as_number(), 32.0);
+  EXPECT_EQ(xs[0]->find("ts")->as_number(), ends[0]->find("ts")->as_number());
+}
+
+TEST(SpanTracerTest, CounterEventsCarrySampledValues) {
+  SpanTracer tracer;
+  tracer.counter("pool.occupancy", 4.0);
+  tracer.counter("pool.occupancy", 0.0);
+  const JsonValue doc = parse_trace(tracer);
+  const std::vector<const JsonValue*> cs = events_with_ph(doc, "C");
+  ASSERT_EQ(cs.size(), 2u);
+  for (const JsonValue* c : cs) {
+    EXPECT_EQ(c->find("name")->as_string(), "pool.occupancy");
+    EXPECT_EQ(c->find("cat")->as_string(), "counter");
+  }
+  EXPECT_EQ(cs[0]->find("args")->find("value")->as_number(), 4.0);
+  EXPECT_EQ(cs[1]->find("args")->find("value")->as_number(), 0.0);
+}
+
+// ---- calibration profiler ---------------------------------------------------
+
+TEST(ProfilerTest, HelpersAreNoOpsWithoutAProfiler) {
+  ASSERT_EQ(profiler(), nullptr) << "another test leaked a profiler";
+  profile_op("v.arith", 64, 1e-6);  // must not crash: the disabled path
+}
+
+TEST(ProfilerTest, FitRecoversAnExactLinearRelation) {
+  Profiler p;
+  // wall = 100ns + 5ns/element, sampled at several sizes.
+  for (const std::size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    p.record("v.arith", n, (100.0 + 5.0 * static_cast<double>(n)) * 1e-9);
+  }
+  const auto snap = p.snapshot();
+  ASSERT_TRUE(snap.contains("v.arith"));
+  const Profiler::Series& series = snap.at("v.arith");
+  EXPECT_EQ(series.samples, 5u);
+  EXPECT_EQ(series.elements, 16u + 64u + 256u + 1024u + 4096u);
+  const OpFit fit = series.fit();
+  EXPECT_NEAR(fit.a_ns, 100.0, 1e-3);
+  EXPECT_NEAR(fit.b_ns, 5.0, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+  EXPECT_NEAR(fit.rms_residual_ns, 0.0, 1e-2);
+  // The sketch saw the same wall samples (in ns).
+  EXPECT_EQ(series.wall_ns.count(), 5u);
+  EXPECT_EQ(series.wall_ns.min(), 180u);
+}
+
+TEST(ProfilerTest, DegenerateSeriesFitIsTheMean) {
+  Profiler p;
+  p.record("v.scatter", 32, 500e-9);
+  p.record("v.scatter", 32, 500e-9);  // zero variance in n
+  const OpFit fit = p.snapshot().at("v.scatter").fit();
+  EXPECT_NEAR(fit.a_ns, 500.0, 1e-6);
+  EXPECT_DOUBLE_EQ(fit.b_ns, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);  // constant samples: nothing to explain
+}
+
+TEST(ProfilerTest, SnapshotMergesAliasedNames) {
+  // Series are keyed by pointer on the hot path; distinct pointers with
+  // equal spellings must merge at snapshot time.
+  static const char kName1[] = "v.gather";
+  static const char kName2[] = "v.gather";
+  Profiler p;
+  p.record(kName1, 8, 1e-7);
+  p.record(kName2, 16, 2e-7);
+  const auto snap = p.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.at("v.gather").samples, 2u);
+  EXPECT_EQ(snap.at("v.gather").elements, 24u);
+}
+
+TEST(ProfilerTest, ScopedInstallRoutesHelperAndRestores) {
+  Profiler p;
+  {
+    const ScopedProfiler install(p);
+    EXPECT_EQ(profiler(), &p);
+    profile_op("v.arith", 4, 1e-8);
+  }
+  EXPECT_EQ(profiler(), nullptr);
+  profile_op("v.arith", 4, 1e-8);  // not recorded: nothing installed
+  EXPECT_EQ(p.snapshot().at("v.arith").samples, 1u);
+  p.reset();
+  EXPECT_TRUE(p.snapshot().empty());
+}
+
 // ---- env session ------------------------------------------------------------
 
 class EnvSessionTest : public ::testing::Test {
@@ -331,15 +690,20 @@ class EnvSessionTest : public ::testing::Test {
 
 TEST_F(EnvSessionTest, InstallsRegistryAndRestores) {
   ASSERT_EQ(metrics(), nullptr);
+  ASSERT_EQ(profiler(), nullptr);
   {
     EnvSession session;
     EXPECT_EQ(metrics(), &session.registry());
+    EXPECT_EQ(profiler(), &session.session_profiler());
     EXPECT_EQ(session.span_tracer(), nullptr);  // no FOLVEC_TRACE_JSON
     count("session.counter", 4);
     EXPECT_EQ(session.registry().snapshot().counters.at("session.counter"),
               4u);
+    profile_op("v.arith", 32, 1e-6);
+    EXPECT_EQ(session.session_profiler().snapshot().at("v.arith").samples, 1u);
   }
   EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(profiler(), nullptr);
 }
 
 TEST_F(EnvSessionTest, WritesTraceAndMetricsFiles) {
@@ -359,10 +723,17 @@ TEST_F(EnvSessionTest, WritesTraceAndMetricsFiles) {
   std::stringstream trace_buf;
   trace_buf << trace_in.rdbuf();
   const JsonValue trace = JsonValue::parse(trace_buf.str());
-  ASSERT_EQ(trace.find("traceEvents")->as_array().size(), 1u);
-  EXPECT_EQ(
-      trace.find("traceEvents")->as_array()[0].find("name")->as_string(),
-      "unit_test");
+  const std::vector<const JsonValue*> slices = events_with_ph(trace, "X");
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0]->find("name")->as_string(), "unit_test");
+  // The "main" track announces itself even in a single-threaded run.
+  bool saw_main = false;
+  for (const JsonValue* m : events_with_ph(trace, "M")) {
+    saw_main = saw_main ||
+               (m->find("name")->as_string() == "thread_name" &&
+                m->find("args")->find("name")->as_string() == "main");
+  }
+  EXPECT_TRUE(saw_main);
 
   std::ifstream metrics_in(metrics_path);
   ASSERT_TRUE(metrics_in.good());

@@ -1,7 +1,7 @@
 // bench_schema_check: validates machine-readable bench reports.
 //
 // Every bench binary writes a `BENCH_<name>.json` next to its stdout tables
-// (schema "folvec-bench-report-v1", emitted by bench_harness/report.cpp).
+// (schema "folvec-bench-report-v2", emitted by bench_harness/report.cpp).
 // CI runs one bench per family and then feeds the resulting files through
 // this checker, so a field rename, a malformed document, or a table whose
 // rows drifted from its headers fails the build instead of silently
@@ -134,6 +134,67 @@ class Checker {
     }
   }
 
+  void require_number(const JsonValue& parent, const std::string& key,
+                      const std::string& where) {
+    const JsonValue* v = require(parent, key, where);
+    if (v != nullptr && !v->is_number()) {
+      fail("\"" + key + "\" in " + where + " must be a number");
+    }
+  }
+
+  /// The v2 model-fidelity section: a fit + percentiles per op class seen
+  /// by the session profiler, plus the worst-residual ranking. `ops` may
+  /// legitimately be empty (a bench that never ran a machine op).
+  void check_calibration(const JsonValue& calibration) {
+    const JsonValue* model = require(calibration, "model", "calibration");
+    if (model != nullptr && !model->is_string()) {
+      fail("calibration.model must be a string");
+    }
+    require_uint(calibration, "clock_hz", "calibration");
+    const JsonValue* ops = require_object(calibration, "ops", "calibration");
+    if (ops != nullptr) {
+      for (const auto& [name, entry] : ops->as_object()) {
+        const std::string where = "calibration.ops[\"" + name + "\"]";
+        if (!entry.is_object()) {
+          fail(where + " must be an object");
+          continue;
+        }
+        require_uint(entry, "samples", where);
+        require_uint(entry, "elements", where);
+        // The fitted intercept/slope can be negative on noisy series; only
+        // presence and numeric-ness are structural.
+        require_number(entry, "a_ns", where);
+        require_number(entry, "b_ns", where);
+        const JsonValue* r2 = require(entry, "r2", where);
+        if (r2 != nullptr &&
+            (!r2->is_number() || r2->as_number() < 0.0 ||
+             r2->as_number() > 1.0)) {
+          fail(where + ".r2 must be a number in [0, 1]");
+        }
+        require_uint(entry, "rms_residual_ns", where);
+        require_uint(entry, "wall_ns_p50", where);
+        require_uint(entry, "wall_ns_p90", where);
+        require_uint(entry, "wall_ns_p99", where);
+      }
+    }
+    const JsonValue* worst =
+        require(calibration, "worst_residual_ops", "calibration");
+    if (worst != nullptr) {
+      if (!worst->is_array()) {
+        fail("calibration.worst_residual_ops must be an array");
+      } else {
+        for (const JsonValue& v : worst->as_array()) {
+          if (!v.is_string()) {
+            fail("calibration.worst_residual_ops must hold op-class names");
+          } else if (ops != nullptr && ops->find(v.as_string()) == nullptr) {
+            fail("calibration.worst_residual_ops names \"" + v.as_string() +
+                 "\" which is absent from calibration.ops");
+          }
+        }
+      }
+    }
+  }
+
   void check_metrics(const JsonValue& metrics) {
     for (const char* section :
          {"counters", "gauges", "histograms", "timings", "labels"}) {
@@ -190,8 +251,8 @@ class Checker {
     const JsonValue* schema = require(doc, "schema", "top level");
     if (schema != nullptr &&
         (!schema->is_string() ||
-         schema->as_string() != "folvec-bench-report-v1")) {
-      fail("schema must be the string \"folvec-bench-report-v1\"");
+         schema->as_string() != "folvec-bench-report-v2")) {
+      fail("schema must be the string \"folvec-bench-report-v2\"");
     }
     const JsonValue* bench = require(doc, "bench", "top level");
     if (bench != nullptr &&
@@ -211,6 +272,10 @@ class Checker {
     }
     if (const JsonValue* wall = require_object(doc, "wall", "top level")) {
       require_uint(*wall, "seconds", "wall");
+    }
+    if (const JsonValue* calibration =
+            require_object(doc, "calibration", "top level")) {
+      check_calibration(*calibration);
     }
     const JsonValue* tables = require(doc, "tables", "top level");
     if (tables != nullptr) {
@@ -269,7 +334,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s BENCH_report.json...\n"
-                 "validates folvec-bench-report-v1 documents\n",
+                 "validates folvec-bench-report-v2 documents\n",
                  argv[0]);
     return 2;
   }

@@ -1,0 +1,294 @@
+// bench_trend: renders the BENCH_*.json trajectory and gates drift.
+//
+// The repo has accumulated schema-versioned bench reports since PR 3, but
+// nothing consumed them across PRs — a perf regression only failed CI if a
+// hand-written golden happened to cover it. This tool reads a *history
+// directory* of committed reports (bench/trend_history/, one file per
+// bench per recorded run, ordered by filename) plus the current run's
+// reports, renders a per-bench trend table of the deterministic note
+// values and the chime/wall totals, and — with --check — fails when a
+// numeric note drifts from the most recent history entry by more than a
+// configurable threshold.
+//
+// What gets gated: numeric notes whose key does not contain "wall" or
+// "seconds". Those are the modeled, deterministic values (chime totals,
+// chime ratios, modeled accelerations) that must reproduce bit-for-bit on
+// any host, so the default --max-drift is tight. Wall-flavored notes and
+// the report's wall.seconds are rendered in the table but gated only when
+// --max-wall-drift is given (host timing is too noisy for a default gate).
+// The report-level chime totals are rendered but not gated: benchmark
+// harnesses (google-benchmark) choose iteration counts adaptively, so
+// machine-op totals vary run to run even though each note is stable.
+//
+// History layout: any *.json files under --history (searched recursively);
+// each must be a folvec-bench-report document with "bench" and "notes".
+// Files sort lexicographically, so a `0001-BENCH_x.json`, `0002-...`
+// naming convention gives chronological order. Append the current run's
+// reports (CI does this into its artifact copy) and commit deliberately to
+// advance the baseline.
+//
+// Usage:
+//   bench_trend [--check] [--history DIR] [--max-drift F]
+//               [--max-wall-drift F] BENCH_report.json...
+//
+// Exits 0 when every gated note is within threshold (or --check is off),
+// 1 on drift violations, 2 on usage/IO errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace {
+
+using folvec::JsonValue;
+
+struct HistoryEntry {
+  std::string path;
+  JsonValue report;
+};
+
+std::optional<JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_trend: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return JsonValue::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_trend: %s: invalid JSON: %s\n", path.c_str(),
+                 e.what());
+    return std::nullopt;
+  }
+}
+
+std::string bench_name(const JsonValue& report) {
+  const JsonValue* bench = report.find("bench");
+  return bench != nullptr && bench->is_string() ? bench->as_string()
+                                                : std::string();
+}
+
+/// A note key is wall-flavored when it names measured host time; those are
+/// only gated under the (off-by-default) --max-wall-drift threshold.
+bool is_wall_key(const std::string& key) {
+  return key.find("wall") != std::string::npos ||
+         key.find("seconds") != std::string::npos;
+}
+
+std::optional<double> find_number(const JsonValue& report,
+                                  const char* section, const char* key) {
+  const JsonValue* s = report.find(section);
+  if (s == nullptr) return std::nullopt;
+  const JsonValue* v = s->find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+std::map<std::string, double> numeric_notes(const JsonValue& report) {
+  std::map<std::string, double> out;
+  const JsonValue* notes = report.find("notes");
+  if (notes == nullptr || !notes->is_object()) return out;
+  for (const auto& [key, value] : notes->as_object()) {
+    if (value.is_number()) out.emplace(key, value.as_number());
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// " 123 -> 124 -> 125" over the last `limit` history points + current.
+std::string render_series(const std::vector<double>& history, double current,
+                          std::size_t limit) {
+  std::string out;
+  const std::size_t start = history.size() > limit ? history.size() - limit : 0;
+  for (std::size_t i = start; i < history.size(); ++i) {
+    out += format_value(history[i]);
+    out += " -> ";
+  }
+  out += format_value(current);
+  return out;
+}
+
+struct Options {
+  bool check = false;
+  std::string history_dir;
+  double max_drift = 0.02;
+  double max_wall_drift = -1.0;  // < 0: wall notes not gated
+  std::vector<std::string> reports;
+};
+
+/// Relative drift of `cur` against `prev`, symmetric-free (plain relative
+/// change against the baseline magnitude, with an epsilon for zero).
+double rel_drift(double prev, double cur) {
+  const double base = std::fabs(prev);
+  return std::fabs(cur - prev) / (base > 1e-12 ? base : 1e-12);
+}
+
+int run(const Options& opt) {
+  // Load history, grouped by bench name, in filename order.
+  std::map<std::string, std::vector<HistoryEntry>> history;
+  if (!opt.history_dir.empty()) {
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (std::filesystem::recursive_directory_iterator
+             it(opt.history_dir, ec),
+         end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      if (it->path().extension() != ".json") continue;
+      paths.push_back(it->path().string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "bench_trend: cannot read history dir %s: %s\n",
+                   opt.history_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& p : paths) {
+      std::optional<JsonValue> doc = load_json(p);
+      if (!doc) return 2;
+      const std::string name = bench_name(*doc);
+      if (name.empty()) {
+        std::fprintf(stderr, "bench_trend: %s has no bench name\n", p.c_str());
+        return 2;
+      }
+      history[name].push_back(HistoryEntry{p, std::move(*doc)});
+    }
+  }
+
+  int violations = 0;
+  for (const std::string& path : opt.reports) {
+    std::optional<JsonValue> doc = load_json(path);
+    if (!doc) return 2;
+    const std::string name = bench_name(*doc);
+    if (name.empty()) {
+      std::fprintf(stderr, "bench_trend: %s has no bench name\n",
+                   path.c_str());
+      return 2;
+    }
+    const auto hist_it = history.find(name);
+    if (hist_it == history.end()) {
+      std::printf("new     %s: no history for bench \"%s\" (baseline "
+                  "candidate)\n",
+                  path.c_str(), name.c_str());
+      continue;
+    }
+    const std::vector<HistoryEntry>& entries = hist_it->second;
+    std::printf("bench   %s  (%zu history point%s, baseline %s)\n",
+                name.c_str(), entries.size(),
+                entries.size() == 1 ? "" : "s",
+                entries.back().path.c_str());
+
+    // Headline rows: chime totals + wall seconds (informational only).
+    for (const auto& [section, key] :
+         std::initializer_list<std::pair<const char*, const char*>>{
+             {"chime", "instructions"},
+             {"chime", "elements"},
+             {"wall", "seconds"}}) {
+      const std::optional<double> cur = find_number(*doc, section, key);
+      if (!cur) continue;
+      std::vector<double> series;
+      for (const HistoryEntry& e : entries) {
+        if (const std::optional<double> v = find_number(e.report, section, key)) {
+          series.push_back(*v);
+        }
+      }
+      std::printf("  info  %s.%s: %s\n", section, key,
+                  render_series(series, *cur, 5).c_str());
+    }
+
+    // Note rows: gated when numeric, shared with the baseline, and within
+    // the deterministic (non-wall) family — or wall with an explicit gate.
+    const std::map<std::string, double> cur_notes = numeric_notes(*doc);
+    const std::map<std::string, double> base_notes =
+        numeric_notes(entries.back().report);
+    for (const auto& [key, cur] : cur_notes) {
+      std::vector<double> series;
+      for (const HistoryEntry& e : entries) {
+        const std::map<std::string, double> notes = numeric_notes(e.report);
+        const auto it = notes.find(key);
+        if (it != notes.end()) series.push_back(it->second);
+      }
+      const auto base = base_notes.find(key);
+      if (base == base_notes.end()) {
+        std::printf("  new   %s: %s\n", key.c_str(),
+                    format_value(cur).c_str());
+        continue;
+      }
+      const bool wall = is_wall_key(key);
+      const double threshold = wall ? opt.max_wall_drift : opt.max_drift;
+      const double drift = rel_drift(base->second, cur);
+      const bool gated = opt.check && threshold >= 0.0;
+      const bool bad = gated && drift > threshold;
+      std::printf("  %s %s: %s  (drift %+.2f%%%s)\n",
+                  bad      ? "FAIL "
+                  : gated  ? "ok   "
+                             : "info ",
+                  key.c_str(), render_series(series, cur, 5).c_str(),
+                  (cur >= base->second ? 1.0 : -1.0) * drift * 100.0,
+                  gated ? "" : wall ? ", wall: not gated" : "");
+      if (bad) ++violations;
+    }
+  }
+  if (violations > 0) {
+    std::printf("%d trend drift violation(s) — regenerate the history "
+                "baseline deliberately if the change is intended\n",
+                violations);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--history" && i + 1 < argc) {
+      opt.history_dir = argv[++i];
+    } else if (arg == "--max-drift" && i + 1 < argc) {
+      opt.max_drift = std::atof(argv[++i]);
+    } else if (arg == "--max-wall-drift" && i + 1 < argc) {
+      opt.max_wall_drift = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_trend: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      break;
+    }
+  }
+  for (; i < argc; ++i) opt.reports.push_back(argv[i]);
+  if (opt.reports.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--check] [--history DIR] [--max-drift F]\n"
+        "       [--max-wall-drift F] BENCH_report.json...\n"
+        "renders bench-report trend tables against a history directory;\n"
+        "--check fails on deterministic-note drift beyond --max-drift\n"
+        "(default 0.02); wall-flavored notes are gated only when\n"
+        "--max-wall-drift is given\n",
+        argv[0]);
+    return 2;
+  }
+  return run(opt);
+}
