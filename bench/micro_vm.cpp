@@ -24,6 +24,7 @@
 #include "tree/bst.h"
 #include "vm/checker.h"
 #include "vm/machine.h"
+#include "vm/simd_backend.h"
 
 namespace {
 
@@ -123,6 +124,177 @@ void BM_MachineCompress(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MachineCompress)->Arg(1 << 14);
+
+// ---- per-instruction simd-vs-serial rows -----------------------------------
+//
+// Each SIMD-lowered primitive benched twice on identical inputs: once on the
+// serial backend, once on the SIMD backend (runtime-dispatched to the best
+// ISA the host offers, or forced via FOLVEC_SIMD_LEVEL). Rows pair up as
+// BM_Prim*/serial/N vs BM_Prim*/simd/N; the ratio is the host-side speedup
+// of the intrinsics lane loops over the scalar lane loops for that one
+// instruction, free of any algorithm-level effects.
+
+using folvec::vm::BackendKind;
+
+VectorMachine backend_machine(BackendKind kind) {
+  folvec::vm::MachineConfig cfg;
+  cfg.backend = kind;
+  return VectorMachine(cfg);
+}
+
+void BM_PrimAdd(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec a = random_keys(n, 1 << 20, 31);
+  const WordVec b = random_keys(n, 1 << 20, 32);
+  WordVec out;
+  for (auto _ : state) {
+    m.add_into(out, a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimAdd, serial, BackendKind::kSerial)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimAdd, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimAddScalar(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec a = random_keys(n, 1 << 20, 33);
+  WordVec out;
+  for (auto _ : state) {
+    m.add_scalar_into(out, a, 7);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimAddScalar, serial, BackendKind::kSerial)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimAddScalar, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimCmpLt(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec a = random_keys(n, 1 << 20, 34);
+  const WordVec b = random_keys(n, 1 << 20, 35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.lt(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimCmpLt, serial, BackendKind::kSerial)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimCmpLt, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimSelect(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec a = random_keys(n, 1 << 20, 36);
+  const WordVec b = random_keys(n, 1 << 20, 37);
+  const auto mask_words = random_keys(n, 2, 38);
+  folvec::vm::Mask mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = static_cast<std::uint8_t>(mask_words[i]);
+  }
+  WordVec out;
+  for (auto _ : state) {
+    m.select_into(out, mask, a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimSelect, serial, BackendKind::kSerial)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimSelect, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimGather(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec table = m.iota(n);
+  const WordVec idx = random_keys(n, static_cast<Word>(n), 39);
+  WordVec out;
+  for (auto _ : state) {
+    m.gather_into(out, table, idx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimGather, serial, BackendKind::kSerial)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimGather, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimScatter(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  WordVec table(n, 0);
+  const WordVec idx = random_keys(n, static_cast<Word>(n), 40);
+  const WordVec vals = m.iota(n);
+  const folvec::vm::ConflictWindow window(
+      m, table, folvec::vm::WindowKind::kDataRace, "simd scatter microbench");
+  for (auto _ : state) {
+    m.scatter(table, idx, vals);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimScatter, serial, BackendKind::kSerial)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimScatter, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimScatterGatherEq(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  WordVec table(n, -1);
+  const WordVec idx = random_keys(n, static_cast<Word>(n), 41);
+  const WordVec labels = m.iota(n);
+  const folvec::vm::ConflictWindow window(
+      m, table, folvec::vm::WindowKind::kDataRace, "simd sge microbench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.scatter_gather_eq(table, idx, labels));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimScatterGatherEq, serial, BackendKind::kSerial)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimScatterGatherEq, simd, BackendKind::kSimd)
+    ->Arg(1 << 14);
+
+void BM_PrimCompress(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec v = m.iota(n);
+  const auto mask_words = random_keys(n, 2, 42);
+  folvec::vm::Mask mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = static_cast<std::uint8_t>(mask_words[i]);
+  }
+  WordVec out;
+  for (auto _ : state) {
+    m.compress_into(out, v, mask);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimCompress, serial, BackendKind::kSerial)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimCompress, simd, BackendKind::kSimd)->Arg(1 << 14);
+
+void BM_PrimReduceSum(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorMachine m = backend_machine(kind);
+  const WordVec v = random_keys(n, 1 << 20, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.reduce_sum(v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_PrimReduceSum, serial, BackendKind::kSerial)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_PrimReduceSum, simd, BackendKind::kSimd)->Arg(1 << 14);
 
 void BM_Fol1UniqueLanes(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -344,6 +516,9 @@ int main(int argc, char** argv) {
 
   folvec::bench::BenchReport report("micro_vm");
   report.config("guard_reps", 7);
+  report.config("simd_level",
+                folvec::vm::simd_level_name(folvec::vm::simd_resolve_level(
+                    folvec::vm::MachineConfig::simd_level_default())));
   report.note("guard_chime_instructions", guard.instructions);
   report.note("guard_chime_elements", guard.elements);
   report.note("guard_disabled_over_enabled_wall", guard.wall_seconds);

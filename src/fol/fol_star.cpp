@@ -129,12 +129,26 @@ StarDecomposition fol_star_decompose(VectorMachine& m,
       m.scalar_store(work, target, lane_label(k, (*positions)[n - 1]));
     }
 
-    // Step 2: a tuple survives only if every lane's label survived.
+    // Step 2: a tuple survives only if every lane's label survived. Each
+    // lane's predicate pair — the label compare and its fold into the
+    // running conjunction — queues as one batched dispatch (the gather
+    // between lanes is memory class and flushes eagerly), composed through
+    // named masks per the batch lifetime rule.
     Mask tuple_ok;
+    Mask lane_ok;
+    Mask tuple_next;
     for (std::size_t k = 0; k < num_lanes; ++k) {
       m.gather_into(*readback, work, *remaining[k]);
-      const Mask lane_ok = m.eq(*readback, *labels[k]);
-      tuple_ok = (k == 0) ? lane_ok : m.mask_and(tuple_ok, lane_ok);
+      if (k == 0) {
+        m.eq_into(tuple_ok, *readback, *labels[k]);
+      } else {
+        {
+          const vm::VectorMachine::OpBatch batch(m);
+          m.eq_into(lane_ok, *readback, *labels[k]);
+          m.mask_and_into(tuple_next, tuple_ok, lane_ok);
+        }
+        std::swap(tuple_ok, tuple_next);
+      }
     }
 
     std::size_t n_ok = m.count_true(tuple_ok);

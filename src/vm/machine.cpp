@@ -15,28 +15,47 @@
 #include "vm/buffer_pool.h"
 #include "vm/checker.h"
 #include "vm/parallel_backend.h"
+#include "vm/simd_backend.h"
+#include "vm/simd_kernels.h"
 
 namespace folvec::vm {
 
 namespace {
 
-/// Whether this machine's config asked for the parallel backend but audit
-/// mode pinned execution to the serial reference path.
+/// Whether this machine's config asked for a pooled backend but audit mode
+/// pinned execution to the single-threaded path (kParallel runs as kSerial,
+/// kParallelSimd as kSimd).
 bool audit_pinned(const MachineConfig& config, bool audited) {
-  return audited && config.backend == BackendKind::kParallel;
+  return audited && (config.backend == BackendKind::kParallel ||
+                     config.backend == BackendKind::kParallelSimd);
 }
 
-/// One-time stderr notice that the parallel request was pinned to serial;
-/// per-machine repetition would drown test output, but silence would leave
+/// One-time stderr notice that the parallel request was pinned; per-machine
+/// repetition would drown test output, but silence would leave
 /// FOLVEC_BACKEND=parallel users benchmarking the wrong backend unawares.
 void warn_audit_pin_once() {
   static std::atomic<bool> warned{false};
   if (!warned.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr,
-                 "folvec: audit mode pins execution to the serial backend; "
-                 "the requested parallel backend is ignored "
+                 "folvec: audit mode pins execution to the single-threaded "
+                 "path; the requested parallel workers are ignored "
                  "(set FOLVEC_AUDIT=0 to benchmark parallel execution)\n");
   }
+}
+
+/// Telemetry spelling of a BackendKind request.
+const char* backend_kind_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSerial:
+      return "serial";
+    case BackendKind::kParallel:
+      return "parallel";
+    case BackendKind::kSimd:
+      return "simd";
+    case BackendKind::kParallelSimd:
+      return "parallel+simd";
+  }
+  return "serial";
 }
 
 }  // namespace
@@ -75,6 +94,10 @@ BackendKind MachineConfig::backend_default() {
     const std::string v = env_normalize(*env);
     if (v == "serial") return BackendKind::kSerial;
     if (v == "parallel") return BackendKind::kParallel;
+    if (v == "simd") return BackendKind::kSimd;
+    if (v == "parallel+simd" || v == "simd+parallel") {
+      return BackendKind::kParallelSimd;
+    }
     return env_flag(v) ? BackendKind::kParallel : BackendKind::kSerial;
   }
 #ifdef FOLVEC_PARALLEL_DEFAULT
@@ -82,6 +105,13 @@ BackendKind MachineConfig::backend_default() {
 #else
   return BackendKind::kSerial;
 #endif
+}
+
+SimdLevel MachineConfig::simd_level_default() {
+  if (const auto env = env_value("FOLVEC_SIMD_LEVEL")) {
+    return simd_parse_level(env_normalize(*env).c_str());
+  }
+  return SimdLevel::kAuto;
 }
 
 VectorMachine::VectorMachine(const MachineConfig& config)
@@ -95,15 +125,37 @@ VectorMachine::VectorMachine(const MachineConfig& config)
     analyzer_ = std::make_unique<analysis::Analyzer>();
     pool_->set_analyzer(analyzer_.get());
   }
-  // Audit pins execution to the serial reference path: ScatterCheck's
+  // Audit pins execution to the single-threaded path: ScatterCheck's
   // per-lane bookkeeping is single-threaded, and an audited instruction
-  // stream must be the one whose semantics the auditor reasons about.
-  if (config_.backend == BackendKind::kParallel && checker_ == nullptr) {
-    backend_ = std::make_unique<ParallelBackend>(config_.backend_threads,
-                                                 config_.backend_grain,
-                                                 config_.merge_strategy);
-  } else {
-    backend_ = std::make_unique<SerialBackend>();
+  // stream must be the one whose semantics the auditor reasons about. The
+  // SIMD kernels run on the issuing thread and are bit-identical to serial,
+  // so kSimd itself stays auditable — only the pool is pinned away
+  // (kParallel -> kSerial, kParallelSimd -> kSimd).
+  BackendKind kind = config_.backend;
+  if (checker_ != nullptr) {
+    if (kind == BackendKind::kParallel) kind = BackendKind::kSerial;
+    if (kind == BackendKind::kParallelSimd) kind = BackendKind::kSimd;
+  }
+  if (kind == BackendKind::kSimd || kind == BackendKind::kParallelSimd) {
+    simd_ = &simd_kernels_for(simd_resolve_level(config_.simd_level));
+  }
+  switch (kind) {
+    case BackendKind::kParallel:
+      backend_ = std::make_unique<ParallelBackend>(config_.backend_threads,
+                                                   config_.backend_grain,
+                                                   config_.merge_strategy);
+      break;
+    case BackendKind::kParallelSimd:
+      backend_ = std::make_unique<ParallelBackend>(
+          config_.backend_threads, config_.backend_grain,
+          config_.merge_strategy, simd_);
+      break;
+    case BackendKind::kSimd:
+      backend_ = std::make_unique<SimdBackend>(*simd_);
+      break;
+    case BackendKind::kSerial:
+      backend_ = std::make_unique<SerialBackend>();
+      break;
   }
   if (audit_pinned(config_, checker_ != nullptr)) warn_audit_pin_once();
 }
@@ -174,11 +226,14 @@ void VectorMachine::flush_telemetry() const {
   // Backend identity lives in the excluded-from-determinism "backend."
   // namespace: it legitimately differs between serial and parallel runs.
   r->label("backend.name", backend_name());
-  r->label("backend.requested", config_.backend == BackendKind::kParallel
-                                    ? "parallel"
-                                    : "serial");
+  r->label("backend.requested", backend_kind_name(config_.backend));
   r->gauge_max("backend.workers",
                static_cast<std::int64_t>(backend_workers()));
+  if (simd_ != nullptr) {
+    r->label("backend.simd_level", simd_->name);
+    r->add(std::string("backend.simd.dispatch.") + simd_->name,
+           simd_dispatches_);
+  }
   if (audit_pinned(config_, checker_ != nullptr)) {
     r->add("backend.pinned", 1);
     r->label("backend.pin_reason", "audit");
@@ -189,6 +244,18 @@ const char* VectorMachine::backend_name() const { return backend_->name(); }
 
 std::size_t VectorMachine::backend_workers() const {
   return backend_->workers();
+}
+
+SimdLevel VectorMachine::active_simd_level() const {
+  return simd_ != nullptr ? simd_->level : SimdLevel::kScalar;
+}
+
+template <typename K>
+K VectorMachine::simd_pick(K SimdKernels::*field) {
+  if (simd_ == nullptr) return nullptr;
+  const K entry = simd_->*field;
+  if (entry != nullptr) ++simd_dispatches_;
+  return entry;
 }
 
 const HazardReport& VectorMachine::hazards() const {
@@ -306,12 +373,17 @@ void VectorMachine::iota_into(WordVec& out, std::size_t n, Word start,
   issue(OpClass::kVectorArith, n);
   out.resize(n);
   Word* o = out.data();
-  run_lanes(OpClass::kVectorArith, n, [o, start, step](std::size_t lo,
-                                                       std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      o[i] = start + step * static_cast<Word>(i);
-    }
-  });
+  const auto k = simd_pick(&SimdKernels::iota);
+  run_lanes(OpClass::kVectorArith, n,
+            [o, start, step, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, start, step, lo, hi);
+                return;
+              }
+              for (std::size_t i = lo; i < hi; ++i) {
+                o[i] = start + step * static_cast<Word>(i);
+              }
+            });
   if (analyzer_ != nullptr) {
     analyzer_->rec_gen(analysis::Opcode::kIota, out, start, step);
   }
@@ -378,48 +450,58 @@ void VectorMachine::reverse_into(WordVec& out, std::span<const Word> v) {
 
 template <typename F>
 void VectorMachine::zip_into(WordVec& out, std::span<const Word> a,
-                             std::span<const Word> b, F f) {
+                             std::span<const Word> b, F f, SimdBinFn k) {
   FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
   issue(OpClass::kVectorArith, a.size());
   out.resize(a.size());
   Word* o = out.data();
   run_lanes(OpClass::kVectorArith, a.size(),
-            [o, a, b, f](std::size_t lo, std::size_t hi) {
+            [o, a, b, f, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, a.data(), b.data(), lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i], b[i]);
             });
 }
 
 template <typename F>
 WordVec VectorMachine::zip(std::span<const Word> a, std::span<const Word> b,
-                           F f) {
+                           F f, SimdBinFn k) {
   WordVec out;
-  zip_into(out, a, b, f);
+  zip_into(out, a, b, f, k);
   return out;
 }
 
 template <typename F>
 void VectorMachine::map_into(WordVec& out, std::span<const Word> a, F f,
-                             bool batchable) {
+                             bool batchable, SimdMapFn k, Word s) {
   issue(OpClass::kVectorArith, a.size());
   out.resize(a.size());
   Word* o = out.data();
   run_lanes(
       OpClass::kVectorArith, a.size(),
-      [o, a, f](std::size_t lo, std::size_t hi) {
+      [o, a, f, k, s](std::size_t lo, std::size_t hi) {
+        if (k != nullptr) {
+          k(o, a.data(), s, lo, hi);
+          return;
+        }
         for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]);
       },
       batchable);
 }
 
 template <typename F>
-WordVec VectorMachine::map(std::span<const Word> a, F f, bool batchable) {
+WordVec VectorMachine::map(std::span<const Word> a, F f, bool batchable,
+                           SimdMapFn k, Word s) {
   WordVec out;
-  map_into(out, a, f, batchable);
+  map_into(out, a, f, batchable, k, s);
   return out;
 }
 
 WordVec VectorMachine::add(std::span<const Word> a, std::span<const Word> b) {
-  WordVec out = zip(a, b, [](Word x, Word y) { return x + y; });
+  WordVec out = zip(a, b, [](Word x, Word y) { return x + y; },
+                    simd_pick(&SimdKernels::add));
   if (analyzer_ != nullptr) {
     analyzer_->rec_binary(analysis::Opcode::kAdd, out, a, b);
   }
@@ -428,7 +510,8 @@ WordVec VectorMachine::add(std::span<const Word> a, std::span<const Word> b) {
 
 void VectorMachine::add_into(WordVec& out, std::span<const Word> a,
                              std::span<const Word> b) {
-  zip_into(out, a, b, [](Word x, Word y) { return x + y; });
+  zip_into(out, a, b, [](Word x, Word y) { return x + y; },
+           simd_pick(&SimdKernels::add));
   if (analyzer_ != nullptr) {
     analyzer_->rec_binary(analysis::Opcode::kAdd, out, a, b);
   }
@@ -436,14 +519,16 @@ void VectorMachine::add_into(WordVec& out, std::span<const Word> a,
 
 void VectorMachine::add_scalar_into(WordVec& out, std::span<const Word> a,
                                     Word s) {
-  map_into(out, a, [s](Word x) { return x + s; });
+  map_into(out, a, [s](Word x) { return x + s; }, /*batchable=*/true,
+           simd_pick(&SimdKernels::add_s), s);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kAddScalar, out, a, s);
   }
 }
 
 WordVec VectorMachine::sub(std::span<const Word> a, std::span<const Word> b) {
-  WordVec out = zip(a, b, [](Word x, Word y) { return x - y; });
+  WordVec out = zip(a, b, [](Word x, Word y) { return x - y; },
+                    simd_pick(&SimdKernels::sub));
   if (analyzer_ != nullptr) {
     analyzer_->rec_binary(analysis::Opcode::kSub, out, a, b);
   }
@@ -451,7 +536,8 @@ WordVec VectorMachine::sub(std::span<const Word> a, std::span<const Word> b) {
 }
 
 WordVec VectorMachine::mul(std::span<const Word> a, std::span<const Word> b) {
-  WordVec out = zip(a, b, [](Word x, Word y) { return x * y; });
+  WordVec out = zip(a, b, [](Word x, Word y) { return x * y; },
+                    simd_pick(&SimdKernels::mul));
   if (analyzer_ != nullptr) {
     analyzer_->rec_binary(analysis::Opcode::kMul, out, a, b);
   }
@@ -459,7 +545,8 @@ WordVec VectorMachine::mul(std::span<const Word> a, std::span<const Word> b) {
 }
 
 WordVec VectorMachine::add_scalar(std::span<const Word> a, Word s) {
-  WordVec out = map(a, [s](Word x) { return x + s; });
+  WordVec out = map(a, [s](Word x) { return x + s; }, /*batchable=*/true,
+                    simd_pick(&SimdKernels::add_s), s);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kAddScalar, out, a, s);
   }
@@ -467,17 +554,34 @@ WordVec VectorMachine::add_scalar(std::span<const Word> a, Word s) {
 }
 
 WordVec VectorMachine::mul_scalar(std::span<const Word> a, Word s) {
-  WordVec out = map(a, [s](Word x) { return x * s; });
+  WordVec out = map(a, [s](Word x) { return x * s; }, /*batchable=*/true,
+                    simd_pick(&SimdKernels::mul_s), s);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kMulScalar, out, a, s);
   }
   return out;
 }
 
+void VectorMachine::mul_scalar_into(WordVec& out, std::span<const Word> a,
+                                    Word s) {
+  map_into(out, a, [s](Word x) { return x * s; }, /*batchable=*/true,
+           simd_pick(&SimdKernels::mul_s), s);
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kMulScalar, out, a, s);
+  }
+}
+
 WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
+  WordVec out;
+  div_scalar_into(out, a, s);
+  return out;
+}
+
+void VectorMachine::div_scalar_into(WordVec& out, std::span<const Word> a,
+                                    Word s) {
   FOLVEC_REQUIRE(s > 0, "div_scalar needs a positive divisor");
   issue(OpClass::kVectorDiv, a.size());
-  WordVec out(a.size());
+  out.resize(a.size());
   Word* o = out.data();
   run_lanes(OpClass::kVectorDiv, a.size(),
             [o, a, s](std::size_t lo, std::size_t hi) {
@@ -491,7 +595,6 @@ WordVec VectorMachine::div_scalar(std::span<const Word> a, Word s) {
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kDivScalar, out, a, s);
   }
-  return out;
 }
 
 WordVec VectorMachine::mod_scalar(std::span<const Word> a, Word s) {
@@ -527,14 +630,16 @@ WordVec VectorMachine::and_scalar(std::span<const Word> a, Word s) {
 
 void VectorMachine::and_scalar_into(WordVec& out, std::span<const Word> a,
                                     Word s) {
-  map_into(out, a, [s](Word x) { return x & s; });
+  map_into(out, a, [s](Word x) { return x & s; }, /*batchable=*/true,
+           simd_pick(&SimdKernels::and_s), s);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kAndScalar, out, a, s);
   }
 }
 
 WordVec VectorMachine::or_scalar(std::span<const Word> a, Word s) {
-  WordVec out = map(a, [s](Word x) { return x | s; });
+  WordVec out = map(a, [s](Word x) { return x | s; }, /*batchable=*/true,
+                    simd_pick(&SimdKernels::or_s), s);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kOrScalar, out, a, s);
   }
@@ -559,50 +664,89 @@ WordVec VectorMachine::shl_scalar(std::span<const Word> a, int k) {
 }
 
 WordVec VectorMachine::shr_scalar(std::span<const Word> a, int k) {
-  FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
-  WordVec out = map(a, [k](Word x) { return x >> k; });
-  if (analyzer_ != nullptr) {
-    analyzer_->rec_unary(analysis::Opcode::kShrScalar, out, a, k);
-  }
+  WordVec out;
+  shr_scalar_into(out, a, k);
   return out;
 }
 
+void VectorMachine::shr_scalar_into(WordVec& out, std::span<const Word> a,
+                                    int k) {
+  FOLVEC_REQUIRE(k >= 0 && k < 64, "shift amount out of range");
+  map_into(out, a, [k](Word x) { return x >> k; }, /*batchable=*/true,
+           simd_pick(&SimdKernels::shr_s), static_cast<Word>(k));
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kShrScalar, out, a, k);
+  }
+}
+
 WordVec VectorMachine::negate(std::span<const Word> a) {
-  WordVec out = map(a, [](Word x) { return -x; });
+  WordVec out = map(a, [](Word x) { return -x; }, /*batchable=*/true,
+                    simd_pick(&SimdKernels::neg), 0);
   if (analyzer_ != nullptr) {
     analyzer_->rec_unary(analysis::Opcode::kNegate, out, a);
   }
   return out;
 }
 
+void VectorMachine::negate_into(WordVec& out, std::span<const Word> a) {
+  map_into(out, a, [](Word x) { return -x; }, /*batchable=*/true,
+           simd_pick(&SimdKernels::neg), 0);
+  if (analyzer_ != nullptr) {
+    analyzer_->rec_unary(analysis::Opcode::kNegate, out, a);
+  }
+}
+
 // ---- compares ---------------------------------------------------------------
 
 template <typename F>
-Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b,
-                        F f) {
-  FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
-  issue(OpClass::kVectorCompare, a.size());
-  Mask out(a.size());
-  std::uint8_t* o = out.data();
-  run_lanes(OpClass::kVectorCompare, a.size(),
-            [o, a, b, f](std::size_t lo, std::size_t hi) {
-              for (std::size_t i = lo; i < hi; ++i) {
-                o[i] = f(a[i], b[i]) ? 1 : 0;
-              }
-            });
+Mask VectorMachine::cmp(std::span<const Word> a, std::span<const Word> b, F f,
+                        SimdCmpFn k) {
+  Mask out;
+  cmp_into(out, a, b, f, k);
   return out;
 }
 
 template <typename F>
-Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f) {
+void VectorMachine::cmp_into(Mask& out, std::span<const Word> a,
+                             std::span<const Word> b, F f, SimdCmpFn k) {
+  FOLVEC_REQUIRE(a.size() == b.size(), "vector lengths must match");
   issue(OpClass::kVectorCompare, a.size());
-  Mask out(a.size());
+  out.resize(a.size());
   std::uint8_t* o = out.data();
   run_lanes(OpClass::kVectorCompare, a.size(),
-            [o, a, f](std::size_t lo, std::size_t hi) {
+            [o, a, b, f, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, a.data(), b.data(), lo, hi);
+                return;
+              }
+              for (std::size_t i = lo; i < hi; ++i) {
+                o[i] = f(a[i], b[i]) ? 1 : 0;
+              }
+            });
+}
+
+template <typename F>
+Mask VectorMachine::cmp_scalar(std::span<const Word> a, F f, SimdCmpSFn k,
+                               Word s) {
+  Mask out;
+  cmp_scalar_into(out, a, f, k, s);
+  return out;
+}
+
+template <typename F>
+void VectorMachine::cmp_scalar_into(Mask& out, std::span<const Word> a, F f,
+                                    SimdCmpSFn k, Word s) {
+  issue(OpClass::kVectorCompare, a.size());
+  out.resize(a.size());
+  std::uint8_t* o = out.data();
+  run_lanes(OpClass::kVectorCompare, a.size(),
+            [o, a, f, k, s](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, a.data(), s, lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) o[i] = f(a[i]) ? 1 : 0;
             });
-  return out;
 }
 
 void VectorMachine::rec_cmp(analysis::Opcode op, const Mask& out,
@@ -612,55 +756,78 @@ void VectorMachine::rec_cmp(analysis::Opcode op, const Mask& out,
 }
 
 Mask VectorMachine::eq(std::span<const Word> a, std::span<const Word> b) {
-  Mask out = cmp(a, b, [](Word x, Word y) { return x == y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x == y; },
+                 simd_pick(&SimdKernels::cmp_eq));
   rec_cmp(analysis::Opcode::kCmpEq, out, a, b, 0);
   return out;
 }
 
+void VectorMachine::eq_into(Mask& out, std::span<const Word> a,
+                            std::span<const Word> b) {
+  cmp_into(out, a, b, [](Word x, Word y) { return x == y; },
+           simd_pick(&SimdKernels::cmp_eq));
+  rec_cmp(analysis::Opcode::kCmpEq, out, a, b, 0);
+}
+
 Mask VectorMachine::ne(std::span<const Word> a, std::span<const Word> b) {
-  Mask out = cmp(a, b, [](Word x, Word y) { return x != y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x != y; },
+                 simd_pick(&SimdKernels::cmp_ne));
   rec_cmp(analysis::Opcode::kCmpNe, out, a, b, 0);
   return out;
 }
 
 Mask VectorMachine::le(std::span<const Word> a, std::span<const Word> b) {
-  Mask out = cmp(a, b, [](Word x, Word y) { return x <= y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x <= y; },
+                 simd_pick(&SimdKernels::cmp_le));
   rec_cmp(analysis::Opcode::kCmpLe, out, a, b, 0);
   return out;
 }
 
 Mask VectorMachine::lt(std::span<const Word> a, std::span<const Word> b) {
-  Mask out = cmp(a, b, [](Word x, Word y) { return x < y; });
+  Mask out = cmp(a, b, [](Word x, Word y) { return x < y; },
+                 simd_pick(&SimdKernels::cmp_lt));
   rec_cmp(analysis::Opcode::kCmpLt, out, a, b, 0);
   return out;
 }
 
 Mask VectorMachine::eq_scalar(std::span<const Word> a, Word s) {
-  Mask out = cmp_scalar(a, [s](Word x) { return x == s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x == s; },
+                        simd_pick(&SimdKernels::cmp_eq_s), s);
   rec_cmp(analysis::Opcode::kCmpEqScalar, out, a, {}, s);
   return out;
 }
 
 Mask VectorMachine::ne_scalar(std::span<const Word> a, Word s) {
-  Mask out = cmp_scalar(a, [s](Word x) { return x != s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x != s; },
+                        simd_pick(&SimdKernels::cmp_ne_s), s);
   rec_cmp(analysis::Opcode::kCmpNeScalar, out, a, {}, s);
   return out;
 }
 
+void VectorMachine::ne_scalar_into(Mask& out, std::span<const Word> a,
+                                   Word s) {
+  cmp_scalar_into(out, a, [s](Word x) { return x != s; },
+                  simd_pick(&SimdKernels::cmp_ne_s), s);
+  rec_cmp(analysis::Opcode::kCmpNeScalar, out, a, {}, s);
+}
+
 Mask VectorMachine::le_scalar(std::span<const Word> a, Word s) {
-  Mask out = cmp_scalar(a, [s](Word x) { return x <= s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x <= s; },
+                        simd_pick(&SimdKernels::cmp_le_s), s);
   rec_cmp(analysis::Opcode::kCmpLeScalar, out, a, {}, s);
   return out;
 }
 
 Mask VectorMachine::lt_scalar(std::span<const Word> a, Word s) {
-  Mask out = cmp_scalar(a, [s](Word x) { return x < s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x < s; },
+                        simd_pick(&SimdKernels::cmp_lt_s), s);
   rec_cmp(analysis::Opcode::kCmpLtScalar, out, a, {}, s);
   return out;
 }
 
 Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
-  Mask out = cmp_scalar(a, [s](Word x) { return x >= s; });
+  Mask out = cmp_scalar(a, [s](Word x) { return x >= s; },
+                        simd_pick(&SimdKernels::cmp_ge_s), s);
   rec_cmp(analysis::Opcode::kCmpGeScalar, out, a, {}, s);
   return out;
 }
@@ -668,22 +835,33 @@ Mask VectorMachine::ge_scalar(std::span<const Word> a, Word s) {
 // ---- mask algebra -------------------------------------------------------------
 
 Mask VectorMachine::mask_and(const Mask& a, const Mask& b) {
+  Mask out;
+  mask_and_into(out, a, b);
+  return out;
+}
+
+void VectorMachine::mask_and_into(Mask& out, const Mask& a, const Mask& b) {
   FOLVEC_REQUIRE(a.size() == b.size(), "mask lengths must match");
   issue(OpClass::kVectorMask, a.size());
-  Mask out(a.size());
+  out.resize(a.size());
   std::uint8_t* o = out.data();
   const std::span<const std::uint8_t> ab = a.bytes();
   const std::span<const std::uint8_t> bb = b.bytes();
+  const auto k = simd_pick(&SimdKernels::mask_and);
   run_lanes(OpClass::kVectorMask, a.size(),
-            [o, ab, bb](std::size_t lo, std::size_t hi) {
+            [o, ab, bb, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, ab.data(), bb.data(), lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) {
                 o[i] = static_cast<std::uint8_t>(ab[i] & bb[i]);
               }
             });
   if (analyzer_ != nullptr) {
-    analyzer_->rec_mask2(analysis::Opcode::kMaskAnd, out.bytes(), a.bytes(), b.bytes());
+    analyzer_->rec_mask2(analysis::Opcode::kMaskAnd, out.bytes(), a.bytes(),
+                         b.bytes());
   }
-  return out;
 }
 
 Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
@@ -693,8 +871,13 @@ Mask VectorMachine::mask_or(const Mask& a, const Mask& b) {
   std::uint8_t* o = out.data();
   const std::span<const std::uint8_t> ab = a.bytes();
   const std::span<const std::uint8_t> bb = b.bytes();
+  const auto k = simd_pick(&SimdKernels::mask_or);
   run_lanes(OpClass::kVectorMask, a.size(),
-            [o, ab, bb](std::size_t lo, std::size_t hi) {
+            [o, ab, bb, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, ab.data(), bb.data(), lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) {
                 o[i] = static_cast<std::uint8_t>(ab[i] | bb[i]);
               }
@@ -710,8 +893,13 @@ Mask VectorMachine::mask_not(const Mask& a) {
   Mask out(a.size());
   std::uint8_t* o = out.data();
   const std::span<const std::uint8_t> ab = a.bytes();
+  const auto k = simd_pick(&SimdKernels::mask_not);
   run_lanes(OpClass::kVectorMask, a.size(),
-            [o, ab](std::size_t lo, std::size_t hi) {
+            [o, ab, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, ab.data(), lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) o[i] = ab[i] != 0 ? 0 : 1;
             });
   if (analyzer_ != nullptr) {
@@ -802,20 +990,32 @@ std::size_t VectorMachine::compress_into(WordVec& out, std::span<const Word> v,
 
 WordVec VectorMachine::select(const Mask& m, std::span<const Word> a,
                               std::span<const Word> b) {
+  WordVec out;
+  select_into(out, m, a, b);
+  return out;
+}
+
+void VectorMachine::select_into(WordVec& out, const Mask& m,
+                                std::span<const Word> a,
+                                std::span<const Word> b) {
   FOLVEC_REQUIRE(a.size() == b.size() && a.size() == m.size(),
                  "select operand lengths must match");
   issue(OpClass::kVectorArith, a.size());
-  WordVec out(a.size());
+  out.resize(a.size());
   Word* o = out.data();
   const std::span<const std::uint8_t> mb = m.bytes();
+  const auto k = simd_pick(&SimdKernels::select);
   run_lanes(OpClass::kVectorArith, a.size(),
-            [o, mb, a, b](std::size_t lo, std::size_t hi) {
+            [o, mb, a, b, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, mb.data(), a.data(), b.data(), lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) {
                 o[i] = mb[i] != 0 ? a[i] : b[i];
               }
             });
   if (analyzer_ != nullptr) analyzer_->rec_select(out, m.bytes(), a, b);
-  return out;
 }
 
 WordVec VectorMachine::from_mask(const Mask& m) {
@@ -823,8 +1023,13 @@ WordVec VectorMachine::from_mask(const Mask& m) {
   WordVec out(m.size());
   Word* o = out.data();
   const std::span<const std::uint8_t> mb = m.bytes();
+  const auto k = simd_pick(&SimdKernels::from_mask);
   run_lanes(OpClass::kVectorArith, m.size(),
-            [o, mb](std::size_t lo, std::size_t hi) {
+            [o, mb, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, mb.data(), lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) o[i] = mb[i] != 0 ? 1 : 0;
             });
   if (analyzer_ != nullptr) analyzer_->rec_from_mask(out, m.bytes());
@@ -900,7 +1105,12 @@ WordVec VectorMachine::load_strided(std::span<const Word> table,
   issue(OpClass::kVectorLoad, n);
   WordVec out(n);
   Word* o = out.data();
+  const auto k = simd_pick(&SimdKernels::load_strided);
   backend_->for_lanes(n, [&](std::size_t lo, std::size_t hi) {
+    if (k != nullptr) {
+      k(o, table.data(), offset, stride, lo, hi);
+      return;
+    }
     for (std::size_t i = lo; i < hi; ++i) o[i] = table[offset + i * stride];
   });
   if (analyzer_ != nullptr) {
@@ -979,7 +1189,12 @@ void VectorMachine::gather_into(WordVec& out, std::span<const Word> table,
   issue(OpClass::kVectorGather, idx.size());
   out.resize(idx.size());
   Word* o = out.data();
+  const auto k = simd_pick(&SimdKernels::gather);
   backend_->for_lanes(idx.size(), [&](std::size_t lo, std::size_t hi) {
+    if (k != nullptr) {
+      k(o, table.data(), idx.data(), lo, hi);
+      return;
+    }
     for (std::size_t i = lo; i < hi; ++i) {
       o[i] = table[static_cast<std::size_t>(idx[i])];
     }
@@ -1011,7 +1226,12 @@ WordVec VectorMachine::gather_masked(std::span<const Word> table,
   issue(OpClass::kVectorGather, idx.size());
   WordVec out(idx.size(), fill);
   Word* o = out.data();
+  const auto k = simd_pick(&SimdKernels::gather_masked);
   backend_->for_lanes(idx.size(), [&](std::size_t lo, std::size_t hi) {
+    if (k != nullptr) {
+      k(o, table.data(), idx.data(), m.data(), lo, hi);
+      return;
+    }
     for (std::size_t i = lo; i < hi; ++i) {
       if (m[i] != 0) o[i] = table[static_cast<std::size_t>(idx[i])];
     }

@@ -69,9 +69,35 @@ enum class ScatterOrder : std::uint8_t {
 
 /// Which execution backend runs the primitive lane loops (see backend.h).
 enum class BackendKind : std::uint8_t {
-  kSerial,    ///< reference semantics, one thread
-  kParallel,  ///< lanes chunked across a persistent thread pool
+  kSerial,        ///< reference semantics, one thread
+  kParallel,      ///< lanes chunked across a persistent thread pool
+  kSimd,          ///< one thread, lane loops lowered to real vector ISA
+  kParallelSimd,  ///< pool chunks running the SIMD lane loops inside
 };
+
+/// Which SIMD kernel table the simd backends execute through (see
+/// simd_backend.h). Declaration order is support rank order: resolution
+/// downgrades toward kScalar, never up.
+enum class SimdLevel : std::uint8_t {
+  kScalar,  ///< reference loops through the table plumbing (always available)
+  kNeon,    ///< AArch64 Advanced SIMD, 2 lanes
+  kAvx2,    ///< x86-64 AVX2, 4 lanes
+  kAvx512,  ///< x86-64 AVX-512 F+CD+DQ+BW+VL, 8 lanes + ordered scatter
+  kAuto,    ///< resolve to the best level the host supports
+};
+
+// Lane-kernel pointer shapes of the SIMD kernel table (simd_kernels.h).
+// Null means "no lowering at this level"; primitives then run their plain
+// loops. All operate on lanes [lo, hi) of shared vectors, the same contract
+// as Backend::for_lanes chunks.
+using SimdBinFn = void (*)(Word*, const Word*, const Word*, std::size_t,
+                           std::size_t);
+using SimdMapFn = void (*)(Word*, const Word*, Word, std::size_t,
+                           std::size_t);
+using SimdCmpFn = void (*)(std::uint8_t*, const Word*, const Word*,
+                           std::size_t, std::size_t);
+using SimdCmpSFn = void (*)(std::uint8_t*, const Word*, Word, std::size_t,
+                            std::size_t);
 
 /// How the parallel backend merges colliding scatter writes (see
 /// parallel_backend.h for both algorithms; every choice is bit-identical to
@@ -97,15 +123,29 @@ struct MachineConfig {
   static bool audit_default();
 
   /// Default backend: from the FOLVEC_BACKEND environment variable when set
-  /// ("serial"/"parallel", or the boolean spellings of support/env.h where
-  /// truthy means parallel), else parallel iff built with
-  /// -DFOLVEC_PARALLEL=ON.
+  /// ("serial"/"parallel"/"simd"/"parallel+simd" (or "simd+parallel"), or
+  /// the boolean spellings of support/env.h where truthy means parallel),
+  /// else parallel iff built with -DFOLVEC_PARALLEL=ON.
   static BackendKind backend_default();
 
   /// Execution backend. Audit mode pins the instruction stream to the
-  /// serial path regardless (ScatterCheck's per-lane bookkeeping is
-  /// single-threaded, and audited runs must see reference execution).
+  /// single-threaded path regardless (ScatterCheck's per-lane bookkeeping is
+  /// single-threaded, and audited runs must see reference execution):
+  /// kParallel runs as kSerial and kParallelSimd as kSimd. The SIMD lane
+  /// kernels themselves stay auditable — they are bit-identical to serial
+  /// and execute on the issuing thread.
   BackendKind backend = backend_default();
+
+  /// Default SIMD level: from the FOLVEC_SIMD_LEVEL environment variable
+  /// when set (auto/scalar/neon/avx2/avx512), else kAuto.
+  static SimdLevel simd_level_default();
+
+  /// Requested kernel level for the simd backends (ignored by kSerial /
+  /// kParallel). kAuto resolves to the best level the host CPU supports; a
+  /// forced level unavailable on this host/build degrades to the best
+  /// supported lower level with a one-time stderr notice (see
+  /// simd_backend.h).
+  SimdLevel simd_level = simd_level_default();
   /// Worker threads for the parallel backend; 0 = hardware concurrency.
   std::size_t backend_threads = 0;
   /// Minimum lanes per worker chunk before the parallel backend splits an
@@ -179,6 +219,7 @@ struct MachineConfig {
 class ScatterChecker;
 class Backend;
 class BufferPool;
+struct SimdKernels;  // full declaration in simd_kernels.h
 enum class ScatterTraversal : std::uint8_t;  // full declaration in backend.h
 
 class VectorMachine {
@@ -193,11 +234,18 @@ class VectorMachine {
   CostAccumulator& cost() { return cost_; }
   const CostAccumulator& cost() const { return cost_; }
 
-  /// Name of the active execution backend ("serial" or "parallel"). May
-  /// differ from config().backend: audit mode pins execution to serial.
+  /// Name of the active execution backend ("serial", "parallel", "simd" or
+  /// "parallel+simd"). May differ from config().backend: audit mode pins
+  /// execution to the single-threaded path.
   const char* backend_name() const;
-  /// Worker count of the active backend (1 for serial).
+  /// Worker count of the active backend (1 for serial/simd).
   std::size_t backend_workers() const;
+  /// The resolved SIMD kernel level the machine executes through (kScalar
+  /// when no SIMD backend is attached).
+  SimdLevel active_simd_level() const;
+  /// Kernel-table dispatches taken so far (lane loops that actually ran a
+  /// non-null SIMD table entry; also published as backend.simd.dispatch.*).
+  std::size_t simd_dispatches() const { return simd_dispatches_; }
 
   // ---- ScatterCheck auditing (see checker.h) ------------------------------
 
@@ -445,8 +493,17 @@ class VectorMachine {
   void reverse_into(WordVec& out, std::span<const Word> v);
   void add_into(WordVec& out, std::span<const Word> a, std::span<const Word> b);
   void add_scalar_into(WordVec& out, std::span<const Word> a, Word s);
+  void mul_scalar_into(WordVec& out, std::span<const Word> a, Word s);
+  void div_scalar_into(WordVec& out, std::span<const Word> a, Word s);
   void and_scalar_into(WordVec& out, std::span<const Word> a, Word s);
   void mod_scalar_into(WordVec& out, std::span<const Word> a, Word s);
+  void shr_scalar_into(WordVec& out, std::span<const Word> a, int k);
+  void negate_into(WordVec& out, std::span<const Word> a);
+  void select_into(WordVec& out, const Mask& m, std::span<const Word> a,
+                   std::span<const Word> b);
+  void eq_into(Mask& out, std::span<const Word> a, std::span<const Word> b);
+  void ne_scalar_into(Mask& out, std::span<const Word> a, Word s);
+  void mask_and_into(Mask& out, const Mask& a, const Mask& b);
   void gather_into(WordVec& out, std::span<const Word> table,
                    std::span<const Word> idx);
   /// Returns the packed length (= popcount of m).
@@ -498,20 +555,40 @@ class VectorMachine {
     std::chrono::steady_clock::time_point start_;
   };
 
+  // The elementwise helper templates take an optional SIMD kernel pointer
+  // (the table entry matching `f`); non-null kernels run the vector lanes,
+  // `f` covers only what the scalar reference loop would do. `s` is the
+  // scalar operand forwarded to SimdMapFn/SimdCmpSFn kernels.
   template <typename F>
-  WordVec zip(std::span<const Word> a, std::span<const Word> b, F f);
+  WordVec zip(std::span<const Word> a, std::span<const Word> b, F f,
+              SimdBinFn k = nullptr);
   template <typename F>
   void zip_into(WordVec& out, std::span<const Word> a, std::span<const Word> b,
-                F f);
+                F f, SimdBinFn k = nullptr);
   template <typename F>
-  WordVec map(std::span<const Word> a, F f, bool batchable = true);
+  WordVec map(std::span<const Word> a, F f, bool batchable = true,
+              SimdMapFn k = nullptr, Word s = 0);
   template <typename F>
   void map_into(WordVec& out, std::span<const Word> a, F f,
-                bool batchable = true);
+                bool batchable = true, SimdMapFn k = nullptr, Word s = 0);
   template <typename F>
-  Mask cmp(std::span<const Word> a, std::span<const Word> b, F f);
+  Mask cmp(std::span<const Word> a, std::span<const Word> b, F f,
+           SimdCmpFn k = nullptr);
   template <typename F>
-  Mask cmp_scalar(std::span<const Word> a, F f);
+  void cmp_into(Mask& out, std::span<const Word> a, std::span<const Word> b,
+                F f, SimdCmpFn k = nullptr);
+  template <typename F>
+  Mask cmp_scalar(std::span<const Word> a, F f, SimdCmpSFn k = nullptr,
+                  Word s = 0);
+  template <typename F>
+  void cmp_scalar_into(Mask& out, std::span<const Word> a, F f,
+                       SimdCmpSFn k = nullptr, Word s = 0);
+
+  /// The active kernel-table entry for `field`: null when no SIMD table is
+  /// attached or the level has no lowering for the op; bumps the dispatch
+  /// counter on hits. Defined in machine.cpp (needs the full SimdKernels).
+  template <typename K>
+  K simd_pick(K SimdKernels::*field);
 
   // ---- batched dispatch internals -----------------------------------------
 
@@ -617,6 +694,12 @@ class VectorMachine {
   // the analyzer, so the analyzer must still be alive when pool_ dies.
   std::unique_ptr<analysis::Analyzer> analyzer_;
   std::unique_ptr<Backend> backend_;
+  /// Resolved SIMD kernel table (null for kSerial/kParallel). Tables are
+  /// function-local statics in their kernel TUs, so the pointer never
+  /// dangles.
+  const SimdKernels* simd_ = nullptr;
+  /// Lane loops that actually ran a non-null table entry.
+  std::size_t simd_dispatches_ = 0;
   std::unique_ptr<BufferPool> pool_;
   /// Open OpBatch nesting depth and the queued round (see OpBatch).
   std::size_t batch_depth_ = 0;

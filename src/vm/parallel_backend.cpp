@@ -7,6 +7,7 @@
 
 #include "support/require.h"
 #include "telemetry/metrics.h"
+#include "vm/simd_kernels.h"
 
 namespace folvec::vm {
 
@@ -25,10 +26,12 @@ constexpr std::size_t kEarlyCutStride = 1024;
 }  // namespace
 
 ParallelBackend::ParallelBackend(std::size_t workers, std::size_t grain,
-                                 MergeStrategy merge)
+                                 MergeStrategy merge,
+                                 const SimdKernels* kernels)
     : workers_(workers == 0 ? hardware_workers() : workers),
       grain_(std::max<std::size_t>(1, grain)),
-      merge_(merge) {}
+      merge_(merge),
+      kernels_(kernels) {}
 
 ParallelBackend::~ParallelBackend() = default;
 
@@ -63,23 +66,23 @@ void ParallelBackend::for_lanes(std::size_t n, RangeFn fn) {
                     [&](std::size_t i) { fn(p.lo(i), p.hi(i)); });
 }
 
-Word ParallelBackend::reduce(std::span<const Word> v,
-                             Word (*fold)(Word, Word)) {
-  const std::size_t c = chunks_for(v.size());
-  if (c <= 1) {
-    Word acc = v[0];
-    for (std::size_t i = 1; i < v.size(); ++i) acc = fold(acc, v[i]);
+Word ParallelBackend::reduce(std::span<const Word> v, Word (*fold)(Word, Word),
+                             Word (*span_kernel)(const Word*, std::size_t)) {
+  const auto fold_range = [&](std::size_t lo, std::size_t hi) {
+    if (span_kernel != nullptr) return span_kernel(v.data() + lo, hi - lo);
+    Word acc = v[lo];
+    for (std::size_t j = lo + 1; j < hi; ++j) acc = fold(acc, v[j]);
     return acc;
-  }
+  };
+  const std::size_t c = chunks_for(v.size());
+  // Chunks are non-empty by construction, so the seeding read is in bounds
+  // (the old chunks-sized dispatch read v[lo] of empty tails).
+  if (c <= 1) return fold_range(0, v.size());
   const detail::ChunkPlan p = checked_plan(v.size(), c);
   const std::size_t k = p.count();
   std::vector<Word> partials(k);
   pool().run_affine(k, [&](std::size_t i) {
-    // Chunk i is non-empty by construction, so the seeding read is in
-    // bounds (the old chunks-sized dispatch read v[lo] of empty tails).
-    Word acc = v[p.lo(i)];
-    for (std::size_t j = p.lo(i) + 1; j < p.hi(i); ++j) acc = fold(acc, v[j]);
-    partials[i] = acc;
+    partials[i] = fold_range(p.lo(i), p.hi(i));
   });
   // Combine in ascending chunk order: for the associative folds used here
   // this equals the serial left fold bit-for-bit.
@@ -90,34 +93,41 @@ Word ParallelBackend::reduce(std::span<const Word> v,
 
 Word ParallelBackend::reduce_sum(std::span<const Word> v) {
   if (v.empty()) return 0;
-  return reduce(v, [](Word a, Word b) {
-    return static_cast<Word>(static_cast<std::uint64_t>(a) +
-                             static_cast<std::uint64_t>(b));
-  });
+  return reduce(
+      v,
+      [](Word a, Word b) {
+        return static_cast<Word>(static_cast<std::uint64_t>(a) +
+                                 static_cast<std::uint64_t>(b));
+      },
+      kernels_ != nullptr ? kernels_->reduce_sum : nullptr);
 }
 
 Word ParallelBackend::reduce_min(std::span<const Word> v) {
-  return reduce(v, [](Word a, Word b) { return std::min(a, b); });
+  return reduce(v, [](Word a, Word b) { return std::min(a, b); },
+                kernels_ != nullptr ? kernels_->reduce_min : nullptr);
 }
 
 Word ParallelBackend::reduce_max(std::span<const Word> v) {
-  return reduce(v, [](Word a, Word b) { return std::max(a, b); });
+  return reduce(v, [](Word a, Word b) { return std::max(a, b); },
+                kernels_ != nullptr ? kernels_->reduce_max : nullptr);
 }
 
 std::size_t ParallelBackend::count_true(std::span<const std::uint8_t> m) {
-  const std::size_t c = chunks_for(m.size());
-  if (c <= 1) {
+  const auto count_range = [&](std::size_t lo, std::size_t hi) {
+    if (kernels_ != nullptr && kernels_->count_true != nullptr) {
+      return kernels_->count_true(m.data() + lo, hi - lo);
+    }
     std::size_t n = 0;
-    for (auto b : m) n += b;
+    for (std::size_t j = lo; j < hi; ++j) n += m[j];
     return n;
-  }
+  };
+  const std::size_t c = chunks_for(m.size());
+  if (c <= 1) return count_range(0, m.size());
   const detail::ChunkPlan p = checked_plan(m.size(), c);
   const std::size_t k = p.count();
   std::vector<std::size_t> partials(k, 0);
   pool().run_affine(k, [&](std::size_t i) {
-    std::size_t n = 0;
-    for (std::size_t j = p.lo(i); j < p.hi(i); ++j) n += m[j];
-    partials[i] = n;
+    partials[i] = count_range(p.lo(i), p.hi(i));
   });
   std::size_t total = 0;
   for (std::size_t n : partials) total += n;

@@ -53,6 +53,8 @@
 
 namespace folvec::vm {
 
+struct SimdKernels;
+
 namespace detail {
 
 /// Chunk i of count() even chunks over [0, n): [i*step, min(n, (i+1)*step)).
@@ -89,11 +91,18 @@ class ParallelBackend final : public Backend {
   /// `workers` == 0 picks std::thread::hardware_concurrency (at least 1).
   /// `grain` is the minimum lane count per chunk: instructions shorter than
   /// two grains run inline, so tiny vectors skip dispatch entirely.
+  /// `kernels`, when non-null, attaches a SIMD kernel table: per-chunk
+  /// reduction / popcount partials run through the table's whole-span entry
+  /// points, and VectorMachine's lane kernels ride into every for_lanes
+  /// chunk, so pool workers run the SIMD inner loops over their own lanes.
   explicit ParallelBackend(std::size_t workers, std::size_t grain,
-                           MergeStrategy merge = MergeStrategy::kAuto);
+                           MergeStrategy merge = MergeStrategy::kAuto,
+                           const SimdKernels* kernels = nullptr);
   ~ParallelBackend() override;
 
-  const char* name() const override { return "parallel"; }
+  const char* name() const override {
+    return kernels_ != nullptr ? "parallel+simd" : "parallel";
+  }
   std::size_t workers() const override { return workers_; }
 
   void for_lanes(std::size_t n, RangeFn fn) override;
@@ -145,7 +154,13 @@ class ParallelBackend final : public Backend {
   /// The pool, spawned on first parallel-sized instruction.
   ThreadPool& pool();
 
-  Word reduce(std::span<const Word> v, Word (*fold)(Word, Word));
+  /// `span_kernel`, when non-null, folds a whole [lo, hi) range at once
+  /// (SIMD); the per-chunk partials it returns are combined in ascending
+  /// chunk order exactly like the scalar path's, so the result stays
+  /// bit-identical (the folds used here are associative, including
+  /// wrap-around addition).
+  Word reduce(std::span<const Word> v, Word (*fold)(Word, Word),
+              Word (*span_kernel)(const Word*, std::size_t));
 
   void scatter_two_pass(std::span<Word> table, std::span<const Word> idx,
                         std::span<const Word> vals, const std::uint8_t* mask,
@@ -160,6 +175,8 @@ class ParallelBackend final : public Backend {
   std::size_t workers_;
   std::size_t grain_;
   MergeStrategy merge_;
+  /// Optional SIMD kernel table (null for the plain parallel backend).
+  const SimdKernels* kernels_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   /// Scatter routing buckets, row-major [slice][owner range]; reused across
   /// instructions to keep capacity warm (two-pass merge only).

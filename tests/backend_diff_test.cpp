@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <set>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "vm/buffer_pool.h"
 #include "vm/checker.h"
 #include "vm/machine.h"
+#include "vm/simd_backend.h"
 #include "vm/thread_pool.h"
 
 namespace folvec::vm {
@@ -53,6 +55,25 @@ VectorMachine make_parallel(ScatterOrder order, std::uint64_t seed,
   cfg.backend_threads = threads;
   cfg.backend_grain = grain;
   cfg.merge_strategy = merge;
+  return VectorMachine(cfg);
+}
+
+VectorMachine make_simd(ScatterOrder order, std::uint64_t seed,
+                        SimdLevel level) {
+  MachineConfig cfg = diff_config(order, seed);
+  cfg.backend = BackendKind::kSimd;
+  cfg.simd_level = level;
+  return VectorMachine(cfg);
+}
+
+VectorMachine make_parallel_simd(ScatterOrder order, std::uint64_t seed,
+                                 std::size_t threads, SimdLevel level,
+                                 std::size_t grain = 8) {
+  MachineConfig cfg = diff_config(order, seed);
+  cfg.backend = BackendKind::kParallelSimd;
+  cfg.backend_threads = threads;
+  cfg.backend_grain = grain;
+  cfg.simd_level = level;
   return VectorMachine(cfg);
 }
 
@@ -686,6 +707,209 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::size_t{8}),
                        ::testing::Bool()),
     fused_param_name);
+
+// ---- SIMD backend differential fuzz ----------------------------------------
+//
+// The SIMD backend lowers the same primitives to real vector instructions
+// (AVX2 / AVX-512 / NEON, per-level kernel tables): it must be bit-identical
+// to SerialBackend for every primitive, every ScatterOrder, every forced ISA
+// level, fuse on or off, audit on or off — same outputs, same memory images,
+// same chime costs, same exceptions. Unsupported levels are skipped (the
+// graceful-downgrade path is covered by simd_dispatch_test).
+
+using SimdDiffParam = std::tuple<ScatterOrder, SimdLevel>;
+
+std::string simd_param_name(
+    const ::testing::TestParamInfo<SimdDiffParam>& info) {
+  static constexpr const char* kOrderNames[] = {"Forward", "Reverse",
+                                                "Shuffled"};
+  std::string level = simd_level_name(std::get<1>(info.param));
+  level[0] = static_cast<char>(std::toupper(level[0]));
+  return std::string(
+             kOrderNames[static_cast<std::size_t>(std::get<0>(info.param))]) +
+         "x" + level;
+}
+
+class SimdDiffTest : public ::testing::TestWithParam<SimdDiffParam> {
+ protected:
+  void SetUp() override {
+    if (!simd_level_supported(level())) {
+      GTEST_SKIP() << simd_level_name(level())
+                   << " is not available on this host/build";
+    }
+  }
+  ScatterOrder order() const { return std::get<0>(GetParam()); }
+  SimdLevel level() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SimdDiffTest, EveryPrimitiveBitIdenticalWithIdenticalChimes) {
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64},
+        std::size_t{257}, std::size_t{1000}, std::size_t{4099}}) {
+    const Inputs in(n, 0xfeed0000 + n);
+    VectorMachine serial = make_serial(order(), 99);
+    VectorMachine simd = make_simd(order(), 99, level());
+    ASSERT_STREQ(simd.backend_name(), "simd");
+    ASSERT_EQ(simd.active_simd_level(), level());
+    const WordVec want = run_script(serial, in);
+    const WordVec got = run_script(simd, in);
+    ASSERT_EQ(want, got) << "digest diverged at n=" << n;
+    expect_same_costs(serial.cost(), simd.cost());
+    // Vector instructions actually dispatched through the kernel table.
+    EXPECT_GT(simd.simd_dispatches(), 0u);
+    EXPECT_EQ(serial.simd_dispatches(), 0u);
+  }
+}
+
+TEST_P(SimdDiffTest, FusedBitIdenticalAcrossFuseAndAudit) {
+  for (const bool audit : {false, true}) {
+    for (const bool fuse : {true, false}) {
+      const Inputs in(513, 0x51a3d000u + (audit ? 2u : 0u) + (fuse ? 1u : 0u));
+      MachineConfig serial_cfg;
+      serial_cfg.scatter_order = order();
+      serial_cfg.shuffle_seed = 4242;
+      serial_cfg.audit = audit;
+      serial_cfg.fuse = fuse;
+      serial_cfg.backend = BackendKind::kSerial;
+      MachineConfig simd_cfg = serial_cfg;
+      simd_cfg.backend = BackendKind::kSimd;
+      simd_cfg.simd_level = level();
+      VectorMachine serial(serial_cfg);
+      VectorMachine simd(simd_cfg);
+      // Audit must NOT pin the SIMD backend to serial: the kernels run on
+      // the issuing thread, so the audited machine stays vectorized.
+      ASSERT_STREQ(simd.backend_name(), "simd");
+      const WordVec want = run_fused_script(serial, in);
+      const WordVec got = run_fused_script(simd, in);
+      ASSERT_EQ(want, got) << "audit=" << audit << " fuse=" << fuse;
+      expect_same_costs(serial.cost(), simd.cost());
+    }
+  }
+}
+
+TEST_P(SimdDiffTest, ScatterSurvivorLaneExactUnderHeavyCollisions) {
+  // Heavy duplicate addresses: the AVX-512 hardware scatter's overlapping-
+  // store order (and every fallback) must reproduce the serial ELS survivor.
+  Xoshiro256 rng(0x51a3dc7);
+  for (int round = 0; round < 40; ++round) {
+    const auto n = static_cast<std::size_t>(rng.in_range(1, 600));
+    const auto table_size =
+        static_cast<std::size_t>(rng.in_range(1, static_cast<Word>(n)));
+    WordVec table_s(table_size, 0);
+    WordVec idx(n);
+    WordVec vals(n);
+    for (auto& x : idx) {
+      x = rng.in_range(0, static_cast<Word>(table_size) - 1);
+    }
+    for (auto& x : vals) x = rng.in_range(-1 << 20, 1 << 20);
+    WordVec table_v = table_s;
+    const auto seed = static_cast<std::uint64_t>(round) * 7919 + 1;
+    VectorMachine serial = make_serial(order(), seed);
+    VectorMachine simd = make_simd(order(), seed, level());
+    serial.scatter(table_s, idx, vals);
+    simd.scatter(table_v, idx, vals);
+    ASSERT_EQ(table_s, table_v)
+        << "scatter survivor diverged: n=" << n << " areas=" << table_size;
+  }
+}
+
+TEST_P(SimdDiffTest, ExceptionParityWithSerial) {
+  VectorMachine serial = make_serial(order(), 5);
+  VectorMachine simd = make_simd(order(), 5, level());
+  WordVec v(300, 1);
+  v[257] = -4;
+  EXPECT_THROW(serial.shl_scalar(v, 1), PreconditionError);
+  EXPECT_THROW(simd.shl_scalar(v, 1), PreconditionError);
+  WordVec table(16, 0);
+  WordVec idx(300, 3);
+  idx[170] = 99;
+  EXPECT_THROW(serial.gather(table, idx), PreconditionError);
+  EXPECT_THROW(simd.gather(table, idx), PreconditionError);
+  const WordVec vals(300, 1);
+  EXPECT_THROW(serial.scatter(table, idx, vals), PreconditionError);
+  EXPECT_THROW(simd.scatter(table, idx, vals), PreconditionError);
+  // Inactive out-of-bounds lanes are legal on both (the masked gather
+  // kernel must not touch memory for inactive lanes).
+  Mask mask(300, 1);
+  mask[170] = 0;
+  EXPECT_EQ(serial.gather_masked(table, idx, mask, -1),
+            simd.gather_masked(table, idx, mask, -1));
+  WordVec table_s = table;
+  WordVec table_v = table;
+  serial.scatter_masked(table_s, idx, vals, mask);
+  simd.scatter_masked(table_v, idx, vals, mask);
+  EXPECT_EQ(table_s, table_v);
+}
+
+TEST_P(SimdDiffTest, ComposesWithParallelBackend) {
+  // parallel+simd: pool chunks run the SIMD inner loops. Must match serial
+  // for the full script at multiple worker counts.
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const Inputs in(1000, 0xc0de5000 + threads);
+    VectorMachine serial = make_serial(order(), 99);
+    VectorMachine both = make_parallel_simd(order(), 99, threads, level());
+    ASSERT_STREQ(both.backend_name(), "parallel+simd");
+    EXPECT_EQ(both.backend_workers(), threads);
+    ASSERT_EQ(both.active_simd_level(), level());
+    const WordVec want = run_script(serial, in);
+    const WordVec got = run_script(both, in);
+    ASSERT_EQ(want, got) << "threads=" << threads;
+    expect_same_costs(serial.cost(), both.cost());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrdersAllLevels, SimdDiffTest,
+    ::testing::Combine(::testing::Values(ScatterOrder::kForward,
+                                         ScatterOrder::kReverse,
+                                         ScatterOrder::kShuffled),
+                       ::testing::Values(SimdLevel::kScalar, SimdLevel::kNeon,
+                                         SimdLevel::kAvx2,
+                                         SimdLevel::kAvx512)),
+    simd_param_name);
+
+TEST(SimdMixedLevelTest, AllSupportedLevelsProduceOneDigest) {
+  // Mixed-level differential fuzz: every supported ISA level (and the
+  // scalar table) must produce the same digest for the same script — not
+  // just each level vs serial, but every pair, including fused scripts.
+  std::vector<SimdLevel> levels;
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kNeon, SimdLevel::kAvx2,
+        SimdLevel::kAvx512}) {
+    if (simd_level_supported(level)) levels.push_back(level);
+  }
+  ASSERT_FALSE(levels.empty());
+  for (const ScatterOrder order :
+       {ScatterOrder::kForward, ScatterOrder::kReverse,
+        ScatterOrder::kShuffled}) {
+    for (const std::size_t n : {std::size_t{65}, std::size_t{1000}}) {
+      const Inputs in(n, 0x3113d000 + n);
+      std::vector<WordVec> digests;
+      std::vector<WordVec> fused_digests;
+      for (const SimdLevel level : levels) {
+        VectorMachine m = make_simd(order, 99, level);
+        digests.push_back(run_script(m, in));
+        MachineConfig cfg;
+        cfg.scatter_order = order;
+        cfg.shuffle_seed = 4242;
+        cfg.audit = false;
+        cfg.fuse = true;
+        cfg.backend = BackendKind::kSimd;
+        cfg.simd_level = level;
+        VectorMachine fm(cfg);
+        fused_digests.push_back(run_fused_script(fm, in));
+      }
+      for (std::size_t i = 1; i < levels.size(); ++i) {
+        EXPECT_EQ(digests[0], digests[i])
+            << simd_level_name(levels[0]) << " vs "
+            << simd_level_name(levels[i]) << " at n=" << n;
+        EXPECT_EQ(fused_digests[0], fused_digests[i])
+            << "fused " << simd_level_name(levels[0]) << " vs "
+            << simd_level_name(levels[i]) << " at n=" << n;
+      }
+    }
+  }
+}
 
 // ---- merge-strategy scaling fuzz -------------------------------------------
 //

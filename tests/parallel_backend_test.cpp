@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "fol/fol_star.h"
+#include "sorting/address_calc.h"
+#include "sorting/radix.h"
 #include "support/prng.h"
 #include "support/require.h"
 #include "telemetry/metrics.h"
@@ -434,6 +437,95 @@ TEST(OpBatchTest, NestedBatchesFlushOnlyAtOutermostClose) {
   ASSERT_TRUE(snap.counters.contains("pool.dispatch.batched"));
   EXPECT_EQ(snap.counters.at("pool.dispatch.batched"), 1u);
   EXPECT_EQ(snap.counters.at("pool.dispatch.batched_ops"), 3u);
+}
+
+// ---- widened batch call sites (digest equivalence) -------------------------
+//
+// The sorting and FOL* call sites compose multi-op elementwise chains under
+// OpBatch (spreading-function hash, probe bump+select, identifier
+// generation, shift-mask pair, radix digit extraction, tuple-survival
+// predicate). An audit machine disables batching entirely, so running each
+// algorithm under audit yields the unbatched reference; every batched
+// backend must reproduce its digest bit-for-bit, and the batched backends
+// must agree with serial on the chime (per-class instruction/element
+// counts).
+
+WordVec address_calc_algo(VectorMachine& m) {
+  Xoshiro256 rng(0xadca1c);
+  const Word vmax = Word{1} << 20;
+  WordVec data(777);
+  for (auto& x : data) x = rng.in_range(0, vmax - 1);
+  sorting::address_calc_sort_vector(m, data, vmax);
+  return data;
+}
+
+WordVec radix_algo(VectorMachine& m) {
+  Xoshiro256 rng(0x2ad1);
+  WordVec data(1000);
+  for (auto& x : data) x = rng.in_range(0, Word{1} << 18);
+  sorting::radix_sort_vector(m, data, /*bits_per_digit=*/6);
+  return data;
+}
+
+WordVec fol_star_algo(VectorMachine& m) {
+  Xoshiro256 rng(0x57a9);
+  const std::size_t n = 600;
+  std::vector<WordVec> lanes(2, WordVec(n));
+  for (auto& lane : lanes) {
+    for (auto& x : lane) x = rng.in_range(0, 149);
+  }
+  WordVec work(160, 0);
+  const fol::StarDecomposition dec = fol::fol_star_decompose(m, lanes, work);
+  WordVec digest{static_cast<Word>(dec.sets.size()),
+                 static_cast<Word>(dec.scalar_rescues),
+                 static_cast<Word>(dec.forced_singletons)};
+  for (const auto& set : dec.sets) {
+    digest.push_back(static_cast<Word>(set.size()));
+    for (const std::size_t p : set) digest.push_back(static_cast<Word>(p));
+  }
+  digest.insert(digest.end(), work.begin(), work.end());
+  return digest;
+}
+
+void expect_same_chime(const VectorMachine& a, const VectorMachine& b) {
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    EXPECT_EQ(a.cost().instructions(c), b.cost().instructions(c))
+        << op_class_name(c);
+    EXPECT_EQ(a.cost().elements(c), b.cost().elements(c)) << op_class_name(c);
+  }
+}
+
+TEST(OpBatchTest, WidenedCallSitesMatchUnbatchedAuditDigest) {
+  const struct {
+    const char* name;
+    WordVec (*fn)(VectorMachine&);
+  } algos[] = {
+      {"address_calc", address_calc_algo},
+      {"radix", radix_algo},
+      {"fol_star", fol_star_algo},
+  };
+  for (const auto& algo : algos) {
+    // Unbatched reference: audit gates batching off (and cross-checks every
+    // scatter along the way).
+    MachineConfig audit_cfg;
+    audit_cfg.audit = true;
+    VectorMachine audit_m(audit_cfg);
+    const WordVec want = algo.fn(audit_m);
+
+    VectorMachine serial = batch_machine(BackendKind::kSerial, 1);
+    const WordVec serial_got = algo.fn(serial);
+    EXPECT_EQ(want, serial_got) << algo.name;
+
+    for (const BackendKind kind : {BackendKind::kParallel, BackendKind::kSimd,
+                                   BackendKind::kParallelSimd}) {
+      VectorMachine m = batch_machine(kind, 4);
+      const WordVec got = algo.fn(m);
+      EXPECT_EQ(serial_got, got)
+          << algo.name << " kind=" << static_cast<int>(kind);
+      expect_same_chime(serial, m);
+    }
+  }
 }
 
 TEST(OpBatchTest, BatchingDisabledUnderAudit) {
