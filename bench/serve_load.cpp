@@ -1,0 +1,476 @@
+// Serving-layer load generator: open-loop request streams against the
+// sharded batch server (src/serve/), the end-to-end shape the paper's
+// batch primitives exist to absorb.
+//
+// Scenarios, each a deterministic request stream driven in pump mode
+// (fixed batching, bit-reproducible counters) plus a threaded open-loop
+// pass for wall latency:
+//
+//   * uniform    — keys uniform over the working set; the baseline row.
+//   * zipf_hot   — Zipf(s=1.1) skew: a handful of hot keys dominate, the
+//                  regime batching and duplicate resolution were built for.
+//   * clustered  — draws cluster in contiguous key ranges (locality),
+//                  stressing the router's multiplicative spread.
+//   * burst      — arrivals in bursts with idle gaps: coalescer fill vs
+//                  latency trade.
+//   * faulted    — the zipf stream with injected probe-cycle saturation
+//                  (support/faultsim, "probe=rate"): shard upserts recover
+//                  by rehash-and-retry and the digest must stay exact.
+//
+// Every scenario cross-checks the sharded server against one serial
+// unsharded VectorHashMap (full key sweep, bit-identical), so the bench
+// doubles as an end-to-end differential test at load sizes.
+//
+// A final section measures the parallel backend's scatter merge strategy
+// on exactly the scatters the serving layer issues (shard-local,
+// kShuffled => kExplicit traversal, sub-batch sized): kAuto against both
+// forced strategies. The wall-acceleration notes feed
+// bench/goldens/backend_scaling.json, encoding the kAuto cutover decision
+// (single-pass below ~160 lanes, two-pass above) as a regression floor.
+//
+// SLO notes: p50/p99 end-to-end latency and throughput land in wall-keyed
+// notes (exempt from the deterministic trend gate); the smoke-size SLO
+// assertions (generous bounds — shared runners are noisy) are recorded as
+// slo_*_pass notes and enforced with FOLVEC_CHECK.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.h"
+#include "hashing/hash_map.h"
+#include "serve/server.h"
+#include "support/env.h"
+#include "support/faultsim.h"
+#include "support/prng.h"
+#include "support/require.h"
+#include "support/table_printer.h"
+#include "telemetry/metrics.h"
+
+using namespace folvec;
+using serve::BatchServer;
+using serve::BatchServerConfig;
+using serve::OpKind;
+using vm::Word;
+using vm::WordVec;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const auto v = env_value(name)) {
+    const long parsed = std::strtol(v->c_str(), nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+// ---- key generators --------------------------------------------------------
+
+/// Zipf(s) over [0, n) via inverse-CDF binary search on a precomputed
+/// table. Deterministic given the stream's PRNG.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+  Word draw(Xoshiro256& rng) const {
+    const double u = rng.unit();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<Word>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Op {
+  OpKind kind;
+  Word key;
+  Word value;
+};
+
+enum class KeyDist { kUniform, kZipf, kClustered };
+
+/// One deterministic request stream: 60% lookups (half targeting a
+/// disjoint never-written range — the Bloom filter's short-circuit case),
+/// 30% upserts, 10% erases.
+std::vector<Op> make_stream(std::uint64_t seed, std::size_t n,
+                            std::size_t key_space, KeyDist dist) {
+  Xoshiro256 rng(seed);
+  const ZipfSampler zipf(key_space, 1.1);
+  Word cluster_base = 0;
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Word key = 0;
+    switch (dist) {
+      case KeyDist::kUniform:
+        key = static_cast<Word>(rng.below(key_space));
+        break;
+      case KeyDist::kZipf:
+        key = zipf.draw(rng);
+        break;
+      case KeyDist::kClustered:
+        // Stay in a 64-key cluster, hopping clusters every ~256 draws.
+        if (rng.below(256) == 0) {
+          cluster_base = static_cast<Word>(rng.below(key_space / 64) * 64);
+        }
+        key = cluster_base + static_cast<Word>(rng.below(64));
+        break;
+    }
+    const double roll = rng.unit();
+    if (roll < 0.30) {
+      ops.push_back({OpKind::kUpsert, key, static_cast<Word>(rng.below(1u << 20))});
+    } else if (roll < 0.90) {
+      const Word probe =
+          rng.unit() < 0.5 ? key : key + static_cast<Word>(2 * key_space);
+      ops.push_back({OpKind::kLookup, probe, 0});
+    } else {
+      ops.push_back({OpKind::kErase, key, 0});
+    }
+  }
+  return ops;
+}
+
+// ---- differential reference ------------------------------------------------
+
+/// Replays a stream against a serial unsharded VectorHashMap with the same
+/// same-op run splitting the server applies, then sweeps the whole key
+/// space on both and requires bit-identical answers.
+void check_digest(BatchServer& server, const std::vector<Op>& ops,
+                  std::size_t key_space) {
+  vm::MachineConfig serial_cfg;
+  serial_cfg.backend = vm::BackendKind::kSerial;
+  serial_cfg.audit = false;
+  vm::VectorMachine m(serial_cfg);
+  hashing::VectorHashMap reference(64);
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    std::size_t j = i;
+    while (j < ops.size() && ops[j].kind == ops[i].kind) ++j;
+    WordVec keys;
+    for (std::size_t k = i; k < j; ++k) keys.push_back(ops[k].key);
+    if (ops[i].kind == OpKind::kUpsert) {
+      WordVec vals;
+      for (std::size_t k = i; k < j; ++k) vals.push_back(ops[k].value);
+      reference.upsert_batch(m, keys, vals);
+    } else if (ops[i].kind == OpKind::kErase) {
+      reference.erase_batch(m, keys);
+    }
+    i = j;
+  }
+  FOLVEC_CHECK(server.map().size() == reference.size(),
+               "sharded size must match the serial reference");
+  WordVec sweep;
+  for (Word k = 0; k < static_cast<Word>(key_space); ++k) sweep.push_back(k);
+  const WordVec got = server.map().lookup_batch(sweep, serve::kAbsent);
+  const WordVec want = reference.lookup_batch(m, sweep, serve::kAbsent);
+  FOLVEC_CHECK(got == want,
+               "sharded lookup sweep must be bit-identical to the serial "
+               "reference");
+}
+
+// ---- scenario driver -------------------------------------------------------
+
+struct ScenarioResult {
+  double wall_seconds = 0;
+  double throughput_rps = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t bloom_skips = 0;
+  std::uint64_t batches = 0;
+  std::size_t final_size = 0;
+};
+
+BatchServerConfig server_config(std::size_t shards, std::size_t workers) {
+  BatchServerConfig cfg;
+  cfg.map.shards = shards;
+  cfg.map.machine.backend = vm::BackendKind::kParallelSimd;
+  cfg.map.machine.backend_threads = workers;
+  cfg.map.machine.audit = false;
+  cfg.coalesce.max_batch = 512;
+  cfg.coalesce.max_wait = std::chrono::microseconds(200);
+  return cfg;
+}
+
+/// Pump mode with a burst schedule: submit `burst` requests, pump, repeat.
+/// Deterministic end state; wall time still measured for the table.
+ScenarioResult run_pumped(const std::vector<Op>& ops, std::size_t key_space,
+                          std::size_t shards, std::size_t workers,
+                          std::size_t burst) {
+  BatchServer server(server_config(shards, workers));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < ops.size(); base += burst) {
+    const std::size_t end = std::min(ops.size(), base + burst);
+    for (std::size_t i = base; i < end; ++i) {
+      server.submit(ops[i].kind, ops[i].key, ops[i].value);
+    }
+    server.pump_all();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  check_digest(server, ops, key_space);
+
+  ScenarioResult r;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.throughput_rps = static_cast<double>(ops.size()) / r.wall_seconds;
+  telemetry::PercentileSketch all;
+  for (std::size_t op = 0; op < serve::kOpKindCount; ++op) {
+    all.merge(server.latency_us(static_cast<OpKind>(op)));
+  }
+  r.p50_us = all.p50();
+  r.p99_us = all.p99();
+  r.bloom_skips = server.map().bloom_skips();
+  r.batches = server.coalescer().batches();
+  r.final_size = server.map().size();
+  FOLVEC_CHECK(server.served() == ops.size(), "every request must be served");
+  return r;
+}
+
+/// Threaded open-loop pass: arrivals paced at a fixed rate regardless of
+/// service progress (spin pacing; the dispatch thread drains behind).
+/// Wall-only numbers — nothing deterministic is read from this run.
+ScenarioResult run_open_loop(const std::vector<Op>& ops, std::size_t shards,
+                             std::size_t workers, double rate_rps) {
+  BatchServer server(server_config(shards, workers));
+  server.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  const double ns_per_req = 1e9 / rate_rps;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto due =
+        t0 + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                 ns_per_req * static_cast<double>(i)));
+    while (std::chrono::steady_clock::now() < due) {
+    }
+    server.submit(ops[i].kind, ops[i].key, ops[i].value);
+  }
+  server.stop();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ScenarioResult r;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.throughput_rps = static_cast<double>(ops.size()) / r.wall_seconds;
+  telemetry::PercentileSketch all;
+  for (std::size_t op = 0; op < serve::kOpKindCount; ++op) {
+    all.merge(server.latency_us(static_cast<OpKind>(op)));
+  }
+  r.p50_us = all.p50();
+  r.p99_us = all.p99();
+  r.batches = server.coalescer().batches();
+  FOLVEC_CHECK(server.served() == ops.size(),
+               "open-loop run must serve every request");
+  return r;
+}
+
+// ---- merge-strategy measurement (backend_scaling golden feed) --------------
+
+double run_merge_strategy(const std::vector<Op>& ops, std::size_t key_space,
+                          std::size_t workers, vm::MergeStrategy merge,
+                          WordVec* digest_out) {
+  serve::ShardedMapConfig cfg;
+  cfg.shards = 4;
+  cfg.machine.backend = vm::BackendKind::kParallel;
+  cfg.machine.backend_threads = workers;
+  cfg.machine.backend_grain = 8;  // sub-batches are short; let the pool split
+  cfg.machine.audit = false;
+  cfg.machine.scatter_order = vm::ScatterOrder::kShuffled;  // kExplicit path
+  cfg.machine.merge_strategy = merge;
+  serve::ShardedMap map(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    std::size_t j = i;
+    while (j < ops.size() && ops[j].kind == ops[i].kind) ++j;
+    // Serve-shaped batching: cap runs at the coalescer's default batch.
+    for (std::size_t base = i; base < j; base += 512) {
+      const std::size_t end = std::min(j, base + 512);
+      WordVec keys;
+      for (std::size_t k = base; k < end; ++k) keys.push_back(ops[k].key);
+      switch (ops[i].kind) {
+        case OpKind::kUpsert: {
+          WordVec vals;
+          for (std::size_t k = base; k < end; ++k) vals.push_back(ops[k].value);
+          map.upsert_batch(keys, vals);
+          break;
+        }
+        case OpKind::kLookup:
+          map.lookup_batch(keys, serve::kAbsent);
+          break;
+        case OpKind::kErase:
+          map.erase_batch(keys);
+          break;
+      }
+    }
+    i = j;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  WordVec sweep;
+  for (Word k = 0; k < static_cast<Word>(key_space); ++k) sweep.push_back(k);
+  *digest_out = map.lookup_batch(sweep, serve::kAbsent);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("serve_load");
+  const std::size_t n_requests = env_size("FOLVEC_SERVE_REQUESTS", 20000);
+  const std::size_t workers = env_size("FOLVEC_BENCH_THREADS", 4);
+  const std::size_t key_space = 4096;
+  const std::size_t shards = 4;
+  report.config("requests_per_scenario", static_cast<long long>(n_requests));
+  report.config("key_space", static_cast<long long>(key_space));
+  report.config("shards", static_cast<long long>(shards));
+  report.config("workers", static_cast<long long>(workers));
+
+  // ---- pump-mode scenario table (deterministic digests + counters) --------
+  struct Scenario {
+    const char* name;
+    KeyDist dist;
+    std::size_t burst;
+    std::uint64_t seed;
+  };
+  const Scenario scenarios[] = {
+      {"uniform", KeyDist::kUniform, 512, 101},
+      {"zipf_hot", KeyDist::kZipf, 512, 102},
+      {"clustered", KeyDist::kClustered, 512, 103},
+      {"burst", KeyDist::kZipf, 64, 104},  // small bursts: fill-ratio stress
+  };
+  TablePrinter table({"scenario", "requests", "batches", "bloom_skips",
+                      "final_size", "p50_us", "p99_us", "wall_ms"});
+  double pump_throughput_rps = 0;  // zipf pump rate, paces the open loop
+  for (const Scenario& s : scenarios) {
+    std::cerr << "scenario " << s.name << "..." << std::flush;
+    const std::vector<Op> ops = make_stream(s.seed, n_requests, key_space, s.dist);
+    const ScenarioResult r = run_pumped(ops, key_space, shards, workers, s.burst);
+    std::cerr << " done (" << r.wall_seconds * 1e3 << " ms)\n";
+    if (std::string(s.name) == "zipf_hot") pump_throughput_rps = r.throughput_rps;
+    table.add_row({Cell(s.name), Cell(static_cast<long long>(ops.size())),
+                   Cell(static_cast<long long>(r.batches)),
+                   Cell(static_cast<long long>(r.bloom_skips)),
+                   Cell(static_cast<long long>(r.final_size)),
+                   Cell(static_cast<long long>(r.p50_us)),
+                   Cell(static_cast<long long>(r.p99_us)),
+                   Cell(r.wall_seconds * 1e3, 1)});
+    // Deterministic trend-gated notes: pure functions of the stream.
+    const std::string prefix = std::string("serve_") + s.name;
+    report.note(prefix + "_batches", static_cast<long long>(r.batches));
+    report.note(prefix + "_bloom_skips", static_cast<long long>(r.bloom_skips));
+    report.note(prefix + "_final_size", static_cast<long long>(r.final_size));
+    // Wall-keyed (trend-exempt) latency + throughput notes.
+    report.note(prefix + "_p50_wall_us", static_cast<long long>(r.p50_us));
+    report.note(prefix + "_p99_wall_us", static_cast<long long>(r.p99_us));
+    report.note(prefix + "_throughput_wall_rps", r.throughput_rps);
+  }
+  table.print(std::cout, "Serve load: pump mode (digest-checked)");
+  report.add_table("Serve load: pump mode (digest-checked)", table);
+
+  // ---- faulted scenario: injected probe-cycle saturation ------------------
+  {
+    const std::vector<Op> ops =
+        make_stream(105, n_requests, key_space, KeyDist::kZipf);
+    // Sparse periodic injection ("probe%k": every k-th saturation check),
+    // NOT a rate plan: every recovery rehashes the hit shard to double
+    // capacity, so sustained injection would ratchet table sizes
+    // exponentially — the bench would measure memory exhaustion, not
+    // serving. A handful of faults spread over the run is the realistic
+    // shard-fault shape. The period scales with the request count (the
+    // run drives roughly n/6 saturation checks) so the plan still fires
+    // when FOLVEC_SERVE_REQUESTS shrinks the smoke size.
+    const std::size_t fault_period =
+        std::max<std::size_t>(13, n_requests / 32) | 1;
+    const std::string fault_spec = "probe%" + std::to_string(fault_period);
+    FaultPlan plan(9, fault_spec);
+    report.config("fault_spec", fault_spec);
+    report.config("fault_seed", 9LL);
+    std::uint64_t injected = 0;
+    {
+      ScopedFaultPlan scoped(&plan);
+      const ScenarioResult r =
+          run_pumped(ops, key_space, shards, workers, /*burst=*/512);
+      report.note("serve_faulted_final_size",
+                  static_cast<long long>(r.final_size));
+      report.note("serve_faulted_p99_wall_us",
+                  static_cast<long long>(r.p99_us));
+      if (telemetry::MetricsRegistry* reg = telemetry::metrics()) {
+        injected = reg->snapshot().counters.count("fault.injected.probe")
+                       ? reg->snapshot().counters.at("fault.injected.probe")
+                       : 0;
+      }
+    }
+    FOLVEC_CHECK(injected > 0,
+                 "the fault plan must actually fire during the faulted run");
+    report.note("serve_faulted_injected_probe_faults",
+                static_cast<long long>(injected));
+    std::cout << "\nfaulted scenario: " << injected
+              << " injected probe saturations, digest still exact\n";
+  }
+
+  // ---- threaded open-loop pass (wall numbers only) ------------------------
+  {
+    const std::vector<Op> ops =
+        make_stream(106, n_requests, key_space, KeyDist::kZipf);
+    // Open-loop arrivals must stay under the service rate or queueing
+    // delay grows without bound and p99 measures the backlog, not the
+    // server. Pace at 30% of the measured pump-mode (batch-saturated)
+    // throughput, clamped to keep the run short on fast hosts and the
+    // offered load honest on slow ones.
+    const double rate_rps =
+        std::clamp(0.3 * pump_throughput_rps, 5000.0, 100000.0);
+    report.note("serve_open_loop_offered_wall_rps", rate_rps);
+    const ScenarioResult r = run_open_loop(ops, shards, workers, rate_rps);
+    report.note("serve_open_loop_p50_wall_us", static_cast<long long>(r.p50_us));
+    report.note("serve_open_loop_p99_wall_us", static_cast<long long>(r.p99_us));
+    report.note("serve_open_loop_throughput_wall_rps", r.throughput_rps);
+    std::cout << "open loop: " << static_cast<long long>(r.throughput_rps)
+              << " req/s, p50 " << r.p50_us << "us, p99 " << r.p99_us
+              << "us over " << r.batches << " batches\n";
+
+    // SLO assertions — generous smoke-size bounds (shared CI runners):
+    // the serving layer must stay interactive, not win benchmarks.
+    const bool p99_ok = r.p99_us < 250000;       // 250ms end-to-end p99
+    const bool tput_ok = r.throughput_rps > 1000;  // 1k req/s floor
+    report.note("slo_p99_under_250ms_pass", p99_ok ? 1 : 0);
+    report.note("slo_throughput_over_1k_rps_pass", tput_ok ? 1 : 0);
+    FOLVEC_CHECK(p99_ok, "SLO: open-loop p99 must stay under 250ms at smoke");
+    FOLVEC_CHECK(tput_ok, "SLO: open-loop throughput must exceed 1k req/s");
+  }
+
+  // ---- merge-strategy on serve-shaped explicit scatters -------------------
+  // Feeds bench/goldens/backend_scaling.json: kAuto (single-pass <= 160
+  // lanes, two-pass above) must not lose to either forced strategy on the
+  // serving layer's shard-local scatters by more than timing noise.
+  {
+    const std::vector<Op> ops =
+        make_stream(107, n_requests, key_space, KeyDist::kZipf);
+    WordVec digest_auto, digest_single, digest_two;
+    const double wall_auto = run_merge_strategy(ops, key_space, workers,
+                                                vm::MergeStrategy::kAuto,
+                                                &digest_auto);
+    const double wall_single = run_merge_strategy(ops, key_space, workers,
+                                                  vm::MergeStrategy::kSinglePass,
+                                                  &digest_single);
+    const double wall_two = run_merge_strategy(ops, key_space, workers,
+                                               vm::MergeStrategy::kTwoPass,
+                                               &digest_two);
+    FOLVEC_CHECK(digest_auto == digest_single && digest_auto == digest_two,
+                 "merge strategies must be bit-identical on the serve "
+                 "workload");
+    report.note("serve_scatter_auto_vs_single_wall_accel",
+                wall_single / wall_auto);
+    report.note("serve_scatter_auto_vs_two_wall_accel", wall_two / wall_auto);
+    std::cout << "merge strategy on serve scatters: auto " << wall_auto * 1e3
+              << "ms, forced single " << wall_single * 1e3
+              << "ms, forced two-pass " << wall_two * 1e3 << "ms\n";
+  }
+
+  return 0;
+}

@@ -111,7 +111,13 @@ WordVec VectorHashMap::insert_tracking_slots(VectorMachine& m,
   // Non-convergence after a full sweep is data-dependent (saturated probe
   // cycles on a composite-sized table), not a library bug: report it
   // recoverably so upsert_batch can rehash bigger and retry. Keys that did
-  // land stay in slots_ (entered_ untouched); rehash() re-derives them.
+  // land stay in slots_ — so reconcile entered_ with the table before
+  // surfacing the error. Without this, a retry whose rehash also fails (and
+  // rolls back to exactly this state) would treat the landed strays as
+  // pre-existing keys forever: size() undercounts and a later erase of
+  // those keys underflows the live count.
+  entered_ = static_cast<std::size_t>(
+      m.count_true(m.ge_scalar(m.load(slots_, 0, slots_.size()), 0)));
   telemetry::count("hashing.probe_cycle_saturated");
   throw RecoverableError(StatusCode::kProbeCycleSaturated,
                          "hash map insert swept the table without converging");
@@ -280,6 +286,11 @@ WordVec VectorHashMap::lookup_batch(VectorMachine& m,
 bool VectorHashMap::contains(VectorMachine& m, Word key) const {
   const WordVec slots = find_slots(m, WordVec{key});
   return slots[0] != -1;
+}
+
+WordVec VectorHashMap::live_keys(VectorMachine& m) const {
+  const WordVec all = m.load(slots_, 0, slots_.size());
+  return m.compress(all, m.ge_scalar(all, 0));
 }
 
 }  // namespace folvec::hashing

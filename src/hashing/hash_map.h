@@ -62,6 +62,11 @@ class VectorHashMap {
 
   bool contains(vm::VectorMachine& m, vm::Word key) const;
 
+  /// Every live key, compressed out of the slot array with vector ops
+  /// (slot order, not insertion order). The serving layer rebuilds its
+  /// per-shard Bloom filters from this after erase batches.
+  vm::WordVec live_keys(vm::VectorMachine& m) const;
+
   std::size_t size() const { return entered_; }
   std::size_t capacity() const { return slots_.size(); }
   double load_factor() const {
@@ -78,8 +83,10 @@ class VectorHashMap {
   /// Enters keys (all distinct, none present) and returns their slots.
   /// Throws folvec::RecoverableError(kProbeCycleSaturated) when the probe
   /// loop sweeps the table without converging or fault injection forces the
-  /// condition; the table may then hold a partial subset of `keys` (with
-  /// entered_ NOT advanced) — rehash() re-derives the live set, healing it.
+  /// condition; the table may then hold a partial subset of `keys`, and
+  /// entered_ is reconciled with the live slots before the throw so size()
+  /// stays truthful even when every later recovery attempt fails too (the
+  /// retry path treats the landed strays as existing keys).
   vm::WordVec insert_tracking_slots(vm::VectorMachine& m,
                                     const vm::WordVec& keys);
 

@@ -1,0 +1,27 @@
+#include "serve/coalescer.h"
+
+#include "telemetry/metrics.h"
+
+namespace folvec::serve {
+
+std::vector<Request> Coalescer::next_batch() {
+  std::vector<Request> batch =
+      queue_.wait_batch(config_.max_batch, config_.max_wait);
+  if (!batch.empty()) note_batch(batch.size());
+  return batch;
+}
+
+std::vector<Request> Coalescer::poll_batch() {
+  std::vector<Request> batch = queue_.drain(config_.max_batch);
+  if (!batch.empty()) note_batch(batch.size());
+  return batch;
+}
+
+void Coalescer::note_batch(std::size_t n) {
+  ++batches_;
+  coalesced_ += n;
+  telemetry::count("serve.batches");
+  telemetry::observe("serve.batch.size", n);
+}
+
+}  // namespace folvec::serve

@@ -1,0 +1,58 @@
+// Coalescer: the batching policy between the request stream and the
+// vector machinery.
+//
+// The whole premise of the paper's method is that symbolic operations pay
+// off when they run wide; a serving layer that dispatched each request
+// alone would throw that away. The Coalescer holds two knobs:
+//
+//   * max_batch — cap on requests per dispatch (bounds per-batch latency
+//     and keeps sub-batches inside comfortable vector lengths);
+//   * max_wait — how long a non-full batch lingers for stragglers before
+//     dispatching anyway (bounds idle-queue latency).
+//
+// next_batch() blocks on the RequestQueue with those knobs and records
+// batch-size / fill-ratio telemetry so the load benches can show the
+// batching-vs-latency trade directly.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/request_queue.h"
+
+namespace folvec::serve {
+
+struct CoalescerConfig {
+  std::size_t max_batch = 1024;
+  std::chrono::microseconds max_wait{200};
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(RequestQueue& queue, const CoalescerConfig& config = {})
+      : queue_(queue), config_(config) {}
+
+  /// Block for the next batch (empty only when the queue is closed and
+  /// drained). Updates batch telemetry.
+  std::vector<Request> next_batch();
+
+  /// Non-blocking variant for pump-style (deterministic, single-thread)
+  /// serving: takes whatever is pending, up to max_batch.
+  std::vector<Request> poll_batch();
+
+  const CoalescerConfig& config() const { return config_; }
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t coalesced_requests() const { return coalesced_; }
+
+ private:
+  void note_batch(std::size_t n);
+
+  RequestQueue& queue_;
+  CoalescerConfig config_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace folvec::serve

@@ -1,0 +1,51 @@
+// Request/response types for the batch-serving layer.
+//
+// The serving layer absorbs streams of single-key operations — the shape
+// "millions of users" actually produce — and turns them into the batched
+// vector calls the rest of the repo is built around. A Request is one
+// user-issued operation with a server-assigned id; a Response answers it
+// after the batch that carried it has run through the FOL machinery.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "vm/machine.h"
+
+namespace folvec::serve {
+
+enum class OpKind : std::uint8_t { kUpsert = 0, kLookup, kErase };
+
+inline constexpr std::size_t kOpKindCount = 3;
+
+/// Telemetry spelling ("upsert", "lookup", "erase").
+const char* op_kind_name(OpKind op);
+
+/// Sentinel a lookup returns for absent keys. Stored values must not equal
+/// it (the server rejects upserts that do), which is what lets a Response
+/// carry found/missing without a side channel.
+inline constexpr vm::Word kAbsent = std::numeric_limits<vm::Word>::min();
+
+struct Request {
+  std::uint64_t id = 0;
+  OpKind op = OpKind::kLookup;
+  vm::Word key = 0;
+  vm::Word value = 0;  ///< upsert payload; ignored for lookup/erase
+  /// Stamped by RequestQueue::push; the latency sketches measure from here.
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,   ///< upsert applied / lookup hit / erase executed
+  kMissing,  ///< lookup of a key that was not present
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  OpKind op = OpKind::kLookup;
+  ResponseStatus status = ResponseStatus::kOk;
+  vm::Word value = 0;  ///< lookup hit value; otherwise 0
+};
+
+}  // namespace folvec::serve

@@ -1,0 +1,81 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+namespace folvec::serve {
+
+std::uint64_t RequestQueue::push(OpKind op, vm::Word key, vm::Word value) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return 0;
+    id = next_id_++;
+    queue_.push_back(Request{id, op, key, value, std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return id;
+}
+
+std::vector<Request> RequestQueue::drain(std::size_t max_n) {
+  std::vector<Request> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = std::min(max_n, queue_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return out;
+}
+
+std::vector<Request> RequestQueue::wait_batch(
+    std::size_t max_batch, std::chrono::microseconds max_wait) {
+  std::vector<Request> out;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return out;  // woken by close() with nothing pending
+  const auto deadline = std::chrono::steady_clock::now() + max_wait;
+  out.reserve(std::min(max_batch, queue_.size()));
+  while (out.size() < max_batch) {
+    while (!queue_.empty() && out.size() < max_batch) {
+      out.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    if (out.size() >= max_batch || closed_) break;
+    // Linger for stragglers: a partially filled batch waits out the
+    // remainder of the window in case more requests land.
+    if (cv_.wait_until(lock, deadline, [&] {
+          return closed_ || !queue_.empty();
+        })) {
+      if (queue_.empty()) break;
+      continue;
+    }
+    break;  // window expired
+  }
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t RequestQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace folvec::serve

@@ -1,0 +1,61 @@
+// RequestQueue: the asynchronous front door of the serving layer.
+//
+// Producers (client threads, the load generator) push upsert/lookup/erase
+// requests; the single dispatch loop drains them in batches. push()
+// assigns a monotonically increasing request id and stamps the enqueue
+// time, so downstream latency accounting (Coalescer wait, BatchServer
+// end-to-end) needs no producer cooperation.
+//
+// This is the one deliberately thread-safe component in the layer:
+// everything behind it (Coalescer policy, ShardedMap, the shard machines)
+// belongs to the dispatch thread alone. close() wakes all waiters and
+// makes further pushes no-ops, which is how BatchServer::stop() unblocks
+// its loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace folvec::serve {
+
+class RequestQueue {
+ public:
+  /// Enqueue one request; returns its assigned id, or 0 if the queue is
+  /// closed (ids start at 1). `op`/`key`/`value` fill a Request; the
+  /// queue stamps id and enqueued_at.
+  std::uint64_t push(OpKind op, vm::Word key, vm::Word value = 0);
+
+  /// Dequeue up to `max_n` requests without blocking (FIFO order).
+  /// Returns an empty vector when nothing is pending.
+  std::vector<Request> drain(std::size_t max_n);
+
+  /// Block until at least one request is pending (or the queue closes),
+  /// then keep collecting until `max_batch` requests are in hand or
+  /// `max_wait` has elapsed since the first one was taken. This is the
+  /// coalescing primitive: the Coalescer supplies the policy knobs.
+  std::vector<Request> wait_batch(std::size_t max_batch,
+                                  std::chrono::microseconds max_wait);
+
+  /// Wake all waiters and reject further pushes. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+  /// Total requests accepted over the queue's lifetime.
+  std::uint64_t accepted() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::uint64_t next_id_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace folvec::serve

@@ -583,8 +583,13 @@ void VectorMachine::div_scalar_into(WordVec& out, std::span<const Word> a,
   issue(OpClass::kVectorDiv, a.size());
   out.resize(a.size());
   Word* o = out.data();
+  const auto k = simd_pick(&SimdKernels::div_s);
   run_lanes(OpClass::kVectorDiv, a.size(),
-            [o, a, s](std::size_t lo, std::size_t hi) {
+            [o, a, s, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, a.data(), s, lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) {
                 // Floor division (operands may be negative).
                 Word q = a[i] / s;
@@ -609,8 +614,13 @@ void VectorMachine::mod_scalar_into(WordVec& out, std::span<const Word> a,
   issue(OpClass::kVectorDiv, a.size());
   out.resize(a.size());
   Word* o = out.data();
+  const auto k = simd_pick(&SimdKernels::mod_s);
   run_lanes(OpClass::kVectorDiv, a.size(),
-            [o, a, s](std::size_t lo, std::size_t hi) {
+            [o, a, s, k](std::size_t lo, std::size_t hi) {
+              if (k != nullptr) {
+                k(o, a.data(), s, lo, hi);
+                return;
+              }
               for (std::size_t i = lo; i < hi; ++i) {
                 Word r = a[i] % s;
                 if (r < 0) r += s;

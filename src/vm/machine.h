@@ -103,7 +103,8 @@ using SimdCmpSFn = void (*)(std::uint8_t*, const Word*, Word, std::size_t,
 /// parallel_backend.h for both algorithms; every choice is bit-identical to
 /// serial, they differ only in memory traffic and dispatch count).
 enum class MergeStrategy : std::uint8_t {
-  kAuto,        ///< single-pass for forward/reverse traversals, else two-pass
+  kAuto,        ///< single-pass for forward/reverse traversals and short
+                ///< explicit ones (<= 160 lanes); two-pass for the rest
   kSinglePass,  ///< claim-interval merge, one dispatch (any traversal)
   kTwoPass,     ///< owner-computes route+replay merge (the PR 2 reference)
 };

@@ -223,10 +223,22 @@ void ParallelBackend::scatter(std::span<Word> table, std::span<const Word> idx,
     return;
   }
   telemetry::count("pool.scatter.parallel");
+  // kAuto selection. Forward/reverse traversals always take the single
+  // pass: position order is computable per worker, so one dispatch wins
+  // outright. Explicit traversals pay an order[] indirection in every
+  // worker's full-length scan, so the two-pass route+replay wins once the
+  // scatter is long enough to amortize its bucket setup — but short
+  // explicit scatters (the serving layer's shard-local sub-batches) sit
+  // below that: measured on 2/4/8 workers the crossover is ~160-192
+  // lanes, with single-pass ahead by up to 30% at 64 lanes and two-pass
+  // ahead by 2-4x from 1k lanes up (floors encoded in
+  // bench/goldens/backend_scaling.json via the serve_load bench).
+  constexpr std::size_t kExplicitSinglePassMaxLanes = 160;
   const bool single =
       merge_ == MergeStrategy::kSinglePass ||
       (merge_ == MergeStrategy::kAuto &&
-       traversal != ScatterTraversal::kExplicit);
+       (traversal != ScatterTraversal::kExplicit ||
+        idx.size() <= kExplicitSinglePassMaxLanes));
   if (single) {
     telemetry::count("pool.merge.single_pass");
     scatter_single_pass(table, idx, vals, mask, traversal, order);

@@ -47,6 +47,12 @@ struct SimdKernels {
   SimdMapFn or_s;
   SimdMapFn shr_s;
   SimdMapFn neg;
+  /// Floor division / Euclidean modulus by a positive scalar — the probe
+  /// recalc chain of the hashing layer (`mod_scalar` on every probe round)
+  /// and the serving layer's shard routing both live on these. Serial
+  /// semantics exactly: q = floor(a/s); r = a - s*floor(a/s) in [0, s).
+  SimdMapFn div_s;
+  SimdMapFn mod_s;
   SimdCmpFn cmp_eq;
   SimdCmpFn cmp_ne;
   SimdCmpFn cmp_le;

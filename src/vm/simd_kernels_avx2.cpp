@@ -582,6 +582,10 @@ const SimdKernels& simd_kernels_avx2() {
       k_or_s,
       k_shr_s,
       k_neg,
+      // Magic-multiply div/mod needs a 64-bit mulhi; without AVX-512's
+      // mask registers the four-piece emulation loses to the serial loop.
+      nullptr,
+      nullptr,
       k_cmp_eq,
       k_cmp_ne,
       k_cmp_le,

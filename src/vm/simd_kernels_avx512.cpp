@@ -154,6 +154,158 @@ void k_neg(Word* o, const Word* a, Word /*s*/, std::size_t lo,
   for (; i < hi; ++i) o[i] = -a[i];
 }
 
+// ---- div/mod by a positive scalar: magic-multiply lowering ------------------
+//
+// There is no 64-bit integer divide instruction at any SIMD level, but the
+// divisor is loop-invariant, so the scalar unit computes a (multiplier,
+// shift) pair once per call (Hacker's Delight 10-4, widened to 64 bits) and
+// the vector loop replaces the divide with a high multiply + shift. The
+// truncated quotient is then floor-fixed through its remainder, which also
+// IS the Euclidean modulus — one core serves both kernels.
+
+/// Magic pair for signed division by d >= 2: the truncated quotient is
+/// SRA(mulhi(mul, n) + (mul < 0 ? n : 0), shift), plus that value's sign bit.
+struct SignedMagic {
+  Word mul;
+  int shift;
+};
+
+SignedMagic signed_magic(Word d) {
+  const std::uint64_t two63 = 0x8000000000000000ULL;
+  const auto ad = static_cast<std::uint64_t>(d);
+  const std::uint64_t anc = two63 - 1 - (two63 - 1) % ad;
+  int p = 63;
+  std::uint64_t q1 = two63 / anc;
+  std::uint64_t r1 = two63 - q1 * anc;
+  std::uint64_t q2 = two63 / ad;
+  std::uint64_t r2 = two63 - q2 * ad;
+  std::uint64_t delta = 0;
+  do {
+    ++p;
+    q1 *= 2;
+    r1 *= 2;
+    if (r1 >= anc) {
+      ++q1;
+      r1 -= anc;
+    }
+    q2 *= 2;
+    r2 *= 2;
+    if (r2 >= ad) {
+      ++q2;
+      r2 -= ad;
+    }
+    delta = ad - r2;
+  } while (q1 < delta || (q1 == delta && r1 == 0));
+  return SignedMagic{static_cast<Word>(q2 + 1), p - 64};
+}
+
+/// Unsigned high 64 of a 64x64 multiply from four 32-bit partial products
+/// (VPMULUDQ); AVX-512 has no 64-bit mulhi instruction.
+inline __m512i umulhi8(__m512i a, __m512i b) {
+  const __m512i lo32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i ll = _mm512_mul_epu32(a, b);
+  const __m512i hl = _mm512_mul_epu32(a_hi, b);
+  const __m512i lh = _mm512_mul_epu32(a, b_hi);
+  const __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+  const __m512i cross = _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_srli_epi64(ll, 32), _mm512_and_si512(hl, lo32)),
+      _mm512_and_si512(lh, lo32));
+  return _mm512_add_epi64(
+      _mm512_add_epi64(hh, _mm512_srli_epi64(hl, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                       _mm512_srli_epi64(cross, 32)));
+}
+
+/// Signed high multiply: correct the unsigned one by the sign of each input.
+inline __m512i smulhi8(__m512i a, __m512i b) {
+  __m512i hi = umulhi8(a, b);
+  hi = _mm512_mask_sub_epi64(hi, _mm512_movepi64_mask(a), hi, b);
+  hi = _mm512_mask_sub_epi64(hi, _mm512_movepi64_mask(b), hi, a);
+  return hi;
+}
+
+struct DivMod8 {
+  __m512i q;
+  __m512i r;
+};
+
+/// Floor quotient and Euclidean remainder of 8 lanes by the invariant d.
+inline DivMod8 divmod8(__m512i n, const SignedMagic& mg, __m512i vd,
+                       __m512i vmul) {
+  __m512i q0 = smulhi8(vmul, n);
+  if (mg.mul < 0) q0 = _mm512_add_epi64(q0, n);
+  __m512i q = _mm512_sra_epi64(q0, _mm_cvtsi32_si128(mg.shift));
+  // Adding the sign bit rounds the magic result toward zero (truncation).
+  q = _mm512_add_epi64(q, _mm512_srli_epi64(q, 63));
+  __m512i r = _mm512_sub_epi64(n, _mm512_mullo_epi64(q, vd));
+  // r in (-d, d); one masked fixup turns truncation into floor/Euclid.
+  const __mmask8 neg = _mm512_movepi64_mask(r);
+  q = _mm512_mask_sub_epi64(q, neg, q, _mm512_set1_epi64(1));
+  r = _mm512_mask_add_epi64(r, neg, r, vd);
+  return DivMod8{q, r};
+}
+
+void k_div_s(Word* o, const Word* a, Word s, std::size_t lo, std::size_t hi) {
+  std::size_t i = lo;
+  if (s == 1) {
+    for (; i + 8 <= hi; i += 8) store8(o + i, load8(a + i));
+    for (; i < hi; ++i) o[i] = a[i];
+    return;
+  }
+  if ((s & (s - 1)) == 0) {
+    // SRA floors negative operands, which is exactly the div contract.
+    const int k = std::countr_zero(static_cast<std::uint64_t>(s));
+    const __m128i cnt = _mm_cvtsi32_si128(k);
+    for (; i + 8 <= hi; i += 8) {
+      store8(o + i, _mm512_sra_epi64(load8(a + i), cnt));
+    }
+    for (; i < hi; ++i) o[i] = a[i] >> k;
+    return;
+  }
+  const SignedMagic mg = signed_magic(s);
+  const __m512i vd = _mm512_set1_epi64(s);
+  const __m512i vmul = _mm512_set1_epi64(mg.mul);
+  for (; i + 8 <= hi; i += 8) {
+    store8(o + i, divmod8(load8(a + i), mg, vd, vmul).q);
+  }
+  for (; i < hi; ++i) {
+    Word q = a[i] / s;
+    if ((a[i] % s) != 0 && (a[i] < 0)) --q;
+    o[i] = q;
+  }
+}
+
+void k_mod_s(Word* o, const Word* a, Word s, std::size_t lo, std::size_t hi) {
+  std::size_t i = lo;
+  if (s == 1) {
+    for (; i + 8 <= hi; i += 8) store8(o + i, _mm512_setzero_si512());
+    for (; i < hi; ++i) o[i] = 0;
+    return;
+  }
+  if ((s & (s - 1)) == 0) {
+    // Masking with d-1 is already the Euclidean (non-negative) remainder.
+    const __m512i vm = _mm512_set1_epi64(s - 1);
+    for (; i + 8 <= hi; i += 8) {
+      store8(o + i, _mm512_and_si512(load8(a + i), vm));
+    }
+    for (; i < hi; ++i) o[i] = a[i] & (s - 1);
+    return;
+  }
+  const SignedMagic mg = signed_magic(s);
+  const __m512i vd = _mm512_set1_epi64(s);
+  const __m512i vmul = _mm512_set1_epi64(mg.mul);
+  for (; i + 8 <= hi; i += 8) {
+    store8(o + i, divmod8(load8(a + i), mg, vd, vmul).r);
+  }
+  for (; i < hi; ++i) {
+    Word r = a[i] % s;
+    if (r < 0) r += s;
+    o[i] = r;
+  }
+}
+
 void k_cmp_eq(std::uint8_t* o, const Word* a, const Word* b, std::size_t lo,
               std::size_t hi) {
   std::size_t i = lo;
@@ -602,6 +754,8 @@ const SimdKernels& simd_kernels_avx512() {
       k_or_s,
       k_shr_s,
       k_neg,
+      k_div_s,
+      k_mod_s,
       k_cmp_eq,
       k_cmp_ne,
       k_cmp_le,

@@ -271,6 +271,9 @@ const SimdKernels& simd_kernels_neon() {
       k_or_s,
       k_shr_s,
       k_neg,
+      // No 64-bit mulhi on NEON either; div/mod stay on the serial loop.
+      nullptr,
+      nullptr,
       k_cmp_eq,
       k_cmp_ne,
       k_cmp_le,

@@ -55,6 +55,23 @@ void k_neg(Word* o, const Word* a, Word /*s*/, std::size_t lo,
   for (std::size_t i = lo; i < hi; ++i) o[i] = -a[i];
 }
 
+void k_div_s(Word* o, const Word* a, Word s, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    // Floor division (operands may be negative), as serial.
+    Word q = a[i] / s;
+    if ((a[i] % s) != 0 && (a[i] < 0)) --q;
+    o[i] = q;
+  }
+}
+
+void k_mod_s(Word* o, const Word* a, Word s, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    Word r = a[i] % s;
+    if (r < 0) r += s;
+    o[i] = r;
+  }
+}
+
 void k_cmp_eq(std::uint8_t* o, const Word* a, const Word* b, std::size_t lo,
               std::size_t hi) {
   for (std::size_t i = lo; i < hi; ++i) o[i] = a[i] == b[i] ? 1 : 0;
@@ -264,6 +281,8 @@ const SimdKernels& simd_kernels_scalar() {
       k_or_s,
       k_shr_s,
       k_neg,
+      k_div_s,
+      k_mod_s,
       k_cmp_eq,
       k_cmp_ne,
       k_cmp_le,

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -839,6 +840,50 @@ TEST_P(SimdDiffTest, ExceptionParityWithSerial) {
   serial.scatter_masked(table_s, idx, vals, mask);
   simd.scatter_masked(table_v, idx, vals, mask);
   EXPECT_EQ(table_s, table_v);
+}
+
+TEST_P(SimdDiffTest, DivModScalarAdversarialValues) {
+  // The div_s/mod_s kernels replace the hardware-less 64-bit divide with a
+  // magic multiply; the magic pair and the floor/Euclid fixups must hold at
+  // the extremes, for power-of-two divisors, and for the composite table
+  // sizes the hashing probe recalc actually feeds them.
+  WordVec values{0,
+                 1,
+                 -1,
+                 2,
+                 -2,
+                 66,
+                 -66,
+                 67,
+                 -67,
+                 135,
+                 -135,
+                 (Word{1} << 62) - 1,
+                 -((Word{1} << 62) - 1),
+                 std::numeric_limits<Word>::max(),
+                 std::numeric_limits<Word>::min(),
+                 std::numeric_limits<Word>::min() + 1};
+  Xoshiro256 rng(0xd1f0d1f0);
+  while (values.size() < 300) {
+    values.push_back(static_cast<Word>(rng.next()));
+  }
+  for (const Word d :
+       {Word{1}, Word{2}, Word{3}, Word{7}, Word{31}, Word{64}, Word{67},
+        Word{135}, Word{4096}, Word{999983}, (Word{1} << 62) + 1}) {
+    VectorMachine serial = make_serial(order(), 7);
+    VectorMachine simd = make_simd(order(), 7, level());
+    const WordVec q_want = serial.div_scalar(values, d);
+    const WordVec q_got = simd.div_scalar(values, d);
+    const WordVec r_want = serial.mod_scalar(values, d);
+    const WordVec r_got = simd.mod_scalar(values, d);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(q_want[i], q_got[i]) << "div " << values[i] << " / " << d;
+      ASSERT_EQ(r_want[i], r_got[i]) << "mod " << values[i] << " % " << d;
+      // Floor/Euclid invariants against first principles.
+      ASSERT_GE(r_want[i], 0) << values[i] << " % " << d;
+      ASSERT_LT(r_want[i], d) << values[i] << " % " << d;
+    }
+  }
 }
 
 TEST_P(SimdDiffTest, ComposesWithParallelBackend) {

@@ -8,7 +8,9 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "support/faultsim.h"
 #include "support/prng.h"
+#include "support/status.h"
 
 namespace folvec::hashing {
 namespace {
@@ -156,6 +158,85 @@ TEST(VectorHashMapEraseTest, HeavyChurnTriggersTombstoneRehash) {
   for (const auto& [k, v] : reference) {
     ASSERT_EQ(map.lookup_batch(m, WordVec{k}, -1)[0], v);
   }
+}
+
+// ---- retry idempotency around the gcd probe-cycle hazard --------------------
+//
+// Capacity 135 = 27 * 5: a key with (key & 31) == 26 probes with step 27,
+// which cycles through only 5 of the 135 slots. Six such keys sharing one
+// mod-27 slot family saturate that cycle — five land, the sixth sweeps the
+// table, and the insert reports kProbeCycleSaturated with the five left in
+// slots_ as partially-applied strays. These tests pin the retry loop's
+// idempotency around exactly that state.
+
+WordVec gcd_hazard_keys() {
+  // k ≡ 26 (mod 32) fixes probe step 27; k ≡ 26 (mod 27) fixes the slot
+  // family; both at once: k ≡ 26 (mod 864).
+  WordVec keys;
+  for (Word j = 0; j < 6; ++j) keys.push_back(26 + 864 * j);
+  return keys;
+}
+
+TEST(VectorHashMapRecoveryTest, SaturatedRetryKeepsDuplicateBatchExact) {
+  VectorMachine m;
+  VectorHashMap map(68);
+  ASSERT_EQ(map.capacity(), 135u);
+  const WordVec six = gcd_hazard_keys();
+  // Every key appears twice in the one batch; the later occurrence carries
+  // the value that must win even though the batch is interrupted mid-way by
+  // a genuine saturation and re-run after the recovery rehash.
+  WordVec keys;
+  WordVec values;
+  for (std::size_t i = 0; i < six.size(); ++i) {
+    keys.push_back(six[i]);
+    values.push_back(static_cast<Word>(100 + i));
+  }
+  for (std::size_t i = 0; i < six.size(); ++i) {
+    keys.push_back(six[i]);
+    values.push_back(static_cast<Word>(200 + i));
+  }
+  map.upsert_batch(m, keys, values);
+  EXPECT_GT(map.rehash_count(), 0u);
+  EXPECT_EQ(map.size(), six.size());
+  EXPECT_EQ(map.lookup_batch(m, six, -1),
+            (WordVec{200, 201, 202, 203, 204, 205}));
+  // Exactly one entry per key: one erase sweep drains the table completely.
+  EXPECT_EQ(map.erase_batch(m, six), six.size());
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(VectorHashMapRecoveryTest, ExhaustedRecoveryLeavesCountsConsistent) {
+  VectorMachine m;
+  VectorHashMap map(68);
+  const WordVec keys = gcd_hazard_keys();
+  WordVec values;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    values.push_back(static_cast<Word>(10 + i));
+  }
+  {
+    // Each genuine saturation is followed by a rehash whose re-entry is the
+    // next probe check: firing on every 2nd check fails exactly the
+    // rehashes, so every recovery rolls back and the batch finally throws.
+    FaultPlan plan(1, "probe%2");
+    ScopedFaultPlan scoped(&plan);
+    EXPECT_THROW(map.upsert_batch(m, keys, values), RecoverableError);
+  }
+  // Five of the six keys landed before the first saturation. size() must
+  // agree with what lookups actually see — stray entries that escaped the
+  // count would corrupt every later load-factor and erase computation.
+  std::size_t present = 0;
+  for (const Word k : keys) {
+    if (map.contains(m, k)) ++present;
+  }
+  EXPECT_EQ(present, 5u);
+  EXPECT_EQ(map.size(), present);
+  // Erasing everything drains the count to zero instead of underflowing it.
+  EXPECT_EQ(map.erase_batch(m, keys), present);
+  EXPECT_EQ(map.size(), 0u);
+  // A clean retry completes the batch exactly once per key.
+  map.upsert_batch(m, keys, values);
+  EXPECT_EQ(map.size(), keys.size());
+  EXPECT_EQ(map.lookup_batch(m, keys, -1), values);
 }
 
 // (batches, batch size, key range, scatter order)

@@ -242,6 +242,37 @@ TEST(ScatterMergeTest, AutoSelectsSinglePassForStreamingTraversals) {
   EXPECT_EQ(snap.counters.at("pool.merge.two_pass"), 1u);
 }
 
+// Explicit traversals cut over by length: short scatters (the serving
+// layer's shard-local sub-batches) stay on the single pass — two-pass
+// bucket setup costs more than the whole scatter there — while long ones
+// take the route+replay merge. Crossover measured at ~160-192 lanes on
+// 2/4/8 workers.
+TEST(ScatterMergeTest, AutoCutsOverByLengthForExplicitTraversals) {
+  telemetry::MetricsRegistry registry;
+  const telemetry::ScopedMetrics scoped(registry);
+  const auto run_explicit = [](std::size_t n) {
+    WordVec idx(n);
+    WordVec vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      idx[i] = static_cast<Word>(i % 63);
+      vals[i] = static_cast<Word>(i);
+    }
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = n - 1 - i;
+    ParallelBackend parallel(4, /*grain=*/1);
+    WordVec table(63, 0);
+    parallel.scatter(table, idx, vals, nullptr, ScatterTraversal::kExplicit,
+                     order);
+  };
+  run_explicit(64);    // serve-shard sized: single pass
+  run_explicit(160);   // boundary, inclusive: single pass
+  run_explicit(161);   // first length past the cutover: two-pass
+  run_explicit(4096);  // bulk: two-pass
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("pool.merge.single_pass"), 2u);
+  EXPECT_EQ(snap.counters.at("pool.merge.two_pass"), 2u);
+}
+
 // ---- machine-level merge strategy differential -----------------------------
 
 TEST(MergeStrategyMachineTest, ForcedStrategiesBitIdenticalToSerial) {
